@@ -1,0 +1,59 @@
+// Regenerates Fig. 14: effectiveness of CQG selection. EMD vs iteration for
+// GSS, GSS+, exact B&B, 5-B&B, Random, and the Single-question baseline on
+// one task per dataset (budget = 15, k = 10).
+//
+// Expected shape (paper): composite selectors (GSS / GSS+ / B&B) track each
+// other closely and beat Single; 5-B&B is clearly worse; Random is erratic.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/single_question.h"
+
+namespace visclean {
+namespace bench {
+namespace {
+
+std::vector<double> Curve(const DirtyDataset& data, const BenchTask& task,
+                          const SessionOptions& options) {
+  VisCleanSession session(&data, MustParse(task.vql), options);
+  Result<std::vector<IterationTrace>> traces = session.Run();
+  std::vector<double> curve;
+  if (!traces.ok()) return curve;
+  for (const IterationTrace& t : traces.value()) curve.push_back(t.emd);
+  return curve;
+}
+
+void RunTask(const BenchTask& task) {
+  std::printf("\n--- Fig. 14 (Q%d on %s): %s ---\n", task.id, task.dataset,
+              task.description);
+  std::printf("%-10s", "iteration");
+  for (int i = 0; i <= 15; ++i) std::printf(" %7d", i);
+  std::printf("\n");
+
+  DirtyDataset data = MakeDataset(task.dataset, DefaultEntities(task.dataset));
+
+  for (const char* selector : {"gss", "gss+", "bnb", "5-bnb", "random"}) {
+    SessionOptions options = PaperSessionOptions(selector);
+    VisCleanSession probe(&data, MustParse(task.vql), options);
+    if (!probe.Initialize().ok()) continue;
+    std::vector<double> curve = Curve(data, task, options);
+    PrintSeries(MakeSelector(selector).value()->name().c_str(), curve);
+  }
+  // The Single-question baseline (m = k questions per unit-cost iteration).
+  SessionOptions single = MakeSingleOptions(PaperSessionOptions());
+  PrintSeries("Single", Curve(data, task, single));
+}
+
+int Run() {
+  std::printf("=== Fig. 14: effectiveness of CQG selection ===\n");
+  for (const BenchTask& task : TableVTasks()) {
+    if (task.id == 1 || task.id == 9 || task.id == 15) RunTask(task);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace visclean
+
+int main() { return visclean::bench::Run(); }

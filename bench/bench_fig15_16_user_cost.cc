@@ -1,0 +1,91 @@
+// Regenerates Figs. 15 and 16: the human cost of composite vs single
+// questions under the calibrated user cost model.
+//
+//   Fig. 15 — average user seconds per iteration and cumulative user time
+//             vs budget, for both strategies.
+//   Fig. 16 — EMD as a function of cumulative user seconds (budget = 15):
+//             the composite curve must drop faster.
+//
+// Expected shape (paper): composite saves about 40% user time at equal
+// budget (520 s vs 860 s over 15 iterations on D1).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/single_question.h"
+
+namespace visclean {
+namespace bench {
+namespace {
+
+struct CostCurves {
+  std::vector<double> cumulative_seconds;  // index = iteration (from 1)
+  std::vector<double> emd;                 // index = iteration (from 0)
+};
+
+CostCurves RunStrategy(const DirtyDataset& data, const BenchTask& task,
+                       bool composite) {
+  SessionOptions options = PaperSessionOptions();
+  if (!composite) options = MakeSingleOptions(options);
+  VisCleanSession session(&data, MustParse(task.vql), options);
+  CostCurves curves;
+  Result<std::vector<IterationTrace>> traces = session.Run();
+  if (!traces.ok()) return curves;
+  double total = 0.0;
+  for (const IterationTrace& t : traces.value()) {
+    if (t.iteration > 0) {
+      total += t.user_seconds;
+      curves.cumulative_seconds.push_back(total);
+    }
+    curves.emd.push_back(t.emd);
+  }
+  return curves;
+}
+
+void RunTask(const BenchTask& task) {
+  std::printf("\n--- Q%d on %s: %s ---\n", task.id, task.dataset,
+              task.description);
+  DirtyDataset data = MakeDataset(task.dataset, DefaultEntities(task.dataset));
+  CostCurves composite = RunStrategy(data, task, /*composite=*/true);
+  CostCurves single = RunStrategy(data, task, /*composite=*/false);
+
+  std::printf("[Fig. 15] cumulative user seconds per budget\n");
+  std::printf("%-10s", "iteration");
+  for (size_t i = 1; i <= composite.cumulative_seconds.size(); ++i) {
+    std::printf(" %7zu", i);
+  }
+  std::printf("\n");
+  PrintSeries("Composite", composite.cumulative_seconds, " %7.1f");
+  PrintSeries("Single", single.cumulative_seconds, " %7.1f");
+  if (!composite.cumulative_seconds.empty() &&
+      !single.cumulative_seconds.empty()) {
+    double saved = 1.0 - composite.cumulative_seconds.back() /
+                             single.cumulative_seconds.back();
+    std::printf("composite saves %.0f%% user time at budget 15 "
+                "(paper: ~40%%)\n", saved * 100.0);
+  }
+
+  std::printf("[Fig. 16] EMD vs cumulative user seconds\n");
+  auto print_pairs = [](const char* name, const CostCurves& c) {
+    std::printf("%-10s", name);
+    for (size_t i = 0; i + 1 < c.emd.size(); ++i) {
+      std::printf(" (%5.0fs, %6.4f)", c.cumulative_seconds[i], c.emd[i + 1]);
+    }
+    std::printf("\n");
+  };
+  print_pairs("Composite", composite);
+  print_pairs("Single", single);
+}
+
+int Run() {
+  std::printf("=== Figs. 15-16: user cost of composite vs single ===\n");
+  for (const BenchTask& task : TableVTasks()) {
+    if (task.id == 1 || task.id == 9 || task.id == 14) RunTask(task);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace visclean
+
+int main() { return visclean::bench::Run(); }

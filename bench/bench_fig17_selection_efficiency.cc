@@ -1,0 +1,201 @@
+// Regenerates Fig. 17: efficiency of CQG selection on synthetic ERGs.
+//
+//   Fig. 17(a): fixed |E| = 20,000, k swept 5..30.
+//   Fig. 17(b): fixed k = 5, |E| swept 5,000..40,000.
+//
+// Expected shape (paper): GSS and GSS+ are near-linear in |E| and flat in
+// k; GSS+ beats GSS by 30-40% thanks to edge pruning + early termination;
+// B&B (and its alpha variants) blow up past k ~ 10 — here they run against
+// an expansion cap (500k node expansions) so the bench terminates, which
+// shows up as a large flat ceiling instead of an unbounded curve.
+//
+// Ablations at the bottom sweep the two GSS+ optimizations independently:
+// the pruning window and the early-termination m.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/bnb.h"
+#include "graph/gss.h"
+#include "graph/random_selector.h"
+
+namespace visclean {
+namespace {
+
+// Random ERG shaped like a real one: clusters of duplicate tuples give a
+// locally dense graph; tuple-match weights spread over [0,1] so the GSS+
+// pruning band bites.
+Erg MakeErg(size_t num_edges, uint64_t seed) {
+  Rng rng(seed);
+  size_t num_vertices = num_edges / 4 + 8;  // average degree ~8
+  Erg erg;
+  for (size_t i = 0; i < num_vertices; ++i) {
+    ErgVertex v;
+    v.row = i;
+    erg.AddVertex(v);
+  }
+  size_t added = 0;
+  while (added < num_edges) {
+    size_t u = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_vertices) - 1));
+    // Mostly local neighbors (cluster structure), sometimes a long link.
+    int64_t span = rng.Bernoulli(0.85) ? 12 : static_cast<int64_t>(num_vertices);
+    size_t v = static_cast<size_t>(
+        std::min<int64_t>(static_cast<int64_t>(num_vertices) - 1,
+                          std::max<int64_t>(0, static_cast<int64_t>(u) +
+                                                   rng.UniformInt(-span, span))));
+    if (u == v) continue;
+    ErgEdge e;
+    e.u = std::min(u, v);
+    e.v = std::max(u, v);
+    e.p_tuple = rng.UniformReal(0, 1);
+    e.benefit = rng.UniformReal(0, 1);
+    erg.AddEdge(e);
+    ++added;
+  }
+  return erg;
+}
+
+constexpr size_t kBnbCap = 500000;
+
+// ------------------------- Fig. 17(a): vary k --------------------------
+
+void BM_Fig17a_GSS(benchmark::State& state) {
+  Erg erg = MakeErg(20000, 11);
+  GssSelector selector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Fig17a_GSS)->DenseRange(5, 30, 5)->Unit(benchmark::kMillisecond);
+
+void BM_Fig17a_GSSPlus(benchmark::State& state) {
+  Erg erg = MakeErg(20000, 11);
+  GssPlusSelector selector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Fig17a_GSSPlus)
+    ->DenseRange(5, 30, 5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig17a_BnB(benchmark::State& state) {
+  Erg erg = MakeErg(20000, 11);
+  BnbOptions options;
+  options.max_expansions = kBnbCap;
+  BnbSelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Fig17a_BnB)->DenseRange(5, 30, 5)->Unit(benchmark::kMillisecond);
+
+void BM_Fig17a_5BnB(benchmark::State& state) {
+  Erg erg = MakeErg(20000, 11);
+  BnbOptions options;
+  options.alpha = 5.0;
+  options.max_expansions = kBnbCap;
+  BnbSelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Fig17a_5BnB)->DenseRange(5, 30, 5)->Unit(benchmark::kMillisecond);
+
+void BM_Fig17a_10BnB(benchmark::State& state) {
+  Erg erg = MakeErg(20000, 11);
+  BnbOptions options;
+  options.alpha = 10.0;
+  options.max_expansions = kBnbCap;
+  BnbSelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Fig17a_10BnB)->DenseRange(5, 30, 5)->Unit(benchmark::kMillisecond);
+
+// ----------------------- Fig. 17(b): vary |E| --------------------------
+
+void BM_Fig17b_GSS(benchmark::State& state) {
+  Erg erg = MakeErg(static_cast<size_t>(state.range(0)), 12);
+  GssSelector selector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, 5));
+  }
+}
+BENCHMARK(BM_Fig17b_GSS)
+    ->Arg(5000)->Arg(10000)->Arg(20000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig17b_GSSPlus(benchmark::State& state) {
+  Erg erg = MakeErg(static_cast<size_t>(state.range(0)), 12);
+  GssPlusSelector selector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, 5));
+  }
+}
+BENCHMARK(BM_Fig17b_GSSPlus)
+    ->Arg(5000)->Arg(10000)->Arg(20000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig17b_BnB(benchmark::State& state) {
+  Erg erg = MakeErg(static_cast<size_t>(state.range(0)), 12);
+  BnbOptions options;
+  options.max_expansions = kBnbCap;
+  BnbSelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, 5));
+  }
+}
+BENCHMARK(BM_Fig17b_BnB)
+    ->Arg(5000)->Arg(10000)->Arg(20000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig17b_5BnB(benchmark::State& state) {
+  Erg erg = MakeErg(static_cast<size_t>(state.range(0)), 12);
+  BnbOptions options;
+  options.alpha = 5.0;
+  options.max_expansions = kBnbCap;
+  BnbSelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, 5));
+  }
+}
+BENCHMARK(BM_Fig17b_5BnB)
+    ->Arg(5000)->Arg(10000)->Arg(20000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------- GSS+ ablations (DESIGN.md §4) --------------------
+
+// Pruning window half-width w: keep edges with p in [0.5-w, 0.5+w].
+void BM_Ablation_PruneWindow(benchmark::State& state) {
+  Erg erg = MakeErg(20000, 13);
+  GssOptions options;
+  double w = static_cast<double>(state.range(0)) / 100.0;
+  options.prune_low = 0.5 - w;
+  options.prune_high = 0.5 + w;
+  GssPlusSelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, 10));
+  }
+}
+BENCHMARK(BM_Ablation_PruneWindow)
+    ->Arg(10)->Arg(20)->Arg(30)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+// Early-termination m (paper fixes m = 20; 0 disables).
+void BM_Ablation_EarlyStop(benchmark::State& state) {
+  Erg erg = MakeErg(20000, 13);
+  GssOptions options;
+  options.early_stop_subgraphs = static_cast<size_t>(state.range(0));
+  GssPlusSelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(erg, 10));
+  }
+}
+BENCHMARK(BM_Ablation_EarlyStop)
+    ->Arg(5)->Arg(20)->Arg(100)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace visclean

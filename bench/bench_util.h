@@ -1,0 +1,158 @@
+// Shared infrastructure for the experiment harnesses in bench/: the Table V
+// task list, dataset construction at configurable scale, and small printing
+// helpers. Each bench binary regenerates one table or figure of the paper's
+// Section VII; see EXPERIMENTS.md for the index.
+#ifndef VISCLEAN_BENCH_BENCH_UTIL_H_
+#define VISCLEAN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "datagen/books.h"
+#include "datagen/nba.h"
+#include "datagen/publications.h"
+#include "vql/parser.h"
+
+namespace visclean {
+namespace bench {
+
+/// \brief One visualization task of Table V, adapted to this repo's
+/// generated schemas (e.g. the paper's "#Points" column is "Points").
+struct BenchTask {
+  int id;                  ///< 1..18 as in Table V
+  const char* dataset;     ///< "D1", "D2", "D3"
+  const char* description; ///< human-readable summary
+  const char* vql;         ///< parseable query text
+};
+
+/// The 18 visualization tasks of Table V.
+inline std::vector<BenchTask> TableVTasks() {
+  return {
+      {1, "D1", "top-10 venues by total citations",
+       "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D1 "
+       "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10"},
+      {2, "D1", "top-10 venues by #papers",
+       "VISUALIZE BAR SELECT Venue, COUNT(Venue) FROM D1 "
+       "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10"},
+      {3, "D1", "share of papers per venue (pie)",
+       "VISUALIZE PIE SELECT Venue, COUNT(Venue) FROM D1 "
+       "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10"},
+      {4, "D1", "citation histogram (interval 200)",
+       "VISUALIZE BAR SELECT BIN(Citations) BY INTERVAL 200, "
+       "COUNT(Citations) FROM D1"},
+      {5, "D1", "papers per 5-year period",
+       "VISUALIZE BAR SELECT BIN(Year) BY INTERVAL 5, COUNT(Year) FROM D1"},
+      {6, "D1", "top-10 venues by citations since 2010",
+       "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D1 "
+       "TRANSFORM GROUP(Venue) WHERE Year >= 2010 SORT Y DESC LIMIT 10"},
+      {7, "D1", "highly-cited SIGMOD papers per 5-year period",
+       "VISUALIZE BAR SELECT BIN(Year) BY INTERVAL 5, COUNT(Year) FROM D1 "
+       "WHERE Year > 1999 AND Venue = 'SIGMOD' AND Citations > 100"},
+      {8, "D1", "share of recent papers per venue (pie)",
+       "VISUALIZE PIE SELECT Venue, COUNT(Venue) FROM D1 "
+       "TRANSFORM GROUP(Venue) WHERE Year > 2009 SORT Y DESC LIMIT 10"},
+      {9, "D2", "share of points per team (pie)",
+       "VISUALIZE PIE SELECT Team, SUM(Points) FROM D2 "
+       "TRANSFORM GROUP(Team) SORT Y DESC LIMIT 10"},
+      {10, "D2", "top Lakers scorers",
+       "VISUALIZE BAR SELECT Player, Points FROM D2 "
+       "WHERE Team = 'Los Angeles Lakers' SORT Y DESC LIMIT 10"},
+      {11, "D2", "players by games played",
+       "VISUALIZE BAR SELECT Player, Games FROM D2 SORT Y DESC LIMIT 10"},
+      {12, "D2", "points histogram for forwards",
+       "VISUALIZE BAR SELECT BIN(Points) BY INTERVAL 250, COUNT(Points) "
+       "FROM D2 WHERE Position = 'Forward'"},
+      {13, "D2", "share of points per team among guards (pie)",
+       "VISUALIZE PIE SELECT Team, SUM(Points) FROM D2 "
+       "TRANSFORM GROUP(Team) WHERE Position = 'Guard' SORT Y DESC LIMIT 10"},
+      {14, "D3", "share of books per publisher (pie)",
+       "VISUALIZE PIE SELECT Publisher, COUNT(Publisher) FROM D3 "
+       "TRANSFORM GROUP(Publisher) SORT Y DESC LIMIT 10"},
+      {15, "D3", "top publishers by average rating (English)",
+       "VISUALIZE BAR SELECT Publisher, AVG(Rating) FROM D3 "
+       "TRANSFORM GROUP(Publisher) WHERE Language = 'English' "
+       "SORT Y DESC LIMIT 10"},
+      {16, "D3", "top authors by average rating (English)",
+       "VISUALIZE BAR SELECT Author, AVG(Rating) FROM D3 "
+       "TRANSFORM GROUP(Author) WHERE Language = 'English' "
+       "SORT Y DESC LIMIT 10"},
+      {17, "D3", "top-5 authors by #ratings",
+       "VISUALIZE BAR SELECT Author, SUM(NumRatings) FROM D3 "
+       "TRANSFORM GROUP(Author) SORT Y DESC LIMIT 5"},
+      {18, "D3", "rating histogram (interval 1)",
+       "VISUALIZE BAR SELECT BIN(Rating) BY INTERVAL 1, COUNT(Rating) "
+       "FROM D3"},
+  };
+}
+
+/// Tasks of one dataset.
+inline std::vector<BenchTask> TasksFor(const std::string& dataset) {
+  std::vector<BenchTask> out;
+  for (const BenchTask& t : TableVTasks()) {
+    if (dataset == t.dataset) out.push_back(t);
+  }
+  return out;
+}
+
+/// Builds a dataset by name at `num_entities` distinct entities (0 = the
+/// full Table IV scale).
+inline DirtyDataset MakeDataset(const std::string& name, size_t num_entities,
+                                uint64_t seed = 42) {
+  if (name == "D1") {
+    PublicationsOptions options;
+    if (num_entities > 0) options.num_entities = num_entities;
+    options.seed = seed;
+    return GeneratePublications(options);
+  }
+  if (name == "D2") {
+    NbaOptions options;
+    if (num_entities > 0) options.num_entities = num_entities;
+    options.seed = seed;
+    return GenerateNba(options);
+  }
+  BooksOptions options;
+  if (num_entities > 0) options.num_entities = num_entities;
+  options.seed = seed;
+  return GenerateBooks(options);
+}
+
+/// Default scaled-down entity counts keeping every bench binary under a
+/// couple of minutes; pass --full to a bench for Table IV scale.
+inline size_t DefaultEntities(const std::string& dataset) {
+  if (dataset == "D1") return 800;
+  if (dataset == "D2") return 600;
+  return 600;
+}
+
+/// Session configuration used by the end-to-end benches (paper defaults:
+/// k = 10, budget = 15).
+inline SessionOptions PaperSessionOptions(const std::string& selector = "gss") {
+  SessionOptions options;
+  options.k = 10;
+  options.budget = 15;
+  options.selector = selector;
+  options.forest.num_trees = 12;
+  return options;
+}
+
+/// Parses a Table V query or aborts (bench tasks are static text).
+inline VqlQuery MustParse(const char* vql) {
+  Result<VqlQuery> q = ParseVql(vql);
+  VC_CHECK(q.ok(), "bench task query failed to parse");
+  return std::move(q).value();
+}
+
+/// Prints "name: v1 v2 v3 ..." rows for a per-iteration series.
+inline void PrintSeries(const char* name, const std::vector<double>& values,
+                        const char* fmt = " %7.4f") {
+  std::printf("%-10s", name);
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace visclean
+
+#endif  // VISCLEAN_BENCH_BENCH_UTIL_H_

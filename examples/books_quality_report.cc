@@ -1,0 +1,62 @@
+// Books scenario: budget planning. Runs the same book-ratings chart with
+// increasing interaction budgets and with the Single-question baseline,
+// reporting quality-per-user-second — the decision a practitioner actually
+// faces ("how much of my analyst's time is this chart worth?").
+//
+//   $ ./build/examples/books_quality_report
+#include <cstdio>
+
+#include "core/session.h"
+#include "core/single_question.h"
+#include "datagen/books.h"
+#include "vql/parser.h"
+
+int main() {
+  using namespace visclean;
+
+  BooksOptions gen_options;
+  gen_options.num_entities = 400;
+  DirtyDataset data = GenerateBooks(gen_options);
+  std::printf("Books dataset: %zu dirty records, %zu distinct books\n\n",
+              data.dirty.num_rows(), data.clean.num_rows());
+
+  const char* vql =
+      "VISUALIZE BAR SELECT Publisher, SUM(NumRatings) FROM D3 "
+      "TRANSFORM GROUP(Publisher) SORT Y DESC LIMIT 8";
+  VqlQuery query = ParseVql(vql).value();
+
+  std::printf("%-12s %8s %10s %12s %14s\n", "strategy", "budget", "questions",
+              "user-time(s)", "final EMD");
+  for (size_t budget : {3, 6, 12}) {
+    for (bool composite : {true, false}) {
+      SessionOptions options;
+      options.k = 8;
+      options.budget = budget;
+      if (!composite) options = MakeSingleOptions(options);
+      options.budget = budget;
+      VisCleanSession session(&data, query, options);
+      Result<std::vector<IterationTrace>> traces = session.Run();
+      if (!traces.ok()) continue;
+      size_t questions = 0;
+      double seconds = 0;
+      for (const IterationTrace& t : traces.value()) {
+        questions += t.questions_asked;
+        seconds += t.user_seconds;
+      }
+      std::printf("%-12s %8zu %10zu %12.0f %14.4f\n",
+                  composite ? "composite" : "single", budget, questions,
+                  seconds, traces.value().back().emd);
+    }
+  }
+
+  std::printf("\nFinal chart under the composite strategy (budget 12):\n");
+  SessionOptions options;
+  options.k = 8;
+  options.budget = 12;
+  VisCleanSession session(&data, query, options);
+  (void)session.Run();
+  std::printf("%s", session.CurrentVis().value().ToAsciiChart(28).c_str());
+  std::printf("\nGround truth:\n%s",
+              session.GroundTruthVis().value().ToAsciiChart(28).c_str());
+  return 0;
+}

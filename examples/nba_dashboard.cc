@@ -1,0 +1,74 @@
+// NBA scenario: one dataset, several dashboard charts. Demonstrates the
+// paper's point that different visualizations over the SAME dirty data need
+// different cleaning effort — a chart can even be clean already (Fig. 1(b))
+// — and that cleaning is task-driven: each session only repairs what its
+// chart needs.
+//
+//   $ ./build/examples/nba_dashboard
+#include <cstdio>
+
+#include "core/session.h"
+#include "datagen/nba.h"
+#include "vql/parser.h"
+
+namespace {
+
+struct Chart {
+  const char* title;
+  const char* vql;
+};
+
+constexpr Chart kCharts[] = {
+    {"total points by team (bar, top 8)",
+     "VISUALIZE BAR SELECT Team, SUM(Points) FROM D2 "
+     "TRANSFORM GROUP(Team) SORT Y DESC LIMIT 8"},
+    {"share of players per position (pie)",
+     "VISUALIZE PIE SELECT Position, COUNT(Position) FROM D2 "
+     "TRANSFORM GROUP(Position)"},
+    {"players per birth-decade (bar)",
+     "VISUALIZE BAR SELECT BIN(BirthYear) BY INTERVAL 10, COUNT(BirthYear) "
+     "FROM D2"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace visclean;
+
+  NbaOptions gen_options;
+  gen_options.num_entities = 400;
+  DirtyDataset data = GenerateNba(gen_options);
+  std::printf("NBA dataset: %zu dirty records, %zu distinct players\n\n",
+              data.dirty.num_rows(), data.clean.num_rows());
+
+  for (const Chart& chart : kCharts) {
+    VqlQuery query = ParseVql(chart.vql).value();
+    SessionOptions options;
+    options.k = 8;
+    options.budget = 6;
+    VisCleanSession session(&data, query, options);
+    if (!session.Initialize().ok()) continue;
+
+    double initial = session.CurrentEmd();
+    size_t total_questions = 0;
+    double user_seconds = 0;
+    for (size_t i = 0; i < options.budget; ++i) {
+      Result<IterationTrace> trace = session.RunIteration();
+      if (!trace.ok()) break;
+      total_questions += trace.value().questions_asked;
+      user_seconds += trace.value().user_seconds;
+    }
+
+    std::printf("=== %s ===\n", chart.title);
+    std::printf("EMD %.4f -> %.4f after %zu questions (%.0f user-seconds)\n",
+                initial, session.CurrentEmd(), total_questions, user_seconds);
+    std::printf("%s\n",
+                session.CurrentVis().value().ToAsciiChart(26).c_str());
+  }
+
+  std::printf("Note how the position pie needs almost no cleaning: position\n"
+              "spellings are consistent across sources, so — exactly like\n"
+              "Fig. 1(b) of the paper — the dirty data still renders a\n"
+              "correct visualization.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "clean/a_question_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "em/golden_record.h"
+#include "text/sim_join.h"
+
+namespace visclean {
+
+std::vector<AQuestion> GenerateAQuestions(
+    const Table& table, const std::vector<std::vector<size_t>>& clusters,
+    size_t column, const AQuestionOptions& options) {
+  // Unordered spelling pair -> best question seen.
+  std::map<std::pair<std::string, std::string>, AQuestion> dedup;
+  auto add = [&](const std::string& from, const std::string& to, double sim) {
+    if (from == to) return;
+    std::pair<std::string, std::string> key = std::minmax(from, to);
+    auto it = dedup.find(key);
+    if (it != dedup.end() && it->second.similarity >= sim) return;
+    AQuestion q;
+    q.column = column;
+    q.value_a = from;
+    q.value_b = to;
+    q.similarity = sim;
+    dedup[key] = std::move(q);
+  };
+
+  // Strategy 1: golden-record candidates inside clusters.
+  for (const TransformationCandidate& cand :
+       GoldenRecordCreation(table, clusters, column)) {
+    // Within a cluster the tuples provably co-refer, so approval is near
+    // certain regardless of string distance; floor the similarity.
+    add(cand.from, cand.to, std::max(cand.similarity, 0.8));
+  }
+
+  // Strategy 2: cross-cluster similarity join over distinct spellings.
+  // value -> clusters it occurs in, and global frequency (canonical vote).
+  std::map<std::string, std::set<size_t>> clusters_of;
+  std::map<std::string, size_t> frequency;
+  for (size_t ci = 0; ci < clusters.size(); ++ci) {
+    for (size_t r : clusters[ci]) {
+      if (table.is_dead(r)) continue;
+      const Value& v = table.at(r, column);
+      if (v.is_null()) continue;
+      std::string s = v.ToDisplayString();
+      clusters_of[s].insert(ci);
+      ++frequency[s];
+    }
+  }
+  std::vector<std::string> values;
+  values.reserve(clusters_of.size());
+  for (const auto& [v, cs] : clusters_of) values.push_back(v);
+
+  SimJoinOptions join_options;
+  join_options.threshold = options.lambda;
+  for (const SimJoinPair& p :
+       SimilaritySelfJoin(values, join_options)) {
+    const std::string& va = values[p.left_index];
+    const std::string& vb = values[p.right_index];
+    // Cross-cluster only: same-cluster pairs are Strategy 1's job.
+    const std::set<size_t>& ca = clusters_of[va];
+    const std::set<size_t>& cb = clusters_of[vb];
+    bool disjoint = true;
+    for (size_t c : ca) {
+      if (cb.count(c)) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    // Standardize toward the more frequent spelling.
+    if (frequency[vb] >= frequency[va]) {
+      add(va, vb, p.similarity);
+    } else {
+      add(vb, va, p.similarity);
+    }
+  }
+
+  std::vector<AQuestion> out;
+  out.reserve(dedup.size());
+  for (auto& [key, q] : dedup) out.push_back(std::move(q));
+  std::sort(out.begin(), out.end(), [](const AQuestion& a, const AQuestion& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    if (a.value_a != b.value_a) return a.value_a < b.value_a;
+    return a.value_b < b.value_b;
+  });
+  if (out.size() > options.max_questions) out.resize(options.max_questions);
+  return out;
+}
+
+}  // namespace visclean

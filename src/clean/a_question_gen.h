@@ -1,0 +1,35 @@
+// Algorithm 1 (A-QUESTIONSGENERATION): attribute-level duplicate candidates
+// from (Strategy 1) golden-record creation inside EM clusters and
+// (Strategy 2) a string-similarity join across clusters.
+#ifndef VISCLEAN_CLEAN_A_QUESTION_GEN_H_
+#define VISCLEAN_CLEAN_A_QUESTION_GEN_H_
+
+#include <vector>
+
+#include "clean/question.h"
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief Options for A-question generation.
+struct AQuestionOptions {
+  double lambda = 0.5;        ///< similarity threshold of the join (λ)
+  size_t max_questions = 400; ///< cap on emitted questions
+};
+
+/// \brief Runs Algorithm 1 on `column` with the given clusters.
+///
+/// Strategy 1: inside every multi-member cluster, each variant spelling
+/// pairs with the cluster's elected canonical spelling.
+/// Strategy 2: distinct spellings from *different* clusters join when their
+/// token-Jaccard similarity exceeds λ — catching synonyms (SIGMOD'13 <->
+/// SIGMOD) that no single cluster witnesses.
+/// Duplicates (unordered spelling pairs) are emitted once, highest
+/// similarity kept, ordered by descending similarity.
+std::vector<AQuestion> GenerateAQuestions(
+    const Table& table, const std::vector<std::vector<size_t>>& clusters,
+    size_t column, const AQuestionOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CLEAN_A_QUESTION_GEN_H_

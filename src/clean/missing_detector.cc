@@ -1,0 +1,86 @@
+#include "clean/missing_detector.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "ml/knn.h"
+#include "text/tokenize.h"
+
+namespace visclean {
+
+namespace {
+
+// Concatenated display strings of every column of the row.
+std::string RowAsString(const Table& table, size_t row) {
+  std::string out;
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (c > 0) out += ' ';
+    out += table.at(row, c).ToDisplayString();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MQuestion> DetectMissing(const Table& table, size_t column,
+                                     const MissingDetectorOptions& options) {
+  std::vector<size_t> rows = table.LiveRowIds();
+
+  std::vector<size_t> missing_rows;
+  for (size_t r : rows) {
+    if (table.at(r, column).is_null()) missing_rows.push_back(r);
+  }
+  if (missing_rows.empty()) return {};
+  if (options.max_questions > 0 && missing_rows.size() > options.max_questions) {
+    missing_rows.resize(options.max_questions);
+  }
+
+  // Column mean fallback when no neighbor carries a value.
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t r : rows) {
+    const Value& v = table.at(r, column);
+    if (!v.is_null()) {
+      sum += v.ToNumberOr(0.0);
+      ++count;
+    }
+  }
+  double mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+
+  // Token sets of every row for the string-Jaccard kNN of Section IV,
+  // computed once (queries share the corpus).
+  std::vector<std::set<std::string>> row_tokens;
+  row_tokens.reserve(rows.size());
+  for (size_t r : rows) {
+    row_tokens.push_back(TokenSet(WordTokens(RowAsString(table, r))));
+  }
+
+  std::vector<MQuestion> out;
+  out.reserve(missing_rows.size());
+  for (size_t r : missing_rows) {
+    // Position of r within `rows` for self-exclusion.
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(rows.begin(), rows.end(), r) - rows.begin());
+    // Ask for extra neighbors; some may miss the value themselves.
+    std::vector<Neighbor> neighbors = NearestNeighborsByTokens(
+        row_tokens, row_tokens[pos], options.k * 3,
+        static_cast<ptrdiff_t>(pos));
+    double nsum = 0.0;
+    size_t nused = 0;
+    for (const Neighbor& nb : neighbors) {
+      const Value& v = table.at(rows[nb.index], column);
+      if (v.is_null()) continue;
+      nsum += v.ToNumberOr(0.0);
+      if (++nused == options.k) break;
+    }
+    MQuestion q;
+    q.row = r;
+    q.column = column;
+    q.suggested = nused > 0 ? nsum / static_cast<double>(nused) : mean;
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace visclean

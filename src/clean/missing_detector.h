@@ -1,0 +1,32 @@
+// Q_M generation: kNN imputation for missing values (Section IV).
+#ifndef VISCLEAN_CLEAN_MISSING_DETECTOR_H_
+#define VISCLEAN_CLEAN_MISSING_DETECTOR_H_
+
+#include <vector>
+
+#include "clean/question.h"
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief Options for missing-value detection.
+struct MissingDetectorOptions {
+  size_t k = 5;  ///< neighbors averaged for the suggested imputation
+  /// Cap on questions per call (0 = unlimited). Each suggestion costs a
+  /// full kNN scan, so sessions cap this per iteration; repaired cells
+  /// drop out, so later iterations reach the remainder.
+  size_t max_questions = 0;
+};
+
+/// \brief One M-question per live row whose `column` cell is null.
+///
+/// The suggestion follows the paper exactly: concatenate all attributes of
+/// each tuple into a string, rank other tuples by Jaccard similarity, and
+/// average the `column` values of the k nearest neighbors that have one.
+/// Rows where no neighbor has a value get suggestion = column mean.
+std::vector<MQuestion> DetectMissing(const Table& table, size_t column,
+                                     const MissingDetectorOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CLEAN_MISSING_DETECTOR_H_

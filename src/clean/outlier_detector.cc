@@ -1,0 +1,93 @@
+#include "clean/outlier_detector.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "ml/knn.h"
+#include "text/tokenize.h"
+
+namespace visclean {
+
+namespace {
+
+std::string RowAsString(const Table& table, size_t row) {
+  std::string out;
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (c > 0) out += ' ';
+    out += table.at(row, c).ToDisplayString();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<OQuestion> DetectOutliers(const Table& table, size_t column,
+                                      const OutlierDetectorOptions& options) {
+  std::vector<size_t> rows;
+  std::vector<double> values;
+  for (size_t r : table.LiveRowIds()) {
+    const Value& v = table.at(r, column);
+    if (v.is_null()) continue;
+    rows.push_back(r);
+    values.push_back(v.ToNumberOr(0.0));
+  }
+  if (values.size() < 3) return {};
+
+  // Clamp k for tiny columns: with k close to n every score degenerates to
+  // the diameter of the value set and nothing stands out.
+  size_t k = std::min(options.k, std::max<size_t>(1, (values.size() - 1) / 2));
+  std::vector<double> scores = KnnOutlierScores(values, k);
+
+  // Median score as the normal-spread reference.
+  std::vector<double> sorted_scores = scores;
+  std::nth_element(sorted_scores.begin(),
+                   sorted_scores.begin() + sorted_scores.size() / 2,
+                   sorted_scores.end());
+  double median = sorted_scores[sorted_scores.size() / 2];
+  double cutoff = median > 0 ? median * options.score_ratio : 0.0;
+
+  // Rank candidate indices by score descending.
+  std::vector<size_t> order(values.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return rows[a] < rows[b];
+  });
+
+  // Row token sets for repair suggestions (computed lazily only if needed).
+  std::vector<std::set<std::string>> row_tokens;
+  auto ensure_row_tokens = [&]() {
+    if (!row_tokens.empty()) return;
+    row_tokens.reserve(rows.size());
+    for (size_t r : rows) {
+      row_tokens.push_back(TokenSet(WordTokens(RowAsString(table, r))));
+    }
+  };
+
+  std::vector<OQuestion> out;
+  for (size_t i : order) {
+    if (out.size() >= options.max_questions) break;
+    if (scores[i] <= cutoff || scores[i] <= 0.0) break;
+    ensure_row_tokens();
+    std::vector<Neighbor> neighbors = NearestNeighborsByTokens(
+        row_tokens, row_tokens[i], options.impute_k,
+        static_cast<ptrdiff_t>(i));
+    double nsum = 0.0;
+    size_t nused = 0;
+    for (const Neighbor& nb : neighbors) {
+      nsum += values[nb.index];
+      ++nused;
+    }
+    OQuestion q;
+    q.row = rows[i];
+    q.column = column;
+    q.current = values[i];
+    q.suggested = nused > 0 ? nsum / static_cast<double>(nused) : values[i];
+    q.score = scores[i];
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace visclean

@@ -1,0 +1,34 @@
+// Q_O generation: kNN outlier detection on the Y column (Section IV).
+#ifndef VISCLEAN_CLEAN_OUTLIER_DETECTOR_H_
+#define VISCLEAN_CLEAN_OUTLIER_DETECTOR_H_
+
+#include <vector>
+
+#include "clean/question.h"
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief Options for outlier detection.
+struct OutlierDetectorOptions {
+  size_t k = 5;              ///< the k of the k-th-nearest-distance score
+  size_t max_questions = 50; ///< how many top-scored values become O-questions
+  /// A value only becomes a question when its score exceeds this multiple of
+  /// the median score (guards against flagging normal spread).
+  double score_ratio = 4.0;
+  size_t impute_k = 5;       ///< neighbors averaged for the suggested repair
+};
+
+/// \brief O-questions for `column`: values whose kNN outlier score
+/// (k-th smallest |v - other|; Ramaswamy et al.) is among the largest.
+///
+/// The suggested repair averages the column values of the k tuples most
+/// similar to the outlier's tuple (same kNN recipe as imputation), so a
+/// misplaced decimal like 1740 for a paper with duplicates at 174 is pulled
+/// back to its cluster's level.
+std::vector<OQuestion> DetectOutliers(const Table& table, size_t column,
+                                      const OutlierDetectorOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CLEAN_OUTLIER_DETECTOR_H_

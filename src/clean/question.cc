@@ -1,0 +1,3 @@
+// question.h is header-only; this translation unit exists so the build
+// exercises the header's self-containedness.
+#include "clean/question.h"

@@ -1,0 +1,59 @@
+// The four kinds of data-cleaning questions of Section II-D, plus the
+// repairing-candidate set Q = Q_T ∪ Q_A ∪ Q_M ∪ Q_O produced each
+// iteration (Section IV).
+#ifndef VISCLEAN_CLEAN_QUESTION_H_
+#define VISCLEAN_CLEAN_QUESTION_H_
+
+#include <string>
+#include <vector>
+
+namespace visclean {
+
+/// "Are tuples a and b the same entity?" — from EM active learning.
+struct TQuestion {
+  size_t row_a = 0;
+  size_t row_b = 0;
+  double probability = 0.5;  ///< EM model's match probability (P^Y)
+};
+
+/// "Are spellings value_a and value_b the same attribute-level entity?
+/// If so, standardize on canonical." — from Algorithm 1.
+struct AQuestion {
+  size_t column = 0;
+  std::string value_a;    ///< variant spelling
+  std::string value_b;    ///< proposed canonical spelling
+  double similarity = 0;  ///< similarity score used as approval probability
+};
+
+/// "Tuple `row` is missing `column`; take `suggested`?" — kNN imputation.
+struct MQuestion {
+  size_t row = 0;
+  size_t column = 0;
+  double suggested = 0.0;  ///< mean Y of the k string-nearest neighbors
+};
+
+/// "Is `current` in tuple `row` an outlier; if so repair to `suggested`?"
+struct OQuestion {
+  size_t row = 0;
+  size_t column = 0;
+  double current = 0.0;
+  double suggested = 0.0;
+  double score = 0.0;  ///< kNN outlier score (higher = more isolated)
+};
+
+/// \brief The full repairing-candidate set of one iteration.
+struct QuestionSet {
+  std::vector<TQuestion> t_questions;
+  std::vector<AQuestion> a_questions;
+  std::vector<MQuestion> m_questions;
+  std::vector<OQuestion> o_questions;
+
+  size_t TotalSize() const {
+    return t_questions.size() + a_questions.size() + m_questions.size() +
+           o_questions.size();
+  }
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CLEAN_QUESTION_H_

@@ -1,0 +1,64 @@
+// Repair operators: how user answers mutate the dataset (framework step 6).
+// Every operator also has an Undo record so the benefit model can repair
+// speculatively and roll back without cloning the table per edge.
+#ifndef VISCLEAN_CLEAN_REPAIR_H_
+#define VISCLEAN_CLEAN_REPAIR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief Reversible log of table mutations.
+///
+/// Usage: pass an UndoLog to the Apply* functions, then call Rollback to
+/// restore the table exactly. Rollback replays in reverse order.
+class UndoLog {
+ public:
+  /// Records that (row, col) held `old_value` before a Set.
+  void RecordCell(size_t row, size_t col, Value old_value);
+  /// Records that `row` was alive before a MarkDead.
+  void RecordDeath(size_t row);
+
+  /// Restores `table` and clears the log.
+  void Rollback(Table* table);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    bool is_death = false;
+    size_t row = 0;
+    size_t col = 0;
+    Value old_value;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Replaces every live cell of `column` whose display string equals `from`
+/// with String(`to`) — the attribute-standardization repair. Returns the
+/// number of cells changed.
+size_t ApplyTransformation(Table* table, size_t column, const std::string& from,
+                           const std::string& to, UndoLog* undo = nullptr);
+
+/// Imputes Number(`value`) into a (row, column) that should hold a number.
+void ApplyCellRepair(Table* table, size_t row, size_t column, double value,
+                     UndoLog* undo = nullptr);
+
+/// \brief Merges duplicate rows into the smallest id (the survivor):
+/// consolidates every column onto the survivor and tombstones the rest.
+///
+/// Consolidation per column: majority display value when one exists;
+/// numeric columns without a majority take the mean of non-null values
+/// (the paper's ground truth consolidates 42/44 to 43 and 174/1740/174 to
+/// 174); text columns fall back to the longest spelling. Returns the
+/// survivor row id. `rows` must contain >= 1 live row.
+size_t MergeRows(Table* table, const std::vector<size_t>& rows,
+                 UndoLog* undo = nullptr);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CLEAN_REPAIR_H_

@@ -1,0 +1,164 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace visclean {
+
+JsonWriter JsonWriter::Pretty() {
+  JsonWriter json;
+  json.pretty_ = true;
+  return json;
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::NewlineAndIndent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(scopes_.size() * 2, ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) {
+    VC_CHECK(out_.empty(), "JSON document already complete");
+    return;
+  }
+  if (scopes_.back() == Scope::kObject) {
+    VC_CHECK(pending_key_, "object value requires a preceding Key()");
+    pending_key_ = false;
+    return;
+  }
+  // Array element.
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  NewlineAndIndent();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  VC_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject,
+           "Key() outside an object");
+  VC_CHECK(!pending_key_, "two keys in a row");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  NewlineAndIndent();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += pretty_ ? "\": " : "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  VC_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject,
+           "EndObject without matching BeginObject");
+  VC_CHECK(!pending_key_, "dangling key at EndObject");
+  bool had_items = has_items_.back();
+  scopes_.pop_back();
+  has_items_.pop_back();
+  if (had_items) NewlineAndIndent();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  VC_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray,
+           "EndArray without matching BeginArray");
+  bool had_items = has_items_.back();
+  scopes_.pop_back();
+  has_items_.pop_back();
+  if (had_items) NewlineAndIndent();
+  out_ += ']';
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    out_ += StrFormat("%lld", static_cast<long long>(value));
+  } else {
+    out_ += StrFormat("%.10g", value);
+  }
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+std::string JsonWriter::TakeString() {
+  VC_CHECK(scopes_.empty(), "TakeString with unclosed scopes");
+  return std::move(out_);
+}
+
+}  // namespace visclean

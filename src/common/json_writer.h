@@ -1,0 +1,73 @@
+// Minimal JSON serialization (writer only). Used by the Vega-Lite exporter
+// and the trace exporter; no parsing, no DOM — a streaming builder with
+// correct escaping and nesting checks.
+#ifndef VISCLEAN_COMMON_JSON_WRITER_H_
+#define VISCLEAN_COMMON_JSON_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace visclean {
+
+/// \brief Streaming JSON builder.
+///
+/// Usage:
+/// \code
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("mark");
+///   json.String("bar");
+///   json.Key("data");
+///   json.BeginArray();
+///   json.Number(1);
+///   json.EndArray();
+///   json.EndObject();
+///   std::string text = json.TakeString();
+/// \endcode
+///
+/// Misuse (mismatched Begin/End, value without key inside an object) aborts
+/// via VC_CHECK — serialization bugs are programmer errors.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  /// Pretty-printing variant: 2-space indentation, newlines.
+  static JsonWriter Pretty();
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next value call becomes its value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Number(double value);
+  void Int(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// Finishes and returns the document. All scopes must be closed.
+  std::string TakeString();
+
+  /// Escapes one string per RFC 8259 (without surrounding quotes).
+  static std::string Escape(std::string_view raw);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+  void NewlineAndIndent();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;  // parallel to scopes_
+  bool pending_key_ = false;
+  bool pretty_ = false;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_COMMON_JSON_WRITER_H_

@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace visclean {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  VC_CHECK(lo <= hi, "UniformInt requires lo <= hi");
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  VC_CHECK(n > 0, "Zipf requires n > 0");
+  // Inverse-CDF sampling over explicit weights; n is small (vocabulary
+  // sizes), so the O(n) pass is fine and keeps the sampler exact.
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) total += 1.0 / std::pow(r + 1.0, s);
+  double u = UniformReal(0.0, total);
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(r + 1.0, s);
+    if (u <= acc) return r;
+  }
+  return n - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  VC_CHECK(k <= n, "SampleWithoutReplacement requires k <= n");
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: after k swaps the first k slots are the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace visclean

@@ -1,0 +1,58 @@
+// Deterministic random-number utilities.
+//
+// All stochastic components (random forests, dataset generators, random CQG
+// selection, simulated user noise) draw from an explicitly seeded Rng so that
+// every experiment in bench/ is reproducible bit-for-bit.
+#ifndef VISCLEAN_COMMON_RNG_H_
+#define VISCLEAN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace visclean {
+
+/// \brief Seeded pseudo-random source shared by all stochastic components.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Gaussian sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli trial that succeeds with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-like rank sample in [0, n): rank r drawn with weight 1/(r+1)^s.
+  /// Used by dataset generators to give categorical columns a realistic
+  /// skewed distribution.
+  size_t Zipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Access the underlying engine for use with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_COMMON_RNG_H_

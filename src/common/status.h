@@ -1,0 +1,145 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// Library code never throws; recoverable errors travel through Status (or
+// Result<T> when a value is produced), and internal invariant violations
+// abort through VC_CHECK. This mirrors the Arrow/absl convention required by
+// the project style guide.
+#ifndef VISCLEAN_COMMON_STATUS_H_
+#define VISCLEAN_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace visclean {
+
+/// Machine-readable category of a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kParseError,
+  kIoError,
+  kInternal,
+};
+
+/// \brief Outcome of an operation that may fail but returns no value.
+///
+/// A default-constructed Status is OK. Failed statuses carry a code and a
+/// human-readable message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Creates an OK status.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Outcome of an operation that produces a T on success.
+///
+/// Accessing the value of a failed Result aborts; callers must test ok()
+/// (or use ValueOr) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error Status; aborts if the status is OK (an OK Result
+  /// must carry a value).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::fprintf(stderr, "Result constructed from OK status without value\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value, or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace visclean
+
+/// Aborts the process with a message when `cond` is false. For programmer
+/// errors (broken invariants), not data errors.
+#define VC_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "VC_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, msg);                                           \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Propagates a non-OK Status from the current function.
+#define VC_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::visclean::Status _st = (expr);        \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#endif  // VISCLEAN_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+// Small string helpers shared across modules (no locale, ASCII-only).
+#ifndef VISCLEAN_COMMON_STRINGS_H_
+#define VISCLEAN_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace visclean {
+
+/// Lowercases ASCII letters; other bytes pass through.
+std::string ToLowerAscii(std::string_view s);
+
+/// Removes leading/trailing whitespace (space, tab, CR, LF).
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits on a single-character delimiter; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True when `s` parses fully as a floating-point number.
+bool IsNumber(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_COMMON_STRINGS_H_

@@ -1,0 +1,93 @@
+#include "core/benefit_model.h"
+
+#include <string>
+#include <vector>
+
+#include "clean/repair.h"
+#include "dist/emd.h"
+#include "vql/executor.h"
+
+namespace visclean {
+
+namespace {
+
+// Renders the query; an execution error (should not happen for a query that
+// rendered before) yields an empty visualization, i.e. zero benefit.
+VisData Render(const VqlQuery& query, const Table& table) {
+  Result<VisData> vis = ExecuteVql(query, table);
+  if (!vis.ok()) return {};
+  return std::move(vis).value();
+}
+
+}  // namespace
+
+size_t EstimateBenefits(const VqlQuery& query, Table* table, Erg* erg,
+                        const BenefitOptions& options) {
+  size_t renders = 0;
+  VisData current = Render(query, *table);
+  ++renders;
+
+  auto dist_after = [&](UndoLog* undo) {
+    VisData speculative = Render(query, *table);
+    ++renders;
+    undo->Rollback(table);
+    return EmdDistance(current, speculative);
+  };
+
+  // Vertex-question benefits, once per vertex.
+  std::vector<double> vertex_benefit(erg->num_vertices(), 0.0);
+  for (size_t i = 0; i < erg->num_vertices(); ++i) {
+    const ErgVertex& vertex = erg->vertex(i);
+    if (table->is_dead(vertex.row)) continue;
+    if (vertex.missing.has_value()) {
+      UndoLog undo;
+      ApplyCellRepair(table, vertex.missing->row, vertex.missing->column,
+                      vertex.missing->suggested, &undo);
+      vertex_benefit[i] += dist_after(&undo);  // B_M = dist^Y
+    }
+    if (vertex.outlier.has_value()) {
+      UndoLog undo;
+      ApplyCellRepair(table, vertex.outlier->row, vertex.outlier->column,
+                      vertex.outlier->suggested, &undo);
+      vertex_benefit[i] += dist_after(&undo);  // B_O = dist^Y
+    }
+  }
+
+  for (size_t e = 0; e < erg->num_edges(); ++e) {
+    ErgEdge& edge = erg->edge(e);
+    size_t row_a = erg->vertex(edge.u).row;
+    size_t row_b = erg->vertex(edge.v).row;
+    double benefit = 0.0;
+
+    if (!table->is_dead(row_a) && !table->is_dead(row_b)) {
+      // B_T: confirm branch = merge + standardize the pair's X spellings.
+      {
+        UndoLog undo;
+        if (options.x_column != BenefitOptions::kNoColumn) {
+          const Value& xa = table->at(row_a, options.x_column);
+          const Value& xb = table->at(row_b, options.x_column);
+          if (!xa.is_null() && !xb.is_null()) {
+            std::string sa = xa.ToDisplayString();
+            std::string sb = xb.ToDisplayString();
+            if (sa != sb) ApplyTransformation(table, options.x_column, sa, sb, &undo);
+          }
+        }
+        MergeRows(table, {row_a, row_b}, &undo);
+        benefit += edge.p_tuple * dist_after(&undo);
+      }
+      // B_A: approve branch = standardize the edge's A-question alone.
+      if (edge.has_attr && options.x_column != BenefitOptions::kNoColumn) {
+        UndoLog undo;
+        ApplyTransformation(table, options.x_column, edge.attr_question.value_a,
+                            edge.attr_question.value_b, &undo);
+        benefit += edge.p_attr * dist_after(&undo);
+      }
+    }
+
+    benefit += vertex_benefit[edge.u] + vertex_benefit[edge.v];
+    edge.benefit = benefit;
+  }
+  return renders;
+}
+
+}  // namespace visclean

@@ -1,0 +1,50 @@
+// The estimation-based benefit model of Section V-A (Definition 5.1,
+// Eqs. 5-6): for every ERG edge, speculatively apply each possible user
+// operation to the dataset, re-render the visualization, and measure how far
+// it moves (EMD). Larger movement = larger expected benefit.
+#ifndef VISCLEAN_CORE_BENEFIT_MODEL_H_
+#define VISCLEAN_CORE_BENEFIT_MODEL_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "dist/vis_data.h"
+#include "graph/erg.h"
+#include "vql/ast.h"
+
+namespace visclean {
+
+/// \brief Options for benefit estimation.
+struct BenefitOptions {
+  /// Column index of the visualization's X axis in the table (kNoColumn
+  /// when X is not categorical — then edges carry no A-question).
+  static constexpr size_t kNoColumn = static_cast<size_t>(-1);
+  size_t x_column = kNoColumn;
+};
+
+/// \brief Fills in `benefit` for every edge of `erg` against the current
+/// `table` and `query`.
+///
+/// Per edge (u, v) with rows a, b:
+///  * B_T = p_tuple * dist(V, V') where V' renders after speculatively
+///    merging a and b and standardizing their X spellings (the paper's
+///    "twofold" confirm benefit). The split branch only improves the EM
+///    model, not the current visualization, so its immediate dist is 0 —
+///    a deliberate simplification of Eq. 6 (the paper retrains the model to
+///    price the split branch; we price only the visible movement).
+///  * B_A = p_attr * dist(V, V') where V' renders after the edge's
+///    attribute standardization alone (rejection contributes nothing).
+///  * B_M / B_O of the endpoint vertices render after the suggested
+///    imputation/repair (Section V-A items 3-4); vertex benefits are
+///    computed once and added to every incident edge, exactly as Example 5
+///    composes b_12 = B_T + B_A + B_O.
+///
+/// All speculative repairs roll back through an UndoLog; `table` is
+/// unchanged on return. Returns the number of visualization renders
+/// performed (diagnostics for the Fig. 18 bench).
+size_t EstimateBenefits(const VqlQuery& query, Table* table, Erg* erg,
+                        const BenefitOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CORE_BENEFIT_MODEL_H_

@@ -1,0 +1,35 @@
+#include "core/single_question.h"
+
+namespace visclean {
+
+SessionOptions MakeSingleOptions(const SessionOptions& base) {
+  SessionOptions options = base;
+  options.strategy = QuestionStrategy::kSingle;
+  options.single_m = base.k;  // m matched to the CQG size, per Section VII
+  return options;
+}
+
+Result<RunUntilResult> RunUntilEmd(VisCleanSession* session, double emd_target,
+                                   size_t max_iterations) {
+  VC_RETURN_IF_ERROR(session->Initialize());
+  RunUntilResult result;
+  result.final_emd = session->CurrentEmd();
+  if (result.final_emd <= emd_target) {
+    result.reached_target = true;
+    return result;
+  }
+  for (size_t i = 0; i < max_iterations; ++i) {
+    Result<IterationTrace> trace = session->RunIteration();
+    if (!trace.ok()) return trace.status();
+    result.final_emd = trace.value().emd;
+    result.traces.push_back(std::move(trace).value());
+    ++result.iterations_used;
+    if (result.final_emd <= emd_target) {
+      result.reached_target = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace visclean

@@ -1,0 +1,33 @@
+// Convenience runners shared by benches/examples: the Single-question
+// baseline configuration (Section VII, algorithm (vi)) and the
+// run-until-quality loop used by the robustness experiment (Table VI).
+#ifndef VISCLEAN_CORE_SINGLE_QUESTION_H_
+#define VISCLEAN_CORE_SINGLE_QUESTION_H_
+
+#include "core/session.h"
+
+namespace visclean {
+
+/// Session options for the Single baseline: same budget/seed as `base` but
+/// m isolated questions per iteration instead of one CQG. The unit-cost
+/// convention follows the paper: one CQG with m edges counts as one unit,
+/// one single question as 1/m.
+SessionOptions MakeSingleOptions(const SessionOptions& base);
+
+/// \brief Outcome of RunUntilEmd.
+struct RunUntilResult {
+  size_t iterations_used = 0;   ///< iterations actually run
+  double final_emd = 0.0;       ///< EMD after the last iteration
+  bool reached_target = false;  ///< final_emd <= target before the cap
+  std::vector<IterationTrace> traces;  ///< per-iteration records
+};
+
+/// Runs `session` until EMD(Q(D), Q(D_g)) <= `emd_target` or
+/// `max_iterations` is hit (whichever first). The session must not have
+/// been run yet.
+Result<RunUntilResult> RunUntilEmd(VisCleanSession* session, double emd_target,
+                                   size_t max_iterations);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CORE_SINGLE_QUESTION_H_

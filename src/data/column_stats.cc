@@ -1,0 +1,59 @@
+#include "data/column_stats.h"
+
+#include <cmath>
+#include <set>
+
+namespace visclean {
+
+ColumnStats ComputeColumnStats(const Table& table, size_t col) {
+  ColumnStats stats;
+  std::set<std::string> distinct;
+  double sum = 0.0, sum_sq = 0.0;
+  bool first_numeric = true;
+  for (size_t r : table.LiveRowIds()) {
+    ++stats.num_rows;
+    const Value& v = table.at(r, col);
+    if (v.is_null()) {
+      ++stats.num_null;
+      continue;
+    }
+    distinct.insert(v.ToDisplayString());
+    if (v.is_number()) {
+      double x = v.AsNumber();
+      ++stats.num_numeric;
+      sum += x;
+      sum_sq += x * x;
+      if (first_numeric) {
+        stats.min = stats.max = x;
+        first_numeric = false;
+      } else {
+        stats.min = std::min(stats.min, x);
+        stats.max = std::max(stats.max, x);
+      }
+    }
+  }
+  stats.num_distinct = distinct.size();
+  if (stats.num_numeric > 0) {
+    stats.mean = sum / stats.num_numeric;
+    double var = sum_sq / stats.num_numeric - stats.mean * stats.mean;
+    stats.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  }
+  return stats;
+}
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats out;
+  out.num_attributes = table.schema().num_columns();
+  out.num_tuples = table.num_live_rows();
+  size_t nulls = 0;
+  for (size_t c = 0; c < out.num_attributes; ++c) {
+    ColumnStats cs = ComputeColumnStats(table, c);
+    nulls += cs.num_null;
+    out.per_column[table.schema().column(c).name] = cs;
+  }
+  size_t cells = out.num_tuples * out.num_attributes;
+  out.missing_fraction = cells == 0 ? 0.0 : static_cast<double>(nulls) / cells;
+  return out;
+}
+
+}  // namespace visclean

@@ -1,0 +1,46 @@
+// Per-column summary statistics (used by detectors, generators, and the
+// Table IV dataset-statistics bench).
+#ifndef VISCLEAN_DATA_COLUMN_STATS_H_
+#define VISCLEAN_DATA_COLUMN_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief Summary of one column over the live rows of a table.
+struct ColumnStats {
+  size_t num_rows = 0;      ///< live rows scanned
+  size_t num_null = 0;      ///< missing cells
+  size_t num_distinct = 0;  ///< distinct non-null values
+  double min = 0.0;         ///< numeric cells only
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t num_numeric = 0;   ///< cells that were numeric
+
+  double null_fraction() const {
+    return num_rows == 0 ? 0.0 : static_cast<double>(num_null) / num_rows;
+  }
+};
+
+/// Computes stats for column `col` of `table`.
+ColumnStats ComputeColumnStats(const Table& table, size_t col);
+
+/// \brief Whole-table statistics matching the rows of Table IV in the paper.
+struct TableStats {
+  size_t num_attributes = 0;
+  size_t num_tuples = 0;       ///< live rows
+  double missing_fraction = 0; ///< nulls / (rows * cols)
+  std::map<std::string, ColumnStats> per_column;
+};
+
+/// Computes TableStats for the live rows of `table`.
+TableStats ComputeTableStats(const Table& table);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DATA_COLUMN_STATS_H_

@@ -1,0 +1,189 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace visclean {
+
+namespace {
+
+// Splits CSV text into records of raw fields, honoring quotes.
+Result<std::vector<std::vector<std::string>>> Tokenize(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field_started && !field.empty()) {
+          return Status::ParseError("quote inside unquoted field");
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (field_started || !record.empty()) end_record();
+  return records;
+}
+
+Value ParseField(const std::string& raw, ColumnType type) {
+  if (raw.empty()) return Value::Null();
+  if (type == ColumnType::kNumeric) {
+    if (IsNumber(raw)) return Value::Number(std::strtod(raw.c_str(), nullptr));
+    // Numeric column with a non-numeric token (e.g. "N.A."): treat as
+    // missing; this is exactly the paper's missing-Citations case.
+    return Value::Null();
+  }
+  return Value::String(raw);
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& text, const Schema* schema_hint) {
+  Result<std::vector<std::vector<std::string>>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  const auto& records = tokens.value();
+  if (records.empty()) return Status::ParseError("empty CSV input");
+
+  const std::vector<std::string>& header = records.front();
+  size_t ncols = header.size();
+
+  Schema schema;
+  if (schema_hint != nullptr) {
+    if (schema_hint->num_columns() != ncols) {
+      return Status::InvalidArgument("schema hint arity != CSV header arity");
+    }
+    schema = *schema_hint;
+  } else {
+    // Infer: a column is numeric when every non-empty field parses as a
+    // number (and at least one non-empty field exists).
+    std::vector<bool> numeric(ncols, true);
+    std::vector<bool> has_data(ncols, false);
+    for (size_t r = 1; r < records.size(); ++r) {
+      for (size_t c = 0; c < ncols && c < records[r].size(); ++c) {
+        const std::string& f = records[r][c];
+        if (f.empty()) continue;
+        has_data[c] = true;
+        if (!IsNumber(f)) numeric[c] = false;
+      }
+    }
+    std::vector<ColumnSpec> specs(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      specs[c].name = header[c];
+      specs[c].type = (numeric[c] && has_data[c]) ? ColumnType::kNumeric
+                                                  : ColumnType::kText;
+    }
+    schema = Schema(std::move(specs));
+  }
+
+  Table table(schema);
+  for (size_t r = 1; r < records.size(); ++r) {
+    const auto& rec = records[r];
+    if (rec.size() != ncols) {
+      return Status::ParseError(
+          StrFormat("row %zu has %zu fields, expected %zu", r, rec.size(),
+                    ncols));
+    }
+    Row row(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      row[c] = ParseField(rec[c], schema.column(c).type);
+    }
+    table.AppendRow(std::move(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema* schema_hint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsv(buf.str(), schema_hint);
+}
+
+std::string WriteCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ',';
+    out += QuoteField(schema.column(c).name);
+  }
+  out += '\n';
+  for (size_t r : table.LiveRowIds()) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out += ',';
+      out += QuoteField(table.at(r, c).ToDisplayString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << WriteCsv(table);
+  return Status::Ok();
+}
+
+}  // namespace visclean

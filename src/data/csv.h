@@ -1,0 +1,33 @@
+// RFC-4180-ish CSV reader/writer for Table.
+#ifndef VISCLEAN_DATA_CSV_H_
+#define VISCLEAN_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief Parses CSV text (first line = header) into a Table.
+///
+/// Column types come from `schema_hint` when provided; otherwise every field
+/// that parses as a number in all rows becomes kNumeric and the rest kText.
+/// Empty fields become null Values. Supports quoted fields with embedded
+/// commas, quotes ("" escape) and newlines.
+Result<Table> ReadCsv(const std::string& text,
+                      const Schema* schema_hint = nullptr);
+
+/// Reads a CSV file from disk. See ReadCsv.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const Schema* schema_hint = nullptr);
+
+/// Serializes live rows of `table` (header + data) as CSV text.
+std::string WriteCsv(const Table& table);
+
+/// Writes WriteCsv(table) to `path`.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DATA_CSV_H_

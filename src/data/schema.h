@@ -1,0 +1,47 @@
+// Column schema for Table.
+#ifndef VISCLEAN_DATA_SCHEMA_H_
+#define VISCLEAN_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace visclean {
+
+/// Declared type of a column. kCategorical columns hold strings that denote
+/// entities (venues, teams, publishers); kNumeric columns hold measures that
+/// VQL may aggregate; kText columns hold free text used only for matching.
+enum class ColumnType { kCategorical, kNumeric, kText };
+
+/// \brief One column declaration: a name and a type.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+};
+
+/// \brief Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or an error when absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True when a column with this name exists.
+  bool Contains(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DATA_SCHEMA_H_

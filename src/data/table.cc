@@ -1,0 +1,51 @@
+#include "data/table.h"
+
+namespace visclean {
+
+size_t Table::AppendRow(Row row) {
+  VC_CHECK(row.size() == schema_.num_columns(),
+           "row arity does not match schema");
+  rows_.push_back(std::move(row));
+  dead_.push_back(false);
+  return rows_.size() - 1;
+}
+
+void Table::MarkDead(size_t row) {
+  VC_CHECK(row < rows_.size(), "MarkDead: row out of range");
+  if (!dead_[row]) {
+    dead_[row] = true;
+    ++num_dead_;
+  }
+}
+
+void Table::Revive(size_t row) {
+  VC_CHECK(row < rows_.size(), "Revive: row out of range");
+  if (dead_[row]) {
+    dead_[row] = false;
+    --num_dead_;
+  }
+}
+
+void Table::Set(size_t row, size_t col, Value v) {
+  VC_CHECK(row < rows_.size(), "Set: row out of range");
+  VC_CHECK(col < schema_.num_columns(), "Set: column out of range");
+  rows_[row][col] = std::move(v);
+}
+
+Result<Value> Table::Get(size_t row, const std::string& column) const {
+  if (row >= rows_.size()) return Status::OutOfRange("row out of range");
+  Result<size_t> col = schema_.IndexOf(column);
+  if (!col.ok()) return col.status();
+  return rows_[row][col.value()];
+}
+
+std::vector<size_t> Table::LiveRowIds() const {
+  std::vector<size_t> out;
+  out.reserve(num_live_rows());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!dead_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace visclean

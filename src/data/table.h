@@ -1,0 +1,70 @@
+// In-memory relational table: the substrate every other module operates on.
+#ifndef VISCLEAN_DATA_TABLE_H_
+#define VISCLEAN_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace visclean {
+
+/// \brief One tuple; a vector of Values aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// \brief Row-oriented in-memory table.
+///
+/// Rows carry stable ids: the cleaning pipeline merges duplicates by masking
+/// rows (tombstones) rather than physically erasing them, so that the
+/// errors-and-repairs graph can keep referring to original tuple ids across
+/// iterations (Section III step 6).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a row; aborts if the arity does not match the schema.
+  /// Returns the new row's id.
+  size_t AppendRow(Row row);
+
+  /// Total number of row slots, including tombstoned rows.
+  size_t num_rows() const { return rows_.size(); }
+  /// Number of live (non-tombstoned) rows.
+  size_t num_live_rows() const { return num_rows() - num_dead_; }
+
+  /// True when the row id is masked out (merged away by deduplication).
+  bool is_dead(size_t row) const { return dead_[row]; }
+  /// Masks a row out of all subsequent scans.
+  void MarkDead(size_t row);
+  /// Un-masks a row (used by UndoLog to roll back speculative merges).
+  void Revive(size_t row);
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+  /// Overwrites one cell (repairs: imputation, outlier fix, standardization).
+  void Set(size_t row, size_t col, Value v);
+
+  /// Cell lookup by column name; error when the column is missing.
+  Result<Value> Get(size_t row, const std::string& column) const;
+
+  /// Ids of all live rows, ascending.
+  std::vector<size_t> LiveRowIds() const;
+
+  /// Deep copy (schema, rows, tombstones). The cleaning session estimates
+  /// benefits by speculatively repairing a copy (Section V-A).
+  Table Clone() const { return *this; }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> dead_;
+  size_t num_dead_ = 0;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DATA_TABLE_H_

@@ -1,0 +1,69 @@
+#include "data/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace visclean {
+
+double Value::AsNumber() const {
+  VC_CHECK(is_number(), "Value::AsNumber on non-number");
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  VC_CHECK(is_string(), "Value::AsString on non-string");
+  return std::get<std::string>(data_);
+}
+
+double Value::ToNumberOr(double fallback) const {
+  if (is_number()) return std::get<double>(data_);
+  if (is_string()) {
+    const std::string& s = std::get<std::string>(data_);
+    if (IsNumber(s)) return std::strtod(s.c_str(), nullptr);
+  }
+  return fallback;
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+    case ValueType::kNumber: {
+      double v = std::get<double>(data_);
+      // Integral values print without a decimal point so that group keys
+      // like years render as "2013", not "2013.000000".
+      if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+        return buf;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      return buf;
+    }
+  }
+  return "";
+}
+
+bool Value::operator<(const Value& other) const {
+  int ta = static_cast<int>(type());
+  int tb = static_cast<int>(other.type());
+  if (ta != tb) return ta < tb;
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kNumber:
+      return std::get<double>(data_) < std::get<double>(other.data_);
+    case ValueType::kString:
+      return std::get<std::string>(data_) < std::get<std::string>(other.data_);
+  }
+  return false;
+}
+
+}  // namespace visclean

@@ -1,0 +1,71 @@
+// Dynamically typed cell value used by Table.
+//
+// A Value is null, a double, or a string. Integer data is stored as double
+// (the VQL layer only ever aggregates numerically, matching the paper's
+// assumption that the Y-axis is numerical). Missing values — one of the four
+// error types of Section II-C — are first-class nulls.
+#ifndef VISCLEAN_DATA_VALUE_H_
+#define VISCLEAN_DATA_VALUE_H_
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace visclean {
+
+/// Runtime type of a Value.
+enum class ValueType { kNull, kNumber, kString };
+
+/// \brief A single relational cell: null, number, or string.
+///
+/// Values are small, copyable, and totally ordered (null < number < string;
+/// within a type, the natural order). Equality is exact.
+class Value {
+ public:
+  /// Null (missing) value.
+  Value() : data_(std::monostate{}) {}
+  /// Numeric value.
+  explicit Value(double number) : data_(number) {}
+  /// String value.
+  explicit Value(std::string text) : data_(std::move(text)) {}
+  explicit Value(const char* text) : data_(std::string(text)) {}
+
+  static Value Null() { return Value(); }
+  static Value Number(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    if (std::holds_alternative<std::monostate>(data_)) return ValueType::kNull;
+    if (std::holds_alternative<double>(data_)) return ValueType::kNumber;
+    return ValueType::kString;
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_number() const { return type() == ValueType::kNumber; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  /// Numeric content; aborts if not a number.
+  double AsNumber() const;
+  /// String content; aborts if not a string.
+  const std::string& AsString() const;
+
+  /// Best-effort numeric view: numbers return themselves, numeric-looking
+  /// strings are parsed, everything else (including null) yields `fallback`.
+  double ToNumberOr(double fallback) const;
+
+  /// Render for display/CSV: null -> "", number -> shortest round-trip-ish
+  /// decimal, string -> itself.
+  std::string ToDisplayString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order: null < number < string.
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<std::monostate, double, std::string> data_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DATA_VALUE_H_

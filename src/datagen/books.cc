@@ -1,0 +1,193 @@
+#include "datagen/books.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace visclean {
+
+namespace {
+
+using datagen_internal::InjectOutlier;
+using datagen_internal::InjectTypo;
+using datagen_internal::SampleDuplicateCount;
+
+struct PublisherInfo {
+  const char* canonical;
+  const char* variant1;
+};
+
+constexpr PublisherInfo kPublishers[] = {
+    {"Penguin Random House", "Penguin"},
+    {"HarperCollins", "Harper Collins Publ."},
+    {"Simon & Schuster", "Simon and Schuster"},
+    {"Hachette", "Hachette Book Group"},
+    {"Macmillan", "Macmillan Publ."},
+    {"Scholastic", "Scholastic Inc."},
+    {"Oxford University Press", "OUP"},
+    {"Cambridge University Press", "CUP"},
+    {"Springer", "Springer Verlag"},
+    {"O'Reilly", "O'Reilly Media"},
+    {"Vintage", "Vintage Books"},
+    {"Tor", "Tor Books"},
+};
+
+struct LanguageInfo {
+  const char* canonical;
+  const char* variant1;
+  const char* variant2;
+};
+
+constexpr LanguageInfo kLanguages[] = {
+    {"English", "eng", "en-US"},     {"Spanish", "spa", "es"},
+    {"French", "fre", "fr"},         {"German", "ger", "de"},
+    {"Chinese", "chi", "zh"},        {"Japanese", "jpn", "ja"},
+};
+
+constexpr const char* kGenres[] = {"Fantasy", "Mystery",  "Romance",
+                                   "SciFi",   "History",  "Biography",
+                                   "Science", "Children", "Thriller"};
+
+constexpr const char* kNameWords[] = {
+    "shadow", "river",  "garden", "night",  "crown",  "winter", "stone",
+    "fire",   "silent", "lost",   "golden", "empire", "secret", "storm",
+    "throne", "memory", "ocean",  "broken", "hidden", "ancient",
+};
+
+constexpr const char* kAuthorFirst[] = {"Alice", "Robert", "Clara", "Hugo",
+                                        "Nora",  "Victor", "Ivy",   "Leo",
+                                        "Maya",  "Oscar"};
+constexpr const char* kAuthorLast[] = {"Hartley", "Quinn",  "Mercer",
+                                       "Delgado", "Winters", "Ashford",
+                                       "Vane",    "Sterling", "Moreau",
+                                       "Kessler"};
+
+}  // namespace
+
+DirtyDataset GenerateBooks(const BooksOptions& options) {
+  Rng rng(options.seed);
+  constexpr size_t kNumSources = 2;
+
+  Schema schema({{"Name", ColumnType::kText},
+                 {"Author", ColumnType::kText},
+                 {"PubYear", ColumnType::kNumeric},
+                 {"Rating", ColumnType::kNumeric},
+                 {"NumRatings", ColumnType::kNumeric},
+                 {"Publisher", ColumnType::kCategorical},
+                 {"Language", ColumnType::kCategorical},
+                 {"Pages", ColumnType::kNumeric},
+                 {"PriceUsd", ColumnType::kNumeric},
+                 {"Genre", ColumnType::kCategorical},
+                 {"SeriesIndex", ColumnType::kNumeric},
+                 {"Editions", ColumnType::kNumeric},
+                 {"ReviewCount", ColumnType::kNumeric},
+                 {"FiveStarPct", ColumnType::kNumeric},
+                 {"OneStarPct", ColumnType::kNumeric},
+                 {"AwardCount", ColumnType::kNumeric},
+                 {"WeeksOnList", ColumnType::kNumeric}});
+
+  DirtyDataset dataset;
+  dataset.name = "books";
+  dataset.dirty = Table(schema);
+  dataset.clean = Table(schema);
+
+  const size_t publisher_col = 5;
+  const size_t language_col = 6;
+  const size_t rating_col = 3;
+  const size_t num_ratings_col = 4;
+
+  for (const PublisherInfo& p : kPublishers) {
+    dataset.canonical_of[publisher_col][p.canonical] = p.canonical;
+    dataset.canonical_of[publisher_col][p.variant1] = p.canonical;
+  }
+  for (const LanguageInfo& l : kLanguages) {
+    dataset.canonical_of[language_col][l.canonical] = l.canonical;
+    dataset.canonical_of[language_col][l.variant1] = l.canonical;
+    dataset.canonical_of[language_col][l.variant2] = l.canonical;
+  }
+
+  for (size_t entity = 0; entity < options.num_entities; ++entity) {
+    const PublisherInfo& publisher =
+        kPublishers[rng.Zipf(std::size(kPublishers), 0.9)];
+    const LanguageInfo& language =
+        kLanguages[rng.Zipf(std::size(kLanguages), 1.6)];
+
+    std::string name = "The ";
+    size_t words = static_cast<size_t>(rng.UniformInt(2, 4));
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) name += ' ';
+      name += kNameWords[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(kNameWords)) - 1)];
+    }
+
+    std::string author =
+        std::string(kAuthorFirst[rng.UniformInt(
+            0, static_cast<int64_t>(std::size(kAuthorFirst)) - 1)]) +
+        " " +
+        kAuthorLast[rng.UniformInt(
+            0, static_cast<int64_t>(std::size(kAuthorLast)) - 1)];
+
+    double rating = std::round(rng.UniformReal(2.5, 5.0) * 100) / 100;
+    double num_ratings = std::round(std::exp(rng.Gaussian(6.0, 1.8)));
+
+    Row clean_row(schema.num_columns());
+    clean_row[0] = Value::String(name);
+    clean_row[1] = Value::String(author);
+    clean_row[2] = Value::Number(std::round(rng.UniformReal(1970, 2019)));
+    clean_row[3] = Value::Number(rating);
+    clean_row[4] = Value::Number(num_ratings);
+    clean_row[5] = Value::String(publisher.canonical);
+    clean_row[6] = Value::String(language.canonical);
+    clean_row[7] = Value::Number(std::round(rng.UniformReal(120, 900)));
+    clean_row[8] = Value::Number(std::round(rng.UniformReal(5, 60) * 100) / 100);
+    clean_row[9] = Value::String(kGenres[rng.Zipf(std::size(kGenres), 0.7)]);
+    clean_row[10] = Value::Number(std::round(rng.Zipf(7, 1.5)));
+    clean_row[11] = Value::Number(std::round(rng.UniformReal(1, 15)));
+    clean_row[12] = Value::Number(std::round(num_ratings * rng.UniformReal(0.05, 0.3)));
+    clean_row[13] = Value::Number(std::round(rng.UniformReal(20, 70)));
+    clean_row[14] = Value::Number(std::round(rng.UniformReal(1, 15)));
+    clean_row[15] = Value::Number(std::round(rng.Zipf(6, 1.8)));
+    clean_row[16] = Value::Number(std::round(rng.Zipf(40, 1.1)));
+    size_t entity_id = dataset.clean.AppendRow(clean_row);
+
+    size_t copies = SampleDuplicateCount(&rng, options.duplication_mean);
+    for (size_t copy = 0; copy < copies; ++copy) {
+      int source = static_cast<int>(rng.UniformInt(0, kNumSources - 1));
+      Row row = clean_row;
+
+      row[publisher_col] = Value::String(
+          source == 0 ? publisher.canonical : publisher.variant1);
+      const char* lang_spelling =
+          source == 0 ? language.canonical
+                      : (rng.Bernoulli(0.5) ? language.variant1
+                                            : language.variant2);
+      row[language_col] = Value::String(lang_spelling);
+
+      if (rng.Bernoulli(options.errors.typo_rate)) {
+        row[0] = Value::String(InjectTypo(name, &rng));
+      }
+      if (rng.Bernoulli(options.errors.jitter_rate)) {
+        row[num_ratings_col] = Value::Number(std::round(
+            num_ratings * rng.UniformReal(0.97, 1.03)));
+      }
+
+      size_t row_id = dataset.dirty.AppendRow(row);
+      dataset.entity_of.push_back(entity_id);
+
+      // Half the injected errors hit Rating, half NumRatings.
+      size_t target = rng.Bernoulli(0.5) ? rating_col : num_ratings_col;
+      if (rng.Bernoulli(options.errors.missing_rate)) {
+        dataset.dirty.Set(row_id, target, Value::Null());
+        dataset.injected_missing.insert({row_id, target});
+      } else if (rng.Bernoulli(options.errors.outlier_rate)) {
+        double original = dataset.dirty.at(row_id, target).ToNumberOr(1.0);
+        dataset.dirty.Set(row_id, target,
+                          Value::Number(InjectOutlier(original, &rng)));
+        dataset.injected_outliers.insert({row_id, target});
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace visclean

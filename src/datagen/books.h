@@ -1,0 +1,27 @@
+// D3 "Books": ratings data from two websites. Table IV: 7,676 tuples /
+// 3,702 distinct, 9.2% missing, 2.1% outliers.
+#ifndef VISCLEAN_DATAGEN_BOOKS_H_
+#define VISCLEAN_DATAGEN_BOOKS_H_
+
+#include "datagen/generator.h"
+
+namespace visclean {
+
+/// \brief Knobs for the books generator.
+struct BooksOptions {
+  size_t num_entities = 3702;
+  /// 7,676 / 3,702 ≈ 2.07 copies per book.
+  double duplication_mean = 2.07;
+  ErrorProfile errors = {/*missing_rate=*/0.092, /*outlier_rate=*/0.021,
+                         /*jitter_rate=*/0.08, /*typo_rate=*/0.05};
+  uint64_t seed = 44;
+};
+
+/// Generates the books dataset. Publisher and Language are the categorical
+/// columns with spelling variants; Rating and NumRatings carry the missing
+/// values and outliers.
+DirtyDataset GenerateBooks(const BooksOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DATAGEN_BOOKS_H_

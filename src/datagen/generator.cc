@@ -1,0 +1,74 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace visclean {
+
+std::string DirtyDataset::CanonicalOf(size_t column,
+                                      const std::string& spelling) const {
+  auto col_it = canonical_of.find(column);
+  if (col_it == canonical_of.end()) return spelling;
+  auto it = col_it->second.find(spelling);
+  if (it == col_it->second.end()) return spelling;
+  return it->second;
+}
+
+const Value& DirtyDataset::TrueValue(size_t row, size_t column) const {
+  VC_CHECK(row < entity_of.size(), "TrueValue: row out of range");
+  return clean.at(entity_of[row], column);
+}
+
+namespace datagen_internal {
+
+size_t SampleDuplicateCount(Rng* rng, double mean) {
+  VC_CHECK(mean >= 1.0, "duplicate mean must be >= 1");
+  // 1 + Poisson-ish: sum of Bernoulli trials approximating mean-1 extras,
+  // capped to keep cluster sizes realistic (the paper's clusters are small).
+  double extras = mean - 1.0;
+  size_t count = 1;
+  // Split `extras` into whole and fractional Bernoulli parts over 8 trials.
+  for (int i = 0; i < 8; ++i) {
+    if (rng->Bernoulli(extras / 8.0)) ++count;
+  }
+  return std::min<size_t>(count, 8);
+}
+
+std::string InjectTypo(const std::string& s, Rng* rng) {
+  if (s.size() < 3) return s;
+  std::string out = s;
+  size_t pos = static_cast<size_t>(
+      rng->UniformInt(1, static_cast<int64_t>(out.size()) - 2));
+  switch (rng->UniformInt(0, 2)) {
+    case 0:  // drop a character
+      out.erase(pos, 1);
+      break;
+    case 1:  // duplicate a character
+      out.insert(pos, 1, out[pos]);
+      break;
+    default:  // swap adjacent characters
+      std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+double InjectOutlier(double value, Rng* rng) {
+  double magnitude = std::fabs(value) > 1.0 ? std::fabs(value) : 10.0;
+  // Decimal shifts cannot corrupt values near zero; force the additive error.
+  int kind = std::fabs(value) < 1.0 ? 2 : static_cast<int>(rng->UniformInt(0, 2));
+  switch (kind) {
+    case 0:  // decimal shift up (the 174 -> 1740 error of Table I)
+      return value * 10.0;
+    case 1:  // double decimal shift
+      return value * 100.0;
+    default:  // large additive error
+      return value + magnitude * static_cast<double>(rng->UniformInt(5, 20));
+  }
+}
+
+}  // namespace datagen_internal
+
+}  // namespace visclean

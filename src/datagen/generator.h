@@ -1,0 +1,87 @@
+// Synthetic dirty-dataset generation: the substitution for the paper's
+// crawled D1/D2/D3 corpora (see DESIGN.md §1).
+//
+// A generator first creates a clean ground-truth table (one row per entity),
+// then "publishes" each entity through several sources. Sources introduce
+// the paper's four error types: tuple-level duplicates (multiple rows per
+// entity), attribute-level duplicates (per-source spelling conventions for
+// categorical columns), missing values, and outliers (decimal-shift /
+// scale errors on numeric columns). Everything is recorded so a perfect
+// oracle — standing in for the crowdsourced ground truth — can answer any
+// question.
+#ifndef VISCLEAN_DATAGEN_GENERATOR_H_
+#define VISCLEAN_DATAGEN_GENERATOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief A generated dataset: the dirty table, its ground truth, and the
+/// oracle bookkeeping.
+struct DirtyDataset {
+  std::string name;   ///< "publications", "nba", "books"
+  Table dirty;        ///< what the cleaning session sees
+  Table clean;        ///< one row per entity (same schema)
+  std::vector<size_t> entity_of;  ///< dirty row -> clean row (entity id)
+
+  /// Per categorical column: variant spelling -> canonical spelling.
+  /// Two spellings denote the same attribute-level entity iff they map to
+  /// the same canonical string.
+  std::map<size_t, std::map<std::string, std::string>> canonical_of;
+
+  /// Cells where an outlier was injected.
+  std::set<std::pair<size_t, size_t>> injected_outliers;
+  /// Cells where the value was blanked out.
+  std::set<std::pair<size_t, size_t>> injected_missing;
+
+  /// Canonical spelling of `spelling` in `column` ("" when unknown —
+  /// unknown spellings are their own canonical form).
+  std::string CanonicalOf(size_t column, const std::string& spelling) const;
+
+  /// Ground-truth value of (dirty row, column): the clean entity's cell.
+  const Value& TrueValue(size_t row, size_t column) const;
+
+  /// True iff the two dirty rows describe the same entity.
+  bool SameEntity(size_t row_a, size_t row_b) const {
+    return entity_of[row_a] == entity_of[row_b];
+  }
+};
+
+/// \brief Error-injection knobs shared by all three generators. Defaults
+/// reproduce the Table IV statistics of each dataset when combined with the
+/// per-dataset duplication factors.
+struct ErrorProfile {
+  double missing_rate = 0.10;   ///< P(blank a measure cell)
+  double outlier_rate = 0.015;  ///< P(corrupt a measure cell)
+  /// P(a duplicate's measure differs legitimately by a small amount — the
+  /// "42 vs 44" effect of the paper's ground truth).
+  double jitter_rate = 0.10;
+  /// P(a typo is introduced into a text cell of a duplicate).
+  double typo_rate = 0.05;
+};
+
+/// Shared helpers for the concrete generators (internal use).
+namespace datagen_internal {
+
+/// Duplicate-count sampler: 1 + Binomial-ish spread around `mean - 1`.
+size_t SampleDuplicateCount(Rng* rng, double mean);
+
+/// Applies a random small typo (drop/duplicate/swap one character).
+std::string InjectTypo(const std::string& s, Rng* rng);
+
+/// Corrupts `value` like a data-entry error: decimal shift (x10, x100) or
+/// sign-magnitude noise; always returns something far from `value`.
+double InjectOutlier(double value, Rng* rng);
+
+}  // namespace datagen_internal
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DATAGEN_GENERATOR_H_

@@ -1,0 +1,171 @@
+#include "datagen/nba.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace visclean {
+
+namespace {
+
+using datagen_internal::InjectOutlier;
+using datagen_internal::InjectTypo;
+using datagen_internal::SampleDuplicateCount;
+
+struct TeamInfo {
+  const char* canonical;
+  const char* variant1;
+  const char* variant2;
+};
+
+constexpr TeamInfo kTeams[] = {
+    {"Los Angeles Lakers", "LA Lakers", "Lakers"},
+    {"Golden State Warriors", "GS Warriors", "Warriors"},
+    {"Boston Celtics", "Celtics", "Boston"},
+    {"Chicago Bulls", "Bulls", "Chicago"},
+    {"Miami Heat", "Heat", "Miami"},
+    {"San Antonio Spurs", "SA Spurs", "Spurs"},
+    {"Houston Rockets", "Rockets", "Houston"},
+    {"New York Knicks", "NY Knicks", "Knicks"},
+    {"Toronto Raptors", "Raptors", "Toronto"},
+    {"Dallas Mavericks", "Mavericks", "Dallas Mavs"},
+    {"Phoenix Suns", "Suns", "Phoenix"},
+    {"Denver Nuggets", "Nuggets", "Denver"},
+    {"Milwaukee Bucks", "Bucks", "Milwaukee"},
+    {"Philadelphia 76ers", "Sixers", "Philadelphia"},
+    {"Utah Jazz", "Jazz", "Utah"},
+};
+
+constexpr const char* kPositions[] = {"Guard", "Forward", "Center",
+                                      "Point Guard", "Shooting Guard",
+                                      "Small Forward", "Power Forward"};
+
+constexpr const char* kNations[] = {"USA",    "Canada", "France", "Spain",
+                                    "Serbia", "Australia", "Germany",
+                                    "Nigeria", "Greece", "Slovenia"};
+
+constexpr const char* kUniversities[] = {
+    "Duke", "Kentucky", "UCLA", "Kansas", "North Carolina", "Gonzaga",
+    "Michigan State", "Arizona", "Villanova", "None (International)"};
+
+constexpr const char* kFirstNames[] = {
+    "Marcus", "Jalen", "Tyler",  "Devin", "Andre", "Chris", "Kevin",
+    "Jordan", "Malik", "Trevor", "Isaiah", "Damian", "Luka", "Nikola",
+};
+
+constexpr const char* kLastNames[] = {
+    "Johnson", "Williams", "Davis",  "Thompson", "Mitchell", "Brooks",
+    "Murray",  "Porter",   "Turner", "Grant",    "Allen",    "Young",
+    "Jokanovic", "Doncevic",
+};
+
+}  // namespace
+
+DirtyDataset GenerateNba(const NbaOptions& options) {
+  Rng rng(options.seed);
+  constexpr size_t kNumSources = 3;
+
+  Schema schema({{"Player", ColumnType::kText},
+                 {"Position", ColumnType::kCategorical},
+                 {"Team", ColumnType::kCategorical},
+                 {"Nationality", ColumnType::kCategorical},
+                 {"Univ", ColumnType::kCategorical},
+                 {"Games", ColumnType::kNumeric},
+                 {"Points", ColumnType::kNumeric},
+                 {"Rebounds", ColumnType::kNumeric},
+                 {"Assists", ColumnType::kNumeric},
+                 {"Steals", ColumnType::kNumeric},
+                 {"Blocks", ColumnType::kNumeric},
+                 {"HeightCm", ColumnType::kNumeric},
+                 {"WeightKg", ColumnType::kNumeric},
+                 {"BirthYear", ColumnType::kNumeric},
+                 {"Seasons", ColumnType::kNumeric},
+                 {"AllStarSelections", ColumnType::kNumeric},
+                 {"SalaryM", ColumnType::kNumeric}});
+
+  DirtyDataset dataset;
+  dataset.name = "nba";
+  dataset.dirty = Table(schema);
+  dataset.clean = Table(schema);
+
+  const size_t team_col = 2;
+  const size_t points_col = 6;
+
+  for (const TeamInfo& t : kTeams) {
+    dataset.canonical_of[team_col][t.canonical] = t.canonical;
+    dataset.canonical_of[team_col][t.variant1] = t.canonical;
+    dataset.canonical_of[team_col][t.variant2] = t.canonical;
+  }
+
+  for (size_t entity = 0; entity < options.num_entities; ++entity) {
+    const TeamInfo& team = kTeams[rng.Zipf(std::size(kTeams), 0.5)];
+    std::string player =
+        std::string(kFirstNames[rng.UniformInt(
+            0, static_cast<int64_t>(std::size(kFirstNames)) - 1)]) +
+        " " +
+        kLastNames[rng.UniformInt(
+            0, static_cast<int64_t>(std::size(kLastNames)) - 1)];
+
+    double games = std::round(rng.UniformReal(20, 82));
+    double points = std::round(games * rng.UniformReal(2.0, 30.0));
+    double rebounds = std::round(games * rng.UniformReal(1.0, 12.0));
+    double assists = std::round(games * rng.UniformReal(0.5, 10.0));
+
+    Row clean_row(schema.num_columns());
+    clean_row[0] = Value::String(player);
+    clean_row[1] = Value::String(kPositions[rng.UniformInt(
+        0, static_cast<int64_t>(std::size(kPositions)) - 1)]);
+    clean_row[2] = Value::String(team.canonical);
+    clean_row[3] = Value::String(kNations[rng.Zipf(std::size(kNations), 1.2)]);
+    clean_row[4] = Value::String(kUniversities[rng.UniformInt(
+        0, static_cast<int64_t>(std::size(kUniversities)) - 1)]);
+    clean_row[5] = Value::Number(games);
+    clean_row[6] = Value::Number(points);
+    clean_row[7] = Value::Number(rebounds);
+    clean_row[8] = Value::Number(assists);
+    clean_row[9] = Value::Number(std::round(games * rng.UniformReal(0.2, 2.5)));
+    clean_row[10] = Value::Number(std::round(games * rng.UniformReal(0.1, 2.0)));
+    clean_row[11] = Value::Number(std::round(rng.UniformReal(175, 225)));
+    clean_row[12] = Value::Number(std::round(rng.UniformReal(75, 135)));
+    clean_row[13] = Value::Number(std::round(rng.UniformReal(1975, 2002)));
+    clean_row[14] = Value::Number(std::round(rng.UniformReal(1, 20)));
+    clean_row[15] = Value::Number(std::round(rng.Zipf(15, 1.5)));
+    clean_row[16] = Value::Number(std::round(rng.UniformReal(1, 45)));
+    size_t entity_id = dataset.clean.AppendRow(clean_row);
+
+    size_t copies = SampleDuplicateCount(&rng, options.duplication_mean);
+    for (size_t copy = 0; copy < copies; ++copy) {
+      int source = static_cast<int>(rng.UniformInt(0, kNumSources - 1));
+      Row row = clean_row;
+
+      const char* team_spelling =
+          source == 0 ? team.canonical
+                      : (source == 1 ? team.variant1 : team.variant2);
+      row[team_col] = Value::String(team_spelling);
+
+      if (rng.Bernoulli(options.errors.typo_rate)) {
+        row[0] = Value::String(InjectTypo(player, &rng));
+      }
+      if (rng.Bernoulli(options.errors.jitter_rate)) {
+        row[points_col] = Value::Number(
+            points + std::round(points * rng.UniformReal(-0.02, 0.02)));
+      }
+
+      size_t row_id = dataset.dirty.AppendRow(row);
+      dataset.entity_of.push_back(entity_id);
+
+      if (rng.Bernoulli(options.errors.missing_rate)) {
+        dataset.dirty.Set(row_id, points_col, Value::Null());
+        dataset.injected_missing.insert({row_id, points_col});
+      } else if (rng.Bernoulli(options.errors.outlier_rate)) {
+        double bad = InjectOutlier(
+            dataset.dirty.at(row_id, points_col).ToNumberOr(points), &rng);
+        dataset.dirty.Set(row_id, points_col, Value::Number(bad));
+        dataset.injected_outliers.insert({row_id, points_col});
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace visclean

@@ -1,0 +1,27 @@
+// D2 "NBA Players": 17 attributes per record, three source communities.
+// Table IV: 13,486 tuples / 4,644 distinct, 8.2% missing, 1.3% outliers.
+#ifndef VISCLEAN_DATAGEN_NBA_H_
+#define VISCLEAN_DATAGEN_NBA_H_
+
+#include "datagen/generator.h"
+
+namespace visclean {
+
+/// \brief Knobs for the NBA generator.
+struct NbaOptions {
+  size_t num_entities = 4644;
+  /// 13,486 / 4,644 ≈ 2.90 copies per player.
+  double duplication_mean = 2.90;
+  ErrorProfile errors = {/*missing_rate=*/0.082, /*outlier_rate=*/0.013,
+                         /*jitter_rate=*/0.08, /*typo_rate=*/0.04};
+  uint64_t seed = 43;
+};
+
+/// Generates the NBA players dataset. Team is the categorical column with
+/// spelling variants ("LA Lakers" / "Los Angeles Lakers" / "Lakers");
+/// #Points carries the missing values and outliers.
+DirtyDataset GenerateNba(const NbaOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DATAGEN_NBA_H_

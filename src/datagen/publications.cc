@@ -1,0 +1,282 @@
+#include "datagen/publications.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace visclean {
+
+namespace {
+
+using datagen_internal::InjectOutlier;
+using datagen_internal::InjectTypo;
+using datagen_internal::SampleDuplicateCount;
+
+struct VenueInfo {
+  const char* canonical;
+  const char* org;        // "ACM", "IEEE", ...
+  const char* full_name;  // long form ("Very Large Data Bases")
+};
+
+constexpr VenueInfo kVenues[] = {
+    {"SIGMOD", "ACM", "Int. Conference on Management of Data"},
+    {"VLDB", "VLDB Endowment", "Very Large Data Bases"},
+    {"ICDE", "IEEE", "Int. Conference on Data Engineering"},
+    {"PODS", "ACM", "Principles of Database Systems"},
+    {"KDD", "ACM", "Knowledge Discovery and Data Mining"},
+    {"EDBT", "OpenProceedings", "Extending Database Technology"},
+    {"CIKM", "ACM", "Conference on Information and Knowledge Management"},
+    {"ICDT", "OpenProceedings", "Int. Conference on Database Theory"},
+    {"SIGIR", "ACM", "Research and Development in Information Retrieval"},
+    {"WWW", "ACM", "The Web Conference"},
+    {"TODS", "ACM", "Transactions on Database Systems"},
+    {"VLDBJ", "Springer", "The VLDB Journal"},
+    {"TKDE", "IEEE", "Transactions on Knowledge and Data Engineering"},
+    {"SoCC", "ACM", "Symposium on Cloud Computing"},
+    {"DASFAA", "Springer", "Database Systems for Advanced Applications"},
+};
+
+struct AffiliationInfo {
+  const char* canonical;
+  const char* variant1;
+  const char* variant2;
+};
+
+constexpr AffiliationInfo kAffiliations[] = {
+    {"Tsinghua University", "Tsinghua Univ.", "THU"},
+    {"Stanford University", "Stanford Univ.", "Stanford"},
+    {"MIT", "Massachusetts Institute of Technology", "MIT CSAIL"},
+    {"UC Berkeley", "University of California Berkeley", "Berkeley"},
+    {"CMU", "Carnegie Mellon University", "Carnegie Mellon"},
+    {"NUS", "National University of Singapore", "CS@NUS"},
+    {"QCRI", "Qatar Computing Research Institute", "QCRI, HBKU"},
+    {"Microsoft Research", "Microsoft", "MSR"},
+    {"Google", "Google Research", "Google Inc."},
+    {"IBM Research", "IBM", "IBM Almaden"},
+    {"University of Washington", "UW", "Univ. of Washington"},
+    {"ETH Zurich", "ETH", "ETH Zürich"},
+    {"EPFL", "EPF Lausanne", "EPFL Switzerland"},
+    {"HKUST", "Hong Kong UST", "Hong Kong University of Science and Technology"},
+    {"Peking University", "PKU", "Peking Univ."},
+    {"University of Wisconsin", "UW-Madison", "Wisconsin"},
+    {"Oracle", "Oracle Labs", "Oracle Corp."},
+    {"AT&T Labs", "AT&T", "AT&T Research"},
+    {"Alibaba", "Alibaba Group", "Alibaba DAMO"},
+    {"Duke University", "Duke", "Duke Univ."},
+};
+
+constexpr const char* kTitleWords[] = {
+    "adaptive",   "approximate", "scalable",  "distributed", "efficient",
+    "interactive","progressive", "robust",    "streaming",   "parallel",
+    "query",      "join",        "index",     "transaction", "graph",
+    "learning",   "cleaning",    "matching",  "sampling",    "caching",
+    "storage",    "processing",  "execution", "optimization","visualization",
+    "analytics",  "integration", "discovery", "exploration", "compression",
+    "partitioning","replication","recovery",  "consistency", "concurrency",
+    "crowdsourcing","deduplication","imputation","profiling", "provenance",
+    "incremental","federated",   "secure",    "private",     "verifiable",
+    "columnar",   "vectorized",  "compiled",  "declarative", "reactive",
+    "temporal",   "spatial",     "textual",   "relational",  "hierarchical",
+    "probabilistic","statistical","neural",   "symbolic",    "hybrid",
+    "workload",   "benchmark",   "scheduler", "optimizer",   "planner",
+    "catalog",    "lineage",     "schema",    "predicate",   "operator",
+    "window",     "stream",      "batch",     "snapshot",    "replica",
+    "shard",      "partition",   "cluster",   "tenant",      "container",
+    "embedding",  "summarization","ranking",  "filtering",   "labeling",
+    "annotation", "curation",    "validation","normalization","extraction",
+    "keyword",    "semantic",    "syntactic", "structural",  "logical",
+    "physical",   "virtual",     "elastic",   "serverless",  "transactional",
+    "analytical", "operational", "versioned", "encrypted",   "compressed",
+    "buffered",   "pipelined",   "speculative","lazy",        "eager",
+    "bounded",    "unbounded",   "ordered",   "skewed",      "sparse",
+    "dense",      "uniform",     "dynamic",   "static",      "online",
+};
+
+constexpr const char* kFirstNames[] = {
+    "Wei",   "Ming", "Sarah", "James", "Elena", "Rahul", "Yuki",  "Anna",
+    "David", "Li",   "Omar",  "Grace", "Peter", "Nadia", "Chen",  "Maria",
+};
+
+constexpr const char* kLastNames[] = {
+    "Zhang", "Li",     "Smith",  "Garcia", "Kumar", "Tanaka", "Mueller",
+    "Wang",  "Chen",   "Brown",  "Silva",  "Ivanov", "Kim",   "Singh",
+    "Lopez", "Novak",
+};
+
+// Renders the venue spelling a given source uses for (venue, year).
+std::string VenueVariant(const VenueInfo& venue, int year, int source,
+                         Rng* rng) {
+  switch (source) {
+    case 0:
+      return venue.canonical;
+    case 1:
+      return std::string(venue.org) + " " + venue.canonical;
+    case 2:
+      return std::string(venue.canonical) + " Conf.";
+    case 3:
+      return StrFormat("%s'%02d", venue.canonical, year % 100);
+    case 4:
+      return venue.full_name;
+    default:
+      // Mixed long form, occasionally with the year appended.
+      if (rng->Bernoulli(0.5)) {
+        return StrFormat("%s %s %d", venue.org, venue.canonical, year);
+      }
+      return std::string("Proc. ") + venue.canonical;
+  }
+}
+
+std::string AffiliationVariant(const AffiliationInfo& info, int source) {
+  switch (source % 3) {
+    case 0:
+      return info.canonical;
+    case 1:
+      return info.variant1;
+    default:
+      return info.variant2;
+  }
+}
+
+}  // namespace
+
+DirtyDataset GeneratePublications(const PublicationsOptions& options) {
+  Rng rng(options.seed);
+  constexpr size_t kNumSources = 6;
+
+  Schema schema({{"Title", ColumnType::kText},
+                 {"Authors", ColumnType::kText},
+                 {"Affiliation", ColumnType::kCategorical},
+                 {"Venue", ColumnType::kCategorical},
+                 {"Year", ColumnType::kNumeric},
+                 {"Citations", ColumnType::kNumeric}});
+
+  DirtyDataset dataset;
+  dataset.name = "publications";
+  dataset.dirty = Table(schema);
+  dataset.clean = Table(schema);
+
+  const size_t venue_col = 3;
+  const size_t year_col = 4;
+  const size_t citations_col = 5;
+  const size_t affiliation_col = 2;
+  (void)year_col;
+
+  const size_t num_venues = std::size(kVenues);
+  const size_t num_affils = std::size(kAffiliations);
+
+  // Register the canonical maps for the categorical columns up front;
+  // year-stamped venue variants are registered as they appear.
+  auto register_variant = [&](size_t col, const std::string& variant,
+                              const std::string& canonical) {
+    dataset.canonical_of[col][variant] = canonical;
+  };
+  for (const VenueInfo& v : kVenues) {
+    register_variant(venue_col, v.canonical, v.canonical);
+  }
+  for (const AffiliationInfo& a : kAffiliations) {
+    register_variant(affiliation_col, a.canonical, a.canonical);
+    register_variant(affiliation_col, a.variant1, a.canonical);
+    register_variant(affiliation_col, a.variant2, a.canonical);
+  }
+
+  std::string prev_title, prev_authors;
+  int prev_year = 2000;
+  for (size_t entity = 0; entity < options.num_entities; ++entity) {
+    // --- Clean entity ---
+    const VenueInfo& venue = kVenues[rng.Zipf(num_venues, 1.0)];
+    const AffiliationInfo& affiliation =
+        kAffiliations[rng.Zipf(num_affils, 0.8)];
+    int year = static_cast<int>(2019 - rng.Zipf(30, 0.6));
+    double citations =
+        std::round(std::exp(rng.Gaussian(3.3, 1.4)));
+    if (citations < 0) citations = 0;
+
+    std::string title;
+    std::string authors;
+    bool is_twin = entity > 0 && rng.Bernoulli(options.twin_rate);
+    if (is_twin) {
+      // Extended journal version of the previous paper: same title and
+      // author list, different venue and a slightly later year. A distinct
+      // entity that looks almost identical to the EM model — the genuinely
+      // uncertain pairs only a user can resolve.
+      constexpr const char* kTwinSuffix[] = {"revisited", "extended",
+                                             "journal edition", "a study"};
+      title = prev_title + " " +
+              kTwinSuffix[rng.UniformInt(
+                  0, static_cast<int64_t>(std::size(kTwinSuffix)) - 1)];
+      authors = prev_authors;
+      year = std::min(2019, prev_year + static_cast<int>(rng.UniformInt(1, 3)));
+    } else {
+      size_t title_len = static_cast<size_t>(rng.UniformInt(3, 6));
+      for (size_t w = 0; w < title_len; ++w) {
+        if (w > 0) title += ' ';
+        title += kTitleWords[rng.UniformInt(
+            0, static_cast<int64_t>(std::size(kTitleWords)) - 1)];
+      }
+      size_t num_authors = static_cast<size_t>(rng.UniformInt(1, 4));
+      for (size_t a = 0; a < num_authors; ++a) {
+        if (a > 0) authors += ", ";
+        authors += kFirstNames[rng.UniformInt(
+            0, static_cast<int64_t>(std::size(kFirstNames)) - 1)];
+        authors += ' ';
+        authors += kLastNames[rng.UniformInt(
+            0, static_cast<int64_t>(std::size(kLastNames)) - 1)];
+      }
+    }
+    prev_title = title;
+    prev_authors = authors;
+    prev_year = year;
+
+    Row clean_row(schema.num_columns());
+    clean_row[0] = Value::String(title);
+    clean_row[1] = Value::String(authors);
+    clean_row[2] = Value::String(affiliation.canonical);
+    clean_row[3] = Value::String(venue.canonical);
+    clean_row[4] = Value::Number(year);
+    clean_row[5] = Value::Number(citations);
+    size_t entity_id = dataset.clean.AppendRow(clean_row);
+
+    // --- Dirty copies ---
+    size_t copies = SampleDuplicateCount(&rng, options.duplication_mean);
+    for (size_t copy = 0; copy < copies; ++copy) {
+      int source = static_cast<int>(rng.UniformInt(0, kNumSources - 1));
+      Row row = clean_row;
+
+      std::string venue_spelling = VenueVariant(venue, year, source, &rng);
+      register_variant(venue_col, venue_spelling, venue.canonical);
+      row[venue_col] = Value::String(venue_spelling);
+
+      row[affiliation_col] =
+          Value::String(AffiliationVariant(affiliation, source));
+
+      if (rng.Bernoulli(options.errors.typo_rate)) {
+        row[0] = Value::String(InjectTypo(title, &rng));
+      }
+
+      // Legitimate small disagreement between sources (42 vs 44).
+      if (rng.Bernoulli(options.errors.jitter_rate) && citations > 10) {
+        double jitter = std::round(
+            citations * rng.UniformReal(-0.03, 0.03));
+        row[citations_col] = Value::Number(citations + jitter);
+      }
+
+      size_t row_id = dataset.dirty.AppendRow(row);
+      dataset.entity_of.push_back(entity_id);
+
+      // Injected errors on the measure column.
+      if (rng.Bernoulli(options.errors.missing_rate)) {
+        dataset.dirty.Set(row_id, citations_col, Value::Null());
+        dataset.injected_missing.insert({row_id, citations_col});
+      } else if (rng.Bernoulli(options.errors.outlier_rate)) {
+        double bad = InjectOutlier(
+            dataset.dirty.at(row_id, citations_col).ToNumberOr(citations),
+            &rng);
+        dataset.dirty.Set(row_id, citations_col, Value::Number(bad));
+        dataset.injected_outliers.insert({row_id, citations_col});
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace visclean

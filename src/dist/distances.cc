@@ -1,0 +1,70 @@
+#include "dist/distances.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "dist/emd.h"
+
+namespace visclean {
+
+namespace {
+
+// Union of x labels -> (normalized mass in a, normalized mass in b).
+std::vector<std::pair<double, double>> AlignByX(const VisData& a,
+                                                const VisData& b) {
+  std::map<std::string, std::pair<double, double>> merged;
+  std::vector<double> na = a.NormalizedY();
+  std::vector<double> nb = b.NormalizedY();
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    merged[a.points[i].x].first += na[i];
+  }
+  for (size_t j = 0; j < b.points.size(); ++j) {
+    merged[b.points[j].x].second += nb[j];
+  }
+  std::vector<std::pair<double, double>> out;
+  out.reserve(merged.size());
+  for (const auto& [x, pq] : merged) out.push_back(pq);
+  return out;
+}
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+double EuclideanDistance(const VisData& a, const VisData& b) {
+  double sum = 0.0;
+  for (const auto& [p, q] : AlignByX(a, b)) {
+    sum += (p - q) * (p - q);
+  }
+  return std::sqrt(sum);
+}
+
+double KlDivergence(const VisData& a, const VisData& b) {
+  double kl = 0.0;
+  for (const auto& [p, q] : AlignByX(a, b)) {
+    double ps = p + kEps, qs = q + kEps;
+    kl += ps * std::log(ps / qs);
+  }
+  return kl < 0 ? 0.0 : kl;
+}
+
+double JsDivergence(const VisData& a, const VisData& b) {
+  double js = 0.0;
+  for (const auto& [p, q] : AlignByX(a, b)) {
+    double ps = p + kEps, qs = q + kEps;
+    double m = 0.5 * (ps + qs);
+    js += 0.5 * ps * std::log(ps / m) + 0.5 * qs * std::log(qs / m);
+  }
+  return js < 0 ? 0.0 : js;
+}
+
+VisDistanceFn DistanceByName(const std::string& name) {
+  if (name == "euclidean") return EuclideanDistance;
+  if (name == "kl") return KlDivergence;
+  if (name == "js") return JsDivergence;
+  return [](const VisData& a, const VisData& b) { return EmdDistance(a, b); };
+}
+
+}  // namespace visclean

@@ -1,0 +1,35 @@
+// Alternative visualization distance functions (Section II-B mentions
+// Euclidean, Kullback-Leibler, Jensen-Shannon as drop-in replacements for
+// EMD). These align the two visualizations by x label — a bar present on one
+// side only contributes mass against zero — then compare the normalized
+// distributions.
+#ifndef VISCLEAN_DIST_DISTANCES_H_
+#define VISCLEAN_DIST_DISTANCES_H_
+
+#include <functional>
+#include <string>
+
+#include "dist/vis_data.h"
+
+namespace visclean {
+
+/// Signature shared by all visualization distance functions.
+using VisDistanceFn = std::function<double(const VisData&, const VisData&)>;
+
+/// L2 distance between the x-aligned normalized distributions.
+double EuclideanDistance(const VisData& a, const VisData& b);
+
+/// Smoothed KL divergence KL(a || b) over x-aligned distributions
+/// (epsilon-smoothing avoids infinities when a bar is missing on one side).
+double KlDivergence(const VisData& a, const VisData& b);
+
+/// Jensen-Shannon divergence (symmetric, bounded by ln 2).
+double JsDivergence(const VisData& a, const VisData& b);
+
+/// Looks up a distance by name: "emd", "euclidean", "kl", "js".
+/// Unknown names fall back to EMD.
+VisDistanceFn DistanceByName(const std::string& name);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DIST_DISTANCES_H_

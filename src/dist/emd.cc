@@ -1,0 +1,231 @@
+#include "dist/emd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+namespace visclean {
+
+namespace {
+
+// Normalizes weights to sum 1; uniform when the sum is not positive.
+std::vector<double> NormalizeWeights(const std::vector<double>& w) {
+  std::vector<double> out(w.size(), 0.0);
+  double total = 0.0;
+  for (double x : w) total += x;
+  if (total <= 0.0 || !std::isfinite(total)) {
+    if (!w.empty()) {
+      std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(w.size()));
+    }
+    return out;
+  }
+  for (size_t i = 0; i < w.size(); ++i) out[i] = w[i] / total;
+  return out;
+}
+
+}  // namespace
+
+double Emd1D(const std::vector<double>& positions_a,
+             const std::vector<double>& weights_a,
+             const std::vector<double>& positions_b,
+             const std::vector<double>& weights_b) {
+  VC_CHECK(positions_a.size() == weights_a.size(), "Emd1D: size mismatch (a)");
+  VC_CHECK(positions_b.size() == weights_b.size(), "Emd1D: size mismatch (b)");
+  if (positions_a.empty() && positions_b.empty()) return 0.0;
+  if (positions_a.empty() || positions_b.empty()) {
+    // One side has no mass at all; by convention (matching Eq. 3 where the
+    // shippable flow is 0) the distance is 0. Callers compare non-empty
+    // visualizations in practice.
+    return 0.0;
+  }
+
+  std::vector<double> wa = NormalizeWeights(weights_a);
+  std::vector<double> wb = NormalizeWeights(weights_b);
+
+  // Event list: (position, +mass into A's CDF, +mass into B's CDF).
+  struct Event {
+    double pos;
+    double da;
+    double db;
+  };
+  std::vector<Event> events;
+  events.reserve(wa.size() + wb.size());
+  for (size_t i = 0; i < wa.size(); ++i)
+    events.push_back({positions_a[i], wa[i], 0.0});
+  for (size_t j = 0; j < wb.size(); ++j)
+    events.push_back({positions_b[j], 0.0, wb[j]});
+  std::sort(events.begin(), events.end(),
+            [](const Event& x, const Event& y) { return x.pos < y.pos; });
+
+  // EMD in 1-D equals the integral of |F_a(t) - F_b(t)| dt.
+  double emd = 0.0;
+  double cdf_a = 0.0, cdf_b = 0.0;
+  for (size_t i = 0; i + 1 <= events.size(); ++i) {
+    cdf_a += events[i].da;
+    cdf_b += events[i].db;
+    if (i + 1 < events.size()) {
+      double gap = events[i + 1].pos - events[i].pos;
+      emd += std::fabs(cdf_a - cdf_b) * gap;
+    }
+  }
+  return emd;
+}
+
+double EmdDistance(const VisData& a, const VisData& b) {
+  std::vector<double> pa = a.NormalizedY();
+  std::vector<double> pb = b.NormalizedY();
+  // Positions and masses coincide: delta_ij = |d_i(y) - d'_j(y)| with
+  // normalized y on both axes of the ground space.
+  return Emd1D(pa, pa, pb, pb);
+}
+
+Result<TransportResult> SolveTransportation(
+    const std::vector<double>& supplies, const std::vector<double>& demands,
+    const std::vector<std::vector<double>>& cost) {
+  const size_t m = supplies.size();
+  const size_t n = demands.size();
+  if (cost.size() != m) {
+    return Status::InvalidArgument("cost rows != #supplies");
+  }
+  for (const auto& row : cost) {
+    if (row.size() != n) return Status::InvalidArgument("cost cols != #demands");
+  }
+  for (double s : supplies) {
+    if (s < 0) return Status::InvalidArgument("negative supply");
+  }
+  for (double d : demands) {
+    if (d < 0) return Status::InvalidArgument("negative demand");
+  }
+
+  // Scale masses to integers for an exact min-cost-flow solve.
+  constexpr double kScale = 1e9;
+  auto to_int = [](double v) {
+    return static_cast<int64_t>(std::llround(v * kScale));
+  };
+
+  // Successive-shortest-path min-cost flow.
+  const size_t source = m + n;
+  const size_t sink = m + n + 1;
+  const size_t num_nodes = m + n + 2;
+
+  struct Edge {
+    size_t to;
+    int64_t cap;
+    double cost;
+    size_t rev;  // index of reverse edge in graph[to]
+  };
+  std::vector<std::vector<Edge>> graph(num_nodes);
+  auto add_edge = [&](size_t from, size_t to, int64_t cap, double c) {
+    graph[from].push_back({to, cap, c, graph[to].size()});
+    graph[to].push_back({from, 0, -c, graph[from].size() - 1});
+  };
+
+  int64_t total_supply = 0, total_demand = 0;
+  for (size_t i = 0; i < m; ++i) {
+    int64_t s = to_int(supplies[i]);
+    total_supply += s;
+    add_edge(source, i, s, 0.0);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    int64_t d = to_int(demands[j]);
+    total_demand += d;
+    add_edge(m + j, sink, d, 0.0);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      add_edge(i, m + j, std::numeric_limits<int64_t>::max() / 4, cost[i][j]);
+    }
+  }
+
+  int64_t need = std::min(total_supply, total_demand);
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> potential(num_nodes, 0.0);
+  // Costs may be negative in general; one Bellman-Ford pass initializes
+  // potentials so Dijkstra works afterwards.
+  {
+    std::vector<double> dist(num_nodes, kInf);
+    dist[source] = 0.0;
+    for (size_t iter = 0; iter + 1 < num_nodes; ++iter) {
+      bool changed = false;
+      for (size_t u = 0; u < num_nodes; ++u) {
+        if (dist[u] == kInf) continue;
+        for (const Edge& e : graph[u]) {
+          if (e.cap > 0 && dist[u] + e.cost < dist[e.to] - 1e-15) {
+            dist[e.to] = dist[u] + e.cost;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    for (size_t u = 0; u < num_nodes; ++u) {
+      if (dist[u] < kInf) potential[u] = dist[u];
+    }
+  }
+
+  int64_t flow_sent = 0;
+  double total_cost = 0.0;
+  std::vector<double> dist(num_nodes);
+  std::vector<size_t> prev_node(num_nodes), prev_edge(num_nodes);
+  while (flow_sent < need) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[source] = 0.0;
+    using Item = std::pair<double, size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    pq.push({0.0, source});
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u] + 1e-15) continue;
+      for (size_t k = 0; k < graph[u].size(); ++k) {
+        const Edge& e = graph[u][k];
+        if (e.cap <= 0) continue;
+        double nd = dist[u] + e.cost + potential[u] - potential[e.to];
+        if (nd < dist[e.to] - 1e-15) {
+          dist[e.to] = nd;
+          prev_node[e.to] = u;
+          prev_edge[e.to] = k;
+          pq.push({nd, e.to});
+        }
+      }
+    }
+    if (dist[sink] == kInf) break;  // no more augmenting paths
+    for (size_t u = 0; u < num_nodes; ++u) {
+      if (dist[u] < kInf) potential[u] += dist[u];
+    }
+    // Bottleneck along the path.
+    int64_t push = need - flow_sent;
+    for (size_t v = sink; v != source; v = prev_node[v]) {
+      push = std::min(push, graph[prev_node[v]][prev_edge[v]].cap);
+    }
+    for (size_t v = sink; v != source; v = prev_node[v]) {
+      Edge& e = graph[prev_node[v]][prev_edge[v]];
+      e.cap -= push;
+      graph[v][e.rev].cap += push;
+      total_cost += e.cost * static_cast<double>(push);
+    }
+    flow_sent += push;
+  }
+
+  TransportResult result;
+  result.cost = total_cost / kScale;
+  result.total_flow = static_cast<double>(flow_sent) / kScale;
+  result.flow.assign(m, std::vector<double>(n, 0.0));
+  // Recover f_ij from the residual reverse edges (demand -> supply).
+  for (size_t i = 0; i < m; ++i) {
+    for (const Edge& e : graph[i]) {
+      if (e.to >= m && e.to < m + n) {
+        int64_t shipped = graph[e.to][e.rev].cap;  // reverse cap == flow
+        // Only count edges whose reverse we created (cost >= 0 edge pairs
+        // share this structure); shipped is 0 for untouched edges.
+        result.flow[i][e.to - m] += static_cast<double>(shipped) / kScale;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace visclean

@@ -1,0 +1,59 @@
+// Earth Mover's Distance between visualizations (Section II-B, Eqs. 1-4).
+//
+// The paper normalizes both y-series into probability distributions and uses
+// delta_ij = |d_i(y) - d'_j(y)| as the ground distance, i.e. the optimal
+// transport cost between two 1-D point clouds whose positions and masses are
+// both the normalized y values. Two solvers are provided:
+//
+//  * Emd1D        — exact closed form via the CDF integral, O(m log m + n
+//                   log n); this exploits that the ground space is the real
+//                   line, where optimal transport is monotone.
+//  * SolveTransportation — exact general solver (successive-shortest-path
+//                   min-cost flow on scaled integer masses); works for any
+//                   cost matrix and is used to cross-validate Emd1D in tests.
+#ifndef VISCLEAN_DIST_EMD_H_
+#define VISCLEAN_DIST_EMD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dist/vis_data.h"
+
+namespace visclean {
+
+/// \brief EMD between two visualizations exactly as Eq. 4 defines it:
+/// normalize both y-series to distributions, ground distance
+/// |d_i(y) - d'_j(y)|, divided by total shipped flow (= 1 after
+/// normalization). Returns 0 for two empty visualizations.
+double EmdDistance(const VisData& a, const VisData& b);
+
+/// \brief Exact 1-D EMD between weighted point clouds.
+///
+/// `positions_*` are locations on the real line, `weights_*` nonnegative
+/// masses. Both weight vectors are normalized to sum 1 internally (uniform
+/// when the sum is zero). Complexity O(m log m + n log n).
+double Emd1D(const std::vector<double>& positions_a,
+             const std::vector<double>& weights_a,
+             const std::vector<double>& positions_b,
+             const std::vector<double>& weights_b);
+
+/// \brief Result of the general transportation solve.
+struct TransportResult {
+  double cost = 0.0;                          ///< sum f_ij * c_ij
+  double total_flow = 0.0;                    ///< sum f_ij
+  std::vector<std::vector<double>> flow;      ///< m x n optimal flow
+};
+
+/// \brief Solves min sum f_ij c_ij s.t. row sums <= supplies, column sums <=
+/// demands, total flow = min(sum supplies, sum demands) — the exact program
+/// of Eqs. 1-3.
+///
+/// Exact for supplies/demands representable after scaling by 1e9 (inputs are
+/// probabilities here). Errors on negative inputs or dimension mismatch.
+Result<TransportResult> SolveTransportation(
+    const std::vector<double>& supplies, const std::vector<double>& demands,
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DIST_EMD_H_

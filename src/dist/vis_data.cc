@@ -1,0 +1,60 @@
+#include "dist/vis_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace visclean {
+
+double VisData::TotalY() const {
+  double total = 0.0;
+  for (const VisPoint& p : points) total += p.y;
+  return total;
+}
+
+std::vector<double> VisData::NormalizedY() const {
+  std::vector<double> out(points.size(), 0.0);
+  double total = TotalY();
+  if (total <= 0.0 || !std::isfinite(total)) {
+    if (!points.empty()) {
+      double u = 1.0 / static_cast<double>(points.size());
+      std::fill(out.begin(), out.end(), u);
+    }
+    return out;
+  }
+  for (size_t i = 0; i < points.size(); ++i) out[i] = points[i].y / total;
+  return out;
+}
+
+std::string VisData::ToAsciiChart(size_t width) const {
+  std::string out;
+  double max_y = 0.0;
+  size_t max_label = 0;
+  for (const VisPoint& p : points) {
+    max_y = std::max(max_y, std::fabs(p.y));
+    max_label = std::max(max_label, p.x.size());
+  }
+  max_label = std::min<size_t>(max_label, 24);
+  double total = TotalY();
+  for (const VisPoint& p : points) {
+    std::string label = p.x.substr(0, max_label);
+    label.resize(max_label, ' ');
+    size_t bar_len =
+        max_y > 0 ? static_cast<size_t>(std::round(std::fabs(p.y) / max_y *
+                                                   static_cast<double>(width)))
+                  : 0;
+    out += label;
+    out += " | ";
+    out.append(bar_len, '#');
+    if (type == ChartType::kPie && total > 0) {
+      out += StrFormat(" %.1f%%", p.y / total * 100.0);
+    } else {
+      out += StrFormat(" %.6g", p.y);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace visclean

@@ -1,0 +1,45 @@
+// The rendered form of a visualization: an ordered series of (x, y) points.
+//
+// Everything downstream of the VQL executor (distance functions, the benefit
+// model, the ASCII renderer in examples/) consumes VisData rather than raw
+// tables, mirroring d = (d_1 ... d_m), d_i = (d_i(x), d_i(y)) in Section II-B.
+#ifndef VISCLEAN_DIST_VIS_DATA_H_
+#define VISCLEAN_DIST_VIS_DATA_H_
+
+#include <string>
+#include <vector>
+
+namespace visclean {
+
+/// Chart family from the VQL VISUALIZE clause.
+enum class ChartType { kBar, kPie };
+
+/// \brief One mark: an x label (group/bin key) and a numeric y.
+struct VisPoint {
+  std::string x;
+  double y = 0.0;
+};
+
+/// \brief A complete rendered visualization.
+struct VisData {
+  ChartType type = ChartType::kBar;
+  std::string x_name;           ///< column behind the X axis
+  std::string y_name;           ///< column (or aggregate) behind the Y axis
+  std::vector<VisPoint> points; ///< in display order (post SORT/LIMIT)
+
+  /// Sum of all y values.
+  double TotalY() const;
+
+  /// Y values rescaled to a probability distribution (sum 1). When the total
+  /// is not positive, returns the uniform distribution (matching the paper's
+  /// normalization step before EMD).
+  std::vector<double> NormalizedY() const;
+
+  /// Multi-line ASCII rendering (bar chart / pie breakdown) for examples and
+  /// debugging.
+  std::string ToAsciiChart(size_t width = 40) const;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DIST_VIS_DATA_H_

@@ -1,0 +1,29 @@
+#include "em/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace visclean {
+
+std::vector<ScoredPair> SelectUncertainPairs(
+    const std::vector<ScoredPair>& scored, const EmModel& model,
+    const ActiveLearningOptions& options) {
+  std::vector<ScoredPair> out;
+  out.reserve(scored.size());
+  for (const ScoredPair& p : scored) {
+    if (model.LabelOf(p.a, p.b) >= 0) continue;  // already answered
+    if (std::fabs(p.probability - 0.5) > options.uncertainty_radius) continue;
+    out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredPair& x, const ScoredPair& y) {
+    double ux = std::fabs(x.probability - 0.5);
+    double uy = std::fabs(y.probability - 0.5);
+    if (ux != uy) return ux < uy;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  if (out.size() > options.max_questions) out.resize(options.max_questions);
+  return out;
+}
+
+}  // namespace visclean

@@ -1,0 +1,30 @@
+// Uncertainty sampling: picks the tuple pairs whose match probability is
+// closest to 0.5 as T-questions (Section IV: "use the active learning
+// techniques to generate a set of tuple pairs Q_T, e.g., those uncertain
+// pairs with probability close to 0.5").
+#ifndef VISCLEAN_EM_ACTIVE_LEARNING_H_
+#define VISCLEAN_EM_ACTIVE_LEARNING_H_
+
+#include <vector>
+
+#include "em/em_model.h"
+
+namespace visclean {
+
+/// \brief Options for uncertainty sampling.
+struct ActiveLearningOptions {
+  size_t max_questions = 200;  ///< size cap for Q_T per iteration
+  /// Pairs with |p - 0.5| > uncertainty_radius are considered decided by
+  /// the machine and not asked.
+  double uncertainty_radius = 0.45;
+};
+
+/// \brief Selects the most uncertain scored pairs, already-labeled pairs
+/// excluded, ordered by ascending |p - 0.5| (most uncertain first).
+std::vector<ScoredPair> SelectUncertainPairs(
+    const std::vector<ScoredPair>& scored, const EmModel& model,
+    const ActiveLearningOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_EM_ACTIVE_LEARNING_H_

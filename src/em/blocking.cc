@@ -1,0 +1,62 @@
+#include "em/blocking.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "text/tokenize.h"
+
+namespace visclean {
+
+std::vector<std::pair<size_t, size_t>> TokenBlocking(
+    const Table& table, const BlockingOptions& options) {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<size_t> rows = table.LiveRowIds();
+
+  for (const std::string& column : options.key_columns) {
+    Result<size_t> col = table.schema().IndexOf(column);
+    if (!col.ok()) continue;  // tolerate missing blocking columns
+    bool is_text = table.schema().column(col.value()).type == ColumnType::kText;
+    std::unordered_map<std::string, std::vector<size_t>> blocks;
+    for (size_t r : rows) {
+      const Value& v = table.at(r, col.value());
+      if (v.is_null()) continue;
+      // Free-text columns (titles, names) block on word *bigrams*: single
+      // words repeat across thousands of unrelated rows, but adjacent word
+      // pairs are selective enough to keep blocks small at corpus scale.
+      // Single-word values and categorical columns fall back to unigrams.
+      // Tokens are deduplicated per row; a repeated key must not enroll
+      // the same row twice in one block (that would emit a self pair).
+      std::vector<std::string> words = WordTokens(v.ToDisplayString());
+      std::set<std::string> keys;
+      if (is_text && words.size() >= 2) {
+        for (size_t i = 0; i + 1 < words.size(); ++i) {
+          keys.insert(words[i] + " " + words[i + 1]);
+        }
+      } else {
+        keys.insert(words.begin(), words.end());
+      }
+      for (const std::string& key : keys) blocks[key].push_back(r);
+    }
+    for (const auto& [token, members] : blocks) {
+      if (members.size() < 2 || members.size() > options.max_block_size) {
+        continue;
+      }
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          pairs.emplace_back(std::min(members[i], members[j]),
+                             std::max(members[i], members[j]));
+        }
+      }
+    }
+  }
+
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  if (options.max_pairs > 0 && pairs.size() > options.max_pairs) {
+    pairs.resize(options.max_pairs);
+  }
+  return pairs;
+}
+
+}  // namespace visclean

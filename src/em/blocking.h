@@ -1,0 +1,38 @@
+// Candidate-pair generation (blocking) for entity matching.
+//
+// Comparing all O(n^2) tuple pairs of a 50k-row table is infeasible, so —
+// like every practical EM system (Magellan [19]) — candidate pairs come from
+// blocking: tuples sharing a key token on a chosen column are compared,
+// everything else is assumed non-matching.
+#ifndef VISCLEAN_EM_BLOCKING_H_
+#define VISCLEAN_EM_BLOCKING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief Options for token blocking.
+struct BlockingOptions {
+  /// Columns whose word tokens form blocking keys. Tuples sharing at least
+  /// one token in at least one of these columns become a candidate pair.
+  std::vector<std::string> key_columns;
+  /// Blocks larger than this are skipped (stop-word tokens like "the" would
+  /// otherwise create quadratic blowups).
+  size_t max_block_size = 256;
+  /// Hard cap on emitted pairs (safety valve); 0 = unlimited.
+  size_t max_pairs = 0;
+};
+
+/// \brief All candidate pairs (a < b by row id) among live rows of `table`.
+///
+/// Pairs are deduplicated and sorted lexicographically.
+std::vector<std::pair<size_t, size_t>> TokenBlocking(
+    const Table& table, const BlockingOptions& options);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_EM_BLOCKING_H_

@@ -1,0 +1,43 @@
+#include "em/clustering.h"
+
+#include <algorithm>
+#include <map>
+
+namespace visclean {
+
+std::vector<std::vector<size_t>> EntityClusters::MultiMemberClusters() const {
+  std::vector<std::vector<size_t>> out;
+  for (const auto& c : clusters) {
+    if (c.size() >= 2) out.push_back(c);
+  }
+  return out;
+}
+
+EntityClusters ClusterEntities(size_t num_rows,
+                               const std::vector<ScoredPair>& scored,
+                               const EmModel& model,
+                               const ClusteringOptions& options) {
+  UnionFind uf(num_rows);
+  for (const ScoredPair& p : scored) {
+    int label = model.LabelOf(p.a, p.b);
+    if (label == 1) {
+      uf.Union(p.a, p.b);
+    } else if (label == -1 && p.probability >= options.auto_merge_threshold) {
+      uf.Union(p.a, p.b);
+    }
+    // label == 0 (split): never merged directly.
+  }
+
+  EntityClusters out;
+  out.cluster_of.assign(num_rows, 0);
+  std::map<size_t, std::vector<size_t>> groups = uf.Groups();
+  out.clusters.reserve(groups.size());
+  for (auto& [root, members] : groups) {
+    size_t idx = out.clusters.size();
+    for (size_t m : members) out.cluster_of[m] = idx;
+    out.clusters.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace visclean

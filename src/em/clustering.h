@@ -1,0 +1,43 @@
+// Turns pairwise match decisions into entity clusters (transitive closure),
+// honoring user-confirmed matches first and then high-confidence model
+// predictions.
+#ifndef VISCLEAN_EM_CLUSTERING_H_
+#define VISCLEAN_EM_CLUSTERING_H_
+
+#include <vector>
+
+#include "em/em_model.h"
+#include "em/union_find.h"
+
+namespace visclean {
+
+/// \brief Options for ClusterEntities.
+struct ClusteringOptions {
+  /// Model probability above which an unlabeled pair is auto-merged.
+  double auto_merge_threshold = 0.9;
+};
+
+/// \brief Entity clusters over row ids [0, num_rows).
+struct EntityClusters {
+  /// Clusters with >= 1 member; singletons included. Members ascending,
+  /// clusters ordered by smallest member.
+  std::vector<std::vector<size_t>> clusters;
+  /// cluster index of each row id.
+  std::vector<size_t> cluster_of;
+
+  /// Clusters with at least two members (the interesting ones).
+  std::vector<std::vector<size_t>> MultiMemberClusters() const;
+};
+
+/// \brief Builds clusters by merging (i) user-confirmed pairs and (ii)
+/// unlabeled pairs with probability >= auto_merge_threshold. User-split
+/// pairs are never merged directly (transitive joins may still connect
+/// them — the standard correlation-clustering caveat).
+EntityClusters ClusterEntities(size_t num_rows,
+                               const std::vector<ScoredPair>& scored,
+                               const EmModel& model,
+                               const ClusteringOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_EM_CLUSTERING_H_

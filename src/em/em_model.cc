@@ -1,0 +1,86 @@
+#include "em/em_model.h"
+
+#include <numeric>
+
+#include "em/pair_features.h"
+
+namespace visclean {
+
+namespace {
+
+double MeanFeature(const std::vector<double>& features) {
+  if (features.empty()) return 0.0;
+  double sum = std::accumulate(features.begin(), features.end(), 0.0);
+  return sum / static_cast<double>(features.size());
+}
+
+// A blocked pair whose features average above/below these bands is treated
+// as an obvious (non-)match for warm-starting the forest. Only same-source
+// exact copies reach the positive band; everything ambiguous (spelling
+// variants, extended versions) is left for active learning.
+constexpr double kPositiveSeedThreshold = 0.9;
+constexpr double kNegativeSeedThreshold = 0.35;
+
+}  // namespace
+
+void EmModel::AddLabel(size_t a, size_t b, bool is_match) {
+  labels_[Key(a, b)] = is_match;
+}
+
+int EmModel::LabelOf(size_t a, size_t b) const {
+  auto it = labels_.find(Key(a, b));
+  if (it == labels_.end()) return -1;
+  return it->second ? 1 : 0;
+}
+
+void EmModel::Retrain(const Table& table,
+                      const std::vector<std::pair<size_t, size_t>>& candidates,
+                      uint64_t seed) {
+  std::vector<Example> training;
+  // Weak seeds from unlabeled candidates.
+  for (const auto& [a, b] : candidates) {
+    if (labels_.count(Key(a, b))) continue;
+    std::vector<double> features = PairFeatures(table, a, b);
+    double mean = MeanFeature(features);
+    if (mean >= kPositiveSeedThreshold) {
+      training.push_back({std::move(features), 1});
+    } else if (mean <= kNegativeSeedThreshold) {
+      training.push_back({std::move(features), 0});
+    }
+  }
+  // User labels (authoritative): replicated so a handful of human answers
+  // is not drowned out by thousands of weak seeds.
+  constexpr size_t kLabelWeight = 8;
+  for (const auto& [key, is_match] : labels_) {
+    Example example{PairFeatures(table, key.first, key.second),
+                    is_match ? 1 : 0};
+    for (size_t i = 0; i < kLabelWeight; ++i) training.push_back(example);
+  }
+  if (training.empty()) return;  // nothing to learn from yet
+  // A usable forest needs both classes; otherwise leave the previous fit.
+  bool has_pos = false, has_neg = false;
+  for (const Example& e : training) {
+    (e.label == 1 ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg) return;
+  forest_.Fit(training, seed);
+}
+
+double EmModel::MatchProbability(const Table& table, size_t a, size_t b) const {
+  auto it = labels_.find(Key(a, b));
+  if (it != labels_.end()) return it->second ? 1.0 : 0.0;
+  return forest_.PredictProbability(PairFeatures(table, a, b));
+}
+
+std::vector<ScoredPair> EmModel::ScoreAll(
+    const Table& table,
+    const std::vector<std::pair<size_t, size_t>>& candidates) const {
+  std::vector<ScoredPair> out;
+  out.reserve(candidates.size());
+  for (const auto& [a, b] : candidates) {
+    out.push_back({a, b, MatchProbability(table, a, b)});
+  }
+  return out;
+}
+
+}  // namespace visclean

@@ -1,0 +1,71 @@
+// The entity-matching model: a random forest over pair features, retrained
+// as user labels accumulate (Section IV, Q_T; Fig. 6 step 6).
+#ifndef VISCLEAN_EM_EM_MODEL_H_
+#define VISCLEAN_EM_EM_MODEL_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "data/table.h"
+#include "ml/random_forest.h"
+
+namespace visclean {
+
+/// \brief A candidate tuple pair with the model's matching probability
+/// (the edge weight p^t of the ERG).
+struct ScoredPair {
+  size_t a = 0;
+  size_t b = 0;
+  double probability = 0.5;
+};
+
+/// \brief Random-forest entity matcher with incremental labeling.
+///
+/// Before any user labels exist the model bootstraps itself with weak
+/// supervision: candidate pairs whose mean text similarity is very high
+/// (>= 0.9) become positive seeds and very low (<= 0.2) negative seeds.
+/// This mirrors how practical EM loops (Magellan-style) are warm-started,
+/// and gives the active learner a meaningful uncertainty ranking in
+/// iteration 1.
+class EmModel {
+ public:
+  explicit EmModel(ForestOptions options = {}) : forest_(options) {}
+
+  /// Records a user label for pair (a, b); `is_match` true on confirm.
+  /// Re-labeling a pair overwrites the old label.
+  void AddLabel(size_t a, size_t b, bool is_match);
+
+  /// Number of user labels recorded.
+  size_t num_labels() const { return labels_.size(); }
+
+  /// Retrains the forest from weak seeds plus all user labels.
+  /// `candidates` are the blocked pairs of `table`.
+  void Retrain(const Table& table,
+               const std::vector<std::pair<size_t, size_t>>& candidates,
+               uint64_t seed);
+
+  /// Matching probability for a pair. User-labeled pairs return 0/1
+  /// directly (labels are ground truth to the system).
+  double MatchProbability(const Table& table, size_t a, size_t b) const;
+
+  /// Scores every candidate pair.
+  std::vector<ScoredPair> ScoreAll(
+      const Table& table,
+      const std::vector<std::pair<size_t, size_t>>& candidates) const;
+
+  /// The user label for (a, b): 1 match, 0 non-match, -1 unlabeled.
+  int LabelOf(size_t a, size_t b) const;
+
+ private:
+  static std::pair<size_t, size_t> Key(size_t a, size_t b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+
+  RandomForest forest_;
+  std::map<std::pair<size_t, size_t>, bool> labels_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_EM_EM_MODEL_H_

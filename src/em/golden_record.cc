@@ -1,0 +1,63 @@
+#include "em/golden_record.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "text/similarity.h"
+
+namespace visclean {
+
+std::string ElectCanonicalValue(const Table& table,
+                                const std::vector<size_t>& cluster,
+                                size_t col) {
+  std::map<std::string, size_t> votes;
+  for (size_t r : cluster) {
+    const Value& v = table.at(r, col);
+    if (v.is_null()) continue;
+    ++votes[v.ToDisplayString()];
+  }
+  std::string best;
+  size_t best_votes = 0;
+  for (const auto& [value, count] : votes) {
+    bool wins = count > best_votes ||
+                (count == best_votes &&
+                 (value.size() > best.size() ||
+                  (value.size() == best.size() && value < best)));
+    if (wins) {
+      best = value;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+std::vector<TransformationCandidate> GoldenRecordCreation(
+    const Table& table, const std::vector<std::vector<size_t>>& clusters,
+    size_t col) {
+  std::vector<TransformationCandidate> out;
+  for (size_t ci = 0; ci < clusters.size(); ++ci) {
+    const std::vector<size_t>& cluster = clusters[ci];
+    if (cluster.size() < 2) continue;
+    std::string canonical = ElectCanonicalValue(table, cluster, col);
+    if (canonical.empty()) continue;
+    std::set<std::string> distinct;
+    for (size_t r : cluster) {
+      const Value& v = table.at(r, col);
+      if (v.is_null()) continue;
+      distinct.insert(v.ToDisplayString());
+    }
+    for (const std::string& variant : distinct) {
+      if (variant == canonical) continue;
+      TransformationCandidate cand;
+      cand.from = variant;
+      cand.to = canonical;
+      cand.similarity = WordJaccard(variant, canonical);
+      cand.cluster_index = ci;
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+}  // namespace visclean

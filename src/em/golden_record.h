@@ -1,0 +1,40 @@
+// Golden-record creation (Deng et al. [11], as used by Strategy 1 of
+// Algorithm 1): inside an entity cluster, every pair of distinct attribute
+// spellings is a transformation candidate, and the cluster elects one
+// canonical value.
+#ifndef VISCLEAN_EM_GOLDEN_RECORD_H_
+#define VISCLEAN_EM_GOLDEN_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief One "v1 <-> v2" attribute-level transformation candidate.
+struct TransformationCandidate {
+  std::string from;       ///< variant spelling
+  std::string to;         ///< canonical spelling the cluster elected
+  double similarity = 0;  ///< string similarity of the two spellings
+  size_t cluster_index = 0;  ///< which cluster produced it (diagnostics)
+};
+
+/// \brief Canonical value of column `col` within one cluster.
+///
+/// Majority vote over non-null display strings; ties broken toward the
+/// longer spelling (more information), then lexicographically. Empty
+/// clusters yield "".
+std::string ElectCanonicalValue(const Table& table,
+                                const std::vector<size_t>& cluster, size_t col);
+
+/// \brief All transformation candidates of `clusters` on column `col`:
+/// for each cluster, every non-canonical distinct spelling paired with the
+/// elected canonical one.
+std::vector<TransformationCandidate> GoldenRecordCreation(
+    const Table& table, const std::vector<std::vector<size_t>>& clusters,
+    size_t col);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_EM_GOLDEN_RECORD_H_

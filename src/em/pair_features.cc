@@ -1,0 +1,62 @@
+#include "em/pair_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/similarity.h"
+
+namespace visclean {
+
+namespace {
+
+constexpr size_t kTextFeatures = 4;
+constexpr size_t kNumericFeatures = 2;
+
+}  // namespace
+
+size_t PairFeatureArity(const Schema& schema) {
+  size_t arity = 0;
+  for (const ColumnSpec& col : schema.columns()) {
+    arity += col.type == ColumnType::kNumeric ? kNumericFeatures : kTextFeatures;
+  }
+  return arity;
+}
+
+std::vector<double> PairFeatures(const Table& table, size_t a, size_t b) {
+  const Schema& schema = table.schema();
+  std::vector<double> features;
+  features.reserve(PairFeatureArity(schema));
+
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Value& va = table.at(a, c);
+    const Value& vb = table.at(b, c);
+    size_t width = schema.column(c).type == ColumnType::kNumeric
+                       ? kNumericFeatures
+                       : kTextFeatures;
+    if (va.is_null() && vb.is_null()) {
+      features.insert(features.end(), width, 1.0);
+      continue;
+    }
+    if (va.is_null() || vb.is_null()) {
+      features.insert(features.end(), width, 0.5);
+      continue;
+    }
+    if (schema.column(c).type == ColumnType::kNumeric) {
+      double x = va.ToNumberOr(0.0);
+      double y = vb.ToNumberOr(0.0);
+      features.push_back(x == y ? 1.0 : 0.0);
+      double denom = std::max({std::fabs(x), std::fabs(y), 1.0});
+      features.push_back(1.0 - std::min(1.0, std::fabs(x - y) / denom));
+    } else {
+      std::string sa = va.ToDisplayString();
+      std::string sb = vb.ToDisplayString();
+      features.push_back(WordJaccard(sa, sb));
+      features.push_back(QGramJaccard(sa, sb, 3));
+      features.push_back(LevenshteinSimilarity(sa, sb));
+      features.push_back(JaroWinklerSimilarity(sa, sb));
+    }
+  }
+  return features;
+}
+
+}  // namespace visclean

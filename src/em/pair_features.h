@@ -1,0 +1,32 @@
+// Feature vectors for tuple pairs: the input representation of the EM
+// random forest. One block of similarity features per schema column,
+// Magellan-style.
+#ifndef VISCLEAN_EM_PAIR_FEATURES_H_
+#define VISCLEAN_EM_PAIR_FEATURES_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace visclean {
+
+/// \brief Computes the feature vector for tuple pair (a, b) of `table`.
+///
+/// Per column:
+///  * categorical/text: word-Jaccard, 3-gram Jaccard, Levenshtein sim,
+///    Jaro-Winkler;
+///  * numeric: exact-equality flag and relative difference
+///    1 - |x-y| / max(|x|, |y|, 1);
+///  * null handling: both-null -> 1 (agreeing absence), one-null -> 0.5
+///    (uninformative) for every feature of the column.
+///
+/// The layout is fixed per schema, so vectors from the same table are
+/// directly comparable.
+std::vector<double> PairFeatures(const Table& table, size_t a, size_t b);
+
+/// Number of features PairFeatures produces for this schema.
+size_t PairFeatureArity(const Schema& schema);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_EM_PAIR_FEATURES_H_

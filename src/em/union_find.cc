@@ -1,0 +1,38 @@
+#include "em/union_find.h"
+
+#include "common/status.h"
+
+namespace visclean {
+
+UnionFind::UnionFind(size_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  VC_CHECK(x < parent_.size(), "UnionFind::Find out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a), rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::map<size_t, std::vector<size_t>> UnionFind::Groups() {
+  std::map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    groups[Find(i)].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace visclean

@@ -1,0 +1,47 @@
+// Disjoint-set forest used to maintain entity-matching clusters as the user
+// confirms tuple-level duplicates.
+#ifndef VISCLEAN_EM_UNION_FIND_H_
+#define VISCLEAN_EM_UNION_FIND_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace visclean {
+
+/// \brief Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  /// Creates n singleton sets {0}, ..., {n-1}.
+  explicit UnionFind(size_t n);
+
+  /// Representative of x's set.
+  size_t Find(size_t x);
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// True when a and b share a set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+  /// Number of distinct sets.
+  size_t num_sets() const { return num_sets_; }
+
+  /// Size of the set containing x.
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+  /// All sets as root -> members (members ascending).
+  std::map<size_t, std::vector<size_t>> Groups();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_EM_UNION_FIND_H_

@@ -1,0 +1,173 @@
+#include "graph/bnb.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace visclean {
+
+namespace {
+
+// Search state shared across the recursion.
+struct BnbState {
+  const Erg* erg = nullptr;
+  size_t k = 0;
+  double alpha = 1.0;
+  size_t max_expansions = 0;
+  size_t expansions = 0;
+  bool stopped = false;
+
+  // Prefix sums of all edge benefits sorted descending; prefix[j] = sum of
+  // the j largest. Used by the optimistic bound.
+  std::vector<double> prefix;
+
+  std::vector<size_t> current;      // V_sub
+  std::vector<bool> in_sub;         // vertex in V_sub
+  std::vector<bool> seen;           // in V_sub or ever placed in an extension
+  double current_benefit = 0.0;
+  size_t current_edges = 0;
+
+  std::vector<size_t> best_vertices;
+  double best_benefit = -1.0;
+  size_t best_size = 0;
+
+  void Consider() {
+    // Prefer larger subgraphs; among equal sizes, larger benefit.
+    if (current.size() > best_size ||
+        (current.size() == best_size && current_benefit > best_benefit)) {
+      best_vertices = current;
+      best_benefit = current_benefit;
+      best_size = current.size();
+    }
+  }
+
+  double Bound() const {
+    size_t max_edges = k * (k - 1) / 2;
+    size_t addable = max_edges > current_edges ? max_edges - current_edges : 0;
+    addable = std::min(addable, prefix.size() - 1);
+    return current_benefit + prefix[addable];
+  }
+};
+
+void Extend(BnbState* s, std::vector<size_t> extension) {
+  if (s->stopped) return;
+  if (s->max_expansions > 0 && ++s->expansions > s->max_expansions) {
+    s->stopped = true;
+    return;
+  }
+  if (s->current.size() == s->k || extension.empty()) {
+    s->Consider();
+    return;
+  }
+  // Prune: even the most optimistic completion cannot beat alpha-scaled
+  // incumbent (only once a full-size incumbent exists).
+  if (s->best_size == s->k && s->Bound() <= s->alpha * s->best_benefit) {
+    return;
+  }
+
+  while (!extension.empty() && !s->stopped) {
+    size_t u = extension.back();
+    extension.pop_back();
+
+    // Add u to the subgraph.
+    double added_benefit = 0.0;
+    size_t added_edges = 0;
+    for (size_t e : s->erg->IncidentEdges(u)) {
+      const ErgEdge& edge = s->erg->edge(e);
+      size_t other = edge.u == u ? edge.v : edge.u;
+      if (s->in_sub[other]) {
+        added_benefit += edge.benefit;
+        ++added_edges;
+      }
+    }
+    s->current.push_back(u);
+    s->in_sub[u] = true;
+    s->current_benefit += added_benefit;
+    s->current_edges += added_edges;
+
+    // New extension: remaining candidates plus u's exclusive neighbors.
+    std::vector<size_t> next_extension = extension;
+    std::vector<size_t> newly_seen;
+    for (size_t e : s->erg->IncidentEdges(u)) {
+      const ErgEdge& edge = s->erg->edge(e);
+      size_t w = edge.u == u ? edge.v : edge.u;
+      if (!s->seen[w]) {
+        s->seen[w] = true;
+        newly_seen.push_back(w);
+        next_extension.push_back(w);
+      }
+    }
+    Extend(s, std::move(next_extension));
+
+    // Backtrack.
+    for (size_t w : newly_seen) s->seen[w] = false;
+    s->current.pop_back();
+    s->in_sub[u] = false;
+    s->current_benefit -= added_benefit;
+    s->current_edges -= added_edges;
+  }
+  // Exhausting the extension with a sub-size subgraph: record as fallback.
+  if (s->current.size() < s->k) s->Consider();
+}
+
+}  // namespace
+
+Cqg BnbSelector::Select(const Erg& erg, size_t k) {
+  last_expansions_ = 0;
+  if (erg.num_edges() == 0 || k < 2) return {};
+
+  BnbState state;
+  state.erg = &erg;
+  state.k = k;
+  state.alpha = options_.alpha;
+  state.max_expansions = options_.max_expansions;
+  state.in_sub.assign(erg.num_vertices(), false);
+  state.seen.assign(erg.num_vertices(), false);
+
+  std::vector<double> benefits;
+  benefits.reserve(erg.num_edges());
+  for (const ErgEdge& e : erg.edges()) benefits.push_back(e.benefit);
+  std::sort(benefits.begin(), benefits.end(), std::greater<double>());
+  state.prefix.resize(benefits.size() + 1, 0.0);
+  for (size_t i = 0; i < benefits.size(); ++i) {
+    state.prefix[i + 1] = state.prefix[i] + std::max(0.0, benefits[i]);
+  }
+
+  // ESU root loop: only subgraphs whose minimum vertex is the root are
+  // enumerated from that root, so each connected set is visited once.
+  for (size_t v = 0; v < erg.num_vertices() && !state.stopped; ++v) {
+    if (erg.IncidentEdges(v).empty()) continue;
+    std::fill(state.seen.begin(), state.seen.end(), false);
+    // Mark all vertices <= v as seen so extensions stay above the root.
+    for (size_t u = 0; u <= v; ++u) state.seen[u] = true;
+    state.current = {v};
+    state.in_sub[v] = true;
+    state.current_benefit = 0.0;
+    state.current_edges = 0;
+
+    std::vector<size_t> extension;
+    for (size_t e : erg.IncidentEdges(v)) {
+      const ErgEdge& edge = erg.edge(e);
+      size_t w = edge.u == v ? edge.v : edge.u;
+      if (!state.seen[w]) {
+        state.seen[w] = true;
+        extension.push_back(w);
+      }
+    }
+    Extend(&state, std::move(extension));
+    state.in_sub[v] = false;
+  }
+
+  last_expansions_ = state.expansions;
+  if (state.best_benefit < 0.0) return {};
+  return InduceCqg(erg, state.best_vertices);
+}
+
+std::string BnbSelector::name() const {
+  if (options_.alpha == 1.0) return "B&B";
+  return StrFormat("%g-B&B", options_.alpha);
+}
+
+}  // namespace visclean

@@ -1,0 +1,44 @@
+// Branch-and-bound heaviest connected k-subgraph (the Letsios et al. [21]
+// baseline of Section V-B) and its alpha-approximate variant.
+#ifndef VISCLEAN_GRAPH_BNB_H_
+#define VISCLEAN_GRAPH_BNB_H_
+
+#include "graph/selector.h"
+
+namespace visclean {
+
+/// \brief Options for BnbSelector.
+struct BnbOptions {
+  /// Approximation ratio: a branch is pruned when its optimistic bound is
+  /// <= alpha * best_so_far. 1.0 = exact; the paper evaluates 5-B&B and
+  /// 10-B&B.
+  double alpha = 1.0;
+  /// Safety valve: stop after this many search-tree expansions and return
+  /// the best subgraph found (0 = unlimited). Exact B&B is exponential in
+  /// k — the very point of Fig. 17 — so benches cap it.
+  size_t max_expansions = 0;
+};
+
+/// \brief Exact/approximate heaviest connected k-subgraph search.
+///
+/// Enumerates connected induced subgraphs via the ESU scheme (each set
+/// visited once) and prunes with the optimistic bound "current benefit +
+/// sum of the globally largest remaining edge benefits that could still
+/// fit" — admissible, so alpha = 1 returns the true optimum.
+class BnbSelector : public CqgSelector {
+ public:
+  explicit BnbSelector(BnbOptions options = {}) : options_(options) {}
+  Cqg Select(const Erg& erg, size_t k) override;
+  std::string name() const override;
+
+  /// Number of search-tree expansions of the last Select call.
+  size_t last_expansions() const { return last_expansions_; }
+
+ private:
+  BnbOptions options_;
+  size_t last_expansions_ = 0;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_GRAPH_BNB_H_

@@ -1,0 +1,51 @@
+#include "graph/cqg.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace visclean {
+
+Cqg InduceCqg(const Erg& erg, std::vector<size_t> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  Cqg cqg;
+  cqg.vertices = std::move(vertices);
+  std::set<size_t> in_set(cqg.vertices.begin(), cqg.vertices.end());
+  std::set<size_t> edge_set;
+  for (size_t v : cqg.vertices) {
+    for (size_t e : erg.IncidentEdges(v)) {
+      const ErgEdge& edge = erg.edge(e);
+      if (in_set.count(edge.u) && in_set.count(edge.v)) edge_set.insert(e);
+    }
+  }
+  for (size_t e : edge_set) {
+    cqg.edge_indices.push_back(e);
+    cqg.total_benefit += erg.edge(e).benefit;
+  }
+  return cqg;
+}
+
+bool IsCqgConnected(const Erg& erg, const Cqg& cqg) {
+  if (cqg.vertices.size() <= 1) return true;
+  std::set<size_t> in_set(cqg.vertices.begin(), cqg.vertices.end());
+  std::set<size_t> visited;
+  std::vector<size_t> stack = {cqg.vertices.front()};
+  visited.insert(cqg.vertices.front());
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    stack.pop_back();
+    for (size_t e : erg.IncidentEdges(v)) {
+      const ErgEdge& edge = erg.edge(e);
+      size_t other = edge.u == v ? edge.v : edge.u;
+      if (in_set.count(other) && !visited.count(other)) {
+        visited.insert(other);
+        stack.push_back(other);
+      }
+    }
+  }
+  return visited.size() == cqg.vertices.size();
+}
+
+}  // namespace visclean

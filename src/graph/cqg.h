@@ -1,0 +1,32 @@
+// The Composite Question Graph of Definition 2.2: a connected induced
+// subgraph of the ERG, presented to the user as one question.
+#ifndef VISCLEAN_GRAPH_CQG_H_
+#define VISCLEAN_GRAPH_CQG_H_
+
+#include <vector>
+
+#include "graph/erg.h"
+
+namespace visclean {
+
+/// \brief A CQG: the selected vertex set plus the induced edges.
+struct Cqg {
+  std::vector<size_t> vertices;      ///< ERG vertex indices, ascending
+  std::vector<size_t> edge_indices;  ///< ERG edge indices induced by vertices
+  double total_benefit = 0.0;        ///< sum of induced edges' benefit
+
+  bool empty() const { return vertices.empty(); }
+};
+
+/// \brief Builds the induced CQG for a vertex set: collects every ERG edge
+/// with both endpoints in the set and sums benefits. Vertex list is
+/// deduplicated and sorted.
+Cqg InduceCqg(const Erg& erg, std::vector<size_t> vertices);
+
+/// True when the induced subgraph on `cqg.vertices` is connected (vacuously
+/// true for <= 1 vertex).
+bool IsCqgConnected(const Erg& erg, const Cqg& cqg);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_GRAPH_CQG_H_

@@ -1,0 +1,47 @@
+#include "graph/erg.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace visclean {
+
+size_t Erg::AddVertex(ErgVertex vertex) {
+  vertices_.push_back(std::move(vertex));
+  adjacency_valid_ = false;
+  return vertices_.size() - 1;
+}
+
+size_t Erg::AddEdge(ErgEdge edge) {
+  VC_CHECK(edge.u < vertices_.size() && edge.v < vertices_.size(),
+           "AddEdge: endpoint out of range");
+  VC_CHECK(edge.u != edge.v, "AddEdge: self loop");
+  if (edge.u > edge.v) std::swap(edge.u, edge.v);
+  edges_.push_back(std::move(edge));
+  adjacency_valid_ = false;
+  return edges_.size() - 1;
+}
+
+void Erg::EnsureAdjacency() const {
+  if (adjacency_valid_) return;
+  adjacency_.assign(vertices_.size(), {});
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    adjacency_[edges_[e].u].push_back(e);
+    adjacency_[edges_[e].v].push_back(e);
+  }
+  adjacency_valid_ = true;
+}
+
+const std::vector<size_t>& Erg::IncidentEdges(size_t i) const {
+  EnsureAdjacency();
+  return adjacency_[i];
+}
+
+size_t Erg::VertexOfRow(size_t row) const {
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].row == row) return i;
+  }
+  return kNoVertex;
+}
+
+}  // namespace visclean

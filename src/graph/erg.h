@@ -1,0 +1,75 @@
+// The Errors-and-Repairs Graph of Definition 2.1.
+//
+// Vertices are tuples that participate in at least one question; edges are
+// possible tuple- or attribute-level duplicate pairs carrying the weight
+// pair (p^t, p^a); vertex labels mark outlier (O) and missing-value (M)
+// questions. Edge `benefit` is filled in by the benefit model before
+// selection.
+#ifndef VISCLEAN_GRAPH_ERG_H_
+#define VISCLEAN_GRAPH_ERG_H_
+
+#include <optional>
+#include <vector>
+
+#include "clean/question.h"
+
+namespace visclean {
+
+/// \brief One ERG vertex: a tuple plus its optional M-/O-questions.
+struct ErgVertex {
+  size_t row = 0;  ///< table row id this vertex represents
+  std::optional<MQuestion> missing;
+  std::optional<OQuestion> outlier;
+};
+
+/// \brief One ERG edge between vertex indices u < v.
+struct ErgEdge {
+  size_t u = 0;
+  size_t v = 0;
+  double p_tuple = 0.0;  ///< tuple-level match probability (T-question)
+  double p_attr = 0.0;   ///< attribute-level match probability (A-question)
+  bool has_attr = false; ///< X is categorical and the spellings differ
+  AQuestion attr_question;  ///< valid when has_attr
+  double benefit = 0.0;  ///< estimated benefit b (Definition 5.1)
+};
+
+/// \brief The full graph. Vertices/edges are stored by index; adjacency is
+/// rebuilt on demand.
+class Erg {
+ public:
+  Erg() = default;
+
+  /// Adds a vertex; returns its index.
+  size_t AddVertex(ErgVertex vertex);
+  /// Adds an edge (u and v must be existing vertex indices, u != v).
+  /// Returns the edge index.
+  size_t AddEdge(ErgEdge edge);
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const ErgVertex& vertex(size_t i) const { return vertices_[i]; }
+  ErgVertex& vertex(size_t i) { return vertices_[i]; }
+  const ErgEdge& edge(size_t i) const { return edges_[i]; }
+  ErgEdge& edge(size_t i) { return edges_[i]; }
+  const std::vector<ErgEdge>& edges() const { return edges_; }
+
+  /// Edge indices incident to vertex i.
+  const std::vector<size_t>& IncidentEdges(size_t i) const;
+
+  /// Vertex index for a table row, or npos when absent.
+  static constexpr size_t kNoVertex = static_cast<size_t>(-1);
+  size_t VertexOfRow(size_t row) const;
+
+ private:
+  void EnsureAdjacency() const;
+
+  std::vector<ErgVertex> vertices_;
+  std::vector<ErgEdge> edges_;
+  mutable std::vector<std::vector<size_t>> adjacency_;
+  mutable bool adjacency_valid_ = false;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_GRAPH_ERG_H_

@@ -1,0 +1,45 @@
+#include "graph/exact_selector.h"
+
+#include <vector>
+
+namespace visclean {
+
+namespace {
+
+// Advances `combo` to the next k-combination of [0, n); false at the end.
+bool NextCombination(std::vector<size_t>& combo, size_t n) {
+  size_t k = combo.size();
+  for (size_t i = k; i-- > 0;) {
+    if (combo[i] < n - k + i) {
+      ++combo[i];
+      for (size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Cqg ExactSelector::Select(const Erg& erg, size_t k) {
+  const size_t n = erg.num_vertices();
+  if (n == 0 || erg.num_edges() == 0) return {};
+  if (k > n) k = n;
+  if (k == 0) return {};
+
+  Cqg best;
+  double best_benefit = -1.0;
+
+  std::vector<size_t> combo(k);
+  for (size_t i = 0; i < k; ++i) combo[i] = i;
+  do {
+    Cqg cqg = InduceCqg(erg, combo);
+    if (cqg.total_benefit > best_benefit && IsCqgConnected(erg, cqg)) {
+      best_benefit = cqg.total_benefit;
+      best = std::move(cqg);
+    }
+  } while (NextCombination(combo, n));
+  return best;
+}
+
+}  // namespace visclean

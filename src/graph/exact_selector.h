@@ -1,0 +1,21 @@
+// Naive exact optimal-CQG search by exhaustive enumeration of all k-vertex
+// subsets. Exponential; exists to cross-validate GSS/B&B in tests on tiny
+// graphs (the "straightforward approach" Section V-B describes).
+#ifndef VISCLEAN_GRAPH_EXACT_SELECTOR_H_
+#define VISCLEAN_GRAPH_EXACT_SELECTOR_H_
+
+#include "graph/selector.h"
+
+namespace visclean {
+
+/// \brief Enumerates every C(|V|, k) vertex subset, keeps the connected one
+/// with maximum induced benefit. Only usable for very small ERGs.
+class ExactSelector : public CqgSelector {
+ public:
+  Cqg Select(const Erg& erg, size_t k) override;
+  std::string name() const override { return "Exact"; }
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_GRAPH_EXACT_SELECTOR_H_

@@ -1,0 +1,166 @@
+#include "graph/gss.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace visclean {
+
+namespace {
+
+constexpr size_t kNoSet = static_cast<size_t>(-1);
+
+// Fallback when no vertex set ever reaches size k (sparse/fragmented ERG):
+// grow greedily from the best edge, always absorbing the neighbor that adds
+// the most induced benefit. Guarantees the session still gets a (smaller or
+// equal) connected question.
+Cqg GreedyGrow(const Erg& erg, size_t k,
+               const std::vector<size_t>& edge_order) {
+  if (edge_order.empty()) return {};
+  const ErgEdge& seed = erg.edge(edge_order.front());
+  std::set<size_t> in_set = {seed.u, seed.v};
+  while (in_set.size() < k) {
+    size_t best_vertex = Erg::kNoVertex;
+    double best_gain = 0.0;
+    for (size_t v : in_set) {
+      for (size_t e : erg.IncidentEdges(v)) {
+        const ErgEdge& edge = erg.edge(e);
+        size_t other = edge.u == v ? edge.v : edge.u;
+        if (in_set.count(other)) continue;
+        // Gain = total benefit of edges from `other` into the current set.
+        double gain = 0.0;
+        for (size_t e2 : erg.IncidentEdges(other)) {
+          const ErgEdge& edge2 = erg.edge(e2);
+          size_t far = edge2.u == other ? edge2.v : edge2.u;
+          if (in_set.count(far)) gain += edge2.benefit;
+        }
+        if (best_vertex == Erg::kNoVertex || gain > best_gain) {
+          best_vertex = other;
+          best_gain = gain;
+        }
+      }
+    }
+    if (best_vertex == Erg::kNoVertex) break;  // component exhausted
+    in_set.insert(best_vertex);
+  }
+  return InduceCqg(erg, {in_set.begin(), in_set.end()});
+}
+
+// The core of Algorithm 2, shared by GSS and GSS+. `edge_order` holds the
+// (possibly pruned) edge indices sorted by benefit descending;
+// `early_stop_subgraphs` = 0 disables early termination.
+Cqg RunGss(const Erg& erg, size_t k, const std::vector<size_t>& edge_order,
+           size_t early_stop_subgraphs) {
+  if (k < 2) k = 2;
+
+  std::vector<size_t> membership(erg.num_vertices(), kNoSet);  // m[v]
+  std::vector<std::vector<size_t>> sets;                       // C
+
+  Cqg best;
+  double best_benefit = -1.0;
+  size_t completed = 0;
+
+  auto evaluate = [&](const std::vector<size_t>& vertex_set) {
+    Cqg cqg = InduceCqg(erg, vertex_set);
+    if (cqg.total_benefit > best_benefit) {
+      best = std::move(cqg);
+      best_benefit = best.total_benefit;
+    }
+    ++completed;
+  };
+
+  for (size_t e : edge_order) {
+    const ErgEdge& edge = erg.edge(e);
+    size_t v = edge.u, w = edge.v;
+
+    size_t target;
+    if (membership[v] == kNoSet && membership[w] == kNoSet) {
+      // Case 1: brand-new set {v, w}.
+      sets.push_back({v, w});
+      membership[v] = membership[w] = sets.size() - 1;
+      target = sets.size() - 1;
+    } else if (membership[v] == membership[w]) {
+      continue;  // both endpoints already share a set; nothing to add
+    } else {
+      // Cases 2 & 3: attach the free (or other-set) endpoint to the
+      // anchored one.
+      size_t v_from, v_to;
+      if (membership[v] == kNoSet) {
+        v_from = v;
+        v_to = w;
+      } else {
+        v_from = w;
+        v_to = v;
+      }
+      target = membership[v_to];
+      std::vector<size_t>& set = sets[target];
+      if (std::find(set.begin(), set.end(), v_from) == set.end()) {
+        set.push_back(v_from);
+      }
+      membership[v_from] = target;
+    }
+
+    if (sets[target].size() == k) {
+      evaluate(sets[target]);
+      // Dissolve: members become free again (Algorithm 2 line 22).
+      for (size_t u : sets[target]) {
+        if (membership[u] == target) membership[u] = kNoSet;
+      }
+      sets[target].clear();
+      if (early_stop_subgraphs > 0 && completed >= early_stop_subgraphs) {
+        break;
+      }
+    }
+  }
+
+  if (best_benefit < 0.0) return GreedyGrow(erg, k, edge_order);
+  return best;
+}
+
+std::vector<size_t> SortedEdgeOrder(const Erg& erg,
+                                    const std::vector<size_t>& candidates) {
+  std::vector<size_t> order = candidates;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (erg.edge(a).benefit != erg.edge(b).benefit) {
+      return erg.edge(a).benefit > erg.edge(b).benefit;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<size_t> AllEdgeIndices(const Erg& erg) {
+  std::vector<size_t> all(erg.num_edges());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+}  // namespace
+
+Cqg GssSelector::Select(const Erg& erg, size_t k) {
+  if (erg.num_edges() == 0) return {};
+  return RunGss(erg, k, SortedEdgeOrder(erg, AllEdgeIndices(erg)),
+                /*early_stop_subgraphs=*/0);
+}
+
+Cqg GssPlusSelector::Select(const Erg& erg, size_t k) {
+  if (erg.num_edges() == 0) return {};
+  // Optimization 1: keep only edges in the uncertain band — they carry the
+  // training signal; near-certain edges are answered by the machine.
+  std::vector<size_t> kept;
+  kept.reserve(erg.num_edges());
+  for (size_t e = 0; e < erg.num_edges(); ++e) {
+    const ErgEdge& edge = erg.edge(e);
+    bool tuple_uncertain = edge.p_tuple >= options_.prune_low &&
+                           edge.p_tuple <= options_.prune_high;
+    bool attr_uncertain = edge.has_attr && edge.p_attr >= options_.prune_low &&
+                          edge.p_attr <= options_.prune_high;
+    if (tuple_uncertain || attr_uncertain) kept.push_back(e);
+  }
+  if (kept.empty()) kept = AllEdgeIndices(erg);  // never go silent
+  // Optimization 2: early termination after m candidate subgraphs.
+  return RunGss(erg, k, SortedEdgeOrder(erg, kept),
+                options_.early_stop_subgraphs);
+}
+
+}  // namespace visclean

@@ -1,0 +1,46 @@
+// GSS (Algorithm 2, GreedySubgraphSelection) and its optimized variant
+// GSS+ (edge pruning to the uncertain band + early termination after m
+// candidate subgraphs), Section V-B.
+#ifndef VISCLEAN_GRAPH_GSS_H_
+#define VISCLEAN_GRAPH_GSS_H_
+
+#include "graph/selector.h"
+
+namespace visclean {
+
+/// \brief Tuning knobs shared by GSS and GSS+.
+struct GssOptions {
+  // --- GSS+ only; ignored by plain GSS ---
+  /// Edges whose tuple-match weight lies outside [prune_low, prune_high]
+  /// are dropped before benefit sorting ("uncertain edges carry the
+  /// information"; Fig. 8).
+  double prune_low = 0.3;
+  double prune_high = 0.7;
+  /// Stop after this many complete candidate subgraphs have been formed
+  /// (the paper fixes m = 20).
+  size_t early_stop_subgraphs = 20;
+};
+
+/// \brief Faithful Algorithm 2: sort edges by benefit descending, grow
+/// vertex sets greedily, evaluate each set the moment it reaches size k,
+/// return the best.
+class GssSelector : public CqgSelector {
+ public:
+  Cqg Select(const Erg& erg, size_t k) override;
+  std::string name() const override { return "GSS"; }
+};
+
+/// \brief GSS+ = GSS + edge pruning + early termination.
+class GssPlusSelector : public CqgSelector {
+ public:
+  explicit GssPlusSelector(GssOptions options = {}) : options_(options) {}
+  Cqg Select(const Erg& erg, size_t k) override;
+  std::string name() const override { return "GSS+"; }
+
+ private:
+  GssOptions options_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_GRAPH_GSS_H_

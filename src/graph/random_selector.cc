@@ -1,0 +1,32 @@
+#include "graph/random_selector.h"
+
+#include <set>
+#include <vector>
+
+namespace visclean {
+
+Cqg RandomSelector::Select(const Erg& erg, size_t k) {
+  if (erg.num_edges() == 0) return {};
+  const ErgEdge& seed = erg.edge(static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(erg.num_edges()) - 1)));
+  std::set<size_t> in_set = {seed.u, seed.v};
+
+  while (in_set.size() < k) {
+    // Frontier: vertices adjacent to the current set.
+    std::set<size_t> frontier;
+    for (size_t v : in_set) {
+      for (size_t e : erg.IncidentEdges(v)) {
+        const ErgEdge& edge = erg.edge(e);
+        size_t other = edge.u == v ? edge.v : edge.u;
+        if (!in_set.count(other)) frontier.insert(other);
+      }
+    }
+    if (frontier.empty()) break;
+    std::vector<size_t> choices(frontier.begin(), frontier.end());
+    in_set.insert(choices[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(choices.size()) - 1))]);
+  }
+  return InduceCqg(erg, {in_set.begin(), in_set.end()});
+}
+
+}  // namespace visclean

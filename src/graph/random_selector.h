@@ -1,0 +1,24 @@
+// The Random baseline of Section VII: picks a random connected k-subgraph.
+#ifndef VISCLEAN_GRAPH_RANDOM_SELECTOR_H_
+#define VISCLEAN_GRAPH_RANDOM_SELECTOR_H_
+
+#include "common/rng.h"
+#include "graph/selector.h"
+
+namespace visclean {
+
+/// \brief Selects a CQG by a random walk: random seed edge, then repeatedly
+/// absorbs a uniformly random frontier vertex until k vertices are in.
+class RandomSelector : public CqgSelector {
+ public:
+  explicit RandomSelector(uint64_t seed) : rng_(seed) {}
+  Cqg Select(const Erg& erg, size_t k) override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_GRAPH_RANDOM_SELECTOR_H_

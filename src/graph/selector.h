@@ -1,0 +1,40 @@
+// Abstract interface for CQG selection algorithms (Section V-B) plus the
+// factory used by benches and examples.
+#ifndef VISCLEAN_GRAPH_SELECTOR_H_
+#define VISCLEAN_GRAPH_SELECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "graph/cqg.h"
+#include "graph/erg.h"
+
+namespace visclean {
+
+/// \brief Strategy object returning the CQG to ask next.
+///
+/// Precondition: every ERG edge's `benefit` has been filled in by the
+/// benefit model. Implementations must return a connected subgraph with at
+/// most k vertices (fewer when the graph is too small or disconnected).
+class CqgSelector {
+ public:
+  virtual ~CqgSelector() = default;
+
+  /// Selects a CQG with (up to) k vertices. An empty CQG means no
+  /// questions remain.
+  virtual Cqg Select(const Erg& erg, size_t k) = 0;
+
+  /// Algorithm name as used in the paper's plots ("GSS", "GSS+", "B&B", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Creates a selector by name: "gss", "gss+", "bnb", "5-bnb", "10-bnb",
+/// "random", "exact". The alpha-B&B names parse the leading integer as the
+/// approximation ratio. `seed` only affects "random". Unknown names error.
+Result<std::unique_ptr<CqgSelector>> MakeSelector(const std::string& name,
+                                                  uint64_t seed = 7);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_GRAPH_SELECTOR_H_

@@ -1,0 +1,72 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace visclean {
+
+std::vector<Neighbor> NearestNeighborsByTokens(
+    const std::vector<std::set<std::string>>& items,
+    const std::set<std::string>& query, size_t k, ptrdiff_t exclude_index) {
+  std::vector<Neighbor> all;
+  all.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (exclude_index >= 0 && i == static_cast<size_t>(exclude_index)) continue;
+    all.push_back({i, 1.0 - JaccardSimilarity(query, items[i])});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<Neighbor> NearestNeighborsByString(
+    const std::vector<std::string>& items, const std::string& query, size_t k,
+    ptrdiff_t exclude_index) {
+  std::vector<std::set<std::string>> token_sets;
+  token_sets.reserve(items.size());
+  for (const std::string& item : items) {
+    token_sets.push_back(TokenSet(WordTokens(item)));
+  }
+  return NearestNeighborsByTokens(token_sets, TokenSet(WordTokens(query)), k,
+                                  exclude_index);
+}
+
+std::vector<double> KnnOutlierScores(const std::vector<double>& values,
+                                     size_t k) {
+  const size_t n = values.size();
+  std::vector<double> scores(n, 0.0);
+  if (n <= 1) return scores;
+  k = std::min(k, n - 1);
+
+  // Sort (value, original index); in sorted order the k nearest values of
+  // any element form a contiguous window containing it, so the k-th nearest
+  // distance is the minimum over the k+1 windows [l, l+k] covering position
+  // i of max(v[i]-v[l], v[l+k]-v[i]).
+  std::vector<std::pair<double, size_t>> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = {values[i], i};
+  std::sort(sorted.begin(), sorted.end());
+
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i >= k ? i - k : 0;
+    size_t hi = std::min(i, n - 1 - k);
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t l = lo; l <= hi; ++l) {
+      double left = sorted[i].first - sorted[l].first;
+      double right = sorted[l + k].first - sorted[i].first;
+      best = std::min(best, std::max(left, right));
+    }
+    scores[sorted[i].second] = best;
+  }
+  return scores;
+}
+
+}  // namespace visclean

@@ -1,0 +1,44 @@
+// k-nearest-neighbor utilities for missing-value imputation (Q_M) and
+// outlier detection (Q_O, Ramaswamy et al. [31]) from Section IV.
+#ifndef VISCLEAN_ML_KNN_H_
+#define VISCLEAN_ML_KNN_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace visclean {
+
+/// \brief Index/distance pair returned by neighbor queries.
+struct Neighbor {
+  size_t index;
+  double distance;
+};
+
+/// \brief The k nearest items to `query` among `items` (excluding
+/// `exclude_index` when >= 0), by Jaccard distance over word tokens of the
+/// concatenated-attribute strings — exactly the paper's Q_M recipe.
+///
+/// Results are sorted by ascending distance (ties by index).
+std::vector<Neighbor> NearestNeighborsByString(
+    const std::vector<std::string>& items, const std::string& query, size_t k,
+    ptrdiff_t exclude_index = -1);
+
+/// Pre-tokenized variant: callers issuing many queries over the same corpus
+/// tokenize once (word-token sets) and reuse them — the detectors' hot path.
+std::vector<Neighbor> NearestNeighborsByTokens(
+    const std::vector<std::set<std::string>>& items,
+    const std::set<std::string>& query, size_t k, ptrdiff_t exclude_index = -1);
+
+/// \brief kNN outlier score for every value: the k-th smallest absolute
+/// difference between a value and all other values (Section IV, Q_O).
+///
+/// Values with higher scores are more isolated. `k` is clamped to n-1;
+/// singleton inputs score 0.
+std::vector<double> KnnOutlierScores(const std::vector<double>& values,
+                                     size_t k);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_ML_KNN_H_

@@ -1,0 +1,39 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace visclean {
+
+void RandomForest::Fit(const std::vector<Example>& examples, uint64_t seed) {
+  VC_CHECK(!examples.empty(), "RandomForest::Fit requires examples");
+  trees_.clear();
+  trees_.resize(options_.num_trees);
+  Rng rng(seed);
+  size_t bag_size = std::max<size_t>(
+      1, static_cast<size_t>(options_.bootstrap_fraction *
+                             static_cast<double>(examples.size())));
+  for (DecisionTree& tree : trees_) {
+    std::vector<Example> bag;
+    bag.reserve(bag_size);
+    for (size_t i = 0; i < bag_size; ++i) {
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(examples.size()) - 1));
+      bag.push_back(examples[idx]);
+    }
+    tree.Fit(bag, options_.tree, &rng);
+  }
+}
+
+double RandomForest::PredictProbability(
+    const std::vector<double>& features) const {
+  if (trees_.empty()) return 0.5;
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    sum += tree.PredictProbability(features);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace visclean

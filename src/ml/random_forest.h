@@ -1,0 +1,47 @@
+// Bagged random forest classifier; the entity-matching model of Section IV.
+#ifndef VISCLEAN_ML_RANDOM_FOREST_H_
+#define VISCLEAN_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+
+namespace visclean {
+
+/// \brief Hyperparameters for RandomForest.
+struct ForestOptions {
+  size_t num_trees = 20;
+  TreeOptions tree;
+  /// Fraction of the training set drawn (with replacement) per tree.
+  double bootstrap_fraction = 1.0;
+};
+
+/// \brief Ensemble of DecisionTrees; probability = mean of tree outputs.
+///
+/// Supports incremental refitting: the cleaning session retrains the forest
+/// every iteration as user labels arrive (framework step 6), which is also
+/// what dominates machine time in Fig. 18.
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = {}) : options_(options) {}
+
+  /// Fits on `examples` (replacing any previous fit). `seed` makes the
+  /// subsampling deterministic. Requires a nonempty training set.
+  void Fit(const std::vector<Example>& examples, uint64_t seed);
+
+  /// Mean tree probability for one instance. Returns 0.5 when unfitted
+  /// (maximum uncertainty before any labels exist).
+  double PredictProbability(const std::vector<double>& features) const;
+
+  bool is_fitted() const { return !trees_.empty(); }
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_ML_RANDOM_FOREST_H_

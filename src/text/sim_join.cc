@@ -1,0 +1,140 @@
+#include "text/sim_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace visclean {
+
+namespace {
+
+using TokenIds = std::vector<int>;
+
+// Tokenizes every string and maps tokens to integer ids ordered by global
+// frequency ascending (rarest first), the canonical prefix-filter ordering.
+std::vector<TokenIds> BuildTokenIds(const std::vector<std::string>& a,
+                                    const std::vector<std::string>& b,
+                                    bool use_qgrams) {
+  std::vector<std::set<std::string>> sets;
+  sets.reserve(a.size() + b.size());
+  auto tokenize = [&](const std::string& s) {
+    return use_qgrams ? TokenSet(QGrams(s, 3)) : TokenSet(WordTokens(s));
+  };
+  for (const std::string& s : a) sets.push_back(tokenize(s));
+  for (const std::string& s : b) sets.push_back(tokenize(s));
+
+  std::map<std::string, size_t> freq;
+  for (const auto& set : sets) {
+    for (const std::string& t : set) ++freq[t];
+  }
+  std::vector<std::pair<size_t, std::string>> order;
+  order.reserve(freq.size());
+  for (const auto& [t, f] : freq) order.emplace_back(f, t);
+  std::sort(order.begin(), order.end());
+  std::unordered_map<std::string, int> id;
+  id.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) id[order[i].second] = (int)i;
+
+  std::vector<TokenIds> out;
+  out.reserve(sets.size());
+  for (const auto& set : sets) {
+    TokenIds ids;
+    ids.reserve(set.size());
+    for (const std::string& t : set) ids.push_back(id[t]);
+    std::sort(ids.begin(), ids.end());
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
+double JaccardOfSorted(const TokenIds& x, const TokenIds& y) {
+  if (x.empty() && y.empty()) return 1.0;
+  size_t inter = 0, i = 0, j = 0;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] == y[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (x[i] < y[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = x.size() + y.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+size_t PrefixLength(size_t set_size, double threshold) {
+  if (set_size == 0) return 0;
+  size_t keep = static_cast<size_t>(
+      std::ceil(threshold * static_cast<double>(set_size)));
+  return set_size - keep + 1;
+}
+
+std::vector<SimJoinPair> JoinImpl(const std::vector<TokenIds>& left_ids,
+                                  const std::vector<TokenIds>& right_ids,
+                                  double threshold, bool self_join) {
+  // Inverted index over the prefix tokens of the right side.
+  std::unordered_map<int, std::vector<size_t>> index;
+  for (size_t j = 0; j < right_ids.size(); ++j) {
+    size_t plen = PrefixLength(right_ids[j].size(), threshold);
+    for (size_t p = 0; p < plen && p < right_ids[j].size(); ++p) {
+      index[right_ids[j][p]].push_back(j);
+    }
+  }
+
+  std::vector<SimJoinPair> out;
+  std::set<std::pair<size_t, size_t>> seen;
+  for (size_t i = 0; i < left_ids.size(); ++i) {
+    size_t plen = PrefixLength(left_ids[i].size(), threshold);
+    for (size_t p = 0; p < plen && p < left_ids[i].size(); ++p) {
+      auto it = index.find(left_ids[i][p]);
+      if (it == index.end()) continue;
+      for (size_t j : it->second) {
+        if (self_join && j <= i) continue;
+        if (!seen.insert({i, j}).second) continue;
+        // Length filter: |x| >= t*|y| and |y| >= t*|x| is necessary for
+        // Jaccard >= t.
+        size_t lx = left_ids[i].size(), ly = right_ids[j].size();
+        if (static_cast<double>(std::min(lx, ly)) <
+            threshold * static_cast<double>(std::max(lx, ly))) {
+          continue;
+        }
+        double sim = JaccardOfSorted(left_ids[i], right_ids[j]);
+        if (sim >= threshold) out.push_back({i, j, sim});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SimJoinPair& a, const SimJoinPair& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    if (a.left_index != b.left_index) return a.left_index < b.left_index;
+    return a.right_index < b.right_index;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<SimJoinPair> SimilarityJoin(const std::vector<std::string>& left,
+                                        const std::vector<std::string>& right,
+                                        const SimJoinOptions& options) {
+  std::vector<TokenIds> all =
+      BuildTokenIds(left, right, options.use_qgrams);
+  std::vector<TokenIds> left_ids(all.begin(), all.begin() + left.size());
+  std::vector<TokenIds> right_ids(all.begin() + left.size(), all.end());
+  return JoinImpl(left_ids, right_ids, options.threshold, /*self_join=*/false);
+}
+
+std::vector<SimJoinPair> SimilaritySelfJoin(
+    const std::vector<std::string>& items, const SimJoinOptions& options) {
+  std::vector<TokenIds> ids = BuildTokenIds(items, {}, options.use_qgrams);
+  return JoinImpl(ids, ids, options.threshold, /*self_join=*/true);
+}
+
+}  // namespace visclean

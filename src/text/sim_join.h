@@ -1,0 +1,43 @@
+// String similarity join with prefix filtering (Jiang et al., cited as [16]
+// in the paper). Used by Strategy 2 of A-question generation (Algorithm 1)
+// to find synonym candidates across entity-matching clusters.
+#ifndef VISCLEAN_TEXT_SIM_JOIN_H_
+#define VISCLEAN_TEXT_SIM_JOIN_H_
+
+#include <string>
+#include <vector>
+
+namespace visclean {
+
+/// \brief One output pair of a similarity join.
+struct SimJoinPair {
+  size_t left_index;   ///< index into the left input vector
+  size_t right_index;  ///< index into the right input vector
+  double similarity;   ///< Jaccard similarity over word tokens
+};
+
+/// \brief Options for SimilarityJoin.
+struct SimJoinOptions {
+  double threshold = 0.5;  ///< minimum Jaccard similarity to emit a pair
+  bool use_qgrams = false; ///< token by 3-grams instead of words
+};
+
+/// \brief All pairs (i from `left`, j from `right`) with token-Jaccard
+/// similarity >= options.threshold.
+///
+/// Implements prefix filtering: tokens are globally ordered by frequency
+/// (rarest first); a pair can only reach threshold t if the two prefix sets
+/// of length |x| - ceil(t*|x|) + 1 share a token, so candidates come from an
+/// inverted index over prefixes instead of the full cross product.
+std::vector<SimJoinPair> SimilarityJoin(const std::vector<std::string>& left,
+                                        const std::vector<std::string>& right,
+                                        const SimJoinOptions& options = {});
+
+/// Self-join variant: all unordered pairs (i < j) within `items` meeting the
+/// threshold.
+std::vector<SimJoinPair> SimilaritySelfJoin(
+    const std::vector<std::string>& items, const SimJoinOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_TEXT_SIM_JOIN_H_

@@ -1,0 +1,122 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "text/tokenize.h"
+
+namespace visclean {
+
+double JaccardSimilarity(const std::set<std::string>& a,
+                         const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = 0;
+  for (const std::string& t : a) {
+    if (b.count(t)) ++inter;
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double WordJaccard(std::string_view a, std::string_view b) {
+  return JaccardSimilarity(TokenSet(WordTokens(a)), TokenSet(WordTokens(b)));
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  return JaccardSimilarity(TokenSet(QGrams(a, q)), TokenSet(QGrams(b, q)));
+}
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t d = LevenshteinDistance(a, b);
+  size_t m = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(d) / static_cast<double>(m);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t window =
+      std::max(a.size(), b.size()) / 2 > 0 ? std::max(a.size(), b.size()) / 2 - 1
+                                           : 0;
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t t = 0, k = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++t;
+    ++k;
+  }
+  double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() + (m - t / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + 0.1 * static_cast<double>(prefix) * (1.0 - jaro);
+}
+
+double CosineWordSimilarity(std::string_view a, std::string_view b) {
+  std::map<std::string, int> fa, fb;
+  for (const std::string& t : WordTokens(a)) ++fa[t];
+  for (const std::string& t : WordTokens(b)) ++fb[t];
+  if (fa.empty() && fb.empty()) return 1.0;
+  if (fa.empty() || fb.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [t, c] : fa) {
+    na += static_cast<double>(c) * c;
+    auto it = fb.find(t);
+    if (it != fb.end()) dot += static_cast<double>(c) * it->second;
+  }
+  for (const auto& [t, c] : fb) nb += static_cast<double>(c) * c;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double OverlapCoefficient(std::string_view a, std::string_view b) {
+  std::set<std::string> sa = TokenSet(WordTokens(a));
+  std::set<std::string> sb = TokenSet(WordTokens(b));
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const std::string& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  return static_cast<double>(inter) / std::min(sa.size(), sb.size());
+}
+
+}  // namespace visclean

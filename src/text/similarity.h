@@ -1,0 +1,43 @@
+// String similarity measures used for A-question generation (Section IV),
+// entity-matching features (src/em), and kNN distances (Section IV, Q_M).
+// All measures return a score in [0, 1]; higher means more similar.
+#ifndef VISCLEAN_TEXT_SIMILARITY_H_
+#define VISCLEAN_TEXT_SIMILARITY_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace visclean {
+
+/// Jaccard similarity of two token sets: |A∩B| / |A∪B| (1.0 when both empty).
+double JaccardSimilarity(const std::set<std::string>& a,
+                         const std::set<std::string>& b);
+
+/// Jaccard over lowercased word tokens.
+double WordJaccard(std::string_view a, std::string_view b);
+
+/// Jaccard over character q-grams (default q = 3).
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
+
+/// Normalized Levenshtein similarity: 1 - edit_distance / max(|a|, |b|).
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Raw Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Jaro similarity (match-window transposition measure).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by common-prefix length (p = 0.1, max 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Cosine similarity over word-token multisets.
+double CosineWordSimilarity(std::string_view a, std::string_view b);
+
+/// Overlap coefficient |A∩B| / min(|A|, |B|) over word tokens.
+double OverlapCoefficient(std::string_view a, std::string_view b);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_TEXT_SIMILARITY_H_

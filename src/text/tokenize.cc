@@ -1,0 +1,57 @@
+#include "text/tokenize.h"
+
+#include "common/strings.h"
+
+namespace visclean {
+
+std::vector<std::string> WordTokens(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9');
+    if (alnum) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      cur += c;
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> QGrams(std::string_view s, size_t q) {
+  // Normalize: lowercase, collapse runs of whitespace to single spaces.
+  std::string norm;
+  bool prev_space = true;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      if (!prev_space) norm += ' ';
+      prev_space = true;
+    } else {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      norm += c;
+      prev_space = false;
+    }
+  }
+  while (!norm.empty() && norm.back() == ' ') norm.pop_back();
+
+  std::vector<std::string> out;
+  if (norm.empty()) return out;
+  if (norm.size() <= q) {
+    out.push_back(norm);
+    return out;
+  }
+  for (size_t i = 0; i + q <= norm.size(); ++i) {
+    out.push_back(norm.substr(i, q));
+  }
+  return out;
+}
+
+std::set<std::string> TokenSet(const std::vector<std::string>& tokens) {
+  return std::set<std::string>(tokens.begin(), tokens.end());
+}
+
+}  // namespace visclean

@@ -1,0 +1,24 @@
+// Tokenizers feeding the string-similarity measures.
+#ifndef VISCLEAN_TEXT_TOKENIZE_H_
+#define VISCLEAN_TEXT_TOKENIZE_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace visclean {
+
+/// Lowercased alphanumeric word tokens ("SIGMOD Conf." -> {"sigmod","conf"}).
+std::vector<std::string> WordTokens(std::string_view s);
+
+/// Lowercased character q-grams over the whitespace-normalized string.
+/// Strings shorter than q yield the whole string as a single token.
+std::vector<std::string> QGrams(std::string_view s, size_t q);
+
+/// Deduplicated token set (for Jaccard/overlap-style measures).
+std::set<std::string> TokenSet(const std::vector<std::string>& tokens);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_TEXT_TOKENIZE_H_

@@ -1,0 +1,125 @@
+#include "ui/graph_render.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace visclean {
+
+namespace {
+
+std::string Clip(const std::string& s, size_t max_width) {
+  if (s.size() <= max_width) return s;
+  return s.substr(0, max_width > 3 ? max_width - 3 : max_width) + "...";
+}
+
+std::string VertexTag(const ErgVertex& v) {
+  std::string tag = StrFormat("t%zu", v.row);
+  if (v.outlier.has_value()) tag += "[O]";
+  if (v.missing.has_value()) tag += "[M]";
+  return tag;
+}
+
+std::string TuplePreview(const Table& table, size_t row,
+                         const GraphRenderOptions& options) {
+  std::string out;
+  const Schema& schema = table.schema();
+  bool first = true;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const std::string& name = schema.column(c).name;
+    if (!options.preview_columns.empty()) {
+      bool wanted = false;
+      for (const std::string& want : options.preview_columns) {
+        if (want == name) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted) continue;
+    }
+    if (!first) out += ", ";
+    first = false;
+    std::string cell = table.at(row, c).ToDisplayString();
+    if (cell.empty()) cell = "<null>";
+    out += name + "=" + Clip(cell, options.max_cell_width);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderErg(const Erg& erg, const Table& table,
+                      const GraphRenderOptions& options) {
+  std::string out = StrFormat("ERG: %zu vertices, %zu edges\n",
+                              erg.num_vertices(), erg.num_edges());
+  for (size_t e = 0; e < erg.num_edges(); ++e) {
+    const ErgEdge& edge = erg.edge(e);
+    const ErgVertex& u = erg.vertex(edge.u);
+    const ErgVertex& v = erg.vertex(edge.v);
+    if (table.is_dead(u.row) || table.is_dead(v.row)) continue;
+    out += "  " + VertexTag(u);
+    if (options.show_probabilities) {
+      if (edge.has_attr) {
+        out += StrFormat(" --(p_t=%.2f, p_a=%.2f)-- ", edge.p_tuple,
+                         edge.p_attr);
+      } else {
+        out += StrFormat(" --(p_t=%.2f)-- ", edge.p_tuple);
+      }
+    } else {
+      out += " -- ";
+    }
+    out += VertexTag(v);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderCqg(const Erg& erg, const Cqg& cqg, const Table& table,
+                      const GraphRenderOptions& options) {
+  std::string out =
+      StrFormat("Composite question: %zu tuples, %zu linked questions "
+                "(estimated benefit %.4f)\n",
+                cqg.vertices.size(), cqg.edge_indices.size(),
+                cqg.total_benefit);
+
+  out += "-- tuples --\n";
+  for (size_t vi : cqg.vertices) {
+    const ErgVertex& v = erg.vertex(vi);
+    if (table.is_dead(v.row)) continue;
+    out += "  " + VertexTag(v) + ": " + TuplePreview(table, v.row, options) +
+           "\n";
+    if (v.missing.has_value()) {
+      out += StrFormat("      [M] missing %s; suggested imputation: %g\n",
+                       table.schema().column(v.missing->column).name.c_str(),
+                       v.missing->suggested);
+    }
+    if (v.outlier.has_value()) {
+      out += StrFormat(
+          "      [O] %s = %g looks like an outlier (score %.1f); "
+          "suggested repair: %g\n",
+          table.schema().column(v.outlier->column).name.c_str(),
+          v.outlier->current, v.outlier->score, v.outlier->suggested);
+    }
+  }
+
+  out += "-- questions --\n";
+  for (size_t e : cqg.edge_indices) {
+    const ErgEdge& edge = erg.edge(e);
+    const ErgVertex& u = erg.vertex(edge.u);
+    const ErgVertex& v = erg.vertex(edge.v);
+    if (table.is_dead(u.row) || table.is_dead(v.row)) continue;
+    out += StrFormat("  [T] are t%zu and t%zu the same entity? (p=%.2f)\n",
+                     u.row, v.row, edge.p_tuple);
+    if (edge.has_attr) {
+      out += StrFormat("  [A]   and is \"%s\" the same as \"%s\"? (p=%.2f)\n",
+                       Clip(edge.attr_question.value_a, options.max_cell_width)
+                           .c_str(),
+                       Clip(edge.attr_question.value_b, options.max_cell_width)
+                           .c_str(),
+                       edge.p_attr);
+    }
+  }
+  return out;
+}
+
+}  // namespace visclean

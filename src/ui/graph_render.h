@@ -1,0 +1,38 @@
+// Text rendering of composite questions: the terminal stand-in for the
+// graph GUI of Section VI. A CQG prints as an adjacency outline with the
+// per-edge T/A questions and per-vertex M/O questions a user would see in
+// Fig. 9, including the tuple details shown when an edge is clicked.
+#ifndef VISCLEAN_UI_GRAPH_RENDER_H_
+#define VISCLEAN_UI_GRAPH_RENDER_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "graph/cqg.h"
+#include "graph/erg.h"
+
+namespace visclean {
+
+/// \brief Rendering options.
+struct GraphRenderOptions {
+  /// Columns of the tuple preview shown per vertex (empty = all).
+  std::vector<std::string> preview_columns;
+  size_t max_cell_width = 24;
+  bool show_probabilities = true;
+};
+
+/// Renders the whole ERG as an edge list with vertex labels (Fig. 4 style):
+/// one line per edge "t3 --(p_t=0.55, p_a=0.70)-- t7", vertices flagged
+/// [O] / [M] like the paper's red/hollow markers.
+std::string RenderErg(const Erg& erg, const Table& table,
+                      const GraphRenderOptions& options = {});
+
+/// Renders one CQG the way the GUI presents a composite question: the
+/// vertex roster with tuple previews and M/O sub-questions, then the edge
+/// list with T/A sub-questions (Fig. 5 / Fig. 9 content).
+std::string RenderCqg(const Erg& erg, const Cqg& cqg, const Table& table,
+                      const GraphRenderOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_UI_GRAPH_RENDER_H_

@@ -1,0 +1,57 @@
+#include "ui/trace_export.h"
+
+#include "common/json_writer.h"
+#include "common/strings.h"
+
+namespace visclean {
+
+std::string TracesToCsv(const std::vector<IterationTrace>& traces) {
+  std::string out =
+      "iteration,emd,user_seconds,questions_asked,cqg_benefit,"
+      "machine_detect,machine_train,machine_benefit,machine_select,"
+      "machine_apply\n";
+  for (const IterationTrace& t : traces) {
+    out += StrFormat("%zu,%.6f,%.2f,%zu,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+                     t.iteration, t.emd, t.user_seconds, t.questions_asked,
+                     t.cqg_benefit, t.machine.detect, t.machine.train,
+                     t.machine.benefit, t.machine.select, t.machine.apply);
+  }
+  return out;
+}
+
+std::string TracesToJson(const std::vector<IterationTrace>& traces,
+                         bool pretty) {
+  JsonWriter json = pretty ? JsonWriter::Pretty() : JsonWriter();
+  json.BeginArray();
+  for (const IterationTrace& t : traces) {
+    json.BeginObject();
+    json.Key("iteration");
+    json.Int(static_cast<int64_t>(t.iteration));
+    json.Key("emd");
+    json.Number(t.emd);
+    json.Key("user_seconds");
+    json.Number(t.user_seconds);
+    json.Key("questions_asked");
+    json.Int(static_cast<int64_t>(t.questions_asked));
+    json.Key("cqg_benefit");
+    json.Number(t.cqg_benefit);
+    json.Key("machine");
+    json.BeginObject();
+    json.Key("detect");
+    json.Number(t.machine.detect);
+    json.Key("train");
+    json.Number(t.machine.train);
+    json.Key("benefit");
+    json.Number(t.machine.benefit);
+    json.Key("select");
+    json.Number(t.machine.select);
+    json.Key("apply");
+    json.Number(t.machine.apply);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.TakeString();
+}
+
+}  // namespace visclean

@@ -1,0 +1,24 @@
+// Exporters for session traces: CSV (for spreadsheets / gnuplot) and JSON
+// (for web dashboards), so experiment results can be plotted outside the
+// terminal harnesses.
+#ifndef VISCLEAN_UI_TRACE_EXPORT_H_
+#define VISCLEAN_UI_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+
+namespace visclean {
+
+/// CSV with one row per iteration: iteration, emd, user_seconds,
+/// questions_asked, cqg_benefit, and the five machine-time components.
+std::string TracesToCsv(const std::vector<IterationTrace>& traces);
+
+/// JSON array of iteration objects (same fields as the CSV).
+std::string TracesToJson(const std::vector<IterationTrace>& traces,
+                         bool pretty = true);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_UI_TRACE_EXPORT_H_

@@ -1,0 +1,2 @@
+// cost_model.h is header-only; this TU checks self-containedness.
+#include "user/cost_model.h"

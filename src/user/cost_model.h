@@ -1,0 +1,48 @@
+// User-time cost model, calibrated to the measurements of Figs. 15-16.
+//
+// The paper's 20 participants spent about 520 s answering 15 composite
+// questions (~34.7 s per CQG at k = 10) versus about 860 s answering 15
+// equally sized groups of single questions (~57.3 s per group, i.e. ~5.7 s
+// per isolated question). Composite questions are cheaper per label because
+// the graph shares context between related questions; singles pay the
+// context-switch on every question. The constants below reproduce those
+// aggregates and are swept in the user-cost bench.
+#ifndef VISCLEAN_USER_COST_MODEL_H_
+#define VISCLEAN_USER_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace visclean {
+
+/// \brief Seconds of human effort per interaction element.
+struct UserCostModel {
+  // Composite question (one CQG).
+  double cqg_base_seconds = 8.0;      ///< orienting on the graph
+  double cqg_edge_seconds = 2.2;      ///< per edge label (confirm/split)
+  double cqg_vertex_seconds = 1.5;    ///< per vertex M-/O-question
+
+  // Isolated single questions.
+  double single_t_seconds = 6.0;   ///< compare two full tuples
+  double single_a_seconds = 5.0;   ///< compare two spellings
+  double single_m_seconds = 5.5;   ///< validate an imputation
+  double single_o_seconds = 6.5;   ///< judge an outlier + pick repair
+
+  /// Cost of answering one CQG with the given shape.
+  double CqgSeconds(size_t num_edges, size_t num_vertex_questions) const {
+    return cqg_base_seconds +
+           cqg_edge_seconds * static_cast<double>(num_edges) +
+           cqg_vertex_seconds * static_cast<double>(num_vertex_questions);
+  }
+
+  /// Cost of a group of isolated single questions.
+  double SingleGroupSeconds(size_t t, size_t a, size_t m, size_t o) const {
+    return single_t_seconds * static_cast<double>(t) +
+           single_a_seconds * static_cast<double>(a) +
+           single_m_seconds * static_cast<double>(m) +
+           single_o_seconds * static_cast<double>(o);
+  }
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_USER_COST_MODEL_H_

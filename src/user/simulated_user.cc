@@ -1,0 +1,61 @@
+#include "user/simulated_user.h"
+
+#include <cmath>
+
+namespace visclean {
+
+std::optional<bool> SimulatedUser::AnswerT(const TQuestion& q) {
+  if (Skipped()) return std::nullopt;
+  bool truth = oracle_->SameEntity(q.row_a, q.row_b);
+  return Lies() ? !truth : truth;
+}
+
+std::optional<AttributeAnswer> SimulatedUser::AnswerA(const AQuestion& q) {
+  if (Skipped()) return std::nullopt;
+  std::string ca = oracle_->CanonicalOf(q.column, q.value_a);
+  std::string cb = oracle_->CanonicalOf(q.column, q.value_b);
+  bool truth = !ca.empty() && ca == cb;
+  AttributeAnswer answer;
+  answer.same = Lies() ? !truth : truth;
+  if (answer.same) {
+    // A careful user names the canonical spelling; a careless one
+    // rubber-stamps the question's proposed target.
+    answer.preferred = Lies() ? q.value_b : ca;
+    if (answer.preferred.empty()) answer.preferred = q.value_b;
+  }
+  return answer;
+}
+
+std::string SimulatedUser::PreferredSpelling(size_t column,
+                                             const std::string& spelling) {
+  if (Lies()) return spelling;
+  return oracle_->CanonicalOf(column, spelling);
+}
+
+std::optional<double> SimulatedUser::AnswerM(const MQuestion& q) {
+  if (Skipped()) return std::nullopt;
+  const Value& truth = oracle_->TrueValue(q.row, q.column);
+  double value = truth.is_null() ? q.suggested : truth.ToNumberOr(q.suggested);
+  if (Lies()) {
+    // A careless user rubber-stamps the (possibly wrong) suggestion or
+    // fat-fingers a digit.
+    return rng_.Bernoulli(0.5) ? q.suggested : value * 10.0;
+  }
+  return value;
+}
+
+std::optional<OutlierAnswer> SimulatedUser::AnswerO(const OQuestion& q) {
+  if (Skipped()) return std::nullopt;
+  const Value& truth = oracle_->TrueValue(q.row, q.column);
+  double true_value = truth.ToNumberOr(q.current);
+  // Genuine outlier: the stored value is far from the entity's true value.
+  double denom = std::max(std::fabs(true_value), 1.0);
+  bool truth_is_outlier = std::fabs(q.current - true_value) / denom > 0.5;
+  OutlierAnswer answer;
+  answer.is_outlier = Lies() ? !truth_is_outlier : truth_is_outlier;
+  answer.repair = answer.is_outlier ? true_value : q.current;
+  if (Lies() && answer.is_outlier) answer.repair = q.suggested;
+  return answer;
+}
+
+}  // namespace visclean

@@ -1,0 +1,79 @@
+// Simulated user: answers cleaning questions from the generator's ground
+// truth, with the wrong-label% and completeness% knobs of Exp-3 (Table VI).
+// This substitutes for the paper's 20 human participants; see DESIGN.md §1.
+#ifndef VISCLEAN_USER_SIMULATED_USER_H_
+#define VISCLEAN_USER_SIMULATED_USER_H_
+
+#include <optional>
+#include <string>
+
+#include "clean/question.h"
+#include "common/rng.h"
+#include "datagen/generator.h"
+
+namespace visclean {
+
+/// \brief Noise knobs for the simulated user.
+struct UserOptions {
+  /// P(an answer is flipped/corrupted) — Table VI's WrongLabel%.
+  double wrong_label_rate = 0.0;
+  /// P(a question is answered at all) — Table VI's Completeness%.
+  double completeness = 1.0;
+  uint64_t seed = 99;
+};
+
+/// \brief Answer to an A-question: whether the two spellings co-refer, and
+/// — the paper's "If so, which value should be used?" — the spelling the
+/// user wants to standardize on.
+struct AttributeAnswer {
+  bool same = false;
+  std::string preferred;  ///< meaningful when same
+};
+
+/// \brief Answer to an O-question.
+struct OutlierAnswer {
+  bool is_outlier = false;
+  double repair = 0.0;  ///< meaningful when is_outlier
+};
+
+/// \brief Oracle-backed user. std::nullopt = question left unanswered
+/// (incompleteness).
+class SimulatedUser {
+ public:
+  SimulatedUser(const DirtyDataset* oracle, UserOptions options = {})
+      : oracle_(oracle), options_(options), rng_(options.seed) {}
+
+  /// Confirm (true) or split (false) a tuple-level duplicate edge.
+  std::optional<bool> AnswerT(const TQuestion& q);
+
+  /// Approve or reject an attribute standardization. Two spellings co-refer
+  /// iff the oracle maps them to the same canonical; on approval the user
+  /// also names the spelling to standardize on (the canonical one).
+  std::optional<AttributeAnswer> AnswerA(const AQuestion& q);
+
+  /// The spelling this user would standardize `spelling` to ("which value
+  /// should be used?"): the oracle canonical, or the input itself when the
+  /// user is careless (wrong label) or the spelling is unknown.
+  std::string PreferredSpelling(size_t column, const std::string& spelling);
+
+  /// The value to impute (the true value; with a wrong label, a corrupted
+  /// one — mimicking a careless approval of a bad suggestion).
+  std::optional<double> AnswerM(const MQuestion& q);
+
+  /// Outlier verdict plus repair value.
+  std::optional<OutlierAnswer> AnswerO(const OQuestion& q);
+
+  const UserOptions& options() const { return options_; }
+
+ private:
+  bool Skipped() { return !rng_.Bernoulli(options_.completeness); }
+  bool Lies() { return rng_.Bernoulli(options_.wrong_label_rate); }
+
+  const DirtyDataset* oracle_;
+  UserOptions options_;
+  Rng rng_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_USER_SIMULATED_USER_H_

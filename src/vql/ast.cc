@@ -1,0 +1,82 @@
+#include "vql/ast.h"
+
+#include "common/strings.h"
+
+namespace visclean {
+
+std::string CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kGt:
+      return ">";
+  }
+  return "=";
+}
+
+std::string VqlQuery::ToString() const {
+  std::string out = "VISUALIZE ";
+  out += chart == ChartType::kBar ? "BAR" : "PIE";
+  out += "\nSELECT ";
+  switch (x_transform) {
+    case XTransform::kNone:
+      out += x_column;
+      break;
+    case XTransform::kGroup:
+      out += "GROUP(" + x_column + ")";
+      break;
+    case XTransform::kBin:
+      out += "BIN(" + x_column + ")";
+      break;
+  }
+  out += ", ";
+  switch (agg) {
+    case AggFunc::kNone:
+      out += y_column;
+      break;
+    case AggFunc::kSum:
+      out += "SUM(" + y_column + ")";
+      break;
+    case AggFunc::kAvg:
+      out += "AVG(" + y_column + ")";
+      break;
+    case AggFunc::kCount:
+      out += "COUNT(" + y_column + ")";
+      break;
+  }
+  out += "\nFROM " + (dataset.empty() ? std::string("D") : dataset);
+  if (x_transform == XTransform::kBin) {
+    out += StrFormat("\nTRANSFORM BIN(%s) BY INTERVAL %g", x_column.c_str(),
+                     bin_interval);
+  } else if (x_transform == XTransform::kGroup) {
+    out += "\nTRANSFORM GROUP(" + x_column + ")";
+  }
+  if (!predicates.empty()) {
+    out += "\nWHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) out += " AND ";
+      const Predicate& p = predicates[i];
+      out += p.column + " " + CompareOpToString(p.op) + " ";
+      if (p.literal.is_string()) {
+        out += "'" + p.literal.AsString() + "'";
+      } else {
+        out += p.literal.ToDisplayString();
+      }
+    }
+  }
+  if (sort_key != SortKey::kNone) {
+    out += "\nSORT ";
+    out += sort_key == SortKey::kX ? "X" : "Y";
+    out += sort_order == SortOrder::kDesc ? " DESC" : " ASC";
+  }
+  if (limit >= 0) out += StrFormat("\nLIMIT %d", limit);
+  return out;
+}
+
+}  // namespace visclean

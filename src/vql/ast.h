@@ -1,0 +1,68 @@
+// Abstract syntax for the SQL-like Visualization Query Language of Fig. 2.
+//
+// A VqlQuery is what the user specifies in step (1) of the framework; the
+// executor renders it against any version of the dataset, which is how the
+// benefit model compares visualizations before/after speculative repairs.
+#ifndef VISCLEAN_VQL_AST_H_
+#define VISCLEAN_VQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+#include "dist/vis_data.h"
+
+namespace visclean {
+
+/// Transformation applied to the X column (TRANSFORM clause).
+enum class XTransform {
+  kNone,   ///< X' = X, one mark per tuple
+  kGroup,  ///< X' = GROUP(X): one mark per distinct categorical value
+  kBin,    ///< X' = BIN(X) BY INTERVAL w: one mark per numeric bin
+};
+
+/// Aggregation applied to the Y column (paper's AGG in {SUM, AVG, COUNT}).
+enum class AggFunc { kNone, kSum, kAvg, kCount };
+
+/// SORT clause key.
+enum class SortKey { kNone, kX, kY };
+enum class SortOrder { kAsc, kDesc };
+
+/// Comparison operators allowed in WHERE (Fig. 2: =, <, <=, >=, >).
+enum class CompareOp { kEq, kLt, kLe, kGe, kGt };
+
+/// \brief One conjunct of the WHERE clause: `column OP literal`.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+/// \brief A complete parsed visualization query.
+struct VqlQuery {
+  ChartType chart = ChartType::kBar;
+  std::string x_column;
+  std::string y_column;
+  std::string dataset;  ///< FROM clause; informational (the executor takes a Table)
+
+  XTransform x_transform = XTransform::kNone;
+  double bin_interval = 0.0;  ///< width when x_transform == kBin
+
+  AggFunc agg = AggFunc::kNone;
+
+  std::vector<Predicate> predicates;  ///< conjunctive WHERE
+
+  SortKey sort_key = SortKey::kNone;
+  SortOrder sort_order = SortOrder::kDesc;
+  int limit = -1;  ///< LIMIT K; -1 = no limit
+
+  /// Canonical textual rendering (parseable back by ParseVql).
+  std::string ToString() const;
+};
+
+/// Spelling of a CompareOp ("=", "<", "<=", ">=", ">").
+std::string CompareOpToString(CompareOp op);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_VQL_AST_H_

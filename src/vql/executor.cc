@@ -1,0 +1,223 @@
+#include "vql/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/strings.h"
+#include "vql/parser.h"
+
+namespace visclean {
+
+namespace {
+
+// Evaluates one predicate against a cell. Null never satisfies.
+bool EvalPredicate(const Predicate& p, const Value& cell) {
+  if (cell.is_null()) return false;
+  if (p.literal.is_number()) {
+    double lit = p.literal.AsNumber();
+    double v = cell.ToNumberOr(std::numeric_limits<double>::quiet_NaN());
+    if (std::isnan(v)) return false;
+    switch (p.op) {
+      case CompareOp::kEq:
+        return v == lit;
+      case CompareOp::kLt:
+        return v < lit;
+      case CompareOp::kLe:
+        return v <= lit;
+      case CompareOp::kGe:
+        return v >= lit;
+      case CompareOp::kGt:
+        return v > lit;
+    }
+    return false;
+  }
+  // String literal: compare display strings. Only `=` is meaningful for
+  // categorical data; order comparisons use lexicographic order.
+  std::string lhs = cell.ToDisplayString();
+  const std::string& rhs = p.literal.AsString();
+  switch (p.op) {
+    case CompareOp::kEq:
+      return EqualsIgnoreCase(lhs, rhs);
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+  }
+  return false;
+}
+
+struct Accum {
+  double sum = 0.0;
+  size_t count = 0;
+};
+
+}  // namespace
+
+Result<VisData> ExecuteVql(const VqlQuery& query, const Table& table) {
+  const Schema& schema = table.schema();
+  Result<size_t> x_col = schema.IndexOf(query.x_column);
+  if (!x_col.ok()) return x_col.status();
+  Result<size_t> y_col = schema.IndexOf(query.y_column);
+  if (!y_col.ok()) return y_col.status();
+
+  std::vector<size_t> pred_cols(query.predicates.size());
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    Result<size_t> c = schema.IndexOf(query.predicates[i].column);
+    if (!c.ok()) return c.status();
+    pred_cols[i] = c.value();
+  }
+
+  // Filter.
+  std::vector<size_t> rows;
+  for (size_t r : table.LiveRowIds()) {
+    bool keep = true;
+    for (size_t i = 0; i < query.predicates.size(); ++i) {
+      if (!EvalPredicate(query.predicates[i], table.at(r, pred_cols[i]))) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) rows.push_back(r);
+  }
+
+  VisData vis;
+  vis.type = query.chart;
+  vis.x_name = query.x_column;
+  vis.y_name = query.y_column;
+
+  // Internal points carry a numeric sort key for bins / numeric X.
+  struct RawPoint {
+    std::string label;
+    double numeric_key;
+    bool has_numeric_key;
+    double y;
+  };
+  std::vector<RawPoint> raw;
+
+  auto y_value = [&](size_t r) -> const Value& { return table.at(r, y_col.value()); };
+
+  if (query.x_transform == XTransform::kNone) {
+    // One mark per tuple (query types 1 & 2 of Table III).
+    for (size_t r : rows) {
+      const Value& xv = table.at(r, x_col.value());
+      const Value& yv = y_value(r);
+      double y;
+      if (query.agg == AggFunc::kCount) {
+        y = yv.is_null() ? 0.0 : 1.0;
+      } else {
+        if (yv.is_null()) continue;  // cannot plot a missing measure
+        y = yv.ToNumberOr(0.0);
+      }
+      RawPoint p;
+      p.label = xv.ToDisplayString();
+      p.has_numeric_key = xv.is_number();
+      p.numeric_key = p.has_numeric_key ? xv.AsNumber() : 0.0;
+      p.y = y;
+      raw.push_back(std::move(p));
+    }
+  } else {
+    // GROUP or BIN: key -> accumulator.
+    std::map<std::string, Accum> groups;
+    std::map<std::string, double> numeric_keys;
+    for (size_t r : rows) {
+      const Value& xv = table.at(r, x_col.value());
+      if (xv.is_null()) continue;  // missing X drops the tuple from X'
+      std::string key;
+      double numeric_key = 0.0;
+      if (query.x_transform == XTransform::kGroup) {
+        key = xv.ToDisplayString();
+        numeric_key = xv.ToNumberOr(0.0);
+      } else {
+        double x = xv.ToNumberOr(std::numeric_limits<double>::quiet_NaN());
+        if (std::isnan(x)) continue;
+        double lo = std::floor(x / query.bin_interval) * query.bin_interval;
+        key = StrFormat("[%g, %g)", lo, lo + query.bin_interval);
+        numeric_key = lo;
+      }
+      Accum& acc = groups[key];
+      numeric_keys[key] = numeric_key;
+      const Value& yv = y_value(r);
+      if (yv.is_null()) continue;  // SUM/AVG/COUNT all skip null measures
+      acc.sum += yv.ToNumberOr(0.0);
+      acc.count += 1;
+    }
+    for (const auto& [key, acc] : groups) {
+      RawPoint p;
+      p.label = key;
+      p.numeric_key = numeric_keys[key];
+      p.has_numeric_key = true;
+      switch (query.agg) {
+        case AggFunc::kSum:
+          p.y = acc.sum;
+          break;
+        case AggFunc::kAvg:
+          p.y = acc.count > 0 ? acc.sum / static_cast<double>(acc.count) : 0.0;
+          break;
+        case AggFunc::kCount:
+          p.y = static_cast<double>(acc.count);
+          break;
+        case AggFunc::kNone:
+          // Grouping without an aggregate defaults to SUM (a bar per group
+          // needs a single measure).
+          p.y = acc.sum;
+          break;
+      }
+      raw.push_back(std::move(p));
+    }
+  }
+
+  // Sort.
+  bool x_numeric = !raw.empty() &&
+                   std::all_of(raw.begin(), raw.end(),
+                               [](const RawPoint& p) { return p.has_numeric_key; });
+  auto cmp_x = [&](const RawPoint& a, const RawPoint& b) {
+    if (x_numeric && a.numeric_key != b.numeric_key)
+      return a.numeric_key < b.numeric_key;
+    return a.label < b.label;
+  };
+  if (query.sort_key == SortKey::kY) {
+    std::stable_sort(raw.begin(), raw.end(),
+                     [&](const RawPoint& a, const RawPoint& b) {
+                       if (a.y != b.y) {
+                         return query.sort_order == SortOrder::kAsc ? a.y < b.y
+                                                                    : a.y > b.y;
+                       }
+                       return cmp_x(a, b);  // deterministic ties
+                     });
+  } else if (query.sort_key == SortKey::kX) {
+    std::stable_sort(raw.begin(), raw.end(),
+                     [&](const RawPoint& a, const RawPoint& b) {
+                       return query.sort_order == SortOrder::kAsc ? cmp_x(a, b)
+                                                                  : cmp_x(b, a);
+                     });
+  } else if (query.x_transform != XTransform::kNone) {
+    // Deterministic default order for grouped output.
+    std::stable_sort(raw.begin(), raw.end(), cmp_x);
+  }
+
+  // Limit.
+  if (query.limit >= 0 && raw.size() > static_cast<size_t>(query.limit)) {
+    raw.resize(static_cast<size_t>(query.limit));
+  }
+
+  vis.points.reserve(raw.size());
+  for (RawPoint& p : raw) {
+    vis.points.push_back({std::move(p.label), p.y});
+  }
+  return vis;
+}
+
+Result<VisData> ExecuteVqlText(const std::string& query_text,
+                               const Table& table) {
+  Result<VqlQuery> q = ParseVql(query_text);
+  if (!q.ok()) return q.status();
+  return ExecuteVql(q.value(), table);
+}
+
+}  // namespace visclean

@@ -1,0 +1,38 @@
+// Evaluates a VqlQuery against a Table, producing VisData.
+#ifndef VISCLEAN_VQL_EXECUTOR_H_
+#define VISCLEAN_VQL_EXECUTOR_H_
+
+#include "common/status.h"
+#include "data/table.h"
+#include "dist/vis_data.h"
+#include "vql/ast.h"
+
+namespace visclean {
+
+/// \brief Renders `query` over the live rows of `table`.
+///
+/// Semantics:
+///  * WHERE: conjunctive; numeric comparisons when the literal is numeric
+///    (null cells never satisfy a predicate), exact case-insensitive string
+///    equality for categorical `=` — so attribute-level duplicates like
+///    "SIGMOD Conf." do NOT match `Venue = 'SIGMOD'`, reproducing the dirty
+///    behaviour of Q7 in the paper.
+///  * GROUP(X): one point per distinct display string of X (null X grouped
+///    under the empty label only when no transform is active; dropped when
+///    grouping).
+///  * BIN(X): numeric X binned into [k*w, (k+1)*w); null/non-numeric dropped.
+///  * AGG: SUM/AVG skip null Y cells; COUNT counts non-null Y cells.
+///  * SORT X: numeric-aware ascending/descending; SORT Y: by value; group
+///    keys are used as a deterministic tiebreaker.
+///  * LIMIT K keeps the first K points after sorting.
+///
+/// Errors when a referenced column is missing or types are unusable.
+Result<VisData> ExecuteVql(const VqlQuery& query, const Table& table);
+
+/// Parses and executes in one step.
+Result<VisData> ExecuteVqlText(const std::string& query_text,
+                               const Table& table);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_VQL_EXECUTOR_H_

@@ -1,0 +1,395 @@
+#include "vql/parser.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace visclean {
+
+namespace {
+
+enum class TokKind { kWord, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // words uppercased for keyword matching; raw otherwise
+  std::string raw;   // original spelling (identifiers keep case)
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const std::string& s = text_;
+    while (i < s.size()) {
+      char c = s[i];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++i;
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        char quote = c;
+        std::string lit;
+        ++i;
+        bool closed = false;
+        while (i < s.size()) {
+          if (s[i] == quote) {
+            if (i + 1 < s.size() && s[i + 1] == quote) {
+              lit += quote;
+              i += 2;
+              continue;
+            }
+            ++i;
+            closed = true;
+            break;
+          }
+          lit += s[i++];
+        }
+        if (!closed) return Status::ParseError("unterminated string literal");
+        out.push_back({TokKind::kString, lit, lit, 0.0});
+        continue;
+      }
+      if ((c >= '0' && c <= '9') ||
+          (c == '-' && i + 1 < s.size() && s[i + 1] >= '0' && s[i + 1] <= '9') ||
+          (c == '.' && i + 1 < s.size() && s[i + 1] >= '0' && s[i + 1] <= '9')) {
+        size_t start = i;
+        if (c == '-') ++i;
+        while (i < s.size() &&
+               ((s[i] >= '0' && s[i] <= '9') || s[i] == '.' || s[i] == 'e' ||
+                s[i] == 'E' ||
+                ((s[i] == '+' || s[i] == '-') &&
+                 (s[i - 1] == 'e' || s[i - 1] == 'E')))) {
+          ++i;
+        }
+        std::string num = s.substr(start, i - start);
+        out.push_back({TokKind::kNumber, num, num, std::strtod(num.c_str(), nullptr)});
+        continue;
+      }
+      bool word_char = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == '#';
+      if (word_char) {
+        size_t start = i;
+        while (i < s.size()) {
+          char w = s[i];
+          bool ok = (w >= 'a' && w <= 'z') || (w >= 'A' && w <= 'Z') ||
+                    (w >= '0' && w <= '9') || w == '_' || w == '#' || w == '.';
+          if (!ok) break;
+          ++i;
+        }
+        std::string raw = s.substr(start, i - start);
+        std::string upper = raw;
+        for (char& ch : upper) {
+          if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+        }
+        out.push_back({TokKind::kWord, upper, raw, 0.0});
+        continue;
+      }
+      // Symbols: ( ) , and comparison operators.
+      if (c == '<' || c == '>') {
+        std::string sym(1, c);
+        if (i + 1 < s.size() && s[i + 1] == '=') {
+          sym += '=';
+          ++i;
+        }
+        ++i;
+        out.push_back({TokKind::kSymbol, sym, sym, 0.0});
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',' || c == '=') {
+        std::string sym(1, c);
+        ++i;
+        out.push_back({TokKind::kSymbol, sym, sym, 0.0});
+        continue;
+      }
+      return Status::ParseError(StrFormat("unexpected character '%c'", c));
+    }
+    out.push_back({TokKind::kEnd, "", "", 0.0});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<VqlQuery> Parse() {
+    VqlQuery q;
+    VC_RETURN_IF_ERROR(ParseVisualize(&q));
+    VC_RETURN_IF_ERROR(ParseSelect(&q));
+    VC_RETURN_IF_ERROR(ParseFrom(&q));
+    // Optional clauses in any order.
+    while (!AtEnd()) {
+      const Token& t = Peek();
+      if (t.kind != TokKind::kWord) {
+        return Status::ParseError("expected clause keyword, got '" + t.raw + "'");
+      }
+      if (t.text == "TRANSFORM") {
+        VC_RETURN_IF_ERROR(ParseTransform(&q));
+      } else if (t.text == "WHERE") {
+        VC_RETURN_IF_ERROR(ParseWhere(&q));
+      } else if (t.text == "SORT") {
+        VC_RETURN_IF_ERROR(ParseSort(&q));
+      } else if (t.text == "LIMIT") {
+        VC_RETURN_IF_ERROR(ParseLimit(&q));
+      } else {
+        return Status::ParseError("unknown clause '" + t.raw + "'");
+      }
+    }
+    if (q.x_transform == XTransform::kBin && q.bin_interval <= 0.0) {
+      return Status::ParseError("BIN transform requires BY INTERVAL w > 0");
+    }
+    return q;
+  }
+
+ private:
+  bool AtEnd() const { return tokens_[pos_].kind == TokKind::kEnd; }
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool ConsumeWord(const char* word) {
+    if (Peek().kind == TokKind::kWord && Peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSymbol(const char* sym) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectWord(const char* word) {
+    if (!ConsumeWord(word)) {
+      return Status::ParseError(std::string("expected keyword ") + word +
+                                ", got '" + Peek().raw + "'");
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!ConsumeSymbol(sym)) {
+      return Status::ParseError(std::string("expected '") + sym + "', got '" +
+                                Peek().raw + "'");
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokKind::kWord) {
+      return Status::ParseError("expected identifier, got '" + Peek().raw + "'");
+    }
+    return Next().raw;
+  }
+
+  Status ParseVisualize(VqlQuery* q) {
+    VC_RETURN_IF_ERROR(ExpectWord("VISUALIZE"));
+    // Optional "TYPE" noise word (Fig. 2 writes "TYPE in {Bar, Pie}").
+    ConsumeWord("TYPE");
+    if (ConsumeWord("BAR")) {
+      q->chart = ChartType::kBar;
+    } else if (ConsumeWord("PIE")) {
+      q->chart = ChartType::kPie;
+    } else {
+      return Status::ParseError("VISUALIZE expects BAR or PIE");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseSelect(VqlQuery* q) {
+    VC_RETURN_IF_ERROR(ExpectWord("SELECT"));
+    // X expression.
+    if (ConsumeWord("GROUP")) {
+      VC_RETURN_IF_ERROR(ExpectSymbol("("));
+      Result<std::string> id = ExpectIdentifier();
+      if (!id.ok()) return id.status();
+      q->x_column = id.value();
+      q->x_transform = XTransform::kGroup;
+      VC_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else if (ConsumeWord("BIN")) {
+      VC_RETURN_IF_ERROR(ExpectSymbol("("));
+      Result<std::string> id = ExpectIdentifier();
+      if (!id.ok()) return id.status();
+      q->x_column = id.value();
+      q->x_transform = XTransform::kBin;
+      VC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      VC_RETURN_IF_ERROR(MaybeParseByInterval(q));
+    } else {
+      Result<std::string> id = ExpectIdentifier();
+      if (!id.ok()) return id.status();
+      q->x_column = id.value();
+    }
+    VC_RETURN_IF_ERROR(ExpectSymbol(","));
+    // Y expression.
+    AggFunc agg = AggFunc::kNone;
+    if (ConsumeWord("SUM")) {
+      agg = AggFunc::kSum;
+    } else if (ConsumeWord("AVG")) {
+      agg = AggFunc::kAvg;
+    } else if (ConsumeWord("COUNT")) {
+      agg = AggFunc::kCount;
+    }
+    if (agg != AggFunc::kNone) {
+      VC_RETURN_IF_ERROR(ExpectSymbol("("));
+      Result<std::string> id = ExpectIdentifier();
+      if (!id.ok()) return id.status();
+      q->y_column = id.value();
+      VC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      q->agg = agg;
+    } else {
+      Result<std::string> id = ExpectIdentifier();
+      if (!id.ok()) return id.status();
+      q->y_column = id.value();
+    }
+    return Status::Ok();
+  }
+
+  Status ParseFrom(VqlQuery* q) {
+    VC_RETURN_IF_ERROR(ExpectWord("FROM"));
+    Result<std::string> id = ExpectIdentifier();
+    if (!id.ok()) return id.status();
+    q->dataset = id.value();
+    return Status::Ok();
+  }
+
+  Status MaybeParseByInterval(VqlQuery* q) {
+    if (ConsumeWord("BY")) {
+      VC_RETURN_IF_ERROR(ExpectWord("INTERVAL"));
+      if (Peek().kind != TokKind::kNumber) {
+        return Status::ParseError("INTERVAL expects a number");
+      }
+      q->bin_interval = Next().number;
+    }
+    return Status::Ok();
+  }
+
+  Status ParseTransform(VqlQuery* q) {
+    VC_RETURN_IF_ERROR(ExpectWord("TRANSFORM"));
+    if (ConsumeWord("GROUP")) {
+      VC_RETURN_IF_ERROR(ExpectSymbol("("));
+      Result<std::string> id = ExpectIdentifier();
+      if (!id.ok()) return id.status();
+      VC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      q->x_column = id.value();
+      q->x_transform = XTransform::kGroup;
+    } else if (ConsumeWord("BIN")) {
+      VC_RETURN_IF_ERROR(ExpectSymbol("("));
+      Result<std::string> id = ExpectIdentifier();
+      if (!id.ok()) return id.status();
+      VC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      q->x_column = id.value();
+      q->x_transform = XTransform::kBin;
+      VC_RETURN_IF_ERROR(MaybeParseByInterval(q));
+    } else {
+      return Status::ParseError("TRANSFORM expects GROUP(...) or BIN(...)");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseWhere(VqlQuery* q) {
+    VC_RETURN_IF_ERROR(ExpectWord("WHERE"));
+    while (true) {
+      Predicate p;
+      Result<std::string> id = ExpectIdentifier();
+      if (!id.ok()) return id.status();
+      p.column = id.value();
+      const Token& op = Peek();
+      if (op.kind != TokKind::kSymbol) {
+        return Status::ParseError("expected comparison operator");
+      }
+      if (op.text == "=") {
+        p.op = CompareOp::kEq;
+      } else if (op.text == "<") {
+        p.op = CompareOp::kLt;
+      } else if (op.text == "<=") {
+        p.op = CompareOp::kLe;
+      } else if (op.text == ">=") {
+        p.op = CompareOp::kGe;
+      } else if (op.text == ">") {
+        p.op = CompareOp::kGt;
+      } else {
+        return Status::ParseError("unknown operator '" + op.raw + "'");
+      }
+      ++pos_;
+      const Token& lit = Next();
+      if (lit.kind == TokKind::kNumber) {
+        p.literal = Value::Number(lit.number);
+      } else if (lit.kind == TokKind::kString) {
+        p.literal = Value::String(lit.raw);
+      } else if (lit.kind == TokKind::kWord) {
+        // Bare-word literal (Table V writes `Venue = SIGMOD`).
+        p.literal = Value::String(lit.raw);
+      } else {
+        return Status::ParseError("expected literal after operator");
+      }
+      q->predicates.push_back(std::move(p));
+      if (!ConsumeWord("AND")) break;
+    }
+    return Status::Ok();
+  }
+
+  Status ParseSort(VqlQuery* q) {
+    VC_RETURN_IF_ERROR(ExpectWord("SORT"));
+    if (ConsumeWord("X")) {
+      q->sort_key = SortKey::kX;
+    } else if (ConsumeWord("Y")) {
+      q->sort_key = SortKey::kY;
+    } else {
+      // Allow sorting by a column name equal to the X or Y column.
+      Result<std::string> id = ExpectIdentifier();
+      if (!id.ok()) return id.status();
+      if (EqualsIgnoreCase(id.value(), q->x_column)) {
+        q->sort_key = SortKey::kX;
+      } else if (EqualsIgnoreCase(id.value(), q->y_column)) {
+        q->sort_key = SortKey::kY;
+      } else {
+        return Status::ParseError("SORT key must be X, Y, or a selected column");
+      }
+    }
+    ConsumeWord("BY");  // optional noise word per Fig. 2
+    if (ConsumeWord("DESC")) {
+      q->sort_order = SortOrder::kDesc;
+    } else if (ConsumeWord("ASC")) {
+      q->sort_order = SortOrder::kAsc;
+    } else {
+      q->sort_order = SortOrder::kDesc;
+    }
+    return Status::Ok();
+  }
+
+  Status ParseLimit(VqlQuery* q) {
+    VC_RETURN_IF_ERROR(ExpectWord("LIMIT"));
+    if (Peek().kind != TokKind::kNumber) {
+      return Status::ParseError("LIMIT expects a number");
+    }
+    q->limit = static_cast<int>(Next().number);
+    if (q->limit < 0) return Status::ParseError("LIMIT must be nonnegative");
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<VqlQuery> ParseVql(const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace visclean

@@ -1,0 +1,34 @@
+// Recursive-descent parser for the VQL grammar of Fig. 2.
+#ifndef VISCLEAN_VQL_PARSER_H_
+#define VISCLEAN_VQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "vql/ast.h"
+
+namespace visclean {
+
+/// \brief Parses VQL text into a VqlQuery.
+///
+/// Example:
+/// \code
+///   VISUALIZE BAR
+///   SELECT Venue, SUM(Citations)
+///   FROM D1
+///   TRANSFORM GROUP(Venue)
+///   WHERE Year > 2009 AND Venue = 'SIGMOD'
+///   SORT Y DESC
+///   LIMIT 10
+/// \endcode
+///
+/// Keywords are case-insensitive; clause order after FROM is flexible;
+/// VISUALIZE, SELECT and FROM are mandatory (blue keywords in Fig. 2),
+/// everything else optional (green). Writing GROUP(X)/BIN(X) in SELECT is
+/// equivalent to a TRANSFORM clause; `BIN(X) BY INTERVAL w` supplies the bin
+/// width.
+Result<VqlQuery> ParseVql(const std::string& text);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_VQL_PARSER_H_

@@ -1,0 +1,129 @@
+#include "vql/vega_export.h"
+
+#include "common/json_writer.h"
+
+namespace visclean {
+
+namespace {
+
+void WriteSpec(JsonWriter* json, const VisData& vis,
+               const VegaExportOptions& options, const std::string& x_title,
+               const std::string& y_title) {
+  json->BeginObject();
+  json->Key("$schema");
+  json->String("https://vega.github.io/schema/vega-lite/v5.json");
+  if (!options.title.empty()) {
+    json->Key("title");
+    json->String(options.title);
+  }
+  json->Key("width");
+  json->Int(options.width);
+  json->Key("height");
+  json->Int(options.height);
+
+  json->Key("data");
+  json->BeginObject();
+  json->Key("values");
+  json->BeginArray();
+  for (const VisPoint& p : vis.points) {
+    json->BeginObject();
+    json->Key("x");
+    json->String(p.x);
+    json->Key("y");
+    json->Number(p.y);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+
+  json->Key("mark");
+  json->String(vis.type == ChartType::kBar ? "bar" : "arc");
+
+  json->Key("encoding");
+  json->BeginObject();
+  if (vis.type == ChartType::kBar) {
+    json->Key("x");
+    json->BeginObject();
+    json->Key("field");
+    json->String("x");
+    json->Key("type");
+    json->String("nominal");
+    json->Key("sort");
+    json->Null();  // keep the executor's SORT order
+    if (!x_title.empty()) {
+      json->Key("title");
+      json->String(x_title);
+    }
+    json->EndObject();
+    json->Key("y");
+    json->BeginObject();
+    json->Key("field");
+    json->String("y");
+    json->Key("type");
+    json->String("quantitative");
+    if (!y_title.empty()) {
+      json->Key("title");
+      json->String(y_title);
+    }
+    json->EndObject();
+  } else {
+    json->Key("theta");
+    json->BeginObject();
+    json->Key("field");
+    json->String("y");
+    json->Key("type");
+    json->String("quantitative");
+    json->EndObject();
+    json->Key("color");
+    json->BeginObject();
+    json->Key("field");
+    json->String("x");
+    json->Key("type");
+    json->String("nominal");
+    if (!x_title.empty()) {
+      json->Key("title");
+      json->String(x_title);
+    }
+    json->EndObject();
+  }
+  json->EndObject();
+
+  json->EndObject();
+}
+
+std::string AggName(AggFunc agg, const std::string& column) {
+  switch (agg) {
+    case AggFunc::kSum:
+      return "SUM(" + column + ")";
+    case AggFunc::kAvg:
+      return "AVG(" + column + ")";
+    case AggFunc::kCount:
+      return "COUNT(" + column + ")";
+    case AggFunc::kNone:
+      return column;
+  }
+  return column;
+}
+
+}  // namespace
+
+std::string ToVegaLite(const VisData& vis, const VegaExportOptions& options) {
+  JsonWriter json = options.pretty ? JsonWriter::Pretty() : JsonWriter();
+  WriteSpec(&json, vis, options, vis.x_name, vis.y_name);
+  return json.TakeString();
+}
+
+std::string ToVegaLite(const VisData& vis, const VqlQuery& query,
+                       const VegaExportOptions& options) {
+  VegaExportOptions with_title = options;
+  if (with_title.title.empty()) {
+    with_title.title =
+        AggName(query.agg, query.y_column) + " by " + query.x_column;
+  }
+  JsonWriter json = options.pretty ? JsonWriter::Pretty() : JsonWriter();
+  WriteSpec(&json, vis, with_title, query.x_column,
+            AggName(query.agg, query.y_column));
+  return json.TakeString();
+}
+
+}  // namespace visclean

@@ -1,0 +1,36 @@
+// Vega-Lite export: Section II-A notes that "other declarative languages
+// (e.g., Vega-Lite) can also be used" in place of VQL. This module renders
+// a VisData (optionally with its VqlQuery for axis titles) as a Vega-Lite
+// v5 specification, so cleaned visualizations drop straight into notebooks
+// and web frontends.
+#ifndef VISCLEAN_VQL_VEGA_EXPORT_H_
+#define VISCLEAN_VQL_VEGA_EXPORT_H_
+
+#include <string>
+
+#include "dist/vis_data.h"
+#include "vql/ast.h"
+
+namespace visclean {
+
+/// \brief Options for ToVegaLite.
+struct VegaExportOptions {
+  bool pretty = true;          ///< indented output
+  int width = 480;             ///< chart width in pixels
+  int height = 300;            ///< chart height in pixels
+  std::string title;           ///< optional chart title
+};
+
+/// Serializes a rendered visualization as a Vega-Lite v5 spec:
+/// bar charts become `"mark": "bar"` with a nominal x / quantitative y
+/// encoding; pie charts become `"mark": "arc"` with a theta/color encoding.
+/// Data is inlined under `data.values`.
+std::string ToVegaLite(const VisData& vis, const VegaExportOptions& options = {});
+
+/// Variant that derives axis titles (and a default title) from the query.
+std::string ToVegaLite(const VisData& vis, const VqlQuery& query,
+                       const VegaExportOptions& options = {});
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_VQL_VEGA_EXPORT_H_

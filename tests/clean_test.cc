@@ -1,0 +1,263 @@
+// Unit tests for src/clean: detectors, Algorithm 1, repair operators and
+// the undo log.
+#include <gtest/gtest.h>
+
+#include "clean/a_question_gen.h"
+#include "clean/missing_detector.h"
+#include "clean/outlier_detector.h"
+#include "clean/repair.h"
+
+namespace visclean {
+namespace {
+
+Table PubsTable() {
+  Schema schema({{"Title", ColumnType::kText},
+                 {"Venue", ColumnType::kCategorical},
+                 {"Citations", ColumnType::kNumeric}});
+  Table t(schema);
+  auto add = [&](const char* title, const char* venue, Value citations) {
+    t.AppendRow(
+        {Value::String(title), Value::String(venue), std::move(citations)});
+  };
+  add("NADEEF data cleaning system", "ACM SIGMOD", Value::Number(174));   // 0
+  add("NADEEF data cleaning system", "SIGMOD", Value::Number(1740));     // 1
+  add("NADEEF data cleaning system", "SIGMOD Conf.", Value::Number(174)); // 2
+  add("SeeDB visualization engine", "VLDB", Value::Null());              // 3
+  add("SeeDB visualization engine", "Very Large Data Bases",
+      Value::Number(55));                                                // 4
+  add("Elaps progress indicator", "ICDE", Value::Number(42));            // 5
+  add("Elaps progress indicator", "IEEE ICDE", Value::Number(44));       // 6
+  return t;
+}
+
+// ------------------------------------------------------- missing detector --
+
+TEST(MissingDetectorTest, FindsNullCellsAndSuggestsNeighborAverage) {
+  Table t = PubsTable();
+  std::vector<MQuestion> questions = DetectMissing(t, 2);
+  ASSERT_EQ(questions.size(), 1u);
+  EXPECT_EQ(questions[0].row, 3u);
+  EXPECT_EQ(questions[0].column, 2u);
+  // Nearest neighbor by row string is the other SeeDB row (55); remaining
+  // neighbors pull the average but the suggestion must be finite and
+  // positive.
+  EXPECT_GT(questions[0].suggested, 0.0);
+}
+
+TEST(MissingDetectorTest, NoMissingNoQuestions) {
+  Table t = PubsTable();
+  t.Set(3, 2, Value::Number(55));
+  EXPECT_TRUE(DetectMissing(t, 2).empty());
+}
+
+TEST(MissingDetectorTest, SkipsDeadRows) {
+  Table t = PubsTable();
+  t.MarkDead(3);
+  EXPECT_TRUE(DetectMissing(t, 2).empty());
+}
+
+TEST(MissingDetectorTest, NeighborsDominateSuggestion) {
+  // 5 identical rows with value 100 and one missing twin: suggestion = 100.
+  Schema schema({{"Name", ColumnType::kText}, {"Y", ColumnType::kNumeric}});
+  Table t(schema);
+  for (int i = 0; i < 5; ++i) {
+    t.AppendRow({Value::String("alpha beta"), Value::Number(100)});
+  }
+  t.AppendRow({Value::String("alpha beta"), Value::Null()});
+  std::vector<MQuestion> questions = DetectMissing(t, 1);
+  ASSERT_EQ(questions.size(), 1u);
+  EXPECT_DOUBLE_EQ(questions[0].suggested, 100.0);
+}
+
+// ------------------------------------------------------- outlier detector --
+
+TEST(OutlierDetectorTest, FlagsDecimalShift) {
+  Table t = PubsTable();
+  std::vector<OQuestion> questions = DetectOutliers(t, 2);
+  ASSERT_FALSE(questions.empty());
+  EXPECT_EQ(questions[0].row, 1u);  // the 1740
+  EXPECT_DOUBLE_EQ(questions[0].current, 1740.0);
+  // Repair suggestion is pulled toward the duplicate rows' 174.
+  EXPECT_LT(questions[0].suggested, 1000.0);
+}
+
+TEST(OutlierDetectorTest, CleanColumnProducesNothing) {
+  Schema schema({{"Name", ColumnType::kText}, {"Y", ColumnType::kNumeric}});
+  Table t(schema);
+  for (int i = 0; i < 20; ++i) {
+    t.AppendRow({Value::String("row"), Value::Number(100 + i)});
+  }
+  EXPECT_TRUE(DetectOutliers(t, 1).empty());
+}
+
+TEST(OutlierDetectorTest, TinyInputsHandled) {
+  Schema schema({{"Name", ColumnType::kText}, {"Y", ColumnType::kNumeric}});
+  Table t(schema);
+  t.AppendRow({Value::String("a"), Value::Number(1)});
+  t.AppendRow({Value::String("b"), Value::Number(2)});
+  EXPECT_TRUE(DetectOutliers(t, 1).empty());
+}
+
+TEST(OutlierDetectorTest, MaxQuestionsRespected) {
+  Schema schema({{"Name", ColumnType::kText}, {"Y", ColumnType::kNumeric}});
+  Table t(schema);
+  for (int i = 0; i < 30; ++i) {
+    t.AppendRow({Value::String("normal"), Value::Number(50 + (i % 3))});
+  }
+  for (int i = 0; i < 5; ++i) {
+    t.AppendRow({Value::String("bad"), Value::Number(10000 + i * 1000)});
+  }
+  OutlierDetectorOptions options;
+  options.max_questions = 2;
+  EXPECT_LE(DetectOutliers(t, 1, options).size(), 2u);
+}
+
+// ----------------------------------------------------------- A-questions --
+
+TEST(AQuestionGenTest, Strategy1WithinClusters) {
+  Table t = PubsTable();
+  std::vector<std::vector<size_t>> clusters = {{0, 1, 2}, {3, 4}, {5}, {6}};
+  std::vector<AQuestion> questions = GenerateAQuestions(t, clusters, 1);
+  // Within cluster {0,1,2}: ACM SIGMOD / SIGMOD -> SIGMOD Conf. candidates.
+  bool found_sigmod = false;
+  for (const AQuestion& q : questions) {
+    if ((q.value_a == "ACM SIGMOD" || q.value_b == "ACM SIGMOD")) {
+      found_sigmod = true;
+      EXPECT_GE(q.similarity, 0.5);
+    }
+  }
+  EXPECT_TRUE(found_sigmod);
+}
+
+TEST(AQuestionGenTest, Strategy2AcrossClusters) {
+  Table t = PubsTable();
+  // ICDE and IEEE ICDE live in different singleton clusters; only the
+  // cross-cluster join can propose them.
+  std::vector<std::vector<size_t>> clusters = {{0, 1, 2}, {3, 4}, {5}, {6}};
+  std::vector<AQuestion> questions = GenerateAQuestions(t, clusters, 1);
+  bool found_icde = false;
+  for (const AQuestion& q : questions) {
+    if ((q.value_a == "ICDE" && q.value_b == "IEEE ICDE") ||
+        (q.value_a == "IEEE ICDE" && q.value_b == "ICDE")) {
+      found_icde = true;
+    }
+  }
+  EXPECT_TRUE(found_icde);
+}
+
+TEST(AQuestionGenTest, NoDuplicatePairsAndSorted) {
+  Table t = PubsTable();
+  std::vector<std::vector<size_t>> clusters = {{0, 1, 2}, {3, 4}, {5}, {6}};
+  std::vector<AQuestion> questions = GenerateAQuestions(t, clusters, 1);
+  std::set<std::pair<std::string, std::string>> seen;
+  double prev = 2.0;
+  for (const AQuestion& q : questions) {
+    auto key = std::minmax(q.value_a, q.value_b);
+    EXPECT_TRUE(seen.insert(key).second);
+    EXPECT_LE(q.similarity, prev);
+    prev = q.similarity;
+  }
+}
+
+TEST(AQuestionGenTest, MaxQuestionsCap) {
+  Table t = PubsTable();
+  std::vector<std::vector<size_t>> clusters = {{0, 1, 2}, {3, 4}, {5}, {6}};
+  AQuestionOptions options;
+  options.max_questions = 1;
+  EXPECT_EQ(GenerateAQuestions(t, clusters, 1, options).size(), 1u);
+}
+
+// ---------------------------------------------------------------- repair --
+
+TEST(RepairTest, TransformationRewritesAllMatchingCells) {
+  Table t = PubsTable();
+  UndoLog undo;
+  size_t changed = ApplyTransformation(&t, 1, "SIGMOD", "ACM SIGMOD", &undo);
+  EXPECT_EQ(changed, 1u);
+  EXPECT_EQ(t.at(1, 1).AsString(), "ACM SIGMOD");
+  undo.Rollback(&t);
+  EXPECT_EQ(t.at(1, 1).AsString(), "SIGMOD");
+}
+
+TEST(RepairTest, CellRepairWithRollback) {
+  Table t = PubsTable();
+  UndoLog undo;
+  ApplyCellRepair(&t, 3, 2, 55.0, &undo);
+  EXPECT_DOUBLE_EQ(t.at(3, 2).AsNumber(), 55.0);
+  undo.Rollback(&t);
+  EXPECT_TRUE(t.at(3, 2).is_null());
+}
+
+TEST(RepairTest, MergeConsolidatesLikeThePaperGroundTruth) {
+  Table t = PubsTable();
+  // Merge the NADEEF cluster: citations 174 / 1740 / 174 -> majority 174
+  // (t_123 in Table II).
+  size_t survivor = MergeRows(&t, {0, 1, 2});
+  EXPECT_EQ(survivor, 0u);
+  EXPECT_EQ(t.num_live_rows(), 5u);
+  EXPECT_DOUBLE_EQ(t.at(0, 2).AsNumber(), 174.0);
+  // Merge the Elaps pair: 42 / 44 -> no majority -> mean 43 (t_910).
+  survivor = MergeRows(&t, {5, 6});
+  EXPECT_EQ(survivor, 5u);
+  EXPECT_DOUBLE_EQ(t.at(5, 2).AsNumber(), 43.0);
+  // Merge the SeeDB pair: null / 55 -> 55 (t_78).
+  survivor = MergeRows(&t, {3, 4});
+  EXPECT_DOUBLE_EQ(t.at(3, 2).AsNumber(), 55.0);
+}
+
+TEST(RepairTest, MergeTextKeepsSurvivorSpellingWithoutMajority) {
+  Table t = PubsTable();
+  MergeRows(&t, {3, 4});
+  // No majority between "VLDB" and "Very Large Data Bases": the survivor's
+  // spelling stays (standardization is a separate, user-driven repair).
+  EXPECT_EQ(t.at(3, 1).AsString(), "VLDB");
+  // A null survivor cell still adopts the longest donor spelling.
+  Table t2 = PubsTable();
+  t2.Set(3, 1, Value::Null());
+  MergeRows(&t2, {3, 4});
+  EXPECT_EQ(t2.at(3, 1).AsString(), "Very Large Data Bases");
+}
+
+TEST(RepairTest, MergeRollbackRestoresEverything) {
+  Table t = PubsTable();
+  UndoLog undo;
+  MergeRows(&t, {0, 1, 2}, &undo);
+  EXPECT_EQ(t.num_live_rows(), 5u);
+  undo.Rollback(&t);
+  EXPECT_EQ(t.num_live_rows(), 7u);
+  EXPECT_DOUBLE_EQ(t.at(1, 2).AsNumber(), 1740.0);
+  EXPECT_EQ(t.at(0, 1).AsString(), "ACM SIGMOD");
+}
+
+TEST(RepairTest, MergeSingleRowIsNoop) {
+  Table t = PubsTable();
+  size_t survivor = MergeRows(&t, {2});
+  EXPECT_EQ(survivor, 2u);
+  EXPECT_EQ(t.num_live_rows(), 7u);
+}
+
+TEST(RepairTest, MergeSkipsDeadInput) {
+  Table t = PubsTable();
+  t.MarkDead(1);
+  size_t survivor = MergeRows(&t, {0, 1, 2});
+  EXPECT_EQ(survivor, 0u);
+  // Only 0 and 2 merged; both carried 174.
+  EXPECT_DOUBLE_EQ(t.at(0, 2).AsNumber(), 174.0);
+}
+
+TEST(RepairTest, UndoLogInterleavedOperations) {
+  Table t = PubsTable();
+  UndoLog undo;
+  ApplyTransformation(&t, 1, "ICDE", "IEEE ICDE", &undo);
+  ApplyCellRepair(&t, 5, 2, 43.0, &undo);
+  MergeRows(&t, {5, 6}, &undo);
+  EXPECT_EQ(t.num_live_rows(), 6u);
+  undo.Rollback(&t);
+  EXPECT_EQ(t.num_live_rows(), 7u);
+  EXPECT_EQ(t.at(5, 1).AsString(), "ICDE");
+  EXPECT_DOUBLE_EQ(t.at(5, 2).AsNumber(), 42.0);
+  EXPECT_TRUE(undo.empty());
+}
+
+}  // namespace
+}  // namespace visclean

@@ -1,0 +1,218 @@
+// Unit tests for src/data: Value, Schema, Table, CSV, column stats.
+#include <gtest/gtest.h>
+
+#include "data/column_stats.h"
+#include "data/csv.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "data/value.h"
+
+namespace visclean {
+namespace {
+
+Schema PaperSchema() {
+  return Schema({{"Venue", ColumnType::kCategorical},
+                 {"Year", ColumnType::kNumeric},
+                 {"Citations", ColumnType::kNumeric}});
+}
+
+// ----------------------------------------------------------------- Value --
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Number(3.0).is_number());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_DOUBLE_EQ(Value::Number(3.5).AsNumber(), 3.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, ToNumberOr) {
+  EXPECT_DOUBLE_EQ(Value::Number(2.0).ToNumberOr(-1), 2.0);
+  EXPECT_DOUBLE_EQ(Value::String("42").ToNumberOr(-1), 42.0);
+  EXPECT_DOUBLE_EQ(Value::String("N.A.").ToNumberOr(-1), -1.0);
+  EXPECT_DOUBLE_EQ(Value::Null().ToNumberOr(-1), -1.0);
+}
+
+TEST(ValueTest, DisplayString) {
+  EXPECT_EQ(Value::Null().ToDisplayString(), "");
+  EXPECT_EQ(Value::Number(2013).ToDisplayString(), "2013");
+  EXPECT_EQ(Value::Number(174.5).ToDisplayString(), "174.5");
+  EXPECT_EQ(Value::String("SIGMOD").ToDisplayString(), "SIGMOD");
+}
+
+TEST(ValueTest, EqualityAndOrder) {
+  EXPECT_EQ(Value::Number(1.0), Value::Number(1.0));
+  EXPECT_NE(Value::Number(1.0), Value::String("1"));
+  EXPECT_NE(Value::Null(), Value::Number(0.0));
+  // null < number < string
+  EXPECT_LT(Value::Null(), Value::Number(-100));
+  EXPECT_LT(Value::Number(1e9), Value::String(""));
+  EXPECT_LT(Value::Number(1.0), Value::Number(2.0));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+}
+
+// ---------------------------------------------------------------- Schema --
+
+TEST(SchemaTest, IndexOfAndContains) {
+  Schema schema = PaperSchema();
+  EXPECT_EQ(schema.num_columns(), 3u);
+  ASSERT_TRUE(schema.IndexOf("Year").ok());
+  EXPECT_EQ(schema.IndexOf("Year").value(), 1u);
+  EXPECT_FALSE(schema.IndexOf("Nope").ok());
+  EXPECT_TRUE(schema.Contains("Citations"));
+  EXPECT_FALSE(schema.Contains("citations"));  // names are case-sensitive
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(PaperSchema(), PaperSchema());
+  Schema other({{"Venue", ColumnType::kText},
+                {"Year", ColumnType::kNumeric},
+                {"Citations", ColumnType::kNumeric}});
+  EXPECT_FALSE(PaperSchema() == other);  // type differs
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, AppendAndAccess) {
+  Table t(PaperSchema());
+  size_t r0 = t.AppendRow({Value::String("SIGMOD"), Value::Number(2013),
+                           Value::Number(174)});
+  EXPECT_EQ(r0, 0u);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsString(), "SIGMOD");
+  ASSERT_TRUE(t.Get(0, "Citations").ok());
+  EXPECT_DOUBLE_EQ(t.Get(0, "Citations").value().AsNumber(), 174.0);
+  EXPECT_FALSE(t.Get(0, "Nope").ok());
+  EXPECT_FALSE(t.Get(9, "Venue").ok());
+}
+
+TEST(TableTest, TombstoneLifecycle) {
+  Table t(PaperSchema());
+  for (int i = 0; i < 4; ++i) {
+    t.AppendRow({Value::String("V"), Value::Number(2000 + i), Value::Number(i)});
+  }
+  EXPECT_EQ(t.num_live_rows(), 4u);
+  t.MarkDead(1);
+  t.MarkDead(1);  // idempotent
+  EXPECT_EQ(t.num_live_rows(), 3u);
+  EXPECT_TRUE(t.is_dead(1));
+  std::vector<size_t> live = t.LiveRowIds();
+  EXPECT_EQ(live, (std::vector<size_t>{0, 2, 3}));
+  t.Revive(1);
+  EXPECT_EQ(t.num_live_rows(), 4u);
+  EXPECT_FALSE(t.is_dead(1));
+}
+
+TEST(TableTest, SetOverwritesCell) {
+  Table t(PaperSchema());
+  t.AppendRow({Value::String("VLDB"), Value::Number(2014), Value::Null()});
+  t.Set(0, 2, Value::Number(55));
+  EXPECT_DOUBLE_EQ(t.at(0, 2).AsNumber(), 55.0);
+}
+
+TEST(TableTest, CloneIsDeep) {
+  Table t(PaperSchema());
+  t.AppendRow({Value::String("A"), Value::Number(1), Value::Number(2)});
+  Table copy = t.Clone();
+  copy.Set(0, 0, Value::String("B"));
+  copy.MarkDead(0);
+  EXPECT_EQ(t.at(0, 0).AsString(), "A");
+  EXPECT_FALSE(t.is_dead(0));
+}
+
+// ------------------------------------------------------------------- CSV --
+
+TEST(CsvTest, ParseWithTypeInference) {
+  Result<Table> t = ReadCsv("Venue,Year,Citations\nSIGMOD,2013,174\nVLDB,2014,\n");
+  ASSERT_TRUE(t.ok());
+  const Table& table = t.value();
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.schema().column(1).type, ColumnType::kNumeric);
+  EXPECT_EQ(table.schema().column(0).type, ColumnType::kText);
+  EXPECT_TRUE(table.at(1, 2).is_null());  // empty field -> null
+  EXPECT_DOUBLE_EQ(table.at(0, 1).AsNumber(), 2013.0);
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapes) {
+  Result<Table> t = ReadCsv(
+      "a,b\n\"x, y\",\"say \"\"hi\"\"\"\n\"multi\nline\",plain\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().at(0, 0).AsString(), "x, y");
+  EXPECT_EQ(t.value().at(0, 1).AsString(), "say \"hi\"");
+  EXPECT_EQ(t.value().at(1, 0).AsString(), "multi\nline");
+}
+
+TEST(CsvTest, NonNumericTokenInNumericColumnBecomesNull) {
+  Schema schema({{"Citations", ColumnType::kNumeric}});
+  Result<Table> t = ReadCsv("Citations\nN.A.\n55\n", &schema);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t.value().at(0, 0).is_null());
+  EXPECT_DOUBLE_EQ(t.value().at(1, 0).AsNumber(), 55.0);
+}
+
+TEST(CsvTest, ErrorsOnRaggedRows) {
+  EXPECT_FALSE(ReadCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, ErrorsOnUnterminatedQuote) {
+  EXPECT_FALSE(ReadCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, ErrorsOnEmptyInput) { EXPECT_FALSE(ReadCsv("").ok()); }
+
+TEST(CsvTest, RoundTrip) {
+  Table t(PaperSchema());
+  t.AppendRow({Value::String("SIGMOD, Conf."), Value::Number(2013),
+               Value::Number(174)});
+  t.AppendRow({Value::String("VLDB"), Value::Number(2014), Value::Null()});
+  std::string csv = WriteCsv(t);
+  Schema schema = PaperSchema();
+  Result<Table> back = ReadCsv(csv, &schema);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().at(0, 0).AsString(), "SIGMOD, Conf.");
+  EXPECT_TRUE(back.value().at(1, 2).is_null());
+}
+
+TEST(CsvTest, WriteSkipsDeadRows) {
+  Table t(PaperSchema());
+  t.AppendRow({Value::String("A"), Value::Number(1), Value::Number(2)});
+  t.AppendRow({Value::String("B"), Value::Number(3), Value::Number(4)});
+  t.MarkDead(0);
+  std::string csv = WriteCsv(t);
+  EXPECT_EQ(csv.find("A"), std::string::npos);
+  EXPECT_NE(csv.find("B"), std::string::npos);
+}
+
+// ---------------------------------------------------------- ColumnStats --
+
+TEST(ColumnStatsTest, BasicMoments) {
+  Table t(PaperSchema());
+  t.AppendRow({Value::String("A"), Value::Number(1), Value::Number(10)});
+  t.AppendRow({Value::String("B"), Value::Number(2), Value::Number(20)});
+  t.AppendRow({Value::String("A"), Value::Number(3), Value::Null()});
+  ColumnStats cs = ComputeColumnStats(t, 2);
+  EXPECT_EQ(cs.num_rows, 3u);
+  EXPECT_EQ(cs.num_null, 1u);
+  EXPECT_EQ(cs.num_numeric, 2u);
+  EXPECT_DOUBLE_EQ(cs.min, 10.0);
+  EXPECT_DOUBLE_EQ(cs.max, 20.0);
+  EXPECT_DOUBLE_EQ(cs.mean, 15.0);
+  EXPECT_NEAR(cs.null_fraction(), 1.0 / 3.0, 1e-12);
+
+  ColumnStats venue = ComputeColumnStats(t, 0);
+  EXPECT_EQ(venue.num_distinct, 2u);
+}
+
+TEST(ColumnStatsTest, TableStatsSkipDead) {
+  Table t(PaperSchema());
+  t.AppendRow({Value::String("A"), Value::Number(1), Value::Null()});
+  t.AppendRow({Value::String("B"), Value::Number(2), Value::Number(5)});
+  t.MarkDead(0);
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_EQ(stats.num_tuples, 1u);
+  EXPECT_EQ(stats.num_attributes, 3u);
+  EXPECT_DOUBLE_EQ(stats.missing_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace visclean

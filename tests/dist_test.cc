@@ -1,0 +1,198 @@
+// Unit + property tests for src/dist: EMD (both solvers), alternative
+// distances, VisData helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/distances.h"
+#include "dist/emd.h"
+#include "dist/vis_data.h"
+
+namespace visclean {
+namespace {
+
+VisData MakeVis(std::vector<std::pair<std::string, double>> points,
+                ChartType type = ChartType::kBar) {
+  VisData vis;
+  vis.type = type;
+  for (auto& [x, y] : points) vis.points.push_back({x, y});
+  return vis;
+}
+
+// --------------------------------------------------------------- VisData --
+
+TEST(VisDataTest, TotalAndNormalize) {
+  VisData vis = MakeVis({{"a", 1}, {"b", 3}});
+  EXPECT_DOUBLE_EQ(vis.TotalY(), 4.0);
+  std::vector<double> norm = vis.NormalizedY();
+  EXPECT_DOUBLE_EQ(norm[0], 0.25);
+  EXPECT_DOUBLE_EQ(norm[1], 0.75);
+}
+
+TEST(VisDataTest, NormalizeZeroTotalIsUniform) {
+  VisData vis = MakeVis({{"a", 0}, {"b", 0}});
+  std::vector<double> norm = vis.NormalizedY();
+  EXPECT_DOUBLE_EQ(norm[0], 0.5);
+  EXPECT_DOUBLE_EQ(norm[1], 0.5);
+}
+
+TEST(VisDataTest, AsciiChartRendersEveryPoint) {
+  VisData vis = MakeVis({{"SIGMOD", 174}, {"VLDB", 55}});
+  std::string chart = vis.ToAsciiChart(20);
+  EXPECT_NE(chart.find("SIGMOD"), std::string::npos);
+  EXPECT_NE(chart.find("VLDB"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+// ------------------------------------------------------------------- EMD --
+
+TEST(EmdTest, IdenticalVisualizationsHaveZeroDistance) {
+  VisData vis = MakeVis({{"a", 5}, {"b", 3}, {"c", 2}});
+  EXPECT_NEAR(EmdDistance(vis, vis), 0.0, 1e-12);
+}
+
+TEST(EmdTest, KnownTwoPointValue) {
+  // a = {0.5, 0.5}, b = {1.0}: mass 0.5 at 0.5 and 0.5 at 0.5 vs 1.0 at 1.0;
+  // everything moves 0.5 -> EMD = 0.5.
+  VisData a = MakeVis({{"x", 1}, {"y", 1}});
+  VisData b = MakeVis({{"x", 1}});
+  EXPECT_NEAR(EmdDistance(a, b), 0.5, 1e-12);
+}
+
+TEST(EmdTest, SymmetricAndNonnegative) {
+  VisData a = MakeVis({{"x", 3}, {"y", 1}, {"z", 4}});
+  VisData b = MakeVis({{"x", 1}, {"y", 1}});
+  EXPECT_GE(EmdDistance(a, b), 0.0);
+  EXPECT_NEAR(EmdDistance(a, b), EmdDistance(b, a), 1e-12);
+}
+
+TEST(EmdTest, Emd1DKnownValue) {
+  // Mass 1 at 0 vs mass 1 at 3 -> EMD 3.
+  EXPECT_NEAR(Emd1D({0}, {1}, {3}, {1}), 3.0, 1e-12);
+  // Two half-masses at 0 and 2 vs one mass at 1 -> everyone moves 1 * 0.5.
+  EXPECT_NEAR(Emd1D({0, 2}, {1, 1}, {1}, {2}), 1.0, 1e-12);
+}
+
+TEST(EmdTest, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(Emd1D({}, {}, {}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Emd1D({1}, {1}, {}, {}), 0.0);
+  VisData empty;
+  EXPECT_DOUBLE_EQ(EmdDistance(empty, empty), 0.0);
+}
+
+// ------------------------------------------------- transportation solver --
+
+TEST(TransportTest, SimpleBalancedProblem) {
+  // 2 supplies, 2 demands; optimal plan is the identity assignment.
+  Result<TransportResult> result = SolveTransportation(
+      {0.5, 0.5}, {0.5, 0.5}, {{0.0, 1.0}, {1.0, 0.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().cost, 0.0, 1e-9);
+  EXPECT_NEAR(result.value().total_flow, 1.0, 1e-9);
+  EXPECT_NEAR(result.value().flow[0][0], 0.5, 1e-9);
+  EXPECT_NEAR(result.value().flow[1][1], 0.5, 1e-9);
+}
+
+TEST(TransportTest, ForcedCrossShipment) {
+  Result<TransportResult> result = SolveTransportation(
+      {1.0}, {0.4, 0.6}, {{2.0, 5.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().cost, 0.4 * 2 + 0.6 * 5, 1e-9);
+}
+
+TEST(TransportTest, UnbalancedShipsMinimum) {
+  Result<TransportResult> result =
+      SolveTransportation({0.3}, {1.0}, {{1.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().total_flow, 0.3, 1e-9);
+  EXPECT_NEAR(result.value().cost, 0.3, 1e-9);
+}
+
+TEST(TransportTest, RejectsBadInput) {
+  EXPECT_FALSE(SolveTransportation({-1.0}, {1.0}, {{1.0}}).ok());
+  EXPECT_FALSE(SolveTransportation({1.0}, {-1.0}, {{1.0}}).ok());
+  EXPECT_FALSE(SolveTransportation({1.0}, {1.0}, {{1.0, 2.0}}).ok());
+  EXPECT_FALSE(SolveTransportation({1.0, 2.0}, {1.0}, {{1.0}}).ok());
+}
+
+// Property: the closed-form 1-D EMD equals the general LP solution with
+// cost matrix c_ij = |p_i - q_j| on random instances.
+class EmdCrossValidationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EmdCrossValidationTest, ClosedFormMatchesLp) {
+  Rng rng(GetParam());
+  size_t m = static_cast<size_t>(rng.UniformInt(1, 8));
+  size_t n = static_cast<size_t>(rng.UniformInt(1, 8));
+  std::vector<double> pos_a(m), w_a(m), pos_b(n), w_b(n);
+  for (size_t i = 0; i < m; ++i) {
+    pos_a[i] = rng.UniformReal(0, 1);
+    w_a[i] = rng.UniformReal(0.01, 1);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    pos_b[j] = rng.UniformReal(0, 1);
+    w_b[j] = rng.UniformReal(0.01, 1);
+  }
+  // Normalize weights for the LP (Emd1D normalizes internally).
+  double sa = 0, sb = 0;
+  for (double w : w_a) sa += w;
+  for (double w : w_b) sb += w;
+  std::vector<double> supplies(m), demands(n);
+  for (size_t i = 0; i < m; ++i) supplies[i] = w_a[i] / sa;
+  for (size_t j = 0; j < n; ++j) demands[j] = w_b[j] / sb;
+  std::vector<std::vector<double>> cost(m, std::vector<double>(n));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) cost[i][j] = std::fabs(pos_a[i] - pos_b[j]);
+  }
+
+  double closed_form = Emd1D(pos_a, w_a, pos_b, w_b);
+  Result<TransportResult> lp = SolveTransportation(supplies, demands, cost);
+  ASSERT_TRUE(lp.ok());
+  EXPECT_NEAR(closed_form, lp.value().cost, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, EmdCrossValidationTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --------------------------------------------------- alternative metrics --
+
+TEST(DistancesTest, EuclideanZeroForIdentical) {
+  VisData a = MakeVis({{"x", 2}, {"y", 2}});
+  EXPECT_NEAR(EuclideanDistance(a, a), 0.0, 1e-12);
+}
+
+TEST(DistancesTest, EuclideanAlignsByLabel) {
+  VisData a = MakeVis({{"x", 1}});
+  VisData b = MakeVis({{"y", 1}});
+  // Disjoint labels: mass 1 against 0 in both coordinates.
+  EXPECT_NEAR(EuclideanDistance(a, b), std::sqrt(2.0), 1e-9);
+}
+
+TEST(DistancesTest, KlAsymmetricButNonnegative) {
+  VisData a = MakeVis({{"x", 3}, {"y", 1}});
+  VisData b = MakeVis({{"x", 1}, {"y", 3}});
+  EXPECT_GT(KlDivergence(a, b), 0.0);
+  EXPECT_NEAR(KlDivergence(a, a), 0.0, 1e-6);
+}
+
+TEST(DistancesTest, JsSymmetricAndBounded) {
+  VisData a = MakeVis({{"x", 1}});
+  VisData b = MakeVis({{"y", 1}});
+  double js = JsDivergence(a, b);
+  EXPECT_NEAR(js, JsDivergence(b, a), 1e-12);
+  EXPECT_LE(js, std::log(2.0) + 1e-6);
+  EXPECT_GT(js, 0.0);
+}
+
+TEST(DistancesTest, FactoryLookup) {
+  VisData a = MakeVis({{"x", 1}, {"y", 2}});
+  VisData b = MakeVis({{"x", 2}, {"y", 1}});
+  EXPECT_DOUBLE_EQ(DistanceByName("euclidean")(a, b), EuclideanDistance(a, b));
+  EXPECT_DOUBLE_EQ(DistanceByName("kl")(a, b), KlDivergence(a, b));
+  EXPECT_DOUBLE_EQ(DistanceByName("js")(a, b), JsDivergence(a, b));
+  EXPECT_DOUBLE_EQ(DistanceByName("emd")(a, b), EmdDistance(a, b));
+  EXPECT_DOUBLE_EQ(DistanceByName("???")(a, b), EmdDistance(a, b));
+}
+
+}  // namespace
+}  // namespace visclean

@@ -1,0 +1,284 @@
+// Unit tests for src/em: union-find, blocking, pair features, EM model,
+// active learning, clustering, golden-record creation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "em/active_learning.h"
+#include "em/blocking.h"
+#include "em/clustering.h"
+#include "em/em_model.h"
+#include "em/golden_record.h"
+#include "em/pair_features.h"
+#include "em/union_find.h"
+
+namespace visclean {
+namespace {
+
+Table DuplicatesTable() {
+  Schema schema({{"Title", ColumnType::kText},
+                 {"Venue", ColumnType::kCategorical},
+                 {"Citations", ColumnType::kNumeric}});
+  Table t(schema);
+  t.AppendRow({Value::String("NADEEF data cleaning"), Value::String("ACM SIGMOD"),
+               Value::Number(174)});
+  t.AppendRow({Value::String("NADEEF data cleaning"), Value::String("SIGMOD"),
+               Value::Number(174)});
+  t.AppendRow({Value::String("NADEEF data cleaning"), Value::String("SIGMOD Conf."),
+               Value::Number(1740)});
+  t.AppendRow({Value::String("SeeDB visualization recommendations"),
+               Value::String("VLDB"), Value::Null()});
+  t.AppendRow({Value::String("SeeDB visualization recommendations"),
+               Value::String("Very Large Data Bases"), Value::Number(55)});
+  t.AppendRow({Value::String("KuaFu parallel log recovery"),
+               Value::String("ICDE"), Value::Number(15)});
+  return t;
+}
+
+// ------------------------------------------------------------- UnionFind --
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already joined
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_TRUE(uf.Union(0, 3));
+  EXPECT_EQ(uf.num_sets(), 2u);
+  EXPECT_TRUE(uf.Connected(1, 2));
+  EXPECT_FALSE(uf.Connected(1, 4));
+  EXPECT_EQ(uf.SetSize(3), 4u);
+}
+
+TEST(UnionFindTest, GroupsPartitionTheUniverse) {
+  UnionFind uf(6);
+  uf.Union(0, 2);
+  uf.Union(4, 5);
+  auto groups = uf.Groups();
+  size_t total = 0;
+  std::set<size_t> seen;
+  for (const auto& [root, members] : groups) {
+    total += members.size();
+    for (size_t m : members) EXPECT_TRUE(seen.insert(m).second);
+  }
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(groups.size(), uf.num_sets());
+}
+
+// -------------------------------------------------------------- blocking --
+
+TEST(BlockingTest, SharedTokensCreateCandidates) {
+  Table t = DuplicatesTable();
+  BlockingOptions options;
+  options.key_columns = {"Title"};
+  auto pairs = TokenBlocking(t, options);
+  std::set<std::pair<size_t, size_t>> set(pairs.begin(), pairs.end());
+  EXPECT_TRUE(set.count({0, 1}));
+  EXPECT_TRUE(set.count({0, 2}));
+  EXPECT_TRUE(set.count({1, 2}));
+  EXPECT_TRUE(set.count({3, 4}));
+  EXPECT_FALSE(set.count({0, 5}));  // no shared title token
+}
+
+TEST(BlockingTest, PairsAreOrderedAndUnique) {
+  Table t = DuplicatesTable();
+  BlockingOptions options;
+  options.key_columns = {"Title", "Venue"};
+  auto pairs = TokenBlocking(t, options);
+  std::set<std::pair<size_t, size_t>> set(pairs.begin(), pairs.end());
+  EXPECT_EQ(set.size(), pairs.size());
+  for (const auto& [a, b] : pairs) EXPECT_LT(a, b);
+}
+
+TEST(BlockingTest, BigBlocksSkipped) {
+  Schema schema({{"Word", ColumnType::kText}});
+  Table t(schema);
+  for (int i = 0; i < 10; ++i) t.AppendRow({Value::String("common")});
+  BlockingOptions options;
+  options.key_columns = {"Word"};
+  options.max_block_size = 5;
+  EXPECT_TRUE(TokenBlocking(t, options).empty());
+}
+
+TEST(BlockingTest, DeadRowsExcluded) {
+  Table t = DuplicatesTable();
+  t.MarkDead(1);
+  BlockingOptions options;
+  options.key_columns = {"Title"};
+  auto pairs = TokenBlocking(t, options);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_NE(a, 1u);
+    EXPECT_NE(b, 1u);
+  }
+}
+
+TEST(BlockingTest, MaxPairsCap) {
+  Table t = DuplicatesTable();
+  BlockingOptions options;
+  options.key_columns = {"Title"};
+  options.max_pairs = 2;
+  EXPECT_EQ(TokenBlocking(t, options).size(), 2u);
+}
+
+// --------------------------------------------------------- pair features --
+
+TEST(PairFeaturesTest, ArityMatchesSchema) {
+  Table t = DuplicatesTable();
+  // 2 text-ish columns * 4 + 1 numeric * 2 = 10.
+  EXPECT_EQ(PairFeatureArity(t.schema()), 10u);
+  EXPECT_EQ(PairFeatures(t, 0, 1).size(), 10u);
+}
+
+TEST(PairFeaturesTest, IdenticalRowsScoreOnes) {
+  Table t = DuplicatesTable();
+  t.AppendRow(t.row(0));
+  std::vector<double> f = PairFeatures(t, 0, t.num_rows() - 1);
+  for (double x : f) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(PairFeaturesTest, NullHandling) {
+  Table t = DuplicatesTable();
+  // Row 3 has null Citations; numeric features become 0.5.
+  std::vector<double> f = PairFeatures(t, 3, 4);
+  EXPECT_DOUBLE_EQ(f[8], 0.5);
+  EXPECT_DOUBLE_EQ(f[9], 0.5);
+}
+
+TEST(PairFeaturesTest, AllInUnitInterval) {
+  Table t = DuplicatesTable();
+  for (size_t a = 0; a < t.num_rows(); ++a) {
+    for (size_t b = a + 1; b < t.num_rows(); ++b) {
+      for (double x : PairFeatures(t, a, b)) {
+        EXPECT_GE(x, 0.0);
+        EXPECT_LE(x, 1.0);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- EmModel --
+
+TEST(EmModelTest, LabelsAreAuthoritative) {
+  Table t = DuplicatesTable();
+  EmModel model;
+  model.AddLabel(0, 1, true);
+  model.AddLabel(3, 5, false);
+  EXPECT_DOUBLE_EQ(model.MatchProbability(t, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(model.MatchProbability(t, 1, 0), 1.0);  // symmetric key
+  EXPECT_DOUBLE_EQ(model.MatchProbability(t, 3, 5), 0.0);
+  EXPECT_EQ(model.LabelOf(0, 1), 1);
+  EXPECT_EQ(model.LabelOf(5, 3), 0);
+  EXPECT_EQ(model.LabelOf(0, 2), -1);
+  EXPECT_EQ(model.num_labels(), 2u);
+}
+
+TEST(EmModelTest, WeakSeedsSeparateObviousPairs) {
+  Table t = DuplicatesTable();
+  // Exact same-source copies provide the positive weak seeds (the seed
+  // band deliberately excludes ambiguous variant pairs).
+  t.AppendRow(t.row(0));
+  t.AppendRow(t.row(3));
+  std::vector<std::pair<size_t, size_t>> candidates;
+  for (size_t a = 0; a < t.num_rows(); ++a) {
+    for (size_t b = a + 1; b < t.num_rows(); ++b) candidates.push_back({a, b});
+  }
+  EmModel model;
+  model.Retrain(t, candidates, 1);
+  // (0,1) near-identical duplicates vs (0,5) unrelated papers.
+  EXPECT_GT(model.MatchProbability(t, 0, 1), model.MatchProbability(t, 0, 5));
+}
+
+TEST(EmModelTest, ScoreAllCoversCandidates) {
+  Table t = DuplicatesTable();
+  std::vector<std::pair<size_t, size_t>> candidates = {{0, 1}, {3, 4}};
+  EmModel model;
+  model.AddLabel(0, 1, true);
+  std::vector<ScoredPair> scored = model.ScoreAll(t, candidates);
+  ASSERT_EQ(scored.size(), 2u);
+  EXPECT_DOUBLE_EQ(scored[0].probability, 1.0);
+}
+
+// -------------------------------------------------------- active learning --
+
+TEST(ActiveLearningTest, OrdersByUncertainty) {
+  EmModel model;
+  std::vector<ScoredPair> scored = {
+      {0, 1, 0.95}, {2, 3, 0.52}, {4, 5, 0.30}, {6, 7, 0.04}};
+  ActiveLearningOptions options;
+  options.uncertainty_radius = 0.25;
+  std::vector<ScoredPair> picked = SelectUncertainPairs(scored, model, options);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0].a, 2u);  // |0.52-0.5| < |0.30-0.5|
+  EXPECT_EQ(picked[1].a, 4u);
+}
+
+TEST(ActiveLearningTest, ExcludesLabeledAndCaps) {
+  EmModel model;
+  model.AddLabel(2, 3, true);
+  std::vector<ScoredPair> scored = {{0, 1, 0.5}, {2, 3, 0.5}, {4, 5, 0.45}};
+  ActiveLearningOptions options;
+  options.max_questions = 1;
+  std::vector<ScoredPair> picked = SelectUncertainPairs(scored, model, options);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].a, 0u);
+}
+
+// ------------------------------------------------------------- clustering --
+
+TEST(ClusteringTest, MergesLabeledAndConfident) {
+  EmModel model;
+  model.AddLabel(0, 1, true);
+  model.AddLabel(2, 3, false);
+  std::vector<ScoredPair> scored = {
+      {0, 1, 0.5},   // labeled match -> merged
+      {1, 4, 0.99},  // confident -> merged
+      {2, 3, 0.99},  // labeled non-match -> NOT merged despite probability
+      {3, 5, 0.2},   // unconfident -> not merged
+  };
+  EntityClusters clusters = ClusterEntities(6, scored, model, {});
+  EXPECT_EQ(clusters.cluster_of[0], clusters.cluster_of[1]);
+  EXPECT_EQ(clusters.cluster_of[0], clusters.cluster_of[4]);
+  EXPECT_NE(clusters.cluster_of[2], clusters.cluster_of[3]);
+  EXPECT_NE(clusters.cluster_of[3], clusters.cluster_of[5]);
+  auto multi = clusters.MultiMemberClusters();
+  ASSERT_EQ(multi.size(), 1u);
+  EXPECT_EQ(multi[0], (std::vector<size_t>{0, 1, 4}));
+}
+
+// ----------------------------------------------------------- golden record --
+
+TEST(GoldenRecordTest, ElectsMajorityValue) {
+  Table t = DuplicatesTable();
+  // Venue col = 1; cluster {0,1,2} has ACM SIGMOD / SIGMOD / SIGMOD Conf.
+  // No majority -> longest spelling wins the tie-break among count-1 values.
+  std::string canonical = ElectCanonicalValue(t, {0, 1, 2}, 1);
+  EXPECT_EQ(canonical, "SIGMOD Conf.");
+  t.AppendRow({Value::String("NADEEF data cleaning"), Value::String("SIGMOD"),
+               Value::Number(174)});
+  canonical = ElectCanonicalValue(t, {0, 1, 2, t.num_rows() - 1}, 1);
+  EXPECT_EQ(canonical, "SIGMOD");  // now 2 votes
+}
+
+TEST(GoldenRecordTest, SkipsNullsAndSingletons) {
+  Table t = DuplicatesTable();
+  EXPECT_EQ(ElectCanonicalValue(t, {}, 1), "");
+  auto candidates = GoldenRecordCreation(t, {{5}}, 1);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(GoldenRecordTest, EmitsTransformationCandidates) {
+  Table t = DuplicatesTable();
+  auto candidates = GoldenRecordCreation(t, {{0, 1, 2}, {3, 4}}, 1);
+  // Cluster 0: two variants -> canonical; cluster 1: one variant.
+  ASSERT_EQ(candidates.size(), 3u);
+  std::set<std::string> froms;
+  for (const auto& c : candidates) {
+    froms.insert(c.from);
+    EXPECT_NE(c.from, c.to);
+  }
+  EXPECT_TRUE(froms.count("ACM SIGMOD"));
+  EXPECT_TRUE(froms.count("SIGMOD"));
+}
+
+}  // namespace
+}  // namespace visclean

@@ -1,0 +1,259 @@
+// Unit tests for the export layer: JsonWriter, Vega-Lite specs, trace
+// exporters, and the text GUI renderers.
+#include <gtest/gtest.h>
+
+#include "common/json_writer.h"
+#include "ui/graph_render.h"
+#include "ui/trace_export.h"
+#include "vql/parser.h"
+#include "vql/vega_export.h"
+
+namespace visclean {
+namespace {
+
+// ------------------------------------------------------------ JsonWriter --
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name");
+  json.String("SIGMOD");
+  json.Key("count");
+  json.Int(42);
+  json.Key("share");
+  json.Number(0.25);
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("missing");
+  json.Null();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\"name\":\"SIGMOD\",\"count\":42,\"share\":0.25,\"ok\":true,"
+            "\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedArrays) {
+  JsonWriter json;
+  json.BeginArray();
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.EndArray();
+  json.BeginArray();
+  json.EndArray();
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[[1,2],[]]");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("say \"hi\"\n\tand \\ done"),
+            "say \\\"hi\\\"\\n\\tand \\\\ done");
+  EXPECT_EQ(JsonWriter::Escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, IntegralNumbersPrintWithoutDecimals) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(2013.0);
+  json.Number(1.5);
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[2013,1.5]");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(std::numeric_limits<double>::quiet_NaN());
+  json.Number(std::numeric_limits<double>::infinity());
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[null,null]");
+}
+
+TEST(JsonWriterTest, PrettyPrintIndents) {
+  JsonWriter json = JsonWriter::Pretty();
+  json.BeginObject();
+  json.Key("a");
+  json.Int(1);
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(), "{\n  \"a\": 1\n}");
+}
+
+// ------------------------------------------------------------- Vega-Lite --
+
+VisData SampleVis(ChartType type) {
+  VisData vis;
+  vis.type = type;
+  vis.x_name = "Venue";
+  vis.y_name = "Citations";
+  vis.points = {{"SIGMOD", 174}, {"VLDB", 55}};
+  return vis;
+}
+
+TEST(VegaExportTest, BarChartSpec) {
+  std::string spec = ToVegaLite(SampleVis(ChartType::kBar));
+  EXPECT_NE(spec.find("\"mark\": \"bar\""), std::string::npos);
+  EXPECT_NE(spec.find("vega-lite/v5.json"), std::string::npos);
+  EXPECT_NE(spec.find("\"SIGMOD\""), std::string::npos);
+  EXPECT_NE(spec.find("174"), std::string::npos);
+  EXPECT_NE(spec.find("\"quantitative\""), std::string::npos);
+}
+
+TEST(VegaExportTest, PieChartUsesArcMark) {
+  std::string spec = ToVegaLite(SampleVis(ChartType::kPie));
+  EXPECT_NE(spec.find("\"mark\": \"arc\""), std::string::npos);
+  EXPECT_NE(spec.find("\"theta\""), std::string::npos);
+  EXPECT_NE(spec.find("\"color\""), std::string::npos);
+}
+
+TEST(VegaExportTest, QueryDerivedTitles) {
+  VqlQuery query = ParseVql(
+                       "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D "
+                       "TRANSFORM GROUP(Venue)")
+                       .value();
+  std::string spec = ToVegaLite(SampleVis(ChartType::kBar), query);
+  EXPECT_NE(spec.find("SUM(Citations) by Venue"), std::string::npos);
+  EXPECT_NE(spec.find("\"title\": \"SUM(Citations)\""), std::string::npos);
+}
+
+TEST(VegaExportTest, CompactModeHasNoNewlines) {
+  VegaExportOptions options;
+  options.pretty = false;
+  std::string spec = ToVegaLite(SampleVis(ChartType::kBar), options);
+  EXPECT_EQ(spec.find('\n'), std::string::npos);
+}
+
+TEST(VegaExportTest, EscapesLabelContent) {
+  VisData vis = SampleVis(ChartType::kBar);
+  vis.points[0].x = "he said \"SIGMOD\"";
+  std::string spec = ToVegaLite(vis);
+  EXPECT_NE(spec.find("he said \\\"SIGMOD\\\""), std::string::npos);
+}
+
+// ---------------------------------------------------------- trace export --
+
+std::vector<IterationTrace> SampleTraces() {
+  IterationTrace t0;
+  t0.iteration = 0;
+  t0.emd = 0.05;
+  IterationTrace t1;
+  t1.iteration = 1;
+  t1.emd = 0.02;
+  t1.user_seconds = 33.5;
+  t1.questions_asked = 11;
+  t1.cqg_benefit = 0.7;
+  t1.machine.train = 0.9;
+  return {t0, t1};
+}
+
+TEST(TraceExportTest, CsvHasHeaderAndRows) {
+  std::string csv = TracesToCsv(SampleTraces());
+  EXPECT_NE(csv.find("iteration,emd,user_seconds"), std::string::npos);
+  EXPECT_NE(csv.find("\n0,0.050000"), std::string::npos);
+  EXPECT_NE(csv.find("\n1,0.020000,33.50,11"), std::string::npos);
+}
+
+TEST(TraceExportTest, JsonRoundTripsFields) {
+  std::string json = TracesToJson(SampleTraces(), /*pretty=*/false);
+  EXPECT_NE(json.find("\"iteration\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"questions_asked\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"train\":0.9"), std::string::npos);
+}
+
+// ----------------------------------------------------------- graph render --
+
+TEST(GraphRenderTest, RendersVerticesEdgesAndQuestions) {
+  Schema schema({{"Title", ColumnType::kText},
+                 {"Venue", ColumnType::kCategorical},
+                 {"Citations", ColumnType::kNumeric}});
+  Table table(schema);
+  table.AppendRow({Value::String("NADEEF"), Value::String("ACM SIGMOD"),
+                   Value::Number(174)});
+  table.AppendRow({Value::String("NADEEF"), Value::String("SIGMOD"),
+                   Value::Number(1740)});
+
+  Erg erg;
+  ErgVertex v0;
+  v0.row = 0;
+  ErgVertex v1;
+  v1.row = 1;
+  OQuestion outlier;
+  outlier.row = 1;
+  outlier.column = 2;
+  outlier.current = 1740;
+  outlier.suggested = 174;
+  outlier.score = 99;
+  v1.outlier = outlier;
+  erg.AddVertex(v0);
+  erg.AddVertex(v1);
+  ErgEdge edge;
+  edge.u = 0;
+  edge.v = 1;
+  edge.p_tuple = 0.55;
+  edge.has_attr = true;
+  edge.p_attr = 0.5;
+  edge.attr_question = {1, "ACM SIGMOD", "SIGMOD", 0.5};
+  erg.AddEdge(edge);
+
+  std::string erg_text = RenderErg(erg, table);
+  EXPECT_NE(erg_text.find("t0"), std::string::npos);
+  EXPECT_NE(erg_text.find("t1[O]"), std::string::npos);
+  EXPECT_NE(erg_text.find("p_t=0.55"), std::string::npos);
+
+  Cqg cqg = InduceCqg(erg, {0, 1});
+  std::string cqg_text = RenderCqg(erg, cqg, table);
+  EXPECT_NE(cqg_text.find("[T] are t0 and t1 the same entity?"),
+            std::string::npos);
+  EXPECT_NE(cqg_text.find("[A]"), std::string::npos);
+  EXPECT_NE(cqg_text.find("[O]"), std::string::npos);
+  EXPECT_NE(cqg_text.find("suggested repair: 174"), std::string::npos);
+  EXPECT_NE(cqg_text.find("Venue=ACM SIGMOD"), std::string::npos);
+}
+
+TEST(GraphRenderTest, PreviewColumnsFilterAndClip) {
+  Schema schema({{"Title", ColumnType::kText},
+                 {"Venue", ColumnType::kCategorical}});
+  Table table(schema);
+  table.AppendRow({Value::String("a very very very long paper title indeed"),
+                   Value::String("VLDB")});
+  Erg erg;
+  ErgVertex v;
+  v.row = 0;
+  MQuestion m;
+  m.row = 0;
+  m.column = 1;
+  v.missing = m;
+  erg.AddVertex(v);
+  Cqg cqg;
+  cqg.vertices = {0};
+
+  GraphRenderOptions options;
+  options.preview_columns = {"Title"};
+  options.max_cell_width = 10;
+  std::string text = RenderCqg(erg, cqg, table, options);
+  EXPECT_EQ(text.find("Venue="), std::string::npos);
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+TEST(GraphRenderTest, DeadRowsHidden) {
+  Schema schema({{"Title", ColumnType::kText}});
+  Table table(schema);
+  table.AppendRow({Value::String("a")});
+  table.AppendRow({Value::String("b")});
+  table.MarkDead(1);
+  Erg erg;
+  ErgVertex v0;
+  v0.row = 0;
+  ErgVertex v1;
+  v1.row = 1;
+  erg.AddVertex(v0);
+  erg.AddVertex(v1);
+  ErgEdge edge;
+  edge.u = 0;
+  edge.v = 1;
+  erg.AddEdge(edge);
+  std::string text = RenderErg(erg, table);
+  EXPECT_EQ(text.find("t0 --"), std::string::npos);  // edge hidden entirely
+}
+
+}  // namespace
+}  // namespace visclean

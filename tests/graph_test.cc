@@ -1,0 +1,306 @@
+// Unit + property tests for src/graph: ERG/CQG structures and the four
+// selection algorithms, cross-validated against exhaustive search.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/bnb.h"
+#include "graph/cqg.h"
+#include "graph/erg.h"
+#include "graph/exact_selector.h"
+#include "graph/gss.h"
+#include "graph/random_selector.h"
+#include "graph/selector.h"
+
+namespace visclean {
+namespace {
+
+// The worked example of Fig. 7: 6 vertices A..F with benefits such that the
+// optimal 4-subgraph is {A, B, C, E} with weight 0.9+0.8+0.6+0.2 = 2.5.
+Erg Fig7Erg() {
+  Erg erg;
+  for (size_t i = 0; i < 6; ++i) {
+    ErgVertex v;
+    v.row = i;
+    erg.AddVertex(v);
+  }
+  auto add = [&](size_t u, size_t v, double benefit) {
+    ErgEdge e;
+    e.u = u;
+    e.v = v;
+    e.p_tuple = 0.5;
+    e.benefit = benefit;
+    erg.AddEdge(e);
+  };
+  // A=0, B=1, C=2, D=3, E=4, F=5.
+  add(1, 4, 0.9);  // (B, E)
+  add(1, 2, 0.8);  // (B, C)
+  add(3, 5, 0.7);  // (D, F)
+  add(2, 4, 0.6);  // (C, E)
+  add(0, 4, 0.2);  // (A, E)
+  add(0, 3, 0.1);  // (A, D)
+  return erg;
+}
+
+Erg RandomErg(size_t num_vertices, size_t num_edges, uint64_t seed) {
+  Rng rng(seed);
+  Erg erg;
+  for (size_t i = 0; i < num_vertices; ++i) {
+    ErgVertex v;
+    v.row = i;
+    erg.AddVertex(v);
+  }
+  std::set<std::pair<size_t, size_t>> used;
+  size_t attempts = 0;
+  while (erg.num_edges() < num_edges && attempts < num_edges * 50) {
+    ++attempts;
+    size_t u = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_vertices) - 1));
+    size_t v = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_vertices) - 1));
+    if (u == v) continue;
+    auto key = std::minmax(u, v);
+    if (!used.insert(key).second) continue;
+    ErgEdge e;
+    e.u = key.first;
+    e.v = key.second;
+    e.p_tuple = rng.UniformReal(0, 1);
+    e.benefit = rng.UniformReal(0, 1);
+    erg.AddEdge(e);
+  }
+  return erg;
+}
+
+// ------------------------------------------------------------- Erg / Cqg --
+
+TEST(ErgTest, StructureAndAdjacency) {
+  Erg erg = Fig7Erg();
+  EXPECT_EQ(erg.num_vertices(), 6u);
+  EXPECT_EQ(erg.num_edges(), 6u);
+  EXPECT_EQ(erg.IncidentEdges(4).size(), 3u);  // E touches B, C, A
+  EXPECT_EQ(erg.IncidentEdges(5).size(), 1u);
+  EXPECT_EQ(erg.VertexOfRow(3), 3u);
+  EXPECT_EQ(erg.VertexOfRow(99), Erg::kNoVertex);
+}
+
+TEST(ErgTest, EdgeEndpointsNormalized) {
+  Erg erg;
+  ErgVertex v;
+  v.row = 0;
+  erg.AddVertex(v);
+  v.row = 1;
+  erg.AddVertex(v);
+  ErgEdge e;
+  e.u = 1;
+  e.v = 0;
+  erg.AddEdge(e);
+  EXPECT_EQ(erg.edge(0).u, 0u);
+  EXPECT_EQ(erg.edge(0).v, 1u);
+}
+
+TEST(CqgTest, InduceCollectsInternalEdges) {
+  Erg erg = Fig7Erg();
+  Cqg cqg = InduceCqg(erg, {0, 1, 2, 4});
+  EXPECT_EQ(cqg.vertices.size(), 4u);
+  EXPECT_EQ(cqg.edge_indices.size(), 4u);  // BE, BC, CE, AE
+  EXPECT_NEAR(cqg.total_benefit, 2.5, 1e-12);
+  EXPECT_TRUE(IsCqgConnected(erg, cqg));
+}
+
+TEST(CqgTest, InduceDeduplicatesVertices) {
+  Erg erg = Fig7Erg();
+  Cqg cqg = InduceCqg(erg, {1, 1, 4, 4});
+  EXPECT_EQ(cqg.vertices.size(), 2u);
+  EXPECT_EQ(cqg.edge_indices.size(), 1u);
+}
+
+TEST(CqgTest, DisconnectedDetected) {
+  Erg erg = Fig7Erg();
+  Cqg cqg = InduceCqg(erg, {1, 2, 3, 5});  // {B,C} and {D,F} components
+  EXPECT_FALSE(IsCqgConnected(erg, cqg));
+  Cqg tiny = InduceCqg(erg, {0});
+  EXPECT_TRUE(IsCqgConnected(erg, tiny));  // vacuous
+}
+
+// --------------------------------------------------------------- selectors --
+
+TEST(GssTest, SolvesFig7Example) {
+  Erg erg = Fig7Erg();
+  GssSelector gss;
+  Cqg cqg = gss.Select(erg, 4);
+  EXPECT_EQ(cqg.vertices, (std::vector<size_t>{0, 1, 2, 4}));
+  EXPECT_NEAR(cqg.total_benefit, 2.5, 1e-12);
+}
+
+TEST(BnbTest, SolvesFig7Example) {
+  Erg erg = Fig7Erg();
+  BnbSelector bnb;
+  Cqg cqg = bnb.Select(erg, 4);
+  EXPECT_EQ(cqg.vertices, (std::vector<size_t>{0, 1, 2, 4}));
+  EXPECT_NEAR(cqg.total_benefit, 2.5, 1e-12);
+}
+
+TEST(ExactTest, SolvesFig7Example) {
+  Erg erg = Fig7Erg();
+  ExactSelector exact;
+  Cqg cqg = exact.Select(erg, 4);
+  EXPECT_EQ(cqg.vertices, (std::vector<size_t>{0, 1, 2, 4}));
+}
+
+TEST(SelectorTest, EmptyGraphGivesEmptyCqg) {
+  Erg erg;
+  GssSelector gss;
+  GssPlusSelector gss_plus;
+  BnbSelector bnb;
+  RandomSelector random(1);
+  ExactSelector exact;
+  EXPECT_TRUE(gss.Select(erg, 4).empty());
+  EXPECT_TRUE(gss_plus.Select(erg, 4).empty());
+  EXPECT_TRUE(bnb.Select(erg, 4).empty());
+  EXPECT_TRUE(random.Select(erg, 4).empty());
+  EXPECT_TRUE(exact.Select(erg, 4).empty());
+}
+
+TEST(BnbTest, ExactMatchesExhaustiveOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Erg erg = RandomErg(9, 16, seed);
+    BnbSelector bnb;
+    ExactSelector exact;
+    Cqg from_bnb = bnb.Select(erg, 4);
+    Cqg from_exact = exact.Select(erg, 4);
+    if (from_exact.vertices.size() == 4) {
+      EXPECT_NEAR(from_bnb.total_benefit, from_exact.total_benefit, 1e-9)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(BnbTest, AlphaVariantNeverBeatsExact) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Erg erg = RandomErg(10, 20, seed);
+    BnbSelector exact_bnb;
+    BnbOptions alpha_options;
+    alpha_options.alpha = 5.0;
+    BnbSelector alpha_bnb(alpha_options);
+    double exact_benefit = exact_bnb.Select(erg, 4).total_benefit;
+    double alpha_benefit = alpha_bnb.Select(erg, 4).total_benefit;
+    EXPECT_LE(alpha_benefit, exact_benefit + 1e-9);
+    // 5-approximation guarantee.
+    EXPECT_GE(alpha_benefit * 5.0 + 1e-9, exact_benefit);
+  }
+}
+
+TEST(BnbTest, ExpansionCapStopsSearch) {
+  Erg erg = RandomErg(30, 120, 3);
+  BnbOptions options;
+  options.max_expansions = 10;
+  BnbSelector bnb(options);
+  Cqg cqg = bnb.Select(erg, 6);
+  EXPECT_LE(bnb.last_expansions(), 11u);
+  EXPECT_FALSE(cqg.empty());  // still returns its best-so-far
+}
+
+TEST(BnbTest, NamesReflectAlpha) {
+  EXPECT_EQ(BnbSelector().name(), "B&B");
+  BnbOptions options;
+  options.alpha = 5;
+  EXPECT_EQ(BnbSelector(options).name(), "5-B&B");
+}
+
+// Property sweep: on random graphs every selector returns a connected
+// subgraph with at most k vertices, and GSS never returns an empty CQG on a
+// non-empty graph.
+class SelectorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(SelectorPropertyTest, ConnectedAndWithinSize) {
+  auto [seed, k] = GetParam();
+  Erg erg = RandomErg(20, 40, seed);
+  GssSelector gss;
+  GssPlusSelector gss_plus;
+  BnbSelector bnb;
+  RandomSelector random(seed);
+  for (CqgSelector* selector :
+       std::initializer_list<CqgSelector*>{&gss, &gss_plus, &bnb, &random}) {
+    Cqg cqg = selector->Select(erg, k);
+    EXPECT_LE(cqg.vertices.size(), k) << selector->name();
+    EXPECT_TRUE(IsCqgConnected(erg, cqg)) << selector->name();
+    EXPECT_FALSE(cqg.empty()) << selector->name();
+    // total_benefit must equal the sum over the induced edges.
+    double sum = 0;
+    for (size_t e : cqg.edge_indices) sum += erg.edge(e).benefit;
+    EXPECT_NEAR(sum, cqg.total_benefit, 1e-9) << selector->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, SelectorPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(3, 5, 8)));
+
+TEST(GssPlusTest, PrunesCertainEdges) {
+  // Graph where the highest-benefit edges are certain (p outside the band):
+  // GSS+ must still return something by falling back to uncertain edges.
+  Erg erg;
+  for (size_t i = 0; i < 4; ++i) {
+    ErgVertex v;
+    v.row = i;
+    erg.AddVertex(v);
+  }
+  auto add = [&](size_t u, size_t v, double p, double b) {
+    ErgEdge e;
+    e.u = u;
+    e.v = v;
+    e.p_tuple = p;
+    e.benefit = b;
+    erg.AddEdge(e);
+  };
+  add(0, 1, 0.99, 10.0);  // certain, pruned
+  add(1, 2, 0.5, 1.0);    // uncertain
+  add(2, 3, 0.5, 1.0);    // uncertain
+  GssPlusSelector gss_plus;
+  Cqg cqg = gss_plus.Select(erg, 3);
+  EXPECT_EQ(cqg.vertices, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(GssTest, FallsBackWhenNoSetReachesK) {
+  // A path of 3 vertices with k=5: no set ever reaches size 5, the greedy
+  // fallback must still return the whole component.
+  Erg erg;
+  for (size_t i = 0; i < 3; ++i) {
+    ErgVertex v;
+    v.row = i;
+    erg.AddVertex(v);
+  }
+  auto add = [&](size_t u, size_t v, double b) {
+    ErgEdge e;
+    e.u = u;
+    e.v = v;
+    e.benefit = b;
+    erg.AddEdge(e);
+  };
+  add(0, 1, 1.0);
+  add(1, 2, 0.5);
+  GssSelector gss;
+  Cqg cqg = gss.Select(erg, 5);
+  EXPECT_EQ(cqg.vertices.size(), 3u);
+  EXPECT_NEAR(cqg.total_benefit, 1.5, 1e-12);
+}
+
+// ----------------------------------------------------------------- factory --
+
+TEST(SelectorFactoryTest, KnownNames) {
+  EXPECT_EQ(MakeSelector("gss").value()->name(), "GSS");
+  EXPECT_EQ(MakeSelector("gss+").value()->name(), "GSS+");
+  EXPECT_EQ(MakeSelector("bnb").value()->name(), "B&B");
+  EXPECT_EQ(MakeSelector("5-bnb").value()->name(), "5-B&B");
+  EXPECT_EQ(MakeSelector("10-bnb").value()->name(), "10-B&B");
+  EXPECT_EQ(MakeSelector("random", 3).value()->name(), "Random");
+  EXPECT_EQ(MakeSelector("exact").value()->name(), "Exact");
+  EXPECT_FALSE(MakeSelector("nope").ok());
+  EXPECT_FALSE(MakeSelector("x-bnb").ok());
+}
+
+}  // namespace
+}  // namespace visclean

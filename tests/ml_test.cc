@@ -1,0 +1,202 @@
+// Unit + property tests for src/ml: decision tree, random forest, kNN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/random_forest.h"
+
+namespace visclean {
+namespace {
+
+// Linearly separable 2-D data: label = x0 > 0.5.
+std::vector<Example> SeparableData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Example> data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.UniformReal(0, 1);
+    double x1 = rng.UniformReal(0, 1);
+    data.push_back({{x0, x1}, x0 > 0.5 ? 1 : 0});
+  }
+  return data;
+}
+
+// XOR-ish data requiring depth >= 2.
+std::vector<Example> XorData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Example> data;
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.UniformReal(0, 1);
+    double x1 = rng.UniformReal(0, 1);
+    data.push_back({{x0, x1}, (x0 > 0.5) != (x1 > 0.5) ? 1 : 0});
+  }
+  return data;
+}
+
+// --------------------------------------------------------- DecisionTree --
+
+TEST(DecisionTreeTest, LearnsSeparableBoundary) {
+  Rng rng(1);
+  DecisionTree tree;
+  TreeOptions options;
+  options.max_features = 2;  // use both features
+  tree.Fit(SeparableData(500, 2), options, &rng);
+  EXPECT_GT(tree.PredictProbability({0.9, 0.5}), 0.9);
+  EXPECT_LT(tree.PredictProbability({0.1, 0.5}), 0.1);
+}
+
+TEST(DecisionTreeTest, LearnsXorWithDepth) {
+  Rng rng(3);
+  DecisionTree tree;
+  TreeOptions options;
+  options.max_depth = 6;
+  options.max_features = 2;
+  tree.Fit(XorData(2000, 4), options, &rng);
+  EXPECT_GT(tree.PredictProbability({0.9, 0.1}), 0.8);
+  EXPECT_GT(tree.PredictProbability({0.1, 0.9}), 0.8);
+  EXPECT_LT(tree.PredictProbability({0.9, 0.9}), 0.2);
+  EXPECT_LT(tree.PredictProbability({0.1, 0.1}), 0.2);
+}
+
+TEST(DecisionTreeTest, PureLeafOnUniformLabels) {
+  Rng rng(5);
+  std::vector<Example> data = {{{0.1}, 1}, {{0.9}, 1}, {{0.5}, 1}};
+  DecisionTree tree;
+  tree.Fit(data, {}, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);  // single pure leaf
+  EXPECT_DOUBLE_EQ(tree.PredictProbability({0.3}), 1.0);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(6);
+  DecisionTree tree;
+  TreeOptions options;
+  options.max_depth = 1;
+  options.max_features = 2;
+  tree.Fit(XorData(500, 7), options, &rng);
+  // Depth 1 = one split = at most 3 nodes.
+  EXPECT_LE(tree.num_nodes(), 3u);
+}
+
+TEST(DecisionTreeTest, ConstantFeaturesYieldLeaf) {
+  Rng rng(8);
+  std::vector<Example> data = {{{1.0, 1.0}, 0}, {{1.0, 1.0}, 1},
+                               {{1.0, 1.0}, 0}, {{1.0, 1.0}, 1}};
+  DecisionTree tree;
+  TreeOptions options;
+  options.max_features = 2;
+  tree.Fit(data, options, &rng);
+  EXPECT_DOUBLE_EQ(tree.PredictProbability({1.0, 1.0}), 0.5);
+}
+
+// --------------------------------------------------------- RandomForest --
+
+TEST(RandomForestTest, UnfittedReturnsMaximumUncertainty) {
+  RandomForest forest;
+  EXPECT_FALSE(forest.is_fitted());
+  EXPECT_DOUBLE_EQ(forest.PredictProbability({0.1, 0.2}), 0.5);
+}
+
+TEST(RandomForestTest, LearnsSeparableBoundary) {
+  RandomForest forest;
+  forest.Fit(SeparableData(800, 10), 11);
+  EXPECT_TRUE(forest.is_fitted());
+  EXPECT_EQ(forest.num_trees(), 20u);
+  EXPECT_GT(forest.PredictProbability({0.95, 0.5}), 0.85);
+  EXPECT_LT(forest.PredictProbability({0.05, 0.5}), 0.15);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  RandomForest a, b;
+  std::vector<Example> data = SeparableData(300, 12);
+  a.Fit(data, 13);
+  b.Fit(data, 13);
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    EXPECT_DOUBLE_EQ(a.PredictProbability({x, 0.5}),
+                     b.PredictProbability({x, 0.5}));
+  }
+}
+
+TEST(RandomForestTest, ProbabilitiesInRange) {
+  RandomForest forest;
+  forest.Fit(XorData(500, 14), 15);
+  Rng rng(16);
+  for (int i = 0; i < 200; ++i) {
+    double p = forest.PredictProbability(
+        {rng.UniformReal(0, 1), rng.UniformReal(0, 1)});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+// ------------------------------------------------------------------ kNN --
+
+TEST(KnnTest, NearestNeighborsByStringRanksByJaccard) {
+  std::vector<std::string> items = {"sigmod conference", "vldb journal",
+                                    "sigmod conf", "icde"};
+  std::vector<Neighbor> nn =
+      NearestNeighborsByString(items, "sigmod conference", 2, 0);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].index, 2u);  // shares "sigmod"
+  EXPECT_LT(nn[0].distance, nn[1].distance);
+}
+
+TEST(KnnTest, NearestNeighborsExcludesSelf) {
+  std::vector<std::string> items = {"a b", "a b", "c"};
+  std::vector<Neighbor> nn = NearestNeighborsByString(items, items[0], 3, 0);
+  for (const Neighbor& n : nn) EXPECT_NE(n.index, 0u);
+}
+
+TEST(KnnTest, OutlierScoresFlagIsolatedValue) {
+  std::vector<double> values = {10, 11, 12, 13, 14, 1000};
+  std::vector<double> scores = KnnOutlierScores(values, 2);
+  size_t argmax = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, 5u);
+  EXPECT_GT(scores[5], 100 * scores[0]);
+}
+
+TEST(KnnTest, OutlierScoresDegenerateInputs) {
+  EXPECT_TRUE(KnnOutlierScores({}, 3).empty());
+  EXPECT_EQ(KnnOutlierScores({5.0}, 3), (std::vector<double>{0.0}));
+  std::vector<double> equal = KnnOutlierScores({7, 7, 7, 7}, 2);
+  for (double s : equal) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+// Property: the windowed O(nk) score equals the naive O(n^2) definition
+// ("the k-th smallest absolute difference between all other values and v").
+class KnnOutlierEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KnnOutlierEquivalenceTest, MatchesNaiveDefinition) {
+  auto [n, k] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 31 + k));
+  std::vector<double> values(static_cast<size_t>(n));
+  for (double& v : values) v = std::round(rng.UniformReal(0, 100));
+
+  std::vector<double> fast = KnnOutlierScores(values, static_cast<size_t>(k));
+
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::vector<double> diffs;
+    for (size_t j = 0; j < values.size(); ++j) {
+      if (j != i) diffs.push_back(std::fabs(values[j] - values[i]));
+    }
+    std::sort(diffs.begin(), diffs.end());
+    size_t kk = std::min<size_t>(static_cast<size_t>(k), diffs.size());
+    double naive = diffs[kk - 1];
+    EXPECT_NEAR(fast[i], naive, 1e-9) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnOutlierEquivalenceTest,
+    ::testing::Combine(::testing::Values(2, 5, 20, 57),
+                       ::testing::Values(1, 3, 5)));
+
+}  // namespace
+}  // namespace visclean

@@ -1,0 +1,238 @@
+// Cross-module randomized property tests: metric axioms for EMD, CSV
+// round-trips on random tables, undo-log fuzzing against table snapshots,
+// and end-to-end invariants of the cleaning session.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "clean/repair.h"
+#include "common/rng.h"
+#include "data/csv.h"
+#include "dist/emd.h"
+#include "dist/vis_data.h"
+#include "vql/executor.h"
+#include "vql/parser.h"
+
+namespace visclean {
+namespace {
+
+VisData RandomVis(Rng* rng, size_t max_points) {
+  VisData vis;
+  size_t n = static_cast<size_t>(rng->UniformInt(1, static_cast<int64_t>(max_points)));
+  for (size_t i = 0; i < n; ++i) {
+    vis.points.push_back({"p" + std::to_string(i),
+                          std::round(rng->UniformReal(0, 100))});
+  }
+  return vis;
+}
+
+// ------------------------------- EMD metric axioms ----------------------
+
+class EmdMetricTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EmdMetricTest, AxiomsHoldOnRandomDistributions) {
+  Rng rng(GetParam());
+  VisData a = RandomVis(&rng, 8);
+  VisData b = RandomVis(&rng, 8);
+  VisData c = RandomVis(&rng, 8);
+  double ab = EmdDistance(a, b);
+  double ba = EmdDistance(b, a);
+  double ac = EmdDistance(a, c);
+  double cb = EmdDistance(c, b);
+  // Nonnegativity, identity, symmetry.
+  EXPECT_GE(ab, 0.0);
+  EXPECT_NEAR(EmdDistance(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(ab, ba, 1e-9);
+  // Triangle inequality (EMD with a metric ground distance is a metric on
+  // distributions; ours compares the normalized-y point clouds).
+  EXPECT_LE(ab, ac + cb + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, EmdMetricTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+// ------------------------------- CSV round trips ------------------------
+
+class CsvRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTripTest, RandomTableSurvives) {
+  Rng rng(GetParam());
+  Schema schema({{"s", ColumnType::kText},
+                 {"x", ColumnType::kNumeric},
+                 {"t", ColumnType::kText}});
+  Table table(schema);
+  const char* nasty[] = {"plain", "with,comma", "with \"quote\"",
+                         "multi\nline", "", "trailing space ", "=1+2"};
+  size_t rows = static_cast<size_t>(rng.UniformInt(1, 30));
+  for (size_t r = 0; r < rows; ++r) {
+    Row row(3);
+    row[0] = Value::String(nasty[rng.UniformInt(0, 6)]);
+    row[1] = rng.Bernoulli(0.2)
+                 ? Value::Null()
+                 : Value::Number(std::round(rng.UniformReal(-1000, 1000)));
+    row[2] = Value::String(nasty[rng.UniformInt(0, 6)]);
+    table.AppendRow(std::move(row));
+  }
+
+  Result<Table> back = ReadCsv(WriteCsv(table), &schema);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().num_rows(), table.num_rows());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      const Value& original = table.at(r, c);
+      const Value& round = back.value().at(r, c);
+      // Empty strings become nulls in CSV (no way to distinguish); both
+      // display as "".
+      EXPECT_EQ(original.ToDisplayString(), round.ToDisplayString())
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CsvRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// ------------------------------- UndoLog fuzzing ------------------------
+
+std::string Fingerprint(const Table& t) {
+  std::string out;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    out += t.is_dead(r) ? 'D' : 'L';
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      out += t.at(r, c).ToDisplayString();
+      out += '|';
+    }
+  }
+  return out;
+}
+
+class UndoFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UndoFuzzTest, RandomRepairSequencesRollBackExactly) {
+  Rng rng(GetParam());
+  Schema schema({{"name", ColumnType::kCategorical},
+                 {"y", ColumnType::kNumeric}});
+  Table table(schema);
+  const char* names[] = {"alpha", "beta", "gamma", "delta"};
+  for (int r = 0; r < 20; ++r) {
+    table.AppendRow({Value::String(names[rng.UniformInt(0, 3)]),
+                     rng.Bernoulli(0.15)
+                         ? Value::Null()
+                         : Value::Number(rng.UniformInt(0, 50))});
+  }
+
+  std::string before = Fingerprint(table);
+  UndoLog undo;
+  for (int op = 0; op < 30; ++op) {
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        ApplyTransformation(&table, 0, names[rng.UniformInt(0, 3)],
+                            names[rng.UniformInt(0, 3)], &undo);
+        break;
+      case 1:
+        ApplyCellRepair(&table, static_cast<size_t>(rng.UniformInt(0, 19)), 1,
+                        rng.UniformReal(0, 100), &undo);
+        break;
+      default: {
+        std::vector<size_t> rows;
+        size_t n = static_cast<size_t>(rng.UniformInt(1, 4));
+        for (size_t i = 0; i < n; ++i) {
+          rows.push_back(static_cast<size_t>(rng.UniformInt(0, 19)));
+        }
+        bool any_live = false;
+        for (size_t r : rows) any_live |= !table.is_dead(r);
+        if (any_live) MergeRows(&table, rows, &undo);
+        break;
+      }
+    }
+  }
+  undo.Rollback(&table);
+  EXPECT_EQ(Fingerprint(table), before);
+  EXPECT_TRUE(undo.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, UndoFuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --------------------- executor determinism under shuffles ---------------
+
+TEST(ExecutorPropertyTest, GroupAggregationIsRowOrderInvariant) {
+  Rng rng(123);
+  Schema schema({{"g", ColumnType::kCategorical}, {"y", ColumnType::kNumeric}});
+  std::vector<Row> rows;
+  const char* groups[] = {"a", "b", "c"};
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({Value::String(groups[rng.UniformInt(0, 2)]),
+                    Value::Number(rng.UniformInt(0, 100))});
+  }
+  VqlQuery query = ParseVql(
+                       "VISUALIZE BAR SELECT g, SUM(y) FROM D "
+                       "TRANSFORM GROUP(g) SORT X ASC")
+                       .value();
+
+  Table t1(schema);
+  for (const Row& r : rows) t1.AppendRow(r);
+  VisData v1 = ExecuteVql(query, t1).value();
+
+  rng.Shuffle(rows);
+  Table t2(schema);
+  for (const Row& r : rows) t2.AppendRow(r);
+  VisData v2 = ExecuteVql(query, t2).value();
+
+  ASSERT_EQ(v1.points.size(), v2.points.size());
+  for (size_t i = 0; i < v1.points.size(); ++i) {
+    EXPECT_EQ(v1.points[i].x, v2.points[i].x);
+    EXPECT_DOUBLE_EQ(v1.points[i].y, v2.points[i].y);
+  }
+  EXPECT_NEAR(EmdDistance(v1, v2), 0.0, 1e-12);
+}
+
+// ------------------------------- parser fuzzing -------------------------
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(GetParam());
+  const char* tokens[] = {"VISUALIZE", "BAR",  "PIE",   "SELECT", "FROM",
+                          "GROUP",     "BIN",  "SUM",   "COUNT",  "WHERE",
+                          "AND",       "SORT", "LIMIT", "BY",     "INTERVAL",
+                          "(",         ")",    ",",     "=",      "<=",
+                          ">",         "'x'",  "42",    "Venue",  "Citations",
+                          "Y",         "DESC"};
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    int len = static_cast<int>(rng.UniformInt(0, 24));
+    for (int i = 0; i < len; ++i) {
+      text += tokens[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(tokens)) - 1)];
+      text += ' ';
+    }
+    // Must either parse or return a status — never abort.
+    Result<VqlQuery> q = ParseVql(text);
+    if (q.ok()) {
+      // Whatever parsed must round-trip through its own ToString.
+      EXPECT_TRUE(ParseVql(q.value().ToString()).ok()) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ParserFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// Garbage characters are rejected gracefully too.
+TEST(ParserFuzzTest, BinaryGarbageRejected) {
+  Rng rng(99);
+  for (int round = 0; round < 100; ++round) {
+    std::string text;
+    int len = static_cast<int>(rng.UniformInt(0, 40));
+    for (int i = 0; i < len; ++i) {
+      text += static_cast<char>(rng.UniformInt(1, 127));
+    }
+    (void)ParseVql(text);  // must not crash; result may be either way
+  }
+}
+
+}  // namespace
+}  // namespace visclean

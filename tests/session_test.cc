@@ -1,0 +1,243 @@
+// Integration tests: the full VisClean loop (Fig. 6) on generated data.
+#include <gtest/gtest.h>
+
+#include "core/benefit_model.h"
+#include "core/session.h"
+#include "core/single_question.h"
+#include "datagen/nba.h"
+#include "datagen/publications.h"
+#include "vql/parser.h"
+
+namespace visclean {
+namespace {
+
+DirtyDataset SmallPubs(uint64_t seed = 17) {
+  PublicationsOptions options;
+  options.num_entities = 250;
+  options.seed = seed;
+  return GeneratePublications(options);
+}
+
+VqlQuery Q1Style() {
+  return ParseVql(
+             "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D1 "
+             "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10")
+      .value();
+}
+
+// Fingerprint helper used to assert speculative repairs roll back exactly.
+std::string TableFingerprint(const Table& t) {
+  std::string out;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    out += t.is_dead(r) ? 'D' : 'L';
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      out += t.at(r, c).ToDisplayString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+SessionOptions FastOptions() {
+  SessionOptions options;
+  options.k = 8;
+  options.budget = 5;
+  options.max_t_questions = 80;
+  options.forest.num_trees = 10;
+  return options;
+}
+
+TEST(BenefitModelTest, LeavesTableUnchangedAndFillsBenefits) {
+  DirtyDataset data = SmallPubs();
+  Table table = data.dirty.Clone();
+  VqlQuery query = Q1Style();
+
+  // A minimal ERG: one duplicate pair with an outlier vertex.
+  Erg erg;
+  ErgVertex v0;
+  v0.row = 0;
+  ErgVertex v1;
+  v1.row = 1;
+  erg.AddVertex(v0);
+  erg.AddVertex(v1);
+  ErgEdge edge;
+  edge.u = 0;
+  edge.v = 1;
+  edge.p_tuple = 0.6;
+  erg.AddEdge(edge);
+
+  std::string before = TableFingerprint(table);
+  BenefitOptions options;
+  options.x_column = 3;  // Venue
+  size_t renders = EstimateBenefits(query, &table, &erg, options);
+  EXPECT_GE(renders, 2u);
+  EXPECT_GE(erg.edge(0).benefit, 0.0);
+  EXPECT_EQ(before, TableFingerprint(table));  // rollback is exact
+}
+
+TEST(SessionTest, InitializeValidatesQuery) {
+  DirtyDataset data = SmallPubs();
+  VqlQuery bad = Q1Style();
+  bad.x_column = "Nope";
+  VisCleanSession session(&data, bad, FastOptions());
+  EXPECT_FALSE(session.Initialize().ok());
+
+  VisCleanSession good(&data, Q1Style(), FastOptions());
+  EXPECT_TRUE(good.Initialize().ok());
+}
+
+TEST(SessionTest, UnknownSelectorRejected) {
+  DirtyDataset data = SmallPubs();
+  SessionOptions options = FastOptions();
+  options.selector = "nonsense";
+  VisCleanSession session(&data, Q1Style(), options);
+  EXPECT_FALSE(session.Initialize().ok());
+}
+
+TEST(SessionTest, EmdDecreasesOverIterations) {
+  DirtyDataset data = SmallPubs();
+  SessionOptions options = FastOptions();
+  options.budget = 15;  // the paper budget; short runs sit in the transient
+  VisCleanSession session(&data, Q1Style(), options);
+  Result<std::vector<IterationTrace>> traces = session.Run();
+  ASSERT_TRUE(traces.ok());
+  const auto& t = traces.value();
+  ASSERT_EQ(t.size(), 16u);  // budget 15 + initial snapshot
+  double initial = t.front().emd;
+  double final = t.back().emd;
+  EXPECT_GT(initial, 0.0) << "dirty data must start with a bad visualization";
+  EXPECT_LT(final, initial * 0.8)
+      << "cleaning must close most of the gap to ground truth";
+}
+
+TEST(SessionTest, IterationTraceIsPopulated) {
+  DirtyDataset data = SmallPubs();
+  VisCleanSession session(&data, Q1Style(), FastOptions());
+  ASSERT_TRUE(session.Initialize().ok());
+  Result<IterationTrace> trace = session.RunIteration();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().iteration, 1u);
+  EXPECT_GT(trace.value().questions_asked, 0u);
+  EXPECT_GT(trace.value().user_seconds, 0.0);
+  EXPECT_GE(trace.value().machine.Total(), 0.0);
+}
+
+TEST(SessionTest, RunIterationBeforeInitializeFails) {
+  DirtyDataset data = SmallPubs();
+  VisCleanSession session(&data, Q1Style(), FastOptions());
+  EXPECT_FALSE(session.RunIteration().ok());
+}
+
+TEST(SessionTest, CompositeOutperformsSingleAtEqualBudget) {
+  DirtyDataset data = SmallPubs(23);
+  SessionOptions composite_options = FastOptions();
+  composite_options.budget = 15;
+  VisCleanSession composite(&data, Q1Style(), composite_options);
+  Result<std::vector<IterationTrace>> composite_traces = composite.Run();
+  ASSERT_TRUE(composite_traces.ok());
+
+  VisCleanSession single(&data, Q1Style(),
+                         MakeSingleOptions(composite_options));
+  Result<std::vector<IterationTrace>> single_traces = single.Run();
+  ASSERT_TRUE(single_traces.ok());
+
+  // Composite must be at least as good (small tolerance: both clean well on
+  // this small instance).
+  EXPECT_LE(composite_traces.value().back().emd,
+            single_traces.value().back().emd + 0.004);
+}
+
+TEST(SessionTest, SelectorsAllReduceEmd) {
+  DirtyDataset data = SmallPubs(29);
+  for (const char* selector : {"gss", "gss+", "random"}) {
+    SessionOptions options = FastOptions();
+    options.budget = 4;
+    options.selector = selector;
+    VisCleanSession session(&data, Q1Style(), options);
+    Result<std::vector<IterationTrace>> traces = session.Run();
+    ASSERT_TRUE(traces.ok()) << selector;
+    EXPECT_LT(traces.value().back().emd, traces.value().front().emd)
+        << selector;
+  }
+}
+
+TEST(SessionTest, NoisyUserStillConverges) {
+  DirtyDataset data = SmallPubs(31);
+  UserOptions noisy;
+  noisy.wrong_label_rate = 0.10;
+  noisy.completeness = 0.90;
+  VisCleanSession session(&data, Q1Style(), FastOptions(), noisy);
+  Result<std::vector<IterationTrace>> traces = session.Run();
+  ASSERT_TRUE(traces.ok());
+  EXPECT_LT(traces.value().back().emd, traces.value().front().emd);
+}
+
+TEST(SessionTest, PieChartQueryWorks) {
+  DirtyDataset data = SmallPubs(37);
+  VqlQuery query =
+      ParseVql("VISUALIZE PIE SELECT GROUP(Year), COUNT(Year) FROM D1").value();
+  SessionOptions options = FastOptions();
+  options.budget = 3;
+  VisCleanSession session(&data, query, options);
+  Result<std::vector<IterationTrace>> traces = session.Run();
+  ASSERT_TRUE(traces.ok());
+  EXPECT_LE(traces.value().back().emd, traces.value().front().emd + 1e-9);
+}
+
+TEST(SessionTest, NumericXQueryHasNoAQuestions) {
+  DirtyDataset data = SmallPubs(41);
+  VqlQuery query = ParseVql(
+                       "VISUALIZE BAR SELECT BIN(Year) BY INTERVAL 5, "
+                       "COUNT(Year) FROM D1")
+                       .value();
+  SessionOptions options = FastOptions();
+  options.budget = 2;
+  VisCleanSession session(&data, query, options);
+  ASSERT_TRUE(session.Initialize().ok());
+  Result<IterationTrace> trace = session.RunIteration();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(session.questions().a_questions.empty());
+}
+
+TEST(RunUntilEmdTest, StopsAtTarget) {
+  DirtyDataset data = SmallPubs(43);
+  SessionOptions options = FastOptions();
+  VisCleanSession session(&data, Q1Style(), options);
+  Result<RunUntilResult> result = RunUntilEmd(&session, 1e9, 10);
+  ASSERT_TRUE(result.ok());
+  // Target trivially met by the initial state.
+  EXPECT_TRUE(result.value().reached_target);
+  EXPECT_EQ(result.value().iterations_used, 0u);
+}
+
+TEST(RunUntilEmdTest, CapRespected) {
+  DirtyDataset data = SmallPubs(47);
+  SessionOptions options = FastOptions();
+  VisCleanSession session(&data, Q1Style(), options);
+  Result<RunUntilResult> result = RunUntilEmd(&session, -1.0, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().reached_target);  // EMD can never go below 0
+  EXPECT_EQ(result.value().iterations_used, 3u);
+}
+
+TEST(SessionTest, NbaDatasetEndToEnd) {
+  NbaOptions nba_options;
+  nba_options.num_entities = 220;
+  DirtyDataset data = GenerateNba(nba_options);
+  VqlQuery query = ParseVql(
+                       "VISUALIZE BAR SELECT Team, SUM(Points) FROM D2 "
+                       "TRANSFORM GROUP(Team) SORT Y DESC LIMIT 10")
+                       .value();
+  SessionOptions options = FastOptions();
+  // Partial cleaning can transiently disturb the top-10 distribution; give
+  // the loop enough budget to pass through the transient.
+  options.budget = 10;
+  VisCleanSession session(&data, query, options);
+  Result<std::vector<IterationTrace>> traces = session.Run();
+  ASSERT_TRUE(traces.ok());
+  EXPECT_LT(traces.value().back().emd, traces.value().front().emd);
+}
+
+}  // namespace
+}  // namespace visclean

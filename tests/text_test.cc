@@ -1,0 +1,204 @@
+// Unit + property tests for src/text: tokenizers, similarity measures, and
+// the prefix-filtering similarity join.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/sim_join.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace visclean {
+namespace {
+
+// -------------------------------------------------------------- tokenize --
+
+TEST(TokenizeTest, WordTokensLowercaseAlnum) {
+  std::vector<std::string> tokens = WordTokens("SIGMOD Conf. 2013!");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"sigmod", "conf", "2013"}));
+}
+
+TEST(TokenizeTest, WordTokensEmpty) {
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokens("  ... ").empty());
+}
+
+TEST(TokenizeTest, QGramsNormalizesWhitespaceAndCase) {
+  std::vector<std::string> grams = QGrams("A  b", 2);
+  EXPECT_EQ(grams, (std::vector<std::string>{"a ", " b"}));
+}
+
+TEST(TokenizeTest, QGramsShortString) {
+  std::vector<std::string> grams = QGrams("ab", 3);
+  EXPECT_EQ(grams, (std::vector<std::string>{"ab"}));
+}
+
+// ------------------------------------------------------------ similarity --
+
+TEST(SimilarityTest, JaccardBasics) {
+  EXPECT_DOUBLE_EQ(WordJaccard("SIGMOD Conf", "SIGMOD"), 0.5);
+  EXPECT_DOUBLE_EQ(WordJaccard("a b", "a b"), 1.0);
+  EXPECT_DOUBLE_EQ(WordJaccard("a", "b"), 0.0);
+  EXPECT_DOUBLE_EQ(WordJaccard("", ""), 1.0);
+}
+
+TEST(SimilarityTest, LevenshteinDistance) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+}
+
+TEST(SimilarityTest, LevenshteinSimilarityNormalized) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abd"), 1.0 - 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+}
+
+TEST(SimilarityTest, JaroWinklerPrefixBoost) {
+  double jaro = JaroSimilarity("MARTHA", "MARHTA");
+  double jw = JaroWinklerSimilarity("MARTHA", "MARHTA");
+  EXPECT_NEAR(jaro, 0.9444, 1e-3);
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(jw, 0.9611, 1e-3);
+}
+
+TEST(SimilarityTest, JaroEdgeCases) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(SimilarityTest, CosineWordSimilarity) {
+  EXPECT_DOUBLE_EQ(CosineWordSimilarity("a b", "a b"), 1.0);
+  EXPECT_NEAR(CosineWordSimilarity("a b", "a c"), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineWordSimilarity("a", ""), 0.0);
+}
+
+TEST(SimilarityTest, OverlapCoefficient) {
+  // "SIGMOD" ⊂ "ACM SIGMOD" -> overlap 1.
+  EXPECT_DOUBLE_EQ(OverlapCoefficient("ACM SIGMOD", "SIGMOD"), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient("a b", "c d"), 0.0);
+}
+
+// Property sweep: every measure stays in [0,1], is symmetric, and scores
+// identical strings as 1.
+using SimilarityFn = double (*)(std::string_view, std::string_view);
+
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, SimilarityFn>> {};
+
+TEST_P(SimilarityPropertyTest, RangeSymmetryIdentity) {
+  SimilarityFn fn = std::get<1>(GetParam());
+  const std::vector<std::string> corpus = {
+      "",          "SIGMOD",        "ACM SIGMOD",  "SIGMOD Conf.",
+      "SIGMOD'13", "VLDB",          "Very Large Data Bases",
+      "ICDE 2013", "IEEE ICDE Conf. 2015", "a", "ab ba",
+  };
+  for (const std::string& x : corpus) {
+    EXPECT_DOUBLE_EQ(fn(x, x), 1.0) << x;
+    for (const std::string& y : corpus) {
+      double s = fn(x, y);
+      EXPECT_GE(s, 0.0) << x << " vs " << y;
+      EXPECT_LE(s, 1.0) << x << " vs " << y;
+      EXPECT_NEAR(s, fn(y, x), 1e-12) << x << " vs " << y;
+    }
+  }
+}
+
+double QGramJaccard3(std::string_view a, std::string_view b) {
+  return QGramJaccard(a, b, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasures, SimilarityPropertyTest,
+    ::testing::Values(
+        std::make_tuple("word_jaccard", &WordJaccard),
+        std::make_tuple("qgram_jaccard", &QGramJaccard3),
+        std::make_tuple("levenshtein", &LevenshteinSimilarity),
+        std::make_tuple("jaro", &JaroSimilarity),
+        std::make_tuple("jaro_winkler", &JaroWinklerSimilarity),
+        std::make_tuple("cosine", &CosineWordSimilarity),
+        std::make_tuple("overlap", &OverlapCoefficient)),
+    [](const auto& info) { return std::get<0>(info.param); });
+
+// -------------------------------------------------------------- sim join --
+
+TEST(SimJoinTest, FindsSynonymPairs) {
+  std::vector<std::string> left = {"SIGMOD'13", "VLDB"};
+  std::vector<std::string> right = {"SIGMOD 13", "Very Large Data Bases",
+                                    "ICDE"};
+  SimJoinOptions options;
+  options.threshold = 0.5;
+  std::vector<SimJoinPair> pairs = SimilarityJoin(left, right, options);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_EQ(pairs[0].left_index, 0u);
+  EXPECT_EQ(pairs[0].right_index, 0u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);  // same token set
+}
+
+TEST(SimJoinTest, SelfJoinNoSelfPairs) {
+  std::vector<std::string> items = {"a b c", "a b c", "x y"};
+  std::vector<SimJoinPair> pairs = SimilaritySelfJoin(items, {});
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].left_index, 0u);
+  EXPECT_EQ(pairs[0].right_index, 1u);
+}
+
+TEST(SimJoinTest, ThresholdRespected) {
+  std::vector<std::string> items = {"alpha beta gamma", "alpha beta delta",
+                                    "omega"};
+  SimJoinOptions options;
+  options.threshold = 0.6;
+  // Jaccard(0,1) = 2/4 = 0.5 < 0.6 -> excluded.
+  EXPECT_TRUE(SimilaritySelfJoin(items, options).empty());
+  options.threshold = 0.5;
+  EXPECT_EQ(SimilaritySelfJoin(items, options).size(), 1u);
+}
+
+// Property: the prefix-filtered join returns exactly the pairs a naive
+// quadratic scan finds, across thresholds.
+class SimJoinEquivalenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimJoinEquivalenceTest, MatchesNaiveJoin) {
+  double threshold = GetParam();
+  Rng rng(77);
+  const std::vector<std::string> vocab = {"data", "base", "query", "join",
+                                          "index", "clean", "graph", "view"};
+  std::vector<std::string> items;
+  for (int i = 0; i < 40; ++i) {
+    std::string s;
+    int len = static_cast<int>(rng.UniformInt(1, 4));
+    for (int w = 0; w < len; ++w) {
+      if (w > 0) s += ' ';
+      s += vocab[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(vocab.size()) - 1))];
+    }
+    items.push_back(s);
+  }
+
+  SimJoinOptions options;
+  options.threshold = threshold;
+  std::vector<SimJoinPair> fast = SimilaritySelfJoin(items, options);
+
+  size_t naive_count = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      if (WordJaccard(items[i], items[j]) >= threshold) ++naive_count;
+    }
+  }
+  EXPECT_EQ(fast.size(), naive_count);
+  for (const SimJoinPair& p : fast) {
+    EXPECT_NEAR(p.similarity, WordJaccard(items[p.left_index], items[p.right_index]),
+                1e-12);
+    EXPECT_GE(p.similarity, threshold);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SimJoinEquivalenceTest,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace visclean

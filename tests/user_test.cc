@@ -1,0 +1,187 @@
+// Unit tests for src/user: simulated user oracle behaviour, noise knobs,
+// and the cost model calibration.
+#include <gtest/gtest.h>
+
+#include "datagen/publications.h"
+#include "user/cost_model.h"
+#include "user/simulated_user.h"
+
+namespace visclean {
+namespace {
+
+PublicationsOptions SmallPubs() {
+  PublicationsOptions options;
+  options.num_entities = 60;
+  options.seed = 11;
+  return options;
+}
+
+// Finds a pair of dirty rows that are / are not duplicates.
+std::pair<size_t, size_t> FindPair(const DirtyDataset& data, bool same) {
+  for (size_t a = 0; a < data.dirty.num_rows(); ++a) {
+    for (size_t b = a + 1; b < data.dirty.num_rows(); ++b) {
+      if (data.SameEntity(a, b) == same) return {a, b};
+    }
+  }
+  return {0, 0};
+}
+
+TEST(SimulatedUserTest, PerfectUserMatchesOracle) {
+  DirtyDataset data = GeneratePublications(SmallPubs());
+  SimulatedUser user(&data);
+  auto [da, db] = FindPair(data, true);
+  auto [na, nb] = FindPair(data, false);
+  ASSERT_TRUE(user.AnswerT({da, db, 0.5}).has_value());
+  EXPECT_TRUE(*user.AnswerT({da, db, 0.5}));
+  EXPECT_FALSE(*user.AnswerT({na, nb, 0.5}));
+}
+
+TEST(SimulatedUserTest, AnswersAQuestionsFromCanonicalMap) {
+  DirtyDataset data = GeneratePublications(SmallPubs());
+  SimulatedUser user(&data);
+  size_t venue_col = 3;
+  // Two known variants of SIGMOD.
+  AQuestion same;
+  same.column = venue_col;
+  same.value_a = "ACM SIGMOD";
+  same.value_b = "SIGMOD Conf.";
+  AQuestion different;
+  different.column = venue_col;
+  different.value_a = "SIGMOD";
+  different.value_b = "VLDB";
+  std::optional<AttributeAnswer> yes = user.AnswerA(same);
+  ASSERT_TRUE(yes.has_value());
+  EXPECT_TRUE(yes->same);
+  EXPECT_EQ(yes->preferred, "SIGMOD");  // the oracle canonical spelling
+  std::optional<AttributeAnswer> no = user.AnswerA(different);
+  ASSERT_TRUE(no.has_value());
+  EXPECT_FALSE(no->same);
+}
+
+TEST(SimulatedUserTest, PreferredSpellingIsCanonical) {
+  DirtyDataset data = GeneratePublications(SmallPubs());
+  SimulatedUser user(&data);
+  EXPECT_EQ(user.PreferredSpelling(3, "SIGMOD Conf."), "SIGMOD");
+  EXPECT_EQ(user.PreferredSpelling(3, "SIGMOD"), "SIGMOD");
+  // Unknown spellings come back unchanged.
+  EXPECT_EQ(user.PreferredSpelling(3, "Nonexistent Venue"),
+            "Nonexistent Venue");
+}
+
+TEST(SimulatedUserTest, ProvidesTrueValueForMissing) {
+  DirtyDataset data = GeneratePublications(SmallPubs());
+  ASSERT_FALSE(data.injected_missing.empty());
+  auto [row, col] = *data.injected_missing.begin();
+  SimulatedUser user(&data);
+  MQuestion q;
+  q.row = row;
+  q.column = col;
+  q.suggested = -1;
+  std::optional<double> answer = user.AnswerM(q);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_DOUBLE_EQ(*answer, data.TrueValue(row, col).ToNumberOr(-1));
+}
+
+TEST(SimulatedUserTest, ConfirmsInjectedOutliers) {
+  DirtyDataset data = GeneratePublications(SmallPubs());
+  ASSERT_FALSE(data.injected_outliers.empty());
+  auto [row, col] = *data.injected_outliers.begin();
+  SimulatedUser user(&data);
+  OQuestion q;
+  q.row = row;
+  q.column = col;
+  q.current = data.dirty.at(row, col).ToNumberOr(0);
+  q.suggested = 0;
+  std::optional<OutlierAnswer> answer = user.AnswerO(q);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_TRUE(answer->is_outlier);
+  EXPECT_DOUBLE_EQ(answer->repair, data.TrueValue(row, col).ToNumberOr(-1));
+}
+
+TEST(SimulatedUserTest, RejectsNonOutlier) {
+  DirtyDataset data = GeneratePublications(SmallPubs());
+  // Find a clean numeric cell.
+  size_t col = 5;  // Citations
+  for (size_t r = 0; r < data.dirty.num_rows(); ++r) {
+    if (data.injected_outliers.count({r, col})) continue;
+    const Value& v = data.dirty.at(r, col);
+    if (v.is_null()) continue;
+    double truth = data.TrueValue(r, col).ToNumberOr(0);
+    if (truth < 10) continue;  // jitter on tiny values is proportionally big
+    SimulatedUser user(&data);
+    OQuestion q;
+    q.row = r;
+    q.column = col;
+    q.current = v.AsNumber();
+    std::optional<OutlierAnswer> answer = user.AnswerO(q);
+    ASSERT_TRUE(answer.has_value());
+    EXPECT_FALSE(answer->is_outlier);
+    return;
+  }
+  GTEST_SKIP() << "no clean cell found";
+}
+
+TEST(SimulatedUserTest, IncompletenessSkipsQuestions) {
+  DirtyDataset data = GeneratePublications(SmallPubs());
+  UserOptions options;
+  options.completeness = 0.0;
+  SimulatedUser user(&data, options);
+  EXPECT_FALSE(user.AnswerT({0, 1, 0.5}).has_value());
+  EXPECT_FALSE(user.AnswerM({0, 5, 1.0}).has_value());
+  EXPECT_FALSE(user.AnswerO({0, 5, 1.0, 1.0, 1.0}).has_value());
+}
+
+TEST(SimulatedUserTest, WrongLabelsFlipAnswers) {
+  DirtyDataset data = GeneratePublications(SmallPubs());
+  UserOptions options;
+  options.wrong_label_rate = 1.0;  // always lie
+  SimulatedUser user(&data, options);
+  auto [da, db] = FindPair(data, true);
+  EXPECT_FALSE(*user.AnswerT({da, db, 0.5}));  // inverted
+}
+
+TEST(SimulatedUserTest, WrongLabelRateRoughlyCalibrated) {
+  DirtyDataset data = GeneratePublications(SmallPubs());
+  UserOptions options;
+  options.wrong_label_rate = 0.1;
+  options.seed = 5;
+  SimulatedUser user(&data, options);
+  auto [da, db] = FindPair(data, true);
+  int wrong = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (!*user.AnswerT({da, db, 0.5})) ++wrong;
+  }
+  EXPECT_NEAR(wrong / static_cast<double>(n), 0.1, 0.03);
+}
+
+// -------------------------------------------------------------- cost model --
+
+TEST(CostModelTest, CompositeCheaperThanEquivalentSingles) {
+  UserCostModel cost;
+  // A k=10 CQG with ~10 edges + 2 vertex questions vs 12 singles.
+  double composite = cost.CqgSeconds(10, 2);
+  double singles = cost.SingleGroupSeconds(4, 4, 2, 2);
+  EXPECT_LT(composite, singles);
+}
+
+TEST(CostModelTest, MatchesPaperAggregates) {
+  UserCostModel cost;
+  // 15 CQGs at ~10 edges/1 vertex question each ~ 520 s (Fig. 15(a)).
+  double composite_total = 15 * cost.CqgSeconds(10, 1);
+  EXPECT_NEAR(composite_total, 520.0, 60.0);
+  // 15 groups of 10 singles ~ 860 s.
+  double single_total = 15 * cost.SingleGroupSeconds(3, 3, 2, 2);
+  EXPECT_NEAR(single_total, 860.0, 90.0);
+}
+
+TEST(CostModelTest, MonotoneInQuestionCount) {
+  UserCostModel cost;
+  EXPECT_LT(cost.CqgSeconds(3, 0), cost.CqgSeconds(4, 0));
+  EXPECT_LT(cost.CqgSeconds(3, 0), cost.CqgSeconds(3, 1));
+  EXPECT_LT(cost.SingleGroupSeconds(1, 0, 0, 0),
+            cost.SingleGroupSeconds(2, 0, 0, 0));
+}
+
+}  // namespace
+}  // namespace visclean

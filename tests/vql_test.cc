@@ -1,0 +1,269 @@
+// Unit tests for src/vql: parser and executor, using the paper's running
+// example (Table I / Fig. 3).
+#include <gtest/gtest.h>
+
+#include "data/table.h"
+#include "vql/ast.h"
+#include "vql/executor.h"
+#include "vql/parser.h"
+
+namespace visclean {
+namespace {
+
+// Table I of the paper (dirty publications excerpt).
+Table PaperTable() {
+  Schema schema({{"Title", ColumnType::kText},
+                 {"Venue", ColumnType::kCategorical},
+                 {"Year", ColumnType::kNumeric},
+                 {"Citations", ColumnType::kNumeric}});
+  Table t(schema);
+  auto add = [&](const char* title, const char* venue, double year,
+                 Value citations) {
+    t.AppendRow({Value::String(title), Value::String(venue),
+                 Value::Number(year), std::move(citations)});
+  };
+  add("NADEEF", "ACM SIGMOD", 2013, Value::Number(174));
+  add("NADEEF", "SIGMOD Conf.", 2013, Value::Number(1740));
+  add("NADEEF", "SIGMOD", 2013, Value::Number(174));
+  add("KuaFu", "ICDE 2013", 2013, Value::Number(15));
+  add("TsingNUS", "SIGMOD'13", 2013, Value::Number(13));
+  add("TsingNUS", "SIGMOD'13", 2013, Value::Number(13));
+  add("SeeDB", "VLDB", 2014, Value::Null());
+  add("SeeDB", "Very Large Data Bases", 2014, Value::Number(55));
+  add("Elaps", "ICDE", 2015, Value::Number(42));
+  add("Elaps", "IEEE ICDE Conf. 2015", 2015, Value::Number(44));
+  return t;
+}
+
+// ---------------------------------------------------------------- parser --
+
+TEST(ParserTest, ParsesQ1StyleQuery) {
+  Result<VqlQuery> q = ParseVql(
+      "VISUALIZE BAR\n"
+      "SELECT Venue, SUM(Citations)\n"
+      "FROM D1\n"
+      "TRANSFORM GROUP(Venue)\n"
+      "SORT Y DESC\n"
+      "LIMIT 10\n");
+  ASSERT_TRUE(q.ok());
+  const VqlQuery& query = q.value();
+  EXPECT_EQ(query.chart, ChartType::kBar);
+  EXPECT_EQ(query.x_column, "Venue");
+  EXPECT_EQ(query.y_column, "Citations");
+  EXPECT_EQ(query.agg, AggFunc::kSum);
+  EXPECT_EQ(query.x_transform, XTransform::kGroup);
+  EXPECT_EQ(query.sort_key, SortKey::kY);
+  EXPECT_EQ(query.sort_order, SortOrder::kDesc);
+  EXPECT_EQ(query.limit, 10);
+  EXPECT_EQ(query.dataset, "D1");
+}
+
+TEST(ParserTest, ParsesPieWithWhere) {
+  Result<VqlQuery> q = ParseVql(
+      "VISUALIZE PIE SELECT GROUP(Year), COUNT(Year) FROM D "
+      "WHERE Year > 1999 AND Venue = 'SIGMOD'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().chart, ChartType::kPie);
+  ASSERT_EQ(q.value().predicates.size(), 2u);
+  EXPECT_EQ(q.value().predicates[0].op, CompareOp::kGt);
+  EXPECT_DOUBLE_EQ(q.value().predicates[0].literal.AsNumber(), 1999.0);
+  EXPECT_EQ(q.value().predicates[1].literal.AsString(), "SIGMOD");
+}
+
+TEST(ParserTest, ParsesBinWithInterval) {
+  Result<VqlQuery> q = ParseVql(
+      "VISUALIZE BAR SELECT BIN(Year) BY INTERVAL 5, COUNT(Year) FROM D");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().x_transform, XTransform::kBin);
+  EXPECT_DOUBLE_EQ(q.value().bin_interval, 5.0);
+}
+
+TEST(ParserTest, TransformClauseAlternative) {
+  Result<VqlQuery> q = ParseVql(
+      "VISUALIZE BAR SELECT Citations, COUNT(Citations) FROM D1 "
+      "TRANSFORM BIN(Citations) BY INTERVAL 200");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().x_column, "Citations");
+  EXPECT_DOUBLE_EQ(q.value().bin_interval, 200.0);
+}
+
+TEST(ParserTest, BareWordPredicateLiteral) {
+  Result<VqlQuery> q = ParseVql(
+      "VISUALIZE BAR SELECT Venue, Citations FROM D WHERE Venue = SIGMOD");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().predicates[0].literal.AsString(), "SIGMOD");
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(
+      ParseVql("visualize bar select Venue, sum(Citations) from D").ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseVql("").ok());
+  EXPECT_FALSE(ParseVql("VISUALIZE SCATTER SELECT a, b FROM D").ok());
+  EXPECT_FALSE(ParseVql("VISUALIZE BAR SELECT a FROM D").ok());  // missing Y
+  EXPECT_FALSE(
+      ParseVql("VISUALIZE BAR SELECT BIN(Year), COUNT(Year) FROM D").ok())
+      << "BIN without interval must be rejected";
+  EXPECT_FALSE(
+      ParseVql("VISUALIZE BAR SELECT a, b FROM D LIMIT x").ok());
+  EXPECT_FALSE(ParseVql("VISUALIZE BAR SELECT a, b FROM D BOGUS 1").ok());
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const char* text =
+      "VISUALIZE PIE\nSELECT GROUP(Venue), COUNT(Venue)\nFROM D1\n"
+      "WHERE Year > 2009\nSORT Y DESC\nLIMIT 10";
+  Result<VqlQuery> q = ParseVql(text);
+  ASSERT_TRUE(q.ok());
+  Result<VqlQuery> again = ParseVql(q.value().ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(q.value().ToString(), again.value().ToString());
+}
+
+// -------------------------------------------------------------- executor --
+
+TEST(ExecutorTest, GroupSumReproducesDirtyBarChart) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D "
+      "TRANSFORM GROUP(Venue) SORT Y DESC", t);
+  ASSERT_TRUE(vis.ok());
+  // Dirty data: SIGMOD Conf. leads with the outlier 1740.
+  ASSERT_FALSE(vis.value().points.empty());
+  EXPECT_EQ(vis.value().points[0].x, "SIGMOD Conf.");
+  EXPECT_DOUBLE_EQ(vis.value().points[0].y, 1740.0);
+}
+
+TEST(ExecutorTest, CountSkipsNullMeasure) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT Venue, COUNT(Citations) FROM D "
+      "TRANSFORM GROUP(Venue)", t);
+  ASSERT_TRUE(vis.ok());
+  for (const VisPoint& p : vis.value().points) {
+    if (p.x == "VLDB") {
+      EXPECT_DOUBLE_EQ(p.y, 0.0);  // t7's N.A. not counted
+    }
+  }
+}
+
+TEST(ExecutorTest, PieProportionsByYear) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE PIE SELECT GROUP(Year), COUNT(Year) FROM D", t);
+  ASSERT_TRUE(vis.ok());
+  ASSERT_EQ(vis.value().points.size(), 3u);
+  // 2013: 6 rows, 2014: 2, 2015: 2 -> proportions 60/20/20 (Fig. 1(b)).
+  EXPECT_EQ(vis.value().points[0].x, "2013");
+  EXPECT_DOUBLE_EQ(vis.value().points[0].y, 6.0);
+  EXPECT_DOUBLE_EQ(vis.value().points[1].y, 2.0);
+  EXPECT_DOUBLE_EQ(vis.value().points[2].y, 2.0);
+}
+
+TEST(ExecutorTest, WhereEqualityIsExactSpelling) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D "
+      "TRANSFORM GROUP(Venue) WHERE Venue = 'SIGMOD'", t);
+  ASSERT_TRUE(vis.ok());
+  // Only t3 matches exactly: the dirty behaviour of Q7.
+  ASSERT_EQ(vis.value().points.size(), 1u);
+  EXPECT_DOUBLE_EQ(vis.value().points[0].y, 174.0);
+}
+
+TEST(ExecutorTest, NumericPredicates) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D "
+      "TRANSFORM GROUP(Venue) WHERE Year >= 2014 AND Citations > 40", t);
+  ASSERT_TRUE(vis.ok());
+  // Qualifying rows: t8 (55), t9 (42), t10 (44). Null citations (t7) fail.
+  double total = 0;
+  for (const VisPoint& p : vis.value().points) total += p.y;
+  EXPECT_DOUBLE_EQ(total, 141.0);
+}
+
+TEST(ExecutorTest, BinningGroupsByInterval) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT BIN(Citations) BY INTERVAL 200, "
+      "COUNT(Citations) FROM D", t);
+  ASSERT_TRUE(vis.ok());
+  // Citations: 174,1740,174,15,13,13,(null),55,42,44 -> bin [0,200) has 8,
+  // bin [1600,1800) has 1.
+  ASSERT_EQ(vis.value().points.size(), 2u);
+  EXPECT_EQ(vis.value().points[0].x, "[0, 200)");
+  EXPECT_DOUBLE_EQ(vis.value().points[0].y, 8.0);
+  EXPECT_DOUBLE_EQ(vis.value().points[1].y, 1.0);
+}
+
+TEST(ExecutorTest, AvgAggregation) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT Venue, AVG(Citations) FROM D "
+      "TRANSFORM GROUP(Venue) WHERE Venue = 'ICDE'", t);
+  ASSERT_TRUE(vis.ok());
+  ASSERT_EQ(vis.value().points.size(), 1u);
+  EXPECT_DOUBLE_EQ(vis.value().points[0].y, 42.0);
+}
+
+TEST(ExecutorTest, LimitAfterSort) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D "
+      "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 2", t);
+  ASSERT_TRUE(vis.ok());
+  ASSERT_EQ(vis.value().points.size(), 2u);
+  EXPECT_GE(vis.value().points[0].y, vis.value().points[1].y);
+}
+
+TEST(ExecutorTest, SortXAscendingNumericAware) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT Year, COUNT(Year) FROM D "
+      "TRANSFORM GROUP(Year) SORT X ASC", t);
+  ASSERT_TRUE(vis.ok());
+  ASSERT_EQ(vis.value().points.size(), 3u);
+  EXPECT_EQ(vis.value().points[0].x, "2013");
+  EXPECT_EQ(vis.value().points[2].x, "2015");
+}
+
+TEST(ExecutorTest, NoTransformEmitsTuplePoints) {
+  Table t = PaperTable();
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT Title, Citations FROM D WHERE Year = 2014", t);
+  ASSERT_TRUE(vis.ok());
+  // t7 has null citations and is dropped; t8 remains.
+  ASSERT_EQ(vis.value().points.size(), 1u);
+  EXPECT_EQ(vis.value().points[0].x, "SeeDB");
+  EXPECT_DOUBLE_EQ(vis.value().points[0].y, 55.0);
+}
+
+TEST(ExecutorTest, DeadRowsExcluded) {
+  Table t = PaperTable();
+  t.MarkDead(1);  // the 1740 outlier row
+  Result<VisData> vis = ExecuteVqlText(
+      "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D "
+      "TRANSFORM GROUP(Venue) SORT Y DESC", t);
+  ASSERT_TRUE(vis.ok());
+  for (const VisPoint& p : vis.value().points) {
+    EXPECT_NE(p.x, "SIGMOD Conf.");
+  }
+}
+
+TEST(ExecutorTest, UnknownColumnErrors) {
+  Table t = PaperTable();
+  EXPECT_FALSE(
+      ExecuteVqlText("VISUALIZE BAR SELECT Nope, Citations FROM D", t).ok());
+  EXPECT_FALSE(
+      ExecuteVqlText("VISUALIZE BAR SELECT Venue, Nope FROM D", t).ok());
+  EXPECT_FALSE(ExecuteVqlText(
+                   "VISUALIZE BAR SELECT Venue, Citations FROM D WHERE Zip = 1",
+                   t)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace visclean
