@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_tasks.dir/bench_table5_tasks.cc.o"
+  "CMakeFiles/bench_table5_tasks.dir/bench_table5_tasks.cc.o.d"
+  "bench_table5_tasks"
+  "bench_table5_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

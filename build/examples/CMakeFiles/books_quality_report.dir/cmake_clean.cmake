@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/books_quality_report.dir/books_quality_report.cc.o"
+  "CMakeFiles/books_quality_report.dir/books_quality_report.cc.o.d"
+  "books_quality_report"
+  "books_quality_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/books_quality_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nba_dashboard.dir/nba_dashboard.cc.o"
+  "CMakeFiles/nba_dashboard.dir/nba_dashboard.cc.o.d"
+  "nba_dashboard"
+  "nba_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nba_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

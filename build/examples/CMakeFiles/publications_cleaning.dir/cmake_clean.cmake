@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publications_cleaning.dir/publications_cleaning.cc.o"
+  "CMakeFiles/publications_cleaning.dir/publications_cleaning.cc.o.d"
+  "publications_cleaning"
+  "publications_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publications_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clean/a_question_gen.cc" "src/CMakeFiles/visclean.dir/clean/a_question_gen.cc.o" "gcc" "src/CMakeFiles/visclean.dir/clean/a_question_gen.cc.o.d"
+  "/root/repo/src/clean/missing_detector.cc" "src/CMakeFiles/visclean.dir/clean/missing_detector.cc.o" "gcc" "src/CMakeFiles/visclean.dir/clean/missing_detector.cc.o.d"
+  "/root/repo/src/clean/outlier_detector.cc" "src/CMakeFiles/visclean.dir/clean/outlier_detector.cc.o" "gcc" "src/CMakeFiles/visclean.dir/clean/outlier_detector.cc.o.d"
+  "/root/repo/src/clean/question.cc" "src/CMakeFiles/visclean.dir/clean/question.cc.o" "gcc" "src/CMakeFiles/visclean.dir/clean/question.cc.o.d"
+  "/root/repo/src/clean/repair.cc" "src/CMakeFiles/visclean.dir/clean/repair.cc.o" "gcc" "src/CMakeFiles/visclean.dir/clean/repair.cc.o.d"
+  "/root/repo/src/common/json_writer.cc" "src/CMakeFiles/visclean.dir/common/json_writer.cc.o" "gcc" "src/CMakeFiles/visclean.dir/common/json_writer.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/visclean.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/visclean.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/visclean.dir/common/status.cc.o" "gcc" "src/CMakeFiles/visclean.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/visclean.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/visclean.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/benefit_model.cc" "src/CMakeFiles/visclean.dir/core/benefit_model.cc.o" "gcc" "src/CMakeFiles/visclean.dir/core/benefit_model.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/visclean.dir/core/session.cc.o" "gcc" "src/CMakeFiles/visclean.dir/core/session.cc.o.d"
+  "/root/repo/src/core/single_question.cc" "src/CMakeFiles/visclean.dir/core/single_question.cc.o" "gcc" "src/CMakeFiles/visclean.dir/core/single_question.cc.o.d"
+  "/root/repo/src/data/column_stats.cc" "src/CMakeFiles/visclean.dir/data/column_stats.cc.o" "gcc" "src/CMakeFiles/visclean.dir/data/column_stats.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/visclean.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/visclean.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/visclean.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/visclean.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/visclean.dir/data/table.cc.o" "gcc" "src/CMakeFiles/visclean.dir/data/table.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/CMakeFiles/visclean.dir/data/value.cc.o" "gcc" "src/CMakeFiles/visclean.dir/data/value.cc.o.d"
+  "/root/repo/src/datagen/books.cc" "src/CMakeFiles/visclean.dir/datagen/books.cc.o" "gcc" "src/CMakeFiles/visclean.dir/datagen/books.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/CMakeFiles/visclean.dir/datagen/generator.cc.o" "gcc" "src/CMakeFiles/visclean.dir/datagen/generator.cc.o.d"
+  "/root/repo/src/datagen/nba.cc" "src/CMakeFiles/visclean.dir/datagen/nba.cc.o" "gcc" "src/CMakeFiles/visclean.dir/datagen/nba.cc.o.d"
+  "/root/repo/src/datagen/publications.cc" "src/CMakeFiles/visclean.dir/datagen/publications.cc.o" "gcc" "src/CMakeFiles/visclean.dir/datagen/publications.cc.o.d"
+  "/root/repo/src/dist/distances.cc" "src/CMakeFiles/visclean.dir/dist/distances.cc.o" "gcc" "src/CMakeFiles/visclean.dir/dist/distances.cc.o.d"
+  "/root/repo/src/dist/emd.cc" "src/CMakeFiles/visclean.dir/dist/emd.cc.o" "gcc" "src/CMakeFiles/visclean.dir/dist/emd.cc.o.d"
+  "/root/repo/src/dist/vis_data.cc" "src/CMakeFiles/visclean.dir/dist/vis_data.cc.o" "gcc" "src/CMakeFiles/visclean.dir/dist/vis_data.cc.o.d"
+  "/root/repo/src/em/active_learning.cc" "src/CMakeFiles/visclean.dir/em/active_learning.cc.o" "gcc" "src/CMakeFiles/visclean.dir/em/active_learning.cc.o.d"
+  "/root/repo/src/em/blocking.cc" "src/CMakeFiles/visclean.dir/em/blocking.cc.o" "gcc" "src/CMakeFiles/visclean.dir/em/blocking.cc.o.d"
+  "/root/repo/src/em/clustering.cc" "src/CMakeFiles/visclean.dir/em/clustering.cc.o" "gcc" "src/CMakeFiles/visclean.dir/em/clustering.cc.o.d"
+  "/root/repo/src/em/em_model.cc" "src/CMakeFiles/visclean.dir/em/em_model.cc.o" "gcc" "src/CMakeFiles/visclean.dir/em/em_model.cc.o.d"
+  "/root/repo/src/em/golden_record.cc" "src/CMakeFiles/visclean.dir/em/golden_record.cc.o" "gcc" "src/CMakeFiles/visclean.dir/em/golden_record.cc.o.d"
+  "/root/repo/src/em/pair_features.cc" "src/CMakeFiles/visclean.dir/em/pair_features.cc.o" "gcc" "src/CMakeFiles/visclean.dir/em/pair_features.cc.o.d"
+  "/root/repo/src/em/union_find.cc" "src/CMakeFiles/visclean.dir/em/union_find.cc.o" "gcc" "src/CMakeFiles/visclean.dir/em/union_find.cc.o.d"
+  "/root/repo/src/graph/bnb.cc" "src/CMakeFiles/visclean.dir/graph/bnb.cc.o" "gcc" "src/CMakeFiles/visclean.dir/graph/bnb.cc.o.d"
+  "/root/repo/src/graph/cqg.cc" "src/CMakeFiles/visclean.dir/graph/cqg.cc.o" "gcc" "src/CMakeFiles/visclean.dir/graph/cqg.cc.o.d"
+  "/root/repo/src/graph/erg.cc" "src/CMakeFiles/visclean.dir/graph/erg.cc.o" "gcc" "src/CMakeFiles/visclean.dir/graph/erg.cc.o.d"
+  "/root/repo/src/graph/exact_selector.cc" "src/CMakeFiles/visclean.dir/graph/exact_selector.cc.o" "gcc" "src/CMakeFiles/visclean.dir/graph/exact_selector.cc.o.d"
+  "/root/repo/src/graph/gss.cc" "src/CMakeFiles/visclean.dir/graph/gss.cc.o" "gcc" "src/CMakeFiles/visclean.dir/graph/gss.cc.o.d"
+  "/root/repo/src/graph/random_selector.cc" "src/CMakeFiles/visclean.dir/graph/random_selector.cc.o" "gcc" "src/CMakeFiles/visclean.dir/graph/random_selector.cc.o.d"
+  "/root/repo/src/graph/selector.cc" "src/CMakeFiles/visclean.dir/graph/selector.cc.o" "gcc" "src/CMakeFiles/visclean.dir/graph/selector.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/visclean.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/visclean.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/visclean.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/visclean.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/visclean.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/visclean.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/text/sim_join.cc" "src/CMakeFiles/visclean.dir/text/sim_join.cc.o" "gcc" "src/CMakeFiles/visclean.dir/text/sim_join.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/CMakeFiles/visclean.dir/text/similarity.cc.o" "gcc" "src/CMakeFiles/visclean.dir/text/similarity.cc.o.d"
+  "/root/repo/src/text/tokenize.cc" "src/CMakeFiles/visclean.dir/text/tokenize.cc.o" "gcc" "src/CMakeFiles/visclean.dir/text/tokenize.cc.o.d"
+  "/root/repo/src/ui/graph_render.cc" "src/CMakeFiles/visclean.dir/ui/graph_render.cc.o" "gcc" "src/CMakeFiles/visclean.dir/ui/graph_render.cc.o.d"
+  "/root/repo/src/ui/trace_export.cc" "src/CMakeFiles/visclean.dir/ui/trace_export.cc.o" "gcc" "src/CMakeFiles/visclean.dir/ui/trace_export.cc.o.d"
+  "/root/repo/src/user/cost_model.cc" "src/CMakeFiles/visclean.dir/user/cost_model.cc.o" "gcc" "src/CMakeFiles/visclean.dir/user/cost_model.cc.o.d"
+  "/root/repo/src/user/simulated_user.cc" "src/CMakeFiles/visclean.dir/user/simulated_user.cc.o" "gcc" "src/CMakeFiles/visclean.dir/user/simulated_user.cc.o.d"
+  "/root/repo/src/vql/ast.cc" "src/CMakeFiles/visclean.dir/vql/ast.cc.o" "gcc" "src/CMakeFiles/visclean.dir/vql/ast.cc.o.d"
+  "/root/repo/src/vql/executor.cc" "src/CMakeFiles/visclean.dir/vql/executor.cc.o" "gcc" "src/CMakeFiles/visclean.dir/vql/executor.cc.o.d"
+  "/root/repo/src/vql/parser.cc" "src/CMakeFiles/visclean.dir/vql/parser.cc.o" "gcc" "src/CMakeFiles/visclean.dir/vql/parser.cc.o.d"
+  "/root/repo/src/vql/vega_export.cc" "src/CMakeFiles/visclean.dir/vql/vega_export.cc.o" "gcc" "src/CMakeFiles/visclean.dir/vql/vega_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

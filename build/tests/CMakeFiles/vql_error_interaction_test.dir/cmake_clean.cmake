@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vql_error_interaction_test.dir/vql_error_interaction_test.cc.o"
+  "CMakeFiles/vql_error_interaction_test.dir/vql_error_interaction_test.cc.o.d"
+  "vql_error_interaction_test"
+  "vql_error_interaction_test.pdb"
+  "vql_error_interaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vql_error_interaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

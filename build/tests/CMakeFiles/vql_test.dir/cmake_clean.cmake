@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vql_test.dir/vql_test.cc.o"
+  "CMakeFiles/vql_test.dir/vql_test.cc.o.d"
+  "vql_test"
+  "vql_test.pdb"
+  "vql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
