@@ -1,0 +1,134 @@
+// Benefit-estimation scaling: wall time of EstimateBenefits over a real
+// session ERG at 1/2/4/8 worker threads. Fig. 18 shows benefit estimation
+// dominating machine time at scale, so this is the perf trajectory we track
+// from PR 1 onward; results land in BENCH_benefit_scaling.json next to the
+// human-readable table. The run also re-verifies the determinism contract:
+// every thread count must produce bit-identical edge benefits.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json_writer.h"
+#include "core/benefit_model.h"
+#include "core/pipeline.h"
+
+namespace visclean {
+namespace bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int Run(bool full) {
+  // Fig. 17-scale publications workload: one warm-up iteration of the Q1
+  // session yields the ERG whose benefits the loop re-estimates below.
+  DirtyDataset data = MakeDataset("D1", full ? 0 : DefaultEntities("D1"));
+  BenchTask task = TableVTasks().front();  // Q1
+  VisCleanSession session(&data, MustParse(task.vql), PaperSessionOptions());
+  if (!session.Initialize().ok() || !session.RunIteration().ok()) {
+    std::fprintf(stderr, "warm-up iteration failed\n");
+    return 1;
+  }
+  BenefitOptions options;
+  options.x_column = XColumnOrNoColumn(session.context());
+
+  const size_t cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("=== Benefit-estimation scaling (Q1, %zu live rows, %zu ERG "
+              "edges, %zu cores) ===\n\n",
+              session.table().num_live_rows(), session.erg().num_edges(),
+              cores);
+  if (cores == 1) {
+    std::printf("NOTE: single-core machine — expect speedup ~1.0x; this run "
+                "only tracks overhead + determinism.\n\n");
+  }
+  std::printf("%8s %12s %9s %9s\n", "threads", "seconds", "speedup",
+              "renders");
+
+  constexpr int kReps = 3;
+  std::vector<double> baseline_benefits;
+  double baseline_seconds = 0.0;
+
+  JsonWriter json = JsonWriter::Pretty();
+  json.BeginObject();
+  json.Key("bench");
+  json.String("benefit_scaling");
+  json.Key("dataset");
+  json.String("D1");
+  json.Key("erg_edges");
+  json.Int(static_cast<int64_t>(session.erg().num_edges()));
+  json.Key("live_rows");
+  json.Int(static_cast<int64_t>(session.table().num_live_rows()));
+  json.Key("reps");
+  json.Int(kReps);
+  json.Key("hardware_cores");
+  json.Int(static_cast<int64_t>(cores));
+  json.Key("series");
+  json.BeginArray();
+
+  for (size_t threads : {1, 2, 4, 8}) {
+    options.threads = threads;
+    double best = 0.0;
+    size_t renders = 0;
+    Erg erg = session.erg();
+    for (int rep = 0; rep < kReps; ++rep) {
+      Table table = session.table().Clone();
+      erg = session.erg();
+      auto start = std::chrono::steady_clock::now();
+      renders = EstimateBenefits(session.context().query, &table, &erg,
+                                 options);
+      double elapsed = Seconds(start);
+      if (rep == 0 || elapsed < best) best = elapsed;
+    }
+    std::vector<double> benefits;
+    benefits.reserve(erg.num_edges());
+    for (size_t e = 0; e < erg.num_edges(); ++e) {
+      benefits.push_back(erg.edge(e).benefit);
+    }
+    if (threads == 1) {
+      baseline_benefits = benefits;
+      baseline_seconds = best;
+    } else if (benefits != baseline_benefits) {
+      std::fprintf(stderr,
+                   "FATAL: %zu-thread benefits diverge from serial\n",
+                   threads);
+      return 1;
+    }
+    std::printf("%8zu %12.4f %8.2fx %9zu\n", threads, best,
+                baseline_seconds / best, renders);
+
+    json.BeginObject();
+    json.Key("threads");
+    json.Int(static_cast<int64_t>(threads));
+    json.Key("seconds");
+    json.Number(best);
+    json.Key("speedup");
+    json.Number(baseline_seconds / best);
+    json.Key("renders");
+    json.Int(static_cast<int64_t>(renders));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::ofstream out("BENCH_benefit_scaling.json");
+  out << json.TakeString() << "\n";
+  std::printf("\nwrote BENCH_benefit_scaling.json (all thread counts "
+              "bit-identical to serial)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace visclean
+
+int main(int argc, char** argv) {
+  bool full = argc > 1 && std::string(argv[1]) == "--full";
+  return visclean::bench::Run(full);
+}

@@ -1,0 +1,62 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace visclean {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and the batch drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelChunks(
+    size_t total,
+    const std::function<void(size_t worker, size_t begin, size_t end)>& fn) {
+  const size_t n = workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t w = 0; w < n; ++w) {
+      const size_t begin = total * w / n;
+      const size_t end = total * (w + 1) / n;
+      if (begin == end) continue;
+      ++in_flight_;
+      // `fn` outlives the batch: ParallelChunks blocks until in_flight_ == 0.
+      tasks_.push([&fn, w, begin, end] { fn(w, begin, end); });
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace visclean

@@ -1,0 +1,62 @@
+// Fixed-size worker pool for data-parallel pipeline stages (benefit
+// estimation is the first client; Fig. 18 shows it dominating machine time).
+//
+// Determinism contract: ParallelChunks partitions [0, total) into one
+// contiguous chunk per worker, and the partition depends only on
+// (total, num_threads) — never on scheduling. Callers that write results by
+// index and reduce in index order therefore produce bit-identical output
+// regardless of thread interleaving.
+#ifndef VISCLEAN_COMMON_THREAD_POOL_H_
+#define VISCLEAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace visclean {
+
+/// \brief Reusable pool of worker threads.
+///
+/// Workers start in the constructor and live for the pool's lifetime, so a
+/// session amortizes thread creation across iterations. All scheduling goes
+/// through ParallelChunks; there is deliberately no fire-and-forget Submit —
+/// every pipeline stage must reach its barrier before the next stage runs.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Splits [0, total) into num_threads() contiguous chunks and runs
+  /// fn(worker, begin, end) for each non-empty chunk on the pool, blocking
+  /// until all chunks finish. Chunk `worker` is processed by exactly one
+  /// task, so callers may keep per-worker scratch state (e.g. a table
+  /// shadow) indexed by `worker`. Not reentrant: calls must not overlap.
+  void ParallelChunks(size_t total,
+                      const std::function<void(size_t worker, size_t begin,
+                                               size_t end)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task ready / stop
+  std::condition_variable done_cv_;   // signals caller: batch drained
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + running tasks of the current batch
+  bool stop_ = false;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_COMMON_THREAD_POOL_H_

@@ -1,9 +1,11 @@
 #include "core/benefit_model.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "clean/repair.h"
+#include "common/thread_pool.h"
 #include "dist/emd.h"
 #include "vql/executor.h"
 
@@ -19,6 +21,75 @@ VisData Render(const VqlQuery& query, const Table& table) {
   return std::move(vis).value();
 }
 
+// Renders the speculatively repaired table, rolls the repair back, and
+// returns how far the visualization moved.
+double DistAfter(const VqlQuery& query, Table* table, const VisData& current,
+                 UndoLog* undo, size_t* renders) {
+  VisData speculative = Render(query, *table);
+  ++*renders;
+  undo->Rollback(table);
+  return EmdDistance(current, speculative);
+}
+
+// B_M + B_O of one vertex: render after the suggested imputation/repair.
+// `table` is any exact copy of the session table; restored before return.
+double VertexBenefit(const VqlQuery& query, Table* table,
+                     const ErgVertex& vertex, const VisData& current,
+                     size_t* renders) {
+  if (table->is_dead(vertex.row)) return 0.0;
+  double benefit = 0.0;
+  if (vertex.missing.has_value()) {
+    UndoLog undo;
+    ApplyCellRepair(table, vertex.missing->row, vertex.missing->column,
+                    vertex.missing->suggested, &undo);
+    benefit += DistAfter(query, table, current, &undo, renders);  // B_M
+  }
+  if (vertex.outlier.has_value()) {
+    UndoLog undo;
+    ApplyCellRepair(table, vertex.outlier->row, vertex.outlier->column,
+                    vertex.outlier->suggested, &undo);
+    benefit += DistAfter(query, table, current, &undo, renders);  // B_O
+  }
+  return benefit;
+}
+
+// B_T + B_A of one edge (the endpoint vertex benefits are composed by the
+// caller). `table` is restored before return.
+double EdgeLocalBenefit(const VqlQuery& query, Table* table, const Erg& erg,
+                        const ErgEdge& edge, const BenefitOptions& options,
+                        const VisData& current, size_t* renders) {
+  size_t row_a = erg.vertex(edge.u).row;
+  size_t row_b = erg.vertex(edge.v).row;
+  if (table->is_dead(row_a) || table->is_dead(row_b)) return 0.0;
+  double benefit = 0.0;
+
+  // B_T: confirm branch = merge + standardize the pair's X spellings.
+  {
+    UndoLog undo;
+    if (options.x_column != BenefitOptions::kNoColumn) {
+      const Value& xa = table->at(row_a, options.x_column);
+      const Value& xb = table->at(row_b, options.x_column);
+      if (!xa.is_null() && !xb.is_null()) {
+        std::string sa = xa.ToDisplayString();
+        std::string sb = xb.ToDisplayString();
+        if (sa != sb) {
+          ApplyTransformation(table, options.x_column, sa, sb, &undo);
+        }
+      }
+    }
+    MergeRows(table, {row_a, row_b}, &undo);
+    benefit += edge.p_tuple * DistAfter(query, table, current, &undo, renders);
+  }
+  // B_A: approve branch = standardize the edge's A-question alone.
+  if (edge.has_attr && options.x_column != BenefitOptions::kNoColumn) {
+    UndoLog undo;
+    ApplyTransformation(table, options.x_column, edge.attr_question.value_a,
+                        edge.attr_question.value_b, &undo);
+    benefit += edge.p_attr * DistAfter(query, table, current, &undo, renders);
+  }
+  return benefit;
+}
+
 }  // namespace
 
 size_t EstimateBenefits(const VqlQuery& query, Table* table, Erg* erg,
@@ -27,65 +98,65 @@ size_t EstimateBenefits(const VqlQuery& query, Table* table, Erg* erg,
   VisData current = Render(query, *table);
   ++renders;
 
-  auto dist_after = [&](UndoLog* undo) {
-    VisData speculative = Render(query, *table);
-    ++renders;
-    undo->Rollback(table);
-    return EmdDistance(current, speculative);
-  };
+  const size_t num_vertices = erg->num_vertices();
+  const size_t num_edges = erg->num_edges();
+  std::vector<double> vertex_benefit(num_vertices, 0.0);
+  std::vector<double> edge_local(num_edges, 0.0);
 
-  // Vertex-question benefits, once per vertex.
-  std::vector<double> vertex_benefit(erg->num_vertices(), 0.0);
-  for (size_t i = 0; i < erg->num_vertices(); ++i) {
-    const ErgVertex& vertex = erg->vertex(i);
-    if (table->is_dead(vertex.row)) continue;
-    if (vertex.missing.has_value()) {
-      UndoLog undo;
-      ApplyCellRepair(table, vertex.missing->row, vertex.missing->column,
-                      vertex.missing->suggested, &undo);
-      vertex_benefit[i] += dist_after(&undo);  // B_M = dist^Y
-    }
-    if (vertex.outlier.has_value()) {
-      UndoLog undo;
-      ApplyCellRepair(table, vertex.outlier->row, vertex.outlier->column,
-                      vertex.outlier->suggested, &undo);
-      vertex_benefit[i] += dist_after(&undo);  // B_O = dist^Y
-    }
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && options.threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(options.threads);
+    pool = owned_pool.get();
   }
 
-  for (size_t e = 0; e < erg->num_edges(); ++e) {
-    ErgEdge& edge = erg->edge(e);
-    size_t row_a = erg->vertex(edge.u).row;
-    size_t row_b = erg->vertex(edge.v).row;
-    double benefit = 0.0;
-
-    if (!table->is_dead(row_a) && !table->is_dead(row_b)) {
-      // B_T: confirm branch = merge + standardize the pair's X spellings.
-      {
-        UndoLog undo;
-        if (options.x_column != BenefitOptions::kNoColumn) {
-          const Value& xa = table->at(row_a, options.x_column);
-          const Value& xb = table->at(row_b, options.x_column);
-          if (!xa.is_null() && !xb.is_null()) {
-            std::string sa = xa.ToDisplayString();
-            std::string sb = xb.ToDisplayString();
-            if (sa != sb) ApplyTransformation(table, options.x_column, sa, sb, &undo);
-          }
-        }
-        MergeRows(table, {row_a, row_b}, &undo);
-        benefit += edge.p_tuple * dist_after(&undo);
-      }
-      // B_A: approve branch = standardize the edge's A-question alone.
-      if (edge.has_attr && options.x_column != BenefitOptions::kNoColumn) {
-        UndoLog undo;
-        ApplyTransformation(table, options.x_column, edge.attr_question.value_a,
-                            edge.attr_question.value_b, &undo);
-        benefit += edge.p_attr * dist_after(&undo);
-      }
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    // Serial path: speculative repair + rollback in place on `table`.
+    for (size_t i = 0; i < num_vertices; ++i) {
+      vertex_benefit[i] =
+          VertexBenefit(query, table, erg->vertex(i), current, &renders);
     }
+    for (size_t e = 0; e < num_edges; ++e) {
+      edge_local[e] = EdgeLocalBenefit(query, table, *erg, erg->edge(e),
+                                       options, current, &renders);
+    }
+  } else {
+    // Parallel path: every speculative repair is independent (each rolls
+    // back before the next starts), so workers evaluate disjoint index
+    // ranges against per-thread table shadows. One clone per worker per
+    // call — not per edge — then the UndoLog gives copy-on-write of only
+    // the touched rows within the shadow.
+    const size_t n = pool->num_threads();
+    std::vector<Table> shadows;
+    shadows.reserve(n);
+    for (size_t w = 0; w < n; ++w) shadows.push_back(table->Clone());
+    std::vector<size_t> worker_renders(n, 0);
 
-    benefit += vertex_benefit[edge.u] + vertex_benefit[edge.v];
-    edge.benefit = benefit;
+    pool->ParallelChunks(
+        num_vertices, [&](size_t w, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            vertex_benefit[i] = VertexBenefit(query, &shadows[w],
+                                              erg->vertex(i), current,
+                                              &worker_renders[w]);
+          }
+        });
+    pool->ParallelChunks(num_edges, [&](size_t w, size_t begin, size_t end) {
+      for (size_t e = begin; e < end; ++e) {
+        edge_local[e] = EdgeLocalBenefit(query, &shadows[w], *erg,
+                                         erg->edge(e), options, current,
+                                         &worker_renders[w]);
+      }
+    });
+    for (size_t w = 0; w < n; ++w) renders += worker_renders[w];
+  }
+
+  // Deterministic reduction in edge order; the parenthesization matches the
+  // historical serial composition benefit = (B_T + B_A) + (B_u + B_v), so
+  // every thread count produces float-identical edge benefits.
+  for (size_t e = 0; e < num_edges; ++e) {
+    ErgEdge& edge = erg->edge(e);
+    edge.benefit =
+        edge_local[e] + (vertex_benefit[edge.u] + vertex_benefit[edge.v]);
   }
   return renders;
 }

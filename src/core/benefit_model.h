@@ -5,6 +5,7 @@
 #ifndef VISCLEAN_CORE_BENEFIT_MODEL_H_
 #define VISCLEAN_CORE_BENEFIT_MODEL_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/table.h"
@@ -14,12 +15,24 @@
 
 namespace visclean {
 
+class ThreadPool;
+
 /// \brief Options for benefit estimation.
 struct BenefitOptions {
   /// Column index of the visualization's X axis in the table (kNoColumn
   /// when X is not categorical — then edges carry no A-question).
   static constexpr size_t kNoColumn = static_cast<size_t>(-1);
   size_t x_column = kNoColumn;
+
+  /// Worker threads for the speculative repairs. 1 = the exact serial path
+  /// (repair/rollback in place on `table`); N > 1 evaluates vertices and
+  /// edges on per-thread table shadows with a deterministic reduction, so
+  /// the computed benefits are bit-identical to the serial path.
+  size_t threads = 1;
+  /// Optional externally owned pool (e.g. the session's); when set it takes
+  /// precedence over `threads` and is reused instead of spawning workers
+  /// per call.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Fills in `benefit` for every edge of `erg` against the current
@@ -40,8 +53,10 @@ struct BenefitOptions {
 ///    composes b_12 = B_T + B_A + B_O.
 ///
 /// All speculative repairs roll back through an UndoLog; `table` is
-/// unchanged on return. Returns the number of visualization renders
-/// performed (diagnostics for the Fig. 18 bench).
+/// unchanged on return (worker threads never touch it — each repairs its
+/// own clone). Returns the number of visualization renders performed
+/// (diagnostics for the Fig. 18 bench); the count is independent of the
+/// thread count.
 size_t EstimateBenefits(const VqlQuery& query, Table* table, Erg* erg,
                         const BenefitOptions& options = {});
 

@@ -1,0 +1,150 @@
+// EngineContext: the shared blackboard the pipeline stages read and write.
+//
+// One iteration of the Fig. 6 loop is a pass over the stage list
+// (src/core/pipeline.h); every stage receives the same EngineContext, which
+// owns the working table, the EM model, the ERG/CQG of the current
+// iteration, the cross-iteration answer memory, and the per-stage timing of
+// the iteration in flight. VisCleanSession is only a thin driver around it.
+#ifndef VISCLEAN_CORE_ENGINE_CONTEXT_H_
+#define VISCLEAN_CORE_ENGINE_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clean/question.h"
+#include "data/table.h"
+#include "datagen/generator.h"
+#include "em/em_model.h"
+#include "graph/cqg.h"
+#include "graph/erg.h"
+#include "graph/selector.h"
+#include "user/cost_model.h"
+#include "user/simulated_user.h"
+#include "vql/ast.h"
+
+namespace visclean {
+
+class ThreadPool;
+
+/// \brief Questioning strategy: composite (CQG) or isolated singles.
+enum class QuestionStrategy { kComposite, kSingle };
+
+/// \brief Session configuration.
+struct SessionOptions {
+  size_t k = 10;                 ///< CQG size (paper default)
+  size_t budget = 15;            ///< iterations (paper default)
+  std::string selector = "gss";  ///< see MakeSelector / SelectorRegistry
+  QuestionStrategy strategy = QuestionStrategy::kComposite;
+  /// #single questions per iteration in kSingle mode (the paper's m,
+  /// matched to the #edges of a typical CQG).
+  size_t single_m = 10;
+
+  /// Worker threads for benefit estimation (BenefitStage). 1 preserves
+  /// today's exact serial behaviour; N > 1 evaluates speculative repairs on
+  /// a session-owned ThreadPool with bit-identical results.
+  size_t threads = 1;
+
+  uint64_t seed = 7;
+  double auto_merge_threshold = 0.95;  ///< EM prob for machine auto-merge
+  double sim_join_lambda = 0.5;        ///< λ of Algorithm 1
+  size_t max_t_questions = 200;        ///< |Q_T| cap per iteration
+  size_t max_m_questions = 150;        ///< |Q_M| cap per iteration
+  size_t blocking_max_block = 16;      ///< token-blocking block-size cap
+  size_t max_seed_examples = 4000;     ///< weak-supervision training cap
+  ForestOptions forest;                ///< EM model hyperparameters
+};
+
+/// \brief Per-component machine seconds of one iteration (Fig. 18). The
+/// five buckets aggregate the finer-grained per-stage timings (see
+/// IterationTrace::stage_times); stages declare which bucket they charge.
+struct ComponentTimes {
+  double detect = 0;   ///< detect errors / generate repairs (incl. kNN)
+  double train = 0;    ///< train (fine-tune) the EM model
+  double benefit = 0;  ///< estimate benefit over the ERG
+  double select = 0;   ///< CQG selection
+  double apply = 0;    ///< repair errors + refresh visualization
+
+  double Total() const { return detect + train + benefit + select + apply; }
+};
+
+/// \brief Wall time of one pipeline stage within one iteration.
+struct StageTime {
+  std::string stage;     ///< PipelineStage::name()
+  double seconds = 0.0;  ///< wall time of this stage's Run()
+};
+
+/// \brief Everything recorded about one iteration.
+struct IterationTrace {
+  size_t iteration = 0;        ///< 1-based
+  double emd = 0.0;            ///< EMD(Q(D), Q(D_g)) after this iteration
+  double user_seconds = 0.0;   ///< simulated human cost of this iteration
+  size_t questions_asked = 0;  ///< edge + vertex questions (or singles)
+  double cqg_benefit = 0.0;    ///< estimated benefit of the asked CQG
+  ComponentTimes machine;      ///< machine time breakdown (Fig. 18 buckets)
+  std::vector<StageTime> stage_times;  ///< per-stage wall time, in run order
+};
+
+/// \brief Shared state of one cleaning run, threaded through the stages.
+///
+/// Ownership: the context owns everything below except `pool` (owned by the
+/// session, optional) and the oracle behind `user` (caller-owned, must
+/// outlive the run).
+struct EngineContext {
+  EngineContext(const DirtyDataset* oracle, VqlQuery query_in,
+                SessionOptions options_in, UserOptions user_options,
+                UserCostModel cost_model_in)
+      : query(std::move(query_in)),
+        options(options_in),
+        cost_model(cost_model_in),
+        table(oracle->dirty.Clone()),
+        user(oracle, user_options),
+        em(options_in.forest) {}
+
+  // ---- Run-wide configuration ----
+  VqlQuery query;
+  SessionOptions options;
+  UserCostModel cost_model;
+
+  // ---- Long-lived engine state ----
+  Table table;          ///< the progressively cleaned working copy
+  SimulatedUser user;   ///< answers questions from the oracle
+  EmModel em;           ///< entity-matching model, fine-tuned per iteration
+  std::unique_ptr<CqgSelector> selector;  ///< set by the driver's Initialize
+  ThreadPool* pool = nullptr;  ///< session-owned; null = serial benefits
+
+  // ---- Per-iteration products (refreshed by the stages) ----
+  std::vector<std::pair<size_t, size_t>> candidates;  ///< blocking output
+  std::vector<ScoredPair> scored;  ///< EM scores over `candidates`
+  QuestionSet questions;           ///< detected T/A/M/O questions
+  Erg erg;                         ///< built by BenefitStage
+  Cqg cqg;                         ///< chosen by SelectStage
+  IterationTrace trace;            ///< the iteration being assembled
+
+  // ---- Cross-iteration memory ----
+  uint64_t retrain_counter = 0;  ///< seeds deterministic retraining
+
+  /// Already-answered questions must not be asked again: spelling pairs the
+  /// user ruled on (A-questions; resolved pairs vanish on their own, this
+  /// remembers rejections) and (row, column) outlier verdicts.
+  std::set<std::pair<std::string, std::string>> a_answered;
+  std::set<std::pair<size_t, size_t>> o_answered;
+
+  /// Spelling pairs witnessed inside machine-merged clusters (Strategy 1
+  /// evidence that physical merging would otherwise destroy): proposed as
+  /// A-questions in later iterations until the user rules on them.
+  std::vector<AQuestion> merge_witnessed_a;
+
+  /// Corroboration ledger for table-wide standardization: variant spelling
+  /// -> (target spelling, #user answers that asserted it). One answer only
+  /// repairs the rows at hand; two agreeing answers rewrite the column —
+  /// so a single wrong label (Exp-3) cannot poison a whole venue.
+  std::map<std::string, std::pair<std::string, int>> transform_votes;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CORE_ENGINE_CONTEXT_H_

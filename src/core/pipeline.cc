@@ -1,0 +1,615 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "clean/a_question_gen.h"
+#include "clean/missing_detector.h"
+#include "clean/outlier_detector.h"
+#include "clean/repair.h"
+#include "common/rng.h"
+#include "core/benefit_model.h"
+#include "em/active_learning.h"
+#include "em/blocking.h"
+#include "em/clustering.h"
+#include "text/similarity.h"
+
+namespace visclean {
+
+namespace {
+
+// Machine auto-merge waits for this many user labels (see ApplyStage).
+constexpr size_t kMinLabelsForAutoMerge = 5;
+
+// Records a user-asserted transformation `variant` -> `target` on
+// `local_rows`: repairs those rows immediately and applies the
+// transformation table-wide once a second independent answer agrees.
+void VoteTransformation(EngineContext& ctx, size_t column,
+                        const std::string& variant, const std::string& target,
+                        const std::vector<size_t>& local_rows) {
+  if (variant == target || target.empty()) return;
+  // Local repair: the rows the user actually looked at.
+  for (size_t r : local_rows) {
+    if (ctx.table.is_dead(r)) continue;
+    const Value& v = ctx.table.at(r, column);
+    if (!v.is_null() && v.ToDisplayString() == variant) {
+      ctx.table.Set(r, column, Value::String(target));
+    }
+  }
+  auto& vote = ctx.transform_votes[variant];
+  if (vote.first == target) {
+    ++vote.second;
+  } else {
+    vote = {target, 1};
+  }
+  if (vote.second >= 2) {
+    ApplyTransformation(&ctx.table, column, variant, target);
+  }
+}
+
+// Archives the X spelling variants of a cluster about to be machine-merged
+// as future A-questions.
+void RecordWitnessedSpellings(EngineContext& ctx,
+                              const std::vector<size_t>& rows) {
+  size_t x_col = XColumnOrNoColumn(ctx);
+  if (x_col == BenefitOptions::kNoColumn) return;
+  std::set<std::string> spellings;
+  std::map<std::string, size_t> freq;
+  for (size_t r : rows) {
+    if (ctx.table.is_dead(r)) continue;
+    const Value& v = ctx.table.at(r, x_col);
+    if (v.is_null()) continue;
+    std::string sp = v.ToDisplayString();
+    spellings.insert(sp);
+    ++freq[sp];
+  }
+  if (spellings.size() < 2) return;
+  std::string target;
+  size_t best = 0;
+  for (const auto& [sp, n] : freq) {
+    if (n > best) {
+      best = n;
+      target = sp;
+    }
+  }
+  for (const std::string& sp : spellings) {
+    if (sp == target) continue;
+    if (ctx.a_answered.count(std::minmax(sp, target))) continue;
+    AQuestion q;
+    q.column = x_col;
+    q.value_a = sp;
+    q.value_b = target;
+    q.similarity = 0.9;  // cluster co-membership is strong evidence
+    ctx.merge_witnessed_a.push_back(std::move(q));
+  }
+}
+
+// Golden-record standardization: rewrites every live cell that carries any
+// of the X spellings of the co-referring `rows` to one target spelling —
+// the user's preferred form when `ask_user` (user-confirmed merges), else
+// the frequency-elected form (machine merges).
+void StandardizeXAcrossRows(EngineContext& ctx, const std::vector<size_t>& rows,
+                            bool ask_user = true) {
+  size_t x_col = XColumnOrNoColumn(ctx);
+  if (x_col == BenefitOptions::kNoColumn) return;
+  // Distinct spellings carried by the co-referring rows.
+  std::set<std::string> spellings;
+  for (size_t r : rows) {
+    if (ctx.table.is_dead(r)) continue;
+    const Value& v = ctx.table.at(r, x_col);
+    if (!v.is_null()) spellings.insert(v.ToDisplayString());
+  }
+  if (spellings.size() < 2) return;
+  // The user merging these tuples also answers "which value should be
+  // used?" — standardize on their preferred spelling. Machine-initiated
+  // merges (ask_user = false) must not consume user knowledge and fall
+  // back to the globally most frequent spelling (golden-record election).
+  std::string target;
+  if (ask_user) {
+    // The user resolves every witnessed spelling to their preferred form;
+    // the first resolution that differs from its input reveals it.
+    for (const std::string& sp : spellings) {
+      std::string preferred = ctx.user.PreferredSpelling(x_col, sp);
+      if (!preferred.empty()) {
+        target = preferred;
+        break;
+      }
+    }
+  }
+  if (target.empty()) {
+    std::map<std::string, size_t> freq;
+    for (size_t r : ctx.table.LiveRowIds()) {
+      const Value& v = ctx.table.at(r, x_col);
+      if (v.is_null()) continue;
+      std::string s = v.ToDisplayString();
+      if (spellings.count(s)) ++freq[s];
+    }
+    size_t best = 0;
+    for (const auto& [s, n] : freq) {
+      if (n > best) {
+        best = n;
+        target = s;
+      }
+    }
+  }
+  if (target.empty()) return;
+  for (const std::string& sp : spellings) {
+    if (sp == target) continue;
+    if (ask_user) {
+      VoteTransformation(ctx, x_col, sp, target, rows);
+    } else {
+      // Machine-initiated merges only consolidate the rows at hand.
+      for (size_t r : rows) {
+        if (ctx.table.is_dead(r)) continue;
+        const Value& v = ctx.table.at(r, x_col);
+        if (!v.is_null() && v.ToDisplayString() == sp) {
+          ctx.table.Set(r, x_col, Value::String(target));
+        }
+      }
+    }
+  }
+}
+
+// Confirm-edge repair: merge two rows + standardize their X spellings.
+void ApplyConfirmedMatch(EngineContext& ctx, size_t row_a, size_t row_b) {
+  StandardizeXAcrossRows(ctx, {row_a, row_b});
+  MergeRows(&ctx.table, {row_a, row_b});
+}
+
+}  // namespace
+
+size_t XColumnOrNoColumn(const EngineContext& ctx) {
+  Result<size_t> col = ctx.table.schema().IndexOf(ctx.query.x_column);
+  if (col.ok() &&
+      ctx.table.schema().column(col.value()).type == ColumnType::kCategorical) {
+    return col.value();
+  }
+  for (const Predicate& p : ctx.query.predicates) {
+    Result<size_t> pc = ctx.table.schema().IndexOf(p.column);
+    if (pc.ok() &&
+        ctx.table.schema().column(pc.value()).type ==
+            ColumnType::kCategorical) {
+      return pc.value();
+    }
+  }
+  return BenefitOptions::kNoColumn;
+}
+
+// ------------------------------------------------------------ DetectStage --
+
+Status DetectStage::Run(EngineContext& ctx) {
+  ctx.questions = QuestionSet();
+
+  // Blocking + kNN detectors (Fig. 18 "Detect Errors").
+  BlockingOptions blocking;
+  for (const ColumnSpec& col : ctx.table.schema().columns()) {
+    if (col.type == ColumnType::kText) blocking.key_columns.push_back(col.name);
+  }
+  if (blocking.key_columns.empty()) {
+    for (const ColumnSpec& col : ctx.table.schema().columns()) {
+      if (col.type == ColumnType::kCategorical) {
+        blocking.key_columns.push_back(col.name);
+      }
+    }
+  }
+  blocking.max_block_size = ctx.options.blocking_max_block;
+  ctx.candidates = TokenBlocking(ctx.table, blocking);
+
+  Result<size_t> y_col = ctx.table.schema().IndexOf(ctx.query.y_column);
+  if (y_col.ok() &&
+      ctx.table.schema().column(y_col.value()).type == ColumnType::kNumeric) {
+    MissingDetectorOptions missing_options;
+    missing_options.max_questions = ctx.options.max_m_questions;
+    ctx.questions.m_questions =
+        DetectMissing(ctx.table, y_col.value(), missing_options);
+    ctx.questions.o_questions = DetectOutliers(ctx.table, y_col.value());
+    // Drop outlier verdicts the user already gave.
+    std::erase_if(ctx.questions.o_questions, [&](const OQuestion& q) {
+      return ctx.o_answered.count({q.row, q.column}) > 0;
+    });
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- TrainStage --
+
+Status TrainStage::Run(EngineContext& ctx) {
+  std::vector<std::pair<size_t, size_t>> training_candidates = ctx.candidates;
+  if (training_candidates.size() > ctx.options.max_seed_examples) {
+    // Deterministic thinning keeps retraining affordable on large tables.
+    Rng rng(ctx.options.seed + ctx.retrain_counter);
+    rng.Shuffle(training_candidates);
+    training_candidates.resize(ctx.options.max_seed_examples);
+  }
+  ctx.em.Retrain(ctx.table, training_candidates,
+                 ctx.options.seed + ctx.retrain_counter);
+  ++ctx.retrain_counter;
+  ctx.scored = ctx.em.ScoreAll(ctx.table, ctx.candidates);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------- GenerateStage --
+
+Status GenerateStage::Run(EngineContext& ctx) {
+  ActiveLearningOptions al_options;
+  al_options.max_questions = ctx.options.max_t_questions;
+  for (const ScoredPair& p : SelectUncertainPairs(ctx.scored, ctx.em,
+                                                  al_options)) {
+    ctx.questions.t_questions.push_back({p.a, p.b, p.probability});
+  }
+
+  size_t x_col = XColumnOrNoColumn(ctx);
+  if (x_col != BenefitOptions::kNoColumn) {
+    ClusteringOptions cluster_options;
+    cluster_options.auto_merge_threshold = ctx.options.auto_merge_threshold;
+    EntityClusters clusters =
+        ClusterEntities(ctx.table.num_rows(), ctx.scored, ctx.em,
+                        cluster_options);
+    AQuestionOptions a_options;
+    a_options.lambda = ctx.options.sim_join_lambda;
+    ctx.questions.a_questions =
+        GenerateAQuestions(ctx.table, clusters.clusters, x_col, a_options);
+    // Fold in the spelling pairs witnessed by machine-merged clusters,
+    // keeping only those whose variant spelling still occurs in live data.
+    std::set<std::string> live_spellings;
+    for (size_t r : ctx.table.LiveRowIds()) {
+      const Value& v = ctx.table.at(r, x_col);
+      if (!v.is_null()) live_spellings.insert(v.ToDisplayString());
+    }
+    std::set<std::pair<std::string, std::string>> present;
+    for (const AQuestion& q : ctx.questions.a_questions) {
+      present.insert(std::minmax(q.value_a, q.value_b));
+    }
+    std::erase_if(ctx.merge_witnessed_a, [&](const AQuestion& q) {
+      return live_spellings.count(q.value_a) == 0 ||
+             live_spellings.count(q.value_b) == 0 ||
+             ctx.a_answered.count(std::minmax(q.value_a, q.value_b)) > 0;
+    });
+    for (const AQuestion& q : ctx.merge_witnessed_a) {
+      if (present.insert(std::minmax(q.value_a, q.value_b)).second) {
+        ctx.questions.a_questions.push_back(q);
+      }
+    }
+    // Drop spelling pairs the user already ruled on.
+    std::erase_if(ctx.questions.a_questions, [&](const AQuestion& q) {
+      return ctx.a_answered.count(std::minmax(q.value_a, q.value_b)) > 0;
+    });
+  }
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------- BenefitStage --
+
+namespace {
+
+// ERG construction (Definition 2.1) from the current question set.
+void BuildErg(EngineContext& ctx) {
+  ctx.erg = Erg();
+  size_t x_col = XColumnOrNoColumn(ctx);
+
+  // A-question lookup: unordered spelling pair -> similarity.
+  std::map<std::pair<std::string, std::string>, const AQuestion*> a_lookup;
+  for (const AQuestion& q : ctx.questions.a_questions) {
+    a_lookup[std::minmax(q.value_a, q.value_b)] = &q;
+  }
+
+  // Vertices: every row mentioned by a T-question, plus rows with M-/O-
+  // questions (they may stay isolated; the Single strategy still reaches
+  // them, and composite picks them up once an edge appears).
+  std::map<size_t, size_t> vertex_of_row;
+  auto ensure_vertex = [&](size_t row) {
+    auto it = vertex_of_row.find(row);
+    if (it != vertex_of_row.end()) return it->second;
+    ErgVertex v;
+    v.row = row;
+    size_t idx = ctx.erg.AddVertex(std::move(v));
+    vertex_of_row[row] = idx;
+    return idx;
+  };
+
+  for (const TQuestion& q : ctx.questions.t_questions) {
+    ensure_vertex(q.row_a);
+    ensure_vertex(q.row_b);
+  }
+  for (const MQuestion& q : ctx.questions.m_questions) {
+    ctx.erg.vertex(ensure_vertex(q.row)).missing = q;
+  }
+  for (const OQuestion& q : ctx.questions.o_questions) {
+    ctx.erg.vertex(ensure_vertex(q.row)).outlier = q;
+  }
+
+  std::set<std::pair<size_t, size_t>> edge_keys;
+  for (const TQuestion& q : ctx.questions.t_questions) {
+    ErgEdge edge;
+    edge.u = vertex_of_row[q.row_a];
+    edge.v = vertex_of_row[q.row_b];
+    edge_keys.insert(std::minmax(edge.u, edge.v));
+    edge.p_tuple = q.probability;
+    if (x_col != BenefitOptions::kNoColumn) {
+      const Value& xa = ctx.table.at(q.row_a, x_col);
+      const Value& xb = ctx.table.at(q.row_b, x_col);
+      if (!xa.is_null() && !xb.is_null()) {
+        std::string sa = xa.ToDisplayString();
+        std::string sb = xb.ToDisplayString();
+        if (sa != sb) {
+          edge.has_attr = true;
+          auto it = a_lookup.find(std::minmax(sa, sb));
+          if (it != a_lookup.end()) {
+            edge.attr_question = *it->second;
+            edge.p_attr = it->second->similarity;
+          } else {
+            edge.attr_question.column = x_col;
+            edge.attr_question.value_a = sa;
+            edge.attr_question.value_b = sb;
+            edge.p_attr = WordJaccard(sa, sb);
+            edge.attr_question.similarity = edge.p_attr;
+          }
+        }
+      }
+    }
+    ctx.erg.AddEdge(std::move(edge));
+  }
+
+  // A-question edges (Definition 2.1: an edge exists when two tuples are
+  // possible tuple- OR attribute-level duplicates): each attribute-level
+  // candidate pairs one representative tuple per spelling, so the composite
+  // question can standardize bars even where the EM model has no uncertain
+  // tuple pair.
+  if (x_col != BenefitOptions::kNoColumn) {
+    std::map<std::string, size_t> row_of_value;
+    for (size_t r : ctx.table.LiveRowIds()) {
+      const Value& v = ctx.table.at(r, x_col);
+      if (v.is_null()) continue;
+      row_of_value.emplace(v.ToDisplayString(), r);  // first live row wins
+    }
+    size_t added = 0;
+    for (const AQuestion& q : ctx.questions.a_questions) {
+      if (added >= ctx.options.max_t_questions) break;
+      auto it_a = row_of_value.find(q.value_a);
+      auto it_b = row_of_value.find(q.value_b);
+      if (it_a == row_of_value.end() || it_b == row_of_value.end()) continue;
+      if (it_a->second == it_b->second) continue;
+      size_t u = ensure_vertex(it_a->second);
+      size_t v = ensure_vertex(it_b->second);
+      if (u == v || !edge_keys.insert(std::minmax(u, v)).second) continue;
+      ErgEdge edge;
+      edge.u = u;
+      edge.v = v;
+      edge.p_tuple =
+          ctx.em.MatchProbability(ctx.table, it_a->second, it_b->second);
+      edge.has_attr = true;
+      edge.attr_question = q;
+      edge.p_attr = q.similarity;
+      ctx.erg.AddEdge(std::move(edge));
+      ++added;
+    }
+  }
+}
+
+}  // namespace
+
+Status BenefitStage::Run(EngineContext& ctx) {
+  BuildErg(ctx);
+  BenefitOptions benefit_options;
+  benefit_options.x_column = XColumnOrNoColumn(ctx);
+  benefit_options.threads = ctx.options.threads;
+  benefit_options.pool = ctx.pool;
+  EstimateBenefits(ctx.query, &ctx.table, &ctx.erg, benefit_options);
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------ SelectStage --
+
+Status SelectStage::Run(EngineContext& ctx) {
+  ctx.cqg = ctx.selector->Select(ctx.erg, ctx.options.k);
+  if (ctx.cqg.empty()) {
+    // No edges remain (duplicates resolved) but isolated vertices may still
+    // carry M-/O-questions: present up to k of them as one vertex-only
+    // composite so the budgeted loop can finish the cleaning job.
+    for (size_t v = 0;
+         v < ctx.erg.num_vertices() && ctx.cqg.vertices.size() < ctx.options.k;
+         ++v) {
+      const ErgVertex& vertex = ctx.erg.vertex(v);
+      if (vertex.missing.has_value() || vertex.outlier.has_value()) {
+        ctx.cqg.vertices.push_back(v);
+      }
+    }
+  }
+  ctx.trace.cqg_benefit = ctx.cqg.total_benefit;
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------- AskStage --
+
+Status AskStage::Run(EngineContext& ctx) {
+  size_t vertex_questions = 0;
+  for (size_t e : ctx.cqg.edge_indices) {
+    const ErgEdge& edge = ctx.erg.edge(e);
+    size_t row_a = ctx.erg.vertex(edge.u).row;
+    size_t row_b = ctx.erg.vertex(edge.v).row;
+    if (ctx.table.is_dead(row_a) || ctx.table.is_dead(row_b)) continue;
+    std::optional<bool> confirm =
+        ctx.user.AnswerT({row_a, row_b, edge.p_tuple});
+    if (!confirm.has_value()) continue;  // incomplete answer
+    if (*confirm) {
+      ctx.em.AddLabel(row_a, row_b, true);
+      ApplyConfirmedMatch(ctx, row_a, row_b);
+    } else {
+      ctx.em.AddLabel(row_a, row_b, false);
+      // Tuples differ, but the spellings may still be synonyms (distinct
+      // papers at the same venue): the GUI's follow-up A-question.
+      if (edge.has_attr) {
+        std::optional<AttributeAnswer> answer =
+            ctx.user.AnswerA(edge.attr_question);
+        if (answer.has_value()) {
+          ctx.a_answered.insert(std::minmax(edge.attr_question.value_a,
+                                            edge.attr_question.value_b));
+          if (answer->same) {
+            // Standardize both spellings on the user's preferred form:
+            // repair the edge's rows now, go table-wide on corroboration.
+            for (const std::string* s : {&edge.attr_question.value_a,
+                                         &edge.attr_question.value_b}) {
+              VoteTransformation(ctx, edge.attr_question.column, *s,
+                                 answer->preferred, {row_a, row_b});
+            }
+          }
+        }
+      }
+    }
+  }
+  for (size_t v : ctx.cqg.vertices) {
+    const ErgVertex& vertex = ctx.erg.vertex(v);
+    if (ctx.table.is_dead(vertex.row)) continue;
+    if (vertex.missing.has_value() &&
+        ctx.table.at(vertex.missing->row, vertex.missing->column).is_null()) {
+      std::optional<double> value = ctx.user.AnswerM(*vertex.missing);
+      if (value.has_value()) {
+        ApplyCellRepair(&ctx.table, vertex.missing->row,
+                        vertex.missing->column, *value);
+      }
+      ++vertex_questions;
+    }
+    if (vertex.outlier.has_value()) {
+      std::optional<OutlierAnswer> answer = ctx.user.AnswerO(*vertex.outlier);
+      if (answer.has_value()) {
+        ctx.o_answered.insert({vertex.outlier->row, vertex.outlier->column});
+        if (answer->is_outlier) {
+          ApplyCellRepair(&ctx.table, vertex.outlier->row,
+                          vertex.outlier->column, answer->repair);
+        }
+      }
+      ++vertex_questions;
+    }
+  }
+
+  ctx.trace.questions_asked = ctx.cqg.edge_indices.size() + vertex_questions;
+  ctx.trace.user_seconds =
+      ctx.cost_model.CqgSeconds(ctx.cqg.edge_indices.size(), vertex_questions);
+  return Status::Ok();
+}
+
+// --------------------------------------------------------- SingleAskStage --
+
+Status SingleAskStage::Run(EngineContext& ctx) {
+  // The paper's Single baseline: m questions per iteration, m/4 from each
+  // candidate set (padded from Q_T when a set runs short).
+  size_t per_set = std::max<size_t>(1, ctx.options.single_m / 4);
+  size_t asked_t = 0, asked_a = 0, asked_m = 0, asked_o = 0;
+
+  for (const TQuestion& q : ctx.questions.t_questions) {
+    if (asked_t >= per_set) break;
+    if (ctx.table.is_dead(q.row_a) || ctx.table.is_dead(q.row_b)) continue;
+    std::optional<bool> confirm = ctx.user.AnswerT(q);
+    ++asked_t;
+    if (!confirm.has_value()) continue;
+    ctx.em.AddLabel(q.row_a, q.row_b, *confirm);
+    if (*confirm) ApplyConfirmedMatch(ctx, q.row_a, q.row_b);
+  }
+  for (const AQuestion& q : ctx.questions.a_questions) {
+    if (asked_a >= per_set) break;
+    std::optional<AttributeAnswer> answer = ctx.user.AnswerA(q);
+    ++asked_a;
+    if (answer.has_value()) {
+      ctx.a_answered.insert(std::minmax(q.value_a, q.value_b));
+      if (answer->same) {
+        for (const std::string* s : {&q.value_a, &q.value_b}) {
+          VoteTransformation(ctx, q.column, *s, answer->preferred, {});
+        }
+      }
+    }
+  }
+  for (const MQuestion& q : ctx.questions.m_questions) {
+    if (asked_m >= per_set) break;
+    if (ctx.table.is_dead(q.row) || !ctx.table.at(q.row, q.column).is_null()) {
+      continue;
+    }
+    std::optional<double> value = ctx.user.AnswerM(q);
+    ++asked_m;
+    if (value.has_value()) {
+      ApplyCellRepair(&ctx.table, q.row, q.column, *value);
+    }
+  }
+  for (const OQuestion& q : ctx.questions.o_questions) {
+    if (asked_o >= per_set) break;
+    if (ctx.table.is_dead(q.row)) continue;
+    std::optional<OutlierAnswer> answer = ctx.user.AnswerO(q);
+    ++asked_o;
+    if (answer.has_value()) {
+      ctx.o_answered.insert({q.row, q.column});
+      if (answer->is_outlier) {
+        ApplyCellRepair(&ctx.table, q.row, q.column, answer->repair);
+      }
+    }
+  }
+  // Pad with extra T-questions up to m.
+  for (const TQuestion& q : ctx.questions.t_questions) {
+    if (asked_t + asked_a + asked_m + asked_o >= ctx.options.single_m) break;
+    if (asked_t >= ctx.questions.t_questions.size()) break;
+    if (ctx.table.is_dead(q.row_a) || ctx.table.is_dead(q.row_b)) continue;
+    if (ctx.em.LabelOf(q.row_a, q.row_b) >= 0) continue;
+    std::optional<bool> confirm = ctx.user.AnswerT(q);
+    ++asked_t;
+    if (!confirm.has_value()) continue;
+    ctx.em.AddLabel(q.row_a, q.row_b, *confirm);
+    if (*confirm) ApplyConfirmedMatch(ctx, q.row_a, q.row_b);
+  }
+
+  ctx.trace.questions_asked = asked_t + asked_a + asked_m + asked_o;
+  ctx.trace.user_seconds =
+      ctx.cost_model.SingleGroupSeconds(asked_t, asked_a, asked_m, asked_o);
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- ApplyStage --
+
+Status ApplyStage::Run(EngineContext& ctx) {
+  // Machine auto-merge: confident clusters collapse without user effort
+  // ("many tuple-level duplicates are removed by the EM model"). Gated on a
+  // few user labels: the unsupervised bootstrap model must not rewrite the
+  // dataset before the user has taught it anything.
+  if (ctx.em.num_labels() < kMinLabelsForAutoMerge) return Status::Ok();
+  ClusteringOptions cluster_options;
+  cluster_options.auto_merge_threshold = ctx.options.auto_merge_threshold;
+  EntityClusters clusters = ClusterEntities(ctx.table.num_rows(), ctx.scored,
+                                            ctx.em, cluster_options);
+  for (const std::vector<size_t>& cluster : clusters.MultiMemberClusters()) {
+    std::vector<size_t> live;
+    for (size_t r : cluster) {
+      if (!ctx.table.is_dead(r)) live.push_back(r);
+    }
+    // Machine merges consolidate locally only: even a rare wrong cluster
+    // would poison the whole column if its spellings were standardized
+    // table-wide. The witnessed variant pairs become A-questions, so the
+    // user-verified path performs the actual standardization.
+    if (live.size() >= 2) {
+      RecordWitnessedSpellings(ctx, live);
+      MergeRows(&ctx.table, live);
+    }
+  }
+  return Status::Ok();
+}
+
+// -------------------------------------------------------------- MakeStages --
+
+std::vector<std::unique_ptr<PipelineStage>> MakeStages(
+    QuestionStrategy strategy) {
+  std::vector<std::unique_ptr<PipelineStage>> stages;
+  stages.push_back(std::make_unique<DetectStage>());
+  stages.push_back(std::make_unique<TrainStage>());
+  stages.push_back(std::make_unique<GenerateStage>());
+  if (strategy == QuestionStrategy::kComposite) {
+    stages.push_back(std::make_unique<BenefitStage>());
+    stages.push_back(std::make_unique<SelectStage>());
+    stages.push_back(std::make_unique<AskStage>());
+  } else {
+    stages.push_back(std::make_unique<SingleAskStage>());
+  }
+  stages.push_back(std::make_unique<ApplyStage>());
+  return stages;
+}
+
+}  // namespace visclean

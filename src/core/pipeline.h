@@ -1,0 +1,130 @@
+// The staged cleaning pipeline: one iteration of the paper's Fig. 6 loop is
+// an ordered list of PipelineStage objects run over a shared EngineContext.
+//
+//   composite: detect -> train -> generate -> benefit -> select -> ask -> apply
+//   single:    detect -> train -> generate -> ask(single) -> apply
+//
+// Both questioning strategies are stage *configurations* (MakeStages), not
+// separate code paths: they share detection, training, generation and the
+// machine auto-merge, and differ only in how questions reach the user.
+// Stages are stateless between iterations — everything lives in the context
+// — so any stage can be swapped, instrumented, or parallelized in isolation
+// (BenefitStage already fans out to the context's ThreadPool).
+#ifndef VISCLEAN_CORE_PIPELINE_H_
+#define VISCLEAN_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine_context.h"
+
+namespace visclean {
+
+/// \brief Fig. 18 component bucket a stage's wall time is charged to.
+enum class StageBucket { kDetect, kTrain, kBenefit, kSelect, kApply };
+
+/// \brief One step of the cleaning loop.
+///
+/// Stages hold no per-run state; Run() reads and writes the context only.
+/// The driver (VisCleanSession) times each Run() call and charges it to the
+/// stage's declared bucket.
+class PipelineStage {
+ public:
+  virtual ~PipelineStage() = default;
+
+  /// Stable lowercase identifier ("detect", "train", ...), recorded in
+  /// IterationTrace::stage_times.
+  virtual const char* name() const = 0;
+  /// The ComponentTimes bucket this stage charges.
+  virtual StageBucket bucket() const = 0;
+  virtual Status Run(EngineContext& ctx) = 0;
+};
+
+/// Error detection: token blocking for duplicate candidates, kNN missing-
+/// value and outlier detectors on the Y column.
+class DetectStage : public PipelineStage {
+ public:
+  const char* name() const override { return "detect"; }
+  StageBucket bucket() const override { return StageBucket::kDetect; }
+  Status Run(EngineContext& ctx) override;
+};
+
+/// EM model fine-tuning on the (thinned) candidate pairs + rescoring.
+class TrainStage : public PipelineStage {
+ public:
+  const char* name() const override { return "train"; }
+  StageBucket bucket() const override { return StageBucket::kTrain; }
+  Status Run(EngineContext& ctx) override;
+};
+
+/// Question generation (Algorithm 1): uncertain T-questions via active
+/// learning, A-questions from clusters + witnessed machine merges. Needs
+/// TrainStage's scores, hence a separate stage; its time is part of the
+/// paper's "Detect Errors" component.
+class GenerateStage : public PipelineStage {
+ public:
+  const char* name() const override { return "generate"; }
+  StageBucket bucket() const override { return StageBucket::kDetect; }
+  Status Run(EngineContext& ctx) override;
+};
+
+/// ERG construction (Definition 2.1) + benefit estimation (Definition 5.1).
+/// Fans speculative repairs out to ctx.pool when the session runs with
+/// threads > 1; results are bit-identical to the serial path.
+class BenefitStage : public PipelineStage {
+ public:
+  const char* name() const override { return "benefit"; }
+  StageBucket bucket() const override { return StageBucket::kBenefit; }
+  Status Run(EngineContext& ctx) override;
+};
+
+/// CQG selection via ctx.selector, with the vertex-only fallback composite
+/// when no edges remain.
+class SelectStage : public PipelineStage {
+ public:
+  const char* name() const override { return "select"; }
+  StageBucket bucket() const override { return StageBucket::kSelect; }
+  Status Run(EngineContext& ctx) override;
+};
+
+/// Composite user interaction: asks the selected CQG (edge questions with
+/// A-question follow-ups, vertex M-/O-questions) and applies the answers.
+class AskStage : public PipelineStage {
+ public:
+  const char* name() const override { return "ask"; }
+  StageBucket bucket() const override { return StageBucket::kApply; }
+  Status Run(EngineContext& ctx) override;
+};
+
+/// Single-question baseline interaction (Section VII, algorithm (vi)):
+/// m isolated questions per iteration, m/4 from each candidate set.
+class SingleAskStage : public PipelineStage {
+ public:
+  const char* name() const override { return "ask"; }
+  StageBucket bucket() const override { return StageBucket::kApply; }
+  Status Run(EngineContext& ctx) override;
+};
+
+/// Machine auto-merge of confident EM clusters (gated on user labels) —
+/// the non-interactive tail of "repair errors + refresh".
+class ApplyStage : public PipelineStage {
+ public:
+  const char* name() const override { return "apply"; }
+  StageBucket bucket() const override { return StageBucket::kApply; }
+  Status Run(EngineContext& ctx) override;
+};
+
+/// The stage list for a questioning strategy (see file comment).
+std::vector<std::unique_ptr<PipelineStage>> MakeStages(
+    QuestionStrategy strategy);
+
+/// The column whose attribute-level duplicates hurt this query: a
+/// categorical X axis, or — as in Q7, where the predicate "Venue = 'SIGMOD'"
+/// silently drops synonym rows — the first categorical column a WHERE
+/// conjunct references. BenefitOptions::kNoColumn when neither exists.
+size_t XColumnOrNoColumn(const EngineContext& ctx);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CORE_PIPELINE_H_

@@ -1,20 +1,10 @@
 #include "core/session.h"
 
-#include <algorithm>
 #include <chrono>
-#include <map>
-#include <set>
+#include <utility>
 
-#include "clean/a_question_gen.h"
-#include "clean/missing_detector.h"
-#include "clean/outlier_detector.h"
-#include "clean/repair.h"
-#include "core/benefit_model.h"
+#include "common/thread_pool.h"
 #include "dist/emd.h"
-#include "em/active_learning.h"
-#include "em/blocking.h"
-#include "em/clustering.h"
-#include "text/similarity.h"
 #include "vql/executor.h"
 
 namespace visclean {
@@ -34,9 +24,6 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-// Machine auto-merge waits for this many user labels (see RunIteration).
-constexpr size_t kMinLabelsForAutoMerge = 5;
-
 }  // namespace
 
 VisCleanSession::VisCleanSession(const DirtyDataset* oracle, VqlQuery query,
@@ -44,613 +31,61 @@ VisCleanSession::VisCleanSession(const DirtyDataset* oracle, VqlQuery query,
                                  UserOptions user_options,
                                  UserCostModel cost_model)
     : oracle_(oracle),
-      query_(std::move(query)),
-      options_(options),
-      cost_model_(cost_model),
-      table_(oracle->dirty.Clone()),
-      user_(oracle, user_options),
-      em_(options.forest) {}
+      ctx_(oracle, std::move(query), options, user_options, cost_model) {}
 
-size_t VisCleanSession::XColumnOrNpos() const {
-  // The column whose attribute-level duplicates hurt this query: a
-  // categorical X axis, or — as in Q7, where the predicate "Venue =
-  // 'SIGMOD'" silently drops synonym rows — the first categorical column a
-  // WHERE conjunct references.
-  Result<size_t> col = table_.schema().IndexOf(query_.x_column);
-  if (col.ok() &&
-      table_.schema().column(col.value()).type == ColumnType::kCategorical) {
-    return col.value();
-  }
-  for (const Predicate& p : query_.predicates) {
-    Result<size_t> pc = table_.schema().IndexOf(p.column);
-    if (pc.ok() &&
-        table_.schema().column(pc.value()).type == ColumnType::kCategorical) {
-      return pc.value();
-    }
-  }
-  return BenefitOptions::kNoColumn;
-}
+VisCleanSession::~VisCleanSession() = default;
 
 Status VisCleanSession::Initialize() {
   if (initialized_) return Status::Ok();
   Result<std::unique_ptr<CqgSelector>> selector =
-      MakeSelector(options_.selector, options_.seed);
+      MakeSelector(ctx_.options.selector, ctx_.options.seed);
   if (!selector.ok()) return selector.status();
-  selector_ = std::move(selector).value();
+  ctx_.selector = std::move(selector).value();
+  if (ctx_.options.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(ctx_.options.threads);
+    ctx_.pool = pool_.get();
+  }
   // Validate the query against the table once up front.
-  Result<VisData> vis = ExecuteVql(query_, table_);
+  Result<VisData> vis = ExecuteVql(ctx_.query, ctx_.table);
   if (!vis.ok()) return vis.status();
+  stages_ = MakeStages(ctx_.options.strategy);
   initialized_ = true;
   return Status::Ok();
-}
-
-void VisCleanSession::DetectQuestions(ComponentTimes* times) {
-  questions_ = QuestionSet();
-
-  // ---- Detection: blocking + kNN detectors (Fig. 18 "Detect Errors") ----
-  Stopwatch detect_watch;
-  BlockingOptions blocking;
-  for (const ColumnSpec& col : table_.schema().columns()) {
-    if (col.type == ColumnType::kText) blocking.key_columns.push_back(col.name);
-  }
-  if (blocking.key_columns.empty()) {
-    for (const ColumnSpec& col : table_.schema().columns()) {
-      if (col.type == ColumnType::kCategorical) {
-        blocking.key_columns.push_back(col.name);
-      }
-    }
-  }
-  blocking.max_block_size = options_.blocking_max_block;
-  candidates_ = TokenBlocking(table_, blocking);
-
-  Result<size_t> y_col = table_.schema().IndexOf(query_.y_column);
-  if (y_col.ok() &&
-      table_.schema().column(y_col.value()).type == ColumnType::kNumeric) {
-    MissingDetectorOptions missing_options;
-    missing_options.max_questions = options_.max_m_questions;
-    questions_.m_questions =
-        DetectMissing(table_, y_col.value(), missing_options);
-    questions_.o_questions = DetectOutliers(table_, y_col.value());
-    // Drop outlier verdicts the user already gave.
-    std::erase_if(questions_.o_questions, [&](const OQuestion& q) {
-      return o_answered_.count({q.row, q.column}) > 0;
-    });
-  }
-  times->detect += detect_watch.Seconds();
-
-  // ---- Train / fine-tune the EM model (Fig. 18 "Train Models") ----
-  Stopwatch train_watch;
-  std::vector<std::pair<size_t, size_t>> training_candidates = candidates_;
-  if (training_candidates.size() > options_.max_seed_examples) {
-    // Deterministic thinning keeps retraining affordable on large tables.
-    Rng rng(options_.seed + retrain_counter_);
-    rng.Shuffle(training_candidates);
-    training_candidates.resize(options_.max_seed_examples);
-  }
-  em_.Retrain(table_, training_candidates, options_.seed + retrain_counter_);
-  ++retrain_counter_;
-  scored_ = em_.ScoreAll(table_, candidates_);
-  times->train += train_watch.Seconds();
-
-  // ---- Question generation (back under "Detect Errors") ----
-  Stopwatch gen_watch;
-  ActiveLearningOptions al_options;
-  al_options.max_questions = options_.max_t_questions;
-  for (const ScoredPair& p : SelectUncertainPairs(scored_, em_, al_options)) {
-    questions_.t_questions.push_back({p.a, p.b, p.probability});
-  }
-
-  size_t x_col = XColumnOrNpos();
-  if (x_col != BenefitOptions::kNoColumn) {
-    ClusteringOptions cluster_options;
-    cluster_options.auto_merge_threshold = options_.auto_merge_threshold;
-    EntityClusters clusters =
-        ClusterEntities(table_.num_rows(), scored_, em_, cluster_options);
-    AQuestionOptions a_options;
-    a_options.lambda = options_.sim_join_lambda;
-    questions_.a_questions =
-        GenerateAQuestions(table_, clusters.clusters, x_col, a_options);
-    // Fold in the spelling pairs witnessed by machine-merged clusters,
-    // keeping only those whose variant spelling still occurs in live data.
-    std::set<std::string> live_spellings;
-    for (size_t r : table_.LiveRowIds()) {
-      const Value& v = table_.at(r, x_col);
-      if (!v.is_null()) live_spellings.insert(v.ToDisplayString());
-    }
-    std::set<std::pair<std::string, std::string>> present;
-    for (const AQuestion& q : questions_.a_questions) {
-      present.insert(std::minmax(q.value_a, q.value_b));
-    }
-    std::erase_if(merge_witnessed_a_, [&](const AQuestion& q) {
-      return live_spellings.count(q.value_a) == 0 ||
-             live_spellings.count(q.value_b) == 0 ||
-             a_answered_.count(std::minmax(q.value_a, q.value_b)) > 0;
-    });
-    for (const AQuestion& q : merge_witnessed_a_) {
-      if (present.insert(std::minmax(q.value_a, q.value_b)).second) {
-        questions_.a_questions.push_back(q);
-      }
-    }
-    // Drop spelling pairs the user already ruled on.
-    std::erase_if(questions_.a_questions, [&](const AQuestion& q) {
-      return a_answered_.count(std::minmax(q.value_a, q.value_b)) > 0;
-    });
-  }
-  times->detect += gen_watch.Seconds();
-}
-
-void VisCleanSession::BuildErg() {
-  erg_ = Erg();
-  size_t x_col = XColumnOrNpos();
-
-  // A-question lookup: unordered spelling pair -> similarity.
-  std::map<std::pair<std::string, std::string>, const AQuestion*> a_lookup;
-  for (const AQuestion& q : questions_.a_questions) {
-    a_lookup[std::minmax(q.value_a, q.value_b)] = &q;
-  }
-
-  // Vertices: every row mentioned by a T-question, plus rows with M-/O-
-  // questions (they may stay isolated; the Single strategy still reaches
-  // them, and composite picks them up once an edge appears).
-  std::map<size_t, size_t> vertex_of_row;
-  auto ensure_vertex = [&](size_t row) {
-    auto it = vertex_of_row.find(row);
-    if (it != vertex_of_row.end()) return it->second;
-    ErgVertex v;
-    v.row = row;
-    size_t idx = erg_.AddVertex(std::move(v));
-    vertex_of_row[row] = idx;
-    return idx;
-  };
-
-  for (const TQuestion& q : questions_.t_questions) {
-    ensure_vertex(q.row_a);
-    ensure_vertex(q.row_b);
-  }
-  for (const MQuestion& q : questions_.m_questions) {
-    erg_.vertex(ensure_vertex(q.row)).missing = q;
-  }
-  for (const OQuestion& q : questions_.o_questions) {
-    erg_.vertex(ensure_vertex(q.row)).outlier = q;
-  }
-
-  std::set<std::pair<size_t, size_t>> edge_keys;
-  for (const TQuestion& q : questions_.t_questions) {
-    ErgEdge edge;
-    edge.u = vertex_of_row[q.row_a];
-    edge.v = vertex_of_row[q.row_b];
-    edge_keys.insert(std::minmax(edge.u, edge.v));
-    edge.p_tuple = q.probability;
-    if (x_col != BenefitOptions::kNoColumn) {
-      const Value& xa = table_.at(q.row_a, x_col);
-      const Value& xb = table_.at(q.row_b, x_col);
-      if (!xa.is_null() && !xb.is_null()) {
-        std::string sa = xa.ToDisplayString();
-        std::string sb = xb.ToDisplayString();
-        if (sa != sb) {
-          edge.has_attr = true;
-          auto it = a_lookup.find(std::minmax(sa, sb));
-          if (it != a_lookup.end()) {
-            edge.attr_question = *it->second;
-            edge.p_attr = it->second->similarity;
-          } else {
-            edge.attr_question.column = x_col;
-            edge.attr_question.value_a = sa;
-            edge.attr_question.value_b = sb;
-            edge.p_attr = WordJaccard(sa, sb);
-            edge.attr_question.similarity = edge.p_attr;
-          }
-        }
-      }
-    }
-    erg_.AddEdge(std::move(edge));
-  }
-
-  // A-question edges (Definition 2.1: an edge exists when two tuples are
-  // possible tuple- OR attribute-level duplicates): each attribute-level
-  // candidate pairs one representative tuple per spelling, so the composite
-  // question can standardize bars even where the EM model has no uncertain
-  // tuple pair.
-  if (x_col != BenefitOptions::kNoColumn) {
-    std::map<std::string, size_t> row_of_value;
-    for (size_t r : table_.LiveRowIds()) {
-      const Value& v = table_.at(r, x_col);
-      if (v.is_null()) continue;
-      row_of_value.emplace(v.ToDisplayString(), r);  // first live row wins
-    }
-    size_t added = 0;
-    for (const AQuestion& q : questions_.a_questions) {
-      if (added >= options_.max_t_questions) break;
-      auto it_a = row_of_value.find(q.value_a);
-      auto it_b = row_of_value.find(q.value_b);
-      if (it_a == row_of_value.end() || it_b == row_of_value.end()) continue;
-      if (it_a->second == it_b->second) continue;
-      size_t u = ensure_vertex(it_a->second);
-      size_t v = ensure_vertex(it_b->second);
-      if (u == v || !edge_keys.insert(std::minmax(u, v)).second) continue;
-      ErgEdge edge;
-      edge.u = u;
-      edge.v = v;
-      edge.p_tuple = em_.MatchProbability(table_, it_a->second, it_b->second);
-      edge.has_attr = true;
-      edge.attr_question = q;
-      edge.p_attr = q.similarity;
-      erg_.AddEdge(std::move(edge));
-      ++added;
-    }
-  }
-}
-
-void VisCleanSession::VoteTransformation(size_t column,
-                                         const std::string& variant,
-                                         const std::string& target,
-                                         const std::vector<size_t>& local_rows) {
-  if (variant == target || target.empty()) return;
-  // Local repair: the rows the user actually looked at.
-  for (size_t r : local_rows) {
-    if (table_.is_dead(r)) continue;
-    const Value& v = table_.at(r, column);
-    if (!v.is_null() && v.ToDisplayString() == variant) {
-      table_.Set(r, column, Value::String(target));
-    }
-  }
-  auto& vote = transform_votes_[variant];
-  if (vote.first == target) {
-    ++vote.second;
-  } else {
-    vote = {target, 1};
-  }
-  if (vote.second >= 2) {
-    ApplyTransformation(&table_, column, variant, target);
-  }
-}
-
-void VisCleanSession::RecordWitnessedSpellings(
-    const std::vector<size_t>& rows) {
-  size_t x_col = XColumnOrNpos();
-  if (x_col == BenefitOptions::kNoColumn) return;
-  std::set<std::string> spellings;
-  std::map<std::string, size_t> freq;
-  for (size_t r : rows) {
-    if (table_.is_dead(r)) continue;
-    const Value& v = table_.at(r, x_col);
-    if (v.is_null()) continue;
-    std::string sp = v.ToDisplayString();
-    spellings.insert(sp);
-    ++freq[sp];
-  }
-  if (spellings.size() < 2) return;
-  std::string target;
-  size_t best = 0;
-  for (const auto& [sp, n] : freq) {
-    if (n > best) {
-      best = n;
-      target = sp;
-    }
-  }
-  for (const std::string& sp : spellings) {
-    if (sp == target) continue;
-    if (a_answered_.count(std::minmax(sp, target))) continue;
-    AQuestion q;
-    q.column = x_col;
-    q.value_a = sp;
-    q.value_b = target;
-    q.similarity = 0.9;  // cluster co-membership is strong evidence
-    merge_witnessed_a_.push_back(std::move(q));
-  }
-}
-
-void VisCleanSession::StandardizeXAcrossRows(const std::vector<size_t>& rows,
-                                              bool ask_user) {
-  size_t x_col = XColumnOrNpos();
-  if (x_col == BenefitOptions::kNoColumn) return;
-  // Distinct spellings carried by the co-referring rows.
-  std::set<std::string> spellings;
-  for (size_t r : rows) {
-    if (table_.is_dead(r)) continue;
-    const Value& v = table_.at(r, x_col);
-    if (!v.is_null()) spellings.insert(v.ToDisplayString());
-  }
-  if (spellings.size() < 2) return;
-  // The user merging these tuples also answers "which value should be
-  // used?" — standardize on their preferred spelling. Machine-initiated
-  // merges (ask_user = false) must not consume user knowledge and fall
-  // back to the globally most frequent spelling (golden-record election).
-  std::string target;
-  if (ask_user) {
-    // The user resolves every witnessed spelling to their preferred form;
-    // the first resolution that differs from its input reveals it.
-    for (const std::string& sp : spellings) {
-      std::string preferred = user_.PreferredSpelling(x_col, sp);
-      if (!preferred.empty()) {
-        target = preferred;
-        break;
-      }
-    }
-  }
-  if (target.empty()) {
-    std::map<std::string, size_t> freq;
-    for (size_t r : table_.LiveRowIds()) {
-      const Value& v = table_.at(r, x_col);
-      if (v.is_null()) continue;
-      std::string s = v.ToDisplayString();
-      if (spellings.count(s)) ++freq[s];
-    }
-    size_t best = 0;
-    for (const auto& [s, n] : freq) {
-      if (n > best) {
-        best = n;
-        target = s;
-      }
-    }
-  }
-  if (target.empty()) return;
-  for (const std::string& sp : spellings) {
-    if (sp == target) continue;
-    if (ask_user) {
-      VoteTransformation(x_col, sp, target, rows);
-    } else {
-      // Machine-initiated merges only consolidate the rows at hand.
-      for (size_t r : rows) {
-        if (table_.is_dead(r)) continue;
-        const Value& v = table_.at(r, x_col);
-        if (!v.is_null() && v.ToDisplayString() == sp) {
-          table_.Set(r, x_col, Value::String(target));
-        }
-      }
-    }
-  }
-}
-
-void VisCleanSession::ApplyConfirmedMatch(size_t row_a, size_t row_b) {
-  StandardizeXAcrossRows({row_a, row_b});
-  MergeRows(&table_, {row_a, row_b});
 }
 
 Result<IterationTrace> VisCleanSession::RunIteration() {
   if (!initialized_) {
     return Status::Internal("call Initialize() before RunIteration()");
   }
-  return options_.strategy == QuestionStrategy::kComposite
-             ? RunCompositeIteration()
-             : RunSingleIteration();
-}
+  ctx_.trace = IterationTrace();
+  ctx_.trace.iteration = ++iteration_;
 
-Result<IterationTrace> VisCleanSession::RunCompositeIteration() {
-  IterationTrace trace;
-  trace.iteration = ++iteration_;
-
-  DetectQuestions(&trace.machine);
-
-  // ---- ERG + benefit estimation ----
-  Stopwatch benefit_watch;
-  BuildErg();
-  BenefitOptions benefit_options;
-  benefit_options.x_column = XColumnOrNpos();
-  EstimateBenefits(query_, &table_, &erg_, benefit_options);
-  trace.machine.benefit += benefit_watch.Seconds();
-
-  // ---- CQG selection ----
-  Stopwatch select_watch;
-  Cqg cqg = selector_->Select(erg_, options_.k);
-  if (cqg.empty()) {
-    // No edges remain (duplicates resolved) but isolated vertices may still
-    // carry M-/O-questions: present up to k of them as one vertex-only
-    // composite so the budgeted loop can finish the cleaning job.
-    for (size_t v = 0; v < erg_.num_vertices() && cqg.vertices.size() < options_.k;
-         ++v) {
-      const ErgVertex& vertex = erg_.vertex(v);
-      if (vertex.missing.has_value() || vertex.outlier.has_value()) {
-        cqg.vertices.push_back(v);
-      }
-    }
-  }
-  trace.machine.select += select_watch.Seconds();
-  trace.cqg_benefit = cqg.total_benefit;
-
-  // ---- User interaction + repairs ----
-  Stopwatch apply_watch;
-  size_t vertex_questions = 0;
-  for (size_t e : cqg.edge_indices) {
-    const ErgEdge& edge = erg_.edge(e);
-    size_t row_a = erg_.vertex(edge.u).row;
-    size_t row_b = erg_.vertex(edge.v).row;
-    if (table_.is_dead(row_a) || table_.is_dead(row_b)) continue;
-    std::optional<bool> confirm =
-        user_.AnswerT({row_a, row_b, edge.p_tuple});
-    if (!confirm.has_value()) continue;  // incomplete answer
-    if (*confirm) {
-      em_.AddLabel(row_a, row_b, true);
-      ApplyConfirmedMatch(row_a, row_b);
-    } else {
-      em_.AddLabel(row_a, row_b, false);
-      // Tuples differ, but the spellings may still be synonyms (distinct
-      // papers at the same venue): the GUI's follow-up A-question.
-      if (edge.has_attr) {
-        std::optional<AttributeAnswer> answer =
-            user_.AnswerA(edge.attr_question);
-        if (answer.has_value()) {
-          a_answered_.insert(std::minmax(edge.attr_question.value_a,
-                                         edge.attr_question.value_b));
-          if (answer->same) {
-            // Standardize both spellings on the user's preferred form:
-            // repair the edge's rows now, go table-wide on corroboration.
-            for (const std::string* s : {&edge.attr_question.value_a,
-                                         &edge.attr_question.value_b}) {
-              VoteTransformation(edge.attr_question.column, *s,
-                                 answer->preferred, {row_a, row_b});
-            }
-          }
-        }
-      }
-    }
-  }
-  for (size_t v : cqg.vertices) {
-    const ErgVertex& vertex = erg_.vertex(v);
-    if (table_.is_dead(vertex.row)) continue;
-    if (vertex.missing.has_value() &&
-        table_.at(vertex.missing->row, vertex.missing->column).is_null()) {
-      std::optional<double> value = user_.AnswerM(*vertex.missing);
-      if (value.has_value()) {
-        ApplyCellRepair(&table_, vertex.missing->row, vertex.missing->column,
-                        *value);
-      }
-      ++vertex_questions;
-    }
-    if (vertex.outlier.has_value()) {
-      std::optional<OutlierAnswer> answer = user_.AnswerO(*vertex.outlier);
-      if (answer.has_value()) {
-        o_answered_.insert({vertex.outlier->row, vertex.outlier->column});
-        if (answer->is_outlier) {
-          ApplyCellRepair(&table_, vertex.outlier->row,
-                          vertex.outlier->column, answer->repair);
-        }
-      }
-      ++vertex_questions;
+  for (const std::unique_ptr<PipelineStage>& stage : stages_) {
+    Stopwatch watch;
+    VC_RETURN_IF_ERROR(stage->Run(ctx_));
+    double seconds = watch.Seconds();
+    ctx_.trace.stage_times.push_back({stage->name(), seconds});
+    switch (stage->bucket()) {
+      case StageBucket::kDetect:
+        ctx_.trace.machine.detect += seconds;
+        break;
+      case StageBucket::kTrain:
+        ctx_.trace.machine.train += seconds;
+        break;
+      case StageBucket::kBenefit:
+        ctx_.trace.machine.benefit += seconds;
+        break;
+      case StageBucket::kSelect:
+        ctx_.trace.machine.select += seconds;
+        break;
+      case StageBucket::kApply:
+        ctx_.trace.machine.apply += seconds;
+        break;
     }
   }
 
-  // Machine auto-merge: confident clusters collapse without user effort
-  // ("many tuple-level duplicates are removed by the EM model"). Gated on a
-  // few user labels: the unsupervised bootstrap model must not rewrite the
-  // dataset before the user has taught it anything.
-  if (em_.num_labels() < kMinLabelsForAutoMerge) {
-    trace.machine.apply += apply_watch.Seconds();
-    trace.questions_asked = cqg.edge_indices.size() + vertex_questions;
-    trace.user_seconds =
-        cost_model_.CqgSeconds(cqg.edge_indices.size(), vertex_questions);
-    trace.emd = CurrentEmd();
-    return trace;
-  }
-  ClusteringOptions cluster_options;
-  cluster_options.auto_merge_threshold = options_.auto_merge_threshold;
-  EntityClusters clusters =
-      ClusterEntities(table_.num_rows(), scored_, em_, cluster_options);
-  for (const std::vector<size_t>& cluster : clusters.MultiMemberClusters()) {
-    std::vector<size_t> live;
-    for (size_t r : cluster) {
-      if (!table_.is_dead(r)) live.push_back(r);
-    }
-    // Machine merges consolidate locally only: even a rare wrong cluster
-    // would poison the whole column if its spellings were standardized
-    // table-wide. The witnessed variant pairs become A-questions, so the
-    // user-verified path performs the actual standardization.
-    if (live.size() >= 2) {
-      RecordWitnessedSpellings(live);
-      MergeRows(&table_, live);
-    }
-  }
-  trace.machine.apply += apply_watch.Seconds();
-
-  trace.questions_asked = cqg.edge_indices.size() + vertex_questions;
-  trace.user_seconds =
-      cost_model_.CqgSeconds(cqg.edge_indices.size(), vertex_questions);
-  trace.emd = CurrentEmd();
-  return trace;
-}
-
-Result<IterationTrace> VisCleanSession::RunSingleIteration() {
-  IterationTrace trace;
-  trace.iteration = ++iteration_;
-
-  DetectQuestions(&trace.machine);
-
-  // The paper's Single baseline: m questions per iteration, m/4 from each
-  // candidate set (padded from Q_T when a set runs short).
-  Stopwatch apply_watch;
-  size_t per_set = std::max<size_t>(1, options_.single_m / 4);
-  size_t asked_t = 0, asked_a = 0, asked_m = 0, asked_o = 0;
-
-  for (const TQuestion& q : questions_.t_questions) {
-    if (asked_t >= per_set) break;
-    if (table_.is_dead(q.row_a) || table_.is_dead(q.row_b)) continue;
-    std::optional<bool> confirm = user_.AnswerT(q);
-    ++asked_t;
-    if (!confirm.has_value()) continue;
-    em_.AddLabel(q.row_a, q.row_b, *confirm);
-    if (*confirm) ApplyConfirmedMatch(q.row_a, q.row_b);
-  }
-  for (const AQuestion& q : questions_.a_questions) {
-    if (asked_a >= per_set) break;
-    std::optional<AttributeAnswer> answer = user_.AnswerA(q);
-    ++asked_a;
-    if (answer.has_value()) {
-      a_answered_.insert(std::minmax(q.value_a, q.value_b));
-      if (answer->same) {
-        for (const std::string* s : {&q.value_a, &q.value_b}) {
-          VoteTransformation(q.column, *s, answer->preferred, {});
-        }
-      }
-    }
-  }
-  for (const MQuestion& q : questions_.m_questions) {
-    if (asked_m >= per_set) break;
-    if (table_.is_dead(q.row) || !table_.at(q.row, q.column).is_null()) {
-      continue;
-    }
-    std::optional<double> value = user_.AnswerM(q);
-    ++asked_m;
-    if (value.has_value()) ApplyCellRepair(&table_, q.row, q.column, *value);
-  }
-  for (const OQuestion& q : questions_.o_questions) {
-    if (asked_o >= per_set) break;
-    if (table_.is_dead(q.row)) continue;
-    std::optional<OutlierAnswer> answer = user_.AnswerO(q);
-    ++asked_o;
-    if (answer.has_value()) {
-      o_answered_.insert({q.row, q.column});
-      if (answer->is_outlier) {
-        ApplyCellRepair(&table_, q.row, q.column, answer->repair);
-      }
-    }
-  }
-  // Pad with extra T-questions up to m.
-  for (const TQuestion& q : questions_.t_questions) {
-    if (asked_t + asked_a + asked_m + asked_o >= options_.single_m) break;
-    if (asked_t >= questions_.t_questions.size()) break;
-    if (table_.is_dead(q.row_a) || table_.is_dead(q.row_b)) continue;
-    if (em_.LabelOf(q.row_a, q.row_b) >= 0) continue;
-    std::optional<bool> confirm = user_.AnswerT(q);
-    ++asked_t;
-    if (!confirm.has_value()) continue;
-    em_.AddLabel(q.row_a, q.row_b, *confirm);
-    if (*confirm) ApplyConfirmedMatch(q.row_a, q.row_b);
-  }
-
-  // Same machine auto-merge as the composite path (same label gate).
-  if (em_.num_labels() < kMinLabelsForAutoMerge) {
-    trace.machine.apply += apply_watch.Seconds();
-    trace.questions_asked = asked_t + asked_a + asked_m + asked_o;
-    trace.user_seconds =
-        cost_model_.SingleGroupSeconds(asked_t, asked_a, asked_m, asked_o);
-    trace.emd = CurrentEmd();
-    return trace;
-  }
-  ClusteringOptions cluster_options;
-  cluster_options.auto_merge_threshold = options_.auto_merge_threshold;
-  EntityClusters clusters =
-      ClusterEntities(table_.num_rows(), scored_, em_, cluster_options);
-  for (const std::vector<size_t>& cluster : clusters.MultiMemberClusters()) {
-    std::vector<size_t> live;
-    for (size_t r : cluster) {
-      if (!table_.is_dead(r)) live.push_back(r);
-    }
-    // Machine merges consolidate locally only: even a rare wrong cluster
-    // would poison the whole column if its spellings were standardized
-    // table-wide. The witnessed variant pairs become A-questions, so the
-    // user-verified path performs the actual standardization.
-    if (live.size() >= 2) {
-      RecordWitnessedSpellings(live);
-      MergeRows(&table_, live);
-    }
-  }
-  trace.machine.apply += apply_watch.Seconds();
-
-  trace.questions_asked = asked_t + asked_a + asked_m + asked_o;
-  trace.user_seconds =
-      cost_model_.SingleGroupSeconds(asked_t, asked_a, asked_m, asked_o);
-  trace.emd = CurrentEmd();
-  return trace;
+  ctx_.trace.emd = CurrentEmd();
+  return ctx_.trace;
 }
 
 Result<std::vector<IterationTrace>> VisCleanSession::Run() {
@@ -660,7 +95,7 @@ Result<std::vector<IterationTrace>> VisCleanSession::Run() {
   initial.iteration = 0;
   initial.emd = CurrentEmd();
   traces.push_back(initial);
-  for (size_t i = 0; i < options_.budget; ++i) {
+  for (size_t i = 0; i < ctx_.options.budget; ++i) {
     Result<IterationTrace> trace = RunIteration();
     if (!trace.ok()) return trace.status();
     traces.push_back(std::move(trace).value());
@@ -669,11 +104,11 @@ Result<std::vector<IterationTrace>> VisCleanSession::Run() {
 }
 
 Result<VisData> VisCleanSession::CurrentVis() const {
-  return ExecuteVql(query_, table_);
+  return ExecuteVql(ctx_.query, ctx_.table);
 }
 
 Result<VisData> VisCleanSession::GroundTruthVis() const {
-  return ExecuteVql(query_, oracle_->clean);
+  return ExecuteVql(ctx_.query, oracle_->clean);
 }
 
 double VisCleanSession::CurrentEmd() const {

@@ -1,82 +1,32 @@
-// VisCleanSession: the full interactive-cleaning loop of Fig. 6.
+// VisCleanSession: thin driver for the interactive-cleaning loop of Fig. 6.
+//
+// The loop itself is a staged pipeline (src/core/pipeline.h) over a shared
+// EngineContext (src/core/engine_context.h):
 //
 //   (1) visualization specification  -> constructor (query + dirty table)
-//   (2) initialization               -> DetectQuestions (EM, kNN, Algorithm 1)
-//   (3) ERG construction             -> BuildErg
-//   (4) CQG selection                -> benefit model + selector
-//   (5) user interaction             -> SimulatedUser answers the CQG
-//   (6) repair + retrain             -> ApplyAnswers, EM retrain
+//   (2) initialization               -> Initialize (selector, pool, stages)
+//   (3)-(6) detect / train / generate / benefit / select / ask / apply
+//                                    -> the stage list, one Run() each
 //   (7) refresh visualization        -> CurrentVis / trace EMD
 //
-// The same class also runs the paper's Single-question baseline (Section
-// VII, algorithm (vi)) so both strategies share every other component.
+// The session owns the context and the stage list; both the composite and
+// the Single-question baseline strategies are stage configurations
+// (MakeStages), so every component is shared.
 #ifndef VISCLEAN_CORE_SESSION_H_
 #define VISCLEAN_CORE_SESSION_H_
 
-#include <map>
 #include <memory>
-#include <set>
-#include <utility>
-#include <string>
 #include <vector>
 
-#include "clean/question.h"
 #include "common/status.h"
-#include "data/table.h"
+#include "core/engine_context.h"
+#include "core/pipeline.h"
 #include "datagen/generator.h"
 #include "dist/vis_data.h"
-#include "em/em_model.h"
-#include "graph/erg.h"
-#include "graph/selector.h"
-#include "user/cost_model.h"
-#include "user/simulated_user.h"
-#include "vql/ast.h"
 
 namespace visclean {
 
-/// \brief Questioning strategy: composite (CQG) or isolated singles.
-enum class QuestionStrategy { kComposite, kSingle };
-
-/// \brief Session configuration.
-struct SessionOptions {
-  size_t k = 10;                 ///< CQG size (paper default)
-  size_t budget = 15;            ///< iterations (paper default)
-  std::string selector = "gss";  ///< see MakeSelector
-  QuestionStrategy strategy = QuestionStrategy::kComposite;
-  /// #single questions per iteration in kSingle mode (the paper's m,
-  /// matched to the #edges of a typical CQG).
-  size_t single_m = 10;
-
-  uint64_t seed = 7;
-  double auto_merge_threshold = 0.95;  ///< EM prob for machine auto-merge
-  double sim_join_lambda = 0.5;        ///< λ of Algorithm 1
-  size_t max_t_questions = 200;        ///< |Q_T| cap per iteration
-  size_t max_m_questions = 150;        ///< |Q_M| cap per iteration
-  size_t blocking_max_block = 16;      ///< token-blocking block-size cap
-  size_t max_seed_examples = 4000;     ///< weak-supervision training cap
-  ForestOptions forest;                ///< EM model hyperparameters
-};
-
-/// \brief Per-component machine seconds of one iteration (Fig. 18).
-struct ComponentTimes {
-  double detect = 0;   ///< detect errors / generate repairs (incl. kNN)
-  double train = 0;    ///< train (fine-tune) the EM model
-  double benefit = 0;  ///< estimate benefit over the ERG
-  double select = 0;   ///< CQG selection
-  double apply = 0;    ///< repair errors + refresh visualization
-
-  double Total() const { return detect + train + benefit + select + apply; }
-};
-
-/// \brief Everything recorded about one iteration.
-struct IterationTrace {
-  size_t iteration = 0;        ///< 1-based
-  double emd = 0.0;            ///< EMD(Q(D), Q(D_g)) after this iteration
-  double user_seconds = 0.0;   ///< simulated human cost of this iteration
-  size_t questions_asked = 0;  ///< edge + vertex questions (or singles)
-  double cqg_benefit = 0.0;    ///< estimated benefit of the asked CQG
-  ComponentTimes machine;      ///< machine time breakdown
-};
+class ThreadPool;
 
 /// \brief One end-to-end interactive cleaning run.
 class VisCleanSession {
@@ -87,12 +37,15 @@ class VisCleanSession {
   VisCleanSession(const DirtyDataset* oracle, VqlQuery query,
                   SessionOptions options = {}, UserOptions user_options = {},
                   UserCostModel cost_model = {});
+  ~VisCleanSession();
 
-  /// Step (2): detects errors, trains the EM model, builds the first ERG.
-  /// Must be called once before RunIteration/Run.
+  /// Step (2): resolves the selector, builds the stage list for the
+  /// configured strategy, and (for options.threads > 1) starts the worker
+  /// pool. Must be called once before RunIteration/Run.
   Status Initialize();
 
-  /// One interaction round. Returns the iteration's trace.
+  /// One interaction round: runs every pipeline stage over the context,
+  /// recording per-stage wall time. Returns the iteration's trace.
   Result<IterationTrace> RunIteration();
 
   /// Runs until the budget is exhausted; returns all traces (including an
@@ -106,69 +59,24 @@ class VisCleanSession {
   /// EMD between the two above.
   double CurrentEmd() const;
 
-  const Table& table() const { return table_; }
-  const Erg& erg() const { return erg_; }
-  const QuestionSet& questions() const { return questions_; }
+  const Table& table() const { return ctx_.table; }
+  const Erg& erg() const { return ctx_.erg; }
+  const QuestionSet& questions() const { return ctx_.questions; }
+  /// The full stage blackboard (read-only; tests and benches introspect it).
+  const EngineContext& context() const { return ctx_; }
+  /// The configured stage list (empty before Initialize()).
+  const std::vector<std::unique_ptr<PipelineStage>>& stages() const {
+    return stages_;
+  }
 
  private:
-  void DetectQuestions(ComponentTimes* times);
-  void BuildErg();
-  Result<IterationTrace> RunCompositeIteration();
-  Result<IterationTrace> RunSingleIteration();
-  /// Confirm-edge repair: merge two rows + standardize their X spellings.
-  void ApplyConfirmedMatch(size_t row_a, size_t row_b);
-  /// Archives the X spelling variants of a cluster about to be machine-
-  /// merged as future A-questions.
-  void RecordWitnessedSpellings(const std::vector<size_t>& rows);
-  /// Records a user-asserted transformation `variant` -> `target` on
-  /// `local_rows`: repairs those rows immediately and applies the
-  /// transformation table-wide once a second independent answer agrees.
-  void VoteTransformation(size_t column, const std::string& variant,
-                          const std::string& target,
-                          const std::vector<size_t>& local_rows);
-  /// Golden-record standardization: rewrites every live cell that carries
-  /// any of the X spellings of the co-referring `rows` to one target
-  /// spelling — the user's preferred form when `ask_user` (user-confirmed
-  /// merges), else the frequency-elected form (machine merges).
-  void StandardizeXAcrossRows(const std::vector<size_t>& rows,
-                              bool ask_user = true);
-  size_t XColumnOrNpos() const;
-
   const DirtyDataset* oracle_;
-  VqlQuery query_;
-  SessionOptions options_;
-  UserCostModel cost_model_;
-
-  Table table_;
-  SimulatedUser user_;
-  EmModel em_;
-  std::unique_ptr<CqgSelector> selector_;
-
-  std::vector<std::pair<size_t, size_t>> candidates_;
-  std::vector<ScoredPair> scored_;
-  QuestionSet questions_;
-  Erg erg_;
+  EngineContext ctx_;
+  std::vector<std::unique_ptr<PipelineStage>> stages_;
+  std::unique_ptr<ThreadPool> pool_;  ///< lives behind ctx_.pool
 
   size_t iteration_ = 0;
   bool initialized_ = false;
-  uint64_t retrain_counter_ = 0;
-
-  /// Already-answered questions must not be asked again: spelling pairs the
-  /// user ruled on (A-questions; resolved pairs vanish on their own, this
-  /// remembers rejections) and (row, column) outlier verdicts.
-  std::set<std::pair<std::string, std::string>> a_answered_;
-  std::set<std::pair<size_t, size_t>> o_answered_;
-
-  /// Spelling pairs witnessed inside machine-merged clusters (Strategy 1
-  /// evidence that physical merging would otherwise destroy): proposed as
-  /// A-questions in later iterations until the user rules on them.
-  std::vector<AQuestion> merge_witnessed_a_;
-
-  /// Corroboration ledger for table-wide standardization: variant spelling
-  /// -> (target spelling, #user answers that asserted it). One answer only
-  /// repairs the rows at hand; two agreeing answers rewrite the column —
-  /// so a single wrong label (Exp-3) cannot poison a whole venue.
-  std::map<std::string, std::pair<std::string, int>> transform_votes_;
 };
 
 }  // namespace visclean

@@ -1,51 +1,12 @@
 #include "graph/selector.h"
 
-#include <cstdlib>
-
-#include "graph/bnb.h"
-#include "graph/exact_selector.h"
-#include "graph/gss.h"
-#include "graph/random_selector.h"
+#include "graph/selector_registry.h"
 
 namespace visclean {
 
 Result<std::unique_ptr<CqgSelector>> MakeSelector(const std::string& name,
                                                   uint64_t seed) {
-  if (name == "gss" || name == "GSS") {
-    return std::unique_ptr<CqgSelector>(new GssSelector());
-  }
-  if (name == "gss+" || name == "GSS+") {
-    return std::unique_ptr<CqgSelector>(new GssPlusSelector());
-  }
-  if (name == "bnb" || name == "B&B" || name == "b&b") {
-    // Factory-made B&B carries a practical expansion cap so sessions and
-    // benches terminate; construct BnbSelector directly for the unbounded
-    // exact search.
-    BnbOptions options;
-    options.max_expansions = 2000000;
-    return std::unique_ptr<CqgSelector>(new BnbSelector(options));
-  }
-  if (name == "random" || name == "Random") {
-    return std::unique_ptr<CqgSelector>(new RandomSelector(seed));
-  }
-  if (name == "exact" || name == "Exact") {
-    return std::unique_ptr<CqgSelector>(new ExactSelector());
-  }
-  // "<alpha>-bnb" (e.g. "5-bnb", "10-bnb"): alpha-approximate B&B.
-  size_t dash = name.find("-");
-  if (dash != std::string::npos) {
-    std::string suffix = name.substr(dash + 1);
-    if (suffix == "bnb" || suffix == "B&B" || suffix == "b&b") {
-      double alpha = std::strtod(name.c_str(), nullptr);
-      if (alpha > 0.0) {
-        BnbOptions options;
-        options.alpha = alpha;
-        options.max_expansions = 2000000;
-        return std::unique_ptr<CqgSelector>(new BnbSelector(options));
-      }
-    }
-  }
-  return Status::InvalidArgument("unknown selector '" + name + "'");
+  return SelectorRegistry::Instance().Create(name, seed);
 }
 
 }  // namespace visclean

@@ -30,8 +30,11 @@ class CqgSelector {
 };
 
 /// Creates a selector by name: "gss", "gss+", "bnb", "5-bnb", "10-bnb",
-/// "random", "exact". The alpha-B&B names parse the leading integer as the
-/// approximation ratio. `seed` only affects "random". Unknown names error.
+/// "random", "exact". Thin wrapper over SelectorRegistry::Create
+/// (graph/selector_registry.h), where selectors self-register. The
+/// alpha-B&B family parses the prefix strictly as a positive number
+/// ("5x-bnb" is rejected). `seed` only affects "random". Unknown names
+/// error.
 Result<std::unique_ptr<CqgSelector>> MakeSelector(const std::string& name,
                                                   uint64_t seed = 7);
 

@@ -1,0 +1,149 @@
+#include "graph/selector_registry.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "graph/bnb.h"
+#include "graph/exact_selector.h"
+#include "graph/gss.h"
+#include "graph/random_selector.h"
+
+namespace visclean {
+
+SelectorRegistry& SelectorRegistry::Instance() {
+  static SelectorRegistry* registry = new SelectorRegistry();
+  return *registry;
+}
+
+void SelectorRegistry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+void SelectorRegistry::RegisterPattern(const std::string& label,
+                                       PatternMatcher matches,
+                                       PatternFactory factory) {
+  patterns_.push_back({label, std::move(matches), std::move(factory)});
+}
+
+Result<std::unique_ptr<CqgSelector>> SelectorRegistry::Create(
+    const std::string& name, uint64_t seed) const {
+  auto it = factories_.find(name);
+  if (it != factories_.end()) return it->second(seed);
+  for (const Pattern& pattern : patterns_) {
+    if (pattern.matches(name)) return pattern.factory(name, seed);
+  }
+  return Status::InvalidArgument("unknown selector '" + name + "'");
+}
+
+std::vector<std::string> SelectorRegistry::ExactNames() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+SelectorRegistrar::SelectorRegistrar(std::initializer_list<const char*> names,
+                                     SelectorRegistry::Factory factory) {
+  for (const char* name : names) {
+    SelectorRegistry::Instance().Register(name, factory);
+  }
+}
+
+SelectorRegistrar::SelectorRegistrar(const char* label,
+                                     SelectorRegistry::PatternMatcher matches,
+                                     SelectorRegistry::PatternFactory factory) {
+  SelectorRegistry::Instance().RegisterPattern(label, std::move(matches),
+                                               std::move(factory));
+}
+
+// ------------------------------------------------- built-in registrations --
+
+namespace {
+
+// Factory-made B&B carries a practical expansion cap so sessions and
+// benches terminate; construct BnbSelector directly for the unbounded
+// exact search.
+constexpr size_t kBnbExpansionCap = 2000000;
+
+bool IsBnbSuffix(const std::string& suffix) {
+  return suffix == "bnb" || suffix == "B&B" || suffix == "b&b";
+}
+
+// Strict parse of the "<alpha>" prefix of "<alpha>-bnb": the entire prefix
+// must be a finite number (no trailing junk — strtod's lax prefix rule used
+// to accept "5x-bnb" as alpha 5). Returns nullopt on any malformation;
+// range/positivity is checked by the caller so it can report precisely.
+std::optional<double> ParseStrictDouble(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(begin, &end);
+  if (end != begin + text.size()) return std::nullopt;  // trailing junk
+  if (errno == ERANGE || !std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+const SelectorRegistrar kGss(  // NOLINT(cert-err58-cpp)
+    {"gss", "GSS"},
+    [](uint64_t) -> Result<std::unique_ptr<CqgSelector>> {
+      return std::unique_ptr<CqgSelector>(new GssSelector());
+    });
+
+const SelectorRegistrar kGssPlus(  // NOLINT(cert-err58-cpp)
+    {"gss+", "GSS+"},
+    [](uint64_t) -> Result<std::unique_ptr<CqgSelector>> {
+      return std::unique_ptr<CqgSelector>(new GssPlusSelector());
+    });
+
+const SelectorRegistrar kBnb(  // NOLINT(cert-err58-cpp)
+    {"bnb", "B&B", "b&b"},
+    [](uint64_t) -> Result<std::unique_ptr<CqgSelector>> {
+      BnbOptions options;
+      options.max_expansions = kBnbExpansionCap;
+      return std::unique_ptr<CqgSelector>(new BnbSelector(options));
+    });
+
+const SelectorRegistrar kRandom(  // NOLINT(cert-err58-cpp)
+    {"random", "Random"},
+    [](uint64_t seed) -> Result<std::unique_ptr<CqgSelector>> {
+      return std::unique_ptr<CqgSelector>(new RandomSelector(seed));
+    });
+
+const SelectorRegistrar kExact(  // NOLINT(cert-err58-cpp)
+    {"exact", "Exact"},
+    [](uint64_t) -> Result<std::unique_ptr<CqgSelector>> {
+      return std::unique_ptr<CqgSelector>(new ExactSelector());
+    });
+
+// "<alpha>-bnb" (e.g. "5-bnb", "2.5-bnb"): alpha-approximate B&B. The
+// family claims every name with a -bnb/-B&B/-b&b suffix and a non-empty
+// prefix, then validates the prefix strictly.
+const SelectorRegistrar kAlphaBnb(  // NOLINT(cert-err58-cpp)
+    "<alpha>-bnb",
+    [](const std::string& name) {
+      size_t dash = name.rfind('-');
+      return dash != std::string::npos && dash > 0 &&
+             IsBnbSuffix(name.substr(dash + 1));
+    },
+    [](const std::string& name,
+       uint64_t) -> Result<std::unique_ptr<CqgSelector>> {
+      size_t dash = name.rfind('-');
+      std::optional<double> alpha = ParseStrictDouble(name.substr(0, dash));
+      if (!alpha.has_value() || *alpha <= 0.0) {
+        return Status::InvalidArgument(
+            "invalid alpha in selector '" + name +
+            "': expected '<positive number>-bnb' (e.g. '5-bnb')");
+      }
+      BnbOptions options;
+      options.alpha = *alpha;
+      options.max_expansions = kBnbExpansionCap;
+      return std::unique_ptr<CqgSelector>(new BnbSelector(options));
+    });
+
+}  // namespace
+
+}  // namespace visclean

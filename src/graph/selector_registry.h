@@ -1,0 +1,89 @@
+// Self-registering registry of CQG-selection algorithms.
+//
+// Selectors register declaratively — an exact-name entry per alias, or a
+// pattern entry for parameterized families like "<alpha>-bnb" — via static
+// SelectorRegistrar objects; MakeSelector (graph/selector.h) is a thin
+// wrapper over Create(). The built-in selectors register themselves in
+// selector_registry.cc (kept there, not in each selector's .cc, so static
+// library dead-stripping can never drop a registration); out-of-tree
+// selectors add their own static SelectorRegistrar and become reachable by
+// name without touching any factory if-chain.
+#ifndef VISCLEAN_GRAPH_SELECTOR_REGISTRY_H_
+#define VISCLEAN_GRAPH_SELECTOR_REGISTRY_H_
+
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/selector.h"
+
+namespace visclean {
+
+/// \brief Process-wide name -> selector-factory registry.
+class SelectorRegistry {
+ public:
+  /// Builds a selector; `seed` is forwarded (only randomized selectors
+  /// consume it).
+  using Factory =
+      std::function<Result<std::unique_ptr<CqgSelector>>(uint64_t seed)>;
+  /// Family factory: receives the full requested name (e.g. "5-bnb") and
+  /// either builds the selector or returns a descriptive error (malformed
+  /// parameters must not fall through to "unknown selector").
+  using PatternFactory = std::function<Result<std::unique_ptr<CqgSelector>>(
+      const std::string& name, uint64_t seed)>;
+  /// Whether a family claims the requested name (syntax only, not validity).
+  using PatternMatcher = std::function<bool(const std::string& name)>;
+
+  /// The process-wide instance (constructed on first use; safe to call from
+  /// static registrar constructors).
+  static SelectorRegistry& Instance();
+
+  /// Registers an exact (case-sensitive) name. Later registrations of the
+  /// same name win, so tests can shadow a built-in.
+  void Register(const std::string& name, Factory factory);
+  /// Registers a name family. Families are consulted in registration order
+  /// after exact names.
+  void RegisterPattern(const std::string& label, PatternMatcher matches,
+                       PatternFactory factory);
+
+  /// Resolves `name`: exact entries first, then the first matching family.
+  /// InvalidArgument when nothing claims the name or a family rejects its
+  /// parameters.
+  Result<std::unique_ptr<CqgSelector>> Create(const std::string& name,
+                                              uint64_t seed) const;
+
+  /// All registered exact names (sorted; families are not enumerable).
+  std::vector<std::string> ExactNames() const;
+
+ private:
+  SelectorRegistry() = default;
+
+  struct Pattern {
+    std::string label;
+    PatternMatcher matches;
+    PatternFactory factory;
+  };
+
+  std::map<std::string, Factory> factories_;
+  std::vector<Pattern> patterns_;
+};
+
+/// \brief RAII helper: declare a namespace-scope `const SelectorRegistrar`
+/// to register a selector at static-initialization time.
+class SelectorRegistrar {
+ public:
+  /// Registers `factory` under every alias in `names`.
+  SelectorRegistrar(std::initializer_list<const char*> names,
+                    SelectorRegistry::Factory factory);
+  /// Registers a name family.
+  SelectorRegistrar(const char* label, SelectorRegistry::PatternMatcher matches,
+                    SelectorRegistry::PatternFactory factory);
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_GRAPH_SELECTOR_REGISTRY_H_

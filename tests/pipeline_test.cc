@@ -1,0 +1,216 @@
+// Tests for the staged pipeline (core/pipeline.h), the parallel benefit
+// engine, and the selector registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/benefit_model.h"
+#include "core/pipeline.h"
+#include "core/session.h"
+#include "core/single_question.h"
+#include "datagen/publications.h"
+#include "graph/selector_registry.h"
+#include "vql/parser.h"
+
+namespace visclean {
+namespace {
+
+DirtyDataset SmallPubs(uint64_t seed = 17) {
+  PublicationsOptions options;
+  options.num_entities = 250;
+  options.seed = seed;
+  return GeneratePublications(options);
+}
+
+VqlQuery Q1Style() {
+  return ParseVql(
+             "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D1 "
+             "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10")
+      .value();
+}
+
+SessionOptions FastOptions() {
+  SessionOptions options;
+  options.k = 8;
+  options.budget = 5;
+  options.max_t_questions = 80;
+  options.forest.num_trees = 10;
+  return options;
+}
+
+std::vector<std::string> StageNames(
+    const std::vector<std::unique_ptr<PipelineStage>>& stages) {
+  std::vector<std::string> names;
+  for (const auto& stage : stages) names.push_back(stage->name());
+  return names;
+}
+
+// ---------------------------------------------------------------- stages --
+
+TEST(PipelineTest, FactoryBuildsStrategyConfigurations) {
+  EXPECT_EQ(StageNames(MakeStages(QuestionStrategy::kComposite)),
+            (std::vector<std::string>{"detect", "train", "generate", "benefit",
+                                      "select", "ask", "apply"}));
+  EXPECT_EQ(StageNames(MakeStages(QuestionStrategy::kSingle)),
+            (std::vector<std::string>{"detect", "train", "generate", "ask",
+                                      "apply"}));
+}
+
+TEST(PipelineTest, StageOrderingAndTimingCaptured) {
+  DirtyDataset data = SmallPubs();
+  VisCleanSession session(&data, Q1Style(), FastOptions());
+  ASSERT_TRUE(session.Initialize().ok());
+  Result<IterationTrace> trace = session.RunIteration();
+  ASSERT_TRUE(trace.ok());
+
+  const IterationTrace& t = trace.value();
+  std::vector<std::string> ran;
+  double stage_sum = 0.0;
+  for (const StageTime& st : t.stage_times) {
+    ran.push_back(st.stage);
+    EXPECT_GE(st.seconds, 0.0) << st.stage;
+    stage_sum += st.seconds;
+  }
+  EXPECT_EQ(ran, StageNames(session.stages()));
+  // The Fig. 18 buckets aggregate exactly the per-stage timings.
+  EXPECT_NEAR(t.machine.Total(), stage_sum, 1e-9);
+  EXPECT_GT(t.machine.train, 0.0) << "EM retraining cannot take zero time";
+}
+
+TEST(PipelineTest, SingleStrategySkipsBenefitAndSelect) {
+  DirtyDataset data = SmallPubs();
+  VisCleanSession session(&data, Q1Style(),
+                          MakeSingleOptions(FastOptions()));
+  ASSERT_TRUE(session.Initialize().ok());
+  Result<IterationTrace> trace = session.RunIteration();
+  ASSERT_TRUE(trace.ok());
+  for (const StageTime& st : trace.value().stage_times) {
+    EXPECT_NE(st.stage, "benefit");
+    EXPECT_NE(st.stage, "select");
+  }
+  EXPECT_EQ(trace.value().machine.benefit, 0.0);
+  EXPECT_EQ(trace.value().machine.select, 0.0);
+  EXPECT_GT(trace.value().questions_asked, 0u);
+}
+
+// ------------------------------------------------------- parallel benefit --
+
+TEST(BenefitParallelTest, ThreadedBenefitsAreByteIdenticalToSerial) {
+  DirtyDataset data = SmallPubs(23);
+  VisCleanSession session(&data, Q1Style(), FastOptions());
+  ASSERT_TRUE(session.Initialize().ok());
+  ASSERT_TRUE(session.RunIteration().ok());  // populates a real ERG
+  ASSERT_GT(session.erg().num_edges(), 10u)
+      << "need a non-trivial ERG for the comparison to mean anything";
+
+  BenefitOptions options;
+  options.x_column = XColumnOrNoColumn(session.context());
+
+  Table serial_table = session.table().Clone();
+  Erg serial_erg = session.erg();
+  options.threads = 1;
+  size_t serial_renders =
+      EstimateBenefits(Q1Style(), &serial_table, &serial_erg, options);
+
+  Table parallel_table = session.table().Clone();
+  Erg parallel_erg = session.erg();
+  options.threads = 4;
+  size_t parallel_renders =
+      EstimateBenefits(Q1Style(), &parallel_table, &parallel_erg, options);
+
+  EXPECT_EQ(serial_renders, parallel_renders);
+  ASSERT_EQ(serial_erg.num_edges(), parallel_erg.num_edges());
+  for (size_t e = 0; e < serial_erg.num_edges(); ++e) {
+    // Bit-identical, not approximately equal: the parallel path must
+    // reproduce the serial reduction exactly.
+    EXPECT_EQ(serial_erg.edge(e).benefit, parallel_erg.edge(e).benefit)
+        << "edge " << e;
+  }
+}
+
+TEST(BenefitParallelTest, ThreadedSessionMatchesSerialSessionExactly) {
+  DirtyDataset data = SmallPubs(29);
+  SessionOptions serial_options = FastOptions();
+  serial_options.budget = 3;
+  VisCleanSession serial(&data, Q1Style(), serial_options);
+  Result<std::vector<IterationTrace>> serial_traces = serial.Run();
+  ASSERT_TRUE(serial_traces.ok());
+
+  SessionOptions threaded_options = serial_options;
+  threaded_options.threads = 4;
+  VisCleanSession threaded(&data, Q1Style(), threaded_options);
+  Result<std::vector<IterationTrace>> threaded_traces = threaded.Run();
+  ASSERT_TRUE(threaded_traces.ok());
+
+  ASSERT_EQ(serial_traces.value().size(), threaded_traces.value().size());
+  for (size_t i = 0; i < serial_traces.value().size(); ++i) {
+    EXPECT_EQ(serial_traces.value()[i].emd, threaded_traces.value()[i].emd)
+        << "iteration " << i;
+    EXPECT_EQ(serial_traces.value()[i].questions_asked,
+              threaded_traces.value()[i].questions_asked)
+        << "iteration " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunksCoverRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<int> hits(1013, 0);
+  pool.ParallelChunks(hits.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+  // Empty and smaller-than-pool ranges must also terminate.
+  pool.ParallelChunks(0, [&](size_t, size_t, size_t) { ADD_FAILURE(); });
+  std::vector<int> two(2, 0);
+  pool.ParallelChunks(two.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++two[i];
+  });
+  EXPECT_EQ(two, (std::vector<int>{1, 1}));
+}
+
+// ------------------------------------------------------ selector registry --
+
+TEST(SelectorRegistryTest, ResolvesEveryNameTheOldFactoryAccepted) {
+  const struct {
+    const char* request;
+    const char* reported;
+  } kCases[] = {
+      {"gss", "GSS"},       {"GSS", "GSS"},     {"gss+", "GSS+"},
+      {"GSS+", "GSS+"},     {"bnb", "B&B"},     {"B&B", "B&B"},
+      {"b&b", "B&B"},       {"random", "Random"}, {"Random", "Random"},
+      {"exact", "Exact"},   {"Exact", "Exact"}, {"5-bnb", "5-B&B"},
+      {"10-bnb", "10-B&B"},
+  };
+  for (const auto& c : kCases) {
+    Result<std::unique_ptr<CqgSelector>> selector = MakeSelector(c.request);
+    ASSERT_TRUE(selector.ok()) << c.request;
+    EXPECT_EQ(selector.value()->name(), c.reported) << c.request;
+  }
+  // Fractional alphas are legal parameters of the family.
+  EXPECT_TRUE(MakeSelector("2.5-bnb").ok());
+}
+
+TEST(SelectorRegistryTest, RejectsMalformedAlphaStrictly) {
+  // strtod's lax prefix rule used to accept all of these as alpha 5 / 0.
+  for (const char* bad :
+       {"5x-bnb", "x-bnb", "-bnb", "5..0-bnb", "nan-bnb", "0-bnb", "-3-bnb",
+        "5-", "nonsense"}) {
+    EXPECT_FALSE(MakeSelector(bad).ok()) << bad;
+  }
+}
+
+TEST(SelectorRegistryTest, ExactNamesEnumerateAliases) {
+  std::vector<std::string> names = SelectorRegistry::Instance().ExactNames();
+  EXPECT_GE(names.size(), 11u);
+  for (const char* expected : {"gss", "GSS+", "b&b", "random", "Exact"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+}  // namespace
+}  // namespace visclean
