@@ -1,9 +1,12 @@
 // Benefit-estimation scaling: wall time of EstimateBenefits over a real
-// session ERG at 1/2/4/8 worker threads. Fig. 18 shows benefit estimation
-// dominating machine time at scale, so this is the perf trajectory we track
-// from PR 1 onward; results land in BENCH_benefit_scaling.json next to the
-// human-readable table. The run also re-verifies the determinism contract:
-// every thread count must produce bit-identical edge benefits.
+// session ERG at 1/2/4/8 worker threads, in both render modes — full
+// recompute per candidate (BenefitMode::kFull) and the provenance-indexed
+// incremental path (BenefitMode::kAuto with a prepared BenefitEngine).
+// Fig. 18 shows benefit estimation dominating machine time at scale, so this
+// is the perf trajectory we track from PR 1 onward; results land in
+// BENCH_benefit_scaling.json next to the human-readable table. The run also
+// re-verifies the determinism contract: every (thread count, mode) pair must
+// produce bit-identical edge benefits.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -26,6 +29,15 @@ double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+struct SeriesPoint {
+  size_t threads = 0;
+  double full_seconds = 0.0;
+  double inc_seconds = 0.0;
+  size_t renders = 0;
+  size_t delta_evals = 0;
+  size_t full_evals = 0;
+};
+
 int Run(bool full) {
   // Fig. 17-scale publications workload: one warm-up iteration of the Q1
   // session yields the ERG whose benefits the loop re-estimates below.
@@ -39,21 +51,86 @@ int Run(bool full) {
   BenefitOptions options;
   options.x_column = XColumnOrNoColumn(session.context());
 
+  // The incremental engine is prepared once against the post-warm-up table
+  // (exactly what BenefitStage does per iteration) and shared by every
+  // timed call: the baseline/provenance are immutable during estimation.
+  BenefitEngine engine;
+  Table engine_table = session.table().Clone();
+  engine.Prepare(session.context().query, &engine_table);
+
   const size_t cores = std::max(1u, std::thread::hardware_concurrency());
   std::printf("=== Benefit-estimation scaling (Q1, %zu live rows, %zu ERG "
-              "edges, %zu cores) ===\n\n",
+              "edges, %zu cores, incremental %s) ===\n\n",
               session.table().num_live_rows(), session.erg().num_edges(),
-              cores);
+              cores, engine.incremental_ready() ? "ready" : "UNAVAILABLE");
   if (cores == 1) {
     std::printf("NOTE: single-core machine — expect speedup ~1.0x; this run "
                 "only tracks overhead + determinism.\n\n");
   }
-  std::printf("%8s %12s %9s %9s\n", "threads", "seconds", "speedup",
-              "renders");
+  std::printf("%8s %12s %9s %12s %11s %9s\n", "threads", "full_sec",
+              "speedup", "incr_sec", "incr_gain", "renders");
 
   constexpr int kReps = 3;
   std::vector<double> baseline_benefits;
-  double baseline_seconds = 0.0;
+  std::vector<SeriesPoint> series;
+
+  for (size_t threads : {1, 2, 4, 8}) {
+    options.threads = threads;
+    SeriesPoint point;
+    point.threads = threads;
+
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool incremental = mode == 1;
+      BenefitStats stats;
+      options.engine = incremental ? &engine : nullptr;
+      options.stats = incremental ? &stats : nullptr;
+      double best = 0.0;
+      size_t renders = 0;
+      Erg erg = session.erg();
+      for (int rep = 0; rep < kReps; ++rep) {
+        Table table = session.table().Clone();
+        erg = session.erg();
+        auto start = std::chrono::steady_clock::now();
+        renders = EstimateBenefits(session.context().query, &table, &erg,
+                                   options);
+        double elapsed = Seconds(start);
+        if (rep == 0 || elapsed < best) best = elapsed;
+      }
+      std::vector<double> benefits;
+      benefits.reserve(erg.num_edges());
+      for (size_t e = 0; e < erg.num_edges(); ++e) {
+        benefits.push_back(erg.edge(e).benefit);
+      }
+      if (threads == 1 && !incremental) {
+        baseline_benefits = benefits;
+      } else if (benefits != baseline_benefits) {
+        std::fprintf(stderr,
+                     "FATAL: %zu-thread %s benefits diverge from serial "
+                     "full recompute\n",
+                     threads, incremental ? "incremental" : "full");
+        return 1;
+      }
+      if (incremental) {
+        point.inc_seconds = best;
+        point.delta_evals = stats.delta_evals / kReps;
+        point.full_evals = stats.full_evals / kReps;
+      } else {
+        point.full_seconds = best;
+        point.renders = renders;
+      }
+    }
+    series.push_back(point);
+    std::printf("%8zu %12.4f %8.2fx %12.4f %10.2fx %9zu\n", point.threads,
+                point.full_seconds,
+                series.front().full_seconds / point.full_seconds,
+                point.inc_seconds, point.full_seconds / point.inc_seconds,
+                point.renders);
+  }
+
+  // Headline number: serial incremental vs serial full recompute — the
+  // per-candidate dirty-group re-aggregation payoff, no threading involved.
+  const double incremental_speedup =
+      series.front().full_seconds / series.front().inc_seconds;
 
   JsonWriter json = JsonWriter::Pretty();
   json.BeginObject();
@@ -69,49 +146,28 @@ int Run(bool full) {
   json.Int(kReps);
   json.Key("hardware_cores");
   json.Int(static_cast<int64_t>(cores));
+  json.Key("incremental_speedup");
+  json.Number(incremental_speedup);
   json.Key("series");
   json.BeginArray();
-
-  for (size_t threads : {1, 2, 4, 8}) {
-    options.threads = threads;
-    double best = 0.0;
-    size_t renders = 0;
-    Erg erg = session.erg();
-    for (int rep = 0; rep < kReps; ++rep) {
-      Table table = session.table().Clone();
-      erg = session.erg();
-      auto start = std::chrono::steady_clock::now();
-      renders = EstimateBenefits(session.context().query, &table, &erg,
-                                 options);
-      double elapsed = Seconds(start);
-      if (rep == 0 || elapsed < best) best = elapsed;
-    }
-    std::vector<double> benefits;
-    benefits.reserve(erg.num_edges());
-    for (size_t e = 0; e < erg.num_edges(); ++e) {
-      benefits.push_back(erg.edge(e).benefit);
-    }
-    if (threads == 1) {
-      baseline_benefits = benefits;
-      baseline_seconds = best;
-    } else if (benefits != baseline_benefits) {
-      std::fprintf(stderr,
-                   "FATAL: %zu-thread benefits diverge from serial\n",
-                   threads);
-      return 1;
-    }
-    std::printf("%8zu %12.4f %8.2fx %9zu\n", threads, best,
-                baseline_seconds / best, renders);
-
+  for (const SeriesPoint& p : series) {
     json.BeginObject();
     json.Key("threads");
-    json.Int(static_cast<int64_t>(threads));
+    json.Int(static_cast<int64_t>(p.threads));
     json.Key("seconds");
-    json.Number(best);
+    json.Number(p.full_seconds);
     json.Key("speedup");
-    json.Number(baseline_seconds / best);
+    json.Number(series.front().full_seconds / p.full_seconds);
+    json.Key("seconds_incremental");
+    json.Number(p.inc_seconds);
+    json.Key("incremental_speedup");
+    json.Number(p.full_seconds / p.inc_seconds);
+    json.Key("delta_evals");
+    json.Int(static_cast<int64_t>(p.delta_evals));
+    json.Key("full_evals");
+    json.Int(static_cast<int64_t>(p.full_evals));
     json.Key("renders");
-    json.Int(static_cast<int64_t>(renders));
+    json.Int(static_cast<int64_t>(p.renders));
     json.EndObject();
   }
   json.EndArray();
@@ -119,8 +175,10 @@ int Run(bool full) {
 
   std::ofstream out("BENCH_benefit_scaling.json");
   out << json.TakeString() << "\n";
-  std::printf("\nwrote BENCH_benefit_scaling.json (all thread counts "
-              "bit-identical to serial)\n");
+  std::printf("\nserial incremental speedup over full recompute: %.2fx\n",
+              incremental_speedup);
+  std::printf("wrote BENCH_benefit_scaling.json (all thread counts and both "
+              "modes bit-identical to serial full recompute)\n");
   return 0;
 }
 

@@ -21,6 +21,11 @@ void UndoLog::RecordDeath(size_t row) {
   entries_.push_back(std::move(e));
 }
 
+void UndoLog::CollectTouchedRows(std::vector<size_t>* rows) const {
+  rows->reserve(rows->size() + entries_.size());
+  for (const Entry& e : entries_) rows->push_back(e.row);
+}
+
 void UndoLog::Rollback(Table* table) {
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
     if (it->is_death) {

@@ -25,6 +25,12 @@ class UndoLog {
   /// Restores `table` and clears the log.
   void Rollback(Table* table);
 
+  /// Appends the row id of every logged mutation to `rows` (duplicates kept;
+  /// callers sort/dedup). Called before Rollback, this is exactly the set of
+  /// rows on which the table diverges from its pre-repair state — what the
+  /// incremental benefit engine feeds to ExecuteVqlDelta.
+  void CollectTouchedRows(std::vector<size_t>* rows) const;
+
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
 

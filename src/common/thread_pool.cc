@@ -31,9 +31,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       if (--in_flight_ == 0) done_cv_.notify_all();
     }
   }
@@ -57,6 +63,11 @@ void ThreadPool::ParallelChunks(
   work_cv_.notify_all();
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::move(first_error_);
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace visclean

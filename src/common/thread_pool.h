@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -41,6 +42,10 @@ class ThreadPool {
   /// until all chunks finish. Chunk `worker` is processed by exactly one
   /// task, so callers may keep per-worker scratch state (e.g. a table
   /// shadow) indexed by `worker`. Not reentrant: calls must not overlap.
+  ///
+  /// An exception thrown by `fn` does not kill the worker (the batch still
+  /// drains); the first one caught is rethrown here on the calling thread
+  /// after the barrier. total == 0 is a no-op.
   void ParallelChunks(size_t total,
                       const std::function<void(size_t worker, size_t begin,
                                                size_t end)>& fn);
@@ -54,6 +59,7 @@ class ThreadPool {
   std::condition_variable done_cv_;   // signals caller: batch drained
   std::queue<std::function<void()>> tasks_;
   size_t in_flight_ = 0;  // queued + running tasks of the current batch
+  std::exception_ptr first_error_;  // first exception of the current batch
   bool stop_ = false;
 };
 

@@ -6,16 +6,88 @@
 #define VISCLEAN_CORE_BENEFIT_MODEL_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "data/table.h"
 #include "dist/vis_data.h"
 #include "graph/erg.h"
 #include "vql/ast.h"
+#include "vql/executor.h"
 
 namespace visclean {
 
 class ThreadPool;
+
+/// \brief How EstimateBenefits renders speculative repairs.
+enum class BenefitMode {
+  /// Use the engine's cached baseline + provenance when available: each
+  /// candidate re-aggregates only the groups its repair touched. Falls back
+  /// to full renders per candidate when the query has no group structure.
+  kAuto,
+  /// Always re-render Q(D) from every live row — the reference path the
+  /// differential suite compares the incremental path against bit-for-bit.
+  kFull,
+};
+
+/// \brief Cross-iteration cache behind the incremental benefit path: the
+/// baseline visualization Q(D) plus its tuple->group provenance index.
+///
+/// Lifecycle: the benefit stage calls Prepare() once per iteration before
+/// EstimateBenefits. The first call (or a query change) pays one full indexed
+/// render; every later call reads the table's mutation journal and folds
+/// exactly the rows that accepted repairs touched into the cache via
+/// CommitVqlDelta — the cache is never rebuilt from scratch while the query
+/// is stable. During estimation the cache is immutable: speculative repairs
+/// render through ExecuteVqlDelta against it and roll back.
+class BenefitEngine {
+ public:
+  /// Brings the cached baseline up to date with (query, *table). Reads and
+  /// compacts the table's mutation journal; the table data is not modified.
+  void Prepare(const VqlQuery& query, Table* table);
+
+  /// Fast-forwards the journal watermark without touching the cache. Valid
+  /// ONLY when the table is bit-for-bit back in its last-Prepare()d state —
+  /// i.e. right after EstimateBenefits, whose speculative repairs all rolled
+  /// back. The serial path repairs in place, so its journal entries would
+  /// otherwise read as (no-op) invalidations next iteration.
+  void ResyncRolledBack(Table* table);
+
+  /// Drops the cache; the next Prepare pays a full rebuild.
+  void Invalidate();
+
+  /// True when the provenance index is valid for the prepared query (GROUP/
+  /// BIN structure present) so candidates can render incrementally.
+  bool incremental_ready() const { return prov_.supported; }
+
+  /// The cached render of Q(D) as of the last Prepare. Bit-identical to
+  /// ExecuteVql on the current table.
+  const VisData& baseline() const { return baseline_; }
+  const VisProvenance& provenance() const { return prov_; }
+
+  // Diagnostics for the scaling bench.
+  size_t full_rebuilds() const { return full_rebuilds_; }
+  size_t delta_commits() const { return delta_commits_; }
+
+ private:
+  void RebuildFull(const VqlQuery& query, Table* table);
+
+  bool primed_ = false;
+  std::string query_fingerprint_;  ///< VqlQuery::ToString of the cached query
+  uint64_t watermark_ = 0;         ///< table mutation_count at last refresh
+  VisData baseline_;
+  VisProvenance prov_;
+  DeltaScratch scratch_;
+  size_t full_rebuilds_ = 0;
+  size_t delta_commits_ = 0;
+};
+
+/// \brief Per-call counters (all modes; filled when `stats` is set).
+struct BenefitStats {
+  size_t renders = 0;      ///< total speculative evaluations (+1 baseline)
+  size_t delta_evals = 0;  ///< evaluations served by ExecuteVqlDelta
+  size_t full_evals = 0;   ///< evaluations served by a full render
+};
 
 /// \brief Options for benefit estimation.
 struct BenefitOptions {
@@ -33,6 +105,17 @@ struct BenefitOptions {
   /// precedence over `threads` and is reused instead of spawning workers
   /// per call.
   ThreadPool* pool = nullptr;
+
+  /// Optional prepared cache (see BenefitEngine). Null = legacy behaviour:
+  /// every candidate re-renders from scratch. The engine must have been
+  /// Prepare()d against exactly this (query, table) state.
+  BenefitEngine* engine = nullptr;
+  /// Ignored when `engine` is null. kFull forces the reference path even
+  /// with an engine attached.
+  BenefitMode mode = BenefitMode::kAuto;
+
+  /// Optional out-param for per-call counters.
+  BenefitStats* stats = nullptr;
 };
 
 /// \brief Fills in `benefit` for every edge of `erg` against the current
@@ -54,9 +137,11 @@ struct BenefitOptions {
 ///
 /// All speculative repairs roll back through an UndoLog; `table` is
 /// unchanged on return (worker threads never touch it — each repairs its
-/// own clone). Returns the number of visualization renders performed
+/// own clone). Returns the number of visualization evaluations performed
 /// (diagnostics for the Fig. 18 bench); the count is independent of the
-/// thread count.
+/// thread count and of the incremental mode — only the cost per evaluation
+/// changes. The computed benefits are bit-identical across all (threads,
+/// mode, engine) combinations.
 size_t EstimateBenefits(const VqlQuery& query, Table* table, Erg* erg,
                         const BenefitOptions& options = {});
 

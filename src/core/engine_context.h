@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "clean/question.h"
+#include "core/benefit_model.h"
 #include "data/table.h"
 #include "datagen/generator.h"
 #include "em/em_model.h"
@@ -47,6 +48,13 @@ struct SessionOptions {
   /// today's exact serial behaviour; N > 1 evaluates speculative repairs on
   /// a session-owned ThreadPool with bit-identical results.
   size_t threads = 1;
+
+  /// How BenefitStage renders speculative repairs. kAuto (default) keeps a
+  /// provenance-indexed baseline across iterations and re-aggregates only
+  /// the groups each candidate repair touches; kFull re-renders Q(D) from
+  /// scratch per candidate (the reference the differential suite compares
+  /// against). Benefits are bit-identical either way.
+  BenefitMode benefit_mode = BenefitMode::kAuto;
 
   uint64_t seed = 7;
   double auto_merge_threshold = 0.95;  ///< EM prob for machine auto-merge
@@ -115,6 +123,10 @@ struct EngineContext {
   EmModel em;           ///< entity-matching model, fine-tuned per iteration
   std::unique_ptr<CqgSelector> selector;  ///< set by the driver's Initialize
   ThreadPool* pool = nullptr;  ///< session-owned; null = serial benefits
+  /// Cross-iteration cache behind incremental benefit estimation: baseline
+  /// Q(D) + tuple->group provenance, refreshed per iteration from the
+  /// table's mutation journal (used only when benefit_mode == kAuto).
+  BenefitEngine benefit_engine;
 
   // ---- Per-iteration products (refreshed by the stages) ----
   std::vector<std::pair<size_t, size_t>> candidates;  ///< blocking output

@@ -398,7 +398,20 @@ Status BenefitStage::Run(EngineContext& ctx) {
   benefit_options.x_column = XColumnOrNoColumn(ctx);
   benefit_options.threads = ctx.options.threads;
   benefit_options.pool = ctx.pool;
+  benefit_options.mode = ctx.options.benefit_mode;
+  if (ctx.options.benefit_mode == BenefitMode::kAuto) {
+    // Fold the repairs accepted since last iteration into the cached
+    // baseline (dirty rows only, via the table's mutation journal), then
+    // estimate against it: candidates re-aggregate only their dirty groups.
+    ctx.benefit_engine.Prepare(ctx.query, &ctx.table);
+    benefit_options.engine = &ctx.benefit_engine;
+  }
   EstimateBenefits(ctx.query, &ctx.table, &ctx.erg, benefit_options);
+  if (benefit_options.engine != nullptr) {
+    // Every speculative repair rolled back: drop their journal entries so
+    // the next Prepare sees only genuinely accepted repairs.
+    ctx.benefit_engine.ResyncRolledBack(&ctx.table);
+  }
   return Status::Ok();
 }
 

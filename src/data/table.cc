@@ -1,5 +1,7 @@
 #include "data/table.h"
 
+#include <algorithm>
+
 namespace visclean {
 
 size_t Table::AppendRow(Row row) {
@@ -7,6 +9,7 @@ size_t Table::AppendRow(Row row) {
            "row arity does not match schema");
   rows_.push_back(std::move(row));
   dead_.push_back(false);
+  journal_.push_back(rows_.size() - 1);
   return rows_.size() - 1;
 }
 
@@ -15,6 +18,7 @@ void Table::MarkDead(size_t row) {
   if (!dead_[row]) {
     dead_[row] = true;
     ++num_dead_;
+    journal_.push_back(row);
   }
 }
 
@@ -23,6 +27,7 @@ void Table::Revive(size_t row) {
   if (dead_[row]) {
     dead_[row] = false;
     --num_dead_;
+    journal_.push_back(row);
   }
 }
 
@@ -30,6 +35,7 @@ void Table::Set(size_t row, size_t col, Value v) {
   VC_CHECK(row < rows_.size(), "Set: row out of range");
   VC_CHECK(col < schema_.num_columns(), "Set: column out of range");
   rows_[row][col] = std::move(v);
+  journal_.push_back(row);
 }
 
 Result<Value> Table::Get(size_t row, const std::string& column) const {
@@ -46,6 +52,24 @@ std::vector<size_t> Table::LiveRowIds() const {
     if (!dead_[i]) out.push_back(i);
   }
   return out;
+}
+
+std::vector<size_t> Table::MutatedRowsSince(uint64_t since) const {
+  VC_CHECK(since >= journal_base_, "MutatedRowsSince: journal compacted past");
+  VC_CHECK(since <= mutation_count(), "MutatedRowsSince: future position");
+  std::vector<size_t> rows(journal_.begin() + (since - journal_base_),
+                           journal_.end());
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+void Table::CompactJournal(uint64_t upto) {
+  if (upto <= journal_base_) return;
+  VC_CHECK(upto <= mutation_count(), "CompactJournal: future position");
+  journal_.erase(journal_.begin(),
+                 journal_.begin() + (upto - journal_base_));
+  journal_base_ = upto;
 }
 
 }  // namespace visclean

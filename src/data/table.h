@@ -58,11 +58,34 @@ class Table {
   /// benefits by speculatively repairing a copy (Section V-A).
   Table Clone() const { return *this; }
 
+  // ---- Mutation journal ----
+  //
+  // Every mutation (AppendRow / Set / MarkDead / Revive) appends the touched
+  // row id to an internal journal. Incremental consumers (the benefit
+  // engine's provenance cache) snapshot mutation_count(), let repairs happen
+  // through any code path, and later ask exactly which rows changed — so a
+  // cache can invalidate per row instead of rebuilding from the whole table.
+
+  /// Monotone count of mutations applied over the table's lifetime
+  /// (compaction never decreases it).
+  uint64_t mutation_count() const { return journal_base_ + journal_.size(); }
+
+  /// Sorted, deduplicated ids of rows mutated at journal positions
+  /// [since, mutation_count()). `since` must not predate the last
+  /// CompactJournal point.
+  std::vector<size_t> MutatedRowsSince(uint64_t since) const;
+
+  /// Drops journal entries before position `upto` (consumers call this after
+  /// MutatedRowsSince so the journal stays bounded per iteration).
+  void CompactJournal(uint64_t upto);
+
  private:
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<bool> dead_;
   size_t num_dead_ = 0;
+  std::vector<size_t> journal_;  ///< row id per mutation, append-only
+  uint64_t journal_base_ = 0;    ///< absolute position of journal_[0]
 };
 
 }  // namespace visclean

@@ -1,0 +1,57 @@
+// DirtySet: a reusable sparse set of invalidated group slots.
+//
+// The incremental benefit engine marks the provenance groups whose input
+// tuples a repair touched, then re-aggregates exactly those. A candidate
+// evaluation marks a handful of groups out of hundreds, thousands of times
+// per iteration, so Clear() must not pay O(universe): membership is tracked
+// by epoch stamps and Clear() just bumps the epoch.
+#ifndef VISCLEAN_DIST_DIRTY_SET_H_
+#define VISCLEAN_DIST_DIRTY_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace visclean {
+
+/// \brief Set of dirty slot ids over a dense universe [0, size).
+class DirtySet {
+ public:
+  /// Empties the set and (re)sizes the universe. O(ids marked) amortized;
+  /// only pays O(universe) when the universe grows or the epoch wraps.
+  void Reset(size_t universe) {
+    ids_.clear();
+    ++epoch_;
+    if (stamp_.size() != universe || epoch_ == 0) {
+      stamp_.assign(universe, 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Marks `id` dirty; returns true when it was clean before.
+  bool Mark(size_t id) {
+    if (stamp_[id] == epoch_) return false;
+    stamp_[id] = epoch_;
+    ids_.push_back(id);
+    return true;
+  }
+
+  bool IsDirty(size_t id) const {
+    return id < stamp_.size() && stamp_[id] == epoch_;
+  }
+
+  /// Marked ids, in marking order.
+  const std::vector<size_t>& ids() const { return ids_; }
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  std::vector<size_t> ids_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_DIST_DIRTY_SET_H_

@@ -25,14 +25,39 @@ std::vector<double> NormalizeWeights(const std::vector<double>& w) {
   return out;
 }
 
+// A distribution is only meaningful over finite positions with non-negative
+// finite mass: entries at NaN/inf positions are dropped (a NaN position
+// would even break std::sort's ordering contract below), and NaN/inf or
+// negative weights are treated as zero mass. All-finite non-negative input
+// — everything the executor produces — passes through unchanged.
+void SanitizeHistogram(const std::vector<double>& positions,
+                       const std::vector<double>& weights,
+                       std::vector<double>* out_pos,
+                       std::vector<double>* out_w) {
+  out_pos->reserve(positions.size());
+  out_w->reserve(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (!std::isfinite(positions[i])) continue;
+    double w = weights[i];
+    if (!std::isfinite(w) || w < 0.0) w = 0.0;
+    out_pos->push_back(positions[i]);
+    out_w->push_back(w);
+  }
+}
+
 }  // namespace
 
-double Emd1D(const std::vector<double>& positions_a,
-             const std::vector<double>& weights_a,
-             const std::vector<double>& positions_b,
-             const std::vector<double>& weights_b) {
-  VC_CHECK(positions_a.size() == weights_a.size(), "Emd1D: size mismatch (a)");
-  VC_CHECK(positions_b.size() == weights_b.size(), "Emd1D: size mismatch (b)");
+double Emd1D(const std::vector<double>& raw_positions_a,
+             const std::vector<double>& raw_weights_a,
+             const std::vector<double>& raw_positions_b,
+             const std::vector<double>& raw_weights_b) {
+  VC_CHECK(raw_positions_a.size() == raw_weights_a.size(),
+           "Emd1D: size mismatch (a)");
+  VC_CHECK(raw_positions_b.size() == raw_weights_b.size(),
+           "Emd1D: size mismatch (b)");
+  std::vector<double> positions_a, weights_a, positions_b, weights_b;
+  SanitizeHistogram(raw_positions_a, raw_weights_a, &positions_a, &weights_a);
+  SanitizeHistogram(raw_positions_b, raw_weights_b, &positions_b, &weights_b);
   if (positions_a.empty() && positions_b.empty()) return 0.0;
   if (positions_a.empty() || positions_b.empty()) {
     // One side has no mass at all; by convention (matching Eq. 3 where the
@@ -91,12 +116,19 @@ Result<TransportResult> SolveTransportation(
   }
   for (const auto& row : cost) {
     if (row.size() != n) return Status::InvalidArgument("cost cols != #demands");
+    for (double c : row) {
+      if (!std::isfinite(c)) return Status::InvalidArgument("non-finite cost");
+    }
   }
   for (double s : supplies) {
-    if (s < 0) return Status::InvalidArgument("negative supply");
+    if (s < 0 || !std::isfinite(s)) {
+      return Status::InvalidArgument("supply not finite and non-negative");
+    }
   }
   for (double d : demands) {
-    if (d < 0) return Status::InvalidArgument("negative demand");
+    if (d < 0 || !std::isfinite(d)) {
+      return Status::InvalidArgument("demand not finite and non-negative");
+    }
   }
 
   // Scale masses to integers for an exact min-cost-flow solve.

@@ -6,6 +6,8 @@
 #ifndef VISCLEAN_DIST_VIS_DATA_H_
 #define VISCLEAN_DIST_VIS_DATA_H_
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,63 @@ struct VisData {
   /// Multi-line ASCII rendering (bar chart / pie breakdown) for examples and
   /// debugging.
   std::string ToAsciiChart(size_t width = 40) const;
+};
+
+// ---------------------------------------------------------- provenance --
+//
+// Tuple -> group provenance for a rendered visualization: which table rows
+// feed which aggregation group. Built by ExecuteVqlIndexed (vql/executor.h)
+// for GROUP/BIN queries; the incremental benefit engine uses it to
+// re-aggregate only the groups whose input tuples a speculative repair
+// touched, instead of re-rendering Q(D) from every live row.
+
+/// \brief State of one aggregation group, sufficient to re-derive its mark.
+///
+/// `rows` are the ascending ids of every live row that produced this group's
+/// key (rows whose measure is null still claim the key); `sum`/`count`
+/// accumulate only non-null measures, in ascending row order — the exact
+/// order a full render visits rows — so a from-scratch re-aggregation over
+/// `rows` reproduces the full render bit-for-bit.
+struct GroupState {
+  std::string label;        ///< display key (group value / bin label)
+  double numeric_key = 0.0; ///< sort key; last contributing row wins
+  double sum = 0.0;         ///< sum of non-null measures, in row order
+  size_t count = 0;         ///< number of non-null measures
+  std::vector<size_t> rows; ///< ascending contributing row ids
+};
+
+/// \brief The tuple->group index of one rendered visualization.
+///
+/// Group slots are stable across incremental commits: an emptied group keeps
+/// its slot on a free list (its key leaves `group_of_key`) and a newly born
+/// group reuses one, so `group_of_row` entries never need mass rewrites.
+struct VisProvenance {
+  static constexpr size_t kNoGroup = static_cast<size_t>(-1);
+
+  /// True when the index is valid: the query has a GROUP/BIN transform (per-
+  /// tuple marks have no group structure worth indexing) and the last build
+  /// succeeded. When false, consumers must fall back to full renders.
+  bool supported = false;
+
+  std::vector<GroupState> groups;            ///< slot -> state (may be empty)
+  std::map<std::string, size_t> group_of_key;  ///< live groups, label-ordered
+  std::vector<size_t> group_of_row;          ///< row id -> slot or kNoGroup
+  std::vector<size_t> free_slots;            ///< emptied slots for reuse
+
+  /// Slot feeding `row`, or kNoGroup (filtered out, dead, or out of range).
+  size_t GroupOfRow(size_t row) const {
+    return row < group_of_row.size() ? group_of_row[row] : kNoGroup;
+  }
+
+  size_t num_live_groups() const { return group_of_key.size(); }
+
+  void Clear() {
+    supported = false;
+    groups.clear();
+    group_of_key.clear();
+    group_of_row.clear();
+    free_slots.clear();
+  }
 };
 
 }  // namespace visclean

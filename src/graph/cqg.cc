@@ -1,10 +1,34 @@
 #include "graph/cqg.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
+#include <string>
 #include <vector>
 
 namespace visclean {
+
+std::string Cqg::Fingerprint() const {
+  std::string out = "V[";
+  std::vector<size_t> vs = vertices;
+  std::sort(vs.begin(), vs.end());
+  for (size_t v : vs) {
+    out += std::to_string(v);
+    out += ',';
+  }
+  out += "] E[";
+  std::vector<size_t> es = edge_indices;
+  std::sort(es.begin(), es.end());
+  for (size_t e : es) {
+    out += std::to_string(e);
+    out += ',';
+  }
+  out += "] B=";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", total_benefit);  // exact bits
+  out += buf;
+  return out;
+}
 
 Cqg InduceCqg(const Erg& erg, std::vector<size_t> vertices) {
   std::sort(vertices.begin(), vertices.end());

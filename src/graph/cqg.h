@@ -3,6 +3,7 @@
 #ifndef VISCLEAN_GRAPH_CQG_H_
 #define VISCLEAN_GRAPH_CQG_H_
 
+#include <string>
 #include <vector>
 
 #include "graph/erg.h"
@@ -16,6 +17,13 @@ struct Cqg {
   double total_benefit = 0.0;        ///< sum of induced edges' benefit
 
   bool empty() const { return vertices.empty(); }
+
+  /// Canonical textual form of the selection: the sorted vertex and edge
+  /// index lists plus the exact bits of total_benefit (hex float). Two
+  /// selections compare equal iff their fingerprints do — the differential
+  /// suite uses this to assert that incremental and full-recompute benefit
+  /// paths drive identical question choices.
+  std::string Fingerprint() const;
 };
 
 /// \brief Builds the induced CQG for a vertex set: collects every ERG edge

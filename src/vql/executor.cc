@@ -52,61 +52,189 @@ bool EvalPredicate(const Predicate& p, const Value& cell) {
   return false;
 }
 
+// Query with column references resolved against one schema. Compiling once
+// lets the incremental paths re-evaluate single rows without re-resolving.
+struct CompiledVql {
+  const VqlQuery* query = nullptr;
+  size_t x_col = 0;
+  size_t y_col = 0;
+  std::vector<size_t> pred_cols;  // aligned with query->predicates
+};
+
+Result<CompiledVql> Compile(const VqlQuery& query, const Schema& schema) {
+  CompiledVql c;
+  c.query = &query;
+  Result<size_t> x_col = schema.IndexOf(query.x_column);
+  if (!x_col.ok()) return x_col.status();
+  c.x_col = x_col.value();
+  Result<size_t> y_col = schema.IndexOf(query.y_column);
+  if (!y_col.ok()) return y_col.status();
+  c.y_col = y_col.value();
+  c.pred_cols.resize(query.predicates.size());
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    Result<size_t> col = schema.IndexOf(query.predicates[i].column);
+    if (!col.ok()) return col.status();
+    c.pred_cols[i] = col.value();
+  }
+  return c;
+}
+
+// True when the (live) row satisfies every WHERE conjunct.
+bool RowPasses(const CompiledVql& c, const Table& table, size_t row) {
+  for (size_t i = 0; i < c.pred_cols.size(); ++i) {
+    if (!EvalPredicate(c.query->predicates[i], table.at(row, c.pred_cols[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Numeric sort key of a contributing row (GROUP/BIN paths only). Must match
+// the assignment the full render performs per row: last contributor wins.
+double NumericKeyOf(const CompiledVql& c, const Table& table, size_t row) {
+  const Value& xv = table.at(row, c.x_col);
+  if (c.query->x_transform == XTransform::kGroup) return xv.ToNumberOr(0.0);
+  double x = xv.ToNumberOr(0.0);  // callers only pass rows with numeric X
+  return std::floor(x / c.query->bin_interval) * c.query->bin_interval;
+}
+
+// Group key of a row under GROUP/BIN; false when the row is dropped from X'
+// (null X, or non-numeric X under BIN).
+bool GroupKeyOf(const CompiledVql& c, const Table& table, size_t row,
+                std::string* key, double* numeric_key) {
+  const Value& xv = table.at(row, c.x_col);
+  if (xv.is_null()) return false;
+  if (c.query->x_transform == XTransform::kGroup) {
+    *key = xv.ToDisplayString();
+    *numeric_key = xv.ToNumberOr(0.0);
+    return true;
+  }
+  double x = xv.ToNumberOr(std::numeric_limits<double>::quiet_NaN());
+  if (std::isnan(x)) return false;
+  double lo = std::floor(x / c.query->bin_interval) * c.query->bin_interval;
+  *key = StrFormat("[%g, %g)", lo, lo + c.query->bin_interval);
+  *numeric_key = lo;
+  return true;
+}
+
+// Measure of a row for accumulation; false when the Y cell is null (SUM/AVG/
+// COUNT all skip null measures).
+bool MeasureOf(const CompiledVql& c, const Table& table, size_t row,
+               double* y) {
+  const Value& yv = table.at(row, c.y_col);
+  if (yv.is_null()) return false;
+  *y = yv.ToNumberOr(0.0);
+  return true;
+}
+
+// Aggregate finalization shared by the full and incremental paths.
+double FinalizeY(AggFunc agg, double sum, size_t count) {
+  switch (agg) {
+    case AggFunc::kSum:
+      return sum;
+    case AggFunc::kAvg:
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    case AggFunc::kCount:
+      return static_cast<double>(count);
+    case AggFunc::kNone:
+      // Grouping without an aggregate defaults to SUM (a bar per group
+      // needs a single measure).
+      return sum;
+  }
+  return sum;
+}
+
+// Internal points carry a numeric sort key for bins / numeric X.
+struct RawPoint {
+  std::string label;
+  double numeric_key;
+  bool has_numeric_key;
+  double y;
+};
+
+// SORT + LIMIT over assembled points, shared by every render path. For
+// GROUP/BIN output every label is unique and every point carries a numeric
+// key, so the comparators below are strict total orders: the sorted sequence
+// is unique regardless of the input order — which is what lets the delta
+// path assemble groups in any order and still match the full render
+// bit-for-bit.
+void SortLimitPoints(const VqlQuery& query, std::vector<RawPoint>* raw) {
+  bool x_numeric =
+      !raw->empty() &&
+      std::all_of(raw->begin(), raw->end(),
+                  [](const RawPoint& p) { return p.has_numeric_key; });
+  auto cmp_x = [&](const RawPoint& a, const RawPoint& b) {
+    if (x_numeric && a.numeric_key != b.numeric_key)
+      return a.numeric_key < b.numeric_key;
+    return a.label < b.label;
+  };
+  if (query.sort_key == SortKey::kY) {
+    std::stable_sort(raw->begin(), raw->end(),
+                     [&](const RawPoint& a, const RawPoint& b) {
+                       if (a.y != b.y) {
+                         return query.sort_order == SortOrder::kAsc ? a.y < b.y
+                                                                    : a.y > b.y;
+                       }
+                       return cmp_x(a, b);  // deterministic ties
+                     });
+  } else if (query.sort_key == SortKey::kX) {
+    std::stable_sort(raw->begin(), raw->end(),
+                     [&](const RawPoint& a, const RawPoint& b) {
+                       return query.sort_order == SortOrder::kAsc ? cmp_x(a, b)
+                                                                  : cmp_x(b, a);
+                     });
+  } else if (query.x_transform != XTransform::kNone) {
+    // Deterministic default order for grouped output.
+    std::stable_sort(raw->begin(), raw->end(), cmp_x);
+  }
+  if (query.limit >= 0 && raw->size() > static_cast<size_t>(query.limit)) {
+    raw->resize(static_cast<size_t>(query.limit));
+  }
+}
+
+VisData AssembleVis(const VqlQuery& query, std::vector<RawPoint> raw) {
+  SortLimitPoints(query, &raw);
+  VisData vis;
+  vis.type = query.chart;
+  vis.x_name = query.x_column;
+  vis.y_name = query.y_column;
+  vis.points.reserve(raw.size());
+  for (RawPoint& p : raw) {
+    vis.points.push_back({std::move(p.label), p.y});
+  }
+  return vis;
+}
+
 struct Accum {
   double sum = 0.0;
   size_t count = 0;
 };
 
-}  // namespace
-
-Result<VisData> ExecuteVql(const VqlQuery& query, const Table& table) {
-  const Schema& schema = table.schema();
-  Result<size_t> x_col = schema.IndexOf(query.x_column);
-  if (!x_col.ok()) return x_col.status();
-  Result<size_t> y_col = schema.IndexOf(query.y_column);
-  if (!y_col.ok()) return y_col.status();
-
-  std::vector<size_t> pred_cols(query.predicates.size());
-  for (size_t i = 0; i < query.predicates.size(); ++i) {
-    Result<size_t> c = schema.IndexOf(query.predicates[i].column);
-    if (!c.ok()) return c.status();
-    pred_cols[i] = c.value();
-  }
+// Single implementation behind ExecuteVql and ExecuteVqlIndexed: the full
+// render optionally records tuple->group provenance as it goes, so the
+// indexed baseline can never drift from the plain render.
+Result<VisData> ExecuteImpl(const VqlQuery& query, const Table& table,
+                            VisProvenance* prov) {
+  if (prov != nullptr) prov->Clear();
+  Result<CompiledVql> compiled = Compile(query, table.schema());
+  if (!compiled.ok()) return compiled.status();
+  const CompiledVql& c = compiled.value();
 
   // Filter.
   std::vector<size_t> rows;
   for (size_t r : table.LiveRowIds()) {
-    bool keep = true;
-    for (size_t i = 0; i < query.predicates.size(); ++i) {
-      if (!EvalPredicate(query.predicates[i], table.at(r, pred_cols[i]))) {
-        keep = false;
-        break;
-      }
-    }
-    if (keep) rows.push_back(r);
+    if (RowPasses(c, table, r)) rows.push_back(r);
   }
 
-  VisData vis;
-  vis.type = query.chart;
-  vis.x_name = query.x_column;
-  vis.y_name = query.y_column;
-
-  // Internal points carry a numeric sort key for bins / numeric X.
-  struct RawPoint {
-    std::string label;
-    double numeric_key;
-    bool has_numeric_key;
-    double y;
-  };
   std::vector<RawPoint> raw;
 
-  auto y_value = [&](size_t r) -> const Value& { return table.at(r, y_col.value()); };
-
   if (query.x_transform == XTransform::kNone) {
-    // One mark per tuple (query types 1 & 2 of Table III).
+    // One mark per tuple (query types 1 & 2 of Table III). Per-tuple marks
+    // have no group structure: provenance stays unsupported and incremental
+    // consumers fall back to full renders.
     for (size_t r : rows) {
-      const Value& xv = table.at(r, x_col.value());
-      const Value& yv = y_value(r);
+      const Value& xv = table.at(r, c.x_col);
+      const Value& yv = table.at(r, c.y_col);
       double y;
       if (query.agg == AggFunc::kCount) {
         y = yv.is_null() ? 0.0 : 1.0;
@@ -121,94 +249,250 @@ Result<VisData> ExecuteVql(const VqlQuery& query, const Table& table) {
       p.y = y;
       raw.push_back(std::move(p));
     }
-  } else {
-    // GROUP or BIN: key -> accumulator.
-    std::map<std::string, Accum> groups;
-    std::map<std::string, double> numeric_keys;
-    for (size_t r : rows) {
-      const Value& xv = table.at(r, x_col.value());
-      if (xv.is_null()) continue;  // missing X drops the tuple from X'
-      std::string key;
-      double numeric_key = 0.0;
-      if (query.x_transform == XTransform::kGroup) {
-        key = xv.ToDisplayString();
-        numeric_key = xv.ToNumberOr(0.0);
-      } else {
-        double x = xv.ToNumberOr(std::numeric_limits<double>::quiet_NaN());
-        if (std::isnan(x)) continue;
-        double lo = std::floor(x / query.bin_interval) * query.bin_interval;
-        key = StrFormat("[%g, %g)", lo, lo + query.bin_interval);
-        numeric_key = lo;
-      }
-      Accum& acc = groups[key];
-      numeric_keys[key] = numeric_key;
-      const Value& yv = y_value(r);
-      if (yv.is_null()) continue;  // SUM/AVG/COUNT all skip null measures
-      acc.sum += yv.ToNumberOr(0.0);
-      acc.count += 1;
-    }
-    for (const auto& [key, acc] : groups) {
-      RawPoint p;
-      p.label = key;
-      p.numeric_key = numeric_keys[key];
-      p.has_numeric_key = true;
-      switch (query.agg) {
-        case AggFunc::kSum:
-          p.y = acc.sum;
-          break;
-        case AggFunc::kAvg:
-          p.y = acc.count > 0 ? acc.sum / static_cast<double>(acc.count) : 0.0;
-          break;
-        case AggFunc::kCount:
-          p.y = static_cast<double>(acc.count);
-          break;
-        case AggFunc::kNone:
-          // Grouping without an aggregate defaults to SUM (a bar per group
-          // needs a single measure).
-          p.y = acc.sum;
-          break;
-      }
-      raw.push_back(std::move(p));
-    }
+    return AssembleVis(query, std::move(raw));
   }
 
-  // Sort.
-  bool x_numeric = !raw.empty() &&
-                   std::all_of(raw.begin(), raw.end(),
-                               [](const RawPoint& p) { return p.has_numeric_key; });
-  auto cmp_x = [&](const RawPoint& a, const RawPoint& b) {
-    if (x_numeric && a.numeric_key != b.numeric_key)
-      return a.numeric_key < b.numeric_key;
-    return a.label < b.label;
+  // GROUP or BIN: key -> accumulator (+ provenance rows when indexing).
+  struct GroupAccum {
+    Accum acc;
+    double numeric_key = 0.0;
+    std::vector<size_t> rows;
   };
-  if (query.sort_key == SortKey::kY) {
-    std::stable_sort(raw.begin(), raw.end(),
-                     [&](const RawPoint& a, const RawPoint& b) {
-                       if (a.y != b.y) {
-                         return query.sort_order == SortOrder::kAsc ? a.y < b.y
-                                                                    : a.y > b.y;
-                       }
-                       return cmp_x(a, b);  // deterministic ties
-                     });
-  } else if (query.sort_key == SortKey::kX) {
-    std::stable_sort(raw.begin(), raw.end(),
-                     [&](const RawPoint& a, const RawPoint& b) {
-                       return query.sort_order == SortOrder::kAsc ? cmp_x(a, b)
-                                                                  : cmp_x(b, a);
-                     });
-  } else if (query.x_transform != XTransform::kNone) {
-    // Deterministic default order for grouped output.
-    std::stable_sort(raw.begin(), raw.end(), cmp_x);
+  std::map<std::string, GroupAccum> groups;
+  std::string key;
+  double numeric_key = 0.0;
+  for (size_t r : rows) {
+    if (!GroupKeyOf(c, table, r, &key, &numeric_key)) continue;
+    GroupAccum& g = groups[key];
+    g.numeric_key = numeric_key;
+    if (prov != nullptr) g.rows.push_back(r);  // LiveRowIds is ascending
+    double y;
+    if (!MeasureOf(c, table, r, &y)) continue;
+    g.acc.sum += y;
+    g.acc.count += 1;
   }
 
-  // Limit.
-  if (query.limit >= 0 && raw.size() > static_cast<size_t>(query.limit)) {
-    raw.resize(static_cast<size_t>(query.limit));
+  raw.reserve(groups.size());
+  for (auto& [label, g] : groups) {
+    RawPoint p;
+    p.label = label;
+    p.numeric_key = g.numeric_key;
+    p.has_numeric_key = true;
+    p.y = FinalizeY(query.agg, g.acc.sum, g.acc.count);
+    raw.push_back(std::move(p));
   }
 
-  vis.points.reserve(raw.size());
-  for (RawPoint& p : raw) {
-    vis.points.push_back({std::move(p.label), p.y});
+  if (prov != nullptr) {
+    prov->groups.reserve(groups.size());
+    prov->group_of_row.assign(table.num_rows(), VisProvenance::kNoGroup);
+    for (auto& [label, g] : groups) {
+      size_t slot = prov->groups.size();
+      GroupState state;
+      state.label = label;
+      state.numeric_key = g.numeric_key;
+      state.sum = g.acc.sum;
+      state.count = g.acc.count;
+      state.rows = std::move(g.rows);
+      for (size_t r : state.rows) prov->group_of_row[r] = slot;
+      prov->group_of_key.emplace(label, slot);
+      prov->groups.push_back(std::move(state));
+    }
+    prov->supported = true;
+  }
+
+  return AssembleVis(query, std::move(raw));
+}
+
+// Re-aggregates one group from scratch over `members` (ascending row ids):
+// the same values in the same order a full render would visit, so the result
+// is bit-identical to a full recompute of the group.
+GroupState Reaggregate(const CompiledVql& c, const Table& table,
+                       std::string label, std::vector<size_t> members) {
+  GroupState out;
+  out.label = std::move(label);
+  out.rows = std::move(members);
+  for (size_t r : out.rows) {
+    out.numeric_key = NumericKeyOf(c, table, r);  // last contributor wins
+    double y;
+    if (MeasureOf(c, table, r, &y)) {
+      out.sum += y;
+      out.count += 1;
+    }
+  }
+  return out;
+}
+
+// Classifies the touched rows against the baseline provenance and
+// re-aggregates every dirty group into `scratch` (recomputed / born). The
+// baseline itself is never written — callers either read the results
+// (speculative render) or commit them (CommitVqlDelta).
+void ComputeDelta(const CompiledVql& c, const Table& table,
+                  const VisProvenance& prov,
+                  const std::vector<size_t>& touched_rows,
+                  DeltaScratch* scratch) {
+  scratch->touched = touched_rows;
+  std::sort(scratch->touched.begin(), scratch->touched.end());
+  scratch->touched.erase(
+      std::unique(scratch->touched.begin(), scratch->touched.end()),
+      scratch->touched.end());
+
+  scratch->dirty.Reset(prov.groups.size());
+  scratch->adds.clear();
+  scratch->born.clear();
+  if (scratch->recomputed.size() < prov.groups.size()) {
+    scratch->recomputed.resize(prov.groups.size());
+  }
+
+  // Classify: a touched row dirties the group it used to feed and joins the
+  // group (existing or born) its repaired cells now map to.
+  std::string key;
+  double numeric_key = 0.0;
+  for (size_t r : scratch->touched) {
+    size_t old_group = prov.GroupOfRow(r);
+    if (old_group != VisProvenance::kNoGroup) scratch->dirty.Mark(old_group);
+    if (r >= table.num_rows() || table.is_dead(r)) continue;
+    if (!RowPasses(c, table, r)) continue;
+    if (!GroupKeyOf(c, table, r, &key, &numeric_key)) continue;
+    auto it = prov.group_of_key.find(key);
+    if (it != prov.group_of_key.end()) {
+      scratch->dirty.Mark(it->second);
+      scratch->adds[it->second].push_back(r);  // ascending: touched is sorted
+    } else {
+      scratch->born[key].push_back(r);
+    }
+  }
+
+  // Re-aggregate each dirty group over (baseline members \ touched) merged
+  // with the touched rows that now map to it.
+  static const std::vector<size_t> kNoAdds;
+  for (size_t g : scratch->dirty.ids()) {
+    auto add_it = scratch->adds.find(g);
+    const std::vector<size_t>& adds =
+        add_it != scratch->adds.end() ? add_it->second : kNoAdds;
+    std::vector<size_t> kept;
+    kept.reserve(prov.groups[g].rows.size() + adds.size());
+    std::set_difference(prov.groups[g].rows.begin(), prov.groups[g].rows.end(),
+                        scratch->touched.begin(), scratch->touched.end(),
+                        std::back_inserter(kept));
+    std::vector<size_t> members;
+    members.reserve(kept.size() + adds.size());
+    std::merge(kept.begin(), kept.end(), adds.begin(), adds.end(),
+               std::back_inserter(members));
+    scratch->recomputed[g] =
+        Reaggregate(c, table, prov.groups[g].label, std::move(members));
+  }
+}
+
+// Assembles the post-delta point set: clean groups from the cached baseline,
+// dirty groups from the recomputed states, plus the born groups. Emptied
+// groups vanish exactly as they would from a full render.
+VisData AssembleDelta(const CompiledVql& c, const Table& table,
+                      const VisProvenance& prov, DeltaScratch* scratch) {
+  std::vector<RawPoint> raw;
+  raw.reserve(prov.num_live_groups() + scratch->born.size());
+  for (const auto& [label, g] : prov.group_of_key) {
+    const GroupState& s =
+        scratch->dirty.IsDirty(g) ? scratch->recomputed[g] : prov.groups[g];
+    if (s.rows.empty()) continue;
+    RawPoint p;
+    p.label = label;
+    p.numeric_key = s.numeric_key;
+    p.has_numeric_key = true;
+    p.y = FinalizeY(c.query->agg, s.sum, s.count);
+    raw.push_back(std::move(p));
+  }
+  for (auto& [key, rows] : scratch->born) {
+    GroupState s = Reaggregate(c, table, key, std::move(rows));
+    RawPoint p;
+    p.label = key;
+    p.numeric_key = s.numeric_key;
+    p.has_numeric_key = true;
+    p.y = FinalizeY(c.query->agg, s.sum, s.count);
+    raw.push_back(std::move(p));
+    rows = std::move(s.rows);  // keep for CommitVqlDelta
+  }
+  return AssembleVis(*c.query, std::move(raw));
+}
+
+// Full-render fallback used when a delta cannot be taken; mirrors the
+// benefit model's convention that an execution error renders empty.
+VisData FullRenderOrEmpty(const VqlQuery& query, const Table& table) {
+  Result<VisData> vis = ExecuteImpl(query, table, nullptr);
+  if (!vis.ok()) return {};
+  return std::move(vis).value();
+}
+
+}  // namespace
+
+Result<VisData> ExecuteVql(const VqlQuery& query, const Table& table) {
+  return ExecuteImpl(query, table, nullptr);
+}
+
+Result<VisData> ExecuteVqlIndexed(const VqlQuery& query, const Table& table,
+                                  VisProvenance* prov) {
+  return ExecuteImpl(query, table, prov);
+}
+
+VisData ExecuteVqlDelta(const VqlQuery& query, const Table& table,
+                        const VisProvenance& prov,
+                        const std::vector<size_t>& touched_rows,
+                        DeltaScratch* scratch) {
+  if (!prov.supported) return FullRenderOrEmpty(query, table);
+  Result<CompiledVql> compiled = Compile(query, table.schema());
+  if (!compiled.ok()) return FullRenderOrEmpty(query, table);
+  ComputeDelta(compiled.value(), table, prov, touched_rows, scratch);
+  return AssembleDelta(compiled.value(), table, prov, scratch);
+}
+
+VisData CommitVqlDelta(const VqlQuery& query, const Table& table,
+                       const std::vector<size_t>& touched_rows,
+                       VisProvenance* prov, DeltaScratch* scratch) {
+  if (!prov->supported) return FullRenderOrEmpty(query, table);
+  Result<CompiledVql> compiled = Compile(query, table.schema());
+  if (!compiled.ok()) {
+    prov->Clear();
+    return FullRenderOrEmpty(query, table);
+  }
+  const CompiledVql& c = compiled.value();
+  ComputeDelta(c, table, *prov, touched_rows, scratch);
+  // The assembly also finishes aggregating the born groups (their member
+  // lists are left in scratch->born for the write-back below).
+  VisData vis = AssembleDelta(c, table, *prov, scratch);
+
+  // Write-back: touched rows are re-pointed from scratch, dirty groups
+  // replaced wholesale, emptied slots freed, born groups allocated.
+  if (table.num_rows() > prov->group_of_row.size()) {
+    prov->group_of_row.resize(table.num_rows(), VisProvenance::kNoGroup);
+  }
+  for (size_t r : scratch->touched) {
+    prov->group_of_row[r] = VisProvenance::kNoGroup;
+  }
+  for (size_t g : scratch->dirty.ids()) {
+    prov->groups[g] = std::move(scratch->recomputed[g]);
+    scratch->recomputed[g] = GroupState();
+    if (prov->groups[g].rows.empty()) {
+      prov->group_of_key.erase(prov->groups[g].label);
+      prov->free_slots.push_back(g);
+    } else {
+      for (size_t r : prov->groups[g].rows) prov->group_of_row[r] = g;
+    }
+  }
+  for (auto& [key, rows] : scratch->born) {
+    GroupState state = Reaggregate(c, table, key, std::move(rows));
+    size_t slot;
+    if (!prov->free_slots.empty()) {
+      slot = prov->free_slots.back();
+      prov->free_slots.pop_back();
+      prov->groups[slot] = std::move(state);
+    } else {
+      slot = prov->groups.size();
+      prov->groups.push_back(std::move(state));
+      if (scratch->recomputed.size() < prov->groups.size()) {
+        scratch->recomputed.resize(prov->groups.size());
+      }
+    }
+    for (size_t r : prov->groups[slot].rows) prov->group_of_row[r] = slot;
+    prov->group_of_key.emplace(prov->groups[slot].label, slot);
   }
   return vis;
 }

@@ -2,8 +2,14 @@
 #ifndef VISCLEAN_VQL_EXECUTOR_H_
 #define VISCLEAN_VQL_EXECUTOR_H_
 
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "common/status.h"
 #include "data/table.h"
+#include "dist/dirty_set.h"
 #include "dist/vis_data.h"
 #include "vql/ast.h"
 
@@ -32,6 +38,55 @@ Result<VisData> ExecuteVql(const VqlQuery& query, const Table& table);
 /// Parses and executes in one step.
 Result<VisData> ExecuteVqlText(const std::string& query_text,
                                const Table& table);
+
+// ---------------------------------------------------- incremental render --
+//
+// The benefit model evaluates hundreds of speculative repairs per iteration,
+// each touching a handful of rows. Rendering Q(D) from scratch per candidate
+// is O(|D|) each time; the functions below make it O(|touched groups|) by
+// maintaining tuple->group provenance (VisProvenance, dist/vis_data.h).
+//
+// Bit-identity contract: the full render aggregates each group over its
+// contributing rows in ascending id order, and the final SORT comparators
+// are strict total orders over grouped output (labels are unique, every
+// grouped point carries a numeric key). Re-aggregating a dirty group over
+// its ascending member list therefore reproduces the exact float bits a full
+// render would produce, and assembly order cannot change the sorted result.
+
+/// \brief Scratch buffers for one delta evaluation; reuse across calls to
+/// avoid per-candidate allocation. Each worker thread owns one.
+struct DeltaScratch {
+  DirtySet dirty;                        ///< dirty baseline group slots
+  std::vector<size_t> touched;           ///< sorted, deduped touched rows
+  std::vector<GroupState> recomputed;    ///< slot -> recomputed state (dirty)
+  std::map<size_t, std::vector<size_t>> adds;       ///< slot -> joining rows
+  std::map<std::string, std::vector<size_t>> born;  ///< new key -> rows
+};
+
+/// Full render that additionally builds the tuple->group provenance index.
+/// `prov->supported` ends up true only for GROUP/BIN queries; per-tuple
+/// queries leave it false and callers must use full renders.
+Result<VisData> ExecuteVqlIndexed(const VqlQuery& query, const Table& table,
+                                  VisProvenance* prov);
+
+/// \brief Speculative incremental render: the table has diverged from the
+/// baseline captured in `prov` on exactly `touched_rows` (dups/unordered ok).
+///
+/// Neither `prov` nor the baseline is modified — callers roll the table back
+/// afterwards and reuse the same baseline for the next candidate. Falls back
+/// to a full render when `prov` is unsupported; renders empty on execution
+/// error (matching the benefit model's convention).
+VisData ExecuteVqlDelta(const VqlQuery& query, const Table& table,
+                        const VisProvenance& prov,
+                        const std::vector<size_t>& touched_rows,
+                        DeltaScratch* scratch);
+
+/// \brief Accepts a repair: folds `touched_rows` into `prov` in place so it
+/// describes the table's current state, and returns the updated render.
+/// Emptied groups park their slots on the free list; new groups reuse them.
+VisData CommitVqlDelta(const VqlQuery& query, const Table& table,
+                       const std::vector<size_t>& touched_rows,
+                       VisProvenance* prov, DeltaScratch* scratch);
 
 }  // namespace visclean
 

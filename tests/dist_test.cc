@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "dist/distances.h"
@@ -81,7 +82,74 @@ TEST(EmdTest, EmptyInputsAreZero) {
   EXPECT_DOUBLE_EQ(EmdDistance(empty, empty), 0.0);
 }
 
+// ----------------------------------------------------------- EMD edge cases
+
+TEST(EmdTest, ZeroMassBinsDoNotDisturbTheDistance) {
+  // Padding either histogram with zero-weight bins must not change EMD.
+  double ref = Emd1D({0, 3}, {1, 1}, {1}, {1});
+  EXPECT_NEAR(Emd1D({0, 1.5, 3}, {1, 0, 1}, {1, 7}, {1, 0}), ref, 1e-12);
+  // All-zero weights fall back to uniform (NormalizeWeights convention).
+  EXPECT_NEAR(Emd1D({0, 2}, {0, 0}, {0, 2}, {1, 1}), 0.0, 1e-12);
+}
+
+TEST(EmdTest, SingleBinHistograms) {
+  // One bin on each side: all mass travels the position gap.
+  EXPECT_NEAR(Emd1D({5}, {3}, {9}, {0.25}), 4.0, 1e-12);
+  // Same position: nothing moves.
+  EXPECT_DOUBLE_EQ(Emd1D({5}, {2}, {5}, {8}), 0.0);
+  VisData one_a = MakeVis({{"only", 42}});
+  VisData one_b = MakeVis({{"only", 7}});
+  EXPECT_DOUBLE_EQ(EmdDistance(one_a, one_b), 0.0);
+}
+
+TEST(EmdTest, AllEqualDistributionsAreZero) {
+  VisData a = MakeVis({{"a", 4}, {"b", 4}, {"c", 4}});
+  VisData b = MakeVis({{"x", 9}, {"y", 9}, {"z", 9}});
+  // Both normalize to uniform over 3 identical y-positions.
+  EXPECT_DOUBLE_EQ(EmdDistance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(Emd1D({1, 2, 3}, {5, 5, 5}, {1, 2, 3}, {2, 2, 2}), 0.0);
+}
+
+TEST(EmdTest, NonFinitePositionsAreDroppedNotPropagated) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  // A NaN position previously reached std::sort (undefined behaviour) and
+  // poisoned the CDF integral; now the entry is discarded.
+  double with_nan = Emd1D({0, nan, 3}, {1, 1, 1}, {1}, {1});
+  EXPECT_TRUE(std::isfinite(with_nan));
+  EXPECT_NEAR(with_nan, Emd1D({0, 3}, {1, 1}, {1}, {1}), 1e-12);
+  double with_inf = Emd1D({0, inf}, {1, 1}, {1}, {1});
+  EXPECT_TRUE(std::isfinite(with_inf));
+  EXPECT_NEAR(with_inf, Emd1D({0}, {1}, {1}, {1}), 1e-12);
+  // Every position non-finite = no usable mass = zero by convention.
+  EXPECT_DOUBLE_EQ(Emd1D({nan, inf}, {1, 1}, {1}, {1}), 0.0);
+}
+
+TEST(EmdTest, NegativeAndNonFiniteWeightsAreZeroMass) {
+  const double nan = std::nan("");
+  // A negative weight is not a distribution; it contributes no mass instead
+  // of producing a non-monotone CDF.
+  EXPECT_NEAR(Emd1D({0, 2}, {1, -5}, {0}, {1}), 0.0, 1e-12);
+  double d = Emd1D({0, 3}, {1, nan}, {3}, {1});
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_NEAR(d, 3.0, 1e-12);
+  // All weights unusable -> uniform fallback, still finite and symmetric.
+  double u = Emd1D({0, 4}, {-1, -1}, {0, 4}, {1, 1});
+  EXPECT_TRUE(std::isfinite(u));
+  EXPECT_DOUBLE_EQ(u, 0.0);
+}
+
 // ------------------------------------------------- transportation solver --
+
+TEST(TransportTest, RejectsNonFiniteInputs) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  // NaN slips past a plain `s < 0` check; the solver must reject it before
+  // llround scales it into an arbitrary integer mass.
+  EXPECT_FALSE(SolveTransportation({nan}, {1.0}, {{0.0}}).ok());
+  EXPECT_FALSE(SolveTransportation({1.0}, {inf}, {{0.0}}).ok());
+  EXPECT_FALSE(SolveTransportation({1.0}, {1.0}, {{nan}}).ok());
+}
 
 TEST(TransportTest, SimpleBalancedProblem) {
   // 2 supplies, 2 demands; optimal plan is the identity assignment.

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -170,6 +172,86 @@ TEST(ThreadPoolTest, ChunksCoverRangeExactlyOnce) {
     for (size_t i = begin; i < end; ++i) ++two[i];
   });
   EXPECT_EQ(two, (std::vector<int>{1, 1}));
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWorkItems) {
+  // 16 workers, 3 items: only some chunks are non-empty; every item must be
+  // visited exactly once and the barrier must still release.
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h = 0;
+  pool.ParallelChunks(hits.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  // Single item, many workers.
+  std::atomic<int> one{0};
+  pool.ParallelChunks(1, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++one;
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroItemsRepeatedlyIsANoOp) {
+  ThreadPool pool(8);
+  for (int i = 0; i < 100; ++i) {
+    pool.ParallelChunks(0, [&](size_t, size_t, size_t) { ADD_FAILURE(); });
+  }
+}
+
+TEST(ThreadPoolTest, WorkerExceptionPropagatesToCaller) {
+  // A throw inside a worker used to escape WorkerLoop and std::terminate the
+  // process; now the first exception resurfaces on the calling thread.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelChunks(100,
+                          [&](size_t, size_t begin, size_t) {
+                            if (begin == 0) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+  // The pool stays usable after an exception: workers survived and the
+  // stored exception slot was consumed.
+  std::vector<int> hits(64, 0);
+  pool.ParallelChunks(hits.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPoolTest, EveryWorkerThrowingStillDrainsAndRethrowsOne) {
+  ThreadPool pool(8);
+  std::atomic<int> started{0};
+  try {
+    pool.ParallelChunks(8, [&](size_t, size_t, size_t) {
+      ++started;
+      throw std::runtime_error("each chunk fails");
+    });
+    ADD_FAILURE() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "each chunk fails");
+  }
+  EXPECT_EQ(started.load(), 8);  // the batch drained despite the failures
+  // And the next batch runs clean.
+  std::atomic<int> ok{0};
+  pool.ParallelChunks(8, [&](size_t, size_t, size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPoolTest, StressManySmallBatches) {
+  // Hammer the batch machinery: many back-to-back ParallelChunks calls with
+  // varying sizes, including empty ones, must neither deadlock nor drop
+  // work. (Regression guard for the in_flight_/done_cv_ accounting.)
+  ThreadPool pool(8);
+  std::atomic<size_t> total{0};
+  size_t expected = 0;
+  for (size_t round = 0; round < 500; ++round) {
+    size_t n = round % 13;  // 0..12 items
+    expected += n;
+    pool.ParallelChunks(n, [&](size_t, size_t begin, size_t end) {
+      total += end - begin;
+    });
+  }
+  EXPECT_EQ(total.load(), expected);
 }
 
 // ------------------------------------------------------ selector registry --
