@@ -12,7 +12,8 @@ namespace visclean {
 
 std::vector<AQuestion> GenerateAQuestions(
     const Table& table, const std::vector<std::vector<size_t>>& clusters,
-    size_t column, const AQuestionOptions& options) {
+    size_t column, const AQuestionOptions& options, SimJoinMemo* memo,
+    ThreadPool* pool) {
   // Unordered spelling pair -> best question seen.
   std::map<std::pair<std::string, std::string>, AQuestion> dedup;
   auto add = [&](const std::string& from, const std::string& to, double sim) {
@@ -56,8 +57,10 @@ std::vector<AQuestion> GenerateAQuestions(
 
   SimJoinOptions join_options;
   join_options.threshold = options.lambda;
-  for (const SimJoinPair& p :
-       SimilaritySelfJoin(values, join_options)) {
+  const std::vector<SimJoinPair>& joined =
+      memo != nullptr ? memo->SelfJoin(values, join_options, pool)
+                      : SimilaritySelfJoin(values, join_options, pool);
+  for (const SimJoinPair& p : joined) {
     const std::string& va = values[p.left_index];
     const std::string& vb = values[p.right_index];
     // Cross-cluster only: same-cluster pairs are Strategy 1's job.

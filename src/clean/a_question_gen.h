@@ -8,8 +8,11 @@
 
 #include "clean/question.h"
 #include "data/table.h"
+#include "text/sim_join.h"
 
 namespace visclean {
+
+class ThreadPool;
 
 /// \brief Options for A-question generation.
 struct AQuestionOptions {
@@ -26,9 +29,14 @@ struct AQuestionOptions {
 /// SIGMOD) that no single cluster witnesses.
 /// Duplicates (unordered spelling pairs) are emitted once, highest
 /// similarity kept, ordered by descending similarity.
+///
+/// `memo` (optional) replays the Strategy-2 self-join when the distinct
+/// spellings are unchanged since the previous call; `pool` (optional) fans
+/// the join's probe side out. Neither changes the emitted questions.
 std::vector<AQuestion> GenerateAQuestions(
     const Table& table, const std::vector<std::vector<size_t>>& clusters,
-    size_t column, const AQuestionOptions& options = {});
+    size_t column, const AQuestionOptions& options = {},
+    SimJoinMemo* memo = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace visclean
 

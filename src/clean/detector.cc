@@ -1,0 +1,50 @@
+#include "clean/detector.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "text/tokenize.h"
+
+namespace visclean {
+
+std::string RowAsString(const Table& table, size_t row) {
+  std::string out;
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (c > 0) out += ' ';
+    out += table.at(row, c).ToDisplayString();
+  }
+  return out;
+}
+
+void RowTokenCache::Invalidate(const std::vector<size_t>& dirty_rows) {
+  for (size_t r : dirty_rows) tokens_.erase(r);
+}
+
+void RowTokenCache::Ensure(const Table& table, const std::vector<size_t>& rows,
+                           ThreadPool* pool) {
+  std::vector<size_t> missing;
+  for (size_t r : rows) {
+    if (tokens_.find(r) == tokens_.end()) missing.push_back(r);
+  }
+  if (missing.empty()) return;
+
+  std::vector<std::set<std::string>> computed(missing.size());
+  auto compute = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      computed[i] = TokenSet(WordTokens(RowAsString(table, missing[i])));
+    }
+  };
+  if (pool != nullptr && missing.size() >= 2 * pool->num_threads()) {
+    pool->ParallelChunks(missing.size(),
+                         [&](size_t, size_t begin, size_t end) {
+                           compute(begin, end);
+                         });
+  } else {
+    compute(0, missing.size());
+  }
+  for (size_t i = 0; i < missing.size(); ++i) {
+    tokens_[missing[i]] = std::move(computed[i]);
+  }
+}
+
+}  // namespace visclean

@@ -4,10 +4,14 @@
 
 #include <vector>
 
+#include "clean/detector.h"
 #include "clean/question.h"
 #include "data/table.h"
+#include "ml/knn.h"
 
 namespace visclean {
+
+class ThreadPool;
 
 /// \brief Options for missing-value detection.
 struct MissingDetectorOptions {
@@ -26,6 +30,41 @@ struct MissingDetectorOptions {
 /// Rows where no neighbor has a value get suggestion = column mean.
 std::vector<MQuestion> DetectMissing(const Table& table, size_t column,
                                      const MissingDetectorOptions& options = {});
+
+/// \brief Incremental M-question detector behind the Detector interface.
+///
+/// The cheap parts of DetectMissing (null scan, column mean) are recomputed
+/// every scan; the expensive parts — per-row token sets and per-query kNN
+/// neighbor lists over all live rows — live in caches invalidated only for
+/// dirty rows. questions() is bit-identical to DetectMissing on the current
+/// table after either FullScan or Update.
+class MissingDetector : public Detector {
+ public:
+  /// Binds the target column, options, and the shared token cache (owned by
+  /// DetectionCache; tokens are shared with the outlier detector).
+  void Configure(size_t column, const MissingDetectorOptions& options,
+                 RowTokenCache* tokens);
+
+  void FullScan(const Table& table, ThreadPool* pool) override;
+  void Update(const Table& table, const std::vector<size_t>& mutated_rows,
+              ThreadPool* pool) override;
+
+  const std::vector<MQuestion>& questions() const { return questions_; }
+  /// Questions that (dis)appeared in the last scan, in question order.
+  const std::vector<MQuestion>& added() const { return added_; }
+  const std::vector<MQuestion>& retracted() const { return retracted_; }
+
+  const TokenKnnCache& knn() const { return knn_; }
+
+ private:
+  void Generate(const Table& table, ThreadPool* pool);
+
+  size_t column_ = 0;
+  MissingDetectorOptions options_;
+  RowTokenCache* tokens_ = nullptr;
+  TokenKnnCache knn_;
+  std::vector<MQuestion> questions_, added_, retracted_;
+};
 
 }  // namespace visclean
 

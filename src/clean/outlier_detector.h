@@ -4,10 +4,14 @@
 
 #include <vector>
 
+#include "clean/detector.h"
 #include "clean/question.h"
 #include "data/table.h"
+#include "ml/knn.h"
 
 namespace visclean {
+
+class ThreadPool;
 
 /// \brief Options for outlier detection.
 struct OutlierDetectorOptions {
@@ -28,6 +32,40 @@ struct OutlierDetectorOptions {
 /// back to its cluster's level.
 std::vector<OQuestion> DetectOutliers(const Table& table, size_t column,
                                       const OutlierDetectorOptions& options = {});
+
+/// \brief Incremental O-question detector behind the Detector interface.
+///
+/// The global score pass (KnnOutlierScores over the non-null values, median
+/// cutoff, ranking) is cheap and recomputed every scan; the expensive
+/// per-question repair suggestion — a token-kNN over the non-null rows —
+/// comes from caches invalidated only for dirty rows. questions() is
+/// bit-identical to DetectOutliers on the current table.
+class OutlierDetector : public Detector {
+ public:
+  /// Binds the target column, options, and the shared token cache.
+  void Configure(size_t column, const OutlierDetectorOptions& options,
+                 RowTokenCache* tokens);
+
+  void FullScan(const Table& table, ThreadPool* pool) override;
+  void Update(const Table& table, const std::vector<size_t>& mutated_rows,
+              ThreadPool* pool) override;
+
+  const std::vector<OQuestion>& questions() const { return questions_; }
+  /// Questions that (dis)appeared in the last scan, in question order.
+  const std::vector<OQuestion>& added() const { return added_; }
+  const std::vector<OQuestion>& retracted() const { return retracted_; }
+
+  const TokenKnnCache& knn() const { return knn_; }
+
+ private:
+  void Generate(const Table& table, ThreadPool* pool);
+
+  size_t column_ = 0;
+  OutlierDetectorOptions options_;
+  RowTokenCache* tokens_ = nullptr;
+  TokenKnnCache knn_;
+  std::vector<OQuestion> questions_, added_, retracted_;
+};
 
 }  // namespace visclean
 

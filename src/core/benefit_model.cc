@@ -152,14 +152,15 @@ void BenefitEngine::Prepare(const VqlQuery& query, Table* table) {
       }
     }
   }
+  // Journal compaction is the session driver's job: other consumers (the
+  // DetectionCache) hold their own watermarks, so compacting here would pull
+  // the journal out from under them.
   watermark_ = table->mutation_count();
-  table->CompactJournal(watermark_);
 }
 
 void BenefitEngine::ResyncRolledBack(Table* table) {
   if (!primed_) return;
   watermark_ = table->mutation_count();
-  table->CompactJournal(watermark_);
 }
 
 void BenefitEngine::Invalidate() {

@@ -42,8 +42,10 @@ enum class BenefitMode {
 /// render through ExecuteVqlDelta against it and roll back.
 class BenefitEngine {
  public:
-  /// Brings the cached baseline up to date with (query, *table). Reads and
-  /// compacts the table's mutation journal; the table data is not modified.
+  /// Brings the cached baseline up to date with (query, *table). Reads the
+  /// table's mutation journal and advances this engine's watermark; the
+  /// table is not modified. Compaction is left to the session driver, which
+  /// trims to the minimum watermark across all journal consumers.
   void Prepare(const VqlQuery& query, Table* table);
 
   /// Fast-forwards the journal watermark without touching the cache. Valid
@@ -68,6 +70,12 @@ class BenefitEngine {
   // Diagnostics for the scaling bench.
   size_t full_rebuilds() const { return full_rebuilds_; }
   size_t delta_commits() const { return delta_commits_; }
+
+  /// True once Prepare has run; the watermark is only meaningful then.
+  bool primed() const { return primed_; }
+  /// Journal position this engine has consumed up to (for the session's
+  /// min-watermark compaction).
+  uint64_t watermark() const { return watermark_; }
 
  private:
   void RebuildFull(const VqlQuery& query, Table* table);

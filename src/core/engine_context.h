@@ -17,6 +17,7 @@
 
 #include "clean/question.h"
 #include "core/benefit_model.h"
+#include "core/detection_cache.h"
 #include "data/table.h"
 #include "datagen/generator.h"
 #include "em/em_model.h"
@@ -55,6 +56,16 @@ struct SessionOptions {
   /// scratch per candidate (the reference the differential suite compares
   /// against). Benefits are bit-identical either way.
   BenefitMode benefit_mode = BenefitMode::kAuto;
+
+  /// How DetectStage runs. kAuto (default) drives detection through the
+  /// session's DetectionCache: journal-driven per-row deltas after the first
+  /// iteration, pooled full scans otherwise, with the feature/sim-join memos
+  /// lent to Train/GenerateStage. kFull is the legacy serial, uncached path
+  /// the differential suite compares against. Outputs are bit-identical.
+  DetectionMode detection_mode = DetectionMode::kAuto;
+  /// Dirty fraction above which kAuto abandons the delta update for a full
+  /// scan (see DetectionRequest::dirty_fallback_threshold).
+  double detection_dirty_threshold = 0.35;
 
   uint64_t seed = 7;
   double auto_merge_threshold = 0.95;  ///< EM prob for machine auto-merge
@@ -127,6 +138,10 @@ struct EngineContext {
   /// Q(D) + tuple->group provenance, refreshed per iteration from the
   /// table's mutation journal (used only when benefit_mode == kAuto).
   BenefitEngine benefit_engine;
+  /// Cross-iteration caches behind incremental detection: blocking state,
+  /// row token sets, kNN neighbor lists, pair features, the A-question
+  /// sim-join memo (used only when detection_mode == kAuto).
+  DetectionCache detection;
 
   // ---- Per-iteration products (refreshed by the stages) ----
   std::vector<std::pair<size_t, size_t>> candidates;  ///< blocking output

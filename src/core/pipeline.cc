@@ -185,33 +185,55 @@ Status DetectStage::Run(EngineContext& ctx) {
   ctx.questions = QuestionSet();
 
   // Blocking + kNN detectors (Fig. 18 "Detect Errors").
-  BlockingOptions blocking;
+  DetectionRequest request;
   for (const ColumnSpec& col : ctx.table.schema().columns()) {
-    if (col.type == ColumnType::kText) blocking.key_columns.push_back(col.name);
+    if (col.type == ColumnType::kText) {
+      request.blocking.key_columns.push_back(col.name);
+    }
   }
-  if (blocking.key_columns.empty()) {
+  if (request.blocking.key_columns.empty()) {
     for (const ColumnSpec& col : ctx.table.schema().columns()) {
       if (col.type == ColumnType::kCategorical) {
-        blocking.key_columns.push_back(col.name);
+        request.blocking.key_columns.push_back(col.name);
       }
     }
   }
-  blocking.max_block_size = ctx.options.blocking_max_block;
-  ctx.candidates = TokenBlocking(ctx.table, blocking);
+  request.blocking.max_block_size = ctx.options.blocking_max_block;
 
   Result<size_t> y_col = ctx.table.schema().IndexOf(ctx.query.y_column);
-  if (y_col.ok() &&
-      ctx.table.schema().column(y_col.value()).type == ColumnType::kNumeric) {
-    MissingDetectorOptions missing_options;
-    missing_options.max_questions = ctx.options.max_m_questions;
-    ctx.questions.m_questions =
-        DetectMissing(ctx.table, y_col.value(), missing_options);
-    ctx.questions.o_questions = DetectOutliers(ctx.table, y_col.value());
-    // Drop outlier verdicts the user already gave.
-    std::erase_if(ctx.questions.o_questions, [&](const OQuestion& q) {
-      return ctx.o_answered.count({q.row, q.column}) > 0;
-    });
+  request.numeric_y =
+      y_col.ok() &&
+      ctx.table.schema().column(y_col.value()).type == ColumnType::kNumeric;
+  if (request.numeric_y) {
+    request.y_column = y_col.value();
+    request.missing.max_questions = ctx.options.max_m_questions;
   }
+  request.dirty_fallback_threshold = ctx.options.detection_dirty_threshold;
+
+  if (ctx.options.detection_mode == DetectionMode::kAuto) {
+    // Journal-driven path: full scans fan out over the session pool; later
+    // iterations fold in only the rows mutated since the last scan.
+    ctx.detection.BeginIteration(ctx.table, request, ctx.pool);
+    ctx.candidates = ctx.detection.candidates();
+    if (request.numeric_y) {
+      ctx.questions.m_questions = ctx.detection.m_questions();
+      ctx.questions.o_questions = ctx.detection.o_questions();
+    }
+  } else {
+    // Reference path: legacy free functions, serial and uncached.
+    ctx.candidates = TokenBlocking(ctx.table, request.blocking);
+    if (request.numeric_y) {
+      ctx.questions.m_questions =
+          DetectMissing(ctx.table, request.y_column, request.missing);
+      ctx.questions.o_questions =
+          DetectOutliers(ctx.table, request.y_column, request.outlier);
+    }
+  }
+  // Drop outlier verdicts the user already gave (answer memory lives outside
+  // the cache, so this filter applies to both modes after the scan).
+  std::erase_if(ctx.questions.o_questions, [&](const OQuestion& q) {
+    return ctx.o_answered.count({q.row, q.column}) > 0;
+  });
   return Status::Ok();
 }
 
@@ -225,10 +247,18 @@ Status TrainStage::Run(EngineContext& ctx) {
     rng.Shuffle(training_candidates);
     training_candidates.resize(ctx.options.max_seed_examples);
   }
+  // In kAuto mode the feature vectors come from the detection cache (misses
+  // fan over the pool); the fitted forest and the scores are bit-identical
+  // to the uncached serial path.
+  PairFeatureCache* features = ctx.options.detection_mode == DetectionMode::kAuto
+                                   ? ctx.detection.features()
+                                   : nullptr;
+  ThreadPool* pool =
+      ctx.options.detection_mode == DetectionMode::kAuto ? ctx.pool : nullptr;
   ctx.em.Retrain(ctx.table, training_candidates,
-                 ctx.options.seed + ctx.retrain_counter);
+                 ctx.options.seed + ctx.retrain_counter, features, pool);
   ++ctx.retrain_counter;
-  ctx.scored = ctx.em.ScoreAll(ctx.table, ctx.candidates);
+  ctx.scored = ctx.em.ScoreAll(ctx.table, ctx.candidates, features, pool);
   return Status::Ok();
 }
 
@@ -251,8 +281,13 @@ Status GenerateStage::Run(EngineContext& ctx) {
                         cluster_options);
     AQuestionOptions a_options;
     a_options.lambda = ctx.options.sim_join_lambda;
-    ctx.questions.a_questions =
-        GenerateAQuestions(ctx.table, clusters.clusters, x_col, a_options);
+    SimJoinMemo* memo = ctx.options.detection_mode == DetectionMode::kAuto
+                            ? ctx.detection.sim_join_memo()
+                            : nullptr;
+    ThreadPool* pool =
+        ctx.options.detection_mode == DetectionMode::kAuto ? ctx.pool : nullptr;
+    ctx.questions.a_questions = GenerateAQuestions(
+        ctx.table, clusters.clusters, x_col, a_options, memo, pool);
     // Fold in the spelling pairs witnessed by machine-merged clusters,
     // keeping only those whose variant spelling still occurs in live data.
     std::set<std::string> live_spellings;
@@ -408,10 +443,14 @@ Status BenefitStage::Run(EngineContext& ctx) {
   }
   EstimateBenefits(ctx.query, &ctx.table, &ctx.erg, benefit_options);
   if (benefit_options.engine != nullptr) {
-    // Every speculative repair rolled back: drop their journal entries so
+    // Every speculative repair rolled back: skip their journal entries so
     // the next Prepare sees only genuinely accepted repairs.
     ctx.benefit_engine.ResyncRolledBack(&ctx.table);
   }
+  // Same fast-forward for the detection cache: the table is bit-for-bit in
+  // its DetectStage-end state here, so the rolled-back speculative noise
+  // must not read as invalidations next iteration.
+  ctx.detection.ResyncRolledBack(ctx.table);
   return Status::Ok();
 }
 

@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -85,6 +86,21 @@ Result<IterationTrace> VisCleanSession::RunIteration() {
   }
 
   ctx_.trace.emd = CurrentEmd();
+
+  // Journal compaction for all incremental consumers: each holds its own
+  // watermark, so the journal may only be trimmed up to the minimum —
+  // anything later is still unread by at least one cache.
+  uint64_t upto = 0;
+  bool have_consumer = false;
+  auto fold = [&](bool primed, uint64_t watermark) {
+    if (!primed) return;
+    upto = have_consumer ? std::min(upto, watermark) : watermark;
+    have_consumer = true;
+  };
+  fold(ctx_.benefit_engine.primed(), ctx_.benefit_engine.watermark());
+  fold(ctx_.detection.primed(), ctx_.detection.watermark());
+  if (have_consumer) ctx_.table.CompactJournal(upto);
+
   return ctx_.trace;
 }
 

@@ -38,6 +38,13 @@ void Table::Set(size_t row, size_t col, Value v) {
   journal_.push_back(row);
 }
 
+Table Table::Clone() const {
+  Table copy = *this;
+  copy.journal_base_ = mutation_count();
+  copy.journal_.clear();
+  return copy;
+}
+
 Result<Value> Table::Get(size_t row, const std::string& column) const {
   if (row >= rows_.size()) return Status::OutOfRange("row out of range");
   Result<size_t> col = schema_.IndexOf(column);

@@ -56,7 +56,13 @@ class Table {
 
   /// Deep copy (schema, rows, tombstones). The cleaning session estimates
   /// benefits by speculatively repairing a copy (Section V-A).
-  Table Clone() const { return *this; }
+  ///
+  /// The clone's mutation journal starts compacted: clones never replay the
+  /// original's history (every journal consumer snapshots its own watermark
+  /// on the table it was primed against), and speculative per-candidate
+  /// copies would otherwise drag the full journal along. mutation_count() is
+  /// preserved so watermarks taken on the original stay comparable.
+  Table Clone() const;
 
   // ---- Mutation journal ----
   //
@@ -76,8 +82,13 @@ class Table {
   std::vector<size_t> MutatedRowsSince(uint64_t since) const;
 
   /// Drops journal entries before position `upto` (consumers call this after
-  /// MutatedRowsSince so the journal stays bounded per iteration).
+  /// MutatedRowsSince so the journal stays bounded per iteration). With
+  /// several consumers, compact only to the minimum of their watermarks.
   void CompactJournal(uint64_t upto);
+
+  /// Number of journal entries currently retained (diagnostics; tests assert
+  /// clones start compacted).
+  size_t journal_entries() const { return journal_.size(); }
 
  private:
   Schema schema_;

@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/status.h"
+#include "common/thread_pool.h"
 #include "text/tokenize.h"
 
 namespace visclean {
@@ -57,6 +59,173 @@ std::vector<std::pair<size_t, size_t>> TokenBlocking(
     pairs.resize(options.max_pairs);
   }
   return pairs;
+}
+
+// --------------------------------------------------------- BlockingDetector
+
+void BlockingDetector::Configure(const BlockingOptions& options) {
+  bool same = options.key_columns == options_.key_columns &&
+              options.max_block_size == options_.max_block_size &&
+              options.max_pairs == options_.max_pairs;
+  options_ = options;
+  if (!same) {
+    row_keys_.clear();
+    blocks_.clear();
+    pair_refs_.clear();
+    emitted_.clear();
+  }
+}
+
+std::vector<std::string> BlockingDetector::RowKeys(const Table& table,
+                                                   size_t row) const {
+  std::vector<std::string> out;
+  for (const auto& [col, is_text] : key_cols_) {
+    const Value& v = table.at(row, col);
+    if (v.is_null()) continue;
+    // Same key recipe as TokenBlocking: word bigrams on multi-word text
+    // values, unigrams otherwise, deduplicated per row per column. The
+    // column index prefix keeps per-column block spaces separate ('\x1f'
+    // cannot occur inside a word token).
+    std::vector<std::string> words = WordTokens(v.ToDisplayString());
+    std::set<std::string> keys;
+    if (is_text && words.size() >= 2) {
+      for (size_t i = 0; i + 1 < words.size(); ++i) {
+        keys.insert(words[i] + " " + words[i + 1]);
+      }
+    } else {
+      keys.insert(words.begin(), words.end());
+    }
+    std::string prefix = std::to_string(col) + '\x1f';
+    for (const std::string& key : keys) out.push_back(prefix + key);
+  }
+  return out;
+}
+
+void BlockingDetector::TouchPair(size_t a, size_t b, int delta) {
+  std::pair<size_t, size_t> key{std::min(a, b), std::max(a, b)};
+  int& refs = pair_refs_[key];
+  touched_.emplace(key, refs > 0);  // records the pre-scan presence once
+  refs += delta;
+  VC_CHECK(refs >= 0, "BlockingDetector: negative pair refcount");
+  if (refs == 0) pair_refs_.erase(key);
+}
+
+void BlockingDetector::RemoveRowFromBlock(const std::string& key, size_t row) {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return;
+  std::vector<size_t>& members = it->second;
+  auto pos = std::lower_bound(members.begin(), members.end(), row);
+  if (pos == members.end() || *pos != row) return;
+  size_t size = members.size();
+  if (size >= 2 && size <= options_.max_block_size) {
+    // Emitting block shrinks: the departing row's pairs lose this block.
+    for (size_t m : members) {
+      if (m != row) TouchPair(row, m, -1);
+    }
+  } else if (size == options_.max_block_size + 1) {
+    // Oversized block drops to the cap: it starts emitting all remaining
+    // pairs (the departing row's pairs were never emitted by it).
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == row) continue;
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (members[j] == row) continue;
+        TouchPair(members[i], members[j], +1);
+      }
+    }
+  }
+  members.erase(pos);
+  if (members.empty()) blocks_.erase(it);
+}
+
+void BlockingDetector::InsertRowIntoBlock(const std::string& key, size_t row) {
+  std::vector<size_t>& members = blocks_[key];
+  size_t size = members.size();
+  if (size >= 1 && size + 1 <= options_.max_block_size) {
+    // Block stays within the cap: the new row pairs with every member.
+    for (size_t m : members) TouchPair(row, m, +1);
+  } else if (size == options_.max_block_size) {
+    // Block crosses the cap: it stops emitting entirely.
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        TouchPair(members[i], members[j], -1);
+      }
+    }
+  }
+  members.insert(std::lower_bound(members.begin(), members.end(), row), row);
+}
+
+void BlockingDetector::RebuildEmitted() {
+  emitted_.clear();
+  emitted_.reserve(pair_refs_.size());
+  for (const auto& [pair, refs] : pair_refs_) emitted_.push_back(pair);
+  if (options_.max_pairs > 0 && emitted_.size() > options_.max_pairs) {
+    emitted_.resize(options_.max_pairs);
+  }
+  added_.clear();
+  retracted_.clear();
+  for (const auto& [pair, was_present] : touched_) {
+    bool now = pair_refs_.count(pair) > 0;
+    if (now && !was_present) added_.push_back(pair);
+    if (!now && was_present) retracted_.push_back(pair);
+  }
+  touched_.clear();
+}
+
+void BlockingDetector::FullScan(const Table& table, ThreadPool* pool) {
+  // Old pairs become retractions unless the rescan re-derives them.
+  touched_.clear();
+  for (const auto& [pair, refs] : pair_refs_) touched_.emplace(pair, true);
+  row_keys_.clear();
+  blocks_.clear();
+  pair_refs_.clear();
+
+  key_cols_.clear();
+  for (const std::string& column : options_.key_columns) {
+    Result<size_t> col = table.schema().IndexOf(column);
+    if (!col.ok()) continue;  // tolerate missing blocking columns
+    key_cols_.emplace_back(
+        col.value(),
+        table.schema().column(col.value()).type == ColumnType::kText);
+  }
+
+  std::vector<size_t> rows = table.LiveRowIds();
+  std::vector<std::vector<std::string>> keys(rows.size());
+  auto compute = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) keys[i] = RowKeys(table, rows[i]);
+  };
+  if (pool != nullptr && rows.size() >= 2 * pool->num_threads()) {
+    pool->ParallelChunks(rows.size(), [&](size_t, size_t begin, size_t end) {
+      compute(begin, end);
+    });
+  } else {
+    compute(0, rows.size());
+  }
+
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (const std::string& key : keys[i]) InsertRowIntoBlock(key, rows[i]);
+    row_keys_[rows[i]] = std::move(keys[i]);
+  }
+  RebuildEmitted();
+}
+
+void BlockingDetector::Update(const Table& table,
+                              const std::vector<size_t>& mutated_rows,
+                              ThreadPool* pool) {
+  (void)pool;  // dirty sets are small by construction; serial is fastest
+  touched_.clear();
+  for (size_t r : mutated_rows) {
+    auto it = row_keys_.find(r);
+    if (it == row_keys_.end()) continue;
+    for (const std::string& key : it->second) RemoveRowFromBlock(key, r);
+    row_keys_.erase(it);
+  }
+  for (size_t r : mutated_rows) {
+    if (r >= table.num_rows() || table.is_dead(r)) continue;
+    std::vector<std::string> keys = RowKeys(table, r);
+    for (const std::string& key : keys) InsertRowIntoBlock(key, r);
+    row_keys_[r] = std::move(keys);
+  }
+  RebuildEmitted();
 }
 
 }  // namespace visclean

@@ -7,13 +7,18 @@
 #ifndef VISCLEAN_EM_BLOCKING_H_
 #define VISCLEAN_EM_BLOCKING_H_
 
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "clean/detector.h"
 #include "data/table.h"
 
 namespace visclean {
+
+class ThreadPool;
 
 /// \brief Options for token blocking.
 struct BlockingOptions {
@@ -32,6 +37,61 @@ struct BlockingOptions {
 /// Pairs are deduplicated and sorted lexicographically.
 std::vector<std::pair<size_t, size_t>> TokenBlocking(
     const Table& table, const BlockingOptions& options);
+
+/// \brief Incremental token blocking behind the Detector interface.
+///
+/// Maintains, across iterations: each live row's blocking keys, each key's
+/// sorted member list, and a refcount per candidate pair (the number of
+/// emitting blocks — size in [2, max_block_size] — that contain it). Update
+/// removes the dirty rows from their old blocks and re-inserts the live
+/// ones, adjusting refcounts through block-size threshold crossings; pairs()
+/// then equals TokenBlocking on the current table bit for bit (same set,
+/// same sort, same max_pairs prefix).
+class BlockingDetector : public Detector {
+ public:
+  /// Sets the options for subsequent scans. Changing them invalidates the
+  /// state; the caller must FullScan before the next pairs() read.
+  void Configure(const BlockingOptions& options);
+
+  void FullScan(const Table& table, ThreadPool* pool) override;
+  void Update(const Table& table, const std::vector<size_t>& mutated_rows,
+              ThreadPool* pool) override;
+
+  /// Current candidate pairs, sorted, deduplicated, max_pairs-capped —
+  /// bit-identical to TokenBlocking(table, options).
+  const std::vector<std::pair<size_t, size_t>>& pairs() const {
+    return emitted_;
+  }
+
+  /// Pairs that entered / left the (uncapped) candidate set in the last
+  /// FullScan/Update, sorted ascending. After FullScan, added() holds the
+  /// whole set and retracted() the previous one.
+  const std::vector<std::pair<size_t, size_t>>& added() const { return added_; }
+  const std::vector<std::pair<size_t, size_t>>& retracted() const {
+    return retracted_;
+  }
+
+ private:
+  /// Blocking keys of one row across all key columns, deduplicated per
+  /// column and prefixed with the column index (per-column block spaces,
+  /// mirroring TokenBlocking's per-column maps).
+  std::vector<std::string> RowKeys(const Table& table, size_t row) const;
+
+  void RemoveRowFromBlock(const std::string& key, size_t row);
+  void InsertRowIntoBlock(const std::string& key, size_t row);
+  void TouchPair(size_t a, size_t b, int delta);
+  void RebuildEmitted();
+
+  BlockingOptions options_;
+  /// Resolved (column index, is_text) per existing key column.
+  std::vector<std::pair<size_t, bool>> key_cols_;
+  std::unordered_map<size_t, std::vector<std::string>> row_keys_;
+  std::unordered_map<std::string, std::vector<size_t>> blocks_;  ///< sorted
+  std::map<std::pair<size_t, size_t>, int> pair_refs_;
+  /// Pairs touched by the scan in flight -> was the pair present before.
+  std::map<std::pair<size_t, size_t>, bool> touched_;
+  std::vector<std::pair<size_t, size_t>> emitted_, added_, retracted_;
+};
 
 }  // namespace visclean
 

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "em/pair_features.h"
 
 namespace visclean {
@@ -35,25 +36,50 @@ int EmModel::LabelOf(size_t a, size_t b) const {
 
 void EmModel::Retrain(const Table& table,
                       const std::vector<std::pair<size_t, size_t>>& candidates,
-                      uint64_t seed) {
+                      uint64_t seed, PairFeatureCache* features,
+                      ThreadPool* pool) {
   std::vector<Example> training;
-  // Weak seeds from unlabeled candidates.
-  for (const auto& [a, b] : candidates) {
-    if (labels_.count(Key(a, b))) continue;
-    std::vector<double> features = PairFeatures(table, a, b);
-    double mean = MeanFeature(features);
-    if (mean >= kPositiveSeedThreshold) {
-      training.push_back({std::move(features), 1});
-    } else if (mean <= kNegativeSeedThreshold) {
-      training.push_back({std::move(features), 0});
+  // Weak seeds from unlabeled candidates. With a feature cache, extraction
+  // of the whole list goes through Batch (hits are free, misses fan out
+  // over the pool); the seed selection below consumes the same vectors in
+  // the same order either way.
+  if (features != nullptr) {
+    std::vector<std::pair<size_t, size_t>> unlabeled;
+    unlabeled.reserve(candidates.size());
+    for (const auto& [a, b] : candidates) {
+      if (!labels_.count(Key(a, b))) unlabeled.emplace_back(a, b);
+    }
+    std::vector<const std::vector<double>*> vectors =
+        features->Batch(table, unlabeled, pool);
+    for (size_t i = 0; i < unlabeled.size(); ++i) {
+      double mean = MeanFeature(*vectors[i]);
+      if (mean >= kPositiveSeedThreshold) {
+        training.push_back({*vectors[i], 1});
+      } else if (mean <= kNegativeSeedThreshold) {
+        training.push_back({*vectors[i], 0});
+      }
+    }
+  } else {
+    for (const auto& [a, b] : candidates) {
+      if (labels_.count(Key(a, b))) continue;
+      std::vector<double> extracted = PairFeatures(table, a, b);
+      double mean = MeanFeature(extracted);
+      if (mean >= kPositiveSeedThreshold) {
+        training.push_back({std::move(extracted), 1});
+      } else if (mean <= kNegativeSeedThreshold) {
+        training.push_back({std::move(extracted), 0});
+      }
     }
   }
   // User labels (authoritative): replicated so a handful of human answers
   // is not drowned out by thousands of weak seeds.
   constexpr size_t kLabelWeight = 8;
   for (const auto& [key, is_match] : labels_) {
-    Example example{PairFeatures(table, key.first, key.second),
-                    is_match ? 1 : 0};
+    Example example{
+        features != nullptr
+            ? *features->Batch(table, {key}, pool).front()
+            : PairFeatures(table, key.first, key.second),
+        is_match ? 1 : 0};
     for (size_t i = 0; i < kLabelWeight; ++i) training.push_back(example);
   }
   if (training.empty()) return;  // nothing to learn from yet
@@ -74,11 +100,49 @@ double EmModel::MatchProbability(const Table& table, size_t a, size_t b) const {
 
 std::vector<ScoredPair> EmModel::ScoreAll(
     const Table& table,
-    const std::vector<std::pair<size_t, size_t>>& candidates) const {
-  std::vector<ScoredPair> out;
-  out.reserve(candidates.size());
-  for (const auto& [a, b] : candidates) {
-    out.push_back({a, b, MatchProbability(table, a, b)});
+    const std::vector<std::pair<size_t, size_t>>& candidates,
+    PairFeatureCache* features, ThreadPool* pool) const {
+  if (features == nullptr) {
+    std::vector<ScoredPair> out;
+    out.reserve(candidates.size());
+    for (const auto& [a, b] : candidates) {
+      out.push_back({a, b, MatchProbability(table, a, b)});
+    }
+    return out;
+  }
+
+  // Cached path: features for the unlabeled pairs come from the memo, then
+  // the forest predictions fan out over the pool with indexed writes —
+  // prediction is a pure const tree walk, so the scores are bit-identical
+  // to the serial path above.
+  std::vector<ScoredPair> out(candidates.size());
+  std::vector<size_t> unlabeled_idx;
+  std::vector<std::pair<size_t, size_t>> unlabeled;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const auto& [a, b] = candidates[i];
+    auto it = labels_.find(Key(a, b));
+    if (it != labels_.end()) {
+      out[i] = {a, b, it->second ? 1.0 : 0.0};
+    } else {
+      unlabeled_idx.push_back(i);
+      unlabeled.emplace_back(a, b);
+    }
+  }
+  std::vector<const std::vector<double>*> vectors =
+      features->Batch(table, unlabeled, pool);
+  auto predict = [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      const auto& [a, b] = unlabeled[j];
+      out[unlabeled_idx[j]] = {a, b, forest_.PredictProbability(*vectors[j])};
+    }
+  };
+  if (pool != nullptr && unlabeled.size() >= 2 * pool->num_threads()) {
+    pool->ParallelChunks(unlabeled.size(),
+                         [&](size_t, size_t begin, size_t end) {
+                           predict(begin, end);
+                         });
+  } else {
+    predict(0, unlabeled.size());
   }
   return out;
 }

@@ -8,9 +8,12 @@
 #include <vector>
 
 #include "data/table.h"
+#include "em/pair_features.h"
 #include "ml/random_forest.h"
 
 namespace visclean {
+
+class ThreadPool;
 
 /// \brief A candidate tuple pair with the model's matching probability
 /// (the edge weight p^t of the ERG).
@@ -41,18 +44,28 @@ class EmModel {
 
   /// Retrains the forest from weak seeds plus all user labels.
   /// `candidates` are the blocked pairs of `table`.
+  ///
+  /// `features` (optional) memoizes the per-pair feature extraction across
+  /// iterations — the forest itself cannot be cached (its seed advances
+  /// every retrain), but the feature vectors are pure in the rows. `pool`
+  /// (optional, requires `features`) fans extraction of cache misses out
+  /// with index-ordered merges. Both leave the fitted forest bit-identical
+  /// to the plain call.
   void Retrain(const Table& table,
                const std::vector<std::pair<size_t, size_t>>& candidates,
-               uint64_t seed);
+               uint64_t seed, PairFeatureCache* features = nullptr,
+               ThreadPool* pool = nullptr);
 
   /// Matching probability for a pair. User-labeled pairs return 0/1
   /// directly (labels are ground truth to the system).
   double MatchProbability(const Table& table, size_t a, size_t b) const;
 
-  /// Scores every candidate pair.
+  /// Scores every candidate pair. `features`/`pool` as in Retrain; scores
+  /// are bit-identical with or without them.
   std::vector<ScoredPair> ScoreAll(
       const Table& table,
-      const std::vector<std::pair<size_t, size_t>>& candidates) const;
+      const std::vector<std::pair<size_t, size_t>>& candidates,
+      PairFeatureCache* features = nullptr, ThreadPool* pool = nullptr) const;
 
   /// The user label for (a, b): 1 match, 0 non-match, -1 unlabeled.
   int LabelOf(size_t a, size_t b) const;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
+#include "common/status.h"
+#include "common/thread_pool.h"
 #include "text/similarity.h"
 
 namespace visclean {
@@ -57,6 +60,69 @@ std::vector<double> PairFeatures(const Table& table, size_t a, size_t b) {
     }
   }
   return features;
+}
+
+uint64_t PairFeatureCache::KeyOf(size_t a, size_t b) {
+  VC_CHECK(a < (uint64_t{1} << 32) && b < (uint64_t{1} << 32),
+           "PairFeatureCache: row id exceeds 32 bits");
+  size_t lo = std::min(a, b), hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | static_cast<uint64_t>(hi);
+}
+
+void PairFeatureCache::Clear() { cache_.clear(); }
+
+void PairFeatureCache::Invalidate(const std::vector<size_t>& dirty_rows) {
+  if (dirty_rows.empty() || cache_.empty()) return;
+  std::unordered_set<size_t> dirty(dirty_rows.begin(), dirty_rows.end());
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    size_t a = static_cast<size_t>(it->first >> 32);
+    size_t b = static_cast<size_t>(it->first & 0xffffffffu);
+    if (dirty.count(a) > 0 || dirty.count(b) > 0) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<const std::vector<double>*> PairFeatureCache::Batch(
+    const Table& table, const std::vector<std::pair<size_t, size_t>>& pairs,
+    ThreadPool* pool) {
+  std::vector<const std::vector<double>*> out(pairs.size(), nullptr);
+  std::vector<size_t> miss_idx;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    auto it = cache_.find(KeyOf(pairs[i].first, pairs[i].second));
+    if (it != cache_.end()) {
+      out[i] = &it->second;
+      ++hits_;
+    } else {
+      miss_idx.push_back(i);
+    }
+  }
+  if (miss_idx.empty()) return out;
+  misses_ += miss_idx.size();
+
+  std::vector<std::vector<double>> computed(miss_idx.size());
+  auto compute = [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      const auto& [a, b] = pairs[miss_idx[j]];
+      computed[j] = PairFeatures(table, a, b);
+    }
+  };
+  if (pool != nullptr && miss_idx.size() >= 2) {
+    pool->ParallelChunks(miss_idx.size(), [&](size_t, size_t begin,
+                                              size_t end) {
+      compute(begin, end);
+    });
+  } else {
+    compute(0, miss_idx.size());
+  }
+  for (size_t j = 0; j < miss_idx.size(); ++j) {
+    const auto& [a, b] = pairs[miss_idx[j]];
+    auto it = cache_.emplace(KeyOf(a, b), std::move(computed[j])).first;
+    out[miss_idx[j]] = &it->second;
+  }
+  return out;
 }
 
 }  // namespace visclean

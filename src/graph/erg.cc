@@ -8,7 +8,7 @@ namespace visclean {
 
 size_t Erg::AddVertex(ErgVertex vertex) {
   vertices_.push_back(std::move(vertex));
-  adjacency_valid_ = false;
+  adjacency_.emplace_back();
   return vertices_.size() - 1;
 }
 
@@ -18,23 +18,10 @@ size_t Erg::AddEdge(ErgEdge edge) {
   VC_CHECK(edge.u != edge.v, "AddEdge: self loop");
   if (edge.u > edge.v) std::swap(edge.u, edge.v);
   edges_.push_back(std::move(edge));
-  adjacency_valid_ = false;
-  return edges_.size() - 1;
-}
-
-void Erg::EnsureAdjacency() const {
-  if (adjacency_valid_) return;
-  adjacency_.assign(vertices_.size(), {});
-  for (size_t e = 0; e < edges_.size(); ++e) {
-    adjacency_[edges_[e].u].push_back(e);
-    adjacency_[edges_[e].v].push_back(e);
-  }
-  adjacency_valid_ = true;
-}
-
-const std::vector<size_t>& Erg::IncidentEdges(size_t i) const {
-  EnsureAdjacency();
-  return adjacency_[i];
+  size_t index = edges_.size() - 1;
+  adjacency_[edges_[index].u].push_back(index);
+  adjacency_[edges_[index].v].push_back(index);
+  return index;
 }
 
 size_t Erg::VertexOfRow(size_t row) const {

@@ -33,8 +33,11 @@ struct ErgEdge {
   double benefit = 0.0;  ///< estimated benefit b (Definition 5.1)
 };
 
-/// \brief The full graph. Vertices/edges are stored by index; adjacency is
-/// rebuilt on demand.
+/// \brief The full graph. Vertices/edges are stored by index.
+///
+/// Adjacency is maintained eagerly by AddVertex/AddEdge — never lazily from
+/// a const accessor — so concurrent IncidentEdges calls from selector code
+/// running on the thread pool are read-only and race-free.
 class Erg {
  public:
   Erg() = default;
@@ -54,20 +57,20 @@ class Erg {
   ErgEdge& edge(size_t i) { return edges_[i]; }
   const std::vector<ErgEdge>& edges() const { return edges_; }
 
-  /// Edge indices incident to vertex i.
-  const std::vector<size_t>& IncidentEdges(size_t i) const;
+  /// Edge indices incident to vertex i, ascending. Safe to call from any
+  /// number of threads concurrently (no mutation, not even lazily).
+  const std::vector<size_t>& IncidentEdges(size_t i) const {
+    return adjacency_[i];
+  }
 
   /// Vertex index for a table row, or npos when absent.
   static constexpr size_t kNoVertex = static_cast<size_t>(-1);
   size_t VertexOfRow(size_t row) const;
 
  private:
-  void EnsureAdjacency() const;
-
   std::vector<ErgVertex> vertices_;
   std::vector<ErgEdge> edges_;
-  mutable std::vector<std::vector<size_t>> adjacency_;
-  mutable bool adjacency_valid_ = false;
+  std::vector<std::vector<size_t>> adjacency_;  // parallel to vertices_
 };
 
 }  // namespace visclean

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
 
@@ -79,7 +80,8 @@ size_t PrefixLength(size_t set_size, double threshold) {
 
 std::vector<SimJoinPair> JoinImpl(const std::vector<TokenIds>& left_ids,
                                   const std::vector<TokenIds>& right_ids,
-                                  double threshold, bool self_join) {
+                                  double threshold, bool self_join,
+                                  ThreadPool* pool) {
   // Inverted index over the prefix tokens of the right side.
   std::unordered_map<int, std::vector<size_t>> index;
   for (size_t j = 0; j < right_ids.size(); ++j) {
@@ -89,28 +91,51 @@ std::vector<SimJoinPair> JoinImpl(const std::vector<TokenIds>& left_ids,
     }
   }
 
-  std::vector<SimJoinPair> out;
-  std::set<std::pair<size_t, size_t>> seen;
-  for (size_t i = 0; i < left_ids.size(); ++i) {
-    size_t plen = PrefixLength(left_ids[i].size(), threshold);
-    for (size_t p = 0; p < plen && p < left_ids[i].size(); ++p) {
-      auto it = index.find(left_ids[i][p]);
-      if (it == index.end()) continue;
-      for (size_t j : it->second) {
-        if (self_join && j <= i) continue;
-        if (!seen.insert({i, j}).second) continue;
-        // Length filter: |x| >= t*|y| and |y| >= t*|x| is necessary for
-        // Jaccard >= t.
-        size_t lx = left_ids[i].size(), ly = right_ids[j].size();
-        if (static_cast<double>(std::min(lx, ly)) <
-            threshold * static_cast<double>(std::max(lx, ly))) {
-          continue;
+  // Probe one left record against the index. Dedup (`seen`) only guards
+  // against re-discovering the same pair through several shared prefix
+  // tokens of the SAME left record, so it stays worker-local when the probe
+  // side is chunked over the pool.
+  auto probe = [&](size_t begin, size_t end, std::vector<SimJoinPair>* out,
+                   std::set<std::pair<size_t, size_t>>* seen) {
+    for (size_t i = begin; i < end; ++i) {
+      size_t plen = PrefixLength(left_ids[i].size(), threshold);
+      for (size_t p = 0; p < plen && p < left_ids[i].size(); ++p) {
+        auto it = index.find(left_ids[i][p]);
+        if (it == index.end()) continue;
+        for (size_t j : it->second) {
+          if (self_join && j <= i) continue;
+          if (!seen->insert({i, j}).second) continue;
+          // Length filter: |x| >= t*|y| and |y| >= t*|x| is necessary for
+          // Jaccard >= t.
+          size_t lx = left_ids[i].size(), ly = right_ids[j].size();
+          if (static_cast<double>(std::min(lx, ly)) <
+              threshold * static_cast<double>(std::max(lx, ly))) {
+            continue;
+          }
+          double sim = JaccardOfSorted(left_ids[i], right_ids[j]);
+          if (sim >= threshold) out->push_back({i, j, sim});
         }
-        double sim = JaccardOfSorted(left_ids[i], right_ids[j]);
-        if (sim >= threshold) out.push_back({i, j, sim});
       }
     }
+  };
+
+  std::vector<SimJoinPair> out;
+  if (pool != nullptr && left_ids.size() >= 2 * pool->num_threads()) {
+    std::vector<std::vector<SimJoinPair>> chunk_out(pool->num_threads());
+    pool->ParallelChunks(left_ids.size(),
+                         [&](size_t worker, size_t begin, size_t end) {
+                           std::set<std::pair<size_t, size_t>> seen;
+                           probe(begin, end, &chunk_out[worker], &seen);
+                         });
+    for (const std::vector<SimJoinPair>& chunk : chunk_out) {
+      out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+  } else {
+    std::set<std::pair<size_t, size_t>> seen;
+    probe(0, left_ids.size(), &out, &seen);
   }
+  // The emitted (left, right) keys are unique, so this comparator is a total
+  // order and the sorted output is independent of probe order / threading.
   std::sort(out.begin(), out.end(), [](const SimJoinPair& a, const SimJoinPair& b) {
     if (a.similarity != b.similarity) return a.similarity > b.similarity;
     if (a.left_index != b.left_index) return a.left_index < b.left_index;
@@ -123,18 +148,43 @@ std::vector<SimJoinPair> JoinImpl(const std::vector<TokenIds>& left_ids,
 
 std::vector<SimJoinPair> SimilarityJoin(const std::vector<std::string>& left,
                                         const std::vector<std::string>& right,
-                                        const SimJoinOptions& options) {
+                                        const SimJoinOptions& options,
+                                        ThreadPool* pool) {
   std::vector<TokenIds> all =
       BuildTokenIds(left, right, options.use_qgrams);
   std::vector<TokenIds> left_ids(all.begin(), all.begin() + left.size());
   std::vector<TokenIds> right_ids(all.begin() + left.size(), all.end());
-  return JoinImpl(left_ids, right_ids, options.threshold, /*self_join=*/false);
+  return JoinImpl(left_ids, right_ids, options.threshold, /*self_join=*/false,
+                  pool);
 }
 
 std::vector<SimJoinPair> SimilaritySelfJoin(
-    const std::vector<std::string>& items, const SimJoinOptions& options) {
+    const std::vector<std::string>& items, const SimJoinOptions& options,
+    ThreadPool* pool) {
   std::vector<TokenIds> ids = BuildTokenIds(items, {}, options.use_qgrams);
-  return JoinImpl(ids, ids, options.threshold, /*self_join=*/true);
+  return JoinImpl(ids, ids, options.threshold, /*self_join=*/true, pool);
+}
+
+const std::vector<SimJoinPair>& SimJoinMemo::SelfJoin(
+    const std::vector<std::string>& items, const SimJoinOptions& options,
+    ThreadPool* pool) {
+  if (valid_ && items == items_ && options.threshold == options_.threshold &&
+      options.use_qgrams == options_.use_qgrams) {
+    ++hits_;
+    return result_;
+  }
+  ++misses_;
+  result_ = SimilaritySelfJoin(items, options, pool);
+  items_ = items;
+  options_ = options;
+  valid_ = true;
+  return result_;
+}
+
+void SimJoinMemo::Clear() {
+  valid_ = false;
+  items_.clear();
+  result_.clear();
 }
 
 }  // namespace visclean

@@ -203,6 +203,43 @@ TEST(ColumnStatsTest, BasicMoments) {
   EXPECT_EQ(venue.num_distinct, 2u);
 }
 
+TEST(TableTest, JournalRecordsEveryMutationAndCompacts) {
+  Table t(PaperSchema());
+  uint64_t base = t.mutation_count();
+  t.AppendRow({Value::String("A"), Value::Number(1), Value::Number(10)});
+  t.AppendRow({Value::String("B"), Value::Number(2), Value::Number(20)});
+  t.Set(0, 2, Value::Number(11));
+  t.MarkDead(1);
+  t.Revive(1);
+  EXPECT_EQ(t.mutation_count(), base + 5);
+  EXPECT_EQ(t.MutatedRowsSince(base), (std::vector<size_t>{0, 1}));
+  // Partial reads stay legal after compaction up to the read point.
+  uint64_t mid = t.mutation_count();
+  t.Set(1, 1, Value::Number(3));
+  t.CompactJournal(mid);
+  EXPECT_EQ(t.MutatedRowsSince(mid), (std::vector<size_t>{1}));
+  EXPECT_EQ(t.journal_entries(), 1u);
+}
+
+TEST(TableTest, CloneStartsWithCompactedJournal) {
+  Table t(PaperSchema());
+  t.AppendRow({Value::String("A"), Value::Number(1), Value::Number(10)});
+  t.AppendRow({Value::String("B"), Value::Number(2), Value::Number(20)});
+  t.Set(0, 2, Value::Number(30));
+  ASSERT_GT(t.journal_entries(), 0u);
+
+  Table copy = t.Clone();
+  // The clone never replays the original's history...
+  EXPECT_EQ(copy.journal_entries(), 0u);
+  // ...but watermarks taken on the original stay comparable.
+  EXPECT_EQ(copy.mutation_count(), t.mutation_count());
+  EXPECT_TRUE(copy.MutatedRowsSince(copy.mutation_count()).empty());
+  // New mutations on the clone journal normally.
+  copy.Set(1, 2, Value::Number(40));
+  EXPECT_EQ(copy.MutatedRowsSince(t.mutation_count()),
+            (std::vector<size_t>{1}));
+}
+
 TEST(ColumnStatsTest, TableStatsSkipDead) {
   Table t(PaperSchema());
   t.AppendRow({Value::String("A"), Value::Number(1), Value::Null()});

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "graph/bnb.h"
@@ -289,6 +291,45 @@ TEST(GssTest, FallsBackWhenNoSetReachesK) {
 }
 
 // ----------------------------------------------------------------- factory --
+
+// Regression for the IncidentEdges data race: adjacency used to be built
+// lazily inside a const accessor, so the benefit stage's worker threads
+// could all trigger the build concurrently. Adjacency is now eager;
+// concurrent const reads must be clean (run under VISCLEAN_SANITIZE=thread
+// in CI to make TSan the judge).
+TEST(ErgTest, IncidentEdgesIsSafeForConcurrentConstReads) {
+  Erg erg = Fig7Erg();
+  const Erg& shared = erg;
+
+  // Serial reference: sum of incident edge indices per vertex.
+  std::vector<size_t> reference(shared.num_vertices(), 0);
+  for (size_t v = 0; v < shared.num_vertices(); ++v) {
+    for (size_t e : shared.IncidentEdges(v)) reference[v] += e + 1;
+  }
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 200;
+  std::vector<std::vector<size_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<size_t> sums(shared.num_vertices(), 0);
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (size_t v = 0; v < shared.num_vertices(); ++v) {
+          size_t sum = 0;
+          for (size_t e : shared.IncidentEdges(v)) sum += e + 1;
+          sums[v] = sum;
+        }
+      }
+      got[t] = std::move(sums);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[t], reference) << "thread " << t;
+  }
+}
 
 TEST(SelectorFactoryTest, KnownNames) {
   EXPECT_EQ(MakeSelector("gss").value()->name(), "GSS");
