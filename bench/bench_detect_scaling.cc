@@ -173,6 +173,64 @@ int Run(bool full) {
     return 1;
   }
 
+  // Dirty-threshold sweep, one task per dataset. The threshold trades
+  // journal folds (cheap when few rows moved) against the pooled full scan
+  // (cheaper once most of the table is dirty); the seed value 0.35 was a
+  // guess. The sweep grounds the per-dataset defaults exported by
+  // bench_util.h (DefaultDetectionDirtyThreshold) — and, because the
+  // ErgCache value index follows the identical journal/fallback contract,
+  // the erg_dirty_threshold default reuses the same conclusion.
+  constexpr double kThresholds[] = {0.05, 0.15, 0.25, 0.35, 0.50, 0.75};
+  struct SweepPoint {
+    std::string dataset;
+    double threshold;
+    double tail_detect;  // mean detect seconds after iteration 1
+    size_t fallback_full_scans;
+    size_t delta_updates;
+  };
+  std::vector<SweepPoint> sweep;
+  struct SweepPick {
+    std::string dataset;
+    double threshold;
+    double tail_detect;
+  };
+  std::vector<SweepPick> picks;
+  std::printf("\n=== dirty-threshold sweep ===\n");
+  std::printf("%4s %10s %12s %10s %7s\n", "data", "threshold", "tail_detect",
+              "fallbacks", "deltas");
+  for (const char* ds : {"D1", "D2", "D3"}) {
+    DirtyDataset sweep_data =
+        MakeDataset(ds, full ? 0 : DefaultEntities(ds));
+    BenchTask sweep_task = TasksFor(ds).front();
+    IterationTimes sweep_ref = RunSession(
+        sweep_data, sweep_task, DetectOptions(DetectionMode::kFull, 1, 0.35));
+    SweepPick pick{ds, kThresholds[0], 0.0};
+    bool first = true;
+    for (double threshold : kThresholds) {
+      IterationTimes t = RunSession(
+          sweep_data, sweep_task,
+          DetectOptions(DetectionMode::kAuto, 1, threshold));
+      if (t.emd != sweep_ref.emd) {
+        std::fprintf(stderr,
+                     "FATAL: %s sweep at threshold %.2f diverges from kFull\n",
+                     ds, threshold);
+        return 1;
+      }
+      double tail = TailMean(t.detect);
+      sweep.push_back({ds, threshold, tail, t.stats.fallback_full_scans,
+                       t.stats.delta_updates});
+      if (first || tail < pick.tail_detect) {
+        pick = {ds, threshold, tail};
+        first = false;
+      }
+      std::printf("%4s %10.2f %12.4f %10zu %7zu\n", ds, threshold, tail,
+                  t.stats.fallback_full_scans, t.stats.delta_updates);
+    }
+    picks.push_back(pick);
+    std::printf("  -> %s best threshold %.2f (%.4fs tail detect)\n", ds,
+                pick.threshold, pick.tail_detect);
+  }
+
   JsonWriter json = JsonWriter::Pretty();
   json.BeginObject();
   json.Key("bench");
@@ -240,6 +298,30 @@ int Run(bool full) {
     json.EndObject();
   }
   json.EndArray();
+  json.Key("threshold_sweep");
+  json.BeginArray();
+  for (const SweepPoint& p : sweep) {
+    json.BeginObject();
+    json.Key("dataset");
+    json.String(p.dataset);
+    json.Key("threshold");
+    json.Number(p.threshold);
+    json.Key("tail_detect_seconds");
+    json.Number(p.tail_detect);
+    json.Key("fallback_full_scans");
+    json.Int(static_cast<int64_t>(p.fallback_full_scans));
+    json.Key("delta_updates");
+    json.Int(static_cast<int64_t>(p.delta_updates));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("recommended_thresholds");
+  json.BeginObject();
+  for (const SweepPick& p : picks) {
+    json.Key(p.dataset);
+    json.Number(p.threshold);
+  }
+  json.EndObject();
   json.EndObject();
 
   std::ofstream out("BENCH_detect_scaling.json");

@@ -1,0 +1,98 @@
+#include "clean/question_store.h"
+
+#include <algorithm>
+
+namespace visclean {
+
+namespace {
+
+// Payload equality per kind, exact down to float bits: an `updated` delta
+// entry fires iff something observable about the question changed.
+bool SamePayload(const TQuestion& a, const TQuestion& b) {
+  return a.probability == b.probability;
+}
+bool SamePayload(const AQuestion& a, const AQuestion& b) {
+  return a.value_a == b.value_a && a.value_b == b.value_b &&
+         a.similarity == b.similarity;
+}
+bool SamePayload(const MQuestion& a, const MQuestion& b) {
+  return a.suggested == b.suggested;
+}
+bool SamePayload(const OQuestion& a, const OQuestion& b) {
+  return a.current == b.current && a.suggested == b.suggested &&
+         a.score == b.score;
+}
+
+}  // namespace
+
+TQuestionKey KeyOf(const TQuestion& q) {
+  return std::minmax(q.row_a, q.row_b);
+}
+
+AQuestionKey KeyOf(const AQuestion& q) {
+  return {q.column, std::minmax(q.value_a, q.value_b)};
+}
+
+CellQuestionKey KeyOf(const MQuestion& q) { return {q.row, q.column}; }
+
+CellQuestionKey KeyOf(const OQuestion& q) { return {q.row, q.column}; }
+
+bool QuestionDelta::Empty() const { return TotalSize() == 0; }
+
+size_t QuestionDelta::TotalSize() const {
+  return t_added.size() + t_updated.size() + t_removed.size() +
+         a_added.size() + a_updated.size() + a_removed.size() +
+         m_added.size() + m_updated.size() + m_removed.size() +
+         o_added.size() + o_updated.size() + o_removed.size();
+}
+
+void QuestionDelta::Clear() { *this = QuestionDelta(); }
+
+template <typename Q>
+void QuestionStore::IngestPool(
+    const std::vector<Q>& current, Pool<Q>* pool, std::vector<Q>* added,
+    std::vector<Q>* updated,
+    std::vector<decltype(KeyOf(std::declval<Q>()))>* removed) {
+  Pool<Q> next;
+  for (const Q& q : current) {
+    auto key = KeyOf(q);
+    if (next.count(key)) continue;  // duplicate in the incoming set
+    auto it = pool->find(key);
+    if (it == pool->end()) {
+      next.emplace(key, StoredQuestion<Q>{next_id_++, q});
+      added->push_back(q);
+    } else {
+      if (!SamePayload(it->second.question, q)) updated->push_back(q);
+      next.emplace(key, StoredQuestion<Q>{it->second.id, q});
+    }
+  }
+  for (const auto& [key, stored] : *pool) {
+    if (!next.count(key)) removed->push_back(key);
+  }
+  *pool = std::move(next);
+}
+
+const QuestionDelta& QuestionStore::Ingest(const QuestionSet& current) {
+  delta_.Clear();
+  IngestPool(current.t_questions, &t_pool_, &delta_.t_added, &delta_.t_updated,
+             &delta_.t_removed);
+  IngestPool(current.a_questions, &a_pool_, &delta_.a_added, &delta_.a_updated,
+             &delta_.a_removed);
+  IngestPool(current.m_questions, &m_pool_, &delta_.m_added, &delta_.m_updated,
+             &delta_.m_removed);
+  IngestPool(current.o_questions, &o_pool_, &delta_.o_added, &delta_.o_updated,
+             &delta_.o_removed);
+  ++generation_;
+  return delta_;
+}
+
+void QuestionStore::Clear() {
+  t_pool_.clear();
+  a_pool_.clear();
+  m_pool_.clear();
+  o_pool_.clear();
+  delta_.Clear();
+  generation_ = 0;
+}
+
+}  // namespace visclean

@@ -1,0 +1,115 @@
+// QuestionStore: the cross-iteration identity layer of the select stage.
+//
+// Each iteration the detect/train/generate stages produce a fresh
+// QuestionSet; the store diffs it against the pools it kept from the
+// previous iteration and exposes (a) the current pools keyed by question
+// identity with stable ids, and (b) the per-iteration QuestionDelta —
+// exactly which questions appeared, changed payload, or retired (answered,
+// resolved on their own, or dropped by detection). The ErgCache consumes
+// the delta to insert/retract graph elements instead of rebuilding the ERG
+// from the whole table (see core/erg_cache.h and DESIGN.md §2.4).
+//
+// Question identity:
+//   T: unordered row pair            A: (column, unordered spelling pair)
+//   M: (row, column)                 O: (row, column)
+// A question keeps its id while its key stays in the pool; payload changes
+// (e.g. the EM probability of a T-question after a retrain) surface as
+// `updated` entries, not retire/re-add churn.
+#ifndef VISCLEAN_CLEAN_QUESTION_STORE_H_
+#define VISCLEAN_CLEAN_QUESTION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clean/question.h"
+
+namespace visclean {
+
+/// Identity keys (see file comment).
+using TQuestionKey = std::pair<size_t, size_t>;  ///< rows, min first
+using AQuestionKey =
+    std::pair<size_t, std::pair<std::string, std::string>>;  ///< col + pair
+using CellQuestionKey = std::pair<size_t, size_t>;           ///< (row, column)
+
+TQuestionKey KeyOf(const TQuestion& q);
+AQuestionKey KeyOf(const AQuestion& q);
+CellQuestionKey KeyOf(const MQuestion& q);
+CellQuestionKey KeyOf(const OQuestion& q);
+
+/// \brief A pooled question: stable id + current payload.
+template <typename Q>
+struct StoredQuestion {
+  uint64_t id = 0;  ///< assigned at first ingest, kept while the key lives
+  Q question;
+};
+
+/// \brief What changed between two consecutive Ingest calls.
+struct QuestionDelta {
+  std::vector<TQuestion> t_added, t_updated;
+  std::vector<TQuestionKey> t_removed;
+  std::vector<AQuestion> a_added, a_updated;
+  std::vector<AQuestionKey> a_removed;
+  std::vector<MQuestion> m_added, m_updated;
+  std::vector<CellQuestionKey> m_removed;
+  std::vector<OQuestion> o_added, o_updated;
+  std::vector<CellQuestionKey> o_removed;
+
+  bool Empty() const;
+  /// Total number of delta entries across all kinds.
+  size_t TotalSize() const;
+  void Clear();
+};
+
+/// \brief Owns the per-type question pools across iterations.
+class QuestionStore {
+ public:
+  template <typename Q>
+  using Pool = std::map<decltype(KeyOf(std::declval<Q>())), StoredQuestion<Q>>;
+
+  /// Replaces the pools with `current` (first occurrence of a key wins —
+  /// duplicate questions in the incoming set collapse here) and returns the
+  /// delta against the previous pools. The delta stays valid until the next
+  /// Ingest/Clear.
+  const QuestionDelta& Ingest(const QuestionSet& current);
+
+  const Pool<TQuestion>& t_pool() const { return t_pool_; }
+  const Pool<AQuestion>& a_pool() const { return a_pool_; }
+  const Pool<MQuestion>& m_pool() const { return m_pool_; }
+  const Pool<OQuestion>& o_pool() const { return o_pool_; }
+
+  const QuestionDelta& last_delta() const { return delta_; }
+
+  size_t TotalSize() const {
+    return t_pool_.size() + a_pool_.size() + m_pool_.size() + o_pool_.size();
+  }
+
+  /// Number of Ingest calls so far.
+  uint64_t generation() const { return generation_; }
+  /// Total stable ids ever assigned (ids are never reused).
+  uint64_t ids_assigned() const { return next_id_ - 1; }
+
+  /// Drops pools and delta; ids keep counting (stability across Clear is
+  /// not promised, id uniqueness is).
+  void Clear();
+
+ private:
+  template <typename Q>
+  void IngestPool(const std::vector<Q>& current, Pool<Q>* pool,
+                  std::vector<Q>* added, std::vector<Q>* updated,
+                  std::vector<decltype(KeyOf(std::declval<Q>()))>* removed);
+
+  Pool<TQuestion> t_pool_;
+  Pool<AQuestion> a_pool_;
+  Pool<MQuestion> m_pool_;
+  Pool<OQuestion> o_pool_;
+  QuestionDelta delta_;
+  uint64_t next_id_ = 1;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CLEAN_QUESTION_STORE_H_

@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "clean/question.h"
+#include "clean/question_store.h"
 #include "core/benefit_model.h"
 #include "core/detection_cache.h"
+#include "core/erg_cache.h"
 #include "data/table.h"
 #include "datagen/generator.h"
 #include "em/em_model.h"
@@ -66,6 +68,16 @@ struct SessionOptions {
   /// Dirty fraction above which kAuto abandons the delta update for a full
   /// scan (see DetectionRequest::dirty_fallback_threshold).
   double detection_dirty_threshold = 0.35;
+
+  /// How the assemble stage builds the ERG. kAuto (default) maintains the
+  /// graph across iterations through the session's ErgCache (QuestionStore
+  /// deltas + journal-driven X value index); kFull assembles from scratch
+  /// every iteration (the reference the differential suite compares
+  /// against). The published graph is bit-identical either way.
+  ErgMode erg_mode = ErgMode::kAuto;
+  /// Dirty fraction above which the ErgCache rebuilds its X value index and
+  /// working graph from scratch (see ErgRequest::dirty_fallback_threshold).
+  double erg_dirty_threshold = 0.35;
 
   uint64_t seed = 7;
   double auto_merge_threshold = 0.95;  ///< EM prob for machine auto-merge
@@ -142,12 +154,19 @@ struct EngineContext {
   /// row token sets, kNN neighbor lists, pair features, the A-question
   /// sim-join memo (used only when detection_mode == kAuto).
   DetectionCache detection;
+  /// Cross-iteration question identity: per-type pools keyed by question
+  /// identity with stable ids, plus the per-iteration delta the ErgCache
+  /// consumes (fed by AssembleStage in both erg modes).
+  QuestionStore question_store;
+  /// Cross-iteration ERG maintenance: journal-driven X value index +
+  /// maintained working graph (used only when erg_mode == kAuto).
+  ErgCache erg_cache;
 
   // ---- Per-iteration products (refreshed by the stages) ----
   std::vector<std::pair<size_t, size_t>> candidates;  ///< blocking output
   std::vector<ScoredPair> scored;  ///< EM scores over `candidates`
   QuestionSet questions;           ///< detected T/A/M/O questions
-  Erg erg;                         ///< built by BenefitStage
+  Erg erg;                         ///< published by AssembleStage
   Cqg cqg;                         ///< chosen by SelectStage
   IterationTrace trace;            ///< the iteration being assembled
 

@@ -16,7 +16,6 @@
 #include "em/active_learning.h"
 #include "em/blocking.h"
 #include "em/clustering.h"
-#include "text/similarity.h"
 
 namespace visclean {
 
@@ -49,6 +48,16 @@ void VoteTransformation(EngineContext& ctx, size_t column,
   if (vote.second >= 2) {
     ApplyTransformation(&ctx.table, column, variant, target);
   }
+}
+
+// The structural inputs of this iteration's ERG assembly (core/erg_cache.h).
+// The promotion cap reuses the T-question cap, matching the legacy builder.
+ErgRequest ErgRequestFor(const EngineContext& ctx) {
+  ErgRequest request;
+  request.x_column = XColumnOrNoColumn(ctx);
+  request.max_promoted_a = ctx.options.max_t_questions;
+  request.dirty_fallback_threshold = ctx.options.erg_dirty_threshold;
+  return request;
 }
 
 // Archives the X spelling variants of a cluster about to be machine-merged
@@ -121,18 +130,35 @@ void StandardizeXAcrossRows(EngineContext& ctx, const std::vector<size_t>& rows,
     }
   }
   if (target.empty()) {
-    std::map<std::string, size_t> freq;
-    for (size_t r : ctx.table.LiveRowIds()) {
-      const Value& v = ctx.table.at(r, x_col);
-      if (v.is_null()) continue;
-      std::string s = v.ToDisplayString();
-      if (spellings.count(s)) ++freq[s];
-    }
     size_t best = 0;
-    for (const auto& [s, n] : freq) {
-      if (n > best) {
-        best = n;
-        target = s;
+    if (ctx.options.erg_mode == ErgMode::kAuto) {
+      // Frequency election served by the journal-synced X value index
+      // instead of a full-table scan. Mid-ask syncs are safe: the fold is
+      // idempotent for a fixed table state. Spellings absent from live data
+      // count zero and can never win, so iterating the (sorted) witnessed
+      // set matches the legacy sorted-frequency-map walk exactly.
+      const XValueIndex& index =
+          ctx.erg_cache.SyncValueIndex(ctx.table, ErgRequestFor(ctx), ctx.pool);
+      for (const std::string& sp : spellings) {
+        size_t n = index.Count(sp);
+        if (n > best) {
+          best = n;
+          target = sp;
+        }
+      }
+    } else {
+      std::map<std::string, size_t> freq;
+      for (size_t r : ctx.table.LiveRowIds()) {
+        const Value& v = ctx.table.at(r, x_col);
+        if (v.is_null()) continue;
+        std::string s = v.ToDisplayString();
+        if (spellings.count(s)) ++freq[s];
+      }
+      for (const auto& [s, n] : freq) {
+        if (n > best) {
+          best = n;
+          target = s;
+        }
       }
     }
   }
@@ -290,18 +316,29 @@ Status GenerateStage::Run(EngineContext& ctx) {
         ctx.table, clusters.clusters, x_col, a_options, memo, pool);
     // Fold in the spelling pairs witnessed by machine-merged clusters,
     // keeping only those whose variant spelling still occurs in live data.
+    // kAuto answers "still live?" from the journal-synced X value index;
+    // kFull keeps the legacy full-table scan.
+    const XValueIndex* index = nullptr;
     std::set<std::string> live_spellings;
-    for (size_t r : ctx.table.LiveRowIds()) {
-      const Value& v = ctx.table.at(r, x_col);
-      if (!v.is_null()) live_spellings.insert(v.ToDisplayString());
+    if (ctx.options.erg_mode == ErgMode::kAuto) {
+      index =
+          &ctx.erg_cache.SyncValueIndex(ctx.table, ErgRequestFor(ctx), ctx.pool);
+    } else {
+      for (size_t r : ctx.table.LiveRowIds()) {
+        const Value& v = ctx.table.at(r, x_col);
+        if (!v.is_null()) live_spellings.insert(v.ToDisplayString());
+      }
     }
+    auto spelling_live = [&](const std::string& sp) {
+      return index != nullptr ? index->Count(sp) > 0
+                              : live_spellings.count(sp) > 0;
+    };
     std::set<std::pair<std::string, std::string>> present;
     for (const AQuestion& q : ctx.questions.a_questions) {
       present.insert(std::minmax(q.value_a, q.value_b));
     }
     std::erase_if(ctx.merge_witnessed_a, [&](const AQuestion& q) {
-      return live_spellings.count(q.value_a) == 0 ||
-             live_spellings.count(q.value_b) == 0 ||
+      return !spelling_live(q.value_a) || !spelling_live(q.value_b) ||
              ctx.a_answered.count(std::minmax(q.value_a, q.value_b)) > 0;
     });
     for (const AQuestion& q : ctx.merge_witnessed_a) {
@@ -317,118 +354,33 @@ Status GenerateStage::Run(EngineContext& ctx) {
   return Status::Ok();
 }
 
-// ----------------------------------------------------------- BenefitStage --
+// ---------------------------------------------------------- AssembleStage --
 
-namespace {
-
-// ERG construction (Definition 2.1) from the current question set.
-void BuildErg(EngineContext& ctx) {
-  ctx.erg = Erg();
-  size_t x_col = XColumnOrNoColumn(ctx);
-
-  // A-question lookup: unordered spelling pair -> similarity.
-  std::map<std::pair<std::string, std::string>, const AQuestion*> a_lookup;
-  for (const AQuestion& q : ctx.questions.a_questions) {
-    a_lookup[std::minmax(q.value_a, q.value_b)] = &q;
+Status AssembleStage::Run(EngineContext& ctx) {
+  // Fold this iteration's QuestionSet into the identity pools (both modes:
+  // the pools are also what deduplicates questions — a T-question and a
+  // duplicate of it collapse to one pool entry, hence one ERG edge).
+  ctx.question_store.Ingest(ctx.questions);
+  ErgRequest request = ErgRequestFor(ctx);
+  if (ctx.options.erg_mode == ErgMode::kAuto) {
+    // The detection cache's pair-feature memo is journal-invalidated, so it
+    // is only safe (and only exists) when detection also runs incrementally.
+    PairFeatureCache* features =
+        ctx.options.detection_mode == DetectionMode::kAuto
+            ? ctx.detection.features()
+            : nullptr;
+    ctx.erg_cache.BeginIteration(ctx.table, ctx.question_store, ctx.em,
+                                 request, features, ctx.pool, &ctx.erg);
+  } else {
+    ErgCache::AssembleFull(ctx.table, ctx.question_store, ctx.em, request,
+                           &ctx.erg);
   }
-
-  // Vertices: every row mentioned by a T-question, plus rows with M-/O-
-  // questions (they may stay isolated; the Single strategy still reaches
-  // them, and composite picks them up once an edge appears).
-  std::map<size_t, size_t> vertex_of_row;
-  auto ensure_vertex = [&](size_t row) {
-    auto it = vertex_of_row.find(row);
-    if (it != vertex_of_row.end()) return it->second;
-    ErgVertex v;
-    v.row = row;
-    size_t idx = ctx.erg.AddVertex(std::move(v));
-    vertex_of_row[row] = idx;
-    return idx;
-  };
-
-  for (const TQuestion& q : ctx.questions.t_questions) {
-    ensure_vertex(q.row_a);
-    ensure_vertex(q.row_b);
-  }
-  for (const MQuestion& q : ctx.questions.m_questions) {
-    ctx.erg.vertex(ensure_vertex(q.row)).missing = q;
-  }
-  for (const OQuestion& q : ctx.questions.o_questions) {
-    ctx.erg.vertex(ensure_vertex(q.row)).outlier = q;
-  }
-
-  std::set<std::pair<size_t, size_t>> edge_keys;
-  for (const TQuestion& q : ctx.questions.t_questions) {
-    ErgEdge edge;
-    edge.u = vertex_of_row[q.row_a];
-    edge.v = vertex_of_row[q.row_b];
-    edge_keys.insert(std::minmax(edge.u, edge.v));
-    edge.p_tuple = q.probability;
-    if (x_col != BenefitOptions::kNoColumn) {
-      const Value& xa = ctx.table.at(q.row_a, x_col);
-      const Value& xb = ctx.table.at(q.row_b, x_col);
-      if (!xa.is_null() && !xb.is_null()) {
-        std::string sa = xa.ToDisplayString();
-        std::string sb = xb.ToDisplayString();
-        if (sa != sb) {
-          edge.has_attr = true;
-          auto it = a_lookup.find(std::minmax(sa, sb));
-          if (it != a_lookup.end()) {
-            edge.attr_question = *it->second;
-            edge.p_attr = it->second->similarity;
-          } else {
-            edge.attr_question.column = x_col;
-            edge.attr_question.value_a = sa;
-            edge.attr_question.value_b = sb;
-            edge.p_attr = WordJaccard(sa, sb);
-            edge.attr_question.similarity = edge.p_attr;
-          }
-        }
-      }
-    }
-    ctx.erg.AddEdge(std::move(edge));
-  }
-
-  // A-question edges (Definition 2.1: an edge exists when two tuples are
-  // possible tuple- OR attribute-level duplicates): each attribute-level
-  // candidate pairs one representative tuple per spelling, so the composite
-  // question can standardize bars even where the EM model has no uncertain
-  // tuple pair.
-  if (x_col != BenefitOptions::kNoColumn) {
-    std::map<std::string, size_t> row_of_value;
-    for (size_t r : ctx.table.LiveRowIds()) {
-      const Value& v = ctx.table.at(r, x_col);
-      if (v.is_null()) continue;
-      row_of_value.emplace(v.ToDisplayString(), r);  // first live row wins
-    }
-    size_t added = 0;
-    for (const AQuestion& q : ctx.questions.a_questions) {
-      if (added >= ctx.options.max_t_questions) break;
-      auto it_a = row_of_value.find(q.value_a);
-      auto it_b = row_of_value.find(q.value_b);
-      if (it_a == row_of_value.end() || it_b == row_of_value.end()) continue;
-      if (it_a->second == it_b->second) continue;
-      size_t u = ensure_vertex(it_a->second);
-      size_t v = ensure_vertex(it_b->second);
-      if (u == v || !edge_keys.insert(std::minmax(u, v)).second) continue;
-      ErgEdge edge;
-      edge.u = u;
-      edge.v = v;
-      edge.p_tuple =
-          ctx.em.MatchProbability(ctx.table, it_a->second, it_b->second);
-      edge.has_attr = true;
-      edge.attr_question = q;
-      edge.p_attr = q.similarity;
-      ctx.erg.AddEdge(std::move(edge));
-      ++added;
-    }
-  }
+  return Status::Ok();
 }
 
-}  // namespace
+// ----------------------------------------------------------- BenefitStage --
 
 Status BenefitStage::Run(EngineContext& ctx) {
-  BuildErg(ctx);
   BenefitOptions benefit_options;
   benefit_options.x_column = XColumnOrNoColumn(ctx);
   benefit_options.threads = ctx.options.threads;
@@ -451,6 +403,8 @@ Status BenefitStage::Run(EngineContext& ctx) {
   // its DetectStage-end state here, so the rolled-back speculative noise
   // must not read as invalidations next iteration.
   ctx.detection.ResyncRolledBack(ctx.table);
+  // And for the ERG cache's value index, by the same argument.
+  ctx.erg_cache.ResyncRolledBack(ctx.table);
   return Status::Ok();
 }
 
@@ -654,6 +608,7 @@ std::vector<std::unique_ptr<PipelineStage>> MakeStages(
   stages.push_back(std::make_unique<TrainStage>());
   stages.push_back(std::make_unique<GenerateStage>());
   if (strategy == QuestionStrategy::kComposite) {
+    stages.push_back(std::make_unique<AssembleStage>());
     stages.push_back(std::make_unique<BenefitStage>());
     stages.push_back(std::make_unique<SelectStage>());
     stages.push_back(std::make_unique<AskStage>());

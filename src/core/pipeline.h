@@ -1,7 +1,8 @@
 // The staged cleaning pipeline: one iteration of the paper's Fig. 6 loop is
 // an ordered list of PipelineStage objects run over a shared EngineContext.
 //
-//   composite: detect -> train -> generate -> benefit -> select -> ask -> apply
+//   composite: detect -> train -> generate -> assemble -> benefit -> select
+//              -> ask -> apply
 //   single:    detect -> train -> generate -> ask(single) -> apply
 //
 // Both questioning strategies are stage *configurations* (MakeStages), not
@@ -69,8 +70,21 @@ class GenerateStage : public PipelineStage {
   Status Run(EngineContext& ctx) override;
 };
 
-/// ERG construction (Definition 2.1) + benefit estimation (Definition 5.1).
-/// Fans speculative repairs out to ctx.pool when the session runs with
+/// Question assembly + ERG construction (Definition 2.1): folds the
+/// iteration's QuestionSet into the QuestionStore pools and publishes the
+/// canonical ERG snapshot into ctx.erg — incrementally via the ErgCache
+/// (ErgMode::kAuto) or from scratch (kFull), bit-identically. Charged to
+/// the select bucket: this is the select-stage work the paper's Fig. 18
+/// shows growing with table size.
+class AssembleStage : public PipelineStage {
+ public:
+  const char* name() const override { return "assemble"; }
+  StageBucket bucket() const override { return StageBucket::kSelect; }
+  Status Run(EngineContext& ctx) override;
+};
+
+/// Benefit estimation (Definition 5.1) over the assembled ERG. Fans
+/// speculative repairs out to ctx.pool when the session runs with
 /// threads > 1; results are bit-identical to the serial path.
 class BenefitStage : public PipelineStage {
  public:

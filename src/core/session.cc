@@ -99,6 +99,7 @@ Result<IterationTrace> VisCleanSession::RunIteration() {
   };
   fold(ctx_.benefit_engine.primed(), ctx_.benefit_engine.watermark());
   fold(ctx_.detection.primed(), ctx_.detection.watermark());
+  fold(ctx_.erg_cache.primed(), ctx_.erg_cache.watermark());
   if (have_consumer) ctx_.table.CompactJournal(upto);
 
   return ctx_.trace;

@@ -64,6 +64,10 @@ class VisCleanSession {
   const QuestionSet& questions() const { return ctx_.questions; }
   /// The full stage blackboard (read-only; tests and benches introspect it).
   const EngineContext& context() const { return ctx_; }
+  /// Mutable blackboard access for tests and benches that inject external
+  /// table churn (e.g. the differential suite's repair storms) between
+  /// iterations. Production callers never mutate the context directly.
+  EngineContext& mutable_context() { return ctx_; }
   /// The configured stage list (empty before Initialize()).
   const std::vector<std::unique_ptr<PipelineStage>>& stages() const {
     return stages_;

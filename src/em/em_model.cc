@@ -92,10 +92,15 @@ void EmModel::Retrain(const Table& table,
   forest_.Fit(training, seed);
 }
 
-double EmModel::MatchProbability(const Table& table, size_t a, size_t b) const {
+double EmModel::MatchProbability(const Table& table, size_t a, size_t b,
+                                 PairFeatureCache* features) const {
   auto it = labels_.find(Key(a, b));
   if (it != labels_.end()) return it->second ? 1.0 : 0.0;
-  return forest_.PredictProbability(PairFeatures(table, a, b));
+  if (features == nullptr) {
+    return forest_.PredictProbability(PairFeatures(table, a, b));
+  }
+  return forest_.PredictProbability(
+      *features->Batch(table, {{a, b}}, /*pool=*/nullptr).front());
 }
 
 std::vector<ScoredPair> EmModel::ScoreAll(

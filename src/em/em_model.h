@@ -57,8 +57,11 @@ class EmModel {
                ThreadPool* pool = nullptr);
 
   /// Matching probability for a pair. User-labeled pairs return 0/1
-  /// directly (labels are ground truth to the system).
-  double MatchProbability(const Table& table, size_t a, size_t b) const;
+  /// directly (labels are ground truth to the system). `features`
+  /// (optional) memoizes the feature extraction exactly as in Retrain; the
+  /// probability is bit-identical with or without it.
+  double MatchProbability(const Table& table, size_t a, size_t b,
+                          PairFeatureCache* features = nullptr) const;
 
   /// Scores every candidate pair. `features`/`pool` as in Retrain; scores
   /// are bit-identical with or without them.

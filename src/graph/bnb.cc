@@ -114,7 +114,8 @@ void Extend(BnbState* s, std::vector<size_t> extension) {
 
 }  // namespace
 
-Cqg BnbSelector::Select(const Erg& erg, size_t k) {
+Cqg BnbSelector::Select(const ErgView& view, size_t k) {
+  const Erg& erg = view.graph();
   last_expansions_ = 0;
   if (erg.num_edges() == 0 || k < 2) return {};
 

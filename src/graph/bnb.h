@@ -28,7 +28,7 @@ struct BnbOptions {
 class BnbSelector : public CqgSelector {
  public:
   explicit BnbSelector(BnbOptions options = {}) : options_(options) {}
-  Cqg Select(const Erg& erg, size_t k) override;
+  Cqg Select(const ErgView& erg, size_t k) override;
   std::string name() const override;
 
   /// Number of search-tree expansions of the last Select call.

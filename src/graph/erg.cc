@@ -1,34 +1,129 @@
 #include "graph/erg.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/status.h"
 
 namespace visclean {
 
+uint64_t Erg::PairKey(size_t u, size_t v) {
+  if (u > v) std::swap(u, v);
+  VC_CHECK(v < (uint64_t{1} << 32), "PairKey: vertex index exceeds 2^32");
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
 size_t Erg::AddVertex(ErgVertex vertex) {
+  size_t row = vertex.row;
   vertices_.push_back(std::move(vertex));
   adjacency_.emplace_back();
-  return vertices_.size() - 1;
+  vertex_dead_.push_back(0);
+  size_t index = vertices_.size() - 1;
+  vertex_of_row_[row] = index;  // a re-added row binds to the fresh slot
+  return index;
 }
 
 size_t Erg::AddEdge(ErgEdge edge) {
   VC_CHECK(edge.u < vertices_.size() && edge.v < vertices_.size(),
            "AddEdge: endpoint out of range");
   VC_CHECK(edge.u != edge.v, "AddEdge: self loop");
+  VC_CHECK(vertex_live(edge.u) && vertex_live(edge.v),
+           "AddEdge: endpoint is a tombstone");
   if (edge.u > edge.v) std::swap(edge.u, edge.v);
   edges_.push_back(std::move(edge));
+  edge_dead_.push_back(0);
   size_t index = edges_.size() - 1;
   adjacency_[edges_[index].u].push_back(index);
   adjacency_[edges_[index].v].push_back(index);
+  // First live edge per pair wins the lookup slot (parallel edges from
+  // build-once callers stay addressable by index only).
+  edge_of_pair_.emplace(PairKey(edges_[index].u, edges_[index].v), index);
   return index;
 }
 
-size_t Erg::VertexOfRow(size_t row) const {
-  for (size_t i = 0; i < vertices_.size(); ++i) {
-    if (vertices_[i].row == row) return i;
+void Erg::RetractEdge(size_t index) {
+  VC_CHECK(index < edges_.size(), "RetractEdge: index out of range");
+  VC_CHECK(edge_live(index), "RetractEdge: already retracted");
+  const ErgEdge& edge = edges_[index];
+  for (size_t endpoint : {edge.u, edge.v}) {
+    std::vector<size_t>& adj = adjacency_[endpoint];
+    adj.erase(std::remove(adj.begin(), adj.end(), index), adj.end());
   }
-  return kNoVertex;
+  auto it = edge_of_pair_.find(PairKey(edge.u, edge.v));
+  if (it != edge_of_pair_.end() && it->second == index) {
+    edge_of_pair_.erase(it);
+  }
+  edge_dead_[index] = 1;
+  ++dead_edges_;
+}
+
+void Erg::RetractVertex(size_t index) {
+  VC_CHECK(index < vertices_.size(), "RetractVertex: index out of range");
+  VC_CHECK(vertex_live(index), "RetractVertex: already retracted");
+  VC_CHECK(adjacency_[index].empty(),
+           "RetractVertex: vertex still has live incident edges");
+  auto it = vertex_of_row_.find(vertices_[index].row);
+  if (it != vertex_of_row_.end() && it->second == index) {
+    vertex_of_row_.erase(it);
+  }
+  vertex_dead_[index] = 1;
+  ++dead_vertices_;
+}
+
+size_t Erg::VertexOfRow(size_t row) const {
+  auto it = vertex_of_row_.find(row);
+  if (it == vertex_of_row_.end() || !vertex_live(it->second)) return kNoVertex;
+  return it->second;
+}
+
+size_t Erg::EdgeBetween(size_t u, size_t v) const {
+  if (u == v) return kNoEdge;
+  auto it = edge_of_pair_.find(PairKey(u, v));
+  if (it == edge_of_pair_.end() || !edge_live(it->second)) return kNoEdge;
+  return it->second;
+}
+
+Erg Erg::Compacted() const {
+  Erg out;
+  std::vector<size_t> live_vertices;
+  live_vertices.reserve(num_live_vertices());
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertex_live(i)) live_vertices.push_back(i);
+  }
+  // Canonical vertex order: ascending row id (stable on index for the
+  // build-once style, where one row may back several slots).
+  std::stable_sort(live_vertices.begin(), live_vertices.end(),
+                   [&](size_t a, size_t b) {
+                     return vertices_[a].row < vertices_[b].row;
+                   });
+  std::vector<size_t> remap(vertices_.size(), kNoVertex);
+  for (size_t i : live_vertices) {
+    remap[i] = out.AddVertex(vertices_[i]);
+  }
+
+  std::vector<size_t> live_edges;
+  live_edges.reserve(num_live_edges());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (edge_live(e)) live_edges.push_back(e);
+  }
+  // Canonical edge order: ascending (row_u, row_v) of the remapped
+  // endpoints (stable on index for parallel edges).
+  // NB: explicit value pair — std::minmax over locals returns a pair of
+  // dangling references if deduced.
+  auto row_pair = [&](size_t e) -> std::pair<size_t, size_t> {
+    size_t ra = vertices_[edges_[e].u].row;
+    size_t rb = vertices_[edges_[e].v].row;
+    return std::minmax(ra, rb);
+  };
+  std::stable_sort(live_edges.begin(), live_edges.end(),
+                   [&](size_t a, size_t b) { return row_pair(a) < row_pair(b); });
+  for (size_t e : live_edges) {
+    ErgEdge edge = edges_[e];
+    edge.u = remap[edge.u];
+    edge.v = remap[edge.v];
+    out.AddEdge(std::move(edge));
+  }
+  return out;
 }
 
 }  // namespace visclean

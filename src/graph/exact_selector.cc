@@ -21,7 +21,8 @@ bool NextCombination(std::vector<size_t>& combo, size_t n) {
 
 }  // namespace
 
-Cqg ExactSelector::Select(const Erg& erg, size_t k) {
+Cqg ExactSelector::Select(const ErgView& view, size_t k) {
+  const Erg& erg = view.graph();
   const size_t n = erg.num_vertices();
   if (n == 0 || erg.num_edges() == 0) return {};
   if (k > n) k = n;

@@ -12,7 +12,7 @@ namespace visclean {
 /// with maximum induced benefit. Only usable for very small ERGs.
 class ExactSelector : public CqgSelector {
  public:
-  Cqg Select(const Erg& erg, size_t k) override;
+  Cqg Select(const ErgView& erg, size_t k) override;
   std::string name() const override { return "Exact"; }
 };
 

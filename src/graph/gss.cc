@@ -137,13 +137,15 @@ std::vector<size_t> AllEdgeIndices(const Erg& erg) {
 
 }  // namespace
 
-Cqg GssSelector::Select(const Erg& erg, size_t k) {
+Cqg GssSelector::Select(const ErgView& view, size_t k) {
+  const Erg& erg = view.graph();
   if (erg.num_edges() == 0) return {};
   return RunGss(erg, k, SortedEdgeOrder(erg, AllEdgeIndices(erg)),
                 /*early_stop_subgraphs=*/0);
 }
 
-Cqg GssPlusSelector::Select(const Erg& erg, size_t k) {
+Cqg GssPlusSelector::Select(const ErgView& view, size_t k) {
+  const Erg& erg = view.graph();
   if (erg.num_edges() == 0) return {};
   // Optimization 1: keep only edges in the uncertain band — they carry the
   // training signal; near-certain edges are answered by the machine.

@@ -26,7 +26,7 @@ struct GssOptions {
 /// return the best.
 class GssSelector : public CqgSelector {
  public:
-  Cqg Select(const Erg& erg, size_t k) override;
+  Cqg Select(const ErgView& erg, size_t k) override;
   std::string name() const override { return "GSS"; }
 };
 
@@ -34,7 +34,7 @@ class GssSelector : public CqgSelector {
 class GssPlusSelector : public CqgSelector {
  public:
   explicit GssPlusSelector(GssOptions options = {}) : options_(options) {}
-  Cqg Select(const Erg& erg, size_t k) override;
+  Cqg Select(const ErgView& erg, size_t k) override;
   std::string name() const override { return "GSS+"; }
 
  private:

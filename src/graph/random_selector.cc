@@ -5,7 +5,8 @@
 
 namespace visclean {
 
-Cqg RandomSelector::Select(const Erg& erg, size_t k) {
+Cqg RandomSelector::Select(const ErgView& view, size_t k) {
+  const Erg& erg = view.graph();
   if (erg.num_edges() == 0) return {};
   const ErgEdge& seed = erg.edge(static_cast<size_t>(
       rng_.UniformInt(0, static_cast<int64_t>(erg.num_edges()) - 1)));

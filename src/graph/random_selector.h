@@ -12,7 +12,7 @@ namespace visclean {
 class RandomSelector : public CqgSelector {
  public:
   explicit RandomSelector(uint64_t seed) : rng_(seed) {}
-  Cqg Select(const Erg& erg, size_t k) override;
+  Cqg Select(const ErgView& erg, size_t k) override;
   std::string name() const override { return "Random"; }
 
  private:

@@ -17,13 +17,18 @@ namespace visclean {
 /// Precondition: every ERG edge's `benefit` has been filled in by the
 /// benefit model. Implementations must return a connected subgraph with at
 /// most k vertices (fewer when the graph is too small or disconnected).
+///
+/// Selectors consume a read-only ErgView snapshot — the published,
+/// compacted graph of the iteration — never the maintained working graph,
+/// so selection can run at any thread count without observing in-flight
+/// insert/retract mutation (see core/erg_cache.h).
 class CqgSelector {
  public:
   virtual ~CqgSelector() = default;
 
   /// Selects a CQG with (up to) k vertices. An empty CQG means no
   /// questions remain.
-  virtual Cqg Select(const Erg& erg, size_t k) = 0;
+  virtual Cqg Select(const ErgView& erg, size_t k) = 0;
 
   /// Algorithm name as used in the paper's plots ("GSS", "GSS+", "B&B", ...).
   virtual std::string name() const = 0;

@@ -6,7 +6,11 @@
 #include <thread>
 #include <vector>
 
+#include "clean/question_store.h"
 #include "common/rng.h"
+#include "core/erg_cache.h"
+#include "data/table.h"
+#include "em/em_model.h"
 #include "graph/bnb.h"
 #include "graph/cqg.h"
 #include "graph/erg.h"
@@ -329,6 +333,151 @@ TEST(ErgTest, IncidentEdgesIsSafeForConcurrentConstReads) {
   for (size_t t = 0; t < kThreads; ++t) {
     EXPECT_EQ(got[t], reference) << "thread " << t;
   }
+}
+
+// VertexOfRow is backed by a hash map maintained across retract/re-add, not
+// a linear scan: the micro-asserts below pin the slot-binding semantics the
+// maintained (ErgCache) usage style depends on.
+TEST(ErgTest, VertexOfRowTracksRetractAndReAdd) {
+  Erg erg;
+  for (size_t row : {40u, 10u, 30u}) {
+    ErgVertex v;
+    v.row = row;
+    erg.AddVertex(v);
+  }
+  EXPECT_EQ(erg.VertexOfRow(10), 1u);
+  EXPECT_EQ(erg.VertexOfRow(30), 2u);
+
+  erg.RetractVertex(1);
+  EXPECT_EQ(erg.VertexOfRow(10), Erg::kNoVertex);
+  EXPECT_EQ(erg.VertexOfRow(40), 0u);  // other bindings survive
+
+  // Re-adding the retracted row binds it to the fresh slot.
+  ErgVertex again;
+  again.row = 10;
+  size_t fresh = erg.AddVertex(again);
+  EXPECT_EQ(fresh, 3u);
+  EXPECT_EQ(erg.VertexOfRow(10), fresh);
+
+  // Bulk sanity at a size where an O(V) scan per lookup would dominate the
+  // whole test binary: every row resolves to its own slot.
+  Erg big;
+  constexpr size_t kRows = 20000;
+  for (size_t i = 0; i < kRows; ++i) {
+    ErgVertex v;
+    v.row = i * 7;  // non-contiguous row ids
+    big.AddVertex(v);
+  }
+  for (size_t i = 0; i < kRows; ++i) {
+    ASSERT_EQ(big.VertexOfRow(i * 7), i);
+  }
+  EXPECT_EQ(big.VertexOfRow(3), Erg::kNoVertex);  // not a multiple of 7
+}
+
+// Compacted() is the canonical form both assembly modes publish: vertices
+// ascending by row, edges ascending by (row_u, row_v), tombstones dropped,
+// regardless of insertion/retraction history. (Also a regression test for a
+// dangling-reference bug where the edge sort key was built from std::minmax
+// over locals, leaving the order history-dependent.)
+TEST(ErgTest, CompactedIsCanonicalAndDropsTombstones) {
+  Erg erg;
+  // Scrambled insertion order: rows 50, 20, 90, 10, 60.
+  for (size_t row : {50u, 20u, 90u, 10u, 60u}) {
+    ErgVertex v;
+    v.row = row;
+    erg.AddVertex(v);
+  }
+  auto add = [&](size_t row_a, size_t row_b, double benefit) {
+    ErgEdge e;
+    e.u = erg.VertexOfRow(row_a);
+    e.v = erg.VertexOfRow(row_b);
+    e.benefit = benefit;
+    return erg.AddEdge(e);
+  };
+  add(90, 10, 0.1);                  // (10, 90)
+  add(60, 50, 0.2);                  // (50, 60)
+  size_t doomed = add(20, 90, 0.3);  // (20, 90) — retracted below
+  add(20, 50, 0.4);                  // (20, 50)
+  add(10, 20, 0.5);                  // (10, 20)
+  erg.RetractEdge(doomed);
+  EXPECT_GT(erg.edge_tombstone_fraction(), 0.0);
+
+  Erg dense = erg.Compacted();
+  EXPECT_EQ(dense.num_vertices(), 5u);
+  EXPECT_EQ(dense.num_edges(), 4u);
+  EXPECT_EQ(dense.edge_tombstone_fraction(), 0.0);
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < dense.num_vertices(); ++i) {
+    rows.push_back(dense.vertex(i).row);
+  }
+  EXPECT_EQ(rows, (std::vector<size_t>{10, 20, 50, 60, 90}));
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<double> benefits;
+  for (const ErgEdge& e : dense.edges()) {
+    pairs.emplace_back(dense.vertex(e.u).row, dense.vertex(e.v).row);
+    benefits.push_back(e.benefit);
+  }
+  EXPECT_EQ(pairs, (std::vector<std::pair<size_t, size_t>>{
+                       {10, 20}, {10, 90}, {20, 50}, {50, 60}}));
+  EXPECT_EQ(benefits, (std::vector<double>{0.5, 0.1, 0.4, 0.2}));
+  // Compacting an already-canonical graph is the identity.
+  Erg twice = dense.Compacted();
+  EXPECT_EQ(twice.num_vertices(), dense.num_vertices());
+  for (size_t e = 0; e < twice.num_edges(); ++e) {
+    EXPECT_EQ(twice.edge(e).benefit, dense.edge(e).benefit);
+  }
+}
+
+// Regression for edge dedup in assembly: a T-question and an A-question
+// whose spelling representatives name the same row pair must merge into ONE
+// edge (tuple-sourced p_tuple, attribute payload from the stored
+// A-question) instead of producing parallel edges.
+TEST(ErgAssemblyTest, TupleAndPromotedAQuestionOnSamePairMergeIntoOneEdge) {
+  Schema schema({{"Title", ColumnType::kText},
+                 {"Venue", ColumnType::kCategorical},
+                 {"Citations", ColumnType::kNumeric}});
+  Table table(schema);
+  auto add = [&](const char* title, const char* venue, double citations) {
+    table.AppendRow({Value::String(title), Value::String(venue),
+                     Value::Number(citations)});
+  };
+  add("NADEEF data cleaning system", "ACM SIGMOD", 174);  // row 0
+  add("NADEEF data cleaning system", "SIGMOD", 1740);     // row 1
+  add("SeeDB visualization engine", "VLDB", 55);          // row 2
+
+  QuestionSet set;
+  set.t_questions.push_back({0, 1, 0.42});
+  AQuestion a;
+  a.column = 1;
+  a.value_a = "SIGMOD";      // representative row 1
+  a.value_b = "ACM SIGMOD";  // representative row 0
+  a.similarity = 0.9;
+  set.a_questions.push_back(a);
+
+  QuestionStore store;
+  store.Ingest(set);
+  ForestOptions forest;
+  forest.num_trees = 2;
+  EmModel em(forest);  // never consulted: the only A-pair is claimed
+  ErgRequest request;
+  request.x_column = 1;
+  request.max_promoted_a = 4;  // promotion enabled, and still one edge
+
+  Erg erg;
+  ErgCache::AssembleFull(table, store, em, request, &erg);
+  ASSERT_EQ(erg.num_edges(), 1u);
+  size_t u = erg.VertexOfRow(0);
+  size_t v = erg.VertexOfRow(1);
+  ASSERT_NE(u, Erg::kNoVertex);
+  ASSERT_NE(v, Erg::kNoVertex);
+  EXPECT_EQ(erg.EdgeBetween(u, v), 0u);
+  const ErgEdge& merged = erg.edge(0);
+  EXPECT_EQ(merged.p_tuple, 0.42);  // tuple question wins the slot
+  EXPECT_TRUE(merged.has_attr);    // ... and carries the attribute payload
+  EXPECT_EQ(merged.p_attr, 0.9);
+  // The stored A-question rides along verbatim (as first ingested).
+  EXPECT_EQ(merged.attr_question.value_a, "SIGMOD");
+  EXPECT_EQ(merged.attr_question.value_b, "ACM SIGMOD");
 }
 
 TEST(SelectorFactoryTest, KnownNames) {

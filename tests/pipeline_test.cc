@@ -54,8 +54,8 @@ std::vector<std::string> StageNames(
 
 TEST(PipelineTest, FactoryBuildsStrategyConfigurations) {
   EXPECT_EQ(StageNames(MakeStages(QuestionStrategy::kComposite)),
-            (std::vector<std::string>{"detect", "train", "generate", "benefit",
-                                      "select", "ask", "apply"}));
+            (std::vector<std::string>{"detect", "train", "generate", "assemble",
+                                      "benefit", "select", "ask", "apply"}));
   EXPECT_EQ(StageNames(MakeStages(QuestionStrategy::kSingle)),
             (std::vector<std::string>{"detect", "train", "generate", "ask",
                                       "apply"}));

@@ -1,0 +1,111 @@
+// Unit tests for QuestionStore: identity keys, stable ids across
+// re-ingests, per-iteration delta semantics, duplicate collapsing.
+#include "clean/question_store.h"
+
+#include <gtest/gtest.h>
+
+namespace visclean {
+namespace {
+
+TQuestion T(size_t a, size_t b, double p) { return {a, b, p}; }
+
+AQuestion A(const std::string& va, const std::string& vb, double sim) {
+  AQuestion q;
+  q.column = 2;
+  q.value_a = va;
+  q.value_b = vb;
+  q.similarity = sim;
+  return q;
+}
+
+TEST(QuestionStoreTest, KeysAreOrderInsensitive) {
+  EXPECT_EQ(KeyOf(T(7, 3, 0.5)), KeyOf(T(3, 7, 0.9)));
+  EXPECT_EQ(KeyOf(A("x", "y", 0.1)), KeyOf(A("y", "x", 0.7)));
+  MQuestion m;
+  m.row = 4;
+  m.column = 1;
+  EXPECT_EQ(KeyOf(m), (CellQuestionKey{4, 1}));
+}
+
+TEST(QuestionStoreTest, FirstIngestIsAllAdded) {
+  QuestionStore store;
+  QuestionSet set;
+  set.t_questions = {T(1, 2, 0.5), T(3, 4, 0.6)};
+  set.a_questions = {A("a", "b", 0.8)};
+  const QuestionDelta& delta = store.Ingest(set);
+  EXPECT_EQ(delta.t_added.size(), 2u);
+  EXPECT_EQ(delta.a_added.size(), 1u);
+  EXPECT_TRUE(delta.t_removed.empty());
+  EXPECT_TRUE(delta.t_updated.empty());
+  EXPECT_EQ(store.TotalSize(), 3u);
+  EXPECT_EQ(store.ids_assigned(), 3u);
+  EXPECT_EQ(store.generation(), 1u);
+}
+
+TEST(QuestionStoreTest, StableIdsAcrossReingest) {
+  QuestionStore store;
+  QuestionSet set;
+  set.t_questions = {T(1, 2, 0.5), T(3, 4, 0.6)};
+  store.Ingest(set);
+  uint64_t id12 = store.t_pool().at({1, 2}).id;
+
+  // Same keys again (one with a new payload, one re-oriented): same ids.
+  set.t_questions = {T(2, 1, 0.7), T(3, 4, 0.6)};
+  const QuestionDelta& delta = store.Ingest(set);
+  EXPECT_EQ(store.t_pool().at({1, 2}).id, id12);
+  EXPECT_TRUE(delta.t_added.empty());
+  EXPECT_TRUE(delta.t_removed.empty());
+  ASSERT_EQ(delta.t_updated.size(), 1u);  // payload 0.5 -> 0.7
+  EXPECT_EQ(delta.t_updated[0].probability, 0.7);
+  EXPECT_EQ(store.ids_assigned(), 2u);  // nothing new was minted
+}
+
+TEST(QuestionStoreTest, RetiredKeysShowAsRemoved) {
+  QuestionStore store;
+  QuestionSet set;
+  set.t_questions = {T(1, 2, 0.5), T(3, 4, 0.6)};
+  store.Ingest(set);
+  set.t_questions = {T(3, 4, 0.6), T(5, 6, 0.4)};
+  const QuestionDelta& delta = store.Ingest(set);
+  ASSERT_EQ(delta.t_removed.size(), 1u);
+  EXPECT_EQ(delta.t_removed[0], (TQuestionKey{1, 2}));
+  ASSERT_EQ(delta.t_added.size(), 1u);
+  EXPECT_EQ(KeyOf(delta.t_added[0]), (TQuestionKey{5, 6}));
+  EXPECT_EQ(store.TotalSize(), 2u);
+}
+
+TEST(QuestionStoreTest, DuplicateQuestionsCollapseFirstWins) {
+  QuestionStore store;
+  QuestionSet set;
+  set.t_questions = {T(1, 2, 0.5), T(2, 1, 0.9), T(1, 2, 0.1)};
+  const QuestionDelta& delta = store.Ingest(set);
+  EXPECT_EQ(delta.t_added.size(), 1u);
+  EXPECT_EQ(store.t_pool().size(), 1u);
+  EXPECT_EQ(store.t_pool().at({1, 2}).question.probability, 0.5);
+}
+
+TEST(QuestionStoreTest, UnchangedPayloadIsNoDelta) {
+  QuestionStore store;
+  QuestionSet set;
+  set.o_questions = {{3, 1, 10.0, 2.0, 0.9}};
+  store.Ingest(set);
+  const QuestionDelta& delta = store.Ingest(set);
+  EXPECT_TRUE(delta.Empty());
+  EXPECT_EQ(delta.TotalSize(), 0u);
+}
+
+TEST(QuestionStoreTest, ClearDropsPoolsButKeepsIdCounter) {
+  QuestionStore store;
+  QuestionSet set;
+  set.t_questions = {T(1, 2, 0.5)};
+  store.Ingest(set);
+  store.Clear();
+  EXPECT_EQ(store.TotalSize(), 0u);
+  EXPECT_EQ(store.generation(), 0u);
+  store.Ingest(set);
+  // Ids are never reused, even across Clear.
+  EXPECT_EQ(store.t_pool().at({1, 2}).id, 2u);
+}
+
+}  // namespace
+}  // namespace visclean
