@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/paper_options.h"
 #include "core/session.h"
 #include "datagen/books.h"
 #include "datagen/nba.h"
@@ -126,42 +127,13 @@ inline size_t DefaultEntities(const std::string& dataset) {
   return 600;
 }
 
-/// Per-dataset detection dirty-fraction fallback thresholds, grounded by
-/// the sweep in bench_detect_scaling ("threshold_sweep" in
-/// BENCH_detect_scaling.json): interactive-loop dirty fractions stay well
-/// below 0.15, so tail detect time is flat for thresholds >= 0.15 and
-/// degrades below it (needless fallback full scans). The values sit
-/// mid-flat-region — away from the fallback cliff, but low enough that a
-/// bulk edit still reverts to the pooled scan.
-inline double DefaultDetectionDirtyThreshold(const std::string& dataset) {
-  if (dataset == "D1") return 0.5;
-  if (dataset == "D2") return 0.5;
-  return 0.35;  // D3: smallest tables, fallback scans are nearly free
-}
-
-/// The ErgCache value index follows the identical journal-fold / pooled
-/// full-rebuild contract as the DetectionCache, so its fallback threshold
-/// reuses the detection sweep's conclusion.
-inline double DefaultErgDirtyThreshold(const std::string& dataset) {
-  return DefaultDetectionDirtyThreshold(dataset);
-}
-
-/// Session configuration used by the end-to-end benches (paper defaults:
-/// k = 10, budget = 15). When `dataset` is given, the journal-fallback
-/// thresholds use the sweep-picked per-dataset defaults above.
-inline SessionOptions PaperSessionOptions(const std::string& selector = "gss",
-                                          const std::string& dataset = "") {
-  SessionOptions options;
-  options.k = 10;
-  options.budget = 15;
-  options.selector = selector;
-  options.forest.num_trees = 12;
-  if (!dataset.empty()) {
-    options.detection_dirty_threshold = DefaultDetectionDirtyThreshold(dataset);
-    options.erg_dirty_threshold = DefaultErgDirtyThreshold(dataset);
-  }
-  return options;
-}
+/// The sweep-picked per-dataset thresholds and the paper-default session
+/// configuration now live in src/core/paper_options.h (production configs —
+/// the serving layer in particular — need them without bench headers).
+/// Re-exported here so bench binaries keep their historical spelling.
+using visclean::DefaultDetectionDirtyThreshold;
+using visclean::DefaultErgDirtyThreshold;
+using visclean::PaperSessionOptions;
 
 /// Parses a Table V query or aborts (bench tasks are static text).
 inline VqlQuery MustParse(const char* vql) {

@@ -95,4 +95,47 @@ void QuestionStore::Clear() {
   generation_ = 0;
 }
 
+namespace {
+
+template <typename Q>
+std::vector<StoredQuestion<Q>> FlattenPool(
+    const QuestionStore::Pool<Q>& pool) {
+  std::vector<StoredQuestion<Q>> out;
+  out.reserve(pool.size());
+  for (const auto& [key, stored] : pool) out.push_back(stored);
+  return out;
+}
+
+template <typename Q>
+QuestionStore::Pool<Q> RebuildPool(const std::vector<StoredQuestion<Q>>& flat) {
+  QuestionStore::Pool<Q> pool;
+  for (const StoredQuestion<Q>& stored : flat) {
+    pool.emplace(KeyOf(stored.question), stored);
+  }
+  return pool;
+}
+
+}  // namespace
+
+QuestionStoreSnapshot QuestionStore::Snapshot() const {
+  QuestionStoreSnapshot snapshot;
+  snapshot.t = FlattenPool(t_pool_);
+  snapshot.a = FlattenPool(a_pool_);
+  snapshot.m = FlattenPool(m_pool_);
+  snapshot.o = FlattenPool(o_pool_);
+  snapshot.next_id = next_id_;
+  snapshot.generation = generation_;
+  return snapshot;
+}
+
+void QuestionStore::Restore(const QuestionStoreSnapshot& snapshot) {
+  t_pool_ = RebuildPool(snapshot.t);
+  a_pool_ = RebuildPool(snapshot.a);
+  m_pool_ = RebuildPool(snapshot.m);
+  o_pool_ = RebuildPool(snapshot.o);
+  delta_.Clear();
+  next_id_ = snapshot.next_id;
+  generation_ = snapshot.generation;
+}
+
 }  // namespace visclean

@@ -63,6 +63,18 @@ struct QuestionDelta {
   void Clear();
 };
 
+/// \brief Durable image of a QuestionStore: pool entries in key order (keys
+/// are re-derived via KeyOf on restore) plus the id/generation counters.
+/// This is the serialization surface session snapshots persist.
+struct QuestionStoreSnapshot {
+  std::vector<StoredQuestion<TQuestion>> t;
+  std::vector<StoredQuestion<AQuestion>> a;
+  std::vector<StoredQuestion<MQuestion>> m;
+  std::vector<StoredQuestion<OQuestion>> o;
+  uint64_t next_id = 1;
+  uint64_t generation = 0;
+};
+
 /// \brief Owns the per-type question pools across iterations.
 class QuestionStore {
  public:
@@ -94,6 +106,16 @@ class QuestionStore {
   /// Drops pools and delta; ids keep counting (stability across Clear is
   /// not promised, id uniqueness is).
   void Clear();
+
+  /// The store's durable image (see QuestionStoreSnapshot). The last delta
+  /// is deliberately excluded: it only describes the transition into the
+  /// current pools, and every delta consumer rebuilds from scratch after a
+  /// restore anyway.
+  QuestionStoreSnapshot Snapshot() const;
+
+  /// Replaces pools and counters with a Snapshot() image; the delta resets
+  /// to empty. Ids resume counting from the snapshot's next_id.
+  void Restore(const QuestionStoreSnapshot& snapshot);
 
  private:
   template <typename Q>

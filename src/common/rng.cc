@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/status.h"
 
@@ -56,6 +57,21 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   }
   all.resize(k);
   return all;
+}
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  return true;
 }
 
 }  // namespace visclean

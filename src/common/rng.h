@@ -49,6 +49,20 @@ class Rng {
   /// Access the underlying engine for use with <random> distributions.
   std::mt19937_64& engine() { return engine_; }
 
+  // ---- State capture ----
+  //
+  // mt19937_64 defines portable text streaming of its full internal state;
+  // these wrap it so stateful components (simulated user, random selector)
+  // can be checkpointed into a session snapshot and resumed bit-identically.
+
+  /// Serializes the engine state as a text token string.
+  std::string SaveState() const;
+
+  /// Restores a state produced by SaveState. Returns false (leaving the
+  /// engine untouched on failure paths where possible) when the string does
+  /// not parse as an engine state.
+  bool LoadState(const std::string& state);
+
  private:
   std::mt19937_64 engine_;
 };

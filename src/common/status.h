@@ -24,6 +24,10 @@ enum class StatusCode {
   kParseError,
   kIoError,
   kInternal,
+  /// An admission limit was hit (session capacity, request queue depth,
+  /// in-flight bound). The request was rejected, not failed: retrying after
+  /// backoff is the expected client behaviour.
+  kResourceExhausted,
 };
 
 /// \brief Outcome of an operation that may fail but returns no value.
@@ -55,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -49,6 +49,9 @@ void ThreadPool::ParallelChunks(
     size_t total,
     const std::function<void(size_t worker, size_t begin, size_t end)>& fn) {
   const size_t n = workers_.size();
+  // Exclusive pool ownership for the whole batch: concurrent sessions queue
+  // here instead of interleaving their chunks (see header contract).
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t w = 0; w < n; ++w) {

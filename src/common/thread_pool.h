@@ -41,7 +41,13 @@ class ThreadPool {
   /// fn(worker, begin, end) for each non-empty chunk on the pool, blocking
   /// until all chunks finish. Chunk `worker` is processed by exactly one
   /// task, so callers may keep per-worker scratch state (e.g. a table
-  /// shadow) indexed by `worker`. Not reentrant: calls must not overlap.
+  /// shadow) indexed by `worker`.
+  ///
+  /// Concurrent calls from different threads are safe and serialize: one
+  /// batch owns the pool at a time (the serving layer multiplexes many
+  /// sessions over one shared pool this way, and the chunk partition stays
+  /// a pure function of (total, num_threads) so results remain
+  /// deterministic). Reentrant calls from inside `fn` still deadlock.
   ///
   /// An exception thrown by `fn` does not kill the worker (the batch still
   /// drains); the first one caught is rethrown here on the calling thread
@@ -54,6 +60,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  std::mutex batch_mu_;  // one ParallelChunks batch owns the pool at a time
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: task ready / stop
   std::condition_variable done_cv_;   // signals caller: batch drained

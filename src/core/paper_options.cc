@@ -1,0 +1,30 @@
+#include "core/paper_options.h"
+
+namespace visclean {
+
+double DefaultDetectionDirtyThreshold(const std::string& dataset) {
+  if (dataset == "D1") return 0.5;
+  if (dataset == "D2") return 0.5;
+  return 0.35;  // D3 (and unknown): smallest tables, fallback scans are
+                // nearly free — the conservative end of the flat region.
+}
+
+double DefaultErgDirtyThreshold(const std::string& dataset) {
+  return DefaultDetectionDirtyThreshold(dataset);
+}
+
+SessionOptions PaperSessionOptions(const std::string& selector,
+                                   const std::string& dataset) {
+  SessionOptions options;
+  options.k = 10;
+  options.budget = 15;
+  options.selector = selector;
+  options.forest.num_trees = 12;
+  if (!dataset.empty()) {
+    options.detection_dirty_threshold = DefaultDetectionDirtyThreshold(dataset);
+    options.erg_dirty_threshold = DefaultErgDirtyThreshold(dataset);
+  }
+  return options;
+}
+
+}  // namespace visclean

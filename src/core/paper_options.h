@@ -1,0 +1,38 @@
+// Production session defaults: the paper's interactive-loop configuration
+// (Section VII: k = 10, budget = 15) plus the sweep-picked per-dataset
+// journal-fallback thresholds. These used to live in bench/bench_util.h;
+// they moved here so production configs — the serving layer in particular —
+// get the tuned defaults without pulling in bench headers.
+#ifndef VISCLEAN_CORE_PAPER_OPTIONS_H_
+#define VISCLEAN_CORE_PAPER_OPTIONS_H_
+
+#include <string>
+
+#include "core/engine_context.h"
+
+namespace visclean {
+
+/// \brief Per-dataset detection dirty-fraction fallback threshold, grounded
+/// by the sweep in bench_detect_scaling ("threshold_sweep" in
+/// BENCH_detect_scaling.json): interactive-loop dirty fractions stay well
+/// below 0.15, so tail detect time is flat for thresholds >= 0.15 and
+/// degrades below it (needless fallback full scans). The values sit
+/// mid-flat-region — away from the fallback cliff, but low enough that a
+/// bulk edit still reverts to the pooled scan. Unknown dataset names get
+/// the conservative D3 value.
+double DefaultDetectionDirtyThreshold(const std::string& dataset);
+
+/// \brief The ErgCache value index follows the identical journal-fold /
+/// pooled full-rebuild contract as the DetectionCache, so its fallback
+/// threshold reuses the detection sweep's conclusion.
+double DefaultErgDirtyThreshold(const std::string& dataset);
+
+/// \brief Session configuration at paper defaults (k = 10, budget = 15,
+/// 12-tree forest). When `dataset` is given ("D1"/"D2"/"D3"), the
+/// journal-fallback thresholds use the sweep-picked per-dataset defaults.
+SessionOptions PaperSessionOptions(const std::string& selector = "gss",
+                                   const std::string& dataset = "");
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CORE_PAPER_OPTIONS_H_

@@ -25,6 +25,18 @@ namespace visclean {
 /// \brief Fig. 18 component bucket a stage's wall time is charged to.
 enum class StageBucket { kDetect, kTrain, kBenefit, kSelect, kApply };
 
+/// \brief Which half of the interaction round a stage belongs to.
+///
+/// kPlan stages run machine-side work up to (and including) choosing the
+/// next composite question; kResolve stages consume the user's answers and
+/// fold repairs. The split is the serving boundary: SessionManager::Step
+/// runs the plan half, returns to the (possibly minutes-long) user, and
+/// SessionManager::Answer later runs the resolve half. Plan stages must not
+/// net-mutate durable session state other than the replay-checkpointed
+/// counters (see VisCleanSession::PlanIteration), which is what makes a
+/// pending iteration deterministically replayable after snapshot restore.
+enum class StagePhase { kPlan, kResolve };
+
 /// \brief One step of the cleaning loop.
 ///
 /// Stages hold no per-run state; Run() reads and writes the context only.
@@ -39,6 +51,8 @@ class PipelineStage {
   virtual const char* name() const = 0;
   /// The ComponentTimes bucket this stage charges.
   virtual StageBucket bucket() const = 0;
+  /// The interaction half this stage runs in (see StagePhase).
+  virtual StagePhase phase() const { return StagePhase::kPlan; }
   virtual Status Run(EngineContext& ctx) = 0;
 };
 
@@ -108,6 +122,7 @@ class AskStage : public PipelineStage {
  public:
   const char* name() const override { return "ask"; }
   StageBucket bucket() const override { return StageBucket::kApply; }
+  StagePhase phase() const override { return StagePhase::kResolve; }
   Status Run(EngineContext& ctx) override;
 };
 
@@ -117,6 +132,7 @@ class SingleAskStage : public PipelineStage {
  public:
   const char* name() const override { return "ask"; }
   StageBucket bucket() const override { return StageBucket::kApply; }
+  StagePhase phase() const override { return StagePhase::kResolve; }
   Status Run(EngineContext& ctx) override;
 };
 
@@ -126,6 +142,7 @@ class ApplyStage : public PipelineStage {
  public:
   const char* name() const override { return "apply"; }
   StageBucket bucket() const override { return StageBucket::kApply; }
+  StagePhase phase() const override { return StagePhase::kResolve; }
   Status Run(EngineContext& ctx) override;
 };
 

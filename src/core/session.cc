@@ -25,6 +25,32 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Times one stage and charges its wall time to the declared bucket.
+Status RunStageTimed(PipelineStage& stage, EngineContext& ctx) {
+  Stopwatch watch;
+  VC_RETURN_IF_ERROR(stage.Run(ctx));
+  double seconds = watch.Seconds();
+  ctx.trace.stage_times.push_back({stage.name(), seconds});
+  switch (stage.bucket()) {
+    case StageBucket::kDetect:
+      ctx.trace.machine.detect += seconds;
+      break;
+    case StageBucket::kTrain:
+      ctx.trace.machine.train += seconds;
+      break;
+    case StageBucket::kBenefit:
+      ctx.trace.machine.benefit += seconds;
+      break;
+    case StageBucket::kSelect:
+      ctx.trace.machine.select += seconds;
+      break;
+    case StageBucket::kApply:
+      ctx.trace.machine.apply += seconds;
+      break;
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 VisCleanSession::VisCleanSession(const DirtyDataset* oracle, VqlQuery query,
@@ -36,13 +62,20 @@ VisCleanSession::VisCleanSession(const DirtyDataset* oracle, VqlQuery query,
 
 VisCleanSession::~VisCleanSession() = default;
 
+void VisCleanSession::SetExternalPool(ThreadPool* pool) {
+  VC_CHECK(!initialized_, "SetExternalPool must precede Initialize()");
+  external_pool_ = pool;
+}
+
 Status VisCleanSession::Initialize() {
   if (initialized_) return Status::Ok();
   Result<std::unique_ptr<CqgSelector>> selector =
       MakeSelector(ctx_.options.selector, ctx_.options.seed);
   if (!selector.ok()) return selector.status();
   ctx_.selector = std::move(selector).value();
-  if (ctx_.options.threads > 1) {
+  if (external_pool_ != nullptr) {
+    ctx_.pool = external_pool_;
+  } else if (ctx_.options.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(ctx_.options.threads);
     ctx_.pool = pool_.get();
   }
@@ -54,35 +87,51 @@ Status VisCleanSession::Initialize() {
   return Status::Ok();
 }
 
-Result<IterationTrace> VisCleanSession::RunIteration() {
+Result<PendingInteraction> VisCleanSession::PlanIteration() {
   if (!initialized_) {
-    return Status::Internal("call Initialize() before RunIteration()");
+    return Status::Internal("call Initialize() before PlanIteration()");
   }
+  if (pending_) {
+    return Status::Internal("previous iteration still awaits its answer");
+  }
+
+  // Checkpoint the durable state the plan phase consumes, so a snapshot
+  // taken while the question is out can replay this exact plan on restore.
+  plan_retrain_counter_ = ctx_.retrain_counter;
+  plan_selector_state_ = ctx_.selector->SaveState();
+  plan_forest_trees_ = ctx_.em.forest().trees();
+
   ctx_.trace = IterationTrace();
   ctx_.trace.iteration = ++iteration_;
 
   for (const std::unique_ptr<PipelineStage>& stage : stages_) {
-    Stopwatch watch;
-    VC_RETURN_IF_ERROR(stage->Run(ctx_));
-    double seconds = watch.Seconds();
-    ctx_.trace.stage_times.push_back({stage->name(), seconds});
-    switch (stage->bucket()) {
-      case StageBucket::kDetect:
-        ctx_.trace.machine.detect += seconds;
-        break;
-      case StageBucket::kTrain:
-        ctx_.trace.machine.train += seconds;
-        break;
-      case StageBucket::kBenefit:
-        ctx_.trace.machine.benefit += seconds;
-        break;
-      case StageBucket::kSelect:
-        ctx_.trace.machine.select += seconds;
-        break;
-      case StageBucket::kApply:
-        ctx_.trace.machine.apply += seconds;
-        break;
-    }
+    if (stage->phase() != StagePhase::kPlan) continue;
+    VC_RETURN_IF_ERROR(RunStageTimed(*stage, ctx_));
+  }
+  pending_ = true;
+
+  PendingInteraction out;
+  out.iteration = iteration_;
+  out.strategy = ctx_.options.strategy;
+  if (ctx_.options.strategy == QuestionStrategy::kComposite) {
+    out.cqg_benefit = ctx_.cqg.total_benefit;
+    out.cqg_vertices = ctx_.cqg.vertices.size();
+    out.cqg_edges = ctx_.cqg.edge_indices.size();
+  }
+  out.pool_questions =
+      ctx_.questions.t_questions.size() + ctx_.questions.a_questions.size() +
+      ctx_.questions.m_questions.size() + ctx_.questions.o_questions.size();
+  return out;
+}
+
+Result<IterationTrace> VisCleanSession::ResolveIteration() {
+  if (!pending_) {
+    return Status::Internal("ResolveIteration without a pending plan");
+  }
+
+  for (const std::unique_ptr<PipelineStage>& stage : stages_) {
+    if (stage->phase() != StagePhase::kResolve) continue;
+    VC_RETURN_IF_ERROR(RunStageTimed(*stage, ctx_));
   }
 
   ctx_.trace.emd = CurrentEmd();
@@ -102,7 +151,14 @@ Result<IterationTrace> VisCleanSession::RunIteration() {
   fold(ctx_.erg_cache.primed(), ctx_.erg_cache.watermark());
   if (have_consumer) ctx_.table.CompactJournal(upto);
 
+  pending_ = false;
   return ctx_.trace;
+}
+
+Result<IterationTrace> VisCleanSession::RunIteration() {
+  Result<PendingInteraction> planned = PlanIteration();
+  if (!planned.ok()) return planned.status();
+  return ResolveIteration();
 }
 
 Result<std::vector<IterationTrace>> VisCleanSession::Run() {
@@ -118,6 +174,90 @@ Result<std::vector<IterationTrace>> VisCleanSession::Run() {
     traces.push_back(std::move(trace).value());
   }
   return traces;
+}
+
+Result<SessionSnapshotState> VisCleanSession::CaptureState() const {
+  if (!initialized_) {
+    return Status::Internal("call Initialize() before CaptureState()");
+  }
+  SessionSnapshotState state;
+  state.dataset_name = oracle_->name;
+  state.query_text = ctx_.query.ToString();
+  state.options = ctx_.options;
+  state.user_options = ctx_.user.options();
+  state.cost_model = ctx_.cost_model;
+
+  state.pending = pending_;
+  if (pending_) {
+    // A planned-but-unanswered round is not durable: persist the plan-entry
+    // checkpoint and let RestoreState replay the plan deterministically.
+    state.completed_iterations = iteration_ - 1;
+    state.retrain_counter = plan_retrain_counter_;
+    state.selector_state = plan_selector_state_;
+    state.forest_trees = plan_forest_trees_;
+  } else {
+    state.completed_iterations = iteration_;
+    state.retrain_counter = ctx_.retrain_counter;
+    state.selector_state = ctx_.selector->SaveState();
+    state.forest_trees = ctx_.em.forest().trees();
+  }
+
+  // Clone() hands back the rows with a compacted journal at the current
+  // watermark — exactly the durable image (plan stages are table-neutral,
+  // so a pending capture sees the pre-plan table).
+  state.table = ctx_.table.Clone();
+  state.em_labels = ctx_.em.labels();
+  state.question_store = ctx_.question_store.Snapshot();
+  state.a_answered = ctx_.a_answered;
+  state.o_answered = ctx_.o_answered;
+  state.merge_witnessed_a = ctx_.merge_witnessed_a;
+  state.transform_votes = ctx_.transform_votes;
+  state.user_rng_state = ctx_.user.SaveRngState();
+  return state;
+}
+
+Status VisCleanSession::RestoreState(const SessionSnapshotState& state) {
+  VC_RETURN_IF_ERROR(Initialize());
+  if (iteration_ != 0 || pending_) {
+    return Status::InvalidArgument(
+        "RestoreState requires a freshly initialized session");
+  }
+  if (oracle_->name != state.dataset_name) {
+    return Status::InvalidArgument("snapshot dataset '" + state.dataset_name +
+                                   "' does not match session dataset '" +
+                                   oracle_->name + "'");
+  }
+
+  ctx_.table = state.table;
+  ctx_.em.RestoreLabels(state.em_labels);
+  // The forest must come back verbatim: a later degenerate retrain (empty
+  // or single-class training set) keeps the previous fit, so the fit
+  // itself is durable state — labels alone cannot reproduce it.
+  ctx_.em.RestoreForest(state.forest_trees);
+  ctx_.question_store.Restore(state.question_store);
+  ctx_.a_answered = state.a_answered;
+  ctx_.o_answered = state.o_answered;
+  ctx_.merge_witnessed_a = state.merge_witnessed_a;
+  ctx_.transform_votes = state.transform_votes;
+  ctx_.retrain_counter = state.retrain_counter;
+  if (!ctx_.user.LoadRngState(state.user_rng_state)) {
+    return Status::InvalidArgument("snapshot user RNG state does not parse");
+  }
+  if (!state.selector_state.empty() &&
+      !ctx_.selector->LoadState(state.selector_state)) {
+    return Status::InvalidArgument("snapshot selector state does not parse");
+  }
+  iteration_ = state.completed_iterations;
+
+  // The caches (benefit engine, detection, ERG) start unprimed and rebuild
+  // bit-identically on first touch. A pending snapshot resumes by replaying
+  // the plan phase from the just-restored checkpoint: same inputs, same
+  // stages, same pending question.
+  if (state.pending) {
+    Result<PendingInteraction> replay = PlanIteration();
+    if (!replay.ok()) return replay.status();
+  }
+  return Status::Ok();
 }
 
 Result<VisData> VisCleanSession::CurrentVis() const {

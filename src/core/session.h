@@ -16,17 +16,32 @@
 #define VISCLEAN_CORE_SESSION_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/engine_context.h"
 #include "core/pipeline.h"
+#include "core/session_state.h"
 #include "datagen/generator.h"
 #include "dist/vis_data.h"
 
 namespace visclean {
 
 class ThreadPool;
+
+/// \brief What PlanIteration hands back while the user is deciding: a
+/// summary of the question now awaiting answers. The serving layer returns
+/// this from Step; the full CQG/QuestionSet stays readable through
+/// context() for callers that want to render it.
+struct PendingInteraction {
+  size_t iteration = 0;  ///< 1-based index of the round now in flight
+  QuestionStrategy strategy = QuestionStrategy::kComposite;
+  double cqg_benefit = 0.0;     ///< estimated benefit (composite only)
+  size_t cqg_vertices = 0;      ///< |V| of the selected CQG (composite only)
+  size_t cqg_edges = 0;         ///< |E| of the selected CQG (composite only)
+  size_t pool_questions = 0;    ///< detected questions available this round
+};
 
 /// \brief One end-to-end interactive cleaning run.
 class VisCleanSession {
@@ -46,7 +61,21 @@ class VisCleanSession {
 
   /// One interaction round: runs every pipeline stage over the context,
   /// recording per-stage wall time. Returns the iteration's trace.
+  /// Equivalent to PlanIteration() + ResolveIteration().
   Result<IterationTrace> RunIteration();
+
+  /// The machine half of one round: runs the StagePhase::kPlan stages up to
+  /// (and including) selecting the next question, then parks with
+  /// pending() == true. Checkpoints the retrain counter and selector RNG at
+  /// entry so a snapshot taken while pending can deterministically replay
+  /// this plan after restore (see RestoreState).
+  Result<PendingInteraction> PlanIteration();
+
+  /// The interaction half: runs the StagePhase::kResolve stages (ask the
+  /// pending question, apply answers, machine auto-merge), refreshes the
+  /// EMD, compacts the journal, and returns the completed round's trace.
+  /// Requires pending() == true.
+  Result<IterationTrace> ResolveIteration();
 
   /// Runs until the budget is exhausted; returns all traces (including an
   /// iteration-0 entry holding the initial EMD).
@@ -73,14 +102,49 @@ class VisCleanSession {
     return stages_;
   }
 
+  /// Completed-or-in-flight round count (equals the last trace's iteration).
+  size_t iteration() const { return iteration_; }
+  /// True between PlanIteration and ResolveIteration: a question is out.
+  bool pending() const { return pending_; }
+  /// True once the configured budget of rounds has fully resolved.
+  bool finished() const { return !pending_ && iteration_ >= ctx_.options.budget; }
+
+  /// Lends an externally owned worker pool to this session (the serving
+  /// layer's shared pool). Must be called before Initialize(); overrides the
+  /// options.threads session-owned pool. The pool must outlive the session.
+  void SetExternalPool(ThreadPool* pool);
+
+  /// The session's durable state (see SessionSnapshotState), capturable
+  /// while idle or while a question is pending. Requires Initialize().
+  Result<SessionSnapshotState> CaptureState() const;
+
+  /// Rehydrates a freshly constructed session from a CaptureState() image.
+  /// The session must have been constructed against the same oracle dataset
+  /// and the snapshot's query/options (SessionManager does this resolution);
+  /// call pattern: construct -> [SetExternalPool] -> RestoreState. When the
+  /// snapshot was pending, the plan phase replays here and the session
+  /// resumes with the identical question outstanding — bit-identical to the
+  /// uninterrupted run (the differential suite asserts this).
+  Status RestoreState(const SessionSnapshotState& state);
+
  private:
   const DirtyDataset* oracle_;
   EngineContext ctx_;
   std::vector<std::unique_ptr<PipelineStage>> stages_;
-  std::unique_ptr<ThreadPool> pool_;  ///< lives behind ctx_.pool
+  std::unique_ptr<ThreadPool> pool_;   ///< lives behind ctx_.pool
+  ThreadPool* external_pool_ = nullptr;
 
   size_t iteration_ = 0;
   bool initialized_ = false;
+  bool pending_ = false;
+
+  /// Plan-entry checkpoint: the only durable state the plan phase consumes
+  /// or mutates (TrainStage bumps the retrain counter and may refit — or
+  /// keep — the EM forest, SelectStage draws selector RNG). A pending
+  /// snapshot persists these so restore can replay the plan.
+  uint64_t plan_retrain_counter_ = 0;
+  std::string plan_selector_state_;
+  std::vector<DecisionTree> plan_forest_trees_;
 };
 
 }  // namespace visclean

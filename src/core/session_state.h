@@ -1,0 +1,81 @@
+// The durable state of one interactive-cleaning session — everything a
+// resumed session needs to continue bit-identically, and nothing more.
+//
+// What is here: the working table (data + journal watermark), the label
+// ledger AND fitted forest of the EM model (Retrain keeps the previous fit
+// when a round's training set is degenerate, so the forest is genuinely
+// durable — it cannot be recomputed from the labels alone), the
+// QuestionStore pools, the cross-iteration answer memory, the RNG states of
+// the stateful components, and the progress counters.
+//
+// What is deliberately NOT here:
+//  * the three incremental caches (BenefitEngine, DetectionCache, ErgCache)
+//    — they are pure accelerations of recomputable state and rebuild on the
+//    first touch after a restore, bit-identically (the caches' differential
+//    contract from PRs 2-4 is exactly what makes this sound);
+//  * per-iteration products (candidates, scores, ERG, CQG) — a pending
+//    iteration is resumed by re-running the deterministic plan phase from
+//    the checkpointed counters (see VisCleanSession::RestoreState), so the
+//    snapshot stays a few kilobytes of durable state rather than a dump of
+//    every derived structure;
+//  * the oracle / ground truth — a serving deployment resolves the dataset
+//    by name (SessionManager::RegisterDataset); snapshots reference it.
+#ifndef VISCLEAN_CORE_SESSION_STATE_H_
+#define VISCLEAN_CORE_SESSION_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clean/question.h"
+#include "clean/question_store.h"
+#include "core/engine_context.h"
+#include "data/table.h"
+#include "ml/decision_tree.h"
+#include "user/cost_model.h"
+#include "user/simulated_user.h"
+
+namespace visclean {
+
+/// \brief A snapshot of one session, capturable while idle (between
+/// iterations) or while a composite question is pending an answer.
+///
+/// When `pending` is true, `retrain_counter`, `selector_state`, and
+/// `forest_trees` hold their values from the moment the pending iteration's
+/// plan phase STARTED (the plan checkpoint): restoring replays the plan
+/// phase, which re-consumes them and arrives at the identical pending
+/// question.
+struct SessionSnapshotState {
+  // ---- Identity / configuration ----
+  std::string dataset_name;  ///< DirtyDataset::name; resolved at restore
+  std::string query_text;    ///< VqlQuery::ToString(), re-parsed at restore
+  SessionOptions options;
+  UserOptions user_options;
+  UserCostModel cost_model;
+
+  // ---- Progress ----
+  size_t completed_iterations = 0;  ///< fully resolved interaction rounds
+  bool pending = false;             ///< a planned question awaits its answer
+
+  // ---- Durable engine state ----
+  Table table;  ///< working data; mutation_count() is the journal watermark
+  uint64_t retrain_counter = 0;
+  std::map<std::pair<size_t, size_t>, bool> em_labels;
+  /// The EM forest's fitted trees (empty = never fitted). Needed because a
+  /// degenerate retrain latches the previous fit rather than refitting.
+  std::vector<DecisionTree> forest_trees;
+  QuestionStoreSnapshot question_store;
+  std::set<std::pair<std::string, std::string>> a_answered;
+  std::set<std::pair<size_t, size_t>> o_answered;
+  std::vector<AQuestion> merge_witnessed_a;
+  std::map<std::string, std::pair<std::string, int>> transform_votes;
+  std::string user_rng_state;  ///< SimulatedUser::SaveRngState()
+  std::string selector_state;  ///< CqgSelector::SaveState(); "" = stateless
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_CORE_SESSION_STATE_H_

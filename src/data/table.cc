@@ -71,6 +71,12 @@ std::vector<size_t> Table::MutatedRowsSince(uint64_t since) const {
   return rows;
 }
 
+void Table::ResetJournal(uint64_t base) {
+  VC_CHECK(base >= journal_base_, "ResetJournal: watermark moved backwards");
+  journal_.clear();
+  journal_base_ = base;
+}
+
 void Table::CompactJournal(uint64_t upto) {
   if (upto <= journal_base_) return;
   VC_CHECK(upto <= mutation_count(), "CompactJournal: future position");

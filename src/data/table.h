@@ -90,6 +90,13 @@ class Table {
   /// clones start compacted).
   size_t journal_entries() const { return journal_.size(); }
 
+  /// Drops all retained journal entries and pins mutation_count() to `base`.
+  /// Snapshot restore uses this to stamp a rebuilt table with the watermark
+  /// its serialized ancestor carried, so watermarks taken before the
+  /// snapshot stay comparable. `base` must not move mutation_count()
+  /// backwards (journal consumers rely on monotonicity).
+  void ResetJournal(uint64_t base);
+
  private:
   Schema schema_;
   std::vector<Row> rows_;

@@ -73,6 +73,30 @@ class EmModel {
   /// The user label for (a, b): 1 match, 0 non-match, -1 unlabeled.
   int LabelOf(size_t a, size_t b) const;
 
+  /// The full label ledger, keyed (min, max). Session snapshots persist
+  /// this map plus the fitted forest (see forest()): Retrain keeps the
+  /// previous fit when a round's training set is empty or single-class, so
+  /// the forest is NOT a pure function of (table, candidates, labels, seed)
+  /// and must be captured alongside the labels.
+  const std::map<std::pair<size_t, size_t>, bool>& labels() const {
+    return labels_;
+  }
+
+  /// Replaces the label ledger (snapshot restore). Pair with RestoreForest
+  /// to reinstate the latched fit.
+  void RestoreLabels(std::map<std::pair<size_t, size_t>, bool> labels) {
+    labels_ = std::move(labels);
+  }
+
+  /// The fitted forest (read access for snapshot capture).
+  const RandomForest& forest() const { return forest_; }
+
+  /// Reinstates a fitted forest from snapshot trees, leaving the
+  /// hyperparameters (which come from SessionOptions) untouched.
+  void RestoreForest(std::vector<DecisionTree> trees) {
+    forest_.RestoreTrees(std::move(trees));
+  }
+
  private:
   static std::pair<size_t, size_t> Key(size_t a, size_t b) {
     return {std::min(a, b), std::max(a, b)};

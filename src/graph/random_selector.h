@@ -15,6 +15,11 @@ class RandomSelector : public CqgSelector {
   Cqg Select(const ErgView& erg, size_t k) override;
   std::string name() const override { return "Random"; }
 
+  std::string SaveState() const override { return rng_.SaveState(); }
+  bool LoadState(const std::string& state) override {
+    return rng_.LoadState(state);
+  }
+
  private:
   Rng rng_;
 };

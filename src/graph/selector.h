@@ -32,6 +32,21 @@ class CqgSelector {
 
   /// Algorithm name as used in the paper's plots ("GSS", "GSS+", "B&B", ...).
   virtual std::string name() const = 0;
+
+  // ---- Snapshot hooks ----
+  //
+  // Most selectors are pure functions of the ERG and carry no state; the
+  // Random baseline carries an RNG whose draws must survive a session
+  // snapshot for the restored run to pick the same subgraphs.
+
+  /// Serialized selector state; "" for stateless selectors.
+  virtual std::string SaveState() const { return ""; }
+  /// Restores a SaveState() string. Stateless selectors accept anything;
+  /// stateful ones return false when the string does not parse.
+  virtual bool LoadState(const std::string& state) {
+    (void)state;
+    return true;
+  }
 };
 
 /// Creates a selector by name: "gss", "gss+", "bnb", "5-bnb", "10-bnb",

@@ -34,6 +34,14 @@ struct TreeOptions {
 /// hard vote.
 class DecisionTree {
  public:
+  struct Node {
+    int feature = -1;       // -1 means leaf
+    double threshold = 0.0; // go left when x[feature] <= threshold
+    double positive_fraction = 0.0;  // for leaves
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
   /// Fits the tree on `examples`. `rng` drives feature subsampling.
   /// Requires at least one example; all feature vectors must share arity.
   void Fit(const std::vector<Example>& examples, const TreeOptions& options,
@@ -45,14 +53,15 @@ class DecisionTree {
   /// Number of nodes (diagnostics).
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// The flat node array, root at index 0. Exposed (with RestoreNodes) so
+  /// session snapshots can persist a fitted tree bit-exactly.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Replaces the node array wholesale (snapshot restore). The caller is
+  /// responsible for structural validity (child indices in range).
+  void RestoreNodes(std::vector<Node> nodes) { nodes_ = std::move(nodes); }
+
  private:
-  struct Node {
-    int feature = -1;       // -1 means leaf
-    double threshold = 0.0; // go left when x[feature] <= threshold
-    double positive_fraction = 0.0;  // for leaves
-    int32_t left = -1;
-    int32_t right = -1;
-  };
 
   int32_t Build(std::vector<size_t>& indices, size_t begin, size_t end,
                 const std::vector<Example>& examples,

@@ -37,6 +37,18 @@ class RandomForest {
   bool is_fitted() const { return !trees_.empty(); }
   size_t num_trees() const { return trees_.size(); }
 
+  /// The fitted trees. Exposed (with RestoreTrees) so session snapshots can
+  /// persist the ensemble: EmModel::Retrain keeps the previous fit when a
+  /// round's training set is degenerate, so the fitted forest is durable
+  /// state a restored session cannot recompute from labels alone.
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// Replaces the fitted trees without touching the hyperparameters
+  /// (snapshot restore).
+  void RestoreTrees(std::vector<DecisionTree> trees) {
+    trees_ = std::move(trees);
+  }
+
  private:
   ForestOptions options_;
   std::vector<DecisionTree> trees_;

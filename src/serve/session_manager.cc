@@ -1,0 +1,456 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "serve/snapshot.h"
+#include "vql/parser.h"
+
+namespace visclean {
+
+namespace {
+
+bool FilenameSafe(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  // Forbid names that are only dots ("." / ".."): they are directory
+  // references, not files.
+  return id.find_first_not_of('.') != std::string::npos;
+}
+
+}  // namespace
+
+/// One hosted session. `mu` serializes all operations on the session;
+/// everything below the marker is guarded by it. `queued` admission-counts
+/// the waiters on `mu` and is atomic so the map-lock path can test it
+/// without taking `mu`.
+struct SessionManager::Entry {
+  std::string id;
+  const DirtyDataset* oracle = nullptr;
+
+  std::atomic<size_t> queued{0};
+  std::atomic<uint64_t> last_touch{0};
+
+  std::mutex mu;
+  // ---- guarded by mu ----
+  std::unique_ptr<VisCleanSession> session;  ///< null while evicted
+  bool closed = false;
+  SessionInfo info;  ///< kept current so GetStatus works while evicted
+};
+
+struct SessionManager::LockedEntry {
+  std::shared_ptr<Entry> entry;
+  std::unique_lock<std::mutex> lock;
+};
+
+namespace {
+
+/// RAII admission token for the manager-wide in-flight bound.
+class InflightSlot {
+ public:
+  InflightSlot(std::atomic<size_t>& counter, size_t limit)
+      : counter_(counter), admitted_(counter.fetch_add(1) < limit) {
+    if (!admitted_) counter_.fetch_sub(1);
+  }
+  ~InflightSlot() {
+    if (admitted_) counter_.fetch_sub(1);
+  }
+  InflightSlot(const InflightSlot&) = delete;
+  InflightSlot& operator=(const InflightSlot&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  std::atomic<size_t>& counter_;
+  bool admitted_;
+};
+
+}  // namespace
+
+SessionManager::SessionManager(ServeOptions options)
+    : options_(std::move(options)) {
+  if (options_.pool_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.pool_threads);
+  }
+}
+
+SessionManager::~SessionManager() = default;
+
+Status SessionManager::RegisterDataset(const DirtyDataset* oracle) {
+  VC_CHECK(oracle != nullptr, "RegisterDataset: null oracle");
+  if (oracle->name.empty()) {
+    return Status::InvalidArgument("dataset has no name");
+  }
+  std::lock_guard<std::mutex> map_lock(map_mu_);
+  auto [it, inserted] = datasets_.emplace(oracle->name, oracle);
+  if (!inserted && it->second != oracle) {
+    return Status::InvalidArgument("dataset '" + oracle->name +
+                                   "' is already registered");
+  }
+  return Status::Ok();
+}
+
+std::string SessionManager::EvictionPath(const std::string& id) const {
+  return options_.snapshot_dir + "/" + id + ".snap";
+}
+
+Result<std::unique_ptr<VisCleanSession>> SessionManager::BuildSession(
+    const DirtyDataset* oracle, const std::string& vql,
+    const SessionOptions& options, const UserOptions& user_options,
+    const UserCostModel& cost_model) const {
+  Result<VqlQuery> query = ParseVql(vql);
+  if (!query.ok()) return query.status();
+  auto session = std::make_unique<VisCleanSession>(
+      oracle, std::move(query).value(), options, user_options, cost_model);
+  if (pool_) session->SetExternalPool(pool_.get());
+  VC_RETURN_IF_ERROR(session->Initialize());
+  return session;
+}
+
+Result<SessionInfo> SessionManager::Create(const std::string& id,
+                                           const std::string& dataset,
+                                           const std::string& vql,
+                                           SessionOptions options,
+                                           UserOptions user_options,
+                                           UserCostModel cost_model) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  if (!FilenameSafe(id)) {
+    return Status::InvalidArgument("session id must be [A-Za-z0-9._-]+");
+  }
+
+  const DirtyDataset* oracle = nullptr;
+  {
+    std::lock_guard<std::mutex> map_lock(map_mu_);
+    auto it = datasets_.find(dataset);
+    if (it == datasets_.end()) {
+      return Status::NotFound("dataset '" + dataset + "' is not registered");
+    }
+    oracle = it->second;
+    if (sessions_.count(id)) {
+      return Status::InvalidArgument("session '" + id + "' already exists");
+    }
+  }
+
+  // Build outside the map lock: initialization is expensive. A concurrent
+  // Create racing on the same id loses at the insert below.
+  Result<std::unique_ptr<VisCleanSession>> session =
+      BuildSession(oracle, vql, options, user_options, cost_model);
+  if (!session.ok()) return session.status();
+
+  auto entry = std::make_shared<Entry>();
+  entry->id = id;
+  entry->oracle = oracle;
+  entry->info.id = id;
+  entry->info.dataset = dataset;
+  entry->info.budget = options.budget;
+  entry->info.emd = session.value()->CurrentEmd();
+  entry->session = std::move(session).value();
+
+  {
+    std::lock_guard<std::mutex> map_lock(map_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      ++stat_rejected_capacity_;
+      return Status::ResourceExhausted("session capacity reached");
+    }
+    auto [it, inserted] = sessions_.emplace(id, entry);
+    if (!inserted) {
+      return Status::InvalidArgument("session '" + id + "' already exists");
+    }
+  }
+  resident_.fetch_add(1);
+  entry->last_touch.store(clock_.fetch_add(1) + 1);
+  ++stat_created_;
+  SessionInfo info = entry->info;
+  MaybeEvict();
+  return info;
+}
+
+Result<SessionManager::LockedEntry> SessionManager::LockSession(
+    const std::string& id) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> map_lock(map_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session '" + id + "'");
+    }
+    entry = it->second;
+    if (entry->queued.fetch_add(1) >= options_.max_queued_per_session) {
+      entry->queued.fetch_sub(1);
+      ++stat_rejected_queue_;
+      return Status::ResourceExhausted("session '" + id +
+                                       "' request queue is full");
+    }
+  }
+  std::unique_lock<std::mutex> lock(entry->mu);
+  entry->queued.fetch_sub(1);
+  if (entry->closed) {
+    return Status::NotFound("session '" + id + "' is closed");
+  }
+  if (!entry->session) {
+    VC_RETURN_IF_ERROR(RestoreResident(*entry));
+  }
+  TouchLocked(*entry);
+  return LockedEntry{std::move(entry), std::move(lock)};
+}
+
+void SessionManager::TouchLocked(Entry& entry) {
+  entry.last_touch.store(clock_.fetch_add(1) + 1);
+}
+
+Status SessionManager::RestoreResident(Entry& entry) {
+  Result<SessionSnapshotState> state =
+      ReadSnapshotFile(EvictionPath(entry.id));
+  if (!state.ok()) return state.status();
+  Result<std::unique_ptr<VisCleanSession>> session = BuildSession(
+      entry.oracle, state.value().query_text, state.value().options,
+      state.value().user_options, state.value().cost_model);
+  if (!session.ok()) return session.status();
+  VC_RETURN_IF_ERROR(session.value()->RestoreState(state.value()));
+  entry.session = std::move(session).value();
+  entry.info.resident = true;
+  resident_.fetch_add(1);
+  ++stat_restores_;
+  MaybeEvict();  // restoring may push the resident count over the bound
+  return Status::Ok();
+}
+
+void SessionManager::MaybeEvict() {
+  if (options_.snapshot_dir.empty()) return;
+  while (resident_.load() > options_.max_resident_sessions) {
+    // Pick the least-recently-touched resident entry we can lock without
+    // blocking (a thread holding map_mu_ must never wait on an entry).
+    std::shared_ptr<Entry> victim;
+    std::unique_lock<std::mutex> victim_lock;
+    {
+      std::lock_guard<std::mutex> map_lock(map_mu_);
+      uint64_t oldest = 0;
+      for (auto& [id, entry] : sessions_) {
+        uint64_t touch = entry->last_touch.load();
+        if (victim && touch >= oldest) continue;
+        std::unique_lock<std::mutex> lock(entry->mu, std::try_to_lock);
+        if (!lock.owns_lock() || !entry->session || entry->closed) continue;
+        victim = entry;
+        victim_lock = std::move(lock);
+        oldest = touch;
+      }
+    }
+    if (!victim) return;  // everything busy or already evicted
+
+    Result<SessionSnapshotState> state = victim->session->CaptureState();
+    if (!state.ok()) return;
+    Status written = WriteSnapshotFile(EvictionPath(victim->id), state.value());
+    if (!written.ok()) return;
+    victim->session.reset();
+    victim->info.resident = false;
+    resident_.fetch_sub(1);
+    ++stat_evictions_;
+  }
+}
+
+Result<PendingInteraction> SessionManager::Step(const std::string& id) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  Result<LockedEntry> locked = LockSession(id);
+  if (!locked.ok()) return locked.status();
+  Entry& entry = *locked.value().entry;
+  if (entry.session->finished()) {
+    return Status::InvalidArgument("session '" + id +
+                                   "' has exhausted its budget");
+  }
+  if (entry.session->pending()) {
+    return Status::InvalidArgument("session '" + id +
+                                   "' already has a pending question");
+  }
+  Result<PendingInteraction> pending = entry.session->PlanIteration();
+  if (!pending.ok()) return pending.status();
+  entry.info.iteration = entry.session->iteration();
+  entry.info.pending = true;
+  ++stat_steps_;
+  return pending;
+}
+
+Result<IterationTrace> SessionManager::Answer(const std::string& id) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  Result<LockedEntry> locked = LockSession(id);
+  if (!locked.ok()) return locked.status();
+  Entry& entry = *locked.value().entry;
+  if (!entry.session->pending()) {
+    return Status::InvalidArgument("session '" + id +
+                                   "' has no pending question");
+  }
+  Result<IterationTrace> trace = entry.session->ResolveIteration();
+  if (!trace.ok()) return trace.status();
+  entry.info.pending = false;
+  entry.info.iteration = entry.session->iteration();
+  entry.info.emd = trace.value().emd;
+  entry.info.finished = entry.session->finished();
+  ++stat_answers_;
+  return trace;
+}
+
+Result<SessionInfo> SessionManager::GetStatus(const std::string& id) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> map_lock(map_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session '" + id + "'");
+    }
+    entry = it->second;
+  }
+  // Deliberately no queue-depth accounting and no restore: status is a
+  // cheap poll and must stay cheap for evicted sessions.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->closed) return Status::NotFound("session '" + id + "' is closed");
+  return entry->info;
+}
+
+Status SessionManager::Snapshot(const std::string& id,
+                                const std::string& path) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  Result<LockedEntry> locked = LockSession(id);
+  if (!locked.ok()) return locked.status();
+  Entry& entry = *locked.value().entry;
+  Result<SessionSnapshotState> state = entry.session->CaptureState();
+  if (!state.ok()) return state.status();
+  VC_RETURN_IF_ERROR(WriteSnapshotFile(path, state.value()));
+  ++stat_snapshots_;
+  return Status::Ok();
+}
+
+Result<SessionInfo> SessionManager::Restore(const std::string& id,
+                                            const std::string& path) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  if (!FilenameSafe(id)) {
+    return Status::InvalidArgument("session id must be [A-Za-z0-9._-]+");
+  }
+  Result<SessionSnapshotState> state = ReadSnapshotFile(path);
+  if (!state.ok()) return state.status();
+
+  const DirtyDataset* oracle = nullptr;
+  {
+    std::lock_guard<std::mutex> map_lock(map_mu_);
+    auto it = datasets_.find(state.value().dataset_name);
+    if (it == datasets_.end()) {
+      return Status::NotFound("snapshot dataset '" +
+                              state.value().dataset_name +
+                              "' is not registered");
+    }
+    oracle = it->second;
+    if (sessions_.count(id)) {
+      return Status::InvalidArgument("session '" + id + "' already exists");
+    }
+  }
+
+  Result<std::unique_ptr<VisCleanSession>> session = BuildSession(
+      oracle, state.value().query_text, state.value().options,
+      state.value().user_options, state.value().cost_model);
+  if (!session.ok()) return session.status();
+  VC_RETURN_IF_ERROR(session.value()->RestoreState(state.value()));
+
+  auto entry = std::make_shared<Entry>();
+  entry->id = id;
+  entry->oracle = oracle;
+  entry->info.id = id;
+  entry->info.dataset = state.value().dataset_name;
+  entry->info.budget = state.value().options.budget;
+  entry->info.iteration = session.value()->iteration();
+  entry->info.pending = session.value()->pending();
+  entry->info.finished = session.value()->finished();
+  entry->info.emd = session.value()->CurrentEmd();
+  entry->session = std::move(session).value();
+
+  {
+    std::lock_guard<std::mutex> map_lock(map_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      ++stat_rejected_capacity_;
+      return Status::ResourceExhausted("session capacity reached");
+    }
+    auto [it, inserted] = sessions_.emplace(id, entry);
+    if (!inserted) {
+      return Status::InvalidArgument("session '" + id + "' already exists");
+    }
+  }
+  resident_.fetch_add(1);
+  entry->last_touch.store(clock_.fetch_add(1) + 1);
+  ++stat_created_;
+  SessionInfo info = entry->info;
+  MaybeEvict();
+  return info;
+}
+
+Status SessionManager::Close(const std::string& id) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> map_lock(map_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session '" + id + "'");
+    }
+    entry = std::move(it->second);
+    sessions_.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  entry->closed = true;
+  if (entry->session) {
+    entry->session.reset();
+    resident_.fetch_sub(1);
+  }
+  if (!options_.snapshot_dir.empty()) {
+    std::remove(EvictionPath(id).c_str());  // best-effort cleanup
+  }
+  return Status::Ok();
+}
+
+ServeStats SessionManager::stats() const {
+  ServeStats s;
+  s.sessions_created = stat_created_.load();
+  s.steps = stat_steps_.load();
+  s.answers = stat_answers_.load();
+  s.snapshots = stat_snapshots_.load();
+  s.evictions = stat_evictions_.load();
+  s.restores_from_disk = stat_restores_.load();
+  s.rejected_capacity = stat_rejected_capacity_.load();
+  s.rejected_inflight = stat_rejected_inflight_.load();
+  s.rejected_session_queue = stat_rejected_queue_.load();
+  return s;
+}
+
+}  // namespace visclean

@@ -1,0 +1,192 @@
+// The multi-session serving layer: many concurrent interactive-cleaning
+// sessions hosted behind one SessionManager, multiplexed over a shared
+// worker pool.
+//
+// Request model. Each session is the paper's Fig. 6 loop cut at the
+// interaction boundary (core/pipeline.h StagePhase): Step runs the machine
+// half up to the next composite question and parks; Answer resolves the
+// outstanding question and folds the repairs. Between the two the session
+// holds no thread — a server can park thousands of users mid-question.
+//
+// Admission control. Three explicit bounds, each rejecting with
+// kResourceExhausted (retry-after-backoff) rather than queueing unboundedly:
+//   * max_sessions           — total live sessions (resident + evicted);
+//   * max_inflight_requests  — requests executing or waiting, manager-wide;
+//   * max_queued_per_session — waiters on one session's lock.
+//
+// Eviction. At most max_resident_sessions keep their engine state in
+// memory; beyond that the least-recently-touched idle session is serialized
+// to snapshot_dir and destroyed. The next request that touches it restores
+// from disk transparently. Restored sessions are bit-identical to
+// uninterrupted ones (the caches rebuild on first touch; the snapshot
+// differential suite asserts equality), so eviction is invisible except in
+// latency.
+//
+// Locking. map_mu_ guards the session map and dataset registry and is only
+// ever held briefly; per-entry mutexes serialize session operations. The
+// one ordering rule: a thread holding map_mu_ never blocks on an entry
+// mutex (the eviction scan uses try_lock), so the two levels cannot
+// deadlock.
+#ifndef VISCLEAN_SERVE_SESSION_MANAGER_H_
+#define VISCLEAN_SERVE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/session.h"
+#include "datagen/generator.h"
+
+namespace visclean {
+
+class ThreadPool;
+
+/// \brief Serving-layer configuration.
+struct ServeOptions {
+  /// Sessions allowed to keep their engine state in memory. Beyond this the
+  /// least-recently-touched session is evicted to snapshot_dir (requires a
+  /// non-empty snapshot_dir; otherwise the bound is inoperative).
+  size_t max_resident_sessions = 64;
+  /// Total live sessions, resident or evicted. Create/Restore beyond this
+  /// reject with kResourceExhausted.
+  size_t max_sessions = 256;
+  /// Requests executing or waiting across the whole manager. The bound on
+  /// server-side concurrency; excess requests reject, they never queue.
+  size_t max_inflight_requests = 32;
+  /// Waiters allowed on a single session's lock (one slow session must not
+  /// absorb the whole in-flight budget).
+  size_t max_queued_per_session = 4;
+  /// Directory for eviction snapshots; "" disables eviction.
+  std::string snapshot_dir;
+  /// Worker threads of the shared pool lent to every session's benefit
+  /// stage (0 = no pool, sessions compute serially inside their request).
+  size_t pool_threads = 0;
+};
+
+/// \brief Client-visible session state (the Status request's payload).
+struct SessionInfo {
+  std::string id;
+  std::string dataset;
+  size_t iteration = 0;  ///< rounds started (== completed when !pending)
+  size_t budget = 0;
+  bool pending = false;   ///< a question is out, Answer is the next step
+  bool finished = false;  ///< budget fully resolved
+  bool resident = true;   ///< false: evicted to disk, restores on touch
+  double emd = 0.0;       ///< EMD after the last resolved round
+};
+
+/// \brief Monotone counters for observability and the serve tests.
+struct ServeStats {
+  uint64_t sessions_created = 0;
+  uint64_t steps = 0;
+  uint64_t answers = 0;
+  uint64_t snapshots = 0;
+  uint64_t evictions = 0;
+  uint64_t restores_from_disk = 0;
+  uint64_t rejected_capacity = 0;       ///< max_sessions hit
+  uint64_t rejected_inflight = 0;       ///< max_inflight_requests hit
+  uint64_t rejected_session_queue = 0;  ///< max_queued_per_session hit
+};
+
+/// \brief Hosts many concurrent VisCleanSessions keyed by session id.
+///
+/// All public methods are thread-safe. Operations on one session serialize;
+/// operations on distinct sessions run concurrently (sharing the worker
+/// pool batch-by-batch).
+class SessionManager {
+ public:
+  explicit SessionManager(ServeOptions options = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers the ground-truth dataset sessions and snapshots resolve by
+  /// name (DirtyDataset::name). The oracle must outlive the manager.
+  /// Duplicate names are rejected.
+  Status RegisterDataset(const DirtyDataset* oracle);
+
+  /// Creates, initializes, and admits a session over a registered dataset.
+  /// `id` must be non-empty and filename-safe ([A-Za-z0-9._-]); `vql` is
+  /// parsed here. Rejects duplicate ids and, with kResourceExhausted, ids
+  /// beyond max_sessions.
+  Result<SessionInfo> Create(const std::string& id, const std::string& dataset,
+                             const std::string& vql, SessionOptions options,
+                             UserOptions user_options = {},
+                             UserCostModel cost_model = {});
+
+  /// Runs the session up to its next composite question (the plan phase).
+  /// Fails when a question is already pending or the budget is exhausted.
+  Result<PendingInteraction> Step(const std::string& id);
+
+  /// Resolves the pending question: collects the user's responses (the
+  /// session's oracle-backed user) and applies the repairs. Returns the
+  /// completed round's trace.
+  Result<IterationTrace> Answer(const std::string& id);
+
+  /// The session's client-visible state. Cheap: never restores an evicted
+  /// session (reports its last known state with resident = false).
+  Result<SessionInfo> GetStatus(const std::string& id);
+
+  /// Serializes the session's durable state to `path` (explicit export;
+  /// independent of eviction). The session stays live.
+  Status Snapshot(const std::string& id, const std::string& path);
+
+  /// Admits a new session `id` rehydrated from a Snapshot() file. The
+  /// snapshot's dataset must be registered. The restored session resumes
+  /// bit-identically to the one that was captured.
+  Result<SessionInfo> Restore(const std::string& id, const std::string& path);
+
+  /// Destroys the session (resident or evicted) and its eviction file.
+  Status Close(const std::string& id);
+
+  /// Point-in-time counter snapshot.
+  ServeStats stats() const;
+
+  /// Live sessions currently resident in memory (tests + metrics).
+  size_t resident_sessions() const { return resident_.load(); }
+
+ private:
+  struct Entry;
+  struct LockedEntry;
+
+  Result<LockedEntry> LockSession(const std::string& id);
+  Status RestoreResident(Entry& entry);
+  void TouchLocked(Entry& entry);
+  void MaybeEvict();
+  std::string EvictionPath(const std::string& id) const;
+  Result<std::unique_ptr<VisCleanSession>> BuildSession(
+      const DirtyDataset* oracle, const std::string& vql,
+      const SessionOptions& options, const UserOptions& user_options,
+      const UserCostModel& cost_model) const;
+
+  ServeOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  ///< shared across sessions; may be null
+
+  mutable std::mutex map_mu_;
+  std::map<std::string, std::shared_ptr<Entry>> sessions_;
+  std::map<std::string, const DirtyDataset*> datasets_;
+
+  std::atomic<size_t> inflight_{0};
+  std::atomic<size_t> resident_{0};
+  std::atomic<uint64_t> clock_{0};  ///< logical time for LRU eviction
+
+  // stats (atomics; stats() folds them into a ServeStats)
+  std::atomic<uint64_t> stat_created_{0};
+  std::atomic<uint64_t> stat_steps_{0};
+  std::atomic<uint64_t> stat_answers_{0};
+  std::atomic<uint64_t> stat_snapshots_{0};
+  std::atomic<uint64_t> stat_evictions_{0};
+  std::atomic<uint64_t> stat_restores_{0};
+  std::atomic<uint64_t> stat_rejected_capacity_{0};
+  std::atomic<uint64_t> stat_rejected_inflight_{0};
+  std::atomic<uint64_t> stat_rejected_queue_{0};
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_SERVE_SESSION_MANAGER_H_

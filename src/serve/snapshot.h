@@ -1,0 +1,39 @@
+// Binary codec + file IO for session snapshots.
+//
+// The serving layer persists SessionSnapshotState (core/session_state.h)
+// when it evicts an idle session and when a client asks for an explicit
+// export; Restore feeds the bytes back through VisCleanSession::RestoreState.
+// The format is a versioned, length-prefixed little-endian byte stream;
+// doubles are stored as raw IEEE-754 bit patterns, so a decode round-trip
+// is bit-exact — the property the snapshot differential suite rests on.
+// Snapshots are machine-local state (same-architecture read-back), not an
+// interchange format.
+#ifndef VISCLEAN_SERVE_SNAPSHOT_H_
+#define VISCLEAN_SERVE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/session_state.h"
+
+namespace visclean {
+
+/// Serializes a snapshot. Encoding never fails.
+std::string EncodeSnapshot(const SessionSnapshotState& state);
+
+/// Parses EncodeSnapshot() bytes. Fails (InvalidArgument) on a bad magic,
+/// an unknown version, truncation, or out-of-range enum values — never
+/// aborts on corrupt input.
+Result<SessionSnapshotState> DecodeSnapshot(const std::string& bytes);
+
+/// Writes EncodeSnapshot(state) to `path` atomically enough for a single
+/// writer: encode to <path>.tmp, then rename over `path`.
+Status WriteSnapshotFile(const std::string& path,
+                         const SessionSnapshotState& state);
+
+/// Reads and decodes a WriteSnapshotFile() file.
+Result<SessionSnapshotState> ReadSnapshotFile(const std::string& path);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_SERVE_SNAPSHOT_H_

@@ -65,6 +65,13 @@ class SimulatedUser {
 
   const UserOptions& options() const { return options_; }
 
+  /// Serialized noise-RNG state. A session snapshot persists this so a
+  /// restored user keeps answering with the same skip/lie draws the
+  /// uninterrupted user would have produced.
+  std::string SaveRngState() const { return rng_.SaveState(); }
+  /// Restores a SaveRngState() string; false when it does not parse.
+  bool LoadRngState(const std::string& state) { return rng_.LoadState(state); }
+
  private:
   bool Skipped() { return !rng_.Bernoulli(options_.completeness); }
   bool Lies() { return rng_.Bernoulli(options_.wrong_label_rate); }

@@ -1,0 +1,236 @@
+// Differential suite for snapshot/restore: a session interrupted at any
+// supported point — between iterations, or with a composite question
+// pending — then serialized through the binary codec, decoded, and resumed
+// in a fresh process-image session must be bit-for-bit indistinguishable
+// from the uninterrupted run: same EMD trajectory (hex float), same CQG
+// selections, same ERGs, same final table.
+//
+// The sweep runs 3 synthetic datasets x 3 seeds x {gss, gss+, bnb, 0.5-bnb,
+// random, single}. Each configuration executes three times in lockstep:
+//   baseline      — one session runs the whole budget;
+//   idle-cut      — capture after round 1 resolves, encode->decode->restore
+//                   into a new session, run the rest there;
+//   pending-cut   — capture with round 2's question outstanding (the plan
+//                   checkpoint replays on restore), answer it in the new
+//                   session, run the rest there.
+// This is what makes serving-layer eviction safe: a restored session cannot
+// drift from the one that was evicted.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "datagen/books.h"
+#include "datagen/nba.h"
+#include "datagen/publications.h"
+#include "serve/snapshot.h"
+#include "vql/parser.h"
+
+namespace visclean {
+namespace {
+
+std::string HexOf(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string TableFingerprint(const Table& t) {
+  std::string out;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    out += t.is_dead(r) ? 'D' : 'L';
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      out += t.at(r, c).ToDisplayString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+DirtyDataset MakeData(const std::string& name, uint64_t seed) {
+  if (name == "D1") {
+    PublicationsOptions o;
+    o.num_entities = 60;
+    o.seed = seed;
+    return GeneratePublications(o);
+  }
+  if (name == "D2") {
+    NbaOptions o;
+    o.num_entities = 60;
+    o.seed = seed;
+    return GenerateNba(o);
+  }
+  BooksOptions o;
+  o.num_entities = 60;
+  o.seed = seed;
+  return GenerateBooks(o);
+}
+
+VqlQuery QueryFor(const std::string& name) {
+  std::string text;
+  if (name == "D1") {
+    text =
+        "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D1 "
+        "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10";
+  } else if (name == "D2") {
+    text =
+        "VISUALIZE PIE SELECT Team, SUM(Points) FROM D2 "
+        "TRANSFORM GROUP(Team) SORT Y DESC LIMIT 10";
+  } else {
+    text =
+        "VISUALIZE BAR SELECT Author, SUM(NumRatings) FROM D3 "
+        "TRANSFORM GROUP(Author) SORT Y DESC LIMIT 5";
+  }
+  return ParseVql(text).value();
+}
+
+constexpr size_t kBudget = 3;
+
+SessionOptions SweepOptions(const std::string& selector, uint64_t seed) {
+  SessionOptions o;
+  o.k = 6;
+  o.budget = kBudget;
+  o.max_t_questions = 40;
+  o.max_m_questions = 40;
+  o.single_m = 8;
+  o.forest.num_trees = 8;
+  o.seed = seed;
+  if (selector == "single") {
+    o.strategy = QuestionStrategy::kSingle;
+  } else {
+    o.selector = selector;
+  }
+  return o;
+}
+
+// Everything observable about one completed round, down to float bits.
+std::string RoundRecord(const VisCleanSession& session,
+                        const IterationTrace& trace) {
+  std::string line = "it=" + std::to_string(trace.iteration);
+  line += " emd=" + HexOf(trace.emd);
+  line += " benefit=" + HexOf(trace.cqg_benefit);
+  line += " user=" + HexOf(trace.user_seconds);
+  line += " asked=" + std::to_string(trace.questions_asked);
+  line += " cqg=" + session.context().cqg.Fingerprint();
+  line += " store=" + std::to_string(session.context().question_store.TotalSize());
+  return line;
+}
+
+struct RunRecord {
+  std::vector<std::string> rounds;
+  std::string final_table;
+};
+
+// Resolve-then-run driver shared by all variants: `session` may arrive
+// fresh, mid-run, or with a pending question to resolve first.
+void FinishRun(VisCleanSession* session, RunRecord* record) {
+  if (session->pending()) {
+    Result<IterationTrace> trace = session->ResolveIteration();
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    record->rounds.push_back(RoundRecord(*session, trace.value()));
+  }
+  while (!session->finished()) {
+    Result<IterationTrace> trace = session->RunIteration();
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    record->rounds.push_back(RoundRecord(*session, trace.value()));
+  }
+  record->final_table = TableFingerprint(session->table());
+}
+
+// Serializes through the full codec (encode -> bytes -> decode), builds a
+// brand-new session over the same oracle, and restores into it.
+void CutOver(const VisCleanSession& from, const DirtyDataset* data,
+             std::unique_ptr<VisCleanSession>* out) {
+  Result<SessionSnapshotState> captured = from.CaptureState();
+  ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+  Result<SessionSnapshotState> decoded =
+      DecodeSnapshot(EncodeSnapshot(captured.value()));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  const SessionSnapshotState& state = decoded.value();
+  Result<VqlQuery> query = ParseVql(state.query_text);
+  ASSERT_TRUE(query.ok());
+  *out = std::make_unique<VisCleanSession>(data, std::move(query).value(),
+                                           state.options, state.user_options,
+                                           state.cost_model);
+  Status restored = (*out)->RestoreState(state);
+  ASSERT_TRUE(restored.ok()) << restored.ToString();
+}
+
+void SweepDataset(const std::string& dataset) {
+  const std::vector<std::string> selectors = {"gss",     "gss+",   "bnb",
+                                              "0.5-bnb", "random", "single"};
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    for (const std::string& sel : selectors) {
+      SCOPED_TRACE(dataset + " seed=" + std::to_string(seed) + " sel=" + sel);
+      DirtyDataset data = MakeData(dataset, seed);
+      VqlQuery query = QueryFor(dataset);
+      SessionOptions options = SweepOptions(sel, seed);
+
+      // Baseline: uninterrupted run.
+      RunRecord baseline;
+      {
+        VisCleanSession session(&data, query, options);
+        ASSERT_TRUE(session.Initialize().ok());
+        FinishRun(&session, &baseline);
+      }
+      ASSERT_EQ(baseline.rounds.size(), kBudget);
+
+      // Idle cut: round 1 resolves, then snapshot -> restore -> continue.
+      RunRecord idle_cut;
+      {
+        VisCleanSession session(&data, query, options);
+        ASSERT_TRUE(session.Initialize().ok());
+        Result<IterationTrace> first = session.RunIteration();
+        ASSERT_TRUE(first.ok());
+        idle_cut.rounds.push_back(RoundRecord(session, first.value()));
+
+        std::unique_ptr<VisCleanSession> resumed;
+        CutOver(session, &data, &resumed);
+        ASSERT_NE(resumed, nullptr);
+        EXPECT_FALSE(resumed->pending());
+        EXPECT_EQ(resumed->iteration(), 1u);
+        FinishRun(resumed.get(), &idle_cut);
+      }
+
+      // Pending cut: round 2's question is out when the snapshot happens;
+      // the restored session must resume holding the identical question.
+      RunRecord pending_cut;
+      {
+        VisCleanSession session(&data, query, options);
+        ASSERT_TRUE(session.Initialize().ok());
+        Result<IterationTrace> first = session.RunIteration();
+        ASSERT_TRUE(first.ok());
+        pending_cut.rounds.push_back(RoundRecord(session, first.value()));
+
+        Result<PendingInteraction> planned = session.PlanIteration();
+        ASSERT_TRUE(planned.ok());
+        std::string cqg_before = session.context().cqg.Fingerprint();
+
+        std::unique_ptr<VisCleanSession> resumed;
+        CutOver(session, &data, &resumed);
+        ASSERT_NE(resumed, nullptr);
+        EXPECT_TRUE(resumed->pending());
+        EXPECT_EQ(resumed->iteration(), 2u);
+        // The replayed plan re-selected the exact same composite question.
+        EXPECT_EQ(resumed->context().cqg.Fingerprint(), cqg_before);
+        FinishRun(resumed.get(), &pending_cut);
+      }
+
+      EXPECT_EQ(baseline.rounds, idle_cut.rounds);
+      EXPECT_EQ(baseline.rounds, pending_cut.rounds);
+      EXPECT_EQ(baseline.final_table, idle_cut.final_table);
+      EXPECT_EQ(baseline.final_table, pending_cut.final_table);
+    }
+  }
+}
+
+TEST(ServeSnapshotDifferentialTest, PublicationsSweep) { SweepDataset("D1"); }
+TEST(ServeSnapshotDifferentialTest, NbaSweep) { SweepDataset("D2"); }
+TEST(ServeSnapshotDifferentialTest, BooksSweep) { SweepDataset("D3"); }
+
+}  // namespace
+}  // namespace visclean
