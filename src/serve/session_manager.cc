@@ -157,21 +157,31 @@ Result<SessionInfo> SessionManager::Create(const std::string& id,
   entry->info.emd = session.value()->CurrentEmd();
   entry->session = std::move(session).value();
 
+  SessionInfo info;
   {
-    std::lock_guard<std::mutex> map_lock(map_mu_);
-    if (sessions_.size() >= options_.max_sessions) {
-      ++stat_rejected_capacity_;
-      return Status::ResourceExhausted("session capacity reached");
+    // Publish under the entry lock: the moment the entry is in the map, a
+    // concurrent MaybeEvict can try_lock it, so the resident_ increment and
+    // the info copy must complete before the lock is released or eviction
+    // could run in between (underflowing resident_ and racing on info).
+    // Taking map_mu_ inside entry->mu is safe — no thread blocks on an
+    // entry mutex while holding map_mu_ (the eviction scan uses try_lock).
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    {
+      std::lock_guard<std::mutex> map_lock(map_mu_);
+      if (sessions_.size() >= options_.max_sessions) {
+        ++stat_rejected_capacity_;
+        return Status::ResourceExhausted("session capacity reached");
+      }
+      auto [it, inserted] = sessions_.emplace(id, entry);
+      if (!inserted) {
+        return Status::InvalidArgument("session '" + id + "' already exists");
+      }
     }
-    auto [it, inserted] = sessions_.emplace(id, entry);
-    if (!inserted) {
-      return Status::InvalidArgument("session '" + id + "' already exists");
-    }
+    resident_.fetch_add(1);
+    entry->last_touch.store(clock_.fetch_add(1) + 1);
+    info = entry->info;
   }
-  resident_.fetch_add(1);
-  entry->last_touch.store(clock_.fetch_add(1) + 1);
   ++stat_created_;
-  SessionInfo info = entry->info;
   MaybeEvict();
   return info;
 }
@@ -392,21 +402,27 @@ Result<SessionInfo> SessionManager::Restore(const std::string& id,
   entry->info.emd = session.value()->CurrentEmd();
   entry->session = std::move(session).value();
 
+  SessionInfo info;
   {
-    std::lock_guard<std::mutex> map_lock(map_mu_);
-    if (sessions_.size() >= options_.max_sessions) {
-      ++stat_rejected_capacity_;
-      return Status::ResourceExhausted("session capacity reached");
+    // Same publication protocol as Create: keep the entry unevictable until
+    // resident_ and the info copy are consistent.
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    {
+      std::lock_guard<std::mutex> map_lock(map_mu_);
+      if (sessions_.size() >= options_.max_sessions) {
+        ++stat_rejected_capacity_;
+        return Status::ResourceExhausted("session capacity reached");
+      }
+      auto [it, inserted] = sessions_.emplace(id, entry);
+      if (!inserted) {
+        return Status::InvalidArgument("session '" + id + "' already exists");
+      }
     }
-    auto [it, inserted] = sessions_.emplace(id, entry);
-    if (!inserted) {
-      return Status::InvalidArgument("session '" + id + "' already exists");
-    }
+    resident_.fetch_add(1);
+    entry->last_touch.store(clock_.fetch_add(1) + 1);
+    info = entry->info;
   }
-  resident_.fetch_add(1);
-  entry->last_touch.store(clock_.fetch_add(1) + 1);
   ++stat_created_;
-  SessionInfo info = entry->info;
   MaybeEvict();
   return info;
 }

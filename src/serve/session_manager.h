@@ -26,7 +26,10 @@
 // ever held briefly; per-entry mutexes serialize session operations. The
 // one ordering rule: a thread holding map_mu_ never blocks on an entry
 // mutex (the eviction scan uses try_lock), so the two levels cannot
-// deadlock.
+// deadlock. Create/Restore publish a new entry while already holding its
+// entry mutex (entry->mu, then map_mu_ — legal under the rule above), so a
+// freshly inserted session cannot be evicted before its resident accounting
+// is consistent.
 #ifndef VISCLEAN_SERVE_SESSION_MANAGER_H_
 #define VISCLEAN_SERVE_SESSION_MANAGER_H_
 

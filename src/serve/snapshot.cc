@@ -6,6 +6,8 @@
 #include <fstream>
 #include <utility>
 
+#include "em/pair_features.h"
+
 namespace visclean {
 
 namespace {
@@ -49,7 +51,7 @@ class Reader {
   explicit Reader(const std::string& in) : in_(in) {}
 
   uint8_t U8() {
-    if (pos_ + 1 > in_.size()) return Fail<uint8_t>();
+    if (pos_ >= in_.size()) return Fail<uint8_t>();
     return static_cast<uint8_t>(in_[pos_++]);
   }
   uint32_t U32() {
@@ -72,7 +74,8 @@ class Reader {
   bool Bool() { return U8() != 0; }
   std::string Str() {
     uint64_t n = U64();
-    if (pos_ + n > in_.size()) return Fail<std::string>();
+    // Overflow-safe form: pos_ + n can wrap for corrupt lengths near 2^64.
+    if (n > in_.size() - pos_) return Fail<std::string>();
     std::string s = in_.substr(pos_, n);
     pos_ += n;
     return s;
@@ -221,6 +224,12 @@ void PutTable(Writer& w, const Table& t) {
 Result<Table> GetTable(Reader& r) {
   bool bad = false;
   uint64_t num_columns = r.Count(9);
+  // A session table always has columns; accepting 0 would also zero out the
+  // per-row admission bound below and let a corrupt row count drive an
+  // unbounded append loop that never consumes input.
+  if (r.failed() || num_columns == 0) {
+    return Status::InvalidArgument("snapshot table has no columns");
+  }
   std::vector<ColumnSpec> columns;
   columns.reserve(num_columns);
   for (uint64_t i = 0; i < num_columns && !r.failed(); ++i) {
@@ -239,11 +248,18 @@ Result<Table> GetTable(Reader& r) {
     }
     if (!r.failed() && !bad) table.AppendRow(std::move(values));
   }
+  // Bail out before touching rows: once `bad` latches (an out-of-range enum
+  // the reader itself cannot detect) the append loop stopped early, and
+  // marking the remaining declared rows dead would hit MarkDead's abort on
+  // row ids that were never appended.
+  if (r.failed() || bad) {
+    return Status::InvalidArgument("snapshot table section is corrupt");
+  }
   for (uint64_t row = 0; row < num_rows && !r.failed(); ++row) {
     if (r.Bool()) table.MarkDead(row);
   }
   uint64_t watermark = r.U64();
-  if (r.failed() || bad) {
+  if (r.failed()) {
     return Status::InvalidArgument("snapshot table section is corrupt");
   }
   if (watermark < table.mutation_count()) {
@@ -466,6 +482,10 @@ Result<SessionSnapshotState> DecodeSnapshot(const std::string& bytes) {
     state.em_labels[{a, b}] = r.Bool();
   }
 
+  // The forest predicts on PairFeatures vectors of the restored table's
+  // schema, which bounds every split's feature index exactly.
+  const int64_t feature_arity =
+      static_cast<int64_t>(PairFeatureArity(state.table.schema()));
   uint64_t num_trees = r.Count(8);
   state.forest_trees.reserve(r.failed() ? 0 : num_trees);
   for (uint64_t i = 0; i < num_trees && !r.failed(); ++i) {
@@ -479,11 +499,19 @@ Result<SessionSnapshotState> DecodeSnapshot(const std::string& bytes) {
       node.positive_fraction = r.F64();
       int64_t left = r.I64();
       int64_t right = r.I64();
-      // Structural validity: child links must stay inside this tree's node
-      // array (or be -1 for a leaf); features are -1 (leaf) or an index.
-      if (feature < -1 || left < -1 || right < -1 ||
-          left >= static_cast<int64_t>(num_nodes) ||
-          right >= static_cast<int64_t>(num_nodes)) {
+      // Structural validity. A node is either a childless leaf or a split
+      // whose feature indexes a PairFeatures vector and whose children both
+      // point strictly forward inside this tree's node array — the shape
+      // Fit produces (parents are reserved before their children), and the
+      // one that makes Predict's walk bounded and in range: indices strictly
+      // increase along any root-to-leaf path, so cycles are impossible.
+      const int64_t self = static_cast<int64_t>(n);
+      const bool is_leaf = feature == -1 && left == -1 && right == -1;
+      const bool is_split =
+          feature >= 0 && feature < feature_arity && left > self &&
+          right > self && left < static_cast<int64_t>(num_nodes) &&
+          right < static_cast<int64_t>(num_nodes);
+      if (!is_leaf && !is_split) {
         bad = true;
         break;
       }

@@ -111,6 +111,78 @@ TEST(SnapshotCodecTest, RejectsCorruptInputWithoutAborting) {
   EXPECT_FALSE(DecodeSnapshot(bad_version).ok());
 }
 
+// Single-byte corruption fuzz: overwriting any one byte with an adversarial
+// value must yield a clean decode result — never an abort (e.g. a cell-tag
+// byte pushed out of enum range used to drive MarkDead past the appended
+// rows) and never a hang. Dense over the header/schema/leading rows where
+// the structural fields live, strided over the bulk.
+TEST(SnapshotCodecTest, SingleByteCorruptionNeverAborts) {
+  DirtyDataset data = SmallPublications();
+  std::string bytes = EncodeSnapshot(CapturedState(&data, false));
+  for (size_t pos = 0; pos < bytes.size(); pos += (pos < 2048 ? 1 : 131)) {
+    for (unsigned char v : {0x00, 0x01, 0xFF}) {
+      if (static_cast<unsigned char>(bytes[pos]) == v) continue;
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(v);
+      // A rare mutation may still decode (e.g. flipping a float bit); the
+      // contract under test is only "returns, without crashing".
+      Result<SessionSnapshotState> result = DecodeSnapshot(mutated);
+      (void)result;
+    }
+  }
+}
+
+// A header claiming zero columns must be rejected outright: with 0 columns
+// each row consumes no input, so the row-count admission check would pass
+// for any declared row count and the decoder would loop appending empty
+// rows without bound.
+TEST(SnapshotCodecTest, RejectsZeroColumnTable) {
+  SessionSnapshotState state;  // default Table has an empty schema
+  EXPECT_FALSE(DecodeSnapshot(EncodeSnapshot(state)).ok());
+}
+
+// Forest nodes must form a tree Predict can walk: split features inside the
+// schema's PairFeatures arity, child links strictly forward (no cycles, no
+// dangling leaves masquerading as splits).
+TEST(SnapshotCodecTest, RejectsStructurallyInvalidForestNodes) {
+  DirtyDataset data = SmallPublications();
+  SessionSnapshotState state = CapturedState(&data, false);
+
+  auto encode_with = [&](std::vector<DecisionTree::Node> nodes) {
+    SessionSnapshotState s = state;
+    DecisionTree tree;
+    tree.RestoreNodes(std::move(nodes));
+    s.forest_trees.assign(1, tree);
+    return EncodeSnapshot(s);
+  };
+
+  DecisionTree::Node leaf;
+  leaf.positive_fraction = 1.0;
+  DecisionTree::Node split;
+  split.feature = 0;
+  split.left = 1;
+  split.right = 2;
+
+  // The well-formed shape decodes.
+  EXPECT_TRUE(DecodeSnapshot(encode_with({split, leaf, leaf})).ok());
+
+  // Feature index far beyond the schema's PairFeatures arity (would read
+  // out of bounds of every feature vector Predict is handed).
+  DecisionTree::Node bad_feature = split;
+  bad_feature.feature = 1 << 30;
+  EXPECT_FALSE(DecodeSnapshot(encode_with({bad_feature, leaf, leaf})).ok());
+
+  // Self-referential child link (Predict would spin forever).
+  DecisionTree::Node self_loop = split;
+  self_loop.left = 0;
+  EXPECT_FALSE(DecodeSnapshot(encode_with({self_loop, leaf, leaf})).ok());
+
+  // A split with leaf child links (-1 cast to a huge index in Predict).
+  DecisionTree::Node dangling = leaf;
+  dangling.feature = 0;
+  EXPECT_FALSE(DecodeSnapshot(encode_with({dangling})).ok());
+}
+
 TEST(SnapshotCodecTest, FileRoundTrip) {
   DirtyDataset data = SmallPublications();
   SessionSnapshotState state = CapturedState(&data, false);
