@@ -12,8 +12,8 @@ namespace visclean {
 
 std::vector<AQuestion> GenerateAQuestions(
     const Table& table, const std::vector<std::vector<size_t>>& clusters,
-    size_t column, const AQuestionOptions& options, SimJoinMemo* memo,
-    ThreadPool* pool) {
+    size_t column, const AQuestionOptions& options,
+    const MaintainedAJoin* maintained, ThreadPool* pool) {
   // Unordered spelling pair -> best question seen.
   std::map<std::pair<std::string, std::string>, AQuestion> dedup;
   auto add = [&](const std::string& from, const std::string& to, double sim) {
@@ -38,34 +38,11 @@ std::vector<AQuestion> GenerateAQuestions(
   }
 
   // Strategy 2: cross-cluster similarity join over distinct spellings.
-  // value -> clusters it occurs in, and global frequency (canonical vote).
-  std::map<std::string, std::set<size_t>> clusters_of;
-  std::map<std::string, size_t> frequency;
-  for (size_t ci = 0; ci < clusters.size(); ++ci) {
-    for (size_t r : clusters[ci]) {
-      if (table.is_dead(r)) continue;
-      const Value& v = table.at(r, column);
-      if (v.is_null()) continue;
-      std::string s = v.ToDisplayString();
-      clusters_of[s].insert(ci);
-      ++frequency[s];
-    }
-  }
-  std::vector<std::string> values;
-  values.reserve(clusters_of.size());
-  for (const auto& [v, cs] : clusters_of) values.push_back(v);
-
-  SimJoinOptions join_options;
-  join_options.threshold = options.lambda;
-  const std::vector<SimJoinPair>& joined =
-      memo != nullptr ? memo->SelfJoin(values, join_options, pool)
-                      : SimilaritySelfJoin(values, join_options, pool);
-  for (const SimJoinPair& p : joined) {
-    const std::string& va = values[p.left_index];
-    const std::string& vb = values[p.right_index];
-    // Cross-cluster only: same-cluster pairs are Strategy 1's job.
-    const std::set<size_t>& ca = clusters_of[va];
-    const std::set<size_t>& cb = clusters_of[vb];
+  // Consumes one joined pair: keep cross-cluster pairs only, standardize
+  // toward the more frequent spelling.
+  auto consume = [&](const std::string& va, const std::string& vb, double sim,
+                     const std::set<size_t>& ca, const std::set<size_t>& cb,
+                     size_t freq_a, size_t freq_b) {
     bool disjoint = true;
     for (size_t c : ca) {
       if (cb.count(c)) {
@@ -73,12 +50,90 @@ std::vector<AQuestion> GenerateAQuestions(
         break;
       }
     }
-    if (!disjoint) continue;
-    // Standardize toward the more frequent spelling.
-    if (frequency[vb] >= frequency[va]) {
-      add(va, vb, p.similarity);
+    if (!disjoint) return;
+    if (freq_b >= freq_a) {
+      add(va, vb, sim);
     } else {
-      add(vb, va, p.similarity);
+      add(vb, va, sim);
+    }
+  };
+
+  if (maintained != nullptr && maintained->join != nullptr &&
+      maintained->join->primed()) {
+    // Maintained path: the join's items are the distinct live spellings and
+    // its pairs match the scratch self-join; frequency and cluster sets come
+    // from the maintained per-spelling row sets instead of a row scan.
+    const std::vector<std::string>& values = maintained->join->items();
+    const std::vector<SimJoinPair>& joined = maintained->join->Pairs();
+
+    constexpr size_t kNoCluster = static_cast<size_t>(-1);
+    std::vector<size_t> local_cluster_of;
+    if (maintained->cluster_of == nullptr ||
+        maintained->cluster_of->size() < table.num_rows()) {
+      local_cluster_of.assign(table.num_rows(), kNoCluster);
+      for (size_t ci = 0; ci < clusters.size(); ++ci) {
+        for (size_t r : clusters[ci]) {
+          if (r < local_cluster_of.size()) local_cluster_of[r] = ci;
+        }
+      }
+    }
+    const std::vector<size_t>& cluster_of =
+        local_cluster_of.empty() && maintained->cluster_of != nullptr
+            ? *maintained->cluster_of
+            : local_cluster_of;
+    std::map<std::string, std::set<size_t>> cluster_memo;
+    auto clusters_of = [&](const std::string& s) -> const std::set<size_t>& {
+      auto it = cluster_memo.find(s);
+      if (it != cluster_memo.end()) return it->second;
+      std::set<size_t> cs;
+      const std::set<size_t>* rows = maintained->rows_of(s);
+      if (rows != nullptr) {
+        for (size_t r : *rows) {
+          if (r < cluster_of.size() && cluster_of[r] != kNoCluster) {
+            cs.insert(cluster_of[r]);
+          }
+        }
+      }
+      return cluster_memo.emplace(s, std::move(cs)).first->second;
+    };
+    auto frequency = [&](const std::string& s) -> size_t {
+      const std::set<size_t>* rows = maintained->rows_of(s);
+      return rows == nullptr ? 0 : rows->size();
+    };
+    for (const SimJoinPair& p : joined) {
+      const std::string& va = values[p.left_index];
+      const std::string& vb = values[p.right_index];
+      consume(va, vb, p.similarity, clusters_of(va), clusters_of(vb),
+              frequency(va), frequency(vb));
+    }
+  } else {
+    // Scratch path: scan the cluster rows for the distinct spellings, their
+    // frequencies and cluster sets, then self-join from scratch.
+    std::map<std::string, std::set<size_t>> clusters_of;
+    std::map<std::string, size_t> frequency;
+    for (size_t ci = 0; ci < clusters.size(); ++ci) {
+      for (size_t r : clusters[ci]) {
+        if (table.is_dead(r)) continue;
+        const Value& v = table.at(r, column);
+        if (v.is_null()) continue;
+        std::string s = v.ToDisplayString();
+        clusters_of[s].insert(ci);
+        ++frequency[s];
+      }
+    }
+    std::vector<std::string> values;
+    values.reserve(clusters_of.size());
+    for (const auto& [v, cs] : clusters_of) values.push_back(v);
+
+    SimJoinOptions join_options;
+    join_options.threshold = options.lambda;
+    std::vector<SimJoinPair> joined =
+        SimilaritySelfJoin(values, join_options, pool);
+    for (const SimJoinPair& p : joined) {
+      const std::string& va = values[p.left_index];
+      const std::string& vb = values[p.right_index];
+      consume(va, vb, p.similarity, clusters_of[va], clusters_of[vb],
+              frequency[va], frequency[vb]);
     }
   }
 

@@ -4,6 +4,9 @@
 #ifndef VISCLEAN_CLEAN_A_QUESTION_GEN_H_
 #define VISCLEAN_CLEAN_A_QUESTION_GEN_H_
 
+#include <functional>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "clean/question.h"
@@ -20,6 +23,22 @@ struct AQuestionOptions {
   size_t max_questions = 400; ///< cap on emitted questions
 };
 
+/// \brief Maintained inputs for Strategy 2, provided by the session's
+/// ErgCache (core/erg_cache.h SyncSimJoin) on the incremental path.
+///
+/// `join` must be primed on the current distinct live spellings of the
+/// column with threshold == lambda; `rows_of` returns the live rows
+/// carrying a spelling (null when unknown) — the X value index's row sets.
+/// Expressed as a callback so clean/ stays independent of core/.
+struct MaintainedAJoin {
+  const IncrementalSimJoin* join = nullptr;
+  std::function<const std::set<size_t>*(const std::string&)> rows_of;
+  /// Optional row -> cluster index (EntityClusters::cluster_of). When set
+  /// (covering every table row), Strategy 2 reuses it instead of
+  /// re-deriving the mapping from `clusters` on every call.
+  const std::vector<size_t>* cluster_of = nullptr;
+};
+
 /// \brief Runs Algorithm 1 on `column` with the given clusters.
 ///
 /// Strategy 1: inside every multi-member cluster, each variant spelling
@@ -30,13 +49,19 @@ struct AQuestionOptions {
 /// Duplicates (unordered spelling pairs) are emitted once, highest
 /// similarity kept, ordered by descending similarity.
 ///
-/// `memo` (optional) replays the Strategy-2 self-join when the distinct
-/// spellings are unchanged since the previous call; `pool` (optional) fans
-/// the join's probe side out. Neither changes the emitted questions.
+/// With `maintained` (and a primed join), Strategy 2 reads the journal-
+/// maintained self-join result and per-spelling row sets instead of
+/// scanning the cluster rows and re-joining from scratch — O(pairs + k)
+/// per call instead of O(rows + join). The emitted questions are
+/// bit-identical: the join's item set is exactly the distinct live
+/// spellings, its pair set matches SimilaritySelfJoin, and the spelling
+/// frequencies / cluster sets derived from `rows_of` equal the scanned
+/// ones. `pool` (optional) fans the scratch join's probe side out; neither
+/// input changes the emitted questions.
 std::vector<AQuestion> GenerateAQuestions(
     const Table& table, const std::vector<std::vector<size_t>>& clusters,
     size_t column, const AQuestionOptions& options = {},
-    SimJoinMemo* memo = nullptr, ThreadPool* pool = nullptr);
+    const MaintainedAJoin* maintained = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace visclean
 

@@ -91,7 +91,6 @@ void DetectionCache::Clear() {
   missing_ = MissingDetector();
   outlier_ = OutlierDetector();
   features_.Clear();
-  sim_join_.Clear();
 }
 
 }  // namespace visclean

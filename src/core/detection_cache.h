@@ -23,7 +23,6 @@
 #include "data/table.h"
 #include "em/blocking.h"
 #include "em/pair_features.h"
-#include "text/sim_join.h"
 
 namespace visclean {
 
@@ -71,17 +70,15 @@ struct DetectionStats {
 ///  * RowTokenCache — per-row token sets shared by both kNN detectors;
 ///  * BlockingDetector — blocking keys, blocks, pair refcounts;
 ///  * Missing/OutlierDetector — per-query kNN neighbor lists;
-///  * PairFeatureCache — per-pair feature vectors (lent to TrainStage);
-///  * SimJoinMemo — the A-question self-join replay (lent to GenerateStage;
-///    self-validating against its input, so it never needs invalidation).
+///  * PairFeatureCache — per-pair feature vectors (lent to TrainStage).
 ///
 /// Lifecycle per iteration: BeginIteration() before reading any result;
 /// ResyncRolledBack() at the end of BenefitStage (whose speculative repairs
 /// all rolled back — the table is bit-for-bit in its BeginIteration state,
 /// so the watermark may fast-forward past their journal noise). The session
-/// driver compacts the journal only up to the minimum watermark across
-/// consumers (this cache and the BenefitEngine), so MutatedRowsSince stays
-/// legal for both.
+/// driver compacts the journal only up to the minimum watermark across all
+/// journal consumers (BenefitEngine, this cache, and the ErgCache's value
+/// index / maintained sim join), so MutatedRowsSince stays legal for each.
 class DetectionCache {
  public:
   /// Brings every detector up to date with `table`. Chooses full scan vs
@@ -104,7 +101,6 @@ class DetectionCache {
 
   /// Caches lent to the later stages of the same iteration.
   PairFeatureCache* features() { return &features_; }
-  SimJoinMemo* sim_join_memo() { return &sim_join_; }
 
   /// Fast-forwards the watermark without touching any cache. Valid ONLY when
   /// the table is bit-for-bit back in its last-BeginIteration state (i.e.
@@ -132,7 +128,6 @@ class DetectionCache {
   MissingDetector missing_;
   OutlierDetector outlier_;
   PairFeatureCache features_;
-  SimJoinMemo sim_join_;
 };
 
 }  // namespace visclean

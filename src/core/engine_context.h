@@ -61,8 +61,8 @@ struct SessionOptions {
 
   /// How DetectStage runs. kAuto (default) drives detection through the
   /// session's DetectionCache: journal-driven per-row deltas after the first
-  /// iteration, pooled full scans otherwise, with the feature/sim-join memos
-  /// lent to Train/GenerateStage. kFull is the legacy serial, uncached path
+  /// iteration, pooled full scans otherwise, with the pair-feature memo
+  /// lent to TrainStage. kFull is the legacy serial, uncached path
   /// the differential suite compares against. Outputs are bit-identical.
   DetectionMode detection_mode = DetectionMode::kAuto;
   /// Dirty fraction above which kAuto abandons the delta update for a full
@@ -108,6 +108,21 @@ struct StageTime {
   double seconds = 0.0;  ///< wall time of this stage's Run()
 };
 
+/// \brief Per-iteration deltas of the incremental-maintenance counters: how
+/// each cache serviced this iteration (delta applied vs. full rebuild vs.
+/// dirty-fraction fallback). All zero on the kFull reference paths; a stage
+/// silently regressing to full rebuilds shows up here in exported traces
+/// instead of only in benches.
+struct IncrementalityCounters {
+  size_t detect_full_scans = 0;      ///< DetectionCache full scans
+  size_t detect_delta_updates = 0;   ///< DetectionCache journal deltas
+  size_t erg_full_builds = 0;        ///< ErgCache working-graph full builds
+  size_t erg_delta_updates = 0;      ///< ErgCache incremental updates
+  size_t sim_join_full = 0;          ///< sim-join from-scratch rebuilds
+  size_t sim_join_fallbacks = 0;     ///< ... of which dirty-fraction forced
+  size_t sim_join_delta_syncs = 0;   ///< sim-join insert/retract syncs
+};
+
 /// \brief Everything recorded about one iteration.
 struct IterationTrace {
   size_t iteration = 0;        ///< 1-based
@@ -117,6 +132,7 @@ struct IterationTrace {
   double cqg_benefit = 0.0;    ///< estimated benefit of the asked CQG
   ComponentTimes machine;      ///< machine time breakdown (Fig. 18 buckets)
   std::vector<StageTime> stage_times;  ///< per-stage wall time, in run order
+  IncrementalityCounters incremental;  ///< cache behaviour this iteration
 };
 
 /// \brief Shared state of one cleaning run, threaded through the stages.
@@ -151,15 +167,16 @@ struct EngineContext {
   /// table's mutation journal (used only when benefit_mode == kAuto).
   BenefitEngine benefit_engine;
   /// Cross-iteration caches behind incremental detection: blocking state,
-  /// row token sets, kNN neighbor lists, pair features, the A-question
-  /// sim-join memo (used only when detection_mode == kAuto).
+  /// row token sets, kNN neighbor lists, pair features (used only when
+  /// detection_mode == kAuto).
   DetectionCache detection;
   /// Cross-iteration question identity: per-type pools keyed by question
   /// identity with stable ids, plus the per-iteration delta the ErgCache
   /// consumes (fed by AssembleStage in both erg modes).
   QuestionStore question_store;
-  /// Cross-iteration ERG maintenance: journal-driven X value index +
-  /// maintained working graph (used only when erg_mode == kAuto).
+  /// Cross-iteration ERG maintenance: journal-driven X value index, the
+  /// maintained A-question self-join, the maintained working graph, and the
+  /// per-iteration selection support (used only when erg_mode == kAuto).
   ErgCache erg_cache;
 
   // ---- Per-iteration products (refreshed by the stages) ----

@@ -59,7 +59,8 @@ void XValueIndex::FullRebuild(const Table& table, size_t x_column,
 }
 
 void XValueIndex::Fold(const Table& table, size_t x_column,
-                       const std::vector<size_t>& rows) {
+                       const std::vector<size_t>& rows,
+                       std::set<std::string>* touched) {
   VC_CHECK(primed_, "XValueIndex::Fold before FullRebuild");
   if (shadow_.size() < table.num_rows()) shadow_.resize(table.num_rows());
   for (size_t r : rows) {
@@ -71,13 +72,17 @@ void XValueIndex::Fold(const Table& table, size_t x_column,
     }
     if (shadow_[r] == now) continue;
     if (shadow_[r].has_value()) {
+      if (touched != nullptr) touched->insert(*shadow_[r]);
       auto it = rows_of_.find(*shadow_[r]);
       if (it != rows_of_.end()) {
         it->second.erase(r);
         if (it->second.empty()) rows_of_.erase(it);
       }
     }
-    if (now.has_value()) rows_of_[*now].insert(r);
+    if (now.has_value()) {
+      if (touched != nullptr) touched->insert(*now);
+      rows_of_[*now].insert(r);
+    }
     shadow_[r] = std::move(now);
   }
 }
@@ -339,6 +344,7 @@ const XValueIndex& ErgCache::SyncValueIndex(const Table& table,
   if (!index_.primed()) {
     index_.FullRebuild(table, request.x_column, pool);
     rebuild_graph_ = true;
+    join_rebuild_ = true;
     watermark_ = table.mutation_count();
     return index_;
   }
@@ -352,15 +358,77 @@ const XValueIndex& ErgCache::SyncValueIndex(const Table& table,
   if (fraction > request.dirty_fallback_threshold) {
     index_.FullRebuild(table, request.x_column, pool);
     rebuild_graph_ = true;
+    join_rebuild_ = true;
     ++stats_.fallback_full_builds;
   } else {
-    index_.Fold(table, request.x_column, dirty);
-    ++stats_.index_folds;
     // Accumulated across every sync between graph updates (generate- and
-    // ask-stage readers sync too); consumed by the next DeltaUpdate.
+    // ask-stage readers sync too); consumed by the next DeltaUpdate /
+    // SyncSimJoin respectively.
+    index_.Fold(table, request.x_column, dirty, &pending_join_spellings_);
+    ++stats_.index_folds;
     pending_payload_rows_.insert(dirty.begin(), dirty.end());
   }
   return index_;
+}
+
+const IncrementalSimJoin& ErgCache::SyncSimJoin(
+    const Table& table, const ErgRequest& request,
+    const SimJoinOptions& join_options, ThreadPool* pool) {
+  VC_CHECK(request.x_column != ErgRequest::kNoColumn,
+           "SyncSimJoin requires an X column");
+  SyncValueIndex(table, request, pool);
+
+  auto rebuild = [&](bool dirty_fallback) {
+    std::vector<std::string> items;
+    items.reserve(index_.num_spellings());
+    for (const auto& [spelling, rows] : index_.rows_of()) {
+      items.push_back(spelling);
+    }
+    sim_join_.Rebuild(items, join_options, pool, dirty_fallback);
+    join_rebuild_ = false;
+    pending_join_spellings_.clear();
+  };
+
+  if (join_rebuild_ || !sim_join_.OptionsMatch(join_options)) {
+    // An index full rebuild counts as a join dirty-fraction fallback only
+    // when a maintained join actually got discarded by it.
+    rebuild(/*dirty_fallback=*/join_rebuild_ &&
+            sim_join_.OptionsMatch(join_options));
+    return sim_join_;
+  }
+  if (pending_join_spellings_.empty()) return sim_join_;
+
+  // Net the touched spellings against the current item set: only
+  // live-but-absent (insert) and dead-but-present (retract) survive; a
+  // spelling that died and revived between syncs nets to a no-op.
+  std::vector<std::string> inserts, retracts;
+  for (const std::string& s : pending_join_spellings_) {
+    bool live = index_.Count(s) > 0;
+    bool present = sim_join_.Contains(s);
+    if (live && !present) {
+      inserts.push_back(s);
+    } else if (!live && present) {
+      retracts.push_back(s);
+    }
+  }
+  double fraction =
+      static_cast<double>(inserts.size() + retracts.size()) /
+      static_cast<double>(std::max<size_t>(1, sim_join_.num_items()));
+  if (fraction > request.dirty_fallback_threshold) {
+    rebuild(/*dirty_fallback=*/true);
+  } else {
+    if (!inserts.empty() || !retracts.empty()) {
+      sim_join_.ApplyDelta(retracts, inserts, fraction);
+    }
+    pending_join_spellings_.clear();
+  }
+  return sim_join_;
+}
+
+const ErgSelectSupport* ErgCache::RefreshSelectSupport(const Erg& published) {
+  select_support_.Refresh(published);
+  ++stats_.support_refreshes;
+  return &select_support_;
 }
 
 size_t ErgCache::EnsureVertex(size_t row) { return EnsureVertexIn(&work_, row); }
@@ -612,6 +680,10 @@ void ErgCache::Clear() {
   promoted_.clear();
   jaccard_memo_.clear();
   pending_payload_rows_.clear();
+  sim_join_.Clear();
+  pending_join_spellings_.clear();
+  join_rebuild_ = false;
+  select_support_.Clear();
 }
 
 }  // namespace visclean

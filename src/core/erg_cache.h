@@ -31,6 +31,8 @@
 
 #include "clean/question_store.h"
 #include "graph/erg.h"
+#include "graph/select_support.h"
+#include "text/sim_join.h"
 
 namespace visclean {
 
@@ -72,6 +74,7 @@ struct ErgStats {
   size_t slot_compactions = 0;   ///< in-place tombstone compactions
   size_t jaccard_memo_hits = 0;
   size_t jaccard_memo_misses = 0;
+  size_t support_refreshes = 0;  ///< selection-support refreshes
   double last_dirty_fraction = 0.0;
   size_t last_dirty_rows = 0;
 };
@@ -92,9 +95,12 @@ class XValueIndex {
 
   /// Folds journal rows: for each row, replaces the shadowed spelling with
   /// the row's current one. Idempotent for a fixed table state, so mid-ask
-  /// syncs are safe.
+  /// syncs are safe. When `touched` is given, every spelling whose row set
+  /// changed (old shadow and/or new value) is added to it — the netting
+  /// input for downstream consumers like the incremental sim join.
   void Fold(const Table& table, size_t x_column,
-            const std::vector<size_t>& rows);
+            const std::vector<size_t>& rows,
+            std::set<std::string>* touched = nullptr);
 
   /// Number of live rows carrying `spelling`.
   size_t Count(const std::string& spelling) const;
@@ -137,6 +143,26 @@ class ErgCache {
                                     const ErgRequest& request,
                                     ThreadPool* pool);
 
+  /// Brings the maintained A-question self-join up to the table head:
+  /// syncs the value index first, then nets the spellings its folds touched
+  /// into insert/retract lists against the join's current item set. A
+  /// spelling-level dirty fraction above request.dirty_fallback_threshold —
+  /// or an index full rebuild, an options change, or an unprimed join —
+  /// falls back to the pooled from-scratch self-join. Requires a real
+  /// x_column. The returned join's items() are exactly the index's live
+  /// spellings and its Pairs() are bit-identical to SimilaritySelfJoin over
+  /// them.
+  const IncrementalSimJoin& SyncSimJoin(const Table& table,
+                                        const ErgRequest& request,
+                                        const SimJoinOptions& join_options,
+                                        ThreadPool* pool);
+
+  /// Refreshes the maintained selection support against the published
+  /// snapshot of this iteration (call after benefit annotation, before
+  /// Select). The support handed to selectors via ErgView must have been
+  /// refreshed on the exact graph they are selecting over.
+  const ErgSelectSupport* RefreshSelectSupport(const Erg& published);
+
   /// Brings the working graph to the current pools and publishes the
   /// canonical snapshot into `*out`. `store.last_delta()` must describe
   /// the Ingest that produced the current pools. `features` (optional)
@@ -168,6 +194,12 @@ class ErgCache {
   /// The maintained (possibly tombstoned) graph — tests only.
   const Erg& working_graph() const { return work_; }
   const XValueIndex& value_index() const { return index_; }
+  /// True when the maintained sim join holds journal-dependent state. The
+  /// join is synced strictly after the value index, so join_primed()
+  /// implies primed() and the join rides this cache's watermark() in the
+  /// session's compaction fold.
+  bool join_primed() const { return sim_join_.primed(); }
+  const SimJoinStats& sim_join_stats() const { return sim_join_.stats(); }
 
  private:
   enum class EdgeSource { kTuple, kPromotedA };
@@ -203,6 +235,18 @@ class ErgCache {
   /// refreshes the payloads of their incident edges (a row mutation can
   /// change its spelling or its pair features), then clears the set.
   std::set<size_t> pending_payload_rows_;
+  /// The maintained A-question self-join over the index's live spellings.
+  IncrementalSimJoin sim_join_;
+  /// Spellings touched by index folds since the last SyncSimJoin; netted
+  /// against the join's item set (a spelling that died and revived between
+  /// syncs nets to no-op), then cleared.
+  std::set<std::string> pending_join_spellings_;
+  /// Set whenever the index is fully rebuilt (the fold trail the join
+  /// depends on is gone); the next SyncSimJoin rebuilds the join too.
+  bool join_rebuild_ = false;
+  /// Per-iteration selection scaffolding (benefit orderings, induction
+  /// scratch) shared by every selector call on the published snapshot.
+  ErgSelectSupport select_support_;
 };
 
 }  // namespace visclean

@@ -307,13 +307,30 @@ Status GenerateStage::Run(EngineContext& ctx) {
                         cluster_options);
     AQuestionOptions a_options;
     a_options.lambda = ctx.options.sim_join_lambda;
-    SimJoinMemo* memo = ctx.options.detection_mode == DetectionMode::kAuto
-                            ? ctx.detection.sim_join_memo()
-                            : nullptr;
+    // kAuto: Strategy 2 reads the journal-maintained incremental self-join
+    // (synced here through the ErgCache, which nets the X value index's
+    // spelling deltas into insert/retract) instead of re-joining the whole
+    // spelling set. kFull: scratch join every iteration (reference path).
+    MaintainedAJoin maintained;
+    const MaintainedAJoin* maintained_ptr = nullptr;
+    if (ctx.options.erg_mode == ErgMode::kAuto) {
+      SimJoinOptions join_options;
+      join_options.threshold = ctx.options.sim_join_lambda;
+      maintained.join = &ctx.erg_cache.SyncSimJoin(ctx.table, ErgRequestFor(ctx),
+                                                   join_options, ctx.pool);
+      const XValueIndex& index = ctx.erg_cache.value_index();
+      maintained.rows_of =
+          [&index](const std::string& s) -> const std::set<size_t>* {
+        auto it = index.rows_of().find(s);
+        return it == index.rows_of().end() ? nullptr : &it->second;
+      };
+      maintained.cluster_of = &clusters.cluster_of;
+      maintained_ptr = &maintained;
+    }
     ThreadPool* pool =
         ctx.options.detection_mode == DetectionMode::kAuto ? ctx.pool : nullptr;
     ctx.questions.a_questions = GenerateAQuestions(
-        ctx.table, clusters.clusters, x_col, a_options, memo, pool);
+        ctx.table, clusters.clusters, x_col, a_options, maintained_ptr, pool);
     // Fold in the spelling pairs witnessed by machine-merged clusters,
     // keeping only those whose variant spelling still occurs in live data.
     // kAuto answers "still live?" from the journal-synced X value index;
@@ -411,7 +428,14 @@ Status BenefitStage::Run(EngineContext& ctx) {
 // ------------------------------------------------------------ SelectStage --
 
 Status SelectStage::Run(EngineContext& ctx) {
-  ctx.cqg = ctx.selector->Select(ctx.erg, ctx.options.k);
+  // kAuto: refresh the maintained selection support once for this published
+  // snapshot and hand it to the selector through the view, so its (and the
+  // fallback loop's) calls do O(k) induction instead of per-call rebuilds.
+  // kFull: support-less view — the selectors' original inline path.
+  ErgView view = ctx.options.erg_mode == ErgMode::kAuto
+                     ? ErgView(ctx.erg, ctx.erg_cache.RefreshSelectSupport(ctx.erg))
+                     : ErgView(ctx.erg);
+  ctx.cqg = ctx.selector->Select(view, ctx.options.k);
   if (ctx.cqg.empty()) {
     // No edges remain (duplicates resolved) but isolated vertices may still
     // carry M-/O-questions: present up to k of them as one vertex-only

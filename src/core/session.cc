@@ -51,6 +51,20 @@ Status RunStageTimed(PipelineStage& stage, EngineContext& ctx) {
   return Status::Ok();
 }
 
+// Snapshot of the caches' cumulative counters, diffed across one iteration:
+// counters(resolve end) - counters(plan entry) = this iteration's activity.
+IncrementalityCounters CountersOf(const EngineContext& ctx) {
+  IncrementalityCounters c;
+  c.detect_full_scans = ctx.detection.stats().full_scans;
+  c.detect_delta_updates = ctx.detection.stats().delta_updates;
+  c.erg_full_builds = ctx.erg_cache.stats().full_builds;
+  c.erg_delta_updates = ctx.erg_cache.stats().delta_updates;
+  c.sim_join_full = ctx.erg_cache.sim_join_stats().full_joins;
+  c.sim_join_fallbacks = ctx.erg_cache.sim_join_stats().fallback_full_joins;
+  c.sim_join_delta_syncs = ctx.erg_cache.sim_join_stats().delta_syncs;
+  return c;
+}
+
 }  // namespace
 
 VisCleanSession::VisCleanSession(const DirtyDataset* oracle, VqlQuery query,
@@ -100,6 +114,7 @@ Result<PendingInteraction> VisCleanSession::PlanIteration() {
   plan_retrain_counter_ = ctx_.retrain_counter;
   plan_selector_state_ = ctx_.selector->SaveState();
   plan_forest_trees_ = ctx_.em.forest().trees();
+  counter_base_ = CountersOf(ctx_);
 
   ctx_.trace = IterationTrace();
   ctx_.trace.iteration = ++iteration_;
@@ -136,9 +151,32 @@ Result<IterationTrace> VisCleanSession::ResolveIteration() {
 
   ctx_.trace.emd = CurrentEmd();
 
+  // Per-iteration incrementality counters: everything the caches did since
+  // this round's plan entry (all zero on the kFull reference paths).
+  {
+    IncrementalityCounters now = CountersOf(ctx_);
+    IncrementalityCounters& d = ctx_.trace.incremental;
+    d.detect_full_scans = now.detect_full_scans - counter_base_.detect_full_scans;
+    d.detect_delta_updates =
+        now.detect_delta_updates - counter_base_.detect_delta_updates;
+    d.erg_full_builds = now.erg_full_builds - counter_base_.erg_full_builds;
+    d.erg_delta_updates = now.erg_delta_updates - counter_base_.erg_delta_updates;
+    d.sim_join_full = now.sim_join_full - counter_base_.sim_join_full;
+    d.sim_join_fallbacks =
+        now.sim_join_fallbacks - counter_base_.sim_join_fallbacks;
+    d.sim_join_delta_syncs =
+        now.sim_join_delta_syncs - counter_base_.sim_join_delta_syncs;
+  }
+
   // Journal compaction for all incremental consumers: each holds its own
   // watermark, so the journal may only be trimmed up to the minimum —
-  // anything later is still unread by at least one cache.
+  // anything later is still unread by at least one cache. Four consumers
+  // read the journal: the benefit engine, the detection cache, the ERG
+  // cache's value index / working graph, and the maintained sim join. The
+  // join is synced strictly after the index and shares its watermark, so
+  // its fold is subsumed by the erg_cache fold whenever both are primed —
+  // it is folded explicitly anyway to keep the contract visible and safe
+  // against future reordering.
   uint64_t upto = 0;
   bool have_consumer = false;
   auto fold = [&](bool primed, uint64_t watermark) {
@@ -149,6 +187,7 @@ Result<IterationTrace> VisCleanSession::ResolveIteration() {
   fold(ctx_.benefit_engine.primed(), ctx_.benefit_engine.watermark());
   fold(ctx_.detection.primed(), ctx_.detection.watermark());
   fold(ctx_.erg_cache.primed(), ctx_.erg_cache.watermark());
+  fold(ctx_.erg_cache.join_primed(), ctx_.erg_cache.watermark());
   if (have_consumer) ctx_.table.CompactJournal(upto);
 
   pending_ = false;

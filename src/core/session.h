@@ -145,6 +145,11 @@ class VisCleanSession {
   uint64_t plan_retrain_counter_ = 0;
   std::string plan_selector_state_;
   std::vector<DecisionTree> plan_forest_trees_;
+
+  /// Cumulative cache-stats snapshot taken at PlanIteration entry; diffing
+  /// against the caches at ResolveIteration end yields this iteration's
+  /// IncrementalityCounters without the caches needing per-iteration state.
+  IncrementalityCounters counter_base_;
 };
 
 }  // namespace visclean

@@ -15,14 +15,22 @@ std::vector<ScoredPair> SelectUncertainPairs(
     if (std::fabs(p.probability - 0.5) > options.uncertainty_radius) continue;
     out.push_back(p);
   }
-  std::sort(out.begin(), out.end(), [](const ScoredPair& x, const ScoredPair& y) {
+  auto more_uncertain = [](const ScoredPair& x, const ScoredPair& y) {
     double ux = std::fabs(x.probability - 0.5);
     double uy = std::fabs(y.probability - 0.5);
     if (ux != uy) return ux < uy;
     if (x.a != y.a) return x.a < y.a;
     return x.b < y.b;
-  });
-  if (out.size() > options.max_questions) out.resize(options.max_questions);
+  };
+  // The comparator is a total order, so partially sorting the top
+  // max_questions yields exactly the full-sort-then-truncate result.
+  if (out.size() > options.max_questions) {
+    std::partial_sort(out.begin(), out.begin() + options.max_questions,
+                      out.end(), more_uncertain);
+    out.resize(options.max_questions);
+  } else {
+    std::sort(out.begin(), out.end(), more_uncertain);
+  }
   return out;
 }
 

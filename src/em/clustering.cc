@@ -28,14 +28,27 @@ EntityClusters ClusterEntities(size_t num_rows,
     // label == 0 (split): never merged directly.
   }
 
+  // Flat grouping: clusters ordered by ascending root id, members ascending
+  // — the order UnionFind::Groups() (a root-keyed std::map) yields — but
+  // without the per-group map nodes and vector regrowth; this runs every
+  // iteration on the generate path, so the allocation churn matters.
   EntityClusters out;
   out.cluster_of.assign(num_rows, 0);
-  std::map<size_t, std::vector<size_t>> groups = uf.Groups();
-  out.clusters.reserve(groups.size());
-  for (auto& [root, members] : groups) {
-    size_t idx = out.clusters.size();
-    for (size_t m : members) out.cluster_of[m] = idx;
-    out.clusters.push_back(std::move(members));
+  std::vector<size_t> root(num_rows);
+  std::vector<size_t> index_of_root(num_rows, 0);
+  size_t num_clusters = 0;
+  for (size_t i = 0; i < num_rows; ++i) root[i] = uf.Find(i);
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (root[i] == i) index_of_root[i] = num_clusters++;
+  }
+  out.clusters.assign(num_clusters, {});
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (root[i] == i) out.clusters[index_of_root[i]].reserve(uf.SetSize(i));
+  }
+  for (size_t i = 0; i < num_rows; ++i) {
+    size_t c = index_of_root[root[i]];
+    out.cluster_of[i] = c;
+    out.clusters[c].push_back(i);
   }
   return out;
 }

@@ -28,12 +28,6 @@ void EmModel::AddLabel(size_t a, size_t b, bool is_match) {
   labels_[Key(a, b)] = is_match;
 }
 
-int EmModel::LabelOf(size_t a, size_t b) const {
-  auto it = labels_.find(Key(a, b));
-  if (it == labels_.end()) return -1;
-  return it->second ? 1 : 0;
-}
-
 void EmModel::Retrain(const Table& table,
                       const std::vector<std::pair<size_t, size_t>>& candidates,
                       uint64_t seed, PairFeatureCache* features,

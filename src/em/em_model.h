@@ -71,7 +71,14 @@ class EmModel {
       PairFeatureCache* features = nullptr, ThreadPool* pool = nullptr) const;
 
   /// The user label for (a, b): 1 match, 0 non-match, -1 unlabeled.
-  int LabelOf(size_t a, size_t b) const;
+  /// Header-inline: the generate stage calls this for every scored pair
+  /// every iteration (uncertainty filtering and cluster assembly).
+  int LabelOf(size_t a, size_t b) const {
+    if (labels_.empty()) return -1;
+    auto it = labels_.find(Key(a, b));
+    if (it == labels_.end()) return -1;
+    return it->second ? 1 : 0;
+  }
 
   /// The full label ledger, keyed (min, max). Session snapshots persist
   /// this map plus the fitted forest (see forest()): Retrain keeps the

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "graph/select_support.h"
 
 namespace visclean {
 
@@ -127,13 +128,22 @@ Cqg BnbSelector::Select(const ErgView& view, size_t k) {
   state.in_sub.assign(erg.num_vertices(), false);
   state.seen.assign(erg.num_vertices(), false);
 
-  std::vector<double> benefits;
-  benefits.reserve(erg.num_edges());
-  for (const ErgEdge& e : erg.edges()) benefits.push_back(e.benefit);
-  std::sort(benefits.begin(), benefits.end(), std::greater<double>());
-  state.prefix.resize(benefits.size() + 1, 0.0);
-  for (size_t i = 0; i < benefits.size(); ++i) {
-    state.prefix[i + 1] = state.prefix[i] + std::max(0.0, benefits[i]);
+  // Optimistic-bound prefix sums: take the maintained ones when the view
+  // carries a refreshed support (the support's benefit sequence is the same
+  // value-sorted descending sequence, so the sums carry identical bits),
+  // else build them per call.
+  const ErgSelectSupport* support = view.support();
+  if (support != nullptr && support->primed()) {
+    state.prefix = support->benefit_prefix();
+  } else {
+    std::vector<double> benefits;
+    benefits.reserve(erg.num_edges());
+    for (const ErgEdge& e : erg.edges()) benefits.push_back(e.benefit);
+    std::sort(benefits.begin(), benefits.end(), std::greater<double>());
+    state.prefix.resize(benefits.size() + 1, 0.0);
+    for (size_t i = 0; i < benefits.size(); ++i) {
+      state.prefix[i + 1] = state.prefix[i] + std::max(0.0, benefits[i]);
+    }
   }
 
   // ESU root loop: only subgraphs whose minimum vertex is the root are
@@ -163,7 +173,7 @@ Cqg BnbSelector::Select(const ErgView& view, size_t k) {
 
   last_expansions_ = state.expansions;
   if (state.best_benefit < 0.0) return {};
-  return InduceCqg(erg, state.best_vertices);
+  return InduceCqg(view, state.best_vertices);
 }
 
 std::string BnbSelector::name() const {

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/select_support.h"
+
 namespace visclean {
 
 std::string Cqg::Fingerprint() const {
@@ -70,6 +72,22 @@ bool IsCqgConnected(const Erg& erg, const Cqg& cqg) {
     }
   }
   return visited.size() == cqg.vertices.size();
+}
+
+Cqg InduceCqg(const ErgView& view, std::vector<size_t> vertices) {
+  const ErgSelectSupport* support = view.support();
+  if (support != nullptr && support->primed()) {
+    return support->Induce(view.graph(), std::move(vertices));
+  }
+  return InduceCqg(view.graph(), std::move(vertices));
+}
+
+bool IsCqgConnected(const ErgView& view, const Cqg& cqg) {
+  const ErgSelectSupport* support = view.support();
+  if (support != nullptr && support->primed()) {
+    return support->Connected(view.graph(), cqg);
+  }
+  return IsCqgConnected(view.graph(), cqg);
 }
 
 }  // namespace visclean

@@ -35,6 +35,13 @@ Cqg InduceCqg(const Erg& erg, std::vector<size_t> vertices);
 /// true for <= 1 vertex).
 bool IsCqgConnected(const Erg& erg, const Cqg& cqg);
 
+/// View-routed variants: delegate to the view's maintained selection
+/// support when present (allocation-free epoch-marked induction; see
+/// graph/select_support.h), otherwise to the set-based forms above.
+/// Bit-identical either way.
+Cqg InduceCqg(const ErgView& view, std::vector<size_t> vertices);
+bool IsCqgConnected(const ErgView& view, const Cqg& cqg);
+
 }  // namespace visclean
 
 #endif  // VISCLEAN_GRAPH_CQG_H_

@@ -123,6 +123,8 @@ class Erg {
   std::unordered_map<uint64_t, size_t> edge_of_pair_;
 };
 
+class ErgSelectSupport;
+
 /// \brief Read-only snapshot handle over a fully assembled ERG.
 ///
 /// Selectors take an ErgView instead of the graph itself: the view is what
@@ -130,11 +132,23 @@ class Erg {
 /// selection code can never observe an in-flight mutation of the maintained
 /// working graph. Implicitly constructible from const Erg& so existing
 /// call sites (tests, benches) keep reading naturally.
+///
+/// A view may additionally carry the iteration's maintained selection
+/// support (graph/select_support.h): benefit orderings and induction
+/// scratch refreshed once by ErgCache instead of rebuilt per selector call.
+/// Selectors treat the support as an optional accelerator — absent support
+/// (the implicit constructor, the kFull reference path, plain tests) routes
+/// through the original per-call constructions, and the two paths are
+/// bit-identical.
 class ErgView {
  public:
   ErgView(const Erg& erg) : erg_(&erg) {}  // NOLINT(google-explicit-constructor)
+  ErgView(const Erg& erg, const ErgSelectSupport* support)
+      : erg_(&erg), support_(support) {}
 
   const Erg& graph() const { return *erg_; }
+  /// The maintained selection support, or nullptr on the reference path.
+  const ErgSelectSupport* support() const { return support_; }
 
   size_t num_vertices() const { return erg_->num_vertices(); }
   size_t num_edges() const { return erg_->num_edges(); }
@@ -148,6 +162,7 @@ class ErgView {
 
  private:
   const Erg* erg_;
+  const ErgSelectSupport* support_ = nullptr;
 };
 
 }  // namespace visclean

@@ -34,8 +34,8 @@ Cqg ExactSelector::Select(const ErgView& view, size_t k) {
   std::vector<size_t> combo(k);
   for (size_t i = 0; i < k; ++i) combo[i] = i;
   do {
-    Cqg cqg = InduceCqg(erg, combo);
-    if (cqg.total_benefit > best_benefit && IsCqgConnected(erg, cqg)) {
+    Cqg cqg = InduceCqg(view, combo);
+    if (cqg.total_benefit > best_benefit && IsCqgConnected(view, cqg)) {
       best_benefit = cqg.total_benefit;
       best = std::move(cqg);
     }

@@ -4,6 +4,8 @@
 #include <set>
 #include <vector>
 
+#include "graph/select_support.h"
+
 namespace visclean {
 
 namespace {
@@ -14,7 +16,7 @@ constexpr size_t kNoSet = static_cast<size_t>(-1);
 // grow greedily from the best edge, always absorbing the neighbor that adds
 // the most induced benefit. Guarantees the session still gets a (smaller or
 // equal) connected question.
-Cqg GreedyGrow(const Erg& erg, size_t k,
+Cqg GreedyGrow(const ErgView& erg, size_t k,
                const std::vector<size_t>& edge_order) {
   if (edge_order.empty()) return {};
   const ErgEdge& seed = erg.edge(edge_order.front());
@@ -49,7 +51,8 @@ Cqg GreedyGrow(const Erg& erg, size_t k,
 // The core of Algorithm 2, shared by GSS and GSS+. `edge_order` holds the
 // (possibly pruned) edge indices sorted by benefit descending;
 // `early_stop_subgraphs` = 0 disables early termination.
-Cqg RunGss(const Erg& erg, size_t k, const std::vector<size_t>& edge_order,
+Cqg RunGss(const ErgView& erg, size_t k,
+           const std::vector<size_t>& edge_order,
            size_t early_stop_subgraphs) {
   if (k < 2) k = 2;
 
@@ -135,13 +138,23 @@ std::vector<size_t> AllEdgeIndices(const Erg& erg) {
   return all;
 }
 
+// The benefit-descending ordering of all edges: the maintained one when the
+// view carries a refreshed support (identical by construction — see
+// graph/select_support.h), else built per call.
+std::vector<size_t> BenefitOrder(const ErgView& view) {
+  const ErgSelectSupport* support = view.support();
+  if (support != nullptr && support->primed()) {
+    return support->edges_by_benefit();
+  }
+  const Erg& erg = view.graph();
+  return SortedEdgeOrder(erg, AllEdgeIndices(erg));
+}
+
 }  // namespace
 
 Cqg GssSelector::Select(const ErgView& view, size_t k) {
-  const Erg& erg = view.graph();
-  if (erg.num_edges() == 0) return {};
-  return RunGss(erg, k, SortedEdgeOrder(erg, AllEdgeIndices(erg)),
-                /*early_stop_subgraphs=*/0);
+  if (view.num_edges() == 0) return {};
+  return RunGss(view, k, BenefitOrder(view), /*early_stop_subgraphs=*/0);
 }
 
 Cqg GssPlusSelector::Select(const ErgView& view, size_t k) {
@@ -149,9 +162,12 @@ Cqg GssPlusSelector::Select(const ErgView& view, size_t k) {
   if (erg.num_edges() == 0) return {};
   // Optimization 1: keep only edges in the uncertain band — they carry the
   // training signal; near-certain edges are answered by the machine.
+  // Filtering the maintained benefit order preserves its (benefit desc,
+  // index asc) sort, so the result equals sorting the kept set directly.
+  std::vector<size_t> order = BenefitOrder(view);
   std::vector<size_t> kept;
-  kept.reserve(erg.num_edges());
-  for (size_t e = 0; e < erg.num_edges(); ++e) {
+  kept.reserve(order.size());
+  for (size_t e : order) {
     const ErgEdge& edge = erg.edge(e);
     bool tuple_uncertain = edge.p_tuple >= options_.prune_low &&
                            edge.p_tuple <= options_.prune_high;
@@ -159,10 +175,9 @@ Cqg GssPlusSelector::Select(const ErgView& view, size_t k) {
                           edge.p_attr <= options_.prune_high;
     if (tuple_uncertain || attr_uncertain) kept.push_back(e);
   }
-  if (kept.empty()) kept = AllEdgeIndices(erg);  // never go silent
+  if (kept.empty()) kept = order;  // never go silent
   // Optimization 2: early termination after m candidate subgraphs.
-  return RunGss(erg, k, SortedEdgeOrder(erg, kept),
-                options_.early_stop_subgraphs);
+  return RunGss(view, k, kept, options_.early_stop_subgraphs);
 }
 
 }  // namespace visclean

@@ -27,7 +27,7 @@ Cqg RandomSelector::Select(const ErgView& view, size_t k) {
     in_set.insert(choices[static_cast<size_t>(
         rng_.UniformInt(0, static_cast<int64_t>(choices.size()) - 1))]);
   }
-  return InduceCqg(erg, {in_set.begin(), in_set.end()});
+  return InduceCqg(view, {in_set.begin(), in_set.end()});
 }
 
 }  // namespace visclean

@@ -1,0 +1,129 @@
+#include "graph/select_support.h"
+
+#include <algorithm>
+
+namespace visclean {
+
+void ErgSelectSupport::Refresh(const Erg& erg) {
+  // Mirrors SortedEdgeOrder(AllEdgeIndices): every slot, liveness ignored —
+  // selectors consume compacted snapshots, where every slot is live.
+  edges_by_benefit_.resize(erg.num_edges());
+  for (size_t i = 0; i < edges_by_benefit_.size(); ++i) {
+    edges_by_benefit_[i] = i;
+  }
+  std::sort(edges_by_benefit_.begin(), edges_by_benefit_.end(),
+            [&](size_t a, size_t b) {
+              if (erg.edge(a).benefit != erg.edge(b).benefit) {
+                return erg.edge(a).benefit > erg.edge(b).benefit;
+              }
+              return a < b;
+            });
+
+  // The benefit sequence along edges_by_benefit_ is the value-sorted
+  // descending sequence B&B built, so these prefix sums accumulate in the
+  // same floating-point order.
+  benefit_prefix_.assign(erg.num_edges() + 1, 0.0);
+  for (size_t i = 0; i < edges_by_benefit_.size(); ++i) {
+    benefit_prefix_[i + 1] =
+        benefit_prefix_[i] +
+        std::max(0.0, erg.edge(edges_by_benefit_[i]).benefit);
+  }
+
+  if (vertex_mark_.size() < erg.num_vertices()) {
+    vertex_mark_.assign(erg.num_vertices(), 0);
+  }
+  if (edge_mark_.size() < erg.num_edges()) {
+    edge_mark_.assign(erg.num_edges(), 0);
+  }
+  primed_ = true;
+}
+
+void ErgSelectSupport::Clear() {
+  primed_ = false;
+  edges_by_benefit_.clear();
+  benefit_prefix_.clear();
+  epoch_ = 0;
+  vertex_mark_.clear();
+  edge_mark_.clear();
+  stack_.clear();
+}
+
+uint64_t ErgSelectSupport::NextEpoch() const {
+  // A fresh support starts at epoch 0 with zeroed marks; the first call
+  // moves to 1, so a stale zero mark can never read as "in set".
+  return ++epoch_;
+}
+
+Cqg ErgSelectSupport::Induce(const Erg& erg, std::vector<size_t> vertices) const {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  if (vertex_mark_.size() < erg.num_vertices()) {
+    vertex_mark_.resize(erg.num_vertices(), 0);
+  }
+  if (edge_mark_.size() < erg.num_edges()) {
+    edge_mark_.resize(erg.num_edges(), 0);
+  }
+  uint64_t epoch = NextEpoch();
+  for (size_t v : vertices) vertex_mark_[v] = epoch;
+
+  Cqg cqg;
+  cqg.vertices = std::move(vertices);
+  for (size_t v : cqg.vertices) {
+    for (size_t e : erg.IncidentEdges(v)) {
+      if (edge_mark_[e] == epoch) continue;
+      const ErgEdge& edge = erg.edge(e);
+      if (vertex_mark_[edge.u] == epoch && vertex_mark_[edge.v] == epoch) {
+        edge_mark_[e] = epoch;
+        cqg.edge_indices.push_back(e);
+      }
+    }
+  }
+  // Ascending edge order, then sum — the same accumulation order as the
+  // set-based InduceCqg, so total_benefit carries identical bits.
+  std::sort(cqg.edge_indices.begin(), cqg.edge_indices.end());
+  for (size_t e : cqg.edge_indices) {
+    cqg.total_benefit += erg.edge(e).benefit;
+  }
+  return cqg;
+}
+
+bool ErgSelectSupport::Connected(const Erg& erg, const Cqg& cqg) const {
+  if (cqg.vertices.size() <= 1) return true;
+  if (vertex_mark_.size() < erg.num_vertices()) {
+    vertex_mark_.resize(erg.num_vertices(), 0);
+  }
+  if (edge_mark_.size() < erg.num_edges()) {
+    edge_mark_.resize(erg.num_edges(), 0);
+  }
+  // Two mark spaces in one pass: vertex_mark_ = "in set", edge_mark_ is
+  // reused per-vertex as "visited" (edges and vertices share the epoch but
+  // not the arrays, so the overload is safe).
+  uint64_t epoch = NextEpoch();
+  for (size_t v : cqg.vertices) vertex_mark_[v] = epoch;
+
+  std::vector<uint64_t>& visited = edge_mark_;  // indexed by vertex here
+  if (visited.size() < erg.num_vertices()) {
+    visited.resize(erg.num_vertices(), 0);
+  }
+  stack_.clear();
+  stack_.push_back(cqg.vertices.front());
+  visited[cqg.vertices.front()] = epoch;
+  size_t reached = 1;
+  while (!stack_.empty()) {
+    size_t v = stack_.back();
+    stack_.pop_back();
+    for (size_t e : erg.IncidentEdges(v)) {
+      const ErgEdge& edge = erg.edge(e);
+      size_t other = edge.u == v ? edge.v : edge.u;
+      if (vertex_mark_[other] == epoch && visited[other] != epoch) {
+        visited[other] = epoch;
+        ++reached;
+        stack_.push_back(other);
+      }
+    }
+  }
+  return reached == cqg.vertices.size();
+}
+
+}  // namespace visclean

@@ -1,0 +1,84 @@
+// Maintained CQG selection scaffolding, hoisted out of the selectors.
+//
+// Every selector used to rebuild the same per-call structures from the ERG:
+// GSS/GSS+ a benefit-sorted edge ordering, B&B the descending-benefit prefix
+// sums behind its optimistic bound, and all of them fresh std::set-based
+// membership/visited sets inside InduceCqg / IsCqgConnected. ErgCache now
+// owns one ErgSelectSupport, refreshes it once per iteration against the
+// published snapshot, and hands it to selectors through ErgView — so a
+// selector call (and the session's shrinking-k fallback re-calls) does O(k)
+// induction with epoch-stamped marks instead of per-call rebuilds.
+//
+// Bit-identity contract: each structure reproduces the exact construction
+// the selectors used inline —
+//  * edges_by_benefit(): every edge slot, (benefit desc, index asc) — the
+//    order SortedEdgeOrder(AllEdgeIndices) produced;
+//  * benefit_prefix(): prefix sums of max(0, benefit) over the
+//    value-sorted-descending benefit sequence; the support order's benefit
+//    sequence is that same descending sequence, so the floating-point sums
+//    are performed in the identical order B&B used;
+//  * Induce()/Connected(): collected edges are sorted ascending and benefit
+//    is summed in ascending edge-index order, matching the std::set
+//    iteration of the legacy InduceCqg.
+#ifndef VISCLEAN_GRAPH_SELECT_SUPPORT_H_
+#define VISCLEAN_GRAPH_SELECT_SUPPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/cqg.h"
+#include "graph/erg.h"
+
+namespace visclean {
+
+/// \brief Per-iteration selection support over one published ERG snapshot.
+///
+/// Refresh() reuses vector capacity across iterations; Induce()/Connected()
+/// use mutable epoch-stamped scratch, so one instance serves one reader at a
+/// time (each session owns its own, inside its ErgCache; the published view
+/// is still free to be read concurrently — the scratch lives here, not in
+/// the graph).
+class ErgSelectSupport {
+ public:
+  /// Rebuilds the orderings and sizes the scratch for `erg`. The support is
+  /// only valid for the exact graph (slots + benefits) it was refreshed on.
+  void Refresh(const Erg& erg);
+
+  void Clear();
+
+  bool primed() const { return primed_; }
+
+  /// Every edge slot index, sorted (benefit desc, index asc).
+  const std::vector<size_t>& edges_by_benefit() const {
+    return edges_by_benefit_;
+  }
+
+  /// benefit_prefix()[j] = sum of max(0, benefit) of the j highest-benefit
+  /// edge slots (size num_edges + 1, [0] = 0).
+  const std::vector<double>& benefit_prefix() const { return benefit_prefix_; }
+
+  /// InduceCqg without per-call set allocations: O(sum of vertex degrees)
+  /// with epoch marks. Identical output to InduceCqg(erg, vertices).
+  Cqg Induce(const Erg& erg, std::vector<size_t> vertices) const;
+
+  /// IsCqgConnected without per-call set allocations.
+  bool Connected(const Erg& erg, const Cqg& cqg) const;
+
+ private:
+  uint64_t NextEpoch() const;
+
+  bool primed_ = false;
+  std::vector<size_t> edges_by_benefit_;
+  std::vector<double> benefit_prefix_;
+
+  // Epoch-stamped scratch: mark[x] == epoch_ means "in the current call's
+  // set"; bumping the epoch clears every mark in O(1).
+  mutable uint64_t epoch_ = 0;
+  mutable std::vector<uint64_t> vertex_mark_;
+  mutable std::vector<uint64_t> edge_mark_;
+  mutable std::vector<size_t> stack_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_GRAPH_SELECT_SUPPORT_H_

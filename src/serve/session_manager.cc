@@ -314,6 +314,14 @@ Result<IterationTrace> SessionManager::Answer(const std::string& id) {
   entry.info.emd = trace.value().emd;
   entry.info.finished = entry.session->finished();
   ++stat_answers_;
+  const IncrementalityCounters& inc = trace.value().incremental;
+  stat_detect_full_ += inc.detect_full_scans;
+  stat_detect_delta_ += inc.detect_delta_updates;
+  stat_erg_full_ += inc.erg_full_builds;
+  stat_erg_delta_ += inc.erg_delta_updates;
+  stat_join_full_ += inc.sim_join_full;
+  stat_join_fallback_ += inc.sim_join_fallbacks;
+  stat_join_delta_ += inc.sim_join_delta_syncs;
   return trace;
 }
 
@@ -466,6 +474,13 @@ ServeStats SessionManager::stats() const {
   s.rejected_capacity = stat_rejected_capacity_.load();
   s.rejected_inflight = stat_rejected_inflight_.load();
   s.rejected_session_queue = stat_rejected_queue_.load();
+  s.detect_full_scans = stat_detect_full_.load();
+  s.detect_delta_updates = stat_detect_delta_.load();
+  s.erg_full_builds = stat_erg_full_.load();
+  s.erg_delta_updates = stat_erg_delta_.load();
+  s.sim_join_full = stat_join_full_.load();
+  s.sim_join_fallbacks = stat_join_fallback_.load();
+  s.sim_join_delta_syncs = stat_join_delta_.load();
   return s;
 }
 

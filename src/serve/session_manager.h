@@ -93,6 +93,17 @@ struct ServeStats {
   uint64_t rejected_capacity = 0;       ///< max_sessions hit
   uint64_t rejected_inflight = 0;       ///< max_inflight_requests hit
   uint64_t rejected_session_queue = 0;  ///< max_queued_per_session hit
+
+  // Incrementality counters folded from every resolved iteration across all
+  // hosted sessions (see IterationTrace::incremental): how often the caches
+  // serviced a round with a delta versus a full rebuild.
+  uint64_t detect_full_scans = 0;
+  uint64_t detect_delta_updates = 0;
+  uint64_t erg_full_builds = 0;
+  uint64_t erg_delta_updates = 0;
+  uint64_t sim_join_full = 0;
+  uint64_t sim_join_fallbacks = 0;
+  uint64_t sim_join_delta_syncs = 0;
 };
 
 /// \brief Hosts many concurrent VisCleanSessions keyed by session id.
@@ -188,6 +199,13 @@ class SessionManager {
   std::atomic<uint64_t> stat_rejected_capacity_{0};
   std::atomic<uint64_t> stat_rejected_inflight_{0};
   std::atomic<uint64_t> stat_rejected_queue_{0};
+  std::atomic<uint64_t> stat_detect_full_{0};
+  std::atomic<uint64_t> stat_detect_delta_{0};
+  std::atomic<uint64_t> stat_erg_full_{0};
+  std::atomic<uint64_t> stat_erg_delta_{0};
+  std::atomic<uint64_t> stat_join_full_{0};
+  std::atomic<uint64_t> stat_join_fallback_{0};
+  std::atomic<uint64_t> stat_join_delta_{0};
 };
 
 }  // namespace visclean

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
@@ -16,19 +17,15 @@ namespace {
 
 using TokenIds = std::vector<int>;
 
-// Tokenizes every string and maps tokens to integer ids ordered by global
-// frequency ascending (rarest first), the canonical prefix-filter ordering.
-std::vector<TokenIds> BuildTokenIds(const std::vector<std::string>& a,
-                                    const std::vector<std::string>& b,
-                                    bool use_qgrams) {
-  std::vector<std::set<std::string>> sets;
-  sets.reserve(a.size() + b.size());
-  auto tokenize = [&](const std::string& s) {
-    return use_qgrams ? TokenSet(QGrams(s, 3)) : TokenSet(WordTokens(s));
-  };
-  for (const std::string& s : a) sets.push_back(tokenize(s));
-  for (const std::string& s : b) sets.push_back(tokenize(s));
+std::set<std::string> Tokenize(const std::string& s, bool use_qgrams) {
+  return use_qgrams ? TokenSet(QGrams(s, 3)) : TokenSet(WordTokens(s));
+}
 
+// Maps tokens to integer ids ordered by global frequency ascending (rarest
+// first), the canonical prefix-filter ordering. Ties break lexicographically,
+// so the order is deterministic.
+std::unordered_map<std::string, int> FrequencyOrder(
+    const std::vector<std::set<std::string>>& sets) {
   std::map<std::string, size_t> freq;
   for (const auto& set : sets) {
     for (const std::string& t : set) ++freq[t];
@@ -40,16 +37,30 @@ std::vector<TokenIds> BuildTokenIds(const std::vector<std::string>& a,
   std::unordered_map<std::string, int> id;
   id.reserve(order.size());
   for (size_t i = 0; i < order.size(); ++i) id[order[i].second] = (int)i;
+  return id;
+}
 
+TokenIds SortedIds(const std::set<std::string>& set,
+                   const std::unordered_map<std::string, int>& id) {
+  TokenIds ids;
+  ids.reserve(set.size());
+  for (const std::string& t : set) ids.push_back(id.at(t));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Tokenizes every string and assigns frequency-ordered ids.
+std::vector<TokenIds> BuildTokenIds(const std::vector<std::string>& a,
+                                    const std::vector<std::string>& b,
+                                    bool use_qgrams) {
+  std::vector<std::set<std::string>> sets;
+  sets.reserve(a.size() + b.size());
+  for (const std::string& s : a) sets.push_back(Tokenize(s, use_qgrams));
+  for (const std::string& s : b) sets.push_back(Tokenize(s, use_qgrams));
+  std::unordered_map<std::string, int> id = FrequencyOrder(sets);
   std::vector<TokenIds> out;
   out.reserve(sets.size());
-  for (const auto& set : sets) {
-    TokenIds ids;
-    ids.reserve(set.size());
-    for (const std::string& t : set) ids.push_back(id[t]);
-    std::sort(ids.begin(), ids.end());
-    out.push_back(std::move(ids));
-  }
+  for (const auto& set : sets) out.push_back(SortedIds(set, id));
   return out;
 }
 
@@ -76,6 +87,20 @@ size_t PrefixLength(size_t set_size, double threshold) {
   size_t keep = static_cast<size_t>(
       std::ceil(threshold * static_cast<double>(set_size)));
   return set_size - keep + 1;
+}
+
+// The (similarity desc, left, right) output order. The emitted (left, right)
+// keys are unique, so this comparator is a total order and the sorted output
+// is independent of probe order / threading.
+void SortPairs(std::vector<SimJoinPair>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const SimJoinPair& a, const SimJoinPair& b) {
+              if (a.similarity != b.similarity)
+                return a.similarity > b.similarity;
+              if (a.left_index != b.left_index)
+                return a.left_index < b.left_index;
+              return a.right_index < b.right_index;
+            });
 }
 
 std::vector<SimJoinPair> JoinImpl(const std::vector<TokenIds>& left_ids,
@@ -134,14 +159,13 @@ std::vector<SimJoinPair> JoinImpl(const std::vector<TokenIds>& left_ids,
     std::set<std::pair<size_t, size_t>> seen;
     probe(0, left_ids.size(), &out, &seen);
   }
-  // The emitted (left, right) keys are unique, so this comparator is a total
-  // order and the sorted output is independent of probe order / threading.
-  std::sort(out.begin(), out.end(), [](const SimJoinPair& a, const SimJoinPair& b) {
-    if (a.similarity != b.similarity) return a.similarity > b.similarity;
-    if (a.left_index != b.left_index) return a.left_index < b.left_index;
-    return a.right_index < b.right_index;
-  });
+  SortPairs(&out);
   return out;
+}
+
+std::pair<std::string, std::string> PairKey(const std::string& a,
+                                            const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
 }
 
 }  // namespace
@@ -165,26 +189,196 @@ std::vector<SimJoinPair> SimilaritySelfJoin(
   return JoinImpl(ids, ids, options.threshold, /*self_join=*/true, pool);
 }
 
-const std::vector<SimJoinPair>& SimJoinMemo::SelfJoin(
-    const std::vector<std::string>& items, const SimJoinOptions& options,
-    ThreadPool* pool) {
-  if (valid_ && items == items_ && options.threshold == options_.threshold &&
-      options.use_qgrams == options_.use_qgrams) {
-    ++hits_;
-    return result_;
-  }
-  ++misses_;
-  result_ = SimilaritySelfJoin(items, options, pool);
-  items_ = items;
+// --------------------------------------------------- IncrementalSimJoin --
+
+void IncrementalSimJoin::Rebuild(const std::vector<std::string>& items,
+                                 const SimJoinOptions& options,
+                                 ThreadPool* pool, bool dirty_fallback) {
+  VC_CHECK(std::is_sorted(items.begin(), items.end()) &&
+               std::adjacent_find(items.begin(), items.end()) == items.end(),
+           "IncrementalSimJoin::Rebuild requires sorted unique items");
+  token_id_.clear();
+  entries_.clear();
+  prefix_index_.clear();
+  pairs_.clear();
+  partners_.clear();
   options_ = options;
-  valid_ = true;
-  return result_;
+  primed_ = true;
+  ++stats_.full_joins;
+  if (dirty_fallback) ++stats_.fallback_full_joins;
+
+  std::vector<std::set<std::string>> sets;
+  sets.reserve(items.size());
+  for (const std::string& s : items) {
+    sets.push_back(Tokenize(s, options.use_qgrams));
+  }
+  token_id_ = FrequencyOrder(sets);
+  std::vector<TokenIds> ids;
+  ids.reserve(items.size());
+  for (const auto& set : sets) ids.push_back(SortedIds(set, token_id_));
+  for (size_t i = 0; i < items.size(); ++i) {
+    entries_.emplace_hint(entries_.end(), items[i], ids[i]);
+    IndexPrefix(items[i], ids[i]);
+  }
+
+  // JoinImpl's positional output over the sorted items IS the materialized
+  // result; mirror it into the string-keyed pair set for maintenance.
+  result_cache_ = JoinImpl(ids, ids, options.threshold, /*self_join=*/true,
+                           pool);
+  items_cache_ = items;
+  dirty_ = false;
+  for (const SimJoinPair& p : result_cache_) {
+    const std::string& a = items[p.left_index];
+    const std::string& b = items[p.right_index];
+    pairs_[{a, b}] = p.similarity;  // left < right: items are sorted
+    partners_[a].insert(b);
+    partners_[b].insert(a);
+  }
 }
 
-void SimJoinMemo::Clear() {
-  valid_ = false;
-  items_.clear();
-  result_.clear();
+void IncrementalSimJoin::ApplyDelta(const std::vector<std::string>& retracts,
+                                    const std::vector<std::string>& inserts,
+                                    double dirty_fraction) {
+  VC_CHECK(primed_, "ApplyDelta on an unprimed IncrementalSimJoin");
+  for (const std::string& s : retracts) Retract(s);
+  for (const std::string& s : inserts) Insert(s);
+  ++stats_.delta_syncs;
+  stats_.last_dirty_fraction = dirty_fraction;
+}
+
+void IncrementalSimJoin::Insert(const std::string& spelling) {
+  if (!primed_ || entries_.count(spelling) > 0) return;
+  ++stats_.inserts;
+  TokenIds ids = TokenIdsOf(spelling);
+
+  // Probe the live prefix index for join partners among current spellings.
+  // Completeness needs a shared prefix token under the common (frozen +
+  // appended) token order; see the class comment for why that order works.
+  size_t plen = PrefixLength(ids.size(), options_.threshold);
+  std::set<std::string> seen;
+  for (size_t p = 0; p < plen && p < ids.size(); ++p) {
+    auto it = prefix_index_.find(ids[p]);
+    if (it == prefix_index_.end()) continue;
+    for (const std::string& other : it->second) {
+      if (!seen.insert(other).second) continue;
+      const TokenIds& oids = entries_.at(other);
+      size_t lx = ids.size(), ly = oids.size();
+      if (static_cast<double>(std::min(lx, ly)) <
+          options_.threshold * static_cast<double>(std::max(lx, ly))) {
+        continue;
+      }
+      double sim = JaccardOfSorted(ids, oids);
+      if (sim < options_.threshold) continue;
+      pairs_[PairKey(spelling, other)] = sim;
+      partners_[spelling].insert(other);
+      partners_[other].insert(spelling);
+      ++stats_.pairs_added;
+    }
+  }
+  IndexPrefix(spelling, ids);
+  entries_.emplace(spelling, std::move(ids));
+  dirty_ = true;
+}
+
+void IncrementalSimJoin::Retract(const std::string& spelling) {
+  auto it = entries_.find(spelling);
+  if (!primed_ || it == entries_.end()) return;
+  ++stats_.retracts;
+  const TokenIds& ids = it->second;
+  size_t plen = PrefixLength(ids.size(), options_.threshold);
+  for (size_t p = 0; p < plen && p < ids.size(); ++p) {
+    auto pit = prefix_index_.find(ids[p]);
+    if (pit == prefix_index_.end()) continue;
+    pit->second.erase(spelling);
+    if (pit->second.empty()) prefix_index_.erase(pit);
+  }
+  auto part = partners_.find(spelling);
+  if (part != partners_.end()) {
+    for (const std::string& other : part->second) {
+      pairs_.erase(PairKey(spelling, other));
+      ++stats_.pairs_removed;
+      auto oit = partners_.find(other);
+      if (oit != partners_.end()) {
+        oit->second.erase(spelling);
+        if (oit->second.empty()) partners_.erase(oit);
+      }
+    }
+    partners_.erase(part);
+  }
+  entries_.erase(it);
+  dirty_ = true;
+}
+
+bool IncrementalSimJoin::OptionsMatch(const SimJoinOptions& options) const {
+  return primed_ && options.threshold == options_.threshold &&
+         options.use_qgrams == options_.use_qgrams;
+}
+
+const std::vector<std::string>& IncrementalSimJoin::items() const {
+  Materialize();
+  return items_cache_;
+}
+
+const std::vector<SimJoinPair>& IncrementalSimJoin::Pairs() const {
+  Materialize();
+  return result_cache_;
+}
+
+void IncrementalSimJoin::Clear() {
+  primed_ = false;
+  options_ = {};
+  stats_ = {};
+  token_id_.clear();
+  entries_.clear();
+  prefix_index_.clear();
+  pairs_.clear();
+  partners_.clear();
+  dirty_ = true;
+  items_cache_.clear();
+  result_cache_.clear();
+}
+
+IncrementalSimJoin::TokenIds IncrementalSimJoin::TokenIdsOf(
+    const std::string& spelling) {
+  std::set<std::string> set = Tokenize(spelling, options_.use_qgrams);
+  TokenIds ids;
+  ids.reserve(set.size());
+  for (const std::string& t : set) {
+    auto [it, added] = token_id_.emplace(t, (int)token_id_.size());
+    if (added) ++stats_.token_appends;
+    ids.push_back(it->second);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void IncrementalSimJoin::IndexPrefix(const std::string& spelling,
+                                     const TokenIds& ids) {
+  size_t plen = PrefixLength(ids.size(), options_.threshold);
+  for (size_t p = 0; p < plen && p < ids.size(); ++p) {
+    prefix_index_[ids[p]].insert(spelling);
+  }
+}
+
+void IncrementalSimJoin::Materialize() const {
+  if (!dirty_) return;
+  items_cache_.clear();
+  items_cache_.reserve(entries_.size());
+  std::unordered_map<std::string, size_t> rank;
+  rank.reserve(entries_.size());
+  for (const auto& [s, ids] : entries_) {
+    rank.emplace(s, items_cache_.size());
+    items_cache_.push_back(s);
+  }
+  result_cache_.clear();
+  result_cache_.reserve(pairs_.size());
+  for (const auto& [key, sim] : pairs_) {
+    // key.first < key.second, and rank is by sorted position, so the
+    // positional pair keeps left_index < right_index like the self-join.
+    result_cache_.push_back({rank.at(key.first), rank.at(key.second), sim});
+  }
+  SortPairs(&result_cache_);
+  dirty_ = false;
 }
 
 }  // namespace visclean

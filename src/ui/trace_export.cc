@@ -9,12 +9,19 @@ std::string TracesToCsv(const std::vector<IterationTrace>& traces) {
   std::string out =
       "iteration,emd,user_seconds,questions_asked,cqg_benefit,"
       "machine_detect,machine_train,machine_benefit,machine_select,"
-      "machine_apply\n";
+      "machine_apply,detect_full_scans,detect_delta_updates,erg_full_builds,"
+      "erg_delta_updates,sim_join_full,sim_join_fallbacks,"
+      "sim_join_delta_syncs\n";
   for (const IterationTrace& t : traces) {
-    out += StrFormat("%zu,%.6f,%.2f,%zu,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
-                     t.iteration, t.emd, t.user_seconds, t.questions_asked,
-                     t.cqg_benefit, t.machine.detect, t.machine.train,
-                     t.machine.benefit, t.machine.select, t.machine.apply);
+    out += StrFormat(
+        "%zu,%.6f,%.2f,%zu,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%zu,%zu,%zu,%zu,"
+        "%zu,%zu,%zu\n",
+        t.iteration, t.emd, t.user_seconds, t.questions_asked, t.cqg_benefit,
+        t.machine.detect, t.machine.train, t.machine.benefit, t.machine.select,
+        t.machine.apply, t.incremental.detect_full_scans,
+        t.incremental.detect_delta_updates, t.incremental.erg_full_builds,
+        t.incremental.erg_delta_updates, t.incremental.sim_join_full,
+        t.incremental.sim_join_fallbacks, t.incremental.sim_join_delta_syncs);
   }
   return out;
 }
@@ -47,6 +54,23 @@ std::string TracesToJson(const std::vector<IterationTrace>& traces,
     json.Number(t.machine.select);
     json.Key("apply");
     json.Number(t.machine.apply);
+    json.EndObject();
+    json.Key("incremental");
+    json.BeginObject();
+    json.Key("detect_full_scans");
+    json.Int(static_cast<int64_t>(t.incremental.detect_full_scans));
+    json.Key("detect_delta_updates");
+    json.Int(static_cast<int64_t>(t.incremental.detect_delta_updates));
+    json.Key("erg_full_builds");
+    json.Int(static_cast<int64_t>(t.incremental.erg_full_builds));
+    json.Key("erg_delta_updates");
+    json.Int(static_cast<int64_t>(t.incremental.erg_delta_updates));
+    json.Key("sim_join_full");
+    json.Int(static_cast<int64_t>(t.incremental.sim_join_full));
+    json.Key("sim_join_fallbacks");
+    json.Int(static_cast<int64_t>(t.incremental.sim_join_fallbacks));
+    json.Key("sim_join_delta_syncs");
+    json.Int(static_cast<int64_t>(t.incremental.sim_join_delta_syncs));
     json.EndObject();
     json.EndObject();
   }

@@ -571,30 +571,6 @@ TEST(PairFeatureCacheTest, BatchMatchesDirectAndInvalidates) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
-TEST(SimJoinMemoTest, ReplaysOnIdenticalInputOnly) {
-  std::vector<std::string> items = {"sigmod conference", "sigmod conf",
-                                    "vldb journal", "icde"};
-  SimJoinOptions options;
-  options.threshold = 0.3;
-
-  SimJoinMemo memo;
-  std::vector<SimJoinPair> reference = SimilaritySelfJoin(items, options);
-  const std::vector<SimJoinPair>& first = memo.SelfJoin(items, options);
-  ASSERT_EQ(first.size(), reference.size());
-  for (size_t i = 0; i < first.size(); ++i) {
-    EXPECT_EQ(first[i].left_index, reference[i].left_index);
-    EXPECT_EQ(first[i].right_index, reference[i].right_index);
-    EXPECT_EQ(first[i].similarity, reference[i].similarity);
-  }
-  memo.SelfJoin(items, options);
-  EXPECT_EQ(memo.hits(), 1u);
-  EXPECT_EQ(memo.misses(), 1u);
-
-  items.push_back("sigmod record");
-  memo.SelfJoin(items, options);
-  EXPECT_EQ(memo.misses(), 2u);
-}
-
 TEST(RowTokenCacheTest, EnsureComputesOnceAndInvalidatesPerRow) {
   DirtyDataset data = MakeData("D2", 4);
   const Table& table = data.dirty;
