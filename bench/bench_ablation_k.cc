@@ -1,4 +1,4 @@
-// Ablation (DESIGN.md §5): sensitivity of end-to-end cleaning to the CQG
+// Ablation (DESIGN.md §7): sensitivity of end-to-end cleaning to the CQG
 // size k. The paper fixes k = 10 and argues users prefer small graphs
 // (Section V-B discussion); this sweep shows the quality/user-time
 // trade-off that choice sits on.

@@ -165,7 +165,7 @@ BENCHMARK(BM_Fig17b_5BnB)
     ->Arg(5000)->Arg(10000)->Arg(20000)->Arg(40000)
     ->Unit(benchmark::kMillisecond);
 
-// --------------------- GSS+ ablations (DESIGN.md §4) --------------------
+// --------------------- GSS+ ablations (DESIGN.md §7) --------------------
 
 // Pruning window half-width w: keep edges with p in [0.5-w, 0.5+w].
 void BM_Ablation_PruneWindow(benchmark::State& state) {

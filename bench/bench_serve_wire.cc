@@ -1,0 +1,334 @@
+// Wire-protocol soak benchmark: thousands of simulated users clean over
+// loopback TCP through one VisCleanServer, multiplexed onto a bounded set
+// of client connections (real deployments pool connections; a socket per
+// user would mostly benchmark the fd table).
+//
+// The model. Each driver thread owns one binary-protocol connection and a
+// slice of the users. A round fires Step for every owned user (parking all
+// of them mid-question — at the peak every user in the fleet is
+// concurrently live with a question out), then Answers each one. Latency is
+// measured per request at the client, through encode + socket + decode;
+// percentiles are reported separately for Create, Step, and Answer.
+//
+// Gates, checked at exit (non-zero on violation):
+//   * zero failed requests across the soak;
+//   * every user finishes all budgeted rounds (steps == answers ==
+//     users x budget on the server's own counters);
+//   * sustained throughput >= --min-rps rounds/second at the configured
+//     fleet size (default 1000 users; --smoke shrinks the fleet for CI and
+//     relaxes the floor).
+//
+// Results land in BENCH_serve_wire.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json_writer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+
+namespace visclean {
+namespace bench {
+namespace {
+
+struct BenchConfig {
+  size_t users = 1000;
+  size_t connections = 16;
+  size_t budget = 1;
+  size_t entities = 40;
+  size_t server_workers = 8;
+  double min_rounds_per_second = 5.0;
+  bool smoke = false;
+};
+
+SessionOptions UserOptionsFor(size_t user_index) {
+  // Deliberately tiny sessions: the bench times the wire + dispatch path
+  // under fleet-scale concurrency, not the cleaning engine itself.
+  SessionOptions o;
+  o.k = 3;
+  o.budget = 0;  // set by caller
+  o.max_t_questions = 15;
+  o.max_m_questions = 15;
+  o.forest.num_trees = 4;
+  o.seed = 9000 + user_index;
+  return o;
+}
+
+double Percentile(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] + (sorted_ms[hi] - sorted_ms[lo]) * frac;
+}
+
+void WriteLatencyObject(JsonWriter& json, const char* key,
+                        std::vector<double>& ms) {
+  std::sort(ms.begin(), ms.end());
+  json.Key(key);
+  json.BeginObject();
+  json.Key("count");
+  json.Int(static_cast<int64_t>(ms.size()));
+  json.Key("p50");
+  json.Number(Percentile(ms, 0.5));
+  json.Key("p95");
+  json.Number(Percentile(ms, 0.95));
+  json.Key("p99");
+  json.Number(Percentile(ms, 0.99));
+  json.Key("max");
+  json.Number(ms.empty() ? 0.0 : ms.back());
+  json.EndObject();
+}
+
+}  // namespace
+
+int Run(const BenchConfig& config) {
+  using Clock = std::chrono::steady_clock;
+
+  DirtyDataset d1 = MakeDataset("D1", config.entities);
+  DirtyDataset d2 = MakeDataset("D2", config.entities);
+  DirtyDataset d3 = MakeDataset("D3", config.entities);
+  std::vector<BenchTask> tasks = TableVTasks();
+  auto oracle_of = [&](const std::string& name) {
+    return name == "D1" ? &d1 : name == "D2" ? &d2 : &d3;
+  };
+
+  ServeOptions serve;
+  serve.max_resident_sessions = config.users;
+  serve.max_sessions = config.users;
+  serve.max_inflight_requests = config.connections + 2;
+  serve.max_queued_per_session = 2;
+  SessionManager manager(serve);
+  VC_CHECK(manager.RegisterDataset(&d1).ok(), "RegisterDataset D1");
+  VC_CHECK(manager.RegisterDataset(&d2).ok(), "RegisterDataset D2");
+  VC_CHECK(manager.RegisterDataset(&d3).ok(), "RegisterDataset D3");
+
+  ServerOptions server_options;
+  server_options.worker_threads = config.server_workers;
+  VisCleanServer server(manager, server_options);
+  VC_CHECK(server.Start().ok(), "server Start failed");
+
+  std::printf("soaking %zu users over %zu connections, %zu round(s) each...\n",
+              config.users, config.connections, config.budget);
+
+  std::atomic<uint64_t> failed_requests{0};
+  std::vector<std::vector<double>> create_ms(config.connections);
+  std::vector<std::vector<double>> step_ms(config.connections);
+  std::vector<std::vector<double>> answer_ms(config.connections);
+
+  Clock::time_point soak_start = Clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(config.connections);
+  for (size_t t = 0; t < config.connections; ++t) {
+    drivers.emplace_back([&, t] {
+      Client client;
+      if (!client.Connect(server.port()).ok()) {
+        failed_requests.fetch_add(1);
+        return;
+      }
+      std::vector<size_t> own;
+      for (size_t i = t; i < config.users; i += config.connections) {
+        own.push_back(i);
+      }
+      auto timed = [&](std::vector<double>& sink, auto&& call) {
+        Clock::time_point before = Clock::now();
+        bool ok = call();
+        Clock::time_point after = Clock::now();
+        if (!ok) {
+          failed_requests.fetch_add(1);
+          return;
+        }
+        sink.push_back(
+            std::chrono::duration<double, std::milli>(after - before).count());
+      };
+      for (size_t u : own) {
+        const BenchTask& task = tasks[u % tasks.size()];
+        SessionOptions options = UserOptionsFor(u);
+        options.budget = config.budget;
+        const std::string id = "user" + std::to_string(u);
+        timed(create_ms[t], [&] {
+          return client
+              .Create(id, oracle_of(task.dataset)->name, task.vql, options)
+              .ok();
+        });
+      }
+      for (size_t round = 0; round < config.budget; ++round) {
+        // Step everyone first: the whole slice parks mid-question before
+        // the first Answer goes out, so fleet-wide concurrent live
+        // sessions peak at config.users.
+        for (size_t u : own) {
+          const std::string id = "user" + std::to_string(u);
+          timed(step_ms[t], [&] { return client.Step(id).ok(); });
+        }
+        for (size_t u : own) {
+          const std::string id = "user" + std::to_string(u);
+          timed(answer_ms[t], [&] { return client.Answer(id).ok(); });
+        }
+      }
+    });
+  }
+  for (std::thread& d : drivers) d.join();
+  const double soak_seconds =
+      std::chrono::duration<double>(Clock::now() - soak_start).count();
+
+  ServeStats stats = manager.stats();
+  server.Stop();
+
+  std::vector<double> all_create;
+  std::vector<double> all_step;
+  std::vector<double> all_answer;
+  for (size_t t = 0; t < config.connections; ++t) {
+    all_create.insert(all_create.end(), create_ms[t].begin(),
+                      create_ms[t].end());
+    all_step.insert(all_step.end(), step_ms[t].begin(), step_ms[t].end());
+    all_answer.insert(all_answer.end(), answer_ms[t].begin(),
+                      answer_ms[t].end());
+  }
+  std::sort(all_create.begin(), all_create.end());
+  std::sort(all_step.begin(), all_step.end());
+  std::sort(all_answer.begin(), all_answer.end());
+
+  const uint64_t expected_rounds =
+      static_cast<uint64_t>(config.users) * config.budget;
+  const double rounds_per_second =
+      soak_seconds > 0 ? static_cast<double>(stats.answers) / soak_seconds
+                       : 0.0;
+  const double requests_per_second =
+      soak_seconds > 0 ? static_cast<double>(config.users + 2 * stats.answers) /
+                             soak_seconds
+                       : 0.0;
+
+  std::printf("\nsoak wall time: %.2fs\n", soak_seconds);
+  std::printf("throughput: %.1f rounds/s, %.1f requests/s (gate >= %.1f "
+              "rounds/s)\n",
+              rounds_per_second, requests_per_second,
+              config.min_rounds_per_second);
+  std::printf("create latency ms p50=%.2f p95=%.2f p99=%.2f\n",
+              Percentile(all_create, 0.5), Percentile(all_create, 0.95),
+              Percentile(all_create, 0.99));
+  std::printf("step latency ms   p50=%.2f p95=%.2f p99=%.2f\n",
+              Percentile(all_step, 0.5), Percentile(all_step, 0.95),
+              Percentile(all_step, 0.99));
+  std::printf("answer latency ms p50=%.2f p95=%.2f p99=%.2f\n",
+              Percentile(all_answer, 0.5), Percentile(all_answer, 0.95),
+              Percentile(all_answer, 0.99));
+  std::printf("server counters: created=%llu steps=%llu answers=%llu "
+              "(expected rounds %llu), failed requests: %llu\n",
+              (unsigned long long)stats.sessions_created,
+              (unsigned long long)stats.steps,
+              (unsigned long long)stats.answers,
+              (unsigned long long)expected_rounds,
+              (unsigned long long)failed_requests.load());
+
+  JsonWriter json = JsonWriter::Pretty();
+  json.BeginObject();
+  json.Key("bench");
+  json.String("serve_wire");
+  json.Key("smoke");
+  json.Bool(config.smoke);
+  json.Key("users");
+  json.Int(static_cast<int64_t>(config.users));
+  json.Key("connections");
+  json.Int(static_cast<int64_t>(config.connections));
+  json.Key("budget");
+  json.Int(static_cast<int64_t>(config.budget));
+  json.Key("entities_per_dataset");
+  json.Int(static_cast<int64_t>(config.entities));
+  json.Key("server_workers");
+  json.Int(static_cast<int64_t>(config.server_workers));
+  json.Key("hardware_cores");
+  json.Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.Key("soak_wall_seconds");
+  json.Number(soak_seconds);
+  json.Key("throughput_rounds_per_second");
+  json.Number(rounds_per_second);
+  json.Key("throughput_requests_per_second");
+  json.Number(requests_per_second);
+  json.Key("throughput_gate_rounds_per_second");
+  json.Number(config.min_rounds_per_second);
+  json.Key("failed_requests");
+  json.Int(static_cast<int64_t>(failed_requests.load()));
+  WriteLatencyObject(json, "create_latency_ms", all_create);
+  WriteLatencyObject(json, "step_latency_ms", all_step);
+  WriteLatencyObject(json, "answer_latency_ms", all_answer);
+  json.Key("server_stats");
+  json.BeginObject();
+  json.Key("sessions_created");
+  json.Int(static_cast<int64_t>(stats.sessions_created));
+  json.Key("steps");
+  json.Int(static_cast<int64_t>(stats.steps));
+  json.Key("answers");
+  json.Int(static_cast<int64_t>(stats.answers));
+  json.Key("rejected_inflight");
+  json.Int(static_cast<int64_t>(stats.rejected_inflight));
+  json.Key("rejected_session_queue");
+  json.Int(static_cast<int64_t>(stats.rejected_session_queue));
+  json.EndObject();
+  json.EndObject();
+
+  std::ofstream out("BENCH_serve_wire.json");
+  out << json.TakeString() << "\n";
+  std::printf("wrote BENCH_serve_wire.json\n");
+
+  bool ok = failed_requests.load() == 0 &&
+            stats.sessions_created == config.users &&
+            stats.steps == expected_rounds && stats.answers == expected_rounds &&
+            rounds_per_second >= config.min_rounds_per_second;
+  if (!ok) {
+    std::printf("GATE FAILED\n");
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace visclean
+
+int main(int argc, char** argv) {
+  visclean::bench::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() { return std::atof(argv[++i]); };
+    if (arg == "--smoke") {
+      // CI-sized: a small fleet and a forgiving floor; still end-to-end
+      // over real sockets with every gate active.
+      config.smoke = true;
+      config.users = 64;
+      config.connections = 8;
+      config.entities = 30;
+      config.server_workers = 4;
+      config.min_rounds_per_second = 0.5;
+    } else if (arg == "--users" && i + 1 < argc) {
+      config.users = static_cast<size_t>(value());
+    } else if (arg == "--connections" && i + 1 < argc) {
+      config.connections = static_cast<size_t>(value());
+    } else if (arg == "--budget" && i + 1 < argc) {
+      config.budget = static_cast<size_t>(value());
+    } else if (arg == "--entities" && i + 1 < argc) {
+      config.entities = static_cast<size_t>(value());
+    } else if (arg == "--server-workers" && i + 1 < argc) {
+      config.server_workers = static_cast<size_t>(value());
+    } else if (arg == "--min-rps" && i + 1 < argc) {
+      config.min_rounds_per_second = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--users N] [--connections N] "
+                   "[--budget N] [--entities N] [--server-workers N] "
+                   "[--min-rps X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return visclean::bench::Run(config);
+}

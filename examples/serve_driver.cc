@@ -1,9 +1,12 @@
-// Serving-layer walkthrough: a SessionManager hosting several interactive
-// cleaning sessions at once, with the full request lifecycle —
-// Create -> Step (question out) -> Answer (repairs in) -> ... -> finished —
-// plus the operational moves a real deployment needs: live status, explicit
-// snapshot export, close + restore from the exported file, and LRU eviction
-// to disk when more sessions exist than may stay resident.
+// Serving-layer walkthrough, now over a real socket: a VisCleanServer hosts
+// the SessionManager on loopback TCP and every operation below travels the
+// binary VCWP wire protocol through the Client library — the same path a
+// remote dashboard would use. The lifecycle is unchanged from the
+// in-process days: Create -> Step (question out) -> Answer (repairs in) ->
+// ... -> finished, plus live status, snapshot export, close + restore from
+// the exported file, and LRU eviction to disk when more sessions exist
+// than may stay resident. The footer issues one command over the text
+// dialect too, because the same port speaks both.
 //
 //   $ ./build/examples/serve_driver
 #include <cstdio>
@@ -12,7 +15,10 @@
 
 #include "datagen/nba.h"
 #include "datagen/publications.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/session_manager.h"
+#include "serve/wire.h"
 
 namespace {
 
@@ -30,8 +36,8 @@ void Check(const visclean::Status& status, const char* what) {
   }
 }
 
-void PrintStatus(visclean::SessionManager& manager, const std::string& id) {
-  visclean::Result<visclean::SessionInfo> info = manager.GetStatus(id);
+void PrintStatus(visclean::Client& client, const std::string& id) {
+  visclean::Result<visclean::SessionInfo> info = client.GetStatus(id);
   Check(info.status(), "GetStatus");
   const visclean::SessionInfo& s = info.value();
   std::printf("  %-8s %s  round %zu/%zu  emd=%.4f  %s%s\n", s.id.c_str(),
@@ -65,6 +71,18 @@ int main() {
   Check(manager.RegisterDataset(&pubs), "RegisterDataset");
   Check(manager.RegisterDataset(&nba), "RegisterDataset");
 
+  // The server binds an ephemeral loopback port; everything after this
+  // line goes through sockets, not direct SessionManager calls.
+  VisCleanServer server(manager);
+  Check(server.Start(), "server Start");
+  std::printf("server listening on 127.0.0.1:%u\n\n", server.port());
+
+  // One connection per user, exactly as a deployment would hold them.
+  Client alice, bob, carol;
+  Check(alice.Connect(server.port()), "connect alice");
+  Check(bob.Connect(server.port()), "connect bob");
+  Check(carol.Connect(server.port()), "connect carol");
+
   SessionOptions options;
   options.k = 6;
   options.budget = 3;
@@ -72,48 +90,60 @@ int main() {
   options.seed = 1;
 
   std::printf("== three users start cleaning ==\n");
-  Check(manager.Create("alice", pubs.name, kPubQuery, options).status(),
+  Check(alice.Create("alice", pubs.name, kPubQuery, options).status(),
         "Create");
-  Check(manager.Create("bob", nba.name, kNbaQuery, options).status(),
+  Check(bob.Create("bob", nba.name, kNbaQuery, options).status(), "Create");
+  Check(carol.Create("carol", pubs.name, kPubQuery, options).status(),
         "Create");
-  Check(manager.Create("carol", pubs.name, kPubQuery, options).status(),
-        "Create");
-  for (const char* id : {"alice", "bob", "carol"}) PrintStatus(manager, id);
+  for (const char* id : {"alice", "bob", "carol"}) PrintStatus(alice, id);
 
   std::printf("\n== round-robin until every budget is spent ==\n");
+  Client* clients[] = {&alice, &bob, &carol};
+  const char* ids[] = {"alice", "bob", "carol"};
   for (size_t round = 1; round <= options.budget; ++round) {
-    for (const char* id : {"alice", "bob", "carol"}) {
-      Result<PendingInteraction> question = manager.Step(id);
+    for (size_t u = 0; u < 3; ++u) {
+      Result<PendingInteraction> question = clients[u]->Step(ids[u]);
       Check(question.status(), "Step");
-      Result<IterationTrace> trace = manager.Answer(id);
+      Result<WireTraceSummary> trace = clients[u]->Answer(ids[u]);
       Check(trace.status(), "Answer");
       std::printf("  %-8s round %zu: asked %zu questions (%zu vertices, "
                   "%zu edges), emd -> %.4f\n",
-                  id, round, trace.value().questions_asked,
+                  ids[u], round, trace.value().questions_asked,
                   question.value().cqg_vertices, question.value().cqg_edges,
                   trace.value().emd);
     }
   }
-  for (const char* id : {"alice", "bob", "carol"}) PrintStatus(manager, id);
+  for (const char* id : {"alice", "bob", "carol"}) PrintStatus(alice, id);
 
   std::printf("\n== export, close, and rehydrate a session ==\n");
-  Check(manager.Snapshot("alice", "serve_driver_snapshots.tmp/alice.export"),
+  Check(alice.Snapshot("alice", "serve_driver_snapshots.tmp/alice.export"),
         "Snapshot");
-  Check(manager.Close("alice"), "Close");
+  Check(alice.CloseSession("alice"), "Close");
   Result<SessionInfo> revived =
-      manager.Restore("alice2", "serve_driver_snapshots.tmp/alice.export");
+      alice.Restore("alice2", "serve_driver_snapshots.tmp/alice.export");
   Check(revived.status(), "Restore");
-  PrintStatus(manager, "alice2");
+  PrintStatus(alice, "alice2");
 
-  ServeStats stats = manager.stats();
-  std::printf("\n== manager counters ==\n");
+  Result<ServeStats> stats = alice.Stats();
+  Check(stats.status(), "Stats");
+  std::printf("\n== server counters (over the wire) ==\n");
   std::printf("  created=%llu steps=%llu answers=%llu snapshots=%llu\n",
-              (unsigned long long)stats.sessions_created,
-              (unsigned long long)stats.steps,
-              (unsigned long long)stats.answers,
-              (unsigned long long)stats.snapshots);
+              (unsigned long long)stats.value().sessions_created,
+              (unsigned long long)stats.value().steps,
+              (unsigned long long)stats.value().answers,
+              (unsigned long long)stats.value().snapshots);
   std::printf("  evictions=%llu restores_from_disk=%llu\n",
-              (unsigned long long)stats.evictions,
-              (unsigned long long)stats.restores_from_disk);
+              (unsigned long long)stats.value().evictions,
+              (unsigned long long)stats.value().restores_from_disk);
+
+  // The same port also speaks the line protocol — one STATUS over text.
+  std::printf("\n== the text dialect, on the same port ==\n");
+  LineClient text;
+  Check(text.Connect(server.port()), "connect text");
+  Result<std::string> line = text.Exchange("STATUS alice2");
+  Check(line.status(), "STATUS");
+  std::printf("  > STATUS alice2\n  < %s\n", line.value().c_str());
+
+  server.Stop();
   return 0;
 }

@@ -1,0 +1,298 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace visclean {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + " failed, errno " +
+                         std::to_string(errno));
+}
+
+Result<int> ConnectLoopback(uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    close(fd);
+    return Errno("connect");
+  }
+}
+
+Status SendAllTo(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---- Client (binary protocol) ----
+
+Client::~Client() { Disconnect(); }
+
+Status Client::Connect(uint16_t port) {
+  VC_CHECK(fd_ < 0, "client already connected");
+  Result<int> fd = ConnectLoopback(port);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  buffer_.clear();
+  return Status::Ok();
+}
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status Client::SendAll(const std::string& bytes) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  Status status = SendAllTo(fd_, bytes);
+  if (!status.ok()) Disconnect();
+  return status;
+}
+
+Result<std::string> Client::ReadFrame() {
+  char buf[64 * 1024];
+  for (;;) {
+    std::string payload;
+    FrameStatus fs = NextFrame(buffer_, &payload);
+    if (fs == FrameStatus::kFrame) return payload;
+    if (fs == FrameStatus::kBad) {
+      Disconnect();
+      return Status::InvalidArgument("malformed frame from server");
+    }
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      buffer_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Disconnect();
+    if (n == 0) {
+      return Status::IoError("server closed the connection mid-response");
+    }
+    return Errno("recv");
+  }
+}
+
+Result<WireResponse> Client::Call(WireRequest request) {
+  request.request_id = next_request_id_++;
+  VC_RETURN_IF_ERROR(SendAll(EncodeRequest(request)));
+  Result<std::string> payload = ReadFrame();
+  if (!payload.ok()) return payload.status();
+  Result<WireResponse> response = DecodeResponsePayload(payload.value());
+  if (!response.ok()) {
+    Disconnect();
+    return response.status();
+  }
+  if (response.value().request_id != request.request_id) {
+    Disconnect();
+    return Status::Internal("response id does not match the request");
+  }
+  return response;
+}
+
+namespace {
+
+/// Converts a kError response to its Status; returns OK otherwise.
+Status StatusOf(const WireResponse& response) {
+  if (response.type != WireResponseType::kError) return Status::Ok();
+  return {response.code, response.message};
+}
+
+Status WrongType(const char* expected) {
+  return Status::Internal(std::string("unexpected response type, wanted ") +
+                          expected);
+}
+
+}  // namespace
+
+Result<SessionInfo> Client::Create(const std::string& id,
+                                   const std::string& dataset,
+                                   const std::string& vql,
+                                   SessionOptions options,
+                                   UserOptions user_options,
+                                   UserCostModel cost_model) {
+  WireRequest req;
+  req.type = WireRequestType::kCreate;
+  req.session_id = id;
+  req.dataset = dataset;
+  req.vql = vql;
+  req.options = std::move(options);
+  req.user_options = user_options;
+  req.cost_model = cost_model;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kSessionInfo) {
+    return WrongType("INFO");
+  }
+  return std::move(resp).value().info;
+}
+
+Result<PendingInteraction> Client::Step(const std::string& id) {
+  WireRequest req;
+  req.type = WireRequestType::kStep;
+  req.session_id = id;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kPending) {
+    return WrongType("PENDING");
+  }
+  return resp.value().pending;
+}
+
+Result<WireTraceSummary> Client::Answer(const std::string& id) {
+  WireRequest req;
+  req.type = WireRequestType::kAnswer;
+  req.session_id = id;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kTrace) return WrongType("TRACE");
+  return resp.value().trace;
+}
+
+Result<SessionInfo> Client::GetStatus(const std::string& id) {
+  WireRequest req;
+  req.type = WireRequestType::kGetStatus;
+  req.session_id = id;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kSessionInfo) {
+    return WrongType("INFO");
+  }
+  return std::move(resp).value().info;
+}
+
+Status Client::Snapshot(const std::string& id, const std::string& path) {
+  WireRequest req;
+  req.type = WireRequestType::kSnapshot;
+  req.session_id = id;
+  req.path = path;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kAck) return WrongType("ACK");
+  return Status::Ok();
+}
+
+Result<SessionInfo> Client::Restore(const std::string& id,
+                                    const std::string& path) {
+  WireRequest req;
+  req.type = WireRequestType::kRestore;
+  req.session_id = id;
+  req.path = path;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kSessionInfo) {
+    return WrongType("INFO");
+  }
+  return std::move(resp).value().info;
+}
+
+Status Client::CloseSession(const std::string& id) {
+  WireRequest req;
+  req.type = WireRequestType::kClose;
+  req.session_id = id;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kAck) return WrongType("ACK");
+  return Status::Ok();
+}
+
+Result<ServeStats> Client::Stats() {
+  WireRequest req;
+  req.type = WireRequestType::kStats;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kStats) return WrongType("STATS");
+  return resp.value().stats;
+}
+
+// ---- LineClient (text protocol) ----
+
+LineClient::~LineClient() { Disconnect(); }
+
+Status LineClient::Connect(uint16_t port) {
+  VC_CHECK(fd_ < 0, "client already connected");
+  Result<int> fd = ConnectLoopback(port);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  buffer_.clear();
+  return Status::Ok();
+}
+
+void LineClient::Disconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<std::string> LineClient::Exchange(const std::string& line) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  Status sent = SendAllTo(fd_, line + "\n");
+  if (!sent.ok()) {
+    Disconnect();
+    return sent;
+  }
+  char buf[16 * 1024];
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string out = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      return out;
+    }
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      buffer_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Disconnect();
+    if (n == 0) return Status::IoError("server closed the connection");
+    return Errno("recv");
+  }
+}
+
+}  // namespace visclean

@@ -1,0 +1,91 @@
+// Client libraries for the VisCleanServer's two dialects.
+//
+// Client speaks the binary VCWP protocol over a blocking socket and mirrors
+// the SessionManager API one call at a time: each method encodes a request,
+// sends one frame, and blocks for the matching response (request ids are
+// still assigned and checked, so a desynchronized server is detected rather
+// than silently misattributed). Server-side errors come back as the same
+// Status codes an in-process caller would see — the differential suite
+// leans on that equivalence.
+//
+// LineClient speaks the text dialect: send one command line, read one
+// response line. Used by tests and interactive drivers (e.g. netcat-style
+// exploration is the same protocol).
+#ifndef VISCLEAN_NET_CLIENT_H_
+#define VISCLEAN_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/session_manager.h"
+#include "serve/wire.h"
+
+namespace visclean {
+
+/// \brief Binary-protocol client. Not thread-safe; use one per thread (the
+/// server multiplexes connections, not the client).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a VisCleanServer on 127.0.0.1.
+  Status Connect(uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for its response (kError responses are
+  /// returned, not converted — use the typed wrappers below for that).
+  Result<WireResponse> Call(WireRequest request);
+
+  // SessionManager mirror. Each maps a kError response back onto a failed
+  // Status with the server's code and message.
+  Result<SessionInfo> Create(const std::string& id, const std::string& dataset,
+                             const std::string& vql, SessionOptions options,
+                             UserOptions user_options = {},
+                             UserCostModel cost_model = {});
+  Result<PendingInteraction> Step(const std::string& id);
+  Result<WireTraceSummary> Answer(const std::string& id);
+  Result<SessionInfo> GetStatus(const std::string& id);
+  Status Snapshot(const std::string& id, const std::string& path);
+  Result<SessionInfo> Restore(const std::string& id, const std::string& path);
+  Status CloseSession(const std::string& id);
+  Result<ServeStats> Stats();
+
+ private:
+  Status SendAll(const std::string& bytes);
+  Result<std::string> ReadFrame();
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last extracted frame
+  uint64_t next_request_id_ = 1;
+};
+
+/// \brief Text-protocol client: one command line out, one response line in.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  Status Connect(uint16_t port);
+  void Disconnect();
+
+  /// Sends `line` (newline appended) and returns the one response line
+  /// (without its newline).
+  Result<std::string> Exchange(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_NET_CLIENT_H_

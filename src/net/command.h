@@ -1,0 +1,56 @@
+// Line-oriented text front-end for the wire protocol: a hand-rolled
+// tokenizer + recursive-descent parser (no dependency) that turns one
+// command line into the same WireRequest the binary codec carries, so both
+// front-ends dispatch through ExecuteRequest and cannot drift apart.
+//
+// Grammar (keywords case-insensitive, operands case-sensitive; EBNF in
+// DESIGN.md §4):
+//
+//   command  = create | step | answer | status | snapshot | restore
+//            | close | stats ;
+//   create   = "CREATE" word "ON" word "QUERY" string [ "WITH" opts ] ;
+//   step     = "STEP" word ;          answer  = "ANSWER" word ;
+//   status   = "STATUS" word ;        close   = "CLOSE" word ;
+//   snapshot = "SNAPSHOT" word "TO" string ;
+//   restore  = "RESTORE" word "FROM" string ;
+//   stats    = "STATS" ;
+//   opts     = opt { opt } ;          opt     = word "=" value ;
+//   value    = word | string ;
+//
+// `word` is a run of [A-Za-z0-9._+#-]; `string` is double-quoted with
+// backslash escapes (\" \\ \n \t \r) so inline VQL and paths survive
+// verbatim. Option keys cover every Create parameter (session options,
+// simulated-user options, cost model), which makes PrintCommand lossless:
+// parse → print → parse is a fixpoint, asserted by
+// tests/command_grammar_test.cc. Parse errors carry the 1-based byte column
+// of the offending token ("col N: ...").
+#ifndef VISCLEAN_NET_COMMAND_H_
+#define VISCLEAN_NET_COMMAND_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "serve/wire.h"
+
+namespace visclean {
+
+/// Parses one command line into a request (request_id is left 0; text-mode
+/// connections execute strictly in order, so ids are unnecessary).
+Result<WireRequest> ParseCommand(const std::string& line);
+
+/// Renders a request as its canonical command line: uppercase keywords,
+/// option clauses only for values that differ from the defaults, in a fixed
+/// key order, with lossless number formatting. Canonical lines are a
+/// fixpoint of parse ∘ print.
+std::string PrintCommand(const WireRequest& request);
+
+/// Renders a response as one line: "OK INFO k=v ...", "OK PENDING ...",
+/// "OK TRACE ...", "OK ACK", "OK STATS ...", or `ERR CODE "message"`.
+std::string PrintResponseLine(const WireResponse& response);
+
+/// Wire spelling of a status code, e.g. "RESOURCE_EXHAUSTED".
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_NET_COMMAND_H_

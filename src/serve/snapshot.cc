@@ -7,175 +7,19 @@
 #include <utility>
 
 #include "em/pair_features.h"
+#include "serve/codec.h"
 
 namespace visclean {
 
 namespace {
 
+using codec::GetEnum;
+using codec::PutEnum;
+using codec::Reader;
+using codec::Writer;
+
 constexpr char kMagic[4] = {'V', 'C', 'S', 'N'};
 constexpr uint32_t kVersion = 2;
-
-// ---- Primitive writers (little-endian, length-prefixed strings) ----
-
-class Writer {
- public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
-  }
-  void U64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
-  }
-  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
-  void F64(double v) {
-    uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    U64(bits);
-  }
-  void Bool(bool v) { U8(v ? 1 : 0); }
-  void Str(const std::string& s) {
-    U64(s.size());
-    out_.append(s);
-  }
-
-  std::string Take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-// Bounds-checked reader: getters return zero values past the end and latch
-// failed(); decode checks the latch instead of every call site.
-class Reader {
- public:
-  explicit Reader(const std::string& in) : in_(in) {}
-
-  uint8_t U8() {
-    if (pos_ >= in_.size()) return Fail<uint8_t>();
-    return static_cast<uint8_t>(in_[pos_++]);
-  }
-  uint32_t U32() {
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(U8()) << (8 * i);
-    return v;
-  }
-  uint64_t U64() {
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(U8()) << (8 * i);
-    return v;
-  }
-  int64_t I64() { return static_cast<int64_t>(U64()); }
-  double F64() {
-    uint64_t bits = U64();
-    double v = 0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  bool Bool() { return U8() != 0; }
-  std::string Str() {
-    uint64_t n = U64();
-    // Overflow-safe form: pos_ + n can wrap for corrupt lengths near 2^64.
-    if (n > in_.size() - pos_) return Fail<std::string>();
-    std::string s = in_.substr(pos_, n);
-    pos_ += n;
-    return s;
-  }
-  /// Element count for a sequence whose elements occupy at least
-  /// `min_bytes_each`; rejects counts the remaining input cannot hold, so a
-  /// corrupt length prefix cannot drive a huge allocation.
-  uint64_t Count(uint64_t min_bytes_each) {
-    uint64_t n = U64();
-    if (min_bytes_each > 0 && n > (in_.size() - pos_) / min_bytes_each) {
-      return Fail<uint64_t>();
-    }
-    return n;
-  }
-
-  bool failed() const { return failed_; }
-  bool AtEnd() const { return pos_ == in_.size(); }
-
- private:
-  template <typename T>
-  T Fail() {
-    failed_ = true;
-    pos_ = in_.size();
-    return T{};
-  }
-
-  const std::string& in_;
-  size_t pos_ = 0;
-  bool failed_ = false;
-};
-
-// ---- Enum helpers: encode as u8, validate the range on decode ----
-
-template <typename E>
-void PutEnum(Writer& w, E v) {
-  w.U8(static_cast<uint8_t>(v));
-}
-
-template <typename E>
-E GetEnum(Reader& r, uint8_t max_value, bool* bad) {
-  uint8_t raw = r.U8();
-  if (raw > max_value) *bad = true;
-  return static_cast<E>(raw);
-}
-
-// ---- Compound writers ----
-
-void PutOptions(Writer& w, const SessionOptions& o) {
-  w.U64(o.k);
-  w.U64(o.budget);
-  w.Str(o.selector);
-  PutEnum(w, o.strategy);
-  w.U64(o.single_m);
-  w.U64(o.threads);
-  PutEnum(w, o.benefit_mode);
-  PutEnum(w, o.detection_mode);
-  w.F64(o.detection_dirty_threshold);
-  PutEnum(w, o.erg_mode);
-  w.F64(o.erg_dirty_threshold);
-  w.U64(o.seed);
-  w.F64(o.auto_merge_threshold);
-  w.F64(o.sim_join_lambda);
-  w.U64(o.max_t_questions);
-  w.U64(o.max_m_questions);
-  w.U64(o.blocking_max_block);
-  w.U64(o.max_seed_examples);
-  w.U64(o.forest.num_trees);
-  w.U64(o.forest.tree.max_depth);
-  w.U64(o.forest.tree.min_samples_split);
-  w.U64(o.forest.tree.max_features);
-  w.F64(o.forest.bootstrap_fraction);
-}
-
-SessionOptions GetOptions(Reader& r, bool* bad) {
-  SessionOptions o;
-  o.k = r.U64();
-  o.budget = r.U64();
-  o.selector = r.Str();
-  o.strategy = GetEnum<QuestionStrategy>(r, 1, bad);
-  o.single_m = r.U64();
-  o.threads = r.U64();
-  o.benefit_mode = GetEnum<BenefitMode>(r, 1, bad);
-  o.detection_mode = GetEnum<DetectionMode>(r, 1, bad);
-  o.detection_dirty_threshold = r.F64();
-  o.erg_mode = GetEnum<ErgMode>(r, 1, bad);
-  o.erg_dirty_threshold = r.F64();
-  o.seed = r.U64();
-  o.auto_merge_threshold = r.F64();
-  o.sim_join_lambda = r.F64();
-  o.max_t_questions = r.U64();
-  o.max_m_questions = r.U64();
-  o.blocking_max_block = r.U64();
-  o.max_seed_examples = r.U64();
-  o.forest.num_trees = r.U64();
-  o.forest.tree.max_depth = r.U64();
-  o.forest.tree.min_samples_split = r.U64();
-  o.forest.tree.max_features = r.U64();
-  o.forest.bootstrap_fraction = r.F64();
-  return o;
-}
 
 void PutValue(Writer& w, const Value& v) {
   PutEnum(w, v.type());
@@ -365,17 +209,9 @@ std::string EncodeSnapshot(const SessionSnapshotState& state) {
 
   w.Str(state.dataset_name);
   w.Str(state.query_text);
-  PutOptions(w, state.options);
-  w.F64(state.user_options.wrong_label_rate);
-  w.F64(state.user_options.completeness);
-  w.U64(state.user_options.seed);
-  w.F64(state.cost_model.cqg_base_seconds);
-  w.F64(state.cost_model.cqg_edge_seconds);
-  w.F64(state.cost_model.cqg_vertex_seconds);
-  w.F64(state.cost_model.single_t_seconds);
-  w.F64(state.cost_model.single_a_seconds);
-  w.F64(state.cost_model.single_m_seconds);
-  w.F64(state.cost_model.single_o_seconds);
+  codec::PutSessionOptions(w, state.options);
+  codec::PutUserOptions(w, state.user_options);
+  codec::PutCostModel(w, state.cost_model);
 
   w.U64(state.completed_iterations);
   w.Bool(state.pending);
@@ -455,17 +291,9 @@ Result<SessionSnapshotState> DecodeSnapshot(const std::string& bytes) {
   SessionSnapshotState state;
   state.dataset_name = r.Str();
   state.query_text = r.Str();
-  state.options = GetOptions(r, &bad);
-  state.user_options.wrong_label_rate = r.F64();
-  state.user_options.completeness = r.F64();
-  state.user_options.seed = r.U64();
-  state.cost_model.cqg_base_seconds = r.F64();
-  state.cost_model.cqg_edge_seconds = r.F64();
-  state.cost_model.cqg_vertex_seconds = r.F64();
-  state.cost_model.single_t_seconds = r.F64();
-  state.cost_model.single_a_seconds = r.F64();
-  state.cost_model.single_m_seconds = r.F64();
-  state.cost_model.single_o_seconds = r.F64();
+  state.options = codec::GetSessionOptions(r, &bad);
+  state.user_options = codec::GetUserOptions(r);
+  state.cost_model = codec::GetCostModel(r);
 
   state.completed_iterations = r.U64();
   state.pending = r.Bool();

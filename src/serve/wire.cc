@@ -1,0 +1,409 @@
+#include "serve/wire.h"
+
+#include <cstring>
+#include <utility>
+
+#include "serve/codec.h"
+
+namespace visclean {
+
+namespace {
+
+using codec::GetEnum;
+using codec::PutEnum;
+using codec::Reader;
+using codec::Writer;
+
+// kOk never travels in a kError response; everything else is legal.
+constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kResourceExhausted);
+
+void PutSessionInfo(Writer& w, const SessionInfo& info) {
+  w.Str(info.id);
+  w.Str(info.dataset);
+  w.U64(info.iteration);
+  w.U64(info.budget);
+  w.Bool(info.pending);
+  w.Bool(info.finished);
+  w.Bool(info.resident);
+  w.F64(info.emd);
+}
+
+SessionInfo GetSessionInfo(Reader& r) {
+  SessionInfo info;
+  info.id = r.Str();
+  info.dataset = r.Str();
+  info.iteration = r.U64();
+  info.budget = r.U64();
+  info.pending = r.Bool();
+  info.finished = r.Bool();
+  info.resident = r.Bool();
+  info.emd = r.F64();
+  return info;
+}
+
+void PutPending(Writer& w, const PendingInteraction& p) {
+  w.U64(p.iteration);
+  PutEnum(w, p.strategy);
+  w.F64(p.cqg_benefit);
+  w.U64(p.cqg_vertices);
+  w.U64(p.cqg_edges);
+  w.U64(p.pool_questions);
+}
+
+PendingInteraction GetPending(Reader& r, bool* bad) {
+  PendingInteraction p;
+  p.iteration = r.U64();
+  p.strategy = GetEnum<QuestionStrategy>(r, 1, bad);
+  p.cqg_benefit = r.F64();
+  p.cqg_vertices = r.U64();
+  p.cqg_edges = r.U64();
+  p.pool_questions = r.U64();
+  return p;
+}
+
+void PutTrace(Writer& w, const WireTraceSummary& t) {
+  w.U64(t.iteration);
+  w.F64(t.emd);
+  w.F64(t.user_seconds);
+  w.U64(t.questions_asked);
+  w.F64(t.cqg_benefit);
+  w.U64(t.incremental.detect_full_scans);
+  w.U64(t.incremental.detect_delta_updates);
+  w.U64(t.incremental.erg_full_builds);
+  w.U64(t.incremental.erg_delta_updates);
+  w.U64(t.incremental.sim_join_full);
+  w.U64(t.incremental.sim_join_fallbacks);
+  w.U64(t.incremental.sim_join_delta_syncs);
+}
+
+WireTraceSummary GetTrace(Reader& r) {
+  WireTraceSummary t;
+  t.iteration = r.U64();
+  t.emd = r.F64();
+  t.user_seconds = r.F64();
+  t.questions_asked = r.U64();
+  t.cqg_benefit = r.F64();
+  t.incremental.detect_full_scans = r.U64();
+  t.incremental.detect_delta_updates = r.U64();
+  t.incremental.erg_full_builds = r.U64();
+  t.incremental.erg_delta_updates = r.U64();
+  t.incremental.sim_join_full = r.U64();
+  t.incremental.sim_join_fallbacks = r.U64();
+  t.incremental.sim_join_delta_syncs = r.U64();
+  return t;
+}
+
+void PutStats(Writer& w, const ServeStats& s) {
+  w.U64(s.sessions_created);
+  w.U64(s.steps);
+  w.U64(s.answers);
+  w.U64(s.snapshots);
+  w.U64(s.evictions);
+  w.U64(s.restores_from_disk);
+  w.U64(s.rejected_capacity);
+  w.U64(s.rejected_inflight);
+  w.U64(s.rejected_session_queue);
+  w.U64(s.detect_full_scans);
+  w.U64(s.detect_delta_updates);
+  w.U64(s.erg_full_builds);
+  w.U64(s.erg_delta_updates);
+  w.U64(s.sim_join_full);
+  w.U64(s.sim_join_fallbacks);
+  w.U64(s.sim_join_delta_syncs);
+}
+
+ServeStats GetStats(Reader& r) {
+  ServeStats s;
+  s.sessions_created = r.U64();
+  s.steps = r.U64();
+  s.answers = r.U64();
+  s.snapshots = r.U64();
+  s.evictions = r.U64();
+  s.restores_from_disk = r.U64();
+  s.rejected_capacity = r.U64();
+  s.rejected_inflight = r.U64();
+  s.rejected_session_queue = r.U64();
+  s.detect_full_scans = r.U64();
+  s.detect_delta_updates = r.U64();
+  s.erg_full_builds = r.U64();
+  s.erg_delta_updates = r.U64();
+  s.sim_join_full = r.U64();
+  s.sim_join_fallbacks = r.U64();
+  s.sim_join_delta_syncs = r.U64();
+  return s;
+}
+
+WireTraceSummary SummarizeTrace(const IterationTrace& trace) {
+  WireTraceSummary t;
+  t.iteration = trace.iteration;
+  t.emd = trace.emd;
+  t.user_seconds = trace.user_seconds;
+  t.questions_asked = trace.questions_asked;
+  t.cqg_benefit = trace.cqg_benefit;
+  t.incremental = trace.incremental;
+  return t;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const std::string& payload) {
+  VC_CHECK(payload.size() <= kMaxWirePayload, "wire payload exceeds bound");
+  Writer w;
+  w.U8(static_cast<uint8_t>(kWireMagic[0]));
+  w.U8(static_cast<uint8_t>(kWireMagic[1]));
+  w.U8(static_cast<uint8_t>(kWireMagic[2]));
+  w.U8(static_cast<uint8_t>(kWireMagic[3]));
+  w.U8(kWireVersion);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  std::string out = w.Take();
+  out.append(payload);
+  return out;
+}
+
+FrameStatus NextFrame(std::string& buffer, std::string* payload) {
+  if (buffer.size() < kWireHeaderSize) {
+    // Reject a wrong magic as soon as the bytes we do have disagree, so a
+    // text-mode or garbage peer is turned away before it can stall waiting
+    // for a "header" that will never parse.
+    const size_t have = buffer.size() < 4 ? buffer.size() : 4;
+    if (std::memcmp(buffer.data(), kWireMagic, have) != 0) {
+      return FrameStatus::kBad;
+    }
+    return FrameStatus::kNeedMore;
+  }
+  if (std::memcmp(buffer.data(), kWireMagic, 4) != 0) {
+    return FrameStatus::kBad;
+  }
+  if (static_cast<uint8_t>(buffer[4]) != kWireVersion) {
+    return FrameStatus::kBad;
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[5 + i]))
+              << (8 * i);
+  }
+  if (length > kMaxWirePayload) return FrameStatus::kBad;
+  if (buffer.size() < kWireHeaderSize + length) return FrameStatus::kNeedMore;
+  payload->assign(buffer, kWireHeaderSize, length);
+  buffer.erase(0, kWireHeaderSize + length);
+  return FrameStatus::kFrame;
+}
+
+std::string EncodeRequest(const WireRequest& request) {
+  Writer w;
+  PutEnum(w, request.type);
+  w.U64(request.request_id);
+  switch (request.type) {
+    case WireRequestType::kCreate:
+      w.Str(request.session_id);
+      w.Str(request.dataset);
+      w.Str(request.vql);
+      codec::PutSessionOptions(w, request.options);
+      codec::PutUserOptions(w, request.user_options);
+      codec::PutCostModel(w, request.cost_model);
+      break;
+    case WireRequestType::kStep:
+    case WireRequestType::kAnswer:
+    case WireRequestType::kGetStatus:
+    case WireRequestType::kClose:
+      w.Str(request.session_id);
+      break;
+    case WireRequestType::kSnapshot:
+    case WireRequestType::kRestore:
+      w.Str(request.session_id);
+      w.Str(request.path);
+      break;
+    case WireRequestType::kStats:
+      break;
+  }
+  return EncodeFrame(w.Take());
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  Writer w;
+  PutEnum(w, response.type);
+  w.U64(response.request_id);
+  switch (response.type) {
+    case WireResponseType::kError:
+      PutEnum(w, response.code);
+      w.Str(response.message);
+      break;
+    case WireResponseType::kSessionInfo:
+      PutSessionInfo(w, response.info);
+      break;
+    case WireResponseType::kPending:
+      PutPending(w, response.pending);
+      break;
+    case WireResponseType::kTrace:
+      PutTrace(w, response.trace);
+      break;
+    case WireResponseType::kAck:
+      break;
+    case WireResponseType::kStats:
+      PutStats(w, response.stats);
+      break;
+  }
+  return EncodeFrame(w.Take());
+}
+
+Result<WireRequest> DecodeRequestPayload(const std::string& payload) {
+  Reader r(payload);
+  bool bad = false;
+  WireRequest req;
+  req.type = GetEnum<WireRequestType>(r, kMaxWireRequestType, &bad);
+  if (bad || r.failed()) {
+    return Status::InvalidArgument("unknown wire request type");
+  }
+  req.request_id = r.U64();
+  switch (req.type) {
+    case WireRequestType::kCreate:
+      req.session_id = r.Str();
+      req.dataset = r.Str();
+      req.vql = r.Str();
+      req.options = codec::GetSessionOptions(r, &bad);
+      req.user_options = codec::GetUserOptions(r);
+      req.cost_model = codec::GetCostModel(r);
+      break;
+    case WireRequestType::kStep:
+    case WireRequestType::kAnswer:
+    case WireRequestType::kGetStatus:
+    case WireRequestType::kClose:
+      req.session_id = r.Str();
+      break;
+    case WireRequestType::kSnapshot:
+    case WireRequestType::kRestore:
+      req.session_id = r.Str();
+      req.path = r.Str();
+      break;
+    case WireRequestType::kStats:
+      break;
+  }
+  if (r.failed() || bad) {
+    return Status::InvalidArgument("wire request is truncated or corrupt");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("wire request has trailing bytes");
+  }
+  return req;
+}
+
+Result<WireResponse> DecodeResponsePayload(const std::string& payload) {
+  Reader r(payload);
+  bool bad = false;
+  WireResponse resp;
+  resp.type = GetEnum<WireResponseType>(r, kMaxWireResponseType, &bad);
+  if (bad || r.failed()) {
+    return Status::InvalidArgument("unknown wire response type");
+  }
+  resp.request_id = r.U64();
+  switch (resp.type) {
+    case WireResponseType::kError: {
+      resp.code = GetEnum<StatusCode>(r, kMaxStatusCode, &bad);
+      if (resp.code == StatusCode::kOk) bad = true;
+      resp.message = r.Str();
+      break;
+    }
+    case WireResponseType::kSessionInfo:
+      resp.info = GetSessionInfo(r);
+      break;
+    case WireResponseType::kPending:
+      resp.pending = GetPending(r, &bad);
+      break;
+    case WireResponseType::kTrace:
+      resp.trace = GetTrace(r);
+      break;
+    case WireResponseType::kAck:
+      break;
+    case WireResponseType::kStats:
+      resp.stats = GetStats(r);
+      break;
+  }
+  if (r.failed() || bad) {
+    return Status::InvalidArgument("wire response is truncated or corrupt");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("wire response has trailing bytes");
+  }
+  return resp;
+}
+
+WireResponse ErrorResponse(uint64_t request_id, const Status& status) {
+  VC_CHECK(!status.ok(), "ErrorResponse needs a failed status");
+  WireResponse resp;
+  resp.type = WireResponseType::kError;
+  resp.request_id = request_id;
+  resp.code = status.code();
+  resp.message = status.message();
+  return resp;
+}
+
+WireResponse ExecuteRequest(SessionManager& manager,
+                            const WireRequest& request) {
+  WireResponse resp;
+  resp.request_id = request.request_id;
+  switch (request.type) {
+    case WireRequestType::kCreate: {
+      Result<SessionInfo> info =
+          manager.Create(request.session_id, request.dataset, request.vql,
+                         request.options, request.user_options,
+                         request.cost_model);
+      if (!info.ok()) return ErrorResponse(request.request_id, info.status());
+      resp.type = WireResponseType::kSessionInfo;
+      resp.info = std::move(info).value();
+      return resp;
+    }
+    case WireRequestType::kStep: {
+      Result<PendingInteraction> pending = manager.Step(request.session_id);
+      if (!pending.ok()) {
+        return ErrorResponse(request.request_id, pending.status());
+      }
+      resp.type = WireResponseType::kPending;
+      resp.pending = std::move(pending).value();
+      return resp;
+    }
+    case WireRequestType::kAnswer: {
+      Result<IterationTrace> trace = manager.Answer(request.session_id);
+      if (!trace.ok()) return ErrorResponse(request.request_id, trace.status());
+      resp.type = WireResponseType::kTrace;
+      resp.trace = SummarizeTrace(trace.value());
+      return resp;
+    }
+    case WireRequestType::kGetStatus: {
+      Result<SessionInfo> info = manager.GetStatus(request.session_id);
+      if (!info.ok()) return ErrorResponse(request.request_id, info.status());
+      resp.type = WireResponseType::kSessionInfo;
+      resp.info = std::move(info).value();
+      return resp;
+    }
+    case WireRequestType::kSnapshot: {
+      Status status = manager.Snapshot(request.session_id, request.path);
+      if (!status.ok()) return ErrorResponse(request.request_id, status);
+      resp.type = WireResponseType::kAck;
+      return resp;
+    }
+    case WireRequestType::kRestore: {
+      Result<SessionInfo> info =
+          manager.Restore(request.session_id, request.path);
+      if (!info.ok()) return ErrorResponse(request.request_id, info.status());
+      resp.type = WireResponseType::kSessionInfo;
+      resp.info = std::move(info).value();
+      return resp;
+    }
+    case WireRequestType::kClose: {
+      Status status = manager.Close(request.session_id);
+      if (!status.ok()) return ErrorResponse(request.request_id, status);
+      resp.type = WireResponseType::kAck;
+      return resp;
+    }
+    case WireRequestType::kStats: {
+      resp.type = WireResponseType::kStats;
+      resp.stats = manager.stats();
+      return resp;
+    }
+  }
+  return ErrorResponse(request.request_id,
+                       Status::Internal("unhandled wire request type"));
+}
+
+}  // namespace visclean

@@ -1,0 +1,161 @@
+// The VCWP wire protocol: length-prefixed binary frames encoding the full
+// SessionManager request surface, so sessions can be driven over a socket
+// (src/net/server.*) with the exact semantics of in-process calls.
+//
+// Frame layout (all integers little-endian):
+//
+//   magic   "VCWP"          4 bytes
+//   version u8              currently 1
+//   length  u32             payload byte count, <= kMaxWirePayload
+//   payload length bytes    one request or response message
+//
+// A request payload is `u8 type` + `u64 request_id` + type-specific fields;
+// a response payload is `u8 type` + `u64 request_id` echoing the request it
+// answers. request_id is client-chosen and opaque to the server — clients
+// use it to match pipelined responses to requests.
+//
+// Everything behind the length prefix decodes through the hardened
+// serve/codec.h Reader (overflow-safe bounds, latched failure, bounded
+// allocations), and every decoder rejects rather than crashes on corrupt
+// input: bad magic, unknown version, oversized lengths, truncated or
+// trailing bytes, and out-of-range enums all surface as Status errors.
+// DESIGN.md §4 is the normative spec; tests/wire_test.cc fuzzes this
+// surface.
+#ifndef VISCLEAN_SERVE_WIRE_H_
+#define VISCLEAN_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/engine_context.h"
+#include "core/session.h"
+#include "serve/session_manager.h"
+#include "user/cost_model.h"
+#include "user/simulated_user.h"
+
+namespace visclean {
+
+/// Frame header magic. A connection whose first four bytes are not this
+/// magic is served in line-oriented text mode instead (src/net/command.h).
+inline constexpr char kWireMagic[4] = {'V', 'C', 'W', 'P'};
+inline constexpr uint8_t kWireVersion = 1;
+/// Hard payload bound: no legitimate message approaches this, and the bound
+/// keeps a corrupt or hostile length prefix from driving a huge allocation.
+inline constexpr uint32_t kMaxWirePayload = 16u * 1024u * 1024u;
+/// Bytes before the payload: magic + version + length.
+inline constexpr size_t kWireHeaderSize = 4 + 1 + 4;
+
+/// \brief Request message types (u8 on the wire).
+enum class WireRequestType : uint8_t {
+  kCreate = 0,
+  kStep = 1,
+  kAnswer = 2,
+  kGetStatus = 3,
+  kSnapshot = 4,
+  kRestore = 5,
+  kClose = 6,
+  kStats = 7,
+};
+inline constexpr uint8_t kMaxWireRequestType =
+    static_cast<uint8_t>(WireRequestType::kStats);
+
+/// \brief Response message types (u8 on the wire).
+enum class WireResponseType : uint8_t {
+  kError = 0,        ///< status code + message
+  kSessionInfo = 1,  ///< Create / GetStatus / Restore
+  kPending = 2,      ///< Step
+  kTrace = 3,        ///< Answer
+  kAck = 4,          ///< Snapshot / Close
+  kStats = 5,        ///< Stats
+};
+inline constexpr uint8_t kMaxWireResponseType =
+    static_cast<uint8_t>(WireResponseType::kStats);
+
+/// \brief One decoded request. Only the fields of the request's type are
+/// meaningful; the rest stay default-initialized (and are not encoded).
+struct WireRequest {
+  WireRequestType type = WireRequestType::kStats;
+  uint64_t request_id = 0;
+
+  std::string session_id;  ///< all types except kStats
+  // kCreate only:
+  std::string dataset;
+  std::string vql;
+  SessionOptions options;
+  UserOptions user_options;
+  UserCostModel cost_model;
+  // kSnapshot / kRestore only:
+  std::string path;
+};
+
+/// \brief The deterministic slice of an IterationTrace that travels on the
+/// wire: wall-clock stage timings are intentionally excluded so a socket
+/// round and an in-process round serialize identically (the differential
+/// suite compares these byte-for-byte).
+struct WireTraceSummary {
+  uint64_t iteration = 0;
+  double emd = 0.0;
+  double user_seconds = 0.0;
+  uint64_t questions_asked = 0;
+  double cqg_benefit = 0.0;
+  IncrementalityCounters incremental;
+};
+
+/// \brief One decoded response. As with WireRequest, only the active type's
+/// fields are meaningful.
+struct WireResponse {
+  WireResponseType type = WireResponseType::kError;
+  uint64_t request_id = 0;
+
+  // kError:
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  // kSessionInfo:
+  SessionInfo info;
+  // kPending:
+  PendingInteraction pending;
+  // kTrace:
+  WireTraceSummary trace;
+  // kStats:
+  ServeStats stats;
+};
+
+/// Wraps a payload in a VCWP frame (header + bytes). Payloads larger than
+/// kMaxWirePayload are a programmer error and abort.
+std::string EncodeFrame(const std::string& payload);
+
+/// Encodes request/response payload + frame in one step.
+std::string EncodeRequest(const WireRequest& request);
+std::string EncodeResponse(const WireResponse& response);
+
+/// \brief Outcome of scanning a connection buffer for the next frame.
+enum class FrameStatus {
+  kNeedMore,  ///< header or payload incomplete — read more bytes
+  kFrame,     ///< one payload extracted and consumed from the buffer
+  kBad,       ///< malformed header (magic/version/length) — close the
+              ///< connection; resynchronizing with a corrupt peer is
+              ///< impossible in a length-prefixed protocol
+};
+
+/// Extracts the next complete frame from the front of `buffer`, consuming
+/// its bytes on success. `payload` is only written for kFrame. The buffer
+/// may hold any number of partial or complete frames (pipelining).
+FrameStatus NextFrame(std::string& buffer, std::string* payload);
+
+/// Decodes a frame payload (not the frame header) into a request/response.
+/// Rejects truncation, trailing bytes, and out-of-range enums.
+Result<WireRequest> DecodeRequestPayload(const std::string& payload);
+Result<WireResponse> DecodeResponsePayload(const std::string& payload);
+
+/// \brief Executes one decoded request against a SessionManager and returns
+/// the response — the single dispatch point shared by the binary and text
+/// front-ends, so both speak for exactly the same API surface.
+WireResponse ExecuteRequest(SessionManager& manager, const WireRequest& request);
+
+/// Builds a kError response carrying `status` (which must not be OK).
+WireResponse ErrorResponse(uint64_t request_id, const Status& status);
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_SERVE_WIRE_H_

@@ -1,0 +1,328 @@
+// End-to-end differential suite for the socket front-end: a session driven
+// over a real TCP connection (binary VCWP protocol via Client, and the text
+// grammar via LineClient) must be bit-identical — per-round trace records
+// down to float bits, and the final table fingerprint — to the same
+// configuration driven through in-process SessionManager calls.
+//
+// The sweep runs 3 synthetic datasets x 3 seeds x {gss, gss+, bnb, 0.5-bnb,
+// random, single}. Fingerprints travel through the Snapshot request: both
+// sides export to disk and the decoded tables are compared cell-for-cell.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/books.h"
+#include "datagen/nba.h"
+#include "datagen/publications.h"
+#include "net/client.h"
+#include "net/command.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+
+namespace visclean {
+namespace {
+
+std::string HexOf(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string TableFingerprint(const Table& t) {
+  std::string out;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    out += t.is_dead(r) ? 'D' : 'L';
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      out += t.at(r, c).ToDisplayString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+DirtyDataset MakeData(const std::string& name, uint64_t seed) {
+  if (name == "D1") {
+    PublicationsOptions o;
+    o.num_entities = 50;
+    o.seed = seed;
+    return GeneratePublications(o);
+  }
+  if (name == "D2") {
+    NbaOptions o;
+    o.num_entities = 50;
+    o.seed = seed;
+    return GenerateNba(o);
+  }
+  BooksOptions o;
+  o.num_entities = 50;
+  o.seed = seed;
+  return GenerateBooks(o);
+}
+
+std::string QueryFor(const std::string& name) {
+  if (name == "D1") {
+    return "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D1 "
+           "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10";
+  }
+  if (name == "D2") {
+    return "VISUALIZE PIE SELECT Team, SUM(Points) FROM D2 "
+           "TRANSFORM GROUP(Team) SORT Y DESC LIMIT 10";
+  }
+  return "VISUALIZE BAR SELECT Author, SUM(NumRatings) FROM D3 "
+         "TRANSFORM GROUP(Author) SORT Y DESC LIMIT 5";
+}
+
+constexpr size_t kBudget = 2;
+
+SessionOptions SweepOptions(const std::string& selector, uint64_t seed) {
+  SessionOptions o;
+  o.k = 4;
+  o.budget = kBudget;
+  o.max_t_questions = 30;
+  o.max_m_questions = 30;
+  o.single_m = 8;
+  o.forest.num_trees = 6;
+  o.seed = seed;
+  if (selector == "single") {
+    o.strategy = QuestionStrategy::kSingle;
+  } else {
+    o.selector = selector;
+  }
+  return o;
+}
+
+std::string TempDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "visclean_wire_" + tag;
+  std::string cmd = "mkdir -p '" + dir + "'";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+// Everything observable about one round over the wire, down to float bits
+// (wall-clock stage timings are deliberately not part of the protocol).
+std::string TraceRecord(const WireTraceSummary& t) {
+  std::string line = "it=" + std::to_string(t.iteration);
+  line += " emd=" + HexOf(t.emd);
+  line += " user=" + HexOf(t.user_seconds);
+  line += " asked=" + std::to_string(t.questions_asked);
+  line += " benefit=" + HexOf(t.cqg_benefit);
+  line += " inc=" + std::to_string(t.incremental.detect_full_scans) + "/" +
+          std::to_string(t.incremental.detect_delta_updates) + "/" +
+          std::to_string(t.incremental.erg_full_builds) + "/" +
+          std::to_string(t.incremental.erg_delta_updates) + "/" +
+          std::to_string(t.incremental.sim_join_full) + "/" +
+          std::to_string(t.incremental.sim_join_fallbacks) + "/" +
+          std::to_string(t.incremental.sim_join_delta_syncs);
+  return line;
+}
+
+WireTraceSummary Summarize(const IterationTrace& trace) {
+  WireTraceSummary t;
+  t.iteration = trace.iteration;
+  t.emd = trace.emd;
+  t.user_seconds = trace.user_seconds;
+  t.questions_asked = trace.questions_asked;
+  t.cqg_benefit = trace.cqg_benefit;
+  t.incremental = trace.incremental;
+  return t;
+}
+
+std::string PendingRecord(const PendingInteraction& p) {
+  return "it=" + std::to_string(p.iteration) +
+         " strat=" + std::to_string(static_cast<int>(p.strategy)) +
+         " benefit=" + HexOf(p.cqg_benefit) +
+         " v=" + std::to_string(p.cqg_vertices) +
+         " e=" + std::to_string(p.cqg_edges) +
+         " pool=" + std::to_string(p.pool_questions);
+}
+
+struct RunRecord {
+  std::vector<std::string> rounds;
+  std::string final_table;
+};
+
+std::string FingerprintFromSnapshotFile(const std::string& path) {
+  Result<SessionSnapshotState> state = ReadSnapshotFile(path);
+  EXPECT_TRUE(state.ok()) << state.status().ToString();
+  if (!state.ok()) return "<unreadable>";
+  return TableFingerprint(state.value().table);
+}
+
+// In-process reference: the same call sequence the socket clients issue.
+RunRecord RunInProcess(const DirtyDataset& data, const std::string& vql,
+                       const SessionOptions& options,
+                       const std::string& snap_path) {
+  RunRecord record;
+  SessionManager manager;
+  EXPECT_TRUE(manager.RegisterDataset(&data).ok());
+  Result<SessionInfo> created = manager.Create("ref", data.name, vql, options);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  for (size_t i = 0; i < options.budget; ++i) {
+    Result<PendingInteraction> pending = manager.Step("ref");
+    EXPECT_TRUE(pending.ok()) << pending.status().ToString();
+    if (!pending.ok()) return record;
+    record.rounds.push_back(PendingRecord(pending.value()));
+    Result<IterationTrace> trace = manager.Answer("ref");
+    EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+    if (!trace.ok()) return record;
+    record.rounds.push_back(TraceRecord(Summarize(trace.value())));
+  }
+  EXPECT_TRUE(manager.Snapshot("ref", snap_path).ok());
+  record.final_table = FingerprintFromSnapshotFile(snap_path);
+  return record;
+}
+
+// Socket-driven run over the binary protocol.
+RunRecord RunOverSocket(uint16_t port, const std::string& id,
+                        const std::string& dataset, const std::string& vql,
+                        const SessionOptions& options,
+                        const std::string& snap_path) {
+  RunRecord record;
+  Client client;
+  EXPECT_TRUE(client.Connect(port).ok());
+  Result<SessionInfo> created = client.Create(id, dataset, vql, options);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  for (size_t i = 0; i < options.budget; ++i) {
+    Result<PendingInteraction> pending = client.Step(id);
+    EXPECT_TRUE(pending.ok()) << pending.status().ToString();
+    if (!pending.ok()) return record;
+    record.rounds.push_back(PendingRecord(pending.value()));
+    Result<WireTraceSummary> trace = client.Answer(id);
+    EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+    if (!trace.ok()) return record;
+    record.rounds.push_back(TraceRecord(trace.value()));
+  }
+  EXPECT_TRUE(client.Snapshot(id, snap_path).ok());
+  EXPECT_TRUE(client.CloseSession(id).ok());
+  record.final_table = FingerprintFromSnapshotFile(snap_path);
+  return record;
+}
+
+void SweepDataset(const std::string& dataset) {
+  const std::vector<std::string> selectors = {"gss",     "gss+",   "bnb",
+                                              "0.5-bnb", "random", "single"};
+  const std::string dir = TempDir(dataset);
+
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    // One server (and one oracle) per seed; selectors run as distinct
+    // sessions against it, exactly like users sharing a deployment.
+    DirtyDataset data = MakeData(dataset, seed);
+    const std::string vql = QueryFor(dataset);
+    SessionManager manager;
+    ASSERT_TRUE(manager.RegisterDataset(&data).ok());
+    VisCleanServer server(manager);
+    ASSERT_TRUE(server.Start().ok());
+
+    for (const std::string& sel : selectors) {
+      SCOPED_TRACE(dataset + " seed=" + std::to_string(seed) + " sel=" + sel);
+      SessionOptions options = SweepOptions(sel, seed);
+      std::string tag = dataset + "_" + std::to_string(seed) + "_" + sel;
+      // Session ids are restricted to [A-Za-z0-9._-]; "gss+" has a '+'.
+      for (char& c : tag) {
+        if (c == '+') c = 'P';
+      }
+
+      RunRecord reference =
+          RunInProcess(data, vql, options, dir + "/ref_" + tag + ".snap");
+      ASSERT_EQ(reference.rounds.size(), 2 * kBudget);
+
+      RunRecord socket =
+          RunOverSocket(server.port(), "wire-" + tag, data.name, vql, options,
+                        dir + "/wire_" + tag + ".snap");
+
+      EXPECT_EQ(reference.rounds, socket.rounds);
+      EXPECT_EQ(reference.final_table, socket.final_table);
+      EXPECT_FALSE(reference.final_table.empty());
+    }
+    server.Stop();
+  }
+}
+
+TEST(ServerDifferentialTest, PublicationsSweep) { SweepDataset("D1"); }
+TEST(ServerDifferentialTest, NbaSweep) { SweepDataset("D2"); }
+TEST(ServerDifferentialTest, BooksSweep) { SweepDataset("D3"); }
+
+// The text grammar drives the same loop through LineClient; responses must
+// match PrintResponseLine applied to the in-process results exactly
+// (lossless float spelling included).
+TEST(ServerDifferentialTest, TextModeMatchesInProcess) {
+  DirtyDataset data = MakeData("D1", 11);
+  const std::string vql = QueryFor("D1");
+  SessionOptions options = SweepOptions("gss", 11);
+  const std::string dir = TempDir("text");
+
+  // Reference responses rendered through the same printer.
+  std::vector<std::string> expected;
+  {
+    SessionManager manager;
+    ASSERT_TRUE(manager.RegisterDataset(&data).ok());
+    Result<SessionInfo> created =
+        manager.Create("alice", data.name, vql, options);
+    ASSERT_TRUE(created.ok());
+    WireResponse resp;
+    resp.type = WireResponseType::kSessionInfo;
+    resp.info = created.value();
+    expected.push_back(PrintResponseLine(resp));
+    for (size_t i = 0; i < options.budget; ++i) {
+      Result<PendingInteraction> pending = manager.Step("alice");
+      ASSERT_TRUE(pending.ok());
+      WireResponse p;
+      p.type = WireResponseType::kPending;
+      p.pending = pending.value();
+      expected.push_back(PrintResponseLine(p));
+      Result<IterationTrace> trace = manager.Answer("alice");
+      ASSERT_TRUE(trace.ok());
+      WireResponse t;
+      t.type = WireResponseType::kTrace;
+      t.trace = Summarize(trace.value());
+      expected.push_back(PrintResponseLine(t));
+    }
+  }
+
+  SessionManager manager;
+  ASSERT_TRUE(manager.RegisterDataset(&data).ok());
+  VisCleanServer server(manager);
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  WireRequest create;
+  create.type = WireRequestType::kCreate;
+  create.session_id = "alice";
+  create.dataset = data.name;
+  create.vql = vql;
+  create.options = options;
+  std::vector<std::string> actual;
+  Result<std::string> line = client.Exchange(PrintCommand(create));
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  actual.push_back(line.value());
+  for (size_t i = 0; i < options.budget; ++i) {
+    line = client.Exchange("STEP alice");
+    ASSERT_TRUE(line.ok());
+    actual.push_back(line.value());
+    line = client.Exchange("ANSWER alice");
+    ASSERT_TRUE(line.ok());
+    actual.push_back(line.value());
+  }
+  EXPECT_EQ(actual, expected);
+
+  // Errors travel as ERR lines with the same codes in-process callers see.
+  line = client.Exchange("STEP nobody");
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line.value().rfind("ERR NOT_FOUND ", 0), 0u) << line.value();
+  line = client.Exchange("BOGUS");
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line.value().rfind("ERR PARSE_ERROR ", 0), 0u) << line.value();
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace visclean

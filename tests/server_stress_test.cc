@@ -1,0 +1,299 @@
+// Concurrency stress for VisCleanServer: many client threads connecting,
+// racing full sessions, retrying kResourceExhausted rejections, closing
+// concurrently, and rogue peers feeding garbage or half-frames — all while
+// the server starts and stops. Run under TSan (VISCLEAN_TSAN=ON) this is
+// the data-race gate for the socket front-end.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/publications.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+#include "serve/wire.h"
+
+namespace visclean {
+namespace {
+
+DirtyDataset SmallData() {
+  PublicationsOptions o;
+  o.num_entities = 30;
+  o.seed = 5;
+  return GeneratePublications(o);
+}
+
+constexpr char kQuery[] =
+    "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D1 "
+    "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10";
+
+SessionOptions TinyOptions(uint64_t seed) {
+  SessionOptions o;
+  o.k = 3;
+  o.budget = 1;
+  o.max_t_questions = 15;
+  o.max_m_questions = 15;
+  o.forest.num_trees = 4;
+  o.seed = seed;
+  return o;
+}
+
+int RawConnect(uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+// Full session lifecycles raced across threads while the manager's tight
+// admission bounds force kResourceExhausted rejections that clients retry.
+TEST(ServerStressTest, ConcurrentSessionsWithAdmissionPressure) {
+  DirtyDataset data = SmallData();
+  ServeOptions serve;
+  serve.max_sessions = 6;  // fewer than the peak demand below
+  serve.max_inflight_requests = 4;
+  serve.max_queued_per_session = 2;
+  SessionManager manager(serve);
+  ASSERT_TRUE(manager.RegisterDataset(&data).ok());
+  ServerOptions server_options;
+  server_options.worker_threads = 4;
+  VisCleanServer server(manager, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> rejected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      ASSERT_TRUE(client.Connect(server.port()).ok());
+      const std::string id = "stress-" + std::to_string(t);
+      // Retry rejections: admission control answers RESOURCE_EXHAUSTED and
+      // the client is expected to back off and try again.
+      for (int attempt = 0; attempt < 400; ++attempt) {
+        Result<SessionInfo> created =
+            client.Create(id, data.name, kQuery, TinyOptions(100 + t));
+        if (created.ok()) break;
+        ASSERT_EQ(created.status().code(), StatusCode::kResourceExhausted)
+            << created.status().ToString();
+        rejected.fetch_add(1);
+        std::this_thread::yield();
+      }
+      for (int attempt = 0; attempt < 400; ++attempt) {
+        Result<PendingInteraction> pending = client.Step(id);
+        if (pending.ok()) break;
+        ASSERT_EQ(pending.status().code(), StatusCode::kResourceExhausted);
+        std::this_thread::yield();
+      }
+      for (int attempt = 0; attempt < 400; ++attempt) {
+        Result<WireTraceSummary> trace = client.Answer(id);
+        if (trace.ok()) {
+          completed.fetch_add(1);
+          break;
+        }
+        ASSERT_EQ(trace.status().code(), StatusCode::kResourceExhausted);
+        std::this_thread::yield();
+      }
+      // Concurrent closes free capacity for the threads still waiting.
+      for (int attempt = 0; attempt < 400; ++attempt) {
+        Status closed = client.CloseSession(id);
+        if (closed.ok()) break;
+        ASSERT_EQ(closed.code(), StatusCode::kResourceExhausted);
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(completed.load(), static_cast<size_t>(kThreads));
+  Client checker;
+  ASSERT_TRUE(checker.Connect(server.port()).ok());
+  Result<ServeStats> stats = checker.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().sessions_created, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.value().answers, static_cast<uint64_t>(kThreads));
+  server.Stop();
+}
+
+// Rogue peers: garbage greetings, partial frames abandoned mid-send, and
+// oversized length prefixes must each earn a clean rejection — never a
+// crash, a hang, or interference with a well-behaved session on the side.
+TEST(ServerStressTest, RogueClientsCannotDisturbTheServer) {
+  DirtyDataset data = SmallData();
+  SessionManager manager;
+  ASSERT_TRUE(manager.RegisterDataset(&data).ok());
+  VisCleanServer server(manager);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::thread> rogues;
+  rogues.reserve(12);
+  for (int i = 0; i < 4; ++i) {
+    // Garbage greeting: random bytes that are not "VCWP" land in text mode
+    // and earn an ERR line per newline; no newline just idles.
+    rogues.emplace_back([&server] {
+      int fd = RawConnect(server.port());
+      const char junk[] = "\x01\x02\x03garbage\nmore trash\n";
+      send(fd, junk, sizeof(junk) - 1, MSG_NOSIGNAL);
+      char buf[4096];
+      recv(fd, buf, sizeof(buf), 0);  // at least one ERR line comes back
+      close(fd);
+    });
+    // Partial frame: a valid header promising more payload than ever sent,
+    // then an abrupt close. The server must just reap the connection.
+    rogues.emplace_back([&server] {
+      int fd = RawConnect(server.port());
+      WireRequest req;
+      req.type = WireRequestType::kGetStatus;
+      req.session_id = "ghost";
+      std::string frame = EncodeRequest(req);
+      send(fd, frame.data(), frame.size() / 2, MSG_NOSIGNAL);
+      close(fd);
+    });
+    // Oversized length prefix: rejected with one error frame, then closed.
+    rogues.emplace_back([&server] {
+      int fd = RawConnect(server.port());
+      std::string header = "VCWP";
+      header.push_back(static_cast<char>(kWireVersion));
+      uint32_t huge = 0xFFFFFFFFu;
+      header.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+      send(fd, header.data(), header.size(), MSG_NOSIGNAL);
+      char buf[4096];
+      ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      EXPECT_GT(n, 0);  // the error frame
+      close(fd);
+    });
+  }
+
+  // A well-behaved session runs to completion in parallel with the abuse.
+  Client good;
+  ASSERT_TRUE(good.Connect(server.port()).ok());
+  ASSERT_TRUE(good.Create("good", data.name, kQuery, TinyOptions(7)).ok());
+  ASSERT_TRUE(good.Step("good").ok());
+  Result<WireTraceSummary> trace = good.Answer("good");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_GT(trace.value().questions_asked, 0u);
+
+  for (auto& th : rogues) th.join();
+  server.Stop();
+}
+
+// Connect/disconnect churn racing server shutdown: clients keep arriving
+// and vanishing (some mid-request) while another thread calls Stop().
+TEST(ServerStressTest, ConnectionChurnRacesShutdown) {
+  DirtyDataset data = SmallData();
+  SessionManager manager;
+  ASSERT_TRUE(manager.RegisterDataset(&data).ok());
+  VisCleanServer server(manager);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  churners.reserve(6);
+  for (int t = 0; t < 6; ++t) {
+    churners.emplace_back([&, t] {
+      int round = 0;
+      while (!stop.load()) {
+        Client client;
+        if (!client.Connect(port).ok()) break;  // server already gone
+        // Status of a nonexistent session is a cheap full round trip.
+        Result<SessionInfo> info =
+            client.GetStatus("churn-" + std::to_string(t));
+        if (info.status().code() == StatusCode::kIoError) break;
+        client.Disconnect();
+        if ((++round % 3) == 0) {
+          // Sometimes vanish with a request possibly still in flight. The
+          // connect may itself lose the race with Stop(); that is fine.
+          int fd = socket(AF_INET, SOCK_STREAM, 0);
+          sockaddr_in addr{};
+          addr.sin_family = AF_INET;
+          addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+          addr.sin_port = htons(port);
+          if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+              0) {
+            WireRequest req;
+            req.type = WireRequestType::kStats;
+            std::string frame = EncodeRequest(req);
+            send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+          }
+          close(fd);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  server.Stop();  // races live connections and in-flight requests
+  stop.store(true);
+  for (auto& th : churners) th.join();
+
+  EXPECT_EQ(server.connections(), 0u);
+  server.Stop();  // idempotent
+}
+
+// Text-mode clients hammering in parallel with binary ones on the same
+// server: the two dialects share workers but never each other's framing.
+TEST(ServerStressTest, MixedDialectsShareOneServer) {
+  DirtyDataset data = SmallData();
+  SessionManager manager;
+  ASSERT_TRUE(manager.RegisterDataset(&data).ok());
+  VisCleanServer server(manager);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::thread> threads;
+  threads.reserve(6);
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      LineClient client;
+      ASSERT_TRUE(client.Connect(server.port()).ok());
+      const std::string id = "text-" + std::to_string(t);
+      Result<std::string> line = client.Exchange(
+          "CREATE " + id + " ON " + data.name + " QUERY \"" + kQuery +
+          "\" WITH k=3 budget=1 max_t=15 max_m=15 trees=4 seed=" +
+          std::to_string(200 + t));
+      ASSERT_TRUE(line.ok());
+      ASSERT_EQ(line.value().rfind("OK INFO ", 0), 0u) << line.value();
+      line = client.Exchange("STEP " + id);
+      ASSERT_TRUE(line.ok());
+      EXPECT_EQ(line.value().rfind("OK PENDING ", 0), 0u) << line.value();
+      line = client.Exchange("ANSWER " + id);
+      ASSERT_TRUE(line.ok());
+      EXPECT_EQ(line.value().rfind("OK TRACE ", 0), 0u) << line.value();
+      line = client.Exchange("CLOSE " + id);
+      ASSERT_TRUE(line.ok());
+      EXPECT_EQ(line.value(), "OK ACK");
+    });
+  }
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      ASSERT_TRUE(client.Connect(server.port()).ok());
+      const std::string id = "bin-" + std::to_string(t);
+      ASSERT_TRUE(client.Create(id, data.name, kQuery, TinyOptions(300 + t)).ok());
+      ASSERT_TRUE(client.Step(id).ok());
+      ASSERT_TRUE(client.Answer(id).ok());
+      ASSERT_TRUE(client.CloseSession(id).ok());
+    });
+  }
+  for (auto& th : threads) th.join();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace visclean
