@@ -19,6 +19,11 @@
 //   * aggregate throughput at 8 driver threads >= 4x the serial replay
 //     (>= 1x under --smoke, which also shrinks the workload for CI).
 //
+// After the gated phase, a fixed-core-budget fleet sweep (8 -> 64 sessions
+// on the same pool width, no think-time sleeping) records how aggregate
+// rounds/s and the cross-session kernel-batching occupancy scale with
+// contention.
+//
 // Results land in BENCH_serve_concurrency.json.
 #include <algorithm>
 #include <atomic>
@@ -49,6 +54,20 @@ struct BenchConfig {
   double think_ms_per_modeled_second = 15.0;
   double min_speedup = 4.0;
   bool smoke = false;
+  /// Fleet sizes for the fixed-core-budget sweep (pool_threads stays
+  /// constant while the session count grows): aggregate rounds/s and the
+  /// cross-session kernel-batching occupancy at each size.
+  std::vector<size_t> sweep_sessions = {8, 16, 32, 64};
+  size_t sweep_budget = 2;
+};
+
+/// One fleet size of the sweep: every session driven to completion with no
+/// think-time sleeping (pure machine throughput), batching on.
+struct SweepPoint {
+  size_t sessions = 0;
+  double wall_seconds = 0.0;
+  double rounds_per_second = 0.0;
+  ServeStats stats;
 };
 
 struct SessionSpec {
@@ -110,6 +129,75 @@ std::vector<SessionSpec> MakeSpecs(const BenchConfig& config) {
     specs.push_back(std::move(spec));
   }
   return specs;
+}
+
+// Drives one fleet size of the sweep through a fresh SessionManager on the
+// same fixed pool budget. Rounds run back to back — the sweep measures how
+// machine throughput and batch occupancy scale with fleet size, not
+// think-time overlap (the main phase covers that).
+SweepPoint RunFleet(const BenchConfig& config, size_t fleet,
+                    DirtyDataset* d1, DirtyDataset* d2, DirtyDataset* d3) {
+  using Clock = std::chrono::steady_clock;
+  auto oracle_of = [&](const std::string& name) {
+    return name == "D1" ? d1 : name == "D2" ? d2 : d3;
+  };
+  BenchConfig fleet_config = config;
+  fleet_config.sessions = fleet;
+  fleet_config.budget = config.sweep_budget;
+  std::vector<SessionSpec> specs = MakeSpecs(fleet_config);
+
+  ServeOptions serve;
+  serve.max_resident_sessions = fleet;
+  serve.max_sessions = fleet;
+  serve.max_inflight_requests = config.driver_threads + 2;
+  serve.max_queued_per_session = 2;
+  serve.snapshot_dir = "bench_serve_snapshots.tmp";
+  serve.pool_threads = config.pool_threads;
+  SessionManager manager(serve);
+  VC_CHECK(manager.RegisterDataset(d1).ok(), "sweep RegisterDataset D1");
+  VC_CHECK(manager.RegisterDataset(d2).ok(), "sweep RegisterDataset D2");
+  VC_CHECK(manager.RegisterDataset(d3).ok(), "sweep RegisterDataset D3");
+  for (const SessionSpec& spec : specs) {
+    Result<SessionInfo> created = manager.Create(
+        spec.id, oracle_of(spec.dataset)->name, spec.vql, spec.options);
+    VC_CHECK(created.ok(), "sweep Create failed");
+  }
+
+  std::atomic<uint64_t> failed{0};
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> drivers;
+  for (size_t t = 0; t < config.driver_threads; ++t) {
+    drivers.emplace_back([&, t] {
+      for (size_t round = 0; round < config.sweep_budget; ++round) {
+        for (size_t i = t; i < specs.size(); i += config.driver_threads) {
+          Result<PendingInteraction> question = manager.Step(specs[i].id);
+          if (!question.ok()) {
+            failed.fetch_add(1);
+            continue;
+          }
+          Result<IterationTrace> trace = manager.Answer(specs[i].id);
+          if (!trace.ok()) failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& d : drivers) d.join();
+
+  SweepPoint point;
+  point.sessions = fleet;
+  point.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  point.rounds_per_second =
+      static_cast<double>(fleet * config.sweep_budget) / point.wall_seconds;
+  point.stats = manager.stats();
+  VC_CHECK(failed.load() == 0, "sweep round failed");
+  return point;
+}
+
+double Occupancy(uint64_t items, uint64_t batches) {
+  return batches > 0
+             ? static_cast<double>(items) / static_cast<double>(batches)
+             : 0.0;
 }
 
 }  // namespace
@@ -255,6 +343,27 @@ int Run(const BenchConfig& config) {
         std::max(max_emd_delta, std::abs(info.value().emd - serial_emd[i]));
   }
 
+  // ---- Fixed-core-budget fleet sweep: same pool width, growing session
+  // count; aggregate rounds/s plus the kernel-batching occupancy the
+  // contention produces.
+  std::vector<SweepPoint> sweep;
+  for (size_t fleet : config.sweep_sessions) {
+    std::printf("fleet sweep: %zu sessions x %zu rounds...\n", fleet,
+                config.sweep_budget);
+    sweep.push_back(RunFleet(config, fleet, &d1, &d2, &d3));
+    const SweepPoint& point = sweep.back();
+    std::printf("  %2zu sessions: %.2f rounds/s, em-infer occupancy %.2f "
+                "(%llu batches), pair-feature %.2f, knn %.2f\n",
+                point.sessions, point.rounds_per_second,
+                Occupancy(point.stats.em_infer_batch_items,
+                          point.stats.em_infer_batches),
+                (unsigned long long)point.stats.em_infer_batches,
+                Occupancy(point.stats.pair_feature_batch_items,
+                          point.stats.pair_feature_batches),
+                Occupancy(point.stats.knn_batch_items,
+                          point.stats.knn_batches));
+  }
+
   // ---- Aggregate metrics.
   std::vector<double> step_ms;
   std::vector<double> answer_ms;
@@ -370,6 +479,36 @@ int Run(const BenchConfig& config) {
   json.Key("rejected_session_queue");
   json.Int(static_cast<int64_t>(stats.rejected_session_queue));
   json.EndObject();
+  json.Key("fleet_sweep");
+  json.BeginArray();
+  for (const SweepPoint& point : sweep) {
+    json.BeginObject();
+    json.Key("sessions");
+    json.Int(static_cast<int64_t>(point.sessions));
+    json.Key("rounds");
+    json.Int(static_cast<int64_t>(point.sessions * config.sweep_budget));
+    json.Key("wall_seconds");
+    json.Number(point.wall_seconds);
+    json.Key("rounds_per_second");
+    json.Number(point.rounds_per_second);
+    json.Key("em_infer_batches");
+    json.Int(static_cast<int64_t>(point.stats.em_infer_batches));
+    json.Key("em_infer_batch_items");
+    json.Int(static_cast<int64_t>(point.stats.em_infer_batch_items));
+    json.Key("em_infer_batch_rows");
+    json.Int(static_cast<int64_t>(point.stats.em_infer_batch_rows));
+    json.Key("em_infer_occupancy");
+    json.Number(Occupancy(point.stats.em_infer_batch_items,
+                          point.stats.em_infer_batches));
+    json.Key("pair_feature_occupancy");
+    json.Number(Occupancy(point.stats.pair_feature_batch_items,
+                          point.stats.pair_feature_batches));
+    json.Key("knn_occupancy");
+    json.Number(Occupancy(point.stats.knn_batch_items,
+                          point.stats.knn_batches));
+    json.EndObject();
+  }
+  json.EndArray();
   json.EndObject();
 
   std::ofstream out("BENCH_serve_concurrency.json");
@@ -403,6 +542,7 @@ int main(int argc, char** argv) {
       config.entities = 60;
       config.think_ms_per_modeled_second = 8.0;
       config.min_speedup = 1.0;
+      config.sweep_sessions = {4, 8};
     } else if (arg == "--sessions" && i + 1 < argc) {
       config.sessions = static_cast<size_t>(value());
     } else if (arg == "--threads" && i + 1 < argc) {

@@ -11,6 +11,7 @@
 //   $ ./build/examples/serve_driver
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "datagen/nba.h"
@@ -66,7 +67,8 @@ int main() {
   ServeOptions serve;
   serve.max_resident_sessions = 2;
   serve.snapshot_dir = "serve_driver_snapshots.tmp";
-  std::system("mkdir -p serve_driver_snapshots.tmp");
+  std::error_code fs_error;
+  std::filesystem::create_directories(serve.snapshot_dir, fs_error);
   SessionManager manager(serve);
   Check(manager.RegisterDataset(&pubs), "RegisterDataset");
   Check(manager.RegisterDataset(&nba), "RegisterDataset");
@@ -145,5 +147,8 @@ int main() {
   std::printf("  > STATUS alice2\n  < %s\n", line.value().c_str());
 
   server.Stop();
+  // The snapshot directory is working scratch, not output — leave the
+  // repository checkout the way we found it.
+  std::filesystem::remove_all(serve.snapshot_dir, fs_error);
   return 0;
 }

@@ -21,27 +21,25 @@ void RowTokenCache::Invalidate(const std::vector<size_t>& dirty_rows) {
 }
 
 void RowTokenCache::Ensure(const Table& table, const std::vector<size_t>& rows,
-                           ThreadPool* pool) {
+                           const KernelEnv& env) {
   std::vector<size_t> missing;
   for (size_t r : rows) {
     if (tokens_.find(r) == tokens_.end()) missing.push_back(r);
   }
   if (missing.empty()) return;
 
+  // Tokenization is a pure chunk kernel with indexed writes; it rides the
+  // kNN queue (same consumers, same fairness domain) when batched.
   std::vector<std::set<std::string>> computed(missing.size());
-  auto compute = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      computed[i] = TokenSet(WordTokens(RowAsString(table, missing[i])));
-    }
-  };
-  if (pool != nullptr && missing.size() >= 2 * pool->num_threads()) {
-    pool->ParallelChunks(missing.size(),
-                         [&](size_t, size_t begin, size_t end) {
-                           compute(begin, end);
-                         });
-  } else {
-    compute(0, missing.size());
-  }
+  const size_t min_parallel =
+      env.pool != nullptr ? 2 * env.pool->num_threads() : 2;
+  RunKernel(KernelKind::kKnnQuery, env, missing.size(), min_parallel,
+            [&](size_t begin, size_t end) {
+              for (size_t i = begin; i < end; ++i) {
+                computed[i] =
+                    TokenSet(WordTokens(RowAsString(table, missing[i])));
+              }
+            });
   for (size_t i = 0; i < missing.size(); ++i) {
     tokens_[missing[i]] = std::move(computed[i]);
   }

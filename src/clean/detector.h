@@ -14,11 +14,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/kernel_scheduler.h"
 #include "data/table.h"
 
 namespace visclean {
-
-class ThreadPool;
 
 /// \brief Journal-driven detector: full rebuild or per-row delta.
 ///
@@ -26,14 +25,15 @@ class ThreadPool;
 /// FullScan alone would produce on the current table. Update may only be
 /// called when every mutation since the last scan is covered by
 /// `mutated_rows` (the caller reads them from Table::MutatedRowsSince).
-/// `pool` is optional; passing one must not change any published value,
-/// only the wall time (deterministic index-ordered merges).
+/// `env` carries the optional pool / cross-session scheduler / iteration
+/// arena; none of them may change any published value, only the wall time
+/// (deterministic index-ordered merges) and where scratch lives.
 class Detector {
  public:
   virtual ~Detector() = default;
 
   /// Rebuilds all derived state and results from `table`.
-  virtual void FullScan(const Table& table, ThreadPool* pool) = 0;
+  virtual void FullScan(const Table& table, const KernelEnv& env) = 0;
 
   /// Folds the mutated rows (sorted, deduplicated ids — including appended,
   /// killed and revived rows) into the cached state and refreshes results.
@@ -43,7 +43,17 @@ class Detector {
   /// detectors sharing the cache.
   virtual void Update(const Table& table,
                       const std::vector<size_t>& mutated_rows,
-                      ThreadPool* pool) = 0;
+                      const KernelEnv& env) = 0;
+
+  /// Pool-only convenience shims (tests, standalone callers). Derived
+  /// classes re-expose them with `using Detector::FullScan/Update;`.
+  void FullScan(const Table& table, ThreadPool* pool) {
+    FullScan(table, KernelEnv{pool, nullptr, nullptr});
+  }
+  void Update(const Table& table, const std::vector<size_t>& mutated_rows,
+              ThreadPool* pool) {
+    Update(table, mutated_rows, KernelEnv{pool, nullptr, nullptr});
+  }
 };
 
 /// \brief Cross-iteration cache of per-row word-token sets.
@@ -61,9 +71,15 @@ class RowTokenCache {
   void Invalidate(const std::vector<size_t>& dirty_rows);
 
   /// Ensures a token set exists for every row in `rows`; missing ones are
-  /// computed (fanned over `pool` when provided, merged by index).
+  /// computed (routed through `env`, merged by index).
   void Ensure(const Table& table, const std::vector<size_t>& rows,
-              ThreadPool* pool);
+              const KernelEnv& env);
+
+  /// Pool-only convenience overload.
+  void Ensure(const Table& table, const std::vector<size_t>& rows,
+              ThreadPool* pool) {
+    Ensure(table, rows, KernelEnv{pool, nullptr, nullptr});
+  }
 
   /// Token set of a row previously passed to Ensure.
   const std::set<std::string>& tokens(size_t row) const {

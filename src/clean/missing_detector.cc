@@ -85,19 +85,19 @@ void MissingDetector::Configure(size_t column,
   tokens_ = tokens;
 }
 
-void MissingDetector::FullScan(const Table& table, ThreadPool* pool) {
+void MissingDetector::FullScan(const Table& table, const KernelEnv& env) {
   knn_.Clear();
-  Generate(table, pool);
+  Generate(table, env);
 }
 
 void MissingDetector::Update(const Table& table,
                              const std::vector<size_t>& mutated_rows,
-                             ThreadPool* pool) {
+                             const KernelEnv& env) {
   knn_.BeginEpoch(mutated_rows);
-  Generate(table, pool);
+  Generate(table, env);
 }
 
-void MissingDetector::Generate(const Table& table, ThreadPool* pool) {
+void MissingDetector::Generate(const Table& table, const KernelEnv& env) {
   std::vector<MQuestion> previous = std::move(questions_);
   questions_.clear();
 
@@ -125,14 +125,14 @@ void MissingDetector::Generate(const Table& table, ThreadPool* pool) {
 
     // Corpus = every live row (ascending ids), token sets from the shared
     // cache (only rows without a cached set are tokenized).
-    tokens_->Ensure(table, rows, pool);
+    tokens_->Ensure(table, rows, env);
     std::vector<const std::set<std::string>*> corpus_tokens;
     corpus_tokens.reserve(rows.size());
     for (size_t r : rows) corpus_tokens.push_back(&tokens_->tokens(r));
 
     // Ask for extra neighbors; some may miss the value themselves.
     std::vector<std::vector<Neighbor>> neighbor_lists = knn_.BatchQuery(
-        missing_rows, options_.k * 3, rows, corpus_tokens, pool);
+        missing_rows, options_.k * 3, rows, corpus_tokens, env);
 
     questions_.reserve(missing_rows.size());
     for (size_t qi = 0; qi < missing_rows.size(); ++qi) {

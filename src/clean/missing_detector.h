@@ -45,9 +45,11 @@ class MissingDetector : public Detector {
   void Configure(size_t column, const MissingDetectorOptions& options,
                  RowTokenCache* tokens);
 
-  void FullScan(const Table& table, ThreadPool* pool) override;
+  void FullScan(const Table& table, const KernelEnv& env) override;
   void Update(const Table& table, const std::vector<size_t>& mutated_rows,
-              ThreadPool* pool) override;
+              const KernelEnv& env) override;
+  using Detector::FullScan;
+  using Detector::Update;
 
   const std::vector<MQuestion>& questions() const { return questions_; }
   /// Questions that (dis)appeared in the last scan, in question order.
@@ -57,7 +59,7 @@ class MissingDetector : public Detector {
   const TokenKnnCache& knn() const { return knn_; }
 
  private:
-  void Generate(const Table& table, ThreadPool* pool);
+  void Generate(const Table& table, const KernelEnv& env);
 
   size_t column_ = 0;
   MissingDetectorOptions options_;

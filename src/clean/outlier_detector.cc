@@ -95,19 +95,19 @@ void OutlierDetector::Configure(size_t column,
   tokens_ = tokens;
 }
 
-void OutlierDetector::FullScan(const Table& table, ThreadPool* pool) {
+void OutlierDetector::FullScan(const Table& table, const KernelEnv& env) {
   knn_.Clear();
-  Generate(table, pool);
+  Generate(table, env);
 }
 
 void OutlierDetector::Update(const Table& table,
                              const std::vector<size_t>& mutated_rows,
-                             ThreadPool* pool) {
+                             const KernelEnv& env) {
   knn_.BeginEpoch(mutated_rows);
-  Generate(table, pool);
+  Generate(table, env);
 }
 
-void OutlierDetector::Generate(const Table& table, ThreadPool* pool) {
+void OutlierDetector::Generate(const Table& table, const KernelEnv& env) {
   std::vector<OQuestion> previous = std::move(questions_);
   questions_.clear();
 
@@ -150,7 +150,7 @@ void OutlierDetector::Generate(const Table& table, ThreadPool* pool) {
 
     if (!asked.empty()) {
       // Corpus = the non-null live rows (ascending ids), shared token cache.
-      tokens_->Ensure(table, rows, pool);
+      tokens_->Ensure(table, rows, env);
       std::vector<const std::set<std::string>*> corpus_tokens;
       corpus_tokens.reserve(rows.size());
       for (size_t r : rows) corpus_tokens.push_back(&tokens_->tokens(r));
@@ -159,7 +159,7 @@ void OutlierDetector::Generate(const Table& table, ThreadPool* pool) {
       query_rows.reserve(asked.size());
       for (size_t i : asked) query_rows.push_back(rows[i]);
       std::vector<std::vector<Neighbor>> neighbor_lists = knn_.BatchQuery(
-          query_rows, options_.impute_k, rows, corpus_tokens, pool);
+          query_rows, options_.impute_k, rows, corpus_tokens, env);
 
       for (size_t qi = 0; qi < asked.size(); ++qi) {
         size_t i = asked[qi];

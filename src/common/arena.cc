@@ -1,0 +1,92 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/status.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VISCLEAN_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define VISCLEAN_ARENA_ASAN 1
+#endif
+
+#ifdef VISCLEAN_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define VISCLEAN_ARENA_POISON(ptr, size) ASAN_POISON_MEMORY_REGION(ptr, size)
+#define VISCLEAN_ARENA_UNPOISON(ptr, size) \
+  ASAN_UNPOISON_MEMORY_REGION(ptr, size)
+#else
+#define VISCLEAN_ARENA_POISON(ptr, size) ((void)0)
+#define VISCLEAN_ARENA_UNPOISON(ptr, size) ((void)0)
+#endif
+
+namespace visclean {
+namespace {
+
+// Chunks double up to this, so pathological iterations don't hoard memory
+// forever while typical ones still reach a steady state of one chunk.
+constexpr size_t kMaxChunkBytes = size_t{8} << 20;
+
+}  // namespace
+
+Arena::Arena(size_t min_chunk_bytes)
+    : min_chunk_bytes_(std::max<size_t>(min_chunk_bytes, 64)) {}
+
+void Arena::AddChunk(size_t bytes) {
+  // Advance through the retained chunks looking for one with room; chunks
+  // too small for this request are skipped for the rest of the epoch
+  // (allocation is monotonic, never backtracking).
+  for (size_t next = chunks_.empty() ? 0 : chunk_ + 1; next < chunks_.size();
+       ++next) {
+    if (chunks_[next].size >= bytes) {
+      chunk_ = next;
+      offset_ = 0;
+      return;
+    }
+  }
+  // No retained chunk fits: grow (doubling, capped, never smaller than the
+  // request) and append.
+  size_t grow = chunks_.empty() ? min_chunk_bytes_
+                                : std::min(chunks_.back().size * 2,
+                                           kMaxChunkBytes);
+  size_t size = std::max(grow, bytes);
+  Chunk chunk;
+  chunk.data.reset(new unsigned char[size]);
+  chunk.size = size;
+  bytes_reserved_ += size;
+  VISCLEAN_ARENA_POISON(chunk.data.get(), size);
+  chunks_.push_back(std::move(chunk));
+  chunk_ = chunks_.size() - 1;
+  offset_ = 0;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  VC_CHECK(align != 0 && (align & (align - 1)) == 0,
+           "Arena alignment must be a power of two");
+  if (chunks_.empty()) AddChunk(std::max(bytes, size_t{1}));
+  size_t aligned = (offset_ + align - 1) & ~(align - 1);
+  if (aligned + bytes > chunks_[chunk_].size) {
+    AddChunk(std::max(bytes, size_t{1}));
+    aligned = 0;
+  }
+  unsigned char* ptr = chunks_[chunk_].data.get() + aligned;
+  offset_ = aligned + bytes;
+  bytes_used_ += bytes;
+  VISCLEAN_ARENA_UNPOISON(ptr, bytes);
+  return ptr;
+}
+
+void Arena::Reset() {
+  ++epoch_;
+  bytes_used_ = 0;
+  for (Chunk& chunk : chunks_) {
+    VISCLEAN_ARENA_POISON(chunk.data.get(), chunk.size);
+  }
+  chunk_ = 0;
+  offset_ = 0;
+}
+
+}  // namespace visclean

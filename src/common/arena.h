@@ -1,0 +1,84 @@
+// Monotonic per-iteration arena: chunked bump allocation with an epoch
+// reset, for the plan-phase scratch that used to be re-malloc'd every
+// iteration (ERG traversal marks, detector corpus pointer tables, EM
+// feature gather matrices).
+//
+// Lifecycle contract: Reset() runs once at the top of PlanIteration; every
+// span handed out afterwards is valid until the next Reset and no longer.
+// Nothing may retain an arena pointer across epochs — consumers re-acquire
+// their scratch each iteration (DESIGN.md, "Arena lifecycle"). Under ASan
+// the retired epoch's bytes are poisoned on Reset, so a stale pointer faults
+// instead of silently reading reused memory.
+#ifndef VISCLEAN_COMMON_ARENA_H_
+#define VISCLEAN_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace visclean {
+
+/// \brief Chunked monotonic allocator with epoch reuse.
+///
+/// Not thread-safe: one arena belongs to one session's plan phase, which is
+/// single-threaded at the allocation level (pooled kernels receive spans,
+/// they do not allocate).
+class Arena {
+ public:
+  /// `min_chunk_bytes` sizes the first chunk; later chunks double until
+  /// kMaxChunkBytes, and oversized requests get a dedicated chunk.
+  explicit Arena(size_t min_chunk_bytes = 1 << 16);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two),
+  /// valid until the next Reset. bytes == 0 returns a non-null pointer.
+  void* Allocate(size_t bytes, size_t align);
+
+  /// Typed span of `n` default-uninitialized Ts. T must be trivially
+  /// destructible — nothing is ever destroyed, the epoch just ends.
+  template <typename T>
+  T* AllocSpan(size_t n) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "arena spans are never destroyed");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Retires the current epoch: all outstanding spans become invalid, the
+  /// chunks are kept for reuse, and (under ASan) their bytes are poisoned
+  /// until re-allocated.
+  void Reset();
+
+  /// Monotonic epoch counter; bumps on every Reset. Scratch owners stamp
+  /// their cached pointers with this to detect staleness.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Bytes handed out in the current epoch (diagnostics / tests).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total chunk capacity held (diagnostics / tests).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  // Makes chunks_[chunk_] usable with >= bytes of headroom at offset 0.
+  void AddChunk(size_t bytes);
+
+  std::vector<Chunk> chunks_;
+  size_t chunk_ = 0;   // index of the chunk currently being bumped
+  size_t offset_ = 0;  // bump pointer within chunks_[chunk_]
+  size_t min_chunk_bytes_;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_COMMON_ARENA_H_

@@ -1,0 +1,86 @@
+// The seam between the per-session kernels and cross-session scheduling.
+//
+// The expensive per-iteration kernels — EM forest inference, pair-feature
+// extraction, kNN distance scans — are all "pure chunk" loops: a function
+// of a global index range whose writes are indexed, so any partition of
+// [0, total) produces bit-identical results. That property is what lets one
+// call site serve three execution strategies without changing semantics:
+//
+//   * standalone session, small batch  -> run serially inline;
+//   * standalone session, large batch  -> fan out over the session pool;
+//   * served session under a KernelScheduler -> hand the range to the
+//     scheduler, which may coalesce it with other sessions' pending work of
+//     the same kind into one shared pool dispatch (serve/kernel_batcher.h).
+//
+// Call sites declare which kernel family a loop belongs to via KernelKind
+// so the scheduler can group compatible work and account occupancy per
+// kernel.
+#ifndef VISCLEAN_COMMON_KERNEL_SCHEDULER_H_
+#define VISCLEAN_COMMON_KERNEL_SCHEDULER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace visclean {
+
+class Arena;
+
+/// \brief The batchable kernel families (one FIFO queue each in the
+/// cross-session batcher).
+enum class KernelKind {
+  kEmInference = 0,   // flat-forest PredictBatch over pair-feature rows
+  kPairFeatures = 1,  // PairFeatureCache miss extraction
+  kKnnQuery = 2,      // token-kNN scans (detector imputation)
+};
+
+inline constexpr size_t kNumKernelKinds = 3;
+
+/// \brief Pluggable executor for chunkable kernels.
+///
+/// Run(kind, total, fn) must invoke fn over disjoint ranges covering
+/// [0, total) exactly once, on any threads it likes, and return only after
+/// every range finished. fn must be pure per index with indexed writes
+/// (the bit-identity contract above); implementations may merge ranges
+/// from different sessions into one dispatch.
+class KernelScheduler {
+ public:
+  virtual ~KernelScheduler() = default;
+  virtual void Run(KernelKind kind, size_t total,
+                   const std::function<void(size_t begin, size_t end)>& fn) = 0;
+};
+
+/// \brief The execution environment a kernel call site sees: the session
+/// pool (may be null), the cross-session scheduler (null outside the
+/// serving layer), and the per-iteration arena (null when a caller has no
+/// iteration scope). Bundled so signatures stay stable as strategies grow.
+struct KernelEnv {
+  ThreadPool* pool = nullptr;
+  KernelScheduler* scheduler = nullptr;
+  Arena* arena = nullptr;
+};
+
+/// Executes fn over [0, total): via the scheduler when present, else the
+/// pool when `total >= min_parallel` (each site keeps its historical
+/// fan-out gate), else inline. Results are bit-identical across all three
+/// paths for fns meeting the purity contract.
+inline void RunKernel(KernelKind kind, const KernelEnv& env, size_t total,
+                      size_t min_parallel,
+                      const std::function<void(size_t, size_t)>& fn) {
+  if (total == 0) return;
+  if (env.scheduler != nullptr) {
+    env.scheduler->Run(kind, total, fn);
+    return;
+  }
+  if (env.pool != nullptr && total >= min_parallel) {
+    env.pool->ParallelChunks(
+        total, [&](size_t, size_t begin, size_t end) { fn(begin, end); });
+    return;
+  }
+  fn(0, total);
+}
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_COMMON_KERNEL_SCHEDULER_H_

@@ -22,7 +22,7 @@ std::string DetectionCache::Fingerprint(const DetectionRequest& request) {
 
 void DetectionCache::BeginIteration(const Table& table,
                                     const DetectionRequest& request,
-                                    ThreadPool* pool) {
+                                    const KernelEnv& env) {
   const std::string fingerprint = Fingerprint(request);
   blocking_.Configure(request.blocking);
   if (request.numeric_y) {
@@ -57,17 +57,17 @@ void DetectionCache::BeginIteration(const Table& table,
 
   if (full) {
     ++stats_.full_scans;
-    blocking_.FullScan(table, pool);
+    blocking_.FullScan(table, env);
     if (request.numeric_y) {
-      missing_.FullScan(table, pool);
-      outlier_.FullScan(table, pool);
+      missing_.FullScan(table, env);
+      outlier_.FullScan(table, env);
     }
   } else {
     ++stats_.delta_updates;
-    blocking_.Update(table, dirty, pool);
+    blocking_.Update(table, dirty, env);
     if (request.numeric_y) {
-      missing_.Update(table, dirty, pool);
-      outlier_.Update(table, dirty, pool);
+      missing_.Update(table, dirty, env);
+      outlier_.Update(table, dirty, env);
     }
   }
 

@@ -82,10 +82,17 @@ struct DetectionStats {
 class DetectionCache {
  public:
   /// Brings every detector up to date with `table`. Chooses full scan vs
-  /// delta update as described above; `pool` (optional) fans full scans and
-  /// cache-miss recomputation out with deterministic index-ordered merges.
+  /// delta update as described above; `env` routes full scans and cache-miss
+  /// recomputation through the pool / cross-session scheduler with
+  /// deterministic index-ordered merges.
   void BeginIteration(const Table& table, const DetectionRequest& request,
-                      ThreadPool* pool);
+                      const KernelEnv& env);
+
+  /// Pool-only convenience overload (tests, standalone callers).
+  void BeginIteration(const Table& table, const DetectionRequest& request,
+                      ThreadPool* pool) {
+    BeginIteration(table, request, KernelEnv{pool, nullptr, nullptr});
+  }
 
   /// Results of the last BeginIteration — bit-identical to the legacy free
   /// functions on the table state it saw.

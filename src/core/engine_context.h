@@ -17,6 +17,8 @@
 
 #include "clean/question.h"
 #include "clean/question_store.h"
+#include "common/arena.h"
+#include "common/kernel_scheduler.h"
 #include "core/benefit_model.h"
 #include "core/detection_cache.h"
 #include "core/erg_cache.h"
@@ -162,6 +164,17 @@ struct EngineContext {
   EmModel em;           ///< entity-matching model, fine-tuned per iteration
   std::unique_ptr<CqgSelector> selector;  ///< set by the driver's Initialize
   ThreadPool* pool = nullptr;  ///< session-owned; null = serial benefits
+  /// Cross-session kernel scheduler (serving layer's KernelBatcher); null
+  /// for standalone sessions. When set, the chunkable kernels (EM
+  /// inference, pair features, kNN) run through it instead of `pool`.
+  KernelScheduler* kernels = nullptr;
+  /// Per-iteration scratch arena: Reset() at every PlanIteration entry,
+  /// so spans live exactly one plan phase (see common/arena.h). Holds the
+  /// EM gather matrices, ERG traversal marks, and detector corpus tables.
+  Arena arena;
+
+  /// The kernel execution environment stages hand to the batchable loops.
+  KernelEnv kernel_env() { return KernelEnv{pool, kernels, &arena}; }
   /// Cross-iteration cache behind incremental benefit estimation: baseline
   /// Q(D) + tuple->group provenance, refreshed per iteration from the
   /// table's mutation journal (used only when benefit_mode == kAuto).

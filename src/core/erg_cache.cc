@@ -118,6 +118,9 @@ struct AssemblyEnv {
   std::map<std::pair<std::string, std::string>, double>* memo = nullptr;
   ErgStats* stats = nullptr;
   PairFeatureCache* features = nullptr;
+  /// Kernel routing for the batched EM inference behind promoted-A edge
+  /// probabilities; default (all-null) runs the serial reference path.
+  KernelEnv kernel;
 };
 
 double JaccardOf(const AssemblyEnv& env, const std::string& a,
@@ -186,13 +189,16 @@ namespace {
 // T-sourced edges take the pooled probability; promoted-A edges recompute
 // the EM match probability every iteration (the model retrains per
 // iteration, so the prediction can't be cached — but feature extraction
-// can: env.features, when set, memoizes the pair's feature vector).
+// can: env.features, when set, memoizes the pair's feature vector). The
+// callers batch the promoted-A probabilities through one MatchProbabilities
+// call (bit-identical to per-pair MatchProbability) and pass the result in
+// as `em_probability`; it is ignored for tuple-sourced edges.
 void FillEdgePayload(const AssemblyEnv& env, size_t ru, size_t rv,
-                     bool tuple_sourced, ErgEdge* edge) {
+                     bool tuple_sourced, double em_probability, ErgEdge* edge) {
   if (tuple_sourced) {
     edge->p_tuple = env.store->t_pool().at({ru, rv}).question.probability;
   } else {
-    edge->p_tuple = env.em->MatchProbability(*env.table, ru, rv, env.features);
+    edge->p_tuple = em_probability;
   }
   edge->has_attr = false;
   edge->p_attr = 0.0;
@@ -286,13 +292,31 @@ void BuildSlots(const AssemblyEnv& env, Erg* erg,
 void RefreshAllPayloads(
     const AssemblyEnv& env, Erg* erg,
     const std::function<bool(std::pair<size_t, size_t>)>& is_tuple_sourced) {
+  // One pass collects the live edges; the promoted-A subset goes through a
+  // single batched MatchProbabilities call (flat-forest kernel, routed via
+  // env.kernel) before the fill pass.
+  std::vector<size_t> live_edges;
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<char> tuple;
+  std::vector<std::pair<size_t, size_t>> em_pairs;
   for (size_t e = 0; e < erg->num_edges(); ++e) {
     if (!erg->edge_live(e)) continue;
-    ErgEdge& edge = erg->edge(e);
+    const ErgEdge& edge = erg->edge(e);
     std::pair<size_t, size_t> pair =
         std::minmax(erg->vertex(edge.u).row, erg->vertex(edge.v).row);
-    FillEdgePayload(env, pair.first, pair.second, is_tuple_sourced(pair),
-                    &edge);
+    bool is_tuple = is_tuple_sourced(pair);
+    live_edges.push_back(e);
+    pairs.push_back(pair);
+    tuple.push_back(is_tuple ? 1 : 0);
+    if (!is_tuple) em_pairs.push_back(pair);
+  }
+  std::vector<double> em_probs = env.em->MatchProbabilities(
+      *env.table, em_pairs, env.features, env.kernel);
+  size_t next_em = 0;
+  for (size_t i = 0; i < live_edges.size(); ++i) {
+    double p = tuple[i] != 0 ? 0.0 : em_probs[next_em++];
+    FillEdgePayload(env, pairs[i].first, pairs[i].second, tuple[i] != 0, p,
+                    &erg->edge(live_edges[i]));
     if (env.stats != nullptr) ++env.stats->payload_refreshes;
   }
 }
@@ -425,8 +449,9 @@ const IncrementalSimJoin& ErgCache::SyncSimJoin(
   return sim_join_;
 }
 
-const ErgSelectSupport* ErgCache::RefreshSelectSupport(const Erg& published) {
-  select_support_.Refresh(published);
+const ErgSelectSupport* ErgCache::RefreshSelectSupport(const Erg& published,
+                                                       Arena* arena) {
+  select_support_.Refresh(published, arena);
   ++stats_.support_refreshes;
   return &select_support_;
 }
@@ -467,7 +492,8 @@ void ErgCache::SweepIsolatedVertices() {
 
 void ErgCache::FullGraphBuild(const Table& table, const QuestionStore& store,
                               const EmModel& em, const ErgRequest& request,
-                              PairFeatureCache* features) {
+                              PairFeatureCache* features,
+                              const KernelEnv& kenv) {
   work_ = Erg();
   edge_source_.clear();
   promoted_.clear();
@@ -481,6 +507,7 @@ void ErgCache::FullGraphBuild(const Table& table, const QuestionStore& store,
   env.memo = &jaccard_memo_;
   env.stats = &stats_;
   env.features = features;
+  env.kernel = kenv;
 
   std::map<std::pair<size_t, size_t>, bool> tuple_sourced;
   BuildSlots(env, &work_, &tuple_sourced, &promoted_);
@@ -503,7 +530,7 @@ void ErgCache::FullGraphBuild(const Table& table, const QuestionStore& store,
 
 void ErgCache::DeltaUpdate(const Table& table, const QuestionStore& store,
                            const EmModel& em, const ErgRequest& request,
-                           PairFeatureCache* features) {
+                           PairFeatureCache* features, const KernelEnv& kenv) {
   AssemblyEnv env;
   env.table = &table;
   env.store = &store;
@@ -513,6 +540,7 @@ void ErgCache::DeltaUpdate(const Table& table, const QuestionStore& store,
   env.memo = &jaccard_memo_;
   env.stats = &stats_;
   env.features = features;
+  env.kernel = kenv;
 
   const QuestionDelta& delta = store.last_delta();
 
@@ -627,15 +655,31 @@ void ErgCache::DeltaUpdate(const Table& table, const QuestionStore& store,
       if (churned_akeys.count(akey) > 0) refresh.insert(pair);
     }
   }
+  // Resolve the refresh set to live edges, batch the promoted-A EM
+  // probabilities (one MatchProbabilities call over all of them), then fill.
+  std::vector<size_t> refresh_edges;
+  std::vector<RowPair> refresh_pairs;
+  std::vector<char> refresh_tuple;
+  std::vector<RowPair> em_pairs;
   for (const RowPair& pair : refresh) {
     size_t u = work_.VertexOfRow(pair.first);
     size_t v = work_.VertexOfRow(pair.second);
     if (u == Erg::kNoVertex || v == Erg::kNoVertex) continue;
     size_t e = work_.EdgeBetween(u, v);
     if (e == Erg::kNoEdge) continue;
-    FillEdgePayload(env, pair.first, pair.second,
-                    edge_source_.at(pair).source == EdgeSource::kTuple,
-                    &work_.edge(e));
+    bool is_tuple = edge_source_.at(pair).source == EdgeSource::kTuple;
+    refresh_edges.push_back(e);
+    refresh_pairs.push_back(pair);
+    refresh_tuple.push_back(is_tuple ? 1 : 0);
+    if (!is_tuple) em_pairs.push_back(pair);
+  }
+  std::vector<double> em_probs =
+      em.MatchProbabilities(table, em_pairs, features, kenv);
+  size_t next_em = 0;
+  for (size_t i = 0; i < refresh_edges.size(); ++i) {
+    double p = refresh_tuple[i] != 0 ? 0.0 : em_probs[next_em++];
+    FillEdgePayload(env, refresh_pairs[i].first, refresh_pairs[i].second,
+                    refresh_tuple[i] != 0, p, &work_.edge(refresh_edges[i]));
     ++stats_.payload_refreshes;
   }
   pending_payload_rows_.clear();
@@ -648,13 +692,13 @@ void ErgCache::DeltaUpdate(const Table& table, const QuestionStore& store,
 
 void ErgCache::BeginIteration(const Table& table, const QuestionStore& store,
                               const EmModel& em, const ErgRequest& request,
-                              PairFeatureCache* features, ThreadPool* pool,
+                              PairFeatureCache* features, const KernelEnv& env,
                               Erg* out) {
-  SyncValueIndex(table, request, pool);  // also runs EnsureConfig
+  SyncValueIndex(table, request, env.pool);  // also runs EnsureConfig
   if (!primed_ || rebuild_graph_) {
-    FullGraphBuild(table, store, em, request, features);
+    FullGraphBuild(table, store, em, request, features, env);
   } else {
-    DeltaUpdate(table, store, em, request, features);
+    DeltaUpdate(table, store, em, request, features, env);
   }
   if (work_.edge_tombstone_fraction() > request.compact_tombstone_fraction) {
     work_ = work_.Compacted();

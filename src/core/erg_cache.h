@@ -30,14 +30,15 @@
 #include <vector>
 
 #include "clean/question_store.h"
+#include "common/kernel_scheduler.h"
 #include "graph/erg.h"
 #include "graph/select_support.h"
 #include "text/sim_join.h"
 
 namespace visclean {
 
+class Arena;
 class Table;
-class ThreadPool;
 class EmModel;
 class PairFeatureCache;
 
@@ -160,18 +161,31 @@ class ErgCache {
   /// Refreshes the maintained selection support against the published
   /// snapshot of this iteration (call after benefit annotation, before
   /// Select). The support handed to selectors via ErgView must have been
-  /// refreshed on the exact graph they are selecting over.
-  const ErgSelectSupport* RefreshSelectSupport(const Erg& published);
+  /// refreshed on the exact graph they are selecting over. With `arena`
+  /// set, the support's traversal marks live on it for this iteration.
+  const ErgSelectSupport* RefreshSelectSupport(const Erg& published,
+                                               Arena* arena = nullptr);
 
   /// Brings the working graph to the current pools and publishes the
   /// canonical snapshot into `*out`. `store.last_delta()` must describe
   /// the Ingest that produced the current pools. `features` (optional)
   /// memoizes pair-feature extraction for promoted-A edge probabilities —
   /// pass the DetectionCache's journal-invalidated cache when detection
-  /// runs in kAuto mode; the payloads are bit-identical either way.
+  /// runs in kAuto mode; the payloads are bit-identical either way. `env`
+  /// routes the batched EM inference behind the promoted-A payloads (and
+  /// the pooled index rebuilds) through the pool / cross-session scheduler.
   void BeginIteration(const Table& table, const QuestionStore& store,
                       const EmModel& em, const ErgRequest& request,
-                      PairFeatureCache* features, ThreadPool* pool, Erg* out);
+                      PairFeatureCache* features, const KernelEnv& env,
+                      Erg* out);
+
+  /// Pool-only convenience overload (tests, standalone callers).
+  void BeginIteration(const Table& table, const QuestionStore& store,
+                      const EmModel& em, const ErgRequest& request,
+                      PairFeatureCache* features, ThreadPool* pool, Erg* out) {
+    BeginIteration(table, store, em, request, features,
+                   KernelEnv{pool, nullptr, nullptr}, out);
+  }
 
   /// Stateless reference assembly (ErgMode::kFull): fresh serial index,
   /// from-scratch build, canonical snapshot into `*out`.
@@ -212,10 +226,10 @@ class ErgCache {
   void EnsureConfig(const ErgRequest& request);
   void FullGraphBuild(const Table& table, const QuestionStore& store,
                       const EmModel& em, const ErgRequest& request,
-                      PairFeatureCache* features);
+                      PairFeatureCache* features, const KernelEnv& env);
   void DeltaUpdate(const Table& table, const QuestionStore& store,
                    const EmModel& em, const ErgRequest& request,
-                   PairFeatureCache* features);
+                   PairFeatureCache* features, const KernelEnv& env);
   size_t EnsureVertex(size_t row);
   void AddEdgeForPair(const RowPair& pair, SourceInfo info);
   void RetractEdgeForPair(const RowPair& pair);

@@ -237,9 +237,10 @@ Status DetectStage::Run(EngineContext& ctx) {
   request.dirty_fallback_threshold = ctx.options.detection_dirty_threshold;
 
   if (ctx.options.detection_mode == DetectionMode::kAuto) {
-    // Journal-driven path: full scans fan out over the session pool; later
-    // iterations fold in only the rows mutated since the last scan.
-    ctx.detection.BeginIteration(ctx.table, request, ctx.pool);
+    // Journal-driven path: full scans fan out over the session pool (or the
+    // cross-session batcher); later iterations fold in only the rows mutated
+    // since the last scan.
+    ctx.detection.BeginIteration(ctx.table, request, ctx.kernel_env());
     ctx.candidates = ctx.detection.candidates();
     if (request.numeric_y) {
       ctx.questions.m_questions = ctx.detection.m_questions();
@@ -279,12 +280,13 @@ Status TrainStage::Run(EngineContext& ctx) {
   PairFeatureCache* features = ctx.options.detection_mode == DetectionMode::kAuto
                                    ? ctx.detection.features()
                                    : nullptr;
-  ThreadPool* pool =
-      ctx.options.detection_mode == DetectionMode::kAuto ? ctx.pool : nullptr;
+  const KernelEnv env = ctx.options.detection_mode == DetectionMode::kAuto
+                            ? ctx.kernel_env()
+                            : KernelEnv{};
   ctx.em.Retrain(ctx.table, training_candidates,
-                 ctx.options.seed + ctx.retrain_counter, features, pool);
+                 ctx.options.seed + ctx.retrain_counter, features, env);
   ++ctx.retrain_counter;
-  ctx.scored = ctx.em.ScoreAll(ctx.table, ctx.candidates, features, pool);
+  ctx.scored = ctx.em.ScoreAll(ctx.table, ctx.candidates, features, env);
   return Status::Ok();
 }
 
@@ -387,7 +389,8 @@ Status AssembleStage::Run(EngineContext& ctx) {
             ? ctx.detection.features()
             : nullptr;
     ctx.erg_cache.BeginIteration(ctx.table, ctx.question_store, ctx.em,
-                                 request, features, ctx.pool, &ctx.erg);
+                                 request, features, ctx.kernel_env(),
+                                 &ctx.erg);
   } else {
     ErgCache::AssembleFull(ctx.table, ctx.question_store, ctx.em, request,
                            &ctx.erg);
@@ -432,9 +435,11 @@ Status SelectStage::Run(EngineContext& ctx) {
   // snapshot and hand it to the selector through the view, so its (and the
   // fallback loop's) calls do O(k) induction instead of per-call rebuilds.
   // kFull: support-less view — the selectors' original inline path.
-  ErgView view = ctx.options.erg_mode == ErgMode::kAuto
-                     ? ErgView(ctx.erg, ctx.erg_cache.RefreshSelectSupport(ctx.erg))
-                     : ErgView(ctx.erg);
+  ErgView view =
+      ctx.options.erg_mode == ErgMode::kAuto
+          ? ErgView(ctx.erg,
+                    ctx.erg_cache.RefreshSelectSupport(ctx.erg, &ctx.arena))
+          : ErgView(ctx.erg);
   ctx.cqg = ctx.selector->Select(view, ctx.options.k);
   if (ctx.cqg.empty()) {
     // No edges remain (duplicates resolved) but isolated vertices may still

@@ -81,6 +81,11 @@ void VisCleanSession::SetExternalPool(ThreadPool* pool) {
   external_pool_ = pool;
 }
 
+void VisCleanSession::SetExternalScheduler(KernelScheduler* scheduler) {
+  VC_CHECK(!initialized_, "SetExternalScheduler must precede Initialize()");
+  external_scheduler_ = scheduler;
+}
+
 Status VisCleanSession::Initialize() {
   if (initialized_) return Status::Ok();
   Result<std::unique_ptr<CqgSelector>> selector =
@@ -93,6 +98,7 @@ Status VisCleanSession::Initialize() {
     pool_ = std::make_unique<ThreadPool>(ctx_.options.threads);
     ctx_.pool = pool_.get();
   }
+  ctx_.kernels = external_scheduler_;
   // Validate the query against the table once up front.
   Result<VisData> vis = ExecuteVql(ctx_.query, ctx_.table);
   if (!vis.ok()) return vis.status();
@@ -113,8 +119,13 @@ Result<PendingInteraction> VisCleanSession::PlanIteration() {
   // taken while the question is out can replay this exact plan on restore.
   plan_retrain_counter_ = ctx_.retrain_counter;
   plan_selector_state_ = ctx_.selector->SaveState();
-  plan_forest_trees_ = ctx_.em.forest().trees();
+  plan_forest_trees_ = ctx_.em.forest().ExportTrees();
   counter_base_ = CountersOf(ctx_);
+
+  // New iteration epoch: every arena span handed out during the previous
+  // plan is now invalid (and poisoned under ASan). All arena use is
+  // confined to the plan phase, so resetting here is the whole lifecycle.
+  ctx_.arena.Reset();
 
   ctx_.trace = IterationTrace();
   ctx_.trace.iteration = ++iteration_;
@@ -238,7 +249,7 @@ Result<SessionSnapshotState> VisCleanSession::CaptureState() const {
     state.completed_iterations = iteration_;
     state.retrain_counter = ctx_.retrain_counter;
     state.selector_state = ctx_.selector->SaveState();
-    state.forest_trees = ctx_.em.forest().trees();
+    state.forest_trees = ctx_.em.forest().ExportTrees();
   }
 
   // Clone() hands back the rows with a compacted journal at the current

@@ -28,6 +28,7 @@
 
 namespace visclean {
 
+class KernelScheduler;
 class ThreadPool;
 
 /// \brief What PlanIteration hands back while the user is deciding: a
@@ -114,6 +115,12 @@ class VisCleanSession {
   /// options.threads session-owned pool. The pool must outlive the session.
   void SetExternalPool(ThreadPool* pool);
 
+  /// Lends a cross-session kernel scheduler (the serving layer's
+  /// KernelBatcher) to this session. Must be called before Initialize();
+  /// the scheduler must outlive the session. Batchable kernels then route
+  /// through it instead of the pool — results stay bit-identical.
+  void SetExternalScheduler(KernelScheduler* scheduler);
+
   /// The session's durable state (see SessionSnapshotState), capturable
   /// while idle or while a question is pending. Requires Initialize().
   Result<SessionSnapshotState> CaptureState() const;
@@ -133,6 +140,7 @@ class VisCleanSession {
   std::vector<std::unique_ptr<PipelineStage>> stages_;
   std::unique_ptr<ThreadPool> pool_;   ///< lives behind ctx_.pool
   ThreadPool* external_pool_ = nullptr;
+  KernelScheduler* external_scheduler_ = nullptr;
 
   size_t iteration_ = 0;
   bool initialized_ = false;

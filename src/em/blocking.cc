@@ -171,7 +171,7 @@ void BlockingDetector::RebuildEmitted() {
   touched_.clear();
 }
 
-void BlockingDetector::FullScan(const Table& table, ThreadPool* pool) {
+void BlockingDetector::FullScan(const Table& table, const KernelEnv& env) {
   // Old pairs become retractions unless the rescan re-derives them.
   touched_.clear();
   for (const auto& [pair, refs] : pair_refs_) touched_.emplace(pair, true);
@@ -190,16 +190,16 @@ void BlockingDetector::FullScan(const Table& table, ThreadPool* pool) {
 
   std::vector<size_t> rows = table.LiveRowIds();
   std::vector<std::vector<std::string>> keys(rows.size());
-  auto compute = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) keys[i] = RowKeys(table, rows[i]);
-  };
-  if (pool != nullptr && rows.size() >= 2 * pool->num_threads()) {
-    pool->ParallelChunks(rows.size(), [&](size_t, size_t begin, size_t end) {
-      compute(begin, end);
-    });
-  } else {
-    compute(0, rows.size());
-  }
+  // Key tokenization is a pure chunk kernel with indexed writes; it rides
+  // the pair-feature queue (same EM-side consumers) when batched.
+  const size_t min_parallel =
+      env.pool != nullptr ? 2 * env.pool->num_threads() : 2;
+  RunKernel(KernelKind::kPairFeatures, env, rows.size(), min_parallel,
+            [&](size_t begin, size_t end) {
+              for (size_t i = begin; i < end; ++i) {
+                keys[i] = RowKeys(table, rows[i]);
+              }
+            });
 
   for (size_t i = 0; i < rows.size(); ++i) {
     for (const std::string& key : keys[i]) InsertRowIntoBlock(key, rows[i]);
@@ -210,8 +210,8 @@ void BlockingDetector::FullScan(const Table& table, ThreadPool* pool) {
 
 void BlockingDetector::Update(const Table& table,
                               const std::vector<size_t>& mutated_rows,
-                              ThreadPool* pool) {
-  (void)pool;  // dirty sets are small by construction; serial is fastest
+                              const KernelEnv& env) {
+  (void)env;  // dirty sets are small by construction; serial is fastest
   touched_.clear();
   for (size_t r : mutated_rows) {
     auto it = row_keys_.find(r);

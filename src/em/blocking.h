@@ -53,9 +53,11 @@ class BlockingDetector : public Detector {
   /// state; the caller must FullScan before the next pairs() read.
   void Configure(const BlockingOptions& options);
 
-  void FullScan(const Table& table, ThreadPool* pool) override;
+  void FullScan(const Table& table, const KernelEnv& env) override;
   void Update(const Table& table, const std::vector<size_t>& mutated_rows,
-              ThreadPool* pool) override;
+              const KernelEnv& env) override;
+  using Detector::FullScan;
+  using Detector::Update;
 
   /// Current candidate pairs, sorted, deduplicated, max_pairs-capped —
   /// bit-identical to TokenBlocking(table, options).

@@ -1,7 +1,9 @@
 #include "em/em_model.h"
 
+#include <algorithm>
 #include <numeric>
 
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "em/pair_features.h"
 
@@ -31,12 +33,12 @@ void EmModel::AddLabel(size_t a, size_t b, bool is_match) {
 void EmModel::Retrain(const Table& table,
                       const std::vector<std::pair<size_t, size_t>>& candidates,
                       uint64_t seed, PairFeatureCache* features,
-                      ThreadPool* pool) {
+                      const KernelEnv& env) {
   std::vector<Example> training;
   // Weak seeds from unlabeled candidates. With a feature cache, extraction
-  // of the whole list goes through Batch (hits are free, misses fan out
-  // over the pool); the seed selection below consumes the same vectors in
-  // the same order either way.
+  // of the whole list goes through Batch (hits are free, misses route
+  // through the kernel seam); the seed selection below consumes the same
+  // vectors in the same order either way.
   if (features != nullptr) {
     std::vector<std::pair<size_t, size_t>> unlabeled;
     unlabeled.reserve(candidates.size());
@@ -44,7 +46,7 @@ void EmModel::Retrain(const Table& table,
       if (!labels_.count(Key(a, b))) unlabeled.emplace_back(a, b);
     }
     std::vector<const std::vector<double>*> vectors =
-        features->Batch(table, unlabeled, pool);
+        features->Batch(table, unlabeled, env);
     for (size_t i = 0; i < unlabeled.size(); ++i) {
       double mean = MeanFeature(*vectors[i]);
       if (mean >= kPositiveSeedThreshold) {
@@ -71,7 +73,7 @@ void EmModel::Retrain(const Table& table,
   for (const auto& [key, is_match] : labels_) {
     Example example{
         features != nullptr
-            ? *features->Batch(table, {key}, pool).front()
+            ? *features->Batch(table, {key}, env).front()
             : PairFeatures(table, key.first, key.second),
         is_match ? 1 : 0};
     for (size_t i = 0; i < kLabelWeight; ++i) training.push_back(example);
@@ -97,11 +99,78 @@ double EmModel::MatchProbability(const Table& table, size_t a, size_t b,
       *features->Batch(table, {{a, b}}, /*pool=*/nullptr).front());
 }
 
+std::vector<double> EmModel::MatchProbabilities(
+    const Table& table, const std::vector<std::pair<size_t, size_t>>& pairs,
+    PairFeatureCache* features, const KernelEnv& env) const {
+  std::vector<double> out(pairs.size(), 0.0);
+  if (pairs.empty()) return out;
+  if (features == nullptr) {
+    // No memo to batch through: the serial reference walk.
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = MatchProbability(table, pairs[i].first, pairs[i].second);
+    }
+    return out;
+  }
+
+  std::vector<size_t> unlabeled_idx;
+  std::vector<std::pair<size_t, size_t>> unlabeled;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [a, b] = pairs[i];
+    auto it = labels_.find(Key(a, b));
+    if (it != labels_.end()) {
+      out[i] = it->second ? 1.0 : 0.0;
+    } else {
+      unlabeled_idx.push_back(i);
+      unlabeled.emplace_back(a, b);
+    }
+  }
+  if (unlabeled.empty()) return out;
+  std::vector<const std::vector<double>*> vectors =
+      features->Batch(table, unlabeled, env);
+
+  // Gather the cached vectors into one contiguous row-major matrix so the
+  // flat forest can walk rows in blocks. The matrix and the probability
+  // scratch are iteration-scoped — arena-backed when the caller runs
+  // inside a plan iteration, plain heap otherwise.
+  const size_t arity = PairFeatureArity(table.schema());
+  const size_t rows = unlabeled.size();
+  std::vector<double> heap_matrix;
+  std::vector<double> heap_probs;
+  double* matrix;
+  double* probs;
+  if (env.arena != nullptr) {
+    matrix = env.arena->AllocSpan<double>(rows * arity);
+    probs = env.arena->AllocSpan<double>(rows);
+  } else {
+    heap_matrix.resize(rows * arity);
+    heap_probs.resize(rows);
+    matrix = heap_matrix.data();
+    probs = heap_probs.data();
+  }
+  for (size_t j = 0; j < rows; ++j) {
+    std::copy(vectors[j]->begin(), vectors[j]->end(), matrix + j * arity);
+  }
+
+  // Historical fan-out gate: below 2 chunks per worker the dispatch
+  // overhead beats the parallelism (and without a pool the gate is moot).
+  const size_t min_parallel =
+      env.pool != nullptr ? 2 * env.pool->num_threads() : 2;
+  RunKernel(KernelKind::kEmInference, env, rows, min_parallel,
+            [&](size_t begin, size_t end) {
+              forest_.PredictBatch(matrix + begin * arity, end - begin, arity,
+                                   probs + begin);
+            });
+  for (size_t j = 0; j < rows; ++j) out[unlabeled_idx[j]] = probs[j];
+  return out;
+}
+
 std::vector<ScoredPair> EmModel::ScoreAll(
     const Table& table,
     const std::vector<std::pair<size_t, size_t>>& candidates,
-    PairFeatureCache* features, ThreadPool* pool) const {
+    PairFeatureCache* features, const KernelEnv& env) const {
   if (features == nullptr) {
+    // Serial reference path: per-pair extraction + pointer walk. The
+    // differential suites pit the batched path below against this.
     std::vector<ScoredPair> out;
     out.reserve(candidates.size());
     for (const auto& [a, b] : candidates) {
@@ -110,38 +179,15 @@ std::vector<ScoredPair> EmModel::ScoreAll(
     return out;
   }
 
-  // Cached path: features for the unlabeled pairs come from the memo, then
-  // the forest predictions fan out over the pool with indexed writes —
-  // prediction is a pure const tree walk, so the scores are bit-identical
-  // to the serial path above.
+  // Cached path: one MatchProbabilities batch — memoized features, one
+  // contiguous gather, one flat-forest batch walk through the kernel seam.
+  // Prediction is a pure const walk with indexed writes, so the scores are
+  // bit-identical to the serial path above.
+  std::vector<double> probabilities =
+      MatchProbabilities(table, candidates, features, env);
   std::vector<ScoredPair> out(candidates.size());
-  std::vector<size_t> unlabeled_idx;
-  std::vector<std::pair<size_t, size_t>> unlabeled;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    const auto& [a, b] = candidates[i];
-    auto it = labels_.find(Key(a, b));
-    if (it != labels_.end()) {
-      out[i] = {a, b, it->second ? 1.0 : 0.0};
-    } else {
-      unlabeled_idx.push_back(i);
-      unlabeled.emplace_back(a, b);
-    }
-  }
-  std::vector<const std::vector<double>*> vectors =
-      features->Batch(table, unlabeled, pool);
-  auto predict = [&](size_t begin, size_t end) {
-    for (size_t j = begin; j < end; ++j) {
-      const auto& [a, b] = unlabeled[j];
-      out[unlabeled_idx[j]] = {a, b, forest_.PredictProbability(*vectors[j])};
-    }
-  };
-  if (pool != nullptr && unlabeled.size() >= 2 * pool->num_threads()) {
-    pool->ParallelChunks(unlabeled.size(),
-                         [&](size_t, size_t begin, size_t end) {
-                           predict(begin, end);
-                         });
-  } else {
-    predict(0, unlabeled.size());
+    out[i] = {candidates[i].first, candidates[i].second, probabilities[i]};
   }
   return out;
 }

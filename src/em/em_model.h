@@ -7,13 +7,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/kernel_scheduler.h"
 #include "data/table.h"
 #include "em/pair_features.h"
 #include "ml/random_forest.h"
 
 namespace visclean {
-
-class ThreadPool;
 
 /// \brief A candidate tuple pair with the model's matching probability
 /// (the edge weight p^t of the ERG).
@@ -47,14 +46,22 @@ class EmModel {
   ///
   /// `features` (optional) memoizes the per-pair feature extraction across
   /// iterations — the forest itself cannot be cached (its seed advances
-  /// every retrain), but the feature vectors are pure in the rows. `pool`
-  /// (optional, requires `features`) fans extraction of cache misses out
-  /// with index-ordered merges. Both leave the fitted forest bit-identical
-  /// to the plain call.
+  /// every retrain), but the feature vectors are pure in the rows. `env`
+  /// routes extraction of cache misses (requires `features`) through the
+  /// kernel seam with index-ordered merges. Both leave the fitted forest
+  /// bit-identical to the plain call.
+  void Retrain(const Table& table,
+               const std::vector<std::pair<size_t, size_t>>& candidates,
+               uint64_t seed, PairFeatureCache* features, const KernelEnv& env);
+
+  /// Pool-only convenience overload (tests, standalone callers).
   void Retrain(const Table& table,
                const std::vector<std::pair<size_t, size_t>>& candidates,
                uint64_t seed, PairFeatureCache* features = nullptr,
-               ThreadPool* pool = nullptr);
+               ThreadPool* pool = nullptr) {
+    Retrain(table, candidates, seed, features,
+            KernelEnv{pool, nullptr, nullptr});
+  }
 
   /// Matching probability for a pair. User-labeled pairs return 0/1
   /// directly (labels are ground truth to the system). `features`
@@ -63,12 +70,34 @@ class EmModel {
   double MatchProbability(const Table& table, size_t a, size_t b,
                           PairFeatureCache* features = nullptr) const;
 
-  /// Scores every candidate pair. `features`/`pool` as in Retrain; scores
-  /// are bit-identical with or without them.
+  /// Matching probabilities for a span of pairs, in order: the batch
+  /// counterpart of MatchProbability. Labeled pairs return 0/1; unlabeled
+  /// ones go through one cached feature extraction, one contiguous
+  /// row-major gather (arena-backed when `env.arena` is set), and one
+  /// flat-forest PredictBatch routed through the kernel seam
+  /// (KernelKind::kEmInference). Bit-identical to calling MatchProbability
+  /// per pair.
+  std::vector<double> MatchProbabilities(
+      const Table& table, const std::vector<std::pair<size_t, size_t>>& pairs,
+      PairFeatureCache* features, const KernelEnv& env) const;
+
+  /// Scores every candidate pair. `features`/`env` as in Retrain; scores
+  /// are bit-identical with or without them. The cached path is one
+  /// MatchProbabilities batch; the uncached path is the serial per-pair
+  /// walk and doubles as the differential reference.
   std::vector<ScoredPair> ScoreAll(
       const Table& table,
       const std::vector<std::pair<size_t, size_t>>& candidates,
-      PairFeatureCache* features = nullptr, ThreadPool* pool = nullptr) const;
+      PairFeatureCache* features, const KernelEnv& env) const;
+
+  /// Pool-only convenience overload (tests, standalone callers).
+  std::vector<ScoredPair> ScoreAll(
+      const Table& table,
+      const std::vector<std::pair<size_t, size_t>>& candidates,
+      PairFeatureCache* features = nullptr, ThreadPool* pool = nullptr) const {
+    return ScoreAll(table, candidates, features,
+                    KernelEnv{pool, nullptr, nullptr});
+  }
 
   /// The user label for (a, b): 1 match, 0 non-match, -1 unlabeled.
   /// Header-inline: the generate stage calls this for every scored pair

@@ -87,7 +87,7 @@ void PairFeatureCache::Invalidate(const std::vector<size_t>& dirty_rows) {
 
 std::vector<const std::vector<double>*> PairFeatureCache::Batch(
     const Table& table, const std::vector<std::pair<size_t, size_t>>& pairs,
-    ThreadPool* pool) {
+    const KernelEnv& env) {
   std::vector<const std::vector<double>*> out(pairs.size(), nullptr);
   std::vector<size_t> miss_idx;
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -102,21 +102,17 @@ std::vector<const std::vector<double>*> PairFeatureCache::Batch(
   if (miss_idx.empty()) return out;
   misses_ += miss_idx.size();
 
+  // Miss extraction is a pure chunk kernel (indexed writes into `computed`),
+  // so any partition — pool chunks or a cross-session batch — merges to the
+  // same bytes.
   std::vector<std::vector<double>> computed(miss_idx.size());
-  auto compute = [&](size_t begin, size_t end) {
-    for (size_t j = begin; j < end; ++j) {
-      const auto& [a, b] = pairs[miss_idx[j]];
-      computed[j] = PairFeatures(table, a, b);
-    }
-  };
-  if (pool != nullptr && miss_idx.size() >= 2) {
-    pool->ParallelChunks(miss_idx.size(), [&](size_t, size_t begin,
-                                              size_t end) {
-      compute(begin, end);
-    });
-  } else {
-    compute(0, miss_idx.size());
-  }
+  RunKernel(KernelKind::kPairFeatures, env, miss_idx.size(),
+            /*min_parallel=*/2, [&](size_t begin, size_t end) {
+              for (size_t j = begin; j < end; ++j) {
+                const auto& [a, b] = pairs[miss_idx[j]];
+                computed[j] = PairFeatures(table, a, b);
+              }
+            });
   for (size_t j = 0; j < miss_idx.size(); ++j) {
     const auto& [a, b] = pairs[miss_idx[j]];
     auto it = cache_.emplace(KeyOf(a, b), std::move(computed[j])).first;

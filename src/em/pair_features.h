@@ -9,11 +9,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/kernel_scheduler.h"
 #include "data/table.h"
 
 namespace visclean {
-
-class ThreadPool;
 
 /// \brief Computes the feature vector for tuple pair (a, b) of `table`.
 ///
@@ -50,10 +49,19 @@ class PairFeatureCache {
 
   /// Feature vectors for `pairs`, in order. Returned pointers stay valid
   /// until the next Clear/Invalidate (unordered_map references are stable
-  /// across inserts).
+  /// across inserts). Miss extraction routes through `env` as a
+  /// KernelKind::kPairFeatures kernel: cross-session batcher when one is
+  /// attached, else the pool, else inline — bit-identical in every case.
   std::vector<const std::vector<double>*> Batch(
       const Table& table, const std::vector<std::pair<size_t, size_t>>& pairs,
-      ThreadPool* pool);
+      const KernelEnv& env);
+
+  /// Pool-only convenience overload (tests, standalone callers).
+  std::vector<const std::vector<double>*> Batch(
+      const Table& table, const std::vector<std::pair<size_t, size_t>>& pairs,
+      ThreadPool* pool) {
+    return Batch(table, pairs, KernelEnv{pool, nullptr, nullptr});
+  }
 
   size_t size() const { return cache_.size(); }
   size_t hits() const { return hits_; }

@@ -1,10 +1,30 @@
 #include "graph/select_support.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "common/arena.h"
 
 namespace visclean {
 
-void ErgSelectSupport::Refresh(const Erg& erg) {
+void ErgSelectSupport::EnsureScratch(size_t vertices, size_t edges) const {
+  // `edge_mark_` doubles as a per-vertex visited array in Connected.
+  size_t ecap = std::max(edges, vertices);
+  if (vertex_mark_ != nullptr && vertex_cap_ >= vertices &&
+      edge_cap_ >= ecap) {
+    return;
+  }
+  vertex_mark_store_.assign(vertices, 0);
+  edge_mark_store_.assign(ecap, 0);
+  stack_store_.assign(vertices, 0);
+  vertex_mark_ = vertex_mark_store_.data();
+  edge_mark_ = edge_mark_store_.data();
+  stack_ = stack_store_.data();
+  vertex_cap_ = vertices;
+  edge_cap_ = ecap;
+}
+
+void ErgSelectSupport::Refresh(const Erg& erg, Arena* arena) {
   // Mirrors SortedEdgeOrder(AllEdgeIndices): every slot, liveness ignored —
   // selectors consume compacted snapshots, where every slot is live.
   edges_by_benefit_.resize(erg.num_edges());
@@ -29,11 +49,25 @@ void ErgSelectSupport::Refresh(const Erg& erg) {
         std::max(0.0, erg.edge(edges_by_benefit_[i]).benefit);
   }
 
-  if (vertex_mark_.size() < erg.num_vertices()) {
-    vertex_mark_.assign(erg.num_vertices(), 0);
-  }
-  if (edge_mark_.size() < erg.num_edges()) {
-    edge_mark_.assign(erg.num_edges(), 0);
+  size_t vcap = erg.num_vertices();
+  size_t ecap = std::max(erg.num_edges(), erg.num_vertices());
+  if (arena != nullptr) {
+    // Fresh spans every refresh: arena memory is recycled across iteration
+    // epochs, so the spans are zeroed here — a stale mark from a previous
+    // epoch can then never equal a current (strictly growing) epoch value.
+    vertex_mark_ = arena->AllocSpan<uint64_t>(vcap);
+    edge_mark_ = arena->AllocSpan<uint64_t>(ecap);
+    stack_ = arena->AllocSpan<size_t>(vcap);
+    if (vcap > 0) std::memset(vertex_mark_, 0, vcap * sizeof(uint64_t));
+    if (ecap > 0) std::memset(edge_mark_, 0, ecap * sizeof(uint64_t));
+    vertex_cap_ = vcap;
+    edge_cap_ = ecap;
+    vertex_mark_store_.clear();
+    edge_mark_store_.clear();
+    stack_store_.clear();
+  } else {
+    vertex_mark_ = nullptr;  // force a zeroed heap (re)allocation
+    EnsureScratch(vcap, erg.num_edges());
   }
   primed_ = true;
 }
@@ -43,9 +77,14 @@ void ErgSelectSupport::Clear() {
   edges_by_benefit_.clear();
   benefit_prefix_.clear();
   epoch_ = 0;
-  vertex_mark_.clear();
-  edge_mark_.clear();
-  stack_.clear();
+  vertex_mark_ = nullptr;
+  edge_mark_ = nullptr;
+  stack_ = nullptr;
+  vertex_cap_ = 0;
+  edge_cap_ = 0;
+  vertex_mark_store_.clear();
+  edge_mark_store_.clear();
+  stack_store_.clear();
 }
 
 uint64_t ErgSelectSupport::NextEpoch() const {
@@ -58,12 +97,7 @@ Cqg ErgSelectSupport::Induce(const Erg& erg, std::vector<size_t> vertices) const
   std::sort(vertices.begin(), vertices.end());
   vertices.erase(std::unique(vertices.begin(), vertices.end()),
                  vertices.end());
-  if (vertex_mark_.size() < erg.num_vertices()) {
-    vertex_mark_.resize(erg.num_vertices(), 0);
-  }
-  if (edge_mark_.size() < erg.num_edges()) {
-    edge_mark_.resize(erg.num_edges(), 0);
-  }
+  EnsureScratch(erg.num_vertices(), erg.num_edges());
   uint64_t epoch = NextEpoch();
   for (size_t v : vertices) vertex_mark_[v] = epoch;
 
@@ -90,36 +124,28 @@ Cqg ErgSelectSupport::Induce(const Erg& erg, std::vector<size_t> vertices) const
 
 bool ErgSelectSupport::Connected(const Erg& erg, const Cqg& cqg) const {
   if (cqg.vertices.size() <= 1) return true;
-  if (vertex_mark_.size() < erg.num_vertices()) {
-    vertex_mark_.resize(erg.num_vertices(), 0);
-  }
-  if (edge_mark_.size() < erg.num_edges()) {
-    edge_mark_.resize(erg.num_edges(), 0);
-  }
+  EnsureScratch(erg.num_vertices(), erg.num_edges());
   // Two mark spaces in one pass: vertex_mark_ = "in set", edge_mark_ is
   // reused per-vertex as "visited" (edges and vertices share the epoch but
-  // not the arrays, so the overload is safe).
+  // not the arrays, so the overload is safe; EnsureScratch sizes the edge
+  // marks to cover the vertex count).
   uint64_t epoch = NextEpoch();
   for (size_t v : cqg.vertices) vertex_mark_[v] = epoch;
 
-  std::vector<uint64_t>& visited = edge_mark_;  // indexed by vertex here
-  if (visited.size() < erg.num_vertices()) {
-    visited.resize(erg.num_vertices(), 0);
-  }
-  stack_.clear();
-  stack_.push_back(cqg.vertices.front());
+  uint64_t* visited = edge_mark_;  // indexed by vertex here
+  size_t stack_size = 0;
+  stack_[stack_size++] = cqg.vertices.front();
   visited[cqg.vertices.front()] = epoch;
   size_t reached = 1;
-  while (!stack_.empty()) {
-    size_t v = stack_.back();
-    stack_.pop_back();
+  while (stack_size > 0) {
+    size_t v = stack_[--stack_size];
     for (size_t e : erg.IncidentEdges(v)) {
       const ErgEdge& edge = erg.edge(e);
       size_t other = edge.u == v ? edge.v : edge.u;
       if (vertex_mark_[other] == epoch && visited[other] != epoch) {
         visited[other] = epoch;
         ++reached;
-        stack_.push_back(other);
+        stack_[stack_size++] = other;
       }
     }
   }

@@ -31,6 +31,8 @@
 
 namespace visclean {
 
+class Arena;
+
 /// \brief Per-iteration selection support over one published ERG snapshot.
 ///
 /// Refresh() reuses vector capacity across iterations; Induce()/Connected()
@@ -42,7 +44,12 @@ class ErgSelectSupport {
  public:
   /// Rebuilds the orderings and sizes the scratch for `erg`. The support is
   /// only valid for the exact graph (slots + benefits) it was refreshed on.
-  void Refresh(const Erg& erg);
+  /// With `arena` set, the mark/stack scratch is carved from it instead of
+  /// the heap; the spans are zeroed here, so marks from a previous epoch of
+  /// the (reset) arena can never read as current. The spans die with the
+  /// arena epoch, so the support must be Refresh()ed again — as it already
+  /// is, once per iteration — before the next Induce()/Connected().
+  void Refresh(const Erg& erg, Arena* arena = nullptr);
 
   void Clear();
 
@@ -66,17 +73,28 @@ class ErgSelectSupport {
 
  private:
   uint64_t NextEpoch() const;
+  /// Guarantees zero-initialized mark/stack scratch for `vertices` vertex
+  /// slots and `edges` edge slots (edge marks double as a per-vertex visited
+  /// array in Connected, so the edge capacity also covers the vertices).
+  /// Falls back to heap storage when the refreshed capacity is exceeded.
+  void EnsureScratch(size_t vertices, size_t edges) const;
 
   bool primed_ = false;
   std::vector<size_t> edges_by_benefit_;
   std::vector<double> benefit_prefix_;
 
   // Epoch-stamped scratch: mark[x] == epoch_ means "in the current call's
-  // set"; bumping the epoch clears every mark in O(1).
+  // set"; bumping the epoch clears every mark in O(1). The pointers target
+  // either the heap stores below or arena spans handed to Refresh().
   mutable uint64_t epoch_ = 0;
-  mutable std::vector<uint64_t> vertex_mark_;
-  mutable std::vector<uint64_t> edge_mark_;
-  mutable std::vector<size_t> stack_;
+  mutable uint64_t* vertex_mark_ = nullptr;
+  mutable uint64_t* edge_mark_ = nullptr;
+  mutable size_t* stack_ = nullptr;
+  mutable size_t vertex_cap_ = 0;
+  mutable size_t edge_cap_ = 0;
+  mutable std::vector<uint64_t> vertex_mark_store_;
+  mutable std::vector<uint64_t> edge_mark_store_;
+  mutable std::vector<size_t> stack_store_;
 };
 
 }  // namespace visclean

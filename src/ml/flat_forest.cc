@@ -1,0 +1,121 @@
+#include "ml/flat_forest.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace visclean {
+namespace {
+
+// Rows advanced together through one tree level. Small enough that the
+// per-block cursor and accumulator arrays stay in L1 / on the stack.
+constexpr size_t kRowBlock = 256;
+
+}  // namespace
+
+void FlatForest::Clear() {
+  tree_base_.clear();
+  tree_size_.clear();
+  feature_.clear();
+  left_.clear();
+  right_.clear();
+  threshold_.clear();
+  prob_.clear();
+}
+
+void FlatForest::AddTree(const std::vector<DecisionTree::Node>& nodes) {
+  VC_CHECK(!nodes.empty(), "FlatForest::AddTree requires a fitted tree");
+  tree_base_.push_back(feature_.size());
+  tree_size_.push_back(nodes.size());
+  for (const DecisionTree::Node& node : nodes) {
+    feature_.push_back(node.feature);
+    left_.push_back(node.left);
+    right_.push_back(node.right);
+    threshold_.push_back(node.threshold);
+    prob_.push_back(node.positive_fraction);
+  }
+}
+
+double FlatForest::PredictOne(const double* features) const {
+  VC_CHECK(!tree_base_.empty(), "PredictOne on empty forest");
+  // Accumulate over trees in ingestion order, then divide once — the same
+  // floating-point order as the legacy per-tree walk, so results match
+  // bit for bit.
+  double sum = 0.0;
+  for (size_t t = 0; t < tree_base_.size(); ++t) {
+    const size_t base = tree_base_[t];
+    int32_t node = 0;
+    int32_t f = feature_[base];
+    while (f >= 0) {
+      node = features[f] <= threshold_[base + node] ? left_[base + node]
+                                                    : right_[base + node];
+      f = feature_[base + node];
+    }
+    sum += prob_[base + node];
+  }
+  return sum / static_cast<double>(tree_base_.size());
+}
+
+void FlatForest::PredictBatch(const double* features, size_t num_rows,
+                              size_t arity, double* out) const {
+  VC_CHECK(!tree_base_.empty(), "PredictBatch on empty forest");
+  const int32_t* feature = feature_.data();
+  const int32_t* left = left_.data();
+  const int32_t* right = right_.data();
+  const double* threshold = threshold_.data();
+  const double* prob = prob_.data();
+
+  int32_t cursor[kRowBlock];
+  double acc[kRowBlock];
+  for (size_t block = 0; block < num_rows; block += kRowBlock) {
+    const size_t rows = std::min(kRowBlock, num_rows - block);
+    const double* block_features = features + block * arity;
+    for (size_t r = 0; r < rows; ++r) acc[r] = 0.0;
+    for (size_t t = 0; t < tree_base_.size(); ++t) {
+      const size_t base = tree_base_[t];
+      for (size_t r = 0; r < rows; ++r) cursor[r] = 0;
+      // Level-synchronous descent: each pass advances every still-interior
+      // row one level. Child indices are strictly forward, so a row's
+      // cursor is monotonically increasing and the loop terminates after
+      // at most tree-depth passes; rows already at a leaf self-loop via
+      // the `advanced` check.
+      bool advanced = true;
+      while (advanced) {
+        advanced = false;
+        for (size_t r = 0; r < rows; ++r) {
+          const int32_t node = cursor[r];
+          const int32_t f = feature[base + node];
+          if (f < 0) continue;  // leaf
+          const double x = block_features[r * arity + static_cast<size_t>(f)];
+          cursor[r] =
+              x <= threshold[base + node] ? left[base + node] : right[base + node];
+          advanced = true;
+        }
+      }
+      // Same accumulation order as PredictOne / the legacy walk: per row,
+      // trees in ingestion order.
+      for (size_t r = 0; r < rows; ++r) acc[r] += prob[base + cursor[r]];
+    }
+    const double denom = static_cast<double>(tree_base_.size());
+    for (size_t r = 0; r < rows; ++r) out[block + r] = acc[r] / denom;
+  }
+}
+
+std::vector<DecisionTree> FlatForest::ExportTrees() const {
+  std::vector<DecisionTree> trees(tree_base_.size());
+  for (size_t t = 0; t < tree_base_.size(); ++t) {
+    const size_t base = tree_base_[t];
+    std::vector<DecisionTree::Node> nodes(tree_size_[t]);
+    for (size_t i = 0; i < tree_size_[t]; ++i) {
+      nodes[i].feature = feature_[base + i];
+      nodes[i].threshold = threshold_[base + i];
+      nodes[i].positive_fraction = prob_[base + i];
+      nodes[i].left = left_[base + i];
+      nodes[i].right = right_[base + i];
+    }
+    trees[t].RestoreNodes(std::move(nodes));
+  }
+  return trees;
+}
+
+}  // namespace visclean

@@ -1,0 +1,73 @@
+// Structure-of-arrays forest: every fitted tree's nodes live in shared
+// contiguous per-field planes (feature index, threshold, leaf probability,
+// child offsets), so batched prediction walks many rows per tree level with
+// a branch-light inner loop instead of chasing per-tree Node pointers.
+//
+// The flat layout is an exact re-encoding of DecisionTree::Node arrays:
+// AddTree ingests a fitted tree's nodes and ExportTrees reconstructs them
+// bit-identically (same node order, same field values), which is what keeps
+// the snapshot codec (VCSN v2) byte-stable across the refactor. Child
+// indices stay tree-local; a per-tree base offset maps them into the planes.
+#ifndef VISCLEAN_ML_FLAT_FOREST_H_
+#define VISCLEAN_ML_FLAT_FOREST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace visclean {
+
+/// \brief Flattened SoA representation of a fitted forest.
+///
+/// Prediction semantics are identical to averaging
+/// DecisionTree::PredictProbability over the ingested trees in ingestion
+/// order: PredictBatch accumulates per row over trees in tree order and
+/// divides once, so results are bit-equal to the legacy pointer walk
+/// (tests/flat_forest_test.cc is the differential gate).
+class FlatForest {
+ public:
+  /// Drops all trees.
+  void Clear();
+
+  /// Appends one fitted tree. `nodes` must be nonempty with the root at
+  /// index 0 and child indices strictly forward (what DecisionTree::Fit
+  /// produces); leaves have feature == -1.
+  void AddTree(const std::vector<DecisionTree::Node>& nodes);
+
+  size_t num_trees() const { return tree_base_.size(); }
+  bool empty() const { return tree_base_.empty(); }
+  /// Total nodes across all trees (diagnostics).
+  size_t num_nodes() const { return feature_.size(); }
+
+  /// Mean tree probability for one row of `arity` features. Requires a
+  /// nonempty forest — callers gate on empty() once, outside the hot loop.
+  double PredictOne(const double* features) const;
+
+  /// Mean tree probability for `num_rows` rows stored row-major in
+  /// `features` (`arity` doubles per row), written to `out[0..num_rows)`.
+  /// Walks rows in fixed-size blocks level-synchronously per tree so the
+  /// inner loop is a flat array sweep. Requires a nonempty forest.
+  void PredictBatch(const double* features, size_t num_rows, size_t arity,
+                    double* out) const;
+
+  /// Reconstructs the ingested trees bit-exactly (snapshot capture).
+  std::vector<DecisionTree> ExportTrees() const;
+
+ private:
+  // Per-tree extents into the planes below.
+  std::vector<size_t> tree_base_;
+  std::vector<size_t> tree_size_;
+  // Node planes, indexed by tree_base_[t] + local node index. Children are
+  // tree-local indices (-1 for none), exactly as DecisionTree stores them.
+  std::vector<int32_t> feature_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<double> threshold_;
+  std::vector<double> prob_;
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_ML_FLAT_FOREST_H_

@@ -93,7 +93,7 @@ std::vector<std::vector<Neighbor>> TokenKnnCache::BatchQuery(
     const std::vector<size_t>& query_rows, size_t k,
     const std::vector<size_t>& corpus_rows,
     const std::vector<const std::set<std::string>*>& corpus_tokens,
-    ThreadPool* pool) {
+    const KernelEnv& env) {
   auto corpus_pos = [&](size_t row) -> ptrdiff_t {
     auto it = std::lower_bound(corpus_rows.begin(), corpus_rows.end(), row);
     if (it == corpus_rows.end() || *it != row) return -1;
@@ -158,24 +158,20 @@ std::vector<std::vector<Neighbor>> TokenKnnCache::BatchQuery(
   if (!misses.empty()) {
     full_queries_ += misses.size();
     std::vector<std::vector<Neighbor>> computed(misses.size());
-    auto compute = [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        size_t q = query_rows[misses[i]];
-        ptrdiff_t pos = corpus_pos(q);
-        // Store double the requested k: the slack is what lets later
-        // epochs absorb dirty-member departures without recomputing.
-        computed[i] = KnnOverCorpus(q, *corpus_tokens[pos], 2 * k,
-                                    corpus_rows, corpus_tokens);
-      }
-    };
-    if (pool != nullptr && misses.size() >= 2) {
-      pool->ParallelChunks(misses.size(),
-                           [&](size_t, size_t begin, size_t end) {
-                             compute(begin, end);
-                           });
-    } else {
-      compute(0, misses.size());
-    }
+    // Pure chunk kernel with indexed writes: any partition (pool chunks or
+    // a cross-session batch) merges to the same lists.
+    RunKernel(KernelKind::kKnnQuery, env, misses.size(), /*min_parallel=*/2,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  size_t q = query_rows[misses[i]];
+                  ptrdiff_t pos = corpus_pos(q);
+                  // Store double the requested k: the slack is what lets
+                  // later epochs absorb dirty-member departures without
+                  // recomputing.
+                  computed[i] = KnnOverCorpus(q, *corpus_tokens[pos], 2 * k,
+                                              corpus_rows, corpus_tokens);
+                }
+              });
     for (size_t i = 0; i < misses.size(); ++i) {
       Entry& entry = entries_[query_rows[misses[i]]];
       entry.neighbors = std::move(computed[i]);

@@ -9,9 +9,9 @@
 #include <unordered_map>
 #include <vector>
 
-namespace visclean {
+#include "common/kernel_scheduler.h"
 
-class ThreadPool;
+namespace visclean {
 
 /// \brief Index/distance pair returned by neighbor queries.
 struct Neighbor {
@@ -66,13 +66,24 @@ class TokenKnnCache {
   /// Neighbor lists (row-id indexed, ascending (distance, row), length
   /// <= k) for every query row, against the corpus given as ascending row
   /// ids plus their token sets. Every query row must itself be a corpus
-  /// member (it is excluded from its own list). Cache misses fan out over
-  /// `pool` when provided; results are independent of the thread count.
+  /// member (it is excluded from its own list). Cache misses route through
+  /// `env` as a KernelKind::kKnnQuery kernel (cross-session batcher, pool,
+  /// or inline); results are independent of the execution strategy.
   std::vector<std::vector<Neighbor>> BatchQuery(
       const std::vector<size_t>& query_rows, size_t k,
       const std::vector<size_t>& corpus_rows,
       const std::vector<const std::set<std::string>*>& corpus_tokens,
-      ThreadPool* pool);
+      const KernelEnv& env);
+
+  /// Pool-only convenience overload (tests, standalone callers).
+  std::vector<std::vector<Neighbor>> BatchQuery(
+      const std::vector<size_t>& query_rows, size_t k,
+      const std::vector<size_t>& corpus_rows,
+      const std::vector<const std::set<std::string>*>& corpus_tokens,
+      ThreadPool* pool) {
+    return BatchQuery(query_rows, k, corpus_rows, corpus_tokens,
+                      KernelEnv{pool, nullptr, nullptr});
+  }
 
   // Diagnostics for the scaling bench.
   size_t full_queries() const { return full_queries_; }

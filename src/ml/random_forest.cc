@@ -8,13 +8,15 @@ namespace visclean {
 
 void RandomForest::Fit(const std::vector<Example>& examples, uint64_t seed) {
   VC_CHECK(!examples.empty(), "RandomForest::Fit requires examples");
-  trees_.clear();
-  trees_.resize(options_.num_trees);
+  flat_.Clear();
   Rng rng(seed);
   size_t bag_size = std::max<size_t>(
       1, static_cast<size_t>(options_.bootstrap_fraction *
                              static_cast<double>(examples.size())));
-  for (DecisionTree& tree : trees_) {
+  // The bag draws and the per-tree Fit consume `rng` in exactly the order
+  // the legacy tree-vector implementation did, so fitted forests (and
+  // everything downstream of their predictions) are bit-identical.
+  for (size_t t = 0; t < options_.num_trees; ++t) {
     std::vector<Example> bag;
     bag.reserve(bag_size);
     for (size_t i = 0; i < bag_size; ++i) {
@@ -22,18 +24,19 @@ void RandomForest::Fit(const std::vector<Example>& examples, uint64_t seed) {
           rng.UniformInt(0, static_cast<int64_t>(examples.size()) - 1));
       bag.push_back(examples[idx]);
     }
+    DecisionTree tree;
     tree.Fit(bag, options_.tree, &rng);
+    flat_.AddTree(tree.nodes());
   }
 }
 
-double RandomForest::PredictProbability(
-    const std::vector<double>& features) const {
-  if (trees_.empty()) return 0.5;
-  double sum = 0.0;
-  for (const DecisionTree& tree : trees_) {
-    sum += tree.PredictProbability(features);
+void RandomForest::PredictBatch(const double* features, size_t num_rows,
+                                size_t arity, double* out) const {
+  if (flat_.empty()) {
+    std::fill(out, out + num_rows, 0.5);
+    return;
   }
-  return sum / static_cast<double>(trees_.size());
+  flat_.PredictBatch(features, num_rows, arity, out);
 }
 
 }  // namespace visclean

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "ml/decision_tree.h"
+#include "ml/flat_forest.h"
 
 namespace visclean {
 
@@ -22,6 +23,11 @@ struct ForestOptions {
 /// Supports incremental refitting: the cleaning session retrains the forest
 /// every iteration as user labels arrive (framework step 6), which is also
 /// what dominates machine time in Fig. 18.
+///
+/// Trees are fitted through DecisionTree but stored flattened (FlatForest,
+/// SoA planes over all trees) so batched prediction vectorizes; the fitted
+/// state round-trips bit-exactly through ExportTrees/RestoreTrees, which is
+/// what session snapshots (codec v2) serialize.
 class RandomForest {
  public:
   explicit RandomForest(ForestOptions options = {}) : options_(options) {}
@@ -31,27 +37,43 @@ class RandomForest {
   void Fit(const std::vector<Example>& examples, uint64_t seed);
 
   /// Mean tree probability for one instance. Returns 0.5 when unfitted
-  /// (maximum uncertainty before any labels exist).
-  double PredictProbability(const std::vector<double>& features) const;
+  /// (maximum uncertainty before any labels exist). The fitted-state check
+  /// happens once here; the per-tree walk itself is unguarded.
+  double PredictProbability(const std::vector<double>& features) const {
+    if (flat_.empty()) return 0.5;
+    return flat_.PredictOne(features.data());
+  }
 
-  bool is_fitted() const { return !trees_.empty(); }
-  size_t num_trees() const { return trees_.size(); }
+  /// Batched mean tree probability over `num_rows` rows stored row-major
+  /// (`arity` doubles each) in `features`; results land in
+  /// `out[0..num_rows)`. Bit-identical to calling PredictProbability per
+  /// row. Unfitted forests yield 0.5 everywhere.
+  void PredictBatch(const double* features, size_t num_rows, size_t arity,
+                    double* out) const;
 
-  /// The fitted trees. Exposed (with RestoreTrees) so session snapshots can
+  bool is_fitted() const { return !flat_.empty(); }
+  size_t num_trees() const { return flat_.num_trees(); }
+
+  /// Reconstructs the fitted trees from the flat planes, bit-exact to what
+  /// Fit ingested. Exposed (with RestoreTrees) so session snapshots can
   /// persist the ensemble: EmModel::Retrain keeps the previous fit when a
   /// round's training set is degenerate, so the fitted forest is durable
   /// state a restored session cannot recompute from labels alone.
-  const std::vector<DecisionTree>& trees() const { return trees_; }
+  std::vector<DecisionTree> ExportTrees() const { return flat_.ExportTrees(); }
 
   /// Replaces the fitted trees without touching the hyperparameters
   /// (snapshot restore).
   void RestoreTrees(std::vector<DecisionTree> trees) {
-    trees_ = std::move(trees);
+    flat_.Clear();
+    for (const DecisionTree& tree : trees) flat_.AddTree(tree.nodes());
   }
+
+  /// The flat representation (batched kernels).
+  const FlatForest& flat() const { return flat_; }
 
  private:
   ForestOptions options_;
-  std::vector<DecisionTree> trees_;
+  FlatForest flat_;
 };
 
 }  // namespace visclean

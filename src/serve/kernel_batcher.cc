@@ -1,0 +1,121 @@
+#include "serve/kernel_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace visclean {
+
+KernelBatcher::KernelBatcher(ThreadPool* pool, Options options)
+    : pool_(pool), options_(options) {}
+
+void KernelBatcher::SetInflightCounter(const std::atomic<size_t>* counter) {
+  inflight_hint_ = counter;
+}
+
+KernelBatchStats KernelBatcher::stats(KernelKind kind) const {
+  size_t k = static_cast<size_t>(kind);
+  KernelBatchStats out;
+  out.batches = stat_batches_[k].load(std::memory_order_relaxed);
+  out.items = stat_items_[k].load(std::memory_order_relaxed);
+  out.rows = stat_rows_[k].load(std::memory_order_relaxed);
+  return out;
+}
+
+void KernelBatcher::RunBatch(KernelKind kind, Item* const* batch,
+                             size_t count) {
+  size_t k = static_cast<size_t>(kind);
+  // Prefix offsets of each item inside the concatenated index space.
+  std::vector<size_t> offset(count + 1, 0);
+  for (size_t i = 0; i < count; ++i) {
+    offset[i + 1] = offset[i] + batch[i]->total;
+  }
+  size_t grand = offset[count];
+  stat_batches_[k].fetch_add(1, std::memory_order_relaxed);
+  stat_items_[k].fetch_add(count, std::memory_order_relaxed);
+  stat_rows_[k].fetch_add(grand, std::memory_order_relaxed);
+
+  auto apply = [&](size_t begin, size_t end) {
+    // Map the global range onto per-item slices. Each fn sees a partition
+    // of its own [0, total) — the pure-chunk contract makes the result
+    // independent of where the global chunk boundaries fall.
+    size_t i = static_cast<size_t>(
+        std::upper_bound(offset.begin(), offset.end(), begin) -
+        offset.begin());
+    VC_CHECK(i > 0, "KernelBatcher: range before the first item");
+    --i;
+    while (begin < end) {
+      size_t slice_end = std::min(end, offset[i + 1]);
+      (*batch[i]->fn)(begin - offset[i], slice_end - offset[i]);
+      begin = slice_end;
+      ++i;
+    }
+  };
+
+  if (pool_ == nullptr || grand < 2) {
+    apply(0, grand);
+    return;
+  }
+  pool_->ParallelChunks(grand, [&](size_t, size_t begin, size_t end) {
+    apply(begin, end);
+  });
+}
+
+void KernelBatcher::Run(KernelKind kind, size_t total,
+                        const std::function<void(size_t, size_t)>& fn) {
+  if (total == 0) return;
+  size_t k = static_cast<size_t>(kind);
+  Queue& q = queues_[k];
+
+  Item item;
+  item.total = total;
+  item.fn = &fn;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  q.fifo.push_back(&item);
+  if (q.leader_active) {
+    // Follower: the leader may be inside its batch window — wake it so the
+    // co-batcher predicate is re-evaluated — then wait for our item.
+    q.arrival_cv.notify_one();
+    q.done_cv.wait(lk, [&] { return item.done; });
+    return;
+  }
+
+  q.leader_active = true;
+  // A lone leader waits at most the batch window for a first co-batcher;
+  // once any co-batching is possible the batch dispatches immediately.
+  // Waiting longer to top a batch off is a bad trade (group-commit rule):
+  // under load, arrivals pile up while the previous batch executes, so the
+  // batch's own run time is the natural window and an artificial one only
+  // adds latency to every dispatch.
+  bool lone = inflight_hint_ != nullptr &&
+              inflight_hint_->load(std::memory_order_relaxed) <= 1;
+  if (!lone && options_.window_micros > 0 && options_.max_items > 1 &&
+      q.fifo.size() < 2) {
+    q.arrival_cv.wait_for(
+        lk, std::chrono::microseconds(options_.window_micros),
+        [&] { return q.fifo.size() >= 2; });
+  }
+
+  std::vector<Item*> batch;
+  while (!q.fifo.empty()) {
+    batch.clear();
+    size_t take = std::min(q.fifo.size(), std::max<size_t>(1, options_.max_items));
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(q.fifo.front());
+      q.fifo.pop_front();
+    }
+    lk.unlock();
+    RunBatch(kind, batch.data(), batch.size());
+    lk.lock();
+    for (Item* it : batch) it->done = true;
+    q.done_cv.notify_all();
+  }
+  q.leader_active = false;
+  // Items pushed after the final empty-FIFO check elect their own leader.
+}
+
+}  // namespace visclean

@@ -1,0 +1,113 @@
+// KernelBatcher: cross-session batching of the shared chunk kernels.
+//
+// Standalone sessions run their batchable kernels (EM inference, pair
+// features, kNN) through the shared ThreadPool one at a time —
+// ParallelChunks serializes concurrent callers, so under many sessions the
+// pool sees a convoy of small kernels, each paying the full fan-out/barrier
+// overhead for a handful of rows. The batcher coalesces instead: pending
+// work of the same kind from *different* sessions is drained into one
+// combined pool dispatch over the concatenated index space.
+//
+// Protocol (leader/follower, one mutex per batcher):
+//  * Run() enqueues a work item (total + chunk fn) on the per-kind FIFO.
+//  * The first arrival becomes the kind's leader. If it is alone it waits
+//    a bounded batch window for a first co-batcher (skipped when the
+//    manager's in-flight hint says at most one request is active — there
+//    is nobody to wait for); once any co-batching is possible it stops
+//    waiting — under load, arrivals pile up while the previous batch
+//    executes, so the batch's own run time is the natural window
+//    (group-commit rule). It then drains the FIFO in arrival order (FIFO
+//    fairness: a session's item is never overtaken by one enqueued later),
+//    prefix-sums the totals, and runs ONE pool ParallelChunks over the
+//    grand total, mapping each global range back onto per-item [begin, end)
+//    slices.
+//  * Followers block until the leader marks their item done. The leader
+//    loops while the FIFO is non-empty, so items enqueued during a running
+//    batch ride the next one without electing a new leader.
+//
+// Correctness: every kernel routed here is a pure chunk kernel — fn(b, e)
+// writes only indexed outputs of its own item — so any partition of the
+// concatenated space merges to the same bytes as a per-session run. The
+// serve differential and snapshot suites pin this down.
+#ifndef VISCLEAN_SERVE_KERNEL_BATCHER_H_
+#define VISCLEAN_SERVE_KERNEL_BATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "common/kernel_scheduler.h"
+
+namespace visclean {
+
+/// \brief Occupancy counters of one kernel kind (monotone).
+struct KernelBatchStats {
+  uint64_t batches = 0;  ///< combined pool dispatches
+  uint64_t items = 0;    ///< work items coalesced into them
+  uint64_t rows = 0;     ///< total index-space size dispatched
+};
+
+/// \brief KernelBatcher tuning knobs.
+struct KernelBatcherOptions {
+  /// How long a lone leader waits for a first co-batcher before
+  /// dispatching (later arrivals ride the next batch instead).
+  size_t window_micros = 150;
+  /// Cap on items per combined dispatch.
+  size_t max_items = 16;
+};
+
+class KernelBatcher : public KernelScheduler {
+ public:
+  using Options = KernelBatcherOptions;
+
+  /// `pool` (borrowed, may be null) executes the combined batches; with a
+  /// null pool every item runs serially inline (degenerate but correct).
+  explicit KernelBatcher(ThreadPool* pool, Options options = {});
+
+  /// Optional load hint: the manager's in-flight request counter. When it
+  /// reads <= 1 the batch window is skipped — a lone session never pays
+  /// the wait. `counter` must outlive the batcher.
+  void SetInflightCounter(const std::atomic<size_t>* counter);
+
+  /// KernelScheduler: blocks until `fn` has been applied to all of
+  /// [0, total), possibly inside a combined cross-session batch.
+  void Run(KernelKind kind, size_t total,
+           const std::function<void(size_t begin, size_t end)>& fn) override;
+
+  KernelBatchStats stats(KernelKind kind) const;
+
+ private:
+  struct Item {
+    size_t total = 0;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    bool done = false;
+  };
+  struct Queue {
+    std::deque<Item*> fifo;
+    bool leader_active = false;
+    std::condition_variable arrival_cv;  ///< wakes the leader's window wait
+    std::condition_variable done_cv;     ///< wakes followers
+  };
+
+  /// Dispatches `count` items (already dequeued) as one pool run. Called
+  /// without mu_ held; items are owned by blocked Run() frames.
+  void RunBatch(KernelKind kind, Item* const* batch, size_t count);
+
+  ThreadPool* pool_;
+  Options options_;
+  const std::atomic<size_t>* inflight_hint_ = nullptr;
+
+  std::mutex mu_;
+  Queue queues_[kNumKernelKinds];
+
+  std::atomic<uint64_t> stat_batches_[kNumKernelKinds] = {};
+  std::atomic<uint64_t> stat_items_[kNumKernelKinds] = {};
+  std::atomic<uint64_t> stat_rows_[kNumKernelKinds] = {};
+};
+
+}  // namespace visclean
+
+#endif  // VISCLEAN_SERVE_KERNEL_BATCHER_H_

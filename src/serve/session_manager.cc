@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "serve/kernel_batcher.h"
 #include "serve/snapshot.h"
 #include "vql/parser.h"
 
@@ -79,6 +80,13 @@ SessionManager::SessionManager(ServeOptions options)
   if (options_.pool_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.pool_threads);
   }
+  if (pool_ && options_.batch_kernels) {
+    KernelBatcher::Options batch;
+    batch.window_micros = options_.batch_window_micros;
+    batch.max_items = options_.batch_max_items;
+    batcher_ = std::make_unique<KernelBatcher>(pool_.get(), batch);
+    batcher_->SetInflightCounter(&inflight_);
+  }
 }
 
 SessionManager::~SessionManager() = default;
@@ -110,6 +118,7 @@ Result<std::unique_ptr<VisCleanSession>> SessionManager::BuildSession(
   auto session = std::make_unique<VisCleanSession>(
       oracle, std::move(query).value(), options, user_options, cost_model);
   if (pool_) session->SetExternalPool(pool_.get());
+  if (batcher_) session->SetExternalScheduler(batcher_.get());
   VC_RETURN_IF_ERROR(session->Initialize());
   return session;
 }
@@ -481,6 +490,20 @@ ServeStats SessionManager::stats() const {
   s.sim_join_full = stat_join_full_.load();
   s.sim_join_fallbacks = stat_join_fallback_.load();
   s.sim_join_delta_syncs = stat_join_delta_.load();
+  if (batcher_) {
+    KernelBatchStats em = batcher_->stats(KernelKind::kEmInference);
+    s.em_infer_batches = em.batches;
+    s.em_infer_batch_items = em.items;
+    s.em_infer_batch_rows = em.rows;
+    KernelBatchStats pf = batcher_->stats(KernelKind::kPairFeatures);
+    s.pair_feature_batches = pf.batches;
+    s.pair_feature_batch_items = pf.items;
+    s.pair_feature_batch_rows = pf.rows;
+    KernelBatchStats knn = batcher_->stats(KernelKind::kKnnQuery);
+    s.knn_batches = knn.batches;
+    s.knn_batch_items = knn.items;
+    s.knn_batch_rows = knn.rows;
+  }
   return s;
 }
 

@@ -46,6 +46,7 @@
 
 namespace visclean {
 
+class KernelBatcher;
 class ThreadPool;
 
 /// \brief Serving-layer configuration.
@@ -68,6 +69,16 @@ struct ServeOptions {
   /// Worker threads of the shared pool lent to every session's benefit
   /// stage (0 = no pool, sessions compute serially inside their request).
   size_t pool_threads = 0;
+  /// Coalesce the batchable kernels (EM inference, pair features, kNN) of
+  /// concurrent sessions into shared pool dispatches (see
+  /// serve/kernel_batcher.h). Requires a pool; results are bit-identical to
+  /// unbatched execution.
+  bool batch_kernels = true;
+  /// How long a batch leader waits for co-batchers (skipped when at most
+  /// one request is in flight).
+  size_t batch_window_micros = 150;
+  /// Cap on work items per combined dispatch.
+  size_t batch_max_items = 16;
 };
 
 /// \brief Client-visible session state (the Status request's payload).
@@ -104,6 +115,20 @@ struct ServeStats {
   uint64_t sim_join_full = 0;
   uint64_t sim_join_fallbacks = 0;
   uint64_t sim_join_delta_syncs = 0;
+
+  // Cross-session kernel batching occupancy (zero when batching is off; see
+  // serve/kernel_batcher.h). batches counts combined pool dispatches, items
+  // the per-session work units coalesced into them, rows the total index
+  // space — items/batches is the mean batch occupancy.
+  uint64_t em_infer_batches = 0;
+  uint64_t em_infer_batch_items = 0;
+  uint64_t em_infer_batch_rows = 0;
+  uint64_t pair_feature_batches = 0;
+  uint64_t pair_feature_batch_items = 0;
+  uint64_t pair_feature_batch_rows = 0;
+  uint64_t knn_batches = 0;
+  uint64_t knn_batch_items = 0;
+  uint64_t knn_batch_rows = 0;
 };
 
 /// \brief Hosts many concurrent VisCleanSessions keyed by session id.
@@ -180,6 +205,10 @@ class SessionManager {
 
   ServeOptions options_;
   std::unique_ptr<ThreadPool> pool_;  ///< shared across sessions; may be null
+  /// Cross-session kernel batcher lent to every hosted session; null when
+  /// batching is disabled or there is no pool. Declared after pool_ (it
+  /// borrows it) and destroyed first.
+  std::unique_ptr<KernelBatcher> batcher_;
 
   mutable std::mutex map_mu_;
   std::map<std::string, std::shared_ptr<Entry>> sessions_;

@@ -111,6 +111,15 @@ void PutStats(Writer& w, const ServeStats& s) {
   w.U64(s.sim_join_full);
   w.U64(s.sim_join_fallbacks);
   w.U64(s.sim_join_delta_syncs);
+  w.U64(s.em_infer_batches);
+  w.U64(s.em_infer_batch_items);
+  w.U64(s.em_infer_batch_rows);
+  w.U64(s.pair_feature_batches);
+  w.U64(s.pair_feature_batch_items);
+  w.U64(s.pair_feature_batch_rows);
+  w.U64(s.knn_batches);
+  w.U64(s.knn_batch_items);
+  w.U64(s.knn_batch_rows);
 }
 
 ServeStats GetStats(Reader& r) {
@@ -131,6 +140,15 @@ ServeStats GetStats(Reader& r) {
   s.sim_join_full = r.U64();
   s.sim_join_fallbacks = r.U64();
   s.sim_join_delta_syncs = r.U64();
+  s.em_infer_batches = r.U64();
+  s.em_infer_batch_items = r.U64();
+  s.em_infer_batch_rows = r.U64();
+  s.pair_feature_batches = r.U64();
+  s.pair_feature_batch_items = r.U64();
+  s.pair_feature_batch_rows = r.U64();
+  s.knn_batches = r.U64();
+  s.knn_batch_items = r.U64();
+  s.knn_batch_rows = r.U64();
   return s;
 }
 

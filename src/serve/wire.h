@@ -5,7 +5,8 @@
 // Frame layout (all integers little-endian):
 //
 //   magic   "VCWP"          4 bytes
-//   version u8              currently 1
+//   version u8              currently 2 (v2 added the kernel-batching
+//                           occupancy counters to the Stats response)
 //   length  u32             payload byte count, <= kMaxWirePayload
 //   payload length bytes    one request or response message
 //
@@ -39,7 +40,7 @@ namespace visclean {
 /// Frame header magic. A connection whose first four bytes are not this
 /// magic is served in line-oriented text mode instead (src/net/command.h).
 inline constexpr char kWireMagic[4] = {'V', 'C', 'W', 'P'};
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 /// Hard payload bound: no legitimate message approaches this, and the bound
 /// keeps a corrupt or hostile length prefix from driving a huge allocation.
 inline constexpr uint32_t kMaxWirePayload = 16u * 1024u * 1024u;
