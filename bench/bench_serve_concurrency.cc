@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -256,7 +257,7 @@ int Run(const BenchConfig& config) {
   serve.max_queued_per_session = 2;
   serve.snapshot_dir = "bench_serve_snapshots.tmp";
   serve.pool_threads = config.pool_threads;
-  std::system("mkdir -p bench_serve_snapshots.tmp");
+  std::filesystem::create_directories(serve.snapshot_dir);
   SessionManager manager(serve);
   VC_CHECK(manager.RegisterDataset(&d1).ok(), "RegisterDataset D1");
   VC_CHECK(manager.RegisterDataset(&d2).ok(), "RegisterDataset D2");
@@ -514,6 +515,11 @@ int Run(const BenchConfig& config) {
   std::ofstream out("BENCH_serve_concurrency.json");
   out << json.TakeString() << "\n";
   std::printf("wrote BENCH_serve_concurrency.json\n");
+
+  // Scratch snapshots are an implementation detail of the correctness check;
+  // leaving them behind pollutes repeated runs and the CI workspace.
+  std::error_code scratch_ec;
+  std::filesystem::remove_all("bench_serve_snapshots.tmp", scratch_ec);
 
   bool ok = failed_requests.load() == 0 && table_mismatches == 0 &&
             speedup >= config.min_speedup;

@@ -1,0 +1,498 @@
+// Two-tier shard-scaling benchmark: the same fleet of cleaning sessions is
+// driven through a ShardRouter backed first by 1 shard, then by 4, and the
+// aggregate machine throughput (rounds/s) is compared. Every shard runs
+// pool_threads=1 so scaling comes from shard-level parallelism alone —
+// more SessionManagers each doing serial work — which is the deployment
+// story of the router tier (examples/serve_driver.cc --act=shard).
+//
+// All traffic crosses real loopback TCP twice (driver → router front-end →
+// shard); nothing shortcuts in-process, so the measured scaling includes
+// the forwarding tax.
+//
+// Gates, checked at exit (non-zero on violation):
+//   * zero failed driver requests in every phase;
+//   * 4-shard throughput >= 2.5x 1-shard throughput. Shard parallelism
+//     needs hardware that can actually run 4 shards at once; on fewer than
+//     4 cores (or under --smoke) the gate degrades to a no-regression
+//     floor — 4 shards must not be materially slower than 1;
+//   * migration storm: with an admin client live-migrating sessions
+//     round-robin between 4 shards while the drivers run, every driver
+//     request still succeeds (the pin → drain → export → import → flip
+//     handoff may delay a request, never drop or fail it). This gate is
+//     hardware-independent and always enforced, --smoke included.
+//
+// Results land in BENCH_shard_scaling.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json_writer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/wire.h"
+#include "shard/router.h"
+#include "shard/shard_host.h"
+
+namespace visclean {
+namespace bench {
+namespace {
+
+constexpr const char* kScratchDir = "bench_shard_snapshots.tmp";
+
+struct BenchConfig {
+  size_t sessions = 12;
+  size_t driver_threads = 6;
+  size_t budget = 2;
+  size_t entities = 80;
+  double min_scaling = 2.5;
+  /// Applied instead of min_scaling when the hardware cannot run 4 shards
+  /// in parallel, or under --smoke: the router tier must not make the
+  /// 4-shard fleet materially slower than the 1-shard one.
+  double regression_floor = 0.75;
+  bool smoke = false;
+  size_t storm_sessions = 8;
+  size_t storm_budget = 2;
+};
+
+/// The scaling gate only means something when 4 shards can actually run
+/// concurrently.
+bool CanParallelize() { return std::thread::hardware_concurrency() >= 4; }
+
+struct SessionSpec {
+  std::string id;
+  std::string dataset;
+  std::string vql;
+  SessionOptions options;
+};
+
+std::vector<SessionSpec> MakeSpecs(const std::string& tag, size_t count,
+                                   size_t budget) {
+  std::vector<SessionSpec> specs;
+  std::vector<BenchTask> tasks = TableVTasks();
+  for (size_t i = 0; i < count; ++i) {
+    const BenchTask& task = tasks[i % tasks.size()];
+    SessionSpec spec;
+    spec.id = tag + "-user" + std::to_string(i);
+    spec.dataset = task.dataset;
+    spec.vql = task.vql;
+    spec.options = PaperSessionOptions("gss", task.dataset);
+    spec.options.k = 6;
+    spec.options.budget = budget;
+    spec.options.forest.num_trees = 8;
+    spec.options.seed = 2000 + i;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Specs carry Table V's "D1"/"D2"/"D3" labels; the wire wants the
+/// datasets' registered names ("publications", ...).
+void ResolveDatasetNames(std::vector<SessionSpec>& specs,
+                         const DirtyDataset* d1, const DirtyDataset* d2,
+                         const DirtyDataset* d3) {
+  for (SessionSpec& spec : specs) {
+    spec.dataset = spec.dataset == "D1"   ? d1->name
+                   : spec.dataset == "D2" ? d2->name
+                                          : d3->name;
+  }
+}
+
+/// N ShardHosts behind a router behind a TCP front-end, in-process but
+/// interacting only over loopback sockets — the same wiring the tests use.
+struct Fleet {
+  std::vector<std::unique_ptr<shard::ShardHost>> hosts;
+  std::unique_ptr<shard::ShardRouter> router;
+  std::unique_ptr<VisCleanServer> front;
+
+  uint16_t port() const { return front->port(); }
+
+  void StopAll() {
+    if (front) front->Stop();
+    if (router) router->Stop();
+    for (auto& host : hosts) {
+      if (host) host->Stop();
+    }
+  }
+};
+
+Fleet MakeFleet(const std::string& tag, size_t shard_count,
+                size_t driver_threads, const DirtyDataset* d1,
+                const DirtyDataset* d2, const DirtyDataset* d3) {
+  Fleet fleet;
+  shard::RouterOptions router_options;
+  for (size_t i = 0; i < shard_count; ++i) {
+    shard::ShardHostOptions options;
+    options.shard_id = static_cast<uint32_t>(i);
+    options.serve.snapshot_dir =
+        std::string(kScratchDir) + "/" + tag + "_shard" + std::to_string(i);
+    std::filesystem::create_directories(options.serve.snapshot_dir);
+    // One compute thread per shard: scaling must come from having more
+    // shards, not from a wider pool inside one. The checkpoint write after
+    // every request is crash-recovery machinery, not throughput — off.
+    options.serve.pool_threads = 1;
+    options.serve.max_resident_sessions = 64;
+    options.serve.max_sessions = 64;
+    options.serve.max_inflight_requests = driver_threads + 2;
+    options.serve.max_queued_per_session = 2;
+    options.no_persist_progress = true;
+    options.server.worker_threads = driver_threads;
+    auto host = std::make_unique<shard::ShardHost>(options);
+    VC_CHECK(host->RegisterDataset(d1).ok(), "shard RegisterDataset D1");
+    VC_CHECK(host->RegisterDataset(d2).ok(), "shard RegisterDataset D2");
+    VC_CHECK(host->RegisterDataset(d3).ok(), "shard RegisterDataset D3");
+    VC_CHECK(host->Start().ok(), "shard Start failed");
+    router_options.shards.push_back(
+        {options.shard_id, host->port(), options.serve.snapshot_dir});
+    fleet.hosts.push_back(std::move(host));
+  }
+  fleet.router = std::make_unique<shard::ShardRouter>(router_options);
+  VC_CHECK(fleet.router->Start().ok(), "router Start failed");
+  ServerOptions front_options;
+  front_options.worker_threads = driver_threads + 2;  // drivers + admin
+  fleet.front =
+      std::make_unique<VisCleanServer>(*fleet.router, front_options);
+  VC_CHECK(fleet.front->Start().ok(), "front Start failed");
+  return fleet;
+}
+
+struct TierResult {
+  size_t shards = 0;
+  double wall_seconds = 0.0;
+  double rounds_per_second = 0.0;
+  uint64_t failed_requests = 0;
+  shard::RouterStats router_stats;
+};
+
+/// Drives every session of `specs` to completion through `fleet`, each
+/// driver thread owning a slice and its own connection; rounds run back to
+/// back (pure machine throughput).
+TierResult DriveFleet(Fleet& fleet, const std::vector<SessionSpec>& specs,
+                      size_t driver_threads, size_t budget) {
+  using Clock = std::chrono::steady_clock;
+  std::atomic<uint64_t> failed{0};
+
+  // Creates go through one connection up front so every driver sees a
+  // fully admitted fleet (mirrors users arriving before the load peak).
+  {
+    Client setup;
+    VC_CHECK(setup.Connect(fleet.port()).ok(), "setup Connect failed");
+    for (const SessionSpec& spec : specs) {
+      Result<SessionInfo> created =
+          setup.Create(spec.id, spec.dataset, spec.vql, spec.options);
+      VC_CHECK(created.ok(), "Create failed");
+    }
+  }
+
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> drivers;
+  for (size_t t = 0; t < driver_threads; ++t) {
+    drivers.emplace_back([&, t] {
+      Client client;
+      if (!client.Connect(fleet.port()).ok()) {
+        failed.fetch_add(1);
+        return;
+      }
+      for (size_t round = 0; round < budget; ++round) {
+        for (size_t i = t; i < specs.size(); i += driver_threads) {
+          Result<PendingInteraction> question = client.Step(specs[i].id);
+          if (!question.ok()) {
+            failed.fetch_add(1);
+            continue;
+          }
+          Result<WireTraceSummary> trace = client.Answer(specs[i].id);
+          if (!trace.ok()) failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& d : drivers) d.join();
+
+  TierResult result;
+  result.shards = fleet.hosts.size();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.rounds_per_second =
+      static_cast<double>(specs.size() * budget) / result.wall_seconds;
+  result.failed_requests = failed.load();
+  result.router_stats = fleet.router->router_stats();
+  return result;
+}
+
+TierResult RunTier(const BenchConfig& config, size_t shard_count,
+                   const DirtyDataset* d1, const DirtyDataset* d2,
+                   const DirtyDataset* d3) {
+  std::string tag = "t";
+  tag += std::to_string(shard_count);
+  Fleet fleet = MakeFleet(tag, shard_count, config.driver_threads, d1, d2, d3);
+  std::vector<SessionSpec> specs =
+      MakeSpecs(tag, config.sessions, config.budget);
+  ResolveDatasetNames(specs, d1, d2, d3);
+  TierResult result =
+      DriveFleet(fleet, specs, config.driver_threads, config.budget);
+  fleet.StopAll();
+  return result;
+}
+
+struct StormResult {
+  uint64_t failed_requests = 0;
+  uint64_t migrations = 0;
+  uint64_t storm_rejections = 0;  ///< admin migrates refused (benign races)
+  double wall_seconds = 0.0;
+};
+
+/// The migration-storm gate: 4 shards, drivers running full sessions, an
+/// admin connection live-migrating every session round-robin the entire
+/// time. Driver requests must never fail — a migration may stall one
+/// briefly (pin) but the handoff preserves per-connection FIFO and loses
+/// nothing.
+StormResult RunStorm(const BenchConfig& config, const DirtyDataset* d1,
+                     const DirtyDataset* d2, const DirtyDataset* d3) {
+  using Clock = std::chrono::steady_clock;
+  constexpr size_t kShards = 4;
+  Fleet fleet =
+      MakeFleet("storm", kShards, config.driver_threads, d1, d2, d3);
+  std::vector<SessionSpec> specs =
+      MakeSpecs("storm", config.storm_sessions, config.storm_budget);
+  ResolveDatasetNames(specs, d1, d2, d3);
+
+  {
+    Client setup;
+    VC_CHECK(setup.Connect(fleet.port()).ok(), "storm setup Connect failed");
+    for (const SessionSpec& spec : specs) {
+      Result<SessionInfo> created =
+          setup.Create(spec.id, spec.dataset, spec.vql, spec.options);
+      VC_CHECK(created.ok(), "storm Create failed");
+    }
+  }
+
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> storm_rejections{0};
+  std::atomic<bool> done{false};
+
+  Clock::time_point start = Clock::now();
+  std::thread storm([&] {
+    // Admin frames over the wire, like an operator's rebalance script.
+    Client admin;
+    if (!admin.Connect(fleet.port()).ok()) return;
+    uint32_t target = 1;
+    while (!done.load()) {
+      for (const SessionSpec& spec : specs) {
+        if (done.load()) break;
+        WireRequest migrate;
+        migrate.type = WireRequestType::kMigrateSession;
+        migrate.session_id = spec.id;
+        migrate.shard_id = target % kShards;
+        Result<WireResponse> moved = admin.Call(migrate);
+        if (!moved.ok()) return;  // admin transport loss ends the storm
+        if (moved.value().type == WireResponseType::kError) {
+          // Source == target or a concurrent migration: benign, count it.
+          storm_rejections.fetch_add(1);
+        }
+        ++target;
+      }
+    }
+  });
+
+  std::vector<std::thread> drivers;
+  for (size_t t = 0; t < config.driver_threads; ++t) {
+    drivers.emplace_back([&, t] {
+      Client client;
+      if (!client.Connect(fleet.port()).ok()) {
+        failed.fetch_add(1);
+        return;
+      }
+      for (size_t round = 0; round < config.storm_budget; ++round) {
+        for (size_t i = t; i < specs.size(); i += config.driver_threads) {
+          Result<PendingInteraction> question = client.Step(specs[i].id);
+          if (!question.ok()) {
+            failed.fetch_add(1);
+            continue;
+          }
+          Result<WireTraceSummary> trace = client.Answer(specs[i].id);
+          if (!trace.ok()) failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& d : drivers) d.join();
+  done.store(true);
+  storm.join();
+
+  StormResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.failed_requests = failed.load();
+  result.migrations = fleet.router->router_stats().migrations;
+  result.storm_rejections = storm_rejections.load();
+  fleet.StopAll();
+  return result;
+}
+
+void WriteTier(JsonWriter& json, const char* key, const TierResult& tier) {
+  json.Key(key);
+  json.BeginObject();
+  json.Key("shards");
+  json.Int(static_cast<int64_t>(tier.shards));
+  json.Key("wall_seconds");
+  json.Number(tier.wall_seconds);
+  json.Key("rounds_per_second");
+  json.Number(tier.rounds_per_second);
+  json.Key("failed_requests");
+  json.Int(static_cast<int64_t>(tier.failed_requests));
+  json.Key("forwards");
+  json.Int(static_cast<int64_t>(tier.router_stats.forwards));
+  json.Key("failovers");
+  json.Int(static_cast<int64_t>(tier.router_stats.failovers));
+  json.EndObject();
+}
+
+}  // namespace
+
+int Run(const BenchConfig& config) {
+  std::filesystem::create_directories(kScratchDir);
+  DirtyDataset d1 = MakeDataset("D1", config.entities);
+  DirtyDataset d2 = MakeDataset("D2", config.entities);
+  DirtyDataset d3 = MakeDataset("D3", config.entities);
+
+  std::printf("tier 1: %zu sessions x %zu rounds through 1 shard...\n",
+              config.sessions, config.budget);
+  TierResult one = RunTier(config, 1, &d1, &d2, &d3);
+  std::printf("  %.2fs wall, %.2f rounds/s\n", one.wall_seconds,
+              one.rounds_per_second);
+
+  std::printf("tier 4: same workload through 4 shards...\n");
+  TierResult four = RunTier(config, 4, &d1, &d2, &d3);
+  std::printf("  %.2fs wall, %.2f rounds/s\n", four.wall_seconds,
+              four.rounds_per_second);
+
+  const double scaling = one.rounds_per_second > 0
+                             ? four.rounds_per_second / one.rounds_per_second
+                             : 0.0;
+
+  std::printf("migration storm: %zu sessions, admin migrating "
+              "round-robin...\n",
+              config.storm_sessions);
+  StormResult storm = RunStorm(config, &d1, &d2, &d3);
+  std::printf("  %.2fs wall, %llu live migrations, %llu failed requests, "
+              "%llu admin rejections\n",
+              storm.wall_seconds, (unsigned long long)storm.migrations,
+              (unsigned long long)storm.failed_requests,
+              (unsigned long long)storm.storm_rejections);
+
+  const bool full_gate = !config.smoke && CanParallelize();
+  const double applied_gate =
+      full_gate ? config.min_scaling : config.regression_floor;
+  if (!full_gate) {
+    std::printf("(%s: scaling gate degraded to the %.2fx no-regression "
+                "floor; the %.1fx gate needs >= 4 cores)\n",
+                config.smoke ? "--smoke" : "sub-4-core machine",
+                config.regression_floor, config.min_scaling);
+  }
+  std::printf("scaling 4 vs 1 shard: %.2fx (gate >= %.2fx)\n", scaling,
+              applied_gate);
+
+  JsonWriter json = JsonWriter::Pretty();
+  json.BeginObject();
+  json.Key("bench");
+  json.String("shard_scaling");
+  json.Key("smoke");
+  json.Bool(config.smoke);
+  json.Key("sessions");
+  json.Int(static_cast<int64_t>(config.sessions));
+  json.Key("driver_threads");
+  json.Int(static_cast<int64_t>(config.driver_threads));
+  json.Key("budget");
+  json.Int(static_cast<int64_t>(config.budget));
+  json.Key("entities_per_dataset");
+  json.Int(static_cast<int64_t>(config.entities));
+  json.Key("hardware_cores");
+  json.Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.Key("full_gate_applied");
+  json.Bool(full_gate);
+  json.Key("scaling_4_vs_1");
+  json.Number(scaling);
+  json.Key("scaling_gate");
+  json.Number(applied_gate);
+  WriteTier(json, "tier_1_shard", one);
+  WriteTier(json, "tier_4_shards", four);
+  json.Key("migration_storm");
+  json.BeginObject();
+  json.Key("sessions");
+  json.Int(static_cast<int64_t>(config.storm_sessions));
+  json.Key("budget");
+  json.Int(static_cast<int64_t>(config.storm_budget));
+  json.Key("wall_seconds");
+  json.Number(storm.wall_seconds);
+  json.Key("live_migrations");
+  json.Int(static_cast<int64_t>(storm.migrations));
+  json.Key("failed_requests");
+  json.Int(static_cast<int64_t>(storm.failed_requests));
+  json.Key("admin_rejections");
+  json.Int(static_cast<int64_t>(storm.storm_rejections));
+  json.EndObject();
+  json.EndObject();
+
+  std::ofstream out("BENCH_shard_scaling.json");
+  out << json.TakeString() << "\n";
+  std::printf("wrote BENCH_shard_scaling.json\n");
+
+  std::error_code scratch_ec;
+  std::filesystem::remove_all(kScratchDir, scratch_ec);
+
+  bool ok = one.failed_requests == 0 && four.failed_requests == 0 &&
+            storm.failed_requests == 0 && scaling >= applied_gate;
+  if (!ok) {
+    std::printf("GATE FAILED\n");
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace visclean
+
+int main(int argc, char** argv) {
+  visclean::bench::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() { return std::atof(argv[++i]); };
+    if (arg == "--smoke") {
+      // CI-sized: small datasets, short sessions; the scaling gate relaxes
+      // to the no-regression floor. The storm's zero-failure gate does not
+      // relax — that is the correctness half of this bench.
+      config.smoke = true;
+      config.sessions = 8;
+      config.budget = 2;
+      config.entities = 50;
+      config.storm_sessions = 6;
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      config.sessions = static_cast<size_t>(value());
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.driver_threads = static_cast<size_t>(value());
+    } else if (arg == "--budget" && i + 1 < argc) {
+      config.budget = static_cast<size_t>(value());
+    } else if (arg == "--entities" && i + 1 < argc) {
+      config.entities = static_cast<size_t>(value());
+    } else if (arg == "--min-scaling" && i + 1 < argc) {
+      config.min_scaling = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--sessions N] [--threads N] "
+                   "[--budget N] [--entities N] [--min-scaling X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return visclean::bench::Run(config);
+}

@@ -8,11 +8,19 @@
 // than may stay resident. The footer issues one command over the text
 // dialect too, because the same port speaks both.
 //
+// The second act scales the same stack out: three ShardHosts behind a
+// ShardRouter (DESIGN.md §5), a session live-migrated between shards with
+// its composite question parked, and a shard killed under its session —
+// which the router re-homes from the on-disk checkpoint and keeps serving
+// without the client noticing.
+//
 //   $ ./build/examples/serve_driver
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "datagen/nba.h"
 #include "datagen/publications.h"
@@ -20,6 +28,8 @@
 #include "net/server.h"
 #include "serve/session_manager.h"
 #include "serve/wire.h"
+#include "shard/router.h"
+#include "shard/shard_host.h"
 
 namespace {
 
@@ -147,6 +157,88 @@ int main() {
   std::printf("  > STATUS alice2\n  < %s\n", line.value().c_str());
 
   server.Stop();
+
+  // ---- Act two: the same protocol, scaled out to a shard fleet. ----
+  std::printf("\n== two-tier: three shards behind a router ==\n");
+  shard::RouterOptions router_options;
+  std::vector<std::unique_ptr<shard::ShardHost>> hosts;
+  for (uint32_t i = 0; i < 3; ++i) {
+    shard::ShardHostOptions host_options;
+    host_options.shard_id = i;
+    host_options.serve.snapshot_dir =
+        std::string("serve_driver_snapshots.tmp/shard") + std::to_string(i);
+    std::filesystem::create_directories(host_options.serve.snapshot_dir,
+                                        fs_error);
+    auto host = std::make_unique<shard::ShardHost>(host_options);
+    Check(host->RegisterDataset(&pubs), "shard RegisterDataset");
+    Check(host->RegisterDataset(&nba), "shard RegisterDataset");
+    Check(host->Start(), "shard Start");
+    router_options.shards.push_back(
+        {i, host->port(), host->snapshot_dir()});
+    hosts.push_back(std::move(host));
+  }
+  shard::ShardRouter router(router_options);
+  Check(router.Start(), "router Start");
+  VisCleanServer front(router);
+  Check(front.Start(), "front Start");
+  std::printf("router on 127.0.0.1:%u, shards on ports %u / %u / %u\n",
+              front.port(), hosts[0]->port(), hosts[1]->port(),
+              hosts[2]->port());
+
+  Client dave;
+  Check(dave.Connect(front.port()), "connect dave");
+  Check(dave.Create("dave", pubs.name, kPubQuery, options).status(),
+        "Create dave");
+  uint32_t home = router.placement().ShardOf("dave").ValueOr(99);
+  std::printf("dave admitted on shard %u (consistent hash)\n", home);
+
+  // Live migration with the composite question parked mid-plan.
+  Result<PendingInteraction> parked = dave.Step("dave");
+  Check(parked.status(), "Step dave");
+  const uint32_t target = (home + 1) % 3;
+  WireRequest migrate;
+  migrate.type = WireRequestType::kMigrateSession;
+  migrate.session_id = "dave";
+  migrate.shard_id = target;
+  Result<WireResponse> moved = dave.Call(migrate);
+  Check(moved.status(), "MigrateSession");
+  std::printf("live-migrated dave to shard %u while his %zu-vertex question "
+              "waits for an answer\n",
+              target, parked.value().cqg_vertices);
+  Result<WireTraceSummary> after_move = dave.Answer("dave");
+  Check(after_move.status(), "Answer after migration");
+  std::printf("answered on the new shard: emd -> %.4f\n",
+              after_move.value().emd);
+
+  // Kill the hosting shard; the router re-homes dave from the checkpoint
+  // written after his last request and retries transparently.
+  uint32_t victim = router.placement().ShardOf("dave").ValueOr(99);
+  std::printf("killing shard %u under dave...\n", victim);
+  hosts[victim]->Stop();
+  Result<PendingInteraction> survived = dave.Step("dave");
+  Check(survived.status(), "Step after shard death");
+  Check(dave.Answer("dave").status(), "Answer after shard death");
+  shard::RouterStats rs = router.router_stats();
+  std::printf("recovered: now on shard %u  (forwards=%llu failovers=%llu "
+              "migrations=%llu recovered=%llu lost=%llu)\n",
+              router.placement().ShardOf("dave").ValueOr(99),
+              (unsigned long long)rs.forwards,
+              (unsigned long long)rs.failovers,
+              (unsigned long long)rs.migrations,
+              (unsigned long long)rs.recovered_sessions,
+              (unsigned long long)rs.lost_sessions);
+  WireTopology topo = router.Topology();
+  std::printf("topology epoch %llu:\n", (unsigned long long)topo.epoch);
+  for (const WireShardStatus& row : topo.shards) {
+    std::printf("  shard %u port %u  %s%s  sessions=%llu\n", row.shard_id,
+                row.port, row.alive ? "up" : "dead",
+                row.draining ? " draining" : "",
+                (unsigned long long)row.sessions);
+  }
+
+  front.Stop();
+  router.Stop();
+  for (auto& host : hosts) host->Stop();
   // The snapshot directory is working scratch, not output — leave the
   // repository checkout the way we found it.
   std::filesystem::remove_all(serve.snapshot_dir, fs_error);

@@ -28,6 +28,17 @@ enum class StatusCode {
   /// in-flight bound). The request was rejected, not failed: retrying after
   /// backoff is the expected client behaviour.
   kResourceExhausted,
+  /// The target exists but cannot serve the request right now: a session
+  /// that migrated to another shard, a shard that is draining or marked
+  /// dead, a forward carrying a stale topology epoch. Routers react by
+  /// re-resolving placement; plain clients by retrying elsewhere.
+  /// (Appended after kResourceExhausted so wire encodings stay stable.)
+  kUnavailable,
+  /// A configured deadline elapsed before the peer produced a result
+  /// (connect or read timeout in net::Client). The operation may or may not
+  /// have executed remotely; the router treats this as a dead-peer signal
+  /// and fails over instead of wedging.
+  kDeadlineExceeded,
 };
 
 /// \brief Outcome of an operation that may fail but returns no value.
@@ -62,6 +73,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,6 +8,13 @@
 // Status codes an in-process caller would see — the differential suite
 // leans on that equivalence.
 //
+// Deadlines. A hung peer must not wedge the caller — the shard router fails
+// over on timeouts instead of blocking a worker forever. ClientOptions
+// carries a connect deadline (always on) and an IO deadline (opt-in, 0 =
+// block indefinitely like a plain socket); an elapsed deadline surfaces as
+// kDeadlineExceeded and disconnects, because a half-read frame cannot be
+// resynchronized.
+//
 // LineClient speaks the text dialect: send one command line, read one
 // response line. Used by tests and interactive drivers (e.g. netcat-style
 // exploration is the same protocol).
@@ -23,11 +30,27 @@
 
 namespace visclean {
 
+/// \brief Connection behaviour shared by both client dialects.
+struct ClientOptions {
+  /// Deadline for the TCP connect itself. Always enforced (a connect to a
+  /// dead peer otherwise blocks for the kernel's SYN-retry budget).
+  size_t connect_timeout_ms = 5000;
+  /// Deadline for each whole request/response exchange, measured from the
+  /// first byte sent. 0 disables (plain blocking IO, the pre-deadline
+  /// behaviour tests rely on).
+  size_t io_timeout_ms = 0;
+  /// Wire version to speak. The server answers at the version of the frames
+  /// it receives, so pinning 2 here exercises a v2 peer end-to-end
+  /// (negotiation tests); routers speak the current version.
+  uint8_t wire_version = kWireVersion;
+};
+
 /// \brief Binary-protocol client. Not thread-safe; use one per thread (the
 /// server multiplexes connections, not the client).
 class Client {
  public:
   Client() = default;
+  explicit Client(ClientOptions options) : options_(options) {}
   ~Client();
 
   Client(const Client&) = delete;
@@ -56,10 +79,21 @@ class Client {
   Status CloseSession(const std::string& id);
   Result<ServeStats> Stats();
 
+  // Sharding surface (wire v3).
+  Result<std::string> ExportState(const std::string& id, bool remove);
+  Result<SessionInfo> ImportState(const std::string& id,
+                                  const std::string& state);
+  Status SetRole(uint32_t shard_id, uint64_t epoch);
+  /// Wraps `inner` in a kForwarded envelope addressed to (shard_id, epoch)
+  /// and returns the raw response (callers unwrap per inner type).
+  Result<WireResponse> Forward(uint32_t shard_id, uint64_t epoch,
+                               const WireRequest& inner);
+
  private:
   Status SendAll(const std::string& bytes);
-  Result<std::string> ReadFrame();
+  Result<std::string> ReadFrame(int64_t deadline_ms);
 
+  ClientOptions options_;
   int fd_ = -1;
   std::string buffer_;  ///< bytes received past the last extracted frame
   uint64_t next_request_id_ = 1;
@@ -69,6 +103,7 @@ class Client {
 class LineClient {
  public:
   LineClient() = default;
+  explicit LineClient(ClientOptions options) : options_(options) {}
   ~LineClient();
 
   LineClient(const LineClient&) = delete;
@@ -82,6 +117,7 @@ class LineClient {
   Result<std::string> Exchange(const std::string& line);
 
  private:
+  ClientOptions options_;
   int fd_ = -1;
   std::string buffer_;
 };

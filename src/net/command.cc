@@ -167,6 +167,28 @@ class CommandParser {
       VC_RETURN_IF_ERROR(TakeString(&req.path, "quoted snapshot path"));
     } else if (verb == "STATS") {
       req.type = WireRequestType::kStats;
+    } else if (verb == "EXPORT") {
+      req.type = WireRequestType::kExportState;
+      VC_RETURN_IF_ERROR(TakeWord(&req.session_id, "session id"));
+      if (PeekIsKeyword("REMOVE")) {
+        Next();
+        req.remove = true;
+      }
+    } else if (verb == "MIGRATE") {
+      req.type = WireRequestType::kMigrateSession;
+      VC_RETURN_IF_ERROR(TakeWord(&req.session_id, "session id"));
+      VC_RETURN_IF_ERROR(TakeKeyword("TO"));
+      VC_RETURN_IF_ERROR(TakeU32(&req.shard_id, "target shard id"));
+    } else if (verb == "DRAIN") {
+      req.type = WireRequestType::kDrainShard;
+      VC_RETURN_IF_ERROR(TakeU32(&req.shard_id, "shard id"));
+    } else if (verb == "JOIN") {
+      req.type = WireRequestType::kJoinShard;
+      VC_RETURN_IF_ERROR(TakeU32(&req.shard_id, "shard id"));
+      VC_RETURN_IF_ERROR(TakeKeyword("AT"));
+      VC_RETURN_IF_ERROR(TakeU32(&req.port, "shard port"));
+    } else if (verb == "TOPOLOGY") {
+      req.type = WireRequestType::kTopology;
     } else {
       return ErrAt(head.col, StrFormat("unknown command '%s'",
                                        head.text.c_str()));
@@ -210,6 +232,20 @@ class CommandParser {
       return ErrAt(Peek().col, StrFormat("expected %s", what));
     }
     *out = Peek().text;
+    Next();
+    return Status::Ok();
+  }
+
+  Status TakeU32(uint32_t* out, const char* what) {
+    if (Peek().kind != TokKind::kWord) {
+      return ErrAt(Peek().col, StrFormat("expected %s", what));
+    }
+    size_t v = 0;
+    VC_RETURN_IF_ERROR(ParseU64(Peek(), &v));
+    if (v > 0xffffffffu) {
+      return ErrAt(Peek().col, StrFormat("%s out of range", what));
+    }
+    *out = static_cast<uint32_t>(v);
     Next();
     return Status::Ok();
   }
@@ -485,6 +521,25 @@ std::string PrintCommand(const WireRequest& request) {
       return "CLOSE " + request.session_id;
     case WireRequestType::kStats:
       return "STATS";
+    case WireRequestType::kExportState:
+      return "EXPORT " + request.session_id +
+             (request.remove ? " REMOVE" : "");
+    case WireRequestType::kMigrateSession:
+      return "MIGRATE " + request.session_id + " TO " +
+             FormatU64(request.shard_id);
+    case WireRequestType::kDrainShard:
+      return "DRAIN " + FormatU64(request.shard_id);
+    case WireRequestType::kJoinShard:
+      return "JOIN " + FormatU64(request.shard_id) + " AT " +
+             FormatU64(request.port);
+    case WireRequestType::kTopology:
+      return "TOPOLOGY";
+    case WireRequestType::kImportState:
+    case WireRequestType::kForwarded:
+    case WireRequestType::kSetRole:
+      // Binary-only frames: their payloads (snapshot bytes, nested
+      // encodings) cannot travel on a text line.
+      return "";
   }
   return "";
 }
@@ -499,6 +554,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "INTERNAL";
 }
@@ -579,6 +636,24 @@ std::string PrintResponseLine(const WireResponse& response) {
       AppendKv(out, "join_full", FormatU64(s.sim_join_full));
       AppendKv(out, "join_fallback", FormatU64(s.sim_join_fallbacks));
       AppendKv(out, "join_delta", FormatU64(s.sim_join_delta_syncs));
+      return out;
+    }
+    case WireResponseType::kState:
+      // Snapshot bytes are binary; the text dialect reports only the size.
+      out = "OK STATE";
+      AppendKv(out, "bytes", FormatU64(response.state.size()));
+      return out;
+    case WireResponseType::kTopology: {
+      const WireTopology& t = response.topology;
+      out = "OK TOPOLOGY";
+      AppendKv(out, "epoch", FormatU64(t.epoch));
+      AppendKv(out, "shards", FormatU64(t.shards.size()));
+      for (const WireShardStatus& s : t.shards) {
+        out += StrFormat(" shard=%u:%u:%s:%s:%llu", s.shard_id, s.port,
+                         s.alive ? "up" : "down",
+                         s.draining ? "draining" : "serving",
+                         static_cast<unsigned long long>(s.sessions));
+      }
       return out;
     }
   }

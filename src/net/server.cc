@@ -59,6 +59,11 @@ struct Connection {
   /// Written once by the IO thread before any request is dispatched; the
   /// dispatch queue's mutex publishes it to the workers.
   Mode mode = Mode::kUnknown;
+  /// Negotiated wire version: pinned to the first binary frame's version
+  /// and echoed in every response on this connection. Same publication
+  /// discipline as `mode`.
+  uint8_t version = kWireVersion;
+  bool version_pinned = false;  ///< IO thread only
 
   // Read side: IO thread only, no lock.
   std::string in;
@@ -79,9 +84,14 @@ using ConnPtr = std::shared_ptr<Connection>;
 
 struct VisCleanServer::Impl {
   Impl(SessionManager& manager_in, ServerOptions options_in)
-      : manager(manager_in), options(options_in) {}
+      : owned_handler(std::make_unique<SessionManagerHandler>(manager_in)),
+        handler(*owned_handler),
+        options(options_in) {}
+  Impl(WireHandler& handler_in, ServerOptions options_in)
+      : handler(handler_in), options(options_in) {}
 
-  SessionManager& manager;
+  std::unique_ptr<SessionManagerHandler> owned_handler;
+  WireHandler& handler;
   ServerOptions options;
 
   int listen_fd = -1;
@@ -110,7 +120,7 @@ struct VisCleanServer::Impl {
 
   std::string Serialize(const ConnPtr& conn, const WireResponse& response) {
     return conn->mode == Connection::Mode::kBinary
-               ? EncodeResponse(response)
+               ? EncodeResponse(response, conn->version)
                : PrintResponseLine(response) + "\n";
   }
 
@@ -178,7 +188,7 @@ struct VisCleanServer::Impl {
         dispatch.pop_front();
       }
       const ConnPtr& conn = item.first;
-      WireResponse response = ExecuteRequest(manager, item.second);
+      WireResponse response = handler.Handle(item.second);
       std::string bytes = Serialize(conn, response);
       {
         std::lock_guard<std::mutex> lock(conn->mu);
@@ -193,23 +203,41 @@ struct VisCleanServer::Impl {
   void ParseBinary(const ConnPtr& conn) {
     for (;;) {
       std::string payload;
-      FrameStatus fs = NextFrame(conn->in, &payload);
+      uint8_t frame_version = 0;
+      FrameStatus fs = NextFrame(conn->in, &payload, &frame_version);
       if (fs == FrameStatus::kNeedMore) break;
       if (fs == FrameStatus::kBad) {
         // One error frame, then hang up: a corrupt length-prefixed stream
         // cannot be resynchronized.
         WireResponse err = ErrorResponse(
             0, Status::InvalidArgument("malformed VCWP frame"));
-        EnqueueReady(conn, EncodeResponse(err));
+        EnqueueReady(conn, EncodeResponse(err, conn->version));
         conn->peer_eof = true;  // stop reading
         std::lock_guard<std::mutex> lock(conn->mu);
         conn->closing = true;
         break;
       }
-      Result<WireRequest> request = DecodeRequestPayload(payload);
+      if (!conn->version_pinned) {
+        // Pin the connection to the version of its first frame; later
+        // frames may not change it (mixed-version pipelining would make
+        // response framing ambiguous).
+        conn->version = frame_version;
+        conn->version_pinned = true;
+      } else if (frame_version != conn->version) {
+        WireResponse err = ErrorResponse(
+            0, Status::InvalidArgument(
+                   "wire version changed mid-connection"));
+        EnqueueReady(conn, EncodeResponse(err, conn->version));
+        conn->peer_eof = true;
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->closing = true;
+        break;
+      }
+      Result<WireRequest> request =
+          DecodeRequestPayload(payload, conn->version);
       if (!request.ok()) {
-        EnqueueReady(conn,
-                     EncodeResponse(ErrorResponse(0, request.status())));
+        EnqueueReady(conn, EncodeResponse(ErrorResponse(0, request.status()),
+                                          conn->version));
       } else {
         EnqueueRequest(conn, std::move(request).value());
       }
@@ -415,6 +443,9 @@ struct VisCleanServer::Impl {
 
 VisCleanServer::VisCleanServer(SessionManager& manager, ServerOptions options)
     : impl_(std::make_unique<Impl>(manager, options)) {}
+
+VisCleanServer::VisCleanServer(WireHandler& handler, ServerOptions options)
+    : impl_(std::make_unique<Impl>(handler, options)) {}
 
 VisCleanServer::~VisCleanServer() { Stop(); }
 

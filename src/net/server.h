@@ -8,9 +8,15 @@
 // dispatched to a small pool of worker threads owned by the server — NOT
 // the SessionManager's shared ThreadPool, whose ParallelChunks barrier is
 // not reentrant: a request executing on that pool would deadlock the
-// session's own benefit fan-out. Workers execute through ExecuteRequest,
-// serialize the response for the connection's mode, and append it to the
-// connection's write buffer; the IO thread flushes.
+// session's own benefit fan-out. Workers execute through the server's
+// WireHandler (by default a SessionManagerHandler over the given manager;
+// the shard router passes its own), serialize the response for the
+// connection's mode, and append it to the connection's write buffer; the IO
+// thread flushes.
+//
+// Version negotiation. A binary connection is pinned to the wire version of
+// its first frame and answered at that version for its lifetime, so v2 and
+// v3 peers coexist on one port.
 //
 // Ordering. Requests on one connection execute strictly in arrival order
 // (at most one in flight per connection, the rest queue on the connection),
@@ -43,6 +49,7 @@
 namespace visclean {
 
 class SessionManager;
+class WireHandler;
 
 /// \brief Server configuration.
 struct ServerOptions {
@@ -59,12 +66,16 @@ struct ServerOptions {
   int listen_backlog = 128;
 };
 
-/// \brief TCP server over one SessionManager. Start/Stop are not
+/// \brief TCP server over one request handler. Start/Stop are not
 /// thread-safe against each other; everything in between is.
 class VisCleanServer {
  public:
-  /// `manager` must outlive the server.
+  /// Fronts `manager` through an owned SessionManagerHandler (the shard /
+  /// single-process configuration). `manager` must outlive the server.
   explicit VisCleanServer(SessionManager& manager, ServerOptions options = {});
+  /// Fronts an arbitrary handler (the router tier). `handler` must outlive
+  /// the server.
+  explicit VisCleanServer(WireHandler& handler, ServerOptions options = {});
   ~VisCleanServer();
 
   VisCleanServer(const VisCleanServer&) = delete;

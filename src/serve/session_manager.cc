@@ -26,6 +26,12 @@ bool FilenameSafe(const std::string& id) {
   return id.find_first_not_of('.') != std::string::npos;
 }
 
+/// Bound on migration tombstones kept per manager. A tombstone only has to
+/// outlive the router's placement update for its session, so a small recent
+/// window is enough; pruning oldest-first keeps the map from growing with
+/// the lifetime total of migrations.
+constexpr size_t kMaxMovedTombstones = 1024;
+
 }  // namespace
 
 /// One hosted session. `mu` serializes all operations on the session;
@@ -202,6 +208,9 @@ Result<SessionManager::LockedEntry> SessionManager::LockSession(
     std::lock_guard<std::mutex> map_lock(map_mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) {
+      if (moved_.count(id)) {
+        return Status::Unavailable("session '" + id + "' migrated away");
+      }
       return Status::NotFound("no session '" + id + "'");
     }
     entry = it->second;
@@ -215,6 +224,14 @@ Result<SessionManager::LockedEntry> SessionManager::LockSession(
   std::unique_lock<std::mutex> lock(entry->mu);
   entry->queued.fetch_sub(1);
   if (entry->closed) {
+    // A request that queued behind a migration drains into the tombstone:
+    // kUnavailable tells the router to re-resolve placement and replay.
+    {
+      std::lock_guard<std::mutex> map_lock(map_mu_);
+      if (moved_.count(id)) {
+        return Status::Unavailable("session '" + id + "' migrated away");
+      }
+    }
     return Status::NotFound("session '" + id + "' is closed");
   }
   if (!entry->session) {
@@ -278,6 +295,29 @@ void SessionManager::MaybeEvict() {
   }
 }
 
+void SessionManager::PersistLocked(Entry& entry) {
+  if (!options_.persist_progress || options_.snapshot_dir.empty()) return;
+  // Best-effort, like eviction: a failed checkpoint only narrows crash
+  // recovery to the previous round, it must not fail the client's request.
+  Result<SessionSnapshotState> state = entry.session->CaptureState();
+  if (!state.ok()) return;
+  (void)WriteSnapshotFile(EvictionPath(entry.id), state.value());
+}
+
+// Requires map_mu_ held: the tombstone must become visible in the same
+// critical section that removes the session, or a racing lookup could see
+// neither and report kNotFound for a session that merely moved.
+void SessionManager::RecordMoved(const std::string& id) {
+  moved_[id] = ++moved_seq_;
+  while (moved_.size() > kMaxMovedTombstones) {
+    auto oldest = moved_.begin();
+    for (auto it = moved_.begin(); it != moved_.end(); ++it) {
+      if (it->second < oldest->second) oldest = it;
+    }
+    moved_.erase(oldest);
+  }
+}
+
 Result<PendingInteraction> SessionManager::Step(const std::string& id) {
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
@@ -300,6 +340,7 @@ Result<PendingInteraction> SessionManager::Step(const std::string& id) {
   entry.info.iteration = entry.session->iteration();
   entry.info.pending = true;
   ++stat_steps_;
+  PersistLocked(entry);
   return pending;
 }
 
@@ -331,6 +372,7 @@ Result<IterationTrace> SessionManager::Answer(const std::string& id) {
   stat_join_full_ += inc.sim_join_full;
   stat_join_fallback_ += inc.sim_join_fallbacks;
   stat_join_delta_ += inc.sim_join_delta_syncs;
+  PersistLocked(entry);
   return trace;
 }
 
@@ -373,26 +415,17 @@ Status SessionManager::Snapshot(const std::string& id,
   return Status::Ok();
 }
 
-Result<SessionInfo> SessionManager::Restore(const std::string& id,
-                                            const std::string& path) {
-  InflightSlot slot(inflight_, options_.max_inflight_requests);
-  if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
-    return Status::ResourceExhausted("in-flight request limit reached");
-  }
+Result<SessionInfo> SessionManager::AdmitFromState(
+    const std::string& id, const SessionSnapshotState& state) {
   if (!FilenameSafe(id)) {
     return Status::InvalidArgument("session id must be [A-Za-z0-9._-]+");
   }
-  Result<SessionSnapshotState> state = ReadSnapshotFile(path);
-  if (!state.ok()) return state.status();
-
   const DirtyDataset* oracle = nullptr;
   {
     std::lock_guard<std::mutex> map_lock(map_mu_);
-    auto it = datasets_.find(state.value().dataset_name);
+    auto it = datasets_.find(state.dataset_name);
     if (it == datasets_.end()) {
-      return Status::NotFound("snapshot dataset '" +
-                              state.value().dataset_name +
+      return Status::NotFound("snapshot dataset '" + state.dataset_name +
                               "' is not registered");
     }
     oracle = it->second;
@@ -401,18 +434,18 @@ Result<SessionInfo> SessionManager::Restore(const std::string& id,
     }
   }
 
-  Result<std::unique_ptr<VisCleanSession>> session = BuildSession(
-      oracle, state.value().query_text, state.value().options,
-      state.value().user_options, state.value().cost_model);
+  Result<std::unique_ptr<VisCleanSession>> session =
+      BuildSession(oracle, state.query_text, state.options,
+                   state.user_options, state.cost_model);
   if (!session.ok()) return session.status();
-  VC_RETURN_IF_ERROR(session.value()->RestoreState(state.value()));
+  VC_RETURN_IF_ERROR(session.value()->RestoreState(state));
 
   auto entry = std::make_shared<Entry>();
   entry->id = id;
   entry->oracle = oracle;
   entry->info.id = id;
-  entry->info.dataset = state.value().dataset_name;
-  entry->info.budget = state.value().options.budget;
+  entry->info.dataset = state.dataset_name;
+  entry->info.budget = state.options.budget;
   entry->info.iteration = session.value()->iteration();
   entry->info.pending = session.value()->pending();
   entry->info.finished = session.value()->finished();
@@ -434,6 +467,9 @@ Result<SessionInfo> SessionManager::Restore(const std::string& id,
       if (!inserted) {
         return Status::InvalidArgument("session '" + id + "' already exists");
       }
+      // The session lives here now; a stale migration tombstone must not
+      // shadow it.
+      moved_.erase(id);
     }
     resident_.fetch_add(1);
     entry->last_touch.store(clock_.fetch_add(1) + 1);
@@ -442,6 +478,77 @@ Result<SessionInfo> SessionManager::Restore(const std::string& id,
   ++stat_created_;
   MaybeEvict();
   return info;
+}
+
+Result<SessionInfo> SessionManager::Restore(const std::string& id,
+                                            const std::string& path) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  Result<SessionSnapshotState> state = ReadSnapshotFile(path);
+  if (!state.ok()) return state.status();
+  return AdmitFromState(id, state.value());
+}
+
+Result<std::string> SessionManager::ExportSession(const std::string& id,
+                                                  bool remove) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  Result<LockedEntry> locked = LockSession(id);
+  if (!locked.ok()) return locked.status();
+  Entry& entry = *locked.value().entry;
+  Result<SessionSnapshotState> state = entry.session->CaptureState();
+  if (!state.ok()) return state.status();
+  std::string bytes = EncodeSnapshot(state.value());
+  ++stat_snapshots_;
+  if (remove) {
+    // Retire under the entry lock we already hold: waiters queued on this
+    // session observe closed + the tombstone and drain with kUnavailable.
+    // Entry-then-map lock order is the legal direction.
+    entry.closed = true;
+    entry.session.reset();
+    resident_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> map_lock(map_mu_);
+      sessions_.erase(id);
+      RecordMoved(id);
+    }
+    if (!options_.snapshot_dir.empty()) {
+      std::remove(EvictionPath(id).c_str());  // best-effort cleanup
+    }
+  }
+  return bytes;
+}
+
+Result<SessionInfo> SessionManager::ImportSession(const std::string& id,
+                                                  const std::string& state) {
+  InflightSlot slot(inflight_, options_.max_inflight_requests);
+  if (!slot.admitted()) {
+    ++stat_rejected_inflight_;
+    return Status::ResourceExhausted("in-flight request limit reached");
+  }
+  Result<SessionSnapshotState> decoded = DecodeSnapshot(state);
+  if (!decoded.ok()) return decoded.status();
+  Result<SessionInfo> info = AdmitFromState(id, decoded.value());
+  if (info.ok()) {
+    // Imported sessions immediately join this shard's crash-recovery set.
+    Result<LockedEntry> locked = LockSession(id);
+    if (locked.ok()) PersistLocked(*locked.value().entry);
+  }
+  return info;
+}
+
+std::vector<std::string> SessionManager::live_sessions() const {
+  std::vector<std::string> ids;
+  std::lock_guard<std::mutex> map_lock(map_mu_);
+  ids.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) ids.push_back(id);
+  return ids;
 }
 
 Status SessionManager::Close(const std::string& id) {

@@ -39,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/session.h"
@@ -79,6 +80,13 @@ struct ServeOptions {
   size_t batch_window_micros = 150;
   /// Cap on work items per combined dispatch.
   size_t batch_max_items = 16;
+  /// Checkpoint every session to snapshot_dir after each successful Step and
+  /// Answer (best-effort, same files eviction uses). This is the crash-
+  /// recovery substrate for sharded serving: a router re-homes a dead
+  /// shard's sessions from these files, and a Step-time checkpoint captures
+  /// the parked composite question so even a mid-plan kill restores to the
+  /// exact interaction boundary. Requires a non-empty snapshot_dir.
+  bool persist_progress = false;
 };
 
 /// \brief Client-visible session state (the Status request's payload).
@@ -183,6 +191,26 @@ class SessionManager {
   /// Destroys the session (resident or evicted) and its eviction file.
   Status Close(const std::string& id);
 
+  /// Serializes the session's durable state to bytes (the VCSN snapshot
+  /// codec — the wire migration format). With `remove` the session is
+  /// atomically retired under its own lock after capture: later requests
+  /// see kUnavailable ("migrated away") rather than kNotFound, which a
+  /// router translates into re-resolving placement. Export-with-remove is
+  /// the source half of the pin→drain→export→import migration handoff: the
+  /// entry lock *is* the pin (concurrent requests queue on it and drain
+  /// into the tombstone).
+  Result<std::string> ExportSession(const std::string& id, bool remove);
+
+  /// Admits session `id` from ExportSession()/Snapshot bytes — the target
+  /// half of a migration. The snapshot's dataset must be registered. Clears
+  /// any migration tombstone for `id`.
+  Result<SessionInfo> ImportSession(const std::string& id,
+                                    const std::string& state);
+
+  /// Ids of all live sessions (resident or evicted), for drain loops and
+  /// crash recovery.
+  std::vector<std::string> live_sessions() const;
+
   /// Point-in-time counter snapshot.
   ServeStats stats() const;
 
@@ -197,6 +225,10 @@ class SessionManager {
   Status RestoreResident(Entry& entry);
   void TouchLocked(Entry& entry);
   void MaybeEvict();
+  void PersistLocked(Entry& entry);
+  Result<SessionInfo> AdmitFromState(const std::string& id,
+                                     const SessionSnapshotState& state);
+  void RecordMoved(const std::string& id);
   std::string EvictionPath(const std::string& id) const;
   Result<std::unique_ptr<VisCleanSession>> BuildSession(
       const DirtyDataset* oracle, const std::string& vql,
@@ -213,6 +245,11 @@ class SessionManager {
   mutable std::mutex map_mu_;
   std::map<std::string, std::shared_ptr<Entry>> sessions_;
   std::map<std::string, const DirtyDataset*> datasets_;
+  /// Migration tombstones: sessions exported with remove=true. Values are a
+  /// monotone admission order so the map can be pruned oldest-first at
+  /// kMaxMovedTombstones. Guarded by map_mu_.
+  std::map<std::string, uint64_t> moved_;
+  uint64_t moved_seq_ = 0;
 
   std::atomic<size_t> inflight_{0};
   std::atomic<size_t> resident_{0};

@@ -14,9 +14,36 @@ using codec::PutEnum;
 using codec::Reader;
 using codec::Writer;
 
-// kOk never travels in a kError response; everything else is legal.
+// kOk never travels in a kError response; everything else is legal. v2
+// predates the sharding status codes, so a v2 connection keeps the old
+// ceiling on both sides of the codec.
 constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
+constexpr uint8_t kMaxStatusCodeV2 =
     static_cast<uint8_t>(StatusCode::kResourceExhausted);
+
+uint8_t MaxStatusCodeFor(uint8_t version) {
+  return version >= 3 ? kMaxStatusCode : kMaxStatusCodeV2;
+}
+
+// A v3-only status code leaving on a v2 connection is flattened to
+// kInternal rather than sent as a byte the peer's decoder will reject.
+StatusCode ClampStatusCode(StatusCode code, uint8_t version) {
+  if (static_cast<uint8_t>(code) > MaxStatusCodeFor(version)) {
+    return StatusCode::kInternal;
+  }
+  return code;
+}
+
+bool RequestTypeInVersion(WireRequestType type, uint8_t version) {
+  return version >= 3 ||
+         static_cast<uint8_t>(type) <= kMaxWireRequestTypeV2;
+}
+
+bool ResponseTypeInVersion(WireResponseType type, uint8_t version) {
+  return version >= 3 ||
+         static_cast<uint8_t>(type) <= kMaxWireResponseTypeV2;
+}
 
 void PutSessionInfo(Writer& w, const SessionInfo& info) {
   w.Str(info.id);
@@ -152,6 +179,37 @@ ServeStats GetStats(Reader& r) {
   return s;
 }
 
+void PutTopology(Writer& w, const WireTopology& t) {
+  w.U64(t.epoch);
+  w.U64(t.shards.size());
+  for (const WireShardStatus& s : t.shards) {
+    w.U32(s.shard_id);
+    w.U32(s.port);
+    w.Bool(s.alive);
+    w.Bool(s.draining);
+    w.U64(s.sessions);
+  }
+}
+
+WireTopology GetTopology(Reader& r) {
+  WireTopology t;
+  t.epoch = r.U64();
+  // Each row is at least 4+4+1+1+8 bytes; Count bounds the allocation
+  // against a hostile length prefix.
+  const size_t n = r.Count(18);
+  t.shards.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    WireShardStatus s;
+    s.shard_id = r.U32();
+    s.port = r.U32();
+    s.alive = r.Bool();
+    s.draining = r.Bool();
+    s.sessions = r.U64();
+    t.shards.push_back(s);
+  }
+  return t;
+}
+
 WireTraceSummary SummarizeTrace(const IterationTrace& trace) {
   WireTraceSummary t;
   t.iteration = trace.iteration;
@@ -165,21 +223,24 @@ WireTraceSummary SummarizeTrace(const IterationTrace& trace) {
 
 }  // namespace
 
-std::string EncodeFrame(const std::string& payload) {
+std::string EncodeFrame(const std::string& payload, uint8_t version) {
   VC_CHECK(payload.size() <= kMaxWirePayload, "wire payload exceeds bound");
+  VC_CHECK(version >= kWireVersionMin && version <= kWireVersion,
+           "unsupported wire version");
   Writer w;
   w.U8(static_cast<uint8_t>(kWireMagic[0]));
   w.U8(static_cast<uint8_t>(kWireMagic[1]));
   w.U8(static_cast<uint8_t>(kWireMagic[2]));
   w.U8(static_cast<uint8_t>(kWireMagic[3]));
-  w.U8(kWireVersion);
+  w.U8(version);
   w.U32(static_cast<uint32_t>(payload.size()));
   std::string out = w.Take();
   out.append(payload);
   return out;
 }
 
-FrameStatus NextFrame(std::string& buffer, std::string* payload) {
+FrameStatus NextFrame(std::string& buffer, std::string* payload,
+                      uint8_t* version) {
   if (buffer.size() < kWireHeaderSize) {
     // Reject a wrong magic as soon as the bytes we do have disagree, so a
     // text-mode or garbage peer is turned away before it can stall waiting
@@ -193,7 +254,8 @@ FrameStatus NextFrame(std::string& buffer, std::string* payload) {
   if (std::memcmp(buffer.data(), kWireMagic, 4) != 0) {
     return FrameStatus::kBad;
   }
-  if (static_cast<uint8_t>(buffer[4]) != kWireVersion) {
+  const uint8_t frame_version = static_cast<uint8_t>(buffer[4]);
+  if (frame_version < kWireVersionMin || frame_version > kWireVersion) {
     return FrameStatus::kBad;
   }
   uint32_t length = 0;
@@ -205,10 +267,11 @@ FrameStatus NextFrame(std::string& buffer, std::string* payload) {
   if (buffer.size() < kWireHeaderSize + length) return FrameStatus::kNeedMore;
   payload->assign(buffer, kWireHeaderSize, length);
   buffer.erase(0, kWireHeaderSize + length);
+  if (version != nullptr) *version = frame_version;
   return FrameStatus::kFrame;
 }
 
-std::string EncodeRequest(const WireRequest& request) {
+std::string EncodeRequestPayload(const WireRequest& request) {
   Writer w;
   PutEnum(w, request.type);
   w.U64(request.request_id);
@@ -233,18 +296,55 @@ std::string EncodeRequest(const WireRequest& request) {
       w.Str(request.path);
       break;
     case WireRequestType::kStats:
+    case WireRequestType::kTopology:
+      break;
+    case WireRequestType::kExportState:
+      w.Str(request.session_id);
+      w.Bool(request.remove);
+      break;
+    case WireRequestType::kImportState:
+      w.Str(request.session_id);
+      w.Str(request.state);
+      break;
+    case WireRequestType::kForwarded:
+      w.U32(request.shard_id);
+      w.U64(request.epoch);
+      w.Str(request.inner);
+      break;
+    case WireRequestType::kJoinShard:
+      w.U32(request.shard_id);
+      w.U32(request.port);
+      break;
+    case WireRequestType::kDrainShard:
+      w.U32(request.shard_id);
+      break;
+    case WireRequestType::kMigrateSession:
+      w.Str(request.session_id);
+      w.U32(request.shard_id);
+      break;
+    case WireRequestType::kSetRole:
+      w.U32(request.shard_id);
+      w.U64(request.epoch);
       break;
   }
-  return EncodeFrame(w.Take());
+  return w.Take();
 }
 
-std::string EncodeResponse(const WireResponse& response) {
+std::string EncodeRequest(const WireRequest& request, uint8_t version) {
+  VC_CHECK(RequestTypeInVersion(request.type, version),
+           "request type does not exist at this wire version");
+  return EncodeFrame(EncodeRequestPayload(request), version);
+}
+
+std::string EncodeResponse(const WireResponse& response, uint8_t version) {
+  VC_CHECK(ResponseTypeInVersion(response.type, version),
+           "response type does not exist at this wire version");
   Writer w;
   PutEnum(w, response.type);
   w.U64(response.request_id);
   switch (response.type) {
     case WireResponseType::kError:
-      PutEnum(w, response.code);
+      PutEnum(w, ClampStatusCode(response.code, version));
       w.Str(response.message);
       break;
     case WireResponseType::kSessionInfo:
@@ -261,15 +361,24 @@ std::string EncodeResponse(const WireResponse& response) {
     case WireResponseType::kStats:
       PutStats(w, response.stats);
       break;
+    case WireResponseType::kState:
+      w.Str(response.state);
+      break;
+    case WireResponseType::kTopology:
+      PutTopology(w, response.topology);
+      break;
   }
-  return EncodeFrame(w.Take());
+  return EncodeFrame(w.Take(), version);
 }
 
-Result<WireRequest> DecodeRequestPayload(const std::string& payload) {
+Result<WireRequest> DecodeRequestPayload(const std::string& payload,
+                                         uint8_t version) {
   Reader r(payload);
   bool bad = false;
   WireRequest req;
-  req.type = GetEnum<WireRequestType>(r, kMaxWireRequestType, &bad);
+  const uint8_t max_type =
+      version >= 3 ? kMaxWireRequestType : kMaxWireRequestTypeV2;
+  req.type = GetEnum<WireRequestType>(r, max_type, &bad);
   if (bad || r.failed()) {
     return Status::InvalidArgument("unknown wire request type");
   }
@@ -295,6 +404,35 @@ Result<WireRequest> DecodeRequestPayload(const std::string& payload) {
       req.path = r.Str();
       break;
     case WireRequestType::kStats:
+    case WireRequestType::kTopology:
+      break;
+    case WireRequestType::kExportState:
+      req.session_id = r.Str();
+      req.remove = r.Bool();
+      break;
+    case WireRequestType::kImportState:
+      req.session_id = r.Str();
+      req.state = r.Str();
+      break;
+    case WireRequestType::kForwarded:
+      req.shard_id = r.U32();
+      req.epoch = r.U64();
+      req.inner = r.Str();
+      break;
+    case WireRequestType::kJoinShard:
+      req.shard_id = r.U32();
+      req.port = r.U32();
+      break;
+    case WireRequestType::kDrainShard:
+      req.shard_id = r.U32();
+      break;
+    case WireRequestType::kMigrateSession:
+      req.session_id = r.Str();
+      req.shard_id = r.U32();
+      break;
+    case WireRequestType::kSetRole:
+      req.shard_id = r.U32();
+      req.epoch = r.U64();
       break;
   }
   if (r.failed() || bad) {
@@ -306,18 +444,21 @@ Result<WireRequest> DecodeRequestPayload(const std::string& payload) {
   return req;
 }
 
-Result<WireResponse> DecodeResponsePayload(const std::string& payload) {
+Result<WireResponse> DecodeResponsePayload(const std::string& payload,
+                                           uint8_t version) {
   Reader r(payload);
   bool bad = false;
   WireResponse resp;
-  resp.type = GetEnum<WireResponseType>(r, kMaxWireResponseType, &bad);
+  const uint8_t max_type =
+      version >= 3 ? kMaxWireResponseType : kMaxWireResponseTypeV2;
+  resp.type = GetEnum<WireResponseType>(r, max_type, &bad);
   if (bad || r.failed()) {
     return Status::InvalidArgument("unknown wire response type");
   }
   resp.request_id = r.U64();
   switch (resp.type) {
     case WireResponseType::kError: {
-      resp.code = GetEnum<StatusCode>(r, kMaxStatusCode, &bad);
+      resp.code = GetEnum<StatusCode>(r, MaxStatusCodeFor(version), &bad);
       if (resp.code == StatusCode::kOk) bad = true;
       resp.message = r.Str();
       break;
@@ -335,6 +476,12 @@ Result<WireResponse> DecodeResponsePayload(const std::string& payload) {
       break;
     case WireResponseType::kStats:
       resp.stats = GetStats(r);
+      break;
+    case WireResponseType::kState:
+      resp.state = r.Str();
+      break;
+    case WireResponseType::kTopology:
+      resp.topology = GetTopology(r);
       break;
   }
   if (r.failed() || bad) {
@@ -419,9 +566,104 @@ WireResponse ExecuteRequest(SessionManager& manager,
       resp.stats = manager.stats();
       return resp;
     }
+    case WireRequestType::kExportState: {
+      Result<std::string> state =
+          manager.ExportSession(request.session_id, request.remove);
+      if (!state.ok()) return ErrorResponse(request.request_id, state.status());
+      resp.type = WireResponseType::kState;
+      resp.state = std::move(state).value();
+      return resp;
+    }
+    case WireRequestType::kImportState: {
+      Result<SessionInfo> info =
+          manager.ImportSession(request.session_id, request.state);
+      if (!info.ok()) return ErrorResponse(request.request_id, info.status());
+      resp.type = WireResponseType::kSessionInfo;
+      resp.info = std::move(info).value();
+      return resp;
+    }
+    case WireRequestType::kForwarded:
+    case WireRequestType::kSetRole:
+      return ErrorResponse(
+          request.request_id,
+          Status::InvalidArgument(
+              "shard control frames require a SessionManagerHandler"));
+    case WireRequestType::kJoinShard:
+    case WireRequestType::kDrainShard:
+    case WireRequestType::kMigrateSession:
+    case WireRequestType::kTopology:
+      return ErrorResponse(
+          request.request_id,
+          Status::InvalidArgument("admin frames are served by the router"));
   }
   return ErrorResponse(request.request_id,
                        Status::Internal("unhandled wire request type"));
+}
+
+uint32_t SessionManagerHandler::shard_id() const {
+  std::lock_guard<std::mutex> lock(role_mu_);
+  return shard_id_;
+}
+
+uint64_t SessionManagerHandler::epoch() const {
+  std::lock_guard<std::mutex> lock(role_mu_);
+  return epoch_;
+}
+
+WireResponse SessionManagerHandler::Handle(const WireRequest& request) {
+  switch (request.type) {
+    case WireRequestType::kSetRole: {
+      std::lock_guard<std::mutex> lock(role_mu_);
+      if (role_set_ && request.shard_id != shard_id_) {
+        return ErrorResponse(
+            request.request_id,
+            Status::InvalidArgument("shard already holds a different id"));
+      }
+      if (role_set_ && request.epoch < epoch_) {
+        return ErrorResponse(request.request_id,
+                             Status::Unavailable("stale topology epoch"));
+      }
+      role_set_ = true;
+      shard_id_ = request.shard_id;
+      epoch_ = request.epoch;
+      WireResponse resp;
+      resp.type = WireResponseType::kAck;
+      resp.request_id = request.request_id;
+      return resp;
+    }
+    case WireRequestType::kForwarded: {
+      {
+        std::lock_guard<std::mutex> lock(role_mu_);
+        if (role_set_ && request.shard_id != shard_id_) {
+          return ErrorResponse(
+              request.request_id,
+              Status::Unavailable("forward addressed to a different shard"));
+        }
+        if (role_set_ && request.epoch < epoch_) {
+          return ErrorResponse(
+              request.request_id,
+              Status::Unavailable("forward carries a stale topology epoch"));
+        }
+        if (role_set_ && request.epoch > epoch_) epoch_ = request.epoch;
+      }
+      Result<WireRequest> inner = DecodeRequestPayload(request.inner);
+      if (!inner.ok()) {
+        return ErrorResponse(request.request_id, inner.status());
+      }
+      if (inner.value().type == WireRequestType::kForwarded) {
+        return ErrorResponse(
+            request.request_id,
+            Status::InvalidArgument("forwarded requests do not nest"));
+      }
+      // The inner response keeps the *outer* request id so the router's
+      // pipelined connection can match it without tracking two id spaces.
+      WireRequest unwrapped = std::move(inner).value();
+      unwrapped.request_id = request.request_id;
+      return Handle(unwrapped);
+    }
+    default:
+      return ExecuteRequest(manager_, request);
+  }
 }
 
 }  // namespace visclean

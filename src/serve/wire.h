@@ -5,8 +5,11 @@
 // Frame layout (all integers little-endian):
 //
 //   magic   "VCWP"          4 bytes
-//   version u8              currently 2 (v2 added the kernel-batching
-//                           occupancy counters to the Stats response)
+//   version u8              2 or 3 (v2 added the kernel-batching occupancy
+//                           counters to the Stats response; v3 added the
+//                           sharding surface: state export/import, forwarded
+//                           requests with shard-id/epoch fields, and the
+//                           JoinShard/Drain/Migrate/Topology admin frames)
 //   length  u32             payload byte count, <= kMaxWirePayload
 //   payload length bytes    one request or response message
 //
@@ -15,18 +18,27 @@
 // answers. request_id is client-chosen and opaque to the server — clients
 // use it to match pipelined responses to requests.
 //
+// Version negotiation is per connection and implicit: a peer writes frames
+// at the highest version it speaks, the server pins the connection to the
+// version of the first frame it receives and answers at that same version.
+// A v2 peer therefore keeps working against a v3 server (v3-only request
+// types are rejected as invalid on a v2 connection rather than half
+// understood), and a v3 router never has to guess what a shard speaks.
+//
 // Everything behind the length prefix decodes through the hardened
 // serve/codec.h Reader (overflow-safe bounds, latched failure, bounded
 // allocations), and every decoder rejects rather than crashes on corrupt
 // input: bad magic, unknown version, oversized lengths, truncated or
 // trailing bytes, and out-of-range enums all surface as Status errors.
-// DESIGN.md §4 is the normative spec; tests/wire_test.cc fuzzes this
+// DESIGN.md §4/§5 are the normative spec; tests/wire_test.cc fuzzes this
 // surface.
 #ifndef VISCLEAN_SERVE_WIRE_H_
 #define VISCLEAN_SERVE_WIRE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/engine_context.h"
@@ -40,14 +52,19 @@ namespace visclean {
 /// Frame header magic. A connection whose first four bytes are not this
 /// magic is served in line-oriented text mode instead (src/net/command.h).
 inline constexpr char kWireMagic[4] = {'V', 'C', 'W', 'P'};
-inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireVersion = 3;
+/// Oldest version this build still speaks. Frames at any version in
+/// [kWireVersionMin, kWireVersion] are accepted; the connection is served at
+/// the version the peer sent.
+inline constexpr uint8_t kWireVersionMin = 2;
 /// Hard payload bound: no legitimate message approaches this, and the bound
 /// keeps a corrupt or hostile length prefix from driving a huge allocation.
 inline constexpr uint32_t kMaxWirePayload = 16u * 1024u * 1024u;
 /// Bytes before the payload: magic + version + length.
 inline constexpr size_t kWireHeaderSize = 4 + 1 + 4;
 
-/// \brief Request message types (u8 on the wire).
+/// \brief Request message types (u8 on the wire). Types 8+ are v3-only and
+/// rejected when decoded from a v2 frame.
 enum class WireRequestType : uint8_t {
   kCreate = 0,
   kStep = 1,
@@ -57,20 +74,37 @@ enum class WireRequestType : uint8_t {
   kRestore = 5,
   kClose = 6,
   kStats = 7,
+  // --- v3 (sharding) ---
+  kExportState = 8,     ///< serialize a live session to VCSN bytes
+  kImportState = 9,     ///< admit a session from VCSN bytes
+  kForwarded = 10,      ///< router→shard envelope around an inner request
+  kJoinShard = 11,      ///< admin: add a shard to the router's ring
+  kDrainShard = 12,     ///< admin: migrate a shard's sessions away
+  kMigrateSession = 13, ///< admin: move one session to a named shard
+  kTopology = 14,       ///< admin: dump ring membership + placement counts
+  kSetRole = 15,        ///< router→shard: pin shard id + topology epoch
 };
 inline constexpr uint8_t kMaxWireRequestType =
+    static_cast<uint8_t>(WireRequestType::kSetRole);
+inline constexpr uint8_t kMaxWireRequestTypeV2 =
     static_cast<uint8_t>(WireRequestType::kStats);
 
-/// \brief Response message types (u8 on the wire).
+/// \brief Response message types (u8 on the wire). Types 6+ are v3-only.
 enum class WireResponseType : uint8_t {
   kError = 0,        ///< status code + message
-  kSessionInfo = 1,  ///< Create / GetStatus / Restore
+  kSessionInfo = 1,  ///< Create / GetStatus / Restore / ImportState
   kPending = 2,      ///< Step
   kTrace = 3,        ///< Answer
-  kAck = 4,          ///< Snapshot / Close
+  kAck = 4,          ///< Snapshot / Close / JoinShard / Drain / Migrate /
+                     ///< SetRole
   kStats = 5,        ///< Stats
+  // --- v3 (sharding) ---
+  kState = 6,        ///< ExportState: VCSN snapshot bytes
+  kTopology = 7,     ///< Topology: ring membership + placement
 };
 inline constexpr uint8_t kMaxWireResponseType =
+    static_cast<uint8_t>(WireResponseType::kTopology);
+inline constexpr uint8_t kMaxWireResponseTypeV2 =
     static_cast<uint8_t>(WireResponseType::kStats);
 
 /// \brief One decoded request. Only the fields of the request's type are
@@ -88,6 +122,16 @@ struct WireRequest {
   UserCostModel cost_model;
   // kSnapshot / kRestore only:
   std::string path;
+
+  // --- v3 (sharding) fields ---
+  std::string state;     ///< kImportState: VCSN snapshot bytes
+  bool remove = false;   ///< kExportState: destroy the local copy afterwards
+  uint32_t shard_id = 0; ///< kForwarded/kJoinShard/kDrainShard/kSetRole;
+                         ///< kMigrateSession: the *target* shard
+  uint64_t epoch = 0;    ///< kForwarded / kSetRole: topology epoch
+  uint32_t port = 0;     ///< kJoinShard: the shard server's TCP port
+  std::string inner;     ///< kForwarded: encoded inner request payload
+                         ///< (EncodeRequestPayload, never nested)
 };
 
 /// \brief The deterministic slice of an IterationTrace that travels on the
@@ -101,6 +145,21 @@ struct WireTraceSummary {
   uint64_t questions_asked = 0;
   double cqg_benefit = 0.0;
   IncrementalityCounters incremental;
+};
+
+/// \brief One shard's row in a kTopology response.
+struct WireShardStatus {
+  uint32_t shard_id = 0;
+  uint32_t port = 0;
+  bool alive = false;
+  bool draining = false;
+  uint64_t sessions = 0;  ///< sessions currently placed on this shard
+};
+
+/// \brief Ring membership + placement snapshot (kTopology response).
+struct WireTopology {
+  uint64_t epoch = 0;  ///< bumped on every membership or role change
+  std::vector<WireShardStatus> shards;
 };
 
 /// \brief One decoded response. As with WireRequest, only the active type's
@@ -120,15 +179,30 @@ struct WireResponse {
   WireTraceSummary trace;
   // kStats:
   ServeStats stats;
+  // kState (v3):
+  std::string state;
+  // kTopology (v3):
+  WireTopology topology;
 };
 
-/// Wraps a payload in a VCWP frame (header + bytes). Payloads larger than
-/// kMaxWirePayload are a programmer error and abort.
-std::string EncodeFrame(const std::string& payload);
+/// Wraps a payload in a VCWP frame (header + bytes) at `version`. Payloads
+/// larger than kMaxWirePayload are a programmer error and abort, as is a
+/// version outside [kWireVersionMin, kWireVersion].
+std::string EncodeFrame(const std::string& payload,
+                        uint8_t version = kWireVersion);
 
-/// Encodes request/response payload + frame in one step.
-std::string EncodeRequest(const WireRequest& request);
-std::string EncodeResponse(const WireResponse& response);
+/// Encodes a request payload without the frame header — the bytes a
+/// kForwarded envelope carries in `inner`.
+std::string EncodeRequestPayload(const WireRequest& request);
+
+/// Encodes request/response payload + frame in one step. Encoding a message
+/// whose type does not exist at `version` is a programmer error and aborts;
+/// the serving code paths pin a connection's version from its first frame,
+/// so a v2 peer can never elicit a v3-only response.
+std::string EncodeRequest(const WireRequest& request,
+                          uint8_t version = kWireVersion);
+std::string EncodeResponse(const WireResponse& response,
+                           uint8_t version = kWireVersion);
 
 /// \brief Outcome of scanning a connection buffer for the next frame.
 enum class FrameStatus {
@@ -140,22 +214,66 @@ enum class FrameStatus {
 };
 
 /// Extracts the next complete frame from the front of `buffer`, consuming
-/// its bytes on success. `payload` is only written for kFrame. The buffer
-/// may hold any number of partial or complete frames (pipelining).
-FrameStatus NextFrame(std::string& buffer, std::string* payload);
+/// its bytes on success. `payload` is only written for kFrame; when
+/// `version` is non-null it receives the frame's version byte (how servers
+/// pin a connection's negotiated version). The buffer may hold any number of
+/// partial or complete frames (pipelining).
+FrameStatus NextFrame(std::string& buffer, std::string* payload,
+                      uint8_t* version = nullptr);
 
 /// Decodes a frame payload (not the frame header) into a request/response.
-/// Rejects truncation, trailing bytes, and out-of-range enums.
-Result<WireRequest> DecodeRequestPayload(const std::string& payload);
-Result<WireResponse> DecodeResponsePayload(const std::string& payload);
+/// Rejects truncation, trailing bytes, out-of-range enums, and — when
+/// `version` is 2 — any v3-only message type.
+Result<WireRequest> DecodeRequestPayload(const std::string& payload,
+                                         uint8_t version = kWireVersion);
+Result<WireResponse> DecodeResponsePayload(const std::string& payload,
+                                           uint8_t version = kWireVersion);
 
 /// \brief Executes one decoded request against a SessionManager and returns
 /// the response — the single dispatch point shared by the binary and text
-/// front-ends, so both speak for exactly the same API surface.
+/// front-ends, so both speak for exactly the same API surface. Handles the
+/// local request surface (session ops, stats, export/import); routing-layer
+/// types (kForwarded, admin frames) are rejected here and handled by a
+/// WireHandler that owns that context.
 WireResponse ExecuteRequest(SessionManager& manager, const WireRequest& request);
 
 /// Builds a kError response carrying `status` (which must not be OK).
 WireResponse ErrorResponse(uint64_t request_id, const Status& status);
+
+/// \brief The request-execution seam: the server front-end
+/// (net::VisCleanServer) dispatches every decoded request through one of
+/// these, so the same socket machinery can front a shard's SessionManager
+/// or the routing tier (shard::ShardRouter).
+class WireHandler {
+ public:
+  virtual ~WireHandler() = default;
+  /// Executes one request; must be safe to call from concurrent workers.
+  virtual WireResponse Handle(const WireRequest& request) = 0;
+};
+
+/// \brief Shard-side handler: ExecuteRequest plus the router→shard control
+/// surface (kForwarded unwrapping with shard-id/epoch validation, kSetRole).
+/// Router-only admin frames are rejected.
+class SessionManagerHandler : public WireHandler {
+ public:
+  explicit SessionManagerHandler(SessionManager& manager)
+      : manager_(manager) {}
+
+  WireResponse Handle(const WireRequest& request) override;
+
+  uint32_t shard_id() const;
+  uint64_t epoch() const;
+
+ private:
+  SessionManager& manager_;
+  /// Role assigned by the router via kSetRole. A forward carrying a stale
+  /// epoch or the wrong shard id is rejected kUnavailable so a router
+  /// working from dead topology cannot mutate sessions it no longer owns.
+  mutable std::mutex role_mu_;
+  bool role_set_ = false;
+  uint32_t shard_id_ = 0;
+  uint64_t epoch_ = 0;
+};
 
 }  // namespace visclean
 

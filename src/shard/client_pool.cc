@@ -1,0 +1,54 @@
+#include "shard/client_pool.h"
+
+#include <utility>
+
+namespace visclean {
+namespace shard {
+
+Result<WireResponse> ShardClientPool::Call(uint32_t shard_id, uint16_t port,
+                                           const WireRequest& request) {
+  std::unique_ptr<Client> client;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_.find(shard_id);
+    if (it != idle_.end() && !it->second.empty()) {
+      client = std::move(it->second.back());
+      it->second.pop_back();
+    }
+  }
+  if (!client) {
+    client = std::make_unique<Client>(options_);
+    Status connected = client->Connect(port);
+    if (!connected.ok()) return connected;
+  }
+  Result<WireResponse> response = client->Call(request);
+  if (response.ok() && client->connected()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_[shard_id].push_back(std::move(client));
+  }
+  // else: the client already disconnected itself (deadline / framing); let
+  // it destruct instead of caching a dead socket.
+  return response;
+}
+
+void ShardClientPool::Drop(uint32_t shard_id) {
+  std::vector<std::unique_ptr<Client>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_.find(shard_id);
+    if (it == idle_.end()) return;
+    doomed = std::move(it->second);
+    idle_.erase(it);
+  }
+  // Sockets close outside the lock.
+}
+
+size_t ShardClientPool::idle_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [shard, clients] : idle_) n += clients.size();
+  return n;
+}
+
+}  // namespace shard
+}  // namespace visclean

@@ -1,0 +1,59 @@
+// Pooled binary-protocol connections from the router to its shards.
+//
+// Router workers run concurrently, and net::Client is deliberately
+// single-threaded, so the pool keeps a free-list of connected clients per
+// shard: Call() pops one (or dials a new connection), runs the exchange,
+// and returns it. A connection that fails mid-exchange is discarded rather
+// than returned — after a transport error or an elapsed deadline the stream
+// is unsynchronizable, which is also why net::Client disconnects itself on
+// those paths.
+//
+// Drop() closes a shard's cached connections when the router declares it
+// dead or removes it; without this a recovered topology would keep handing
+// out sockets to a corpse until each failed organically.
+#ifndef VISCLEAN_SHARD_CLIENT_POOL_H_
+#define VISCLEAN_SHARD_CLIENT_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/client.h"
+#include "serve/wire.h"
+
+namespace visclean {
+namespace shard {
+
+/// \brief Per-shard pool of net::Client connections.
+class ShardClientPool {
+ public:
+  /// `options` applies to every pooled connection — the router always sets
+  /// io_timeout_ms so a hung shard surfaces as kDeadlineExceeded instead of
+  /// wedging a worker.
+  explicit ShardClientPool(ClientOptions options = {}) : options_(options) {}
+
+  /// One request/response exchange with the shard at `port`. A failed
+  /// Status is a transport-level problem (connect, deadline, framing); a
+  /// kError *response* is an application error from the shard and comes
+  /// back as a value.
+  Result<WireResponse> Call(uint32_t shard_id, uint16_t port,
+                            const WireRequest& request);
+
+  /// Closes every cached connection to `shard_id`.
+  void Drop(uint32_t shard_id);
+
+  /// Cached idle connections (tests).
+  size_t idle_count() const;
+
+ private:
+  ClientOptions options_;
+  mutable std::mutex mu_;
+  std::map<uint32_t, std::vector<std::unique_ptr<Client>>> idle_;
+};
+
+}  // namespace shard
+}  // namespace visclean
+
+#endif  // VISCLEAN_SHARD_CLIENT_POOL_H_

@@ -1,0 +1,87 @@
+#include "shard/migration.h"
+
+namespace visclean {
+namespace shard {
+
+WireRequest ForwardEnvelope(uint32_t shard_id, uint64_t epoch,
+                            const WireRequest& inner) {
+  WireRequest envelope;
+  envelope.type = WireRequestType::kForwarded;
+  envelope.shard_id = shard_id;
+  envelope.epoch = epoch;
+  envelope.inner = EncodeRequestPayload(inner);
+  return envelope;
+}
+
+Result<WireResponse> ForwardCall(ShardClientPool& pool, uint32_t shard_id,
+                                 uint16_t port, uint64_t epoch,
+                                 const WireRequest& inner) {
+  Result<WireResponse> response =
+      pool.Call(shard_id, port, ForwardEnvelope(shard_id, epoch, inner));
+  if (!response.ok()) return response;
+  if (response.value().type == WireResponseType::kError) {
+    return Status(response.value().code, response.value().message);
+  }
+  return response;
+}
+
+Status MigrationCoordinator::Migrate(const std::string& id,
+                                     const MigrationEndpoints& endpoints,
+                                     size_t drain_deadline_ms) {
+  if (endpoints.source_shard == endpoints.target_shard) {
+    return Status::InvalidArgument("session '" + id +
+                                   "' is already on the target shard");
+  }
+
+  // Pin + drain: returns only when nothing is in flight for this session.
+  Status pinned = placement_.BeginMigration(id, drain_deadline_ms);
+  if (!pinned.ok()) return pinned;
+
+  // Export-with-remove: the source serializes and retires its copy; the
+  // entry lock on the shard drains that side's queued waiters into the
+  // migration tombstone.
+  WireRequest export_req;
+  export_req.type = WireRequestType::kExportState;
+  export_req.session_id = id;
+  export_req.remove = true;
+  Result<WireResponse> exported =
+      ForwardCall(pool_, endpoints.source_shard, endpoints.source_port,
+                  endpoints.epoch, export_req);
+  if (!exported.ok()) {
+    placement_.EndMigration(id, endpoints.source_shard);  // abort in place
+    return exported.status();
+  }
+  const std::string state = exported.value().state;
+
+  WireRequest import_req;
+  import_req.type = WireRequestType::kImportState;
+  import_req.session_id = id;
+  import_req.state = state;
+  Result<WireResponse> imported =
+      ForwardCall(pool_, endpoints.target_shard, endpoints.target_port,
+                  endpoints.epoch, import_req);
+  if (imported.ok()) {
+    placement_.EndMigration(id, endpoints.target_shard);
+    return Status::Ok();
+  }
+
+  // Import failed — put the session back where it came from.
+  Result<WireResponse> restored =
+      ForwardCall(pool_, endpoints.source_shard, endpoints.source_port,
+                  endpoints.epoch, import_req);
+  if (restored.ok()) {
+    placement_.EndMigration(id, endpoints.source_shard);
+    return Status::Unavailable("migration of '" + id +
+                               "' failed and was rolled back: " +
+                               imported.status().message());
+  }
+  placement_.Remove(id);
+  return Status::Internal("session '" + id +
+                          "' lost in migration: import failed (" +
+                          imported.status().message() + ") and restore to " +
+                          "source failed (" + restored.status().message() +
+                          ")");
+}
+
+}  // namespace shard
+}  // namespace visclean

@@ -1,0 +1,82 @@
+// The live-migration state machine: pin → drain → export → import → flip.
+//
+// Migrate() moves one session between two shards without dropping or
+// reordering any request:
+//
+//   1. pin    — PlacementTable::BeginMigration marks the session migrating;
+//               new router workers block in AcquireRoute.
+//   2. drain  — BeginMigration returns once the in-flight route references
+//               hit zero, so nothing is mid-request on the source shard.
+//   3. export — kExportState{remove=true} forwarded to the source: the
+//               shard serializes the session (VCSN bytes, including a
+//               parked composite question if one is pending) and retires
+//               its copy behind a tombstone.
+//   4. import — kImportState forwarded to the target admits the session
+//               from those bytes, bit-identical to the original.
+//   5. flip   — EndMigration repoints the placement and wakes the blocked
+//               workers, whose queued requests now forward to the target in
+//               their original per-connection order.
+//
+// Failure handling: an export failure aborts in place (the source still
+// owns the session). An import failure re-imports the bytes back into the
+// source — the session keeps serving where it was. Only if that restore
+// also fails is the session truly lost; the placement is removed so later
+// requests get kNotFound instead of a forward into the void.
+#ifndef VISCLEAN_SHARD_MIGRATION_H_
+#define VISCLEAN_SHARD_MIGRATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/wire.h"
+#include "shard/client_pool.h"
+#include "shard/placement.h"
+
+namespace visclean {
+namespace shard {
+
+/// Wraps `inner` in a kForwarded envelope addressed to (shard_id, epoch).
+WireRequest ForwardEnvelope(uint32_t shard_id, uint64_t epoch,
+                            const WireRequest& inner);
+
+/// Forwards `inner` to the shard at `port` through the pool and returns the
+/// shard's response to the inner request. A kError response is converted to
+/// its failed Status, so callers only see successful payloads.
+Result<WireResponse> ForwardCall(ShardClientPool& pool, uint32_t shard_id,
+                                 uint16_t port, uint64_t epoch,
+                                 const WireRequest& inner);
+
+/// \brief Endpoints of one migration, resolved by the router under its
+/// topology lock before the (slow, unlocked) transfer begins.
+struct MigrationEndpoints {
+  uint32_t source_shard = 0;
+  uint16_t source_port = 0;
+  uint32_t target_shard = 0;
+  uint16_t target_port = 0;
+  uint64_t epoch = 0;
+};
+
+/// \brief Executes migrations against a placement table and client pool.
+/// Thread-safe: per-session exclusion comes from the BeginMigration pin.
+class MigrationCoordinator {
+ public:
+  MigrationCoordinator(PlacementTable& placement, ShardClientPool& pool)
+      : placement_(placement), pool_(pool) {}
+
+  /// Moves `id` from the source to the target shard (see file comment for
+  /// the state machine). On success the placement points at the target; on
+  /// failure the session still serves from the source unless the Status
+  /// message says otherwise.
+  Status Migrate(const std::string& id, const MigrationEndpoints& endpoints,
+                 size_t drain_deadline_ms);
+
+ private:
+  PlacementTable& placement_;
+  ShardClientPool& pool_;
+};
+
+}  // namespace shard
+}  // namespace visclean
+
+#endif  // VISCLEAN_SHARD_MIGRATION_H_

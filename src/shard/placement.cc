@@ -1,0 +1,122 @@
+#include "shard/placement.h"
+
+#include <chrono>
+
+namespace visclean {
+namespace shard {
+
+Result<uint32_t> PlacementTable::AcquireRoute(const std::string& id,
+                                              size_t deadline_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms);
+  for (;;) {
+    auto it = slots_.find(id);
+    if (it == slots_.end()) {
+      return Status::NotFound("session '" + id + "' is not placed");
+    }
+    if (!it->second.migrating) {
+      ++it->second.inflight;
+      return it->second.shard_id;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::DeadlineExceeded("session '" + id +
+                                      "' is still migrating");
+    }
+  }
+}
+
+void PlacementTable::ReleaseRoute(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return;  // Remove() raced the release; fine
+  if (it->second.inflight > 0) --it->second.inflight;
+  if (it->second.inflight == 0) cv_.notify_all();
+}
+
+Status PlacementTable::BeginMigration(const std::string& id,
+                                      size_t drain_deadline_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    return Status::NotFound("session '" + id + "' is not placed");
+  }
+  if (it->second.migrating) {
+    return Status::Unavailable("session '" + id + "' is already migrating");
+  }
+  it->second.migrating = true;  // pin: new routes block from here on
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(drain_deadline_ms);
+  for (;;) {
+    it = slots_.find(id);
+    if (it == slots_.end()) {
+      // Removed while we drained (Close raced the pin); nothing to migrate.
+      return Status::NotFound("session '" + id + "' vanished during drain");
+    }
+    if (it->second.inflight == 0) return Status::Ok();
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      it->second.migrating = false;  // unpin so routes flow again
+      cv_.notify_all();
+      return Status::DeadlineExceeded("session '" + id +
+                                      "' did not drain in-flight requests");
+    }
+  }
+}
+
+void PlacementTable::EndMigration(const std::string& id, uint32_t shard_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  it->second.shard_id = shard_id;
+  it->second.migrating = false;
+  cv_.notify_all();
+}
+
+void PlacementTable::Assign(const std::string& id, uint32_t shard_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[id];
+  slot.shard_id = shard_id;
+  slot.migrating = false;
+  cv_.notify_all();
+}
+
+void PlacementTable::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.erase(id);
+  cv_.notify_all();  // blocked acquirers re-probe and fail kNotFound
+}
+
+Result<uint32_t> PlacementTable::ShardOf(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    return Status::NotFound("session '" + id + "' is not placed");
+  }
+  return it->second.shard_id;
+}
+
+std::vector<std::string> PlacementTable::SessionsOn(uint32_t shard_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.shard_id == shard_id) ids.push_back(id);
+  }
+  return ids;
+}
+
+size_t PlacementTable::CountOn(uint32_t shard_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.shard_id == shard_id) ++n;
+  }
+  return n;
+}
+
+size_t PlacementTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace shard
+}  // namespace visclean

@@ -1,0 +1,89 @@
+// The router's authoritative session→shard map, with the synchronization
+// that makes live migration invisible to clients.
+//
+// Every session request a router worker forwards holds a route reference
+// (AcquireRoute/ReleaseRoute) for the duration of the forward. A migration
+// pins the session first (BeginMigration): new AcquireRoute callers block,
+// and the migrator waits until the in-flight references drain to zero. Only
+// then is the session exported from its source shard — so no request can
+// observe the session mid-copy. EndMigration flips the placement and wakes
+// the blocked workers, which forward to the new shard as if nothing
+// happened. Because the server executes one request per connection at a
+// time and workers block *before* forwarding, per-connection order is
+// preserved across the handoff: no request is dropped or reordered.
+//
+// One mutex + condvar for the whole table. Route acquisition is a map probe
+// and the critical sections are tiny; contention is negligible next to the
+// forwarded request itself.
+#ifndef VISCLEAN_SHARD_PLACEMENT_H_
+#define VISCLEAN_SHARD_PLACEMENT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace visclean {
+namespace shard {
+
+/// \brief Session→shard placement with migration pinning.
+class PlacementTable {
+ public:
+  /// Resolves `id`'s shard and registers an in-flight route reference the
+  /// caller must drop with ReleaseRoute. Blocks while `id` is migrating, up
+  /// to `deadline_ms` (kDeadlineExceeded when the migration outlasts it).
+  /// Unplaced ids fail kNotFound without blocking.
+  Result<uint32_t> AcquireRoute(const std::string& id, size_t deadline_ms);
+
+  /// Drops a route reference taken by AcquireRoute.
+  void ReleaseRoute(const std::string& id);
+
+  /// Pins `id` for migration: new AcquireRoute callers block, and this call
+  /// waits until the in-flight references drain to zero (up to
+  /// `drain_deadline_ms`). Fails kNotFound when unplaced, kUnavailable when
+  /// already migrating, kDeadlineExceeded when in-flight requests do not
+  /// drain in time (the pin is released again in that case).
+  Status BeginMigration(const std::string& id, size_t drain_deadline_ms);
+
+  /// Completes a migration begun with BeginMigration: places `id` on
+  /// `shard_id` (pass the old shard to abort in place) and wakes blocked
+  /// AcquireRoute callers.
+  void EndMigration(const std::string& id, uint32_t shard_id);
+
+  /// Inserts or overwrites a placement (new sessions, recovery re-homing).
+  void Assign(const std::string& id, uint32_t shard_id);
+
+  /// Forgets `id` entirely, waking any blocked AcquireRoute callers (they
+  /// fail kNotFound). Used for Close and for sessions lost in recovery.
+  void Remove(const std::string& id);
+
+  /// The current placement without blocking or pinning (kNotFound when
+  /// unplaced). Migration-oblivious; use AcquireRoute to forward requests.
+  Result<uint32_t> ShardOf(const std::string& id) const;
+
+  /// Ids currently placed on `shard_id`, ascending.
+  std::vector<std::string> SessionsOn(uint32_t shard_id) const;
+
+  size_t CountOn(uint32_t shard_id) const;
+  size_t size() const;
+
+ private:
+  struct Slot {
+    uint32_t shard_id = 0;
+    size_t inflight = 0;    ///< route references currently held
+    bool migrating = false;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace shard
+}  // namespace visclean
+
+#endif  // VISCLEAN_SHARD_PLACEMENT_H_

@@ -1,0 +1,72 @@
+#include "shard/ring.h"
+
+#include "common/strings.h"
+
+namespace visclean {
+namespace shard {
+
+namespace {
+
+/// FNV-1a, 64-bit, with a splitmix64-style finalizer. Stable across builds
+/// and platforms — placement must not depend on std::hash, whose value is
+/// implementation-defined. Raw FNV-1a has weak avalanche in the high bits
+/// for short, similar keys ("shard/0#1", "shard/0#2", ...), which clusters
+/// ring points and can starve a shard; the finalizer spreads them.
+uint64_t Fnv1a(const std::string& key) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+std::string PointKey(uint32_t shard_id, size_t replica) {
+  return StrFormat("shard/%u#%zu", shard_id, replica);
+}
+
+}  // namespace
+
+HashRing::HashRing(size_t replicas) : replicas_(replicas == 0 ? 1 : replicas) {}
+
+void HashRing::AddShard(uint32_t shard_id) {
+  if (!shards_.insert(shard_id).second) return;
+  for (size_t r = 0; r < replicas_; ++r) {
+    // Collisions between distinct shards' points are astronomically rare on
+    // a 64-bit circle; first writer keeps the point, which is still a
+    // deterministic assignment.
+    points_.emplace(Fnv1a(PointKey(shard_id, r)), shard_id);
+  }
+}
+
+void HashRing::RemoveShard(uint32_t shard_id) {
+  if (shards_.erase(shard_id) == 0) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == shard_id) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<uint32_t> HashRing::OwnerOf(const std::string& key) const {
+  if (points_.empty()) {
+    return Status::Unavailable("hash ring has no routable shards");
+  }
+  auto it = points_.lower_bound(Fnv1a(key));
+  if (it == points_.end()) it = points_.begin();  // wrap the circle
+  return it->second;
+}
+
+std::vector<uint32_t> HashRing::members() const {
+  return std::vector<uint32_t>(shards_.begin(), shards_.end());
+}
+
+}  // namespace shard
+}  // namespace visclean

@@ -1,0 +1,62 @@
+// Consistent-hash ring assigning session ids to shards.
+//
+// Each shard contributes `replicas` virtual points (FNV-1a of
+// "shard/<id>#<replica>") on a 64-bit circle; a session id hashes to a
+// point and is owned by the first shard point clockwise from it. Adding or
+// removing one shard therefore only remaps the sessions whose arcs touch
+// that shard's points — the property the router relies on so a membership
+// change does not re-home the whole fleet.
+//
+// The ring holds only *routable* shards: the router removes a shard's
+// points the moment it is drained or declared dead, so OwnerOf never
+// nominates a shard that cannot accept a session. Not thread-safe; the
+// router guards it with its topology mutex.
+#ifndef VISCLEAN_SHARD_RING_H_
+#define VISCLEAN_SHARD_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace visclean {
+namespace shard {
+
+/// \brief Consistent-hash ring over shard ids.
+class HashRing {
+ public:
+  /// `replicas` virtual points per shard. More points smooth the load split
+  /// at the cost of a bigger map; 64 keeps the max/min arc ratio tight for
+  /// the handful of shards a router fronts.
+  explicit HashRing(size_t replicas = 64);
+
+  /// Adds `shard_id`'s points. Adding a member twice is a no-op.
+  void AddShard(uint32_t shard_id);
+
+  /// Removes `shard_id`'s points (no-op when absent). Sessions that hashed
+  /// to its arcs now fall through to the next shard clockwise.
+  void RemoveShard(uint32_t shard_id);
+
+  bool Contains(uint32_t shard_id) const { return shards_.count(shard_id); }
+
+  /// The shard owning `key`. Fails (kUnavailable) on an empty ring.
+  Result<uint32_t> OwnerOf(const std::string& key) const;
+
+  /// Member shard ids, ascending.
+  std::vector<uint32_t> members() const;
+
+  size_t size() const { return shards_.size(); }
+
+ private:
+  size_t replicas_;
+  std::map<uint64_t, uint32_t> points_;  ///< ring point -> owning shard
+  std::set<uint32_t> shards_;
+};
+
+}  // namespace shard
+}  // namespace visclean
+
+#endif  // VISCLEAN_SHARD_RING_H_

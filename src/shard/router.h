@@ -1,0 +1,186 @@
+// ShardRouter: the front tier of the two-tier serving stack.
+//
+// A router is a WireHandler, so the same net::VisCleanServer machinery that
+// fronts a shard's SessionManager fronts the router — clients speak the
+// identical protocol to either and cannot tell which they reached. Behind
+// the handler the router owns:
+//
+//   * membership  — a HashRing of routable shards plus per-shard liveness/
+//                   draining flags and a topology epoch, bumped on every
+//                   membership change and stamped on every forward so a
+//                   shard can reject a router working from dead topology;
+//   * placement   — the authoritative session→shard PlacementTable; new
+//                   sessions land on their ring owner, after which the
+//                   placement is free to diverge from the ring (migration,
+//                   rebalancing, recovery) without re-homing anything;
+//   * forwarding  — session requests acquire a route reference, travel to
+//                   the owning shard in a kForwarded envelope over pooled
+//                   connections, and release the reference. One transparent
+//                   retry covers the two recoverable cases: a transport
+//                   failure (the shard is declared dead, its sessions are
+//                   re-homed from disk, and the request re-resolves) and a
+//                   kUnavailable answer (stale placement; re-resolve).
+//   * migration   — MigrationCoordinator moves live sessions between shards
+//                   (admin kMigrateSession, DrainShard, hot-shard
+//                   rebalancing driven by ServeStats activity deltas).
+//   * recovery    — a dead shard's sessions are re-admitted on their ring
+//                   owners from the newest persist_progress snapshots on
+//                   disk (ShardHost and the shards share a filesystem).
+//
+// Locking: topo_mu_ guards ring/membership/epoch and is never held across
+// network IO. Placement has its own lock; the two never nest in the same
+// direction twice (topology is always resolved first, then released).
+#ifndef VISCLEAN_SHARD_ROUTER_H_
+#define VISCLEAN_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/client.h"
+#include "serve/wire.h"
+#include "shard/client_pool.h"
+#include "shard/migration.h"
+#include "shard/placement.h"
+#include "shard/ring.h"
+
+namespace visclean {
+namespace shard {
+
+/// \brief One shard as the router sees it at startup or join time.
+struct RouterShardConfig {
+  uint32_t shard_id = 0;
+  uint16_t port = 0;          ///< the shard's VisCleanServer port (loopback)
+  std::string snapshot_dir;   ///< the shard's persist_progress directory;
+                              ///< "" disables crash recovery for this shard
+};
+
+/// \brief Router configuration.
+struct RouterOptions {
+  std::vector<RouterShardConfig> shards;
+  /// Virtual points per shard on the consistent-hash ring.
+  size_t ring_replicas = 64;
+  /// Connection behaviour for router→shard calls. io_timeout_ms of 0 is
+  /// replaced with 5000 — a router must never block a worker on a hung
+  /// shard, that is the dead-peer signal recovery keys off.
+  ClientOptions client;
+  /// How long a request waits for an in-progress migration of its session.
+  size_t route_wait_deadline_ms = 5000;
+  /// How long a migration waits for a session's in-flight requests.
+  size_t migration_drain_deadline_ms = 5000;
+  /// Rebalance trigger: hottest shard's activity delta must exceed
+  /// hot_ratio × the coldest shard's to justify moving sessions.
+  double hot_ratio = 1.5;
+  /// Sessions moved per rebalance pass.
+  size_t max_migrations_per_rebalance = 2;
+  /// Period of the background rebalance thread; 0 = manual Rebalance() only.
+  size_t rebalance_interval_ms = 0;
+};
+
+/// \brief Router-side counters (tests + the scaling bench).
+struct RouterStats {
+  uint64_t forwards = 0;            ///< requests forwarded to shards
+  uint64_t failovers = 0;           ///< transparent retries after a failure
+  uint64_t migrations = 0;          ///< sessions moved live (all triggers)
+  uint64_t recovered_sessions = 0;  ///< re-homed from disk after a death
+  uint64_t lost_sessions = 0;       ///< unrecoverable (no usable snapshot)
+};
+
+/// \brief Consistent-hash router over N shard servers. Thread-safe.
+class ShardRouter : public WireHandler {
+ public:
+  explicit ShardRouter(RouterOptions options);
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Registers the configured shards, announces roles (kSetRole), and
+  /// starts the rebalance thread when an interval is configured. Fails on
+  /// duplicate shard ids; a shard that cannot be reached is still admitted
+  /// (it may come up later) but will fail its first forward.
+  Status Start();
+
+  /// Stops the rebalance thread. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The WireHandler surface: session requests route to shards, kStats
+  /// aggregates across them, admin frames drive the calls below.
+  WireResponse Handle(const WireRequest& request) override;
+
+  // Admin surface (also reachable over the wire / text grammar).
+  Status JoinShard(uint32_t shard_id, uint16_t port,
+                   const std::string& snapshot_dir = "");
+  Status DrainShard(uint32_t shard_id);
+  Status MigrateSession(const std::string& id, uint32_t target_shard);
+  WireTopology Topology() const;
+
+  /// Declares `shard_id` dead: removes it from the ring, bumps the epoch,
+  /// drops its pooled connections, and re-homes its sessions from their
+  /// newest on-disk snapshots. Idempotent. Called automatically when a
+  /// forward hits a transport failure.
+  Status RecoverShard(uint32_t shard_id);
+
+  /// One hot-shard rebalance pass; returns sessions moved.
+  size_t Rebalance();
+
+  uint64_t epoch() const;
+  RouterStats router_stats() const;
+  PlacementTable& placement() { return placement_; }
+
+ private:
+  struct ShardState {
+    uint16_t port = 0;
+    std::string snapshot_dir;
+    bool alive = true;
+    bool draining = false;
+    uint64_t last_activity = 0;  ///< steps+answers at the last rebalance poll
+  };
+
+  /// Resolves a live shard's port and the current epoch (fails when the
+  /// shard is unknown, dead, or — unless `allow_draining` — draining).
+  Result<std::pair<uint16_t, uint64_t>> PortAndEpoch(
+      uint32_t shard_id, bool allow_draining = true) const;
+  /// The ring owner for a session id plus its port/epoch, in one lock hold.
+  Result<MigrationEndpoints> ResolveTarget(const std::string& id) const;
+
+  WireResponse RouteAdmission(const WireRequest& request);
+  WireResponse RouteSession(const WireRequest& request);
+  WireResponse AggregateStats(const WireRequest& request);
+  Status RehomeFromDisk(const std::string& id, const std::string& dir);
+  void AnnounceEpoch();
+  void RebalanceLoop();
+
+  RouterOptions options_;
+  ShardClientPool pool_;
+  PlacementTable placement_;
+  MigrationCoordinator migrator_;
+
+  mutable std::mutex topo_mu_;
+  HashRing ring_;
+  std::map<uint32_t, ShardState> shards_;
+  uint64_t epoch_ = 1;
+
+  std::atomic<uint64_t> stat_forwards_{0};
+  std::atomic<uint64_t> stat_failovers_{0};
+  std::atomic<uint64_t> stat_migrations_{0};
+  std::atomic<uint64_t> stat_recovered_{0};
+  std::atomic<uint64_t> stat_lost_{0};
+
+  std::mutex rebalance_mu_;
+  std::condition_variable rebalance_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread rebalance_thread_;
+};
+
+}  // namespace shard
+}  // namespace visclean
+
+#endif  // VISCLEAN_SHARD_ROUTER_H_

@@ -1,0 +1,30 @@
+#include "shard/shard_host.h"
+
+#include <utility>
+
+namespace visclean {
+namespace shard {
+
+namespace {
+
+ServeOptions WithRecoveryDefaults(ShardHostOptions& options) {
+  if (!options.serve.snapshot_dir.empty() && !options.no_persist_progress) {
+    options.serve.persist_progress = true;
+  }
+  return options.serve;
+}
+
+}  // namespace
+
+ShardHost::ShardHost(ShardHostOptions options)
+    : options_(std::move(options)),
+      manager_(WithRecoveryDefaults(options_)),
+      handler_(manager_),
+      server_(handler_, options_.server) {}
+
+Status ShardHost::RegisterDataset(const DirtyDataset* oracle) {
+  return manager_.RegisterDataset(oracle);
+}
+
+}  // namespace shard
+}  // namespace visclean

@@ -1,0 +1,76 @@
+// ShardHost: one shard of the two-tier stack, bundled for convenience.
+//
+// A shard is just a SessionManager behind a VisCleanServer speaking the
+// shard dialect (SessionManagerHandler: local execution plus the router's
+// kForwarded/kSetRole control surface). Production runs one ShardHost per
+// process (examples/serve_driver.cc --act=shard); the tests and the scaling
+// bench run several in one process, which exercises the identical TCP path
+// — nothing ever shortcuts in-process.
+//
+// For crash recovery the host defaults persist_progress on whenever a
+// snapshot_dir is configured: the router re-homes a dead shard's sessions
+// from those checkpoint files, so a shard without them is a shard whose
+// sessions die with it.
+#ifndef VISCLEAN_SHARD_SHARD_HOST_H_
+#define VISCLEAN_SHARD_SHARD_HOST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+#include "serve/wire.h"
+
+namespace visclean {
+namespace shard {
+
+/// \brief Shard configuration.
+struct ShardHostOptions {
+  uint32_t shard_id = 0;
+  /// Serving-layer knobs. snapshot_dir should be set (and unique per shard)
+  /// for eviction + crash recovery; persist_progress is forced on when it
+  /// is, unless `no_persist_progress`.
+  ServeOptions serve;
+  /// Socket front-end knobs (port 0 = ephemeral, read back with port()).
+  ServerOptions server;
+  /// Opt out of the persist_progress default (benchmarks that measure raw
+  /// throughput without the checkpoint write).
+  bool no_persist_progress = false;
+};
+
+/// \brief SessionManager + handler + server, wired as one shard.
+class ShardHost {
+ public:
+  explicit ShardHost(ShardHostOptions options);
+
+  ShardHost(const ShardHost&) = delete;
+  ShardHost& operator=(const ShardHost&) = delete;
+
+  /// Datasets must be registered before sessions arrive (oracle outlives
+  /// the host).
+  Status RegisterDataset(const DirtyDataset* oracle);
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+
+  uint16_t port() const { return server_.port(); }
+  uint32_t shard_id() const { return options_.shard_id; }
+  const std::string& snapshot_dir() const {
+    return options_.serve.snapshot_dir;
+  }
+
+  SessionManager& manager() { return manager_; }
+  VisCleanServer& server() { return server_; }
+
+ private:
+  ShardHostOptions options_;
+  SessionManager manager_;
+  SessionManagerHandler handler_;
+  VisCleanServer server_;
+};
+
+}  // namespace shard
+}  // namespace visclean
+
+#endif  // VISCLEAN_SHARD_SHARD_HOST_H_

@@ -1,0 +1,348 @@
+// Differential suite for the two-tier router/shard stack: a session served
+// through the router — including one that is live-migrated between shards
+// mid-plan (with its composite question parked), and one whose shard is
+// killed and re-homed from on-disk checkpoints — must be bit-identical to
+// the same configuration driven through one in-process SessionManager.
+// "Bit-identical" means the per-round pending/trace records down to float
+// bits plus the final table fingerprint.
+//
+// The sweep mirrors server_differential_test: 3 synthetic datasets x 3
+// seeds x {gss, gss+, bnb, 0.5-bnb, random, single}, budget 2. The shards
+// run in-process but all session traffic crosses real TCP sockets twice
+// (client → router → shard); nothing shortcuts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/books.h"
+#include "datagen/nba.h"
+#include "datagen/publications.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+#include "shard/router.h"
+#include "shard/shard_host.h"
+
+namespace visclean {
+namespace {
+
+std::string HexOf(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string TableFingerprint(const Table& t) {
+  std::string out;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    out += t.is_dead(r) ? 'D' : 'L';
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      out += t.at(r, c).ToDisplayString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+DirtyDataset MakeData(const std::string& name, uint64_t seed) {
+  if (name == "D1") {
+    PublicationsOptions o;
+    o.num_entities = 50;
+    o.seed = seed;
+    return GeneratePublications(o);
+  }
+  if (name == "D2") {
+    NbaOptions o;
+    o.num_entities = 50;
+    o.seed = seed;
+    return GenerateNba(o);
+  }
+  BooksOptions o;
+  o.num_entities = 50;
+  o.seed = seed;
+  return GenerateBooks(o);
+}
+
+std::string QueryFor(const std::string& name) {
+  if (name == "D1") {
+    return "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D1 "
+           "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10";
+  }
+  if (name == "D2") {
+    return "VISUALIZE PIE SELECT Team, SUM(Points) FROM D2 "
+           "TRANSFORM GROUP(Team) SORT Y DESC LIMIT 10";
+  }
+  return "VISUALIZE BAR SELECT Author, SUM(NumRatings) FROM D3 "
+         "TRANSFORM GROUP(Author) SORT Y DESC LIMIT 5";
+}
+
+constexpr size_t kBudget = 2;
+
+SessionOptions SweepOptions(const std::string& selector, uint64_t seed) {
+  SessionOptions o;
+  o.k = 4;
+  o.budget = kBudget;
+  o.max_t_questions = 30;
+  o.max_m_questions = 30;
+  o.single_m = 8;
+  o.forest.num_trees = 6;
+  o.seed = seed;
+  if (selector == "single") {
+    o.strategy = QuestionStrategy::kSingle;
+  } else {
+    o.selector = selector;
+  }
+  return o;
+}
+
+std::string TempDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "visclean_shard_" + tag;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string TraceRecord(const WireTraceSummary& t) {
+  std::string line = "it=" + std::to_string(t.iteration);
+  line += " emd=" + HexOf(t.emd);
+  line += " user=" + HexOf(t.user_seconds);
+  line += " asked=" + std::to_string(t.questions_asked);
+  line += " benefit=" + HexOf(t.cqg_benefit);
+  // Deliberately NOT recorded: the incremental-maintenance counters
+  // (detect/erg/sim-join full-vs-delta). A session imported from a snapshot
+  // pays one full rebuild on its next iteration because the caches are
+  // derived state the snapshot does not carry; the differential suites prove
+  // full and delta paths bit-identical, so which one ran is an execution
+  // detail, not session state. serve_snapshot_differential_test sets the
+  // same precedent for single-process restore.
+  return line;
+}
+
+WireTraceSummary Summarize(const IterationTrace& trace) {
+  WireTraceSummary t;
+  t.iteration = trace.iteration;
+  t.emd = trace.emd;
+  t.user_seconds = trace.user_seconds;
+  t.questions_asked = trace.questions_asked;
+  t.cqg_benefit = trace.cqg_benefit;
+  t.incremental = trace.incremental;
+  return t;
+}
+
+std::string PendingRecord(const PendingInteraction& p) {
+  return "it=" + std::to_string(p.iteration) +
+         " strat=" + std::to_string(static_cast<int>(p.strategy)) +
+         " benefit=" + HexOf(p.cqg_benefit) +
+         " v=" + std::to_string(p.cqg_vertices) +
+         " e=" + std::to_string(p.cqg_edges) +
+         " pool=" + std::to_string(p.pool_questions);
+}
+
+struct RunRecord {
+  std::vector<std::string> rounds;
+  std::string final_table;
+};
+
+std::string FingerprintFromSnapshotFile(const std::string& path) {
+  Result<SessionSnapshotState> state = ReadSnapshotFile(path);
+  EXPECT_TRUE(state.ok()) << state.status().ToString();
+  if (!state.ok()) return "<unreadable>";
+  return TableFingerprint(state.value().table);
+}
+
+// The uninterrupted single-process reference run.
+RunRecord RunInProcess(const DirtyDataset& data, const std::string& vql,
+                       const SessionOptions& options,
+                       const std::string& snap_path) {
+  RunRecord record;
+  SessionManager manager;
+  EXPECT_TRUE(manager.RegisterDataset(&data).ok());
+  Result<SessionInfo> created = manager.Create("ref", data.name, vql, options);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  for (size_t i = 0; i < options.budget; ++i) {
+    Result<PendingInteraction> pending = manager.Step("ref");
+    EXPECT_TRUE(pending.ok()) << pending.status().ToString();
+    if (!pending.ok()) return record;
+    record.rounds.push_back(PendingRecord(pending.value()));
+    Result<IterationTrace> trace = manager.Answer("ref");
+    EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+    if (!trace.ok()) return record;
+    record.rounds.push_back(TraceRecord(Summarize(trace.value())));
+  }
+  EXPECT_TRUE(manager.Snapshot("ref", snap_path).ok());
+  record.final_table = FingerprintFromSnapshotFile(snap_path);
+  return record;
+}
+
+// An N-shard fleet behind a router behind a TCP front-end, all in-process
+// but interacting only over loopback sockets.
+struct Fleet {
+  std::vector<std::unique_ptr<shard::ShardHost>> hosts;
+  std::unique_ptr<shard::ShardRouter> router;
+  std::unique_ptr<VisCleanServer> front;
+
+  uint16_t port() const { return front->port(); }
+
+  void StopAll() {
+    if (front) front->Stop();
+    if (router) router->Stop();
+    for (auto& host : hosts) {
+      if (host) host->Stop();
+    }
+  }
+};
+
+Fleet MakeFleet(const DirtyDataset& data, size_t shard_count,
+                const std::string& dir) {
+  Fleet fleet;
+  shard::RouterOptions router_options;
+  for (size_t i = 0; i < shard_count; ++i) {
+    shard::ShardHostOptions options;
+    options.shard_id = static_cast<uint32_t>(i);
+    options.serve.snapshot_dir = dir + "/shard" + std::to_string(i);
+    std::filesystem::create_directories(options.serve.snapshot_dir);
+    auto host = std::make_unique<shard::ShardHost>(options);
+    EXPECT_TRUE(host->RegisterDataset(&data).ok());
+    EXPECT_TRUE(host->Start().ok());
+    router_options.shards.push_back(
+        {options.shard_id, host->port(), options.serve.snapshot_dir});
+    fleet.hosts.push_back(std::move(host));
+  }
+  fleet.router = std::make_unique<shard::ShardRouter>(router_options);
+  EXPECT_TRUE(fleet.router->Start().ok());
+  fleet.front = std::make_unique<VisCleanServer>(*fleet.router);
+  EXPECT_TRUE(fleet.front->Start().ok());
+  return fleet;
+}
+
+enum class Interruption {
+  kNone,       // plain routed run
+  kMigrate,    // live-migrate mid-plan (question parked) via admin frame
+  kKillShard,  // stop the hosting shard mid-plan; recovery re-homes it
+};
+
+// Drives one session through the router, optionally interrupting it between
+// the final Step (question parked) and its Answer.
+RunRecord RunSharded(Fleet& fleet, const std::string& id,
+                     const std::string& dataset, const std::string& vql,
+                     const SessionOptions& options,
+                     const std::string& snap_path, Interruption interruption) {
+  RunRecord record;
+  Client client;
+  EXPECT_TRUE(client.Connect(fleet.port()).ok());
+  Result<SessionInfo> created = client.Create(id, dataset, vql, options);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  if (!created.ok()) return record;
+
+  for (size_t i = 0; i < options.budget; ++i) {
+    Result<PendingInteraction> pending = client.Step(id);
+    EXPECT_TRUE(pending.ok()) << pending.status().ToString();
+    if (!pending.ok()) return record;
+    record.rounds.push_back(PendingRecord(pending.value()));
+
+    if (i + 1 == options.budget) {
+      // Mid-plan: the composite question of the final round is parked on
+      // the source shard right now.
+      Result<uint32_t> source = fleet.router->placement().ShardOf(id);
+      EXPECT_TRUE(source.ok());
+      if (interruption == Interruption::kMigrate && source.ok()) {
+        uint32_t target =
+            (source.value() + 1) % static_cast<uint32_t>(fleet.hosts.size());
+        WireRequest migrate;
+        migrate.type = WireRequestType::kMigrateSession;
+        migrate.session_id = id;
+        migrate.shard_id = target;
+        Result<WireResponse> moved = client.Call(migrate);
+        EXPECT_TRUE(moved.ok()) << moved.status().ToString();
+        if (moved.ok()) {
+          EXPECT_EQ(moved.value().type, WireResponseType::kAck)
+              << moved.value().message;
+        }
+        EXPECT_EQ(fleet.router->placement().ShardOf(id).ValueOr(9999), target);
+      } else if (interruption == Interruption::kKillShard && source.ok()) {
+        // Hard-stop the hosting shard. The next forward hits a dead peer;
+        // the router declares it, re-homes from the persist_progress
+        // checkpoint (written at Step time, parked question included), and
+        // retries transparently.
+        fleet.hosts[source.value()]->Stop();
+      }
+    }
+
+    Result<WireTraceSummary> trace = client.Answer(id);
+    EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+    if (!trace.ok()) return record;
+    record.rounds.push_back(TraceRecord(trace.value()));
+  }
+
+  EXPECT_TRUE(client.Snapshot(id, snap_path).ok());
+  EXPECT_TRUE(client.CloseSession(id).ok());
+  record.final_table = FingerprintFromSnapshotFile(snap_path);
+  return record;
+}
+
+void SweepDataset(const std::string& dataset) {
+  const std::vector<std::string> selectors = {"gss",     "gss+",   "bnb",
+                                              "0.5-bnb", "random", "single"};
+
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    DirtyDataset data = MakeData(dataset, seed);
+    const std::string vql = QueryFor(dataset);
+    const std::string dir =
+        TempDir(dataset + "_" + std::to_string(seed));
+
+    // One 3-shard fleet per seed serves every migration run — membership
+    // stays intact, so sessions accumulate across selectors like users
+    // sharing a deployment.
+    Fleet fleet = MakeFleet(data, 3, dir);
+
+    for (const std::string& sel : selectors) {
+      SCOPED_TRACE(dataset + " seed=" + std::to_string(seed) + " sel=" + sel);
+      SessionOptions options = SweepOptions(sel, seed);
+      std::string tag = dataset + "_" + std::to_string(seed) + "_" + sel;
+      for (char& c : tag) {
+        if (c == '+') c = 'P';
+      }
+
+      RunRecord reference =
+          RunInProcess(data, vql, options, dir + "/ref_" + tag + ".snap");
+      ASSERT_EQ(reference.rounds.size(), 2 * kBudget);
+
+      RunRecord migrated =
+          RunSharded(fleet, "mig-" + tag, data.name, vql, options,
+                     dir + "/mig_" + tag + ".snap", Interruption::kMigrate);
+      EXPECT_EQ(reference.rounds, migrated.rounds);
+      EXPECT_EQ(reference.final_table, migrated.final_table);
+      EXPECT_FALSE(reference.final_table.empty());
+
+      // The kill scenario consumes a shard, so it gets a fresh 2-shard
+      // fleet per configuration.
+      const std::string kill_dir = TempDir(tag + "_kill");
+      Fleet kill_fleet = MakeFleet(data, 2, kill_dir);
+      RunRecord rehomed =
+          RunSharded(kill_fleet, "kill-" + tag, data.name, vql, options,
+                     kill_dir + "/kill_" + tag + ".snap",
+                     Interruption::kKillShard);
+      EXPECT_EQ(reference.rounds, rehomed.rounds);
+      EXPECT_EQ(reference.final_table, rehomed.final_table);
+      EXPECT_GE(kill_fleet.router->router_stats().recovered_sessions, 1u);
+      EXPECT_EQ(kill_fleet.router->router_stats().lost_sessions, 0u);
+      kill_fleet.StopAll();
+      std::filesystem::remove_all(kill_dir);
+    }
+    fleet.StopAll();
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(ShardDifferentialTest, PublicationsSweep) { SweepDataset("D1"); }
+TEST(ShardDifferentialTest, NbaSweep) { SweepDataset("D2"); }
+TEST(ShardDifferentialTest, BooksSweep) { SweepDataset("D3"); }
+
+}  // namespace
+}  // namespace visclean
