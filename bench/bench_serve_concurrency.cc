@@ -382,6 +382,10 @@ int Run(const BenchConfig& config) {
                              ? serial_wall_seconds / concurrent_wall_seconds
                              : 0.0;
   ServeStats stats = manager.stats();
+  // Server-side latency histograms: what the manager itself measured for the
+  // same requests, net of client-side clock overhead, plus the queue-wait
+  // component the client-side numbers fold in.
+  obs::MetricsSnapshot server_snapshot = manager.registry().Snapshot();
 
   std::printf("\nserial:     %.2fs wall (%.2fs compute + %.2fs think)\n",
               serial_wall_seconds, serial_compute_seconds,
@@ -396,6 +400,14 @@ int Run(const BenchConfig& config) {
   std::printf("answer latency ms p50=%.1f p90=%.1f p99=%.1f\n",
               Percentile(answer_ms, 0.5), Percentile(answer_ms, 0.9),
               Percentile(answer_ms, 0.99));
+  if (obs::kObsCompiled) {
+    PrintServerHistogramMs("step latency      ", server_snapshot,
+                           "serve.step_ns");
+    PrintServerHistogramMs("answer latency    ", server_snapshot,
+                           "serve.answer_ns");
+    PrintServerHistogramMs("queue wait        ", server_snapshot,
+                           "serve.queue_wait_ns");
+  }
   std::printf("failed requests: %llu, table mismatches: %zu, "
               "max |emd delta| = %.3g\n",
               (unsigned long long)failed_requests.load(), table_mismatches,
@@ -462,6 +474,16 @@ int Run(const BenchConfig& config) {
   json.Number(Percentile(answer_ms, 0.99));
   json.Key("max");
   json.Number(answer_ms.empty() ? 0.0 : answer_ms.back());
+  json.EndObject();
+  json.Key("obs_compiled");
+  json.Bool(obs::kObsCompiled);
+  json.Key("server_histograms");
+  json.BeginObject();
+  WriteServerHistogramMs(json, "step_ms", server_snapshot, "serve.step_ns");
+  WriteServerHistogramMs(json, "answer_ms", server_snapshot,
+                         "serve.answer_ns");
+  WriteServerHistogramMs(json, "queue_wait_ms", server_snapshot,
+                         "serve.queue_wait_ns");
   json.EndObject();
   json.Key("manager_stats");
   json.BeginObject();

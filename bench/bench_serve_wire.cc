@@ -34,6 +34,7 @@
 #include "common/json_writer.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/export.h"
 #include "serve/session_manager.h"
 
 namespace visclean {
@@ -47,8 +48,52 @@ struct BenchConfig {
   size_t entities = 40;
   size_t server_workers = 8;
   double min_rounds_per_second = 5.0;
+  /// Instrumentation hot-path budget: the projected per-step telemetry cost
+  /// must stay under this fraction of the measured p50 step latency.
+  double max_obs_overhead_percent = 2.0;
   bool smoke = false;
 };
+
+/// Generous upper bound on instrumentation ops a single Step pays across
+/// the whole stack (net IO counters + dispatch/decode/handle histograms +
+/// manager counters/histograms + stage spans + kernel counters).
+constexpr size_t kCounterOpsPerStep = 48;
+constexpr size_t kHistogramOpsPerStep = 16;
+
+/// Measured per-op cost of the two hot-path metric primitives, from tight
+/// loops against a scratch registry (so the soak's own dump stays clean).
+struct ObsOverhead {
+  double counter_add_ns = 0.0;
+  double histogram_record_ns = 0.0;
+  /// kCounterOpsPerStep * counter + kHistogramOpsPerStep * histogram.
+  double projected_step_ns = 0.0;
+};
+
+ObsOverhead MeasureObsOverhead() {
+  using Clock = std::chrono::steady_clock;
+  constexpr size_t kIters = 1 << 20;
+  obs::Registry scratch;
+  obs::Counter* counter = scratch.GetCounter("bench.overhead_probe");
+  obs::Histogram* histogram = scratch.GetHistogram("bench.overhead_probe_ns");
+
+  Clock::time_point t0 = Clock::now();
+  for (size_t i = 0; i < kIters; ++i) counter->Add(1);
+  Clock::time_point t1 = Clock::now();
+  for (size_t i = 0; i < kIters; ++i) {
+    histogram->Record(static_cast<uint64_t>(i));
+  }
+  Clock::time_point t2 = Clock::now();
+
+  ObsOverhead overhead;
+  overhead.counter_add_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
+  overhead.histogram_record_ns =
+      std::chrono::duration<double, std::nano>(t2 - t1).count() / kIters;
+  overhead.projected_step_ns =
+      kCounterOpsPerStep * overhead.counter_add_ns +
+      kHistogramOpsPerStep * overhead.histogram_record_ns;
+  return overhead;
+}
 
 SessionOptions UserOptionsFor(size_t user_index) {
   // Deliberately tiny sessions: the bench times the wire + dispatch path
@@ -115,6 +160,9 @@ int Run(const BenchConfig& config) {
 
   ServerOptions server_options;
   server_options.worker_threads = config.server_workers;
+  // One registry for the whole stack: net.* IO metrics land next to the
+  // manager's serve.* counters, so metrics_dump.json is a complete picture.
+  server_options.registry = &manager.registry();
   VisCleanServer server(manager, server_options);
   VC_CHECK(server.Start().ok(), "server Start failed");
 
@@ -182,6 +230,7 @@ int Run(const BenchConfig& config) {
       std::chrono::duration<double>(Clock::now() - soak_start).count();
 
   ServeStats stats = manager.stats();
+  obs::MetricsSnapshot server_snapshot = manager.registry().Snapshot();
   server.Stop();
 
   std::vector<double> all_create;
@@ -197,6 +246,21 @@ int Run(const BenchConfig& config) {
   std::sort(all_create.begin(), all_create.end());
   std::sort(all_step.begin(), all_step.end());
   std::sort(all_answer.begin(), all_answer.end());
+
+  // ---- Instrumentation overhead micro-gate: per-op cost of the metric
+  // primitives, projected onto a generous per-step op budget and compared
+  // against the p50 the server itself just measured. Under VISCLEAN_OBS_OFF
+  // the histogram is empty; fall back to the client-side p50 so the gate
+  // still runs (and trivially passes — Record compiles to nothing there).
+  ObsOverhead obs_overhead = MeasureObsOverhead();
+  obs::HistogramSnapshot step_hist =
+      ServerHistogram(server_snapshot, "serve.step_ns");
+  const double p50_step_ns =
+      step_hist.count > 0 ? static_cast<double>(step_hist.Percentile(50.0))
+                          : Percentile(all_step, 0.5) * 1e6;
+  const double obs_overhead_percent =
+      p50_step_ns > 0 ? obs_overhead.projected_step_ns / p50_step_ns * 100.0
+                      : 0.0;
 
   const uint64_t expected_rounds =
       static_cast<uint64_t>(config.users) * config.budget;
@@ -229,6 +293,21 @@ int Run(const BenchConfig& config) {
               (unsigned long long)stats.answers,
               (unsigned long long)expected_rounds,
               (unsigned long long)failed_requests.load());
+  if (obs::kObsCompiled) {
+    PrintServerHistogramMs("step latency      ", server_snapshot,
+                           "serve.step_ns");
+    PrintServerHistogramMs("answer latency    ", server_snapshot,
+                           "serve.answer_ns");
+    PrintServerHistogramMs("dispatch wait     ", server_snapshot,
+                           "net.dispatch_wait_ns");
+  }
+  std::printf("obs overhead: counter add %.1f ns/op, histogram record "
+              "%.1f ns/op -> %.0f ns projected per step = %.3f%% of p50 "
+              "(gate <= %.1f%%, instrumentation %s)\n",
+              obs_overhead.counter_add_ns, obs_overhead.histogram_record_ns,
+              obs_overhead.projected_step_ns, obs_overhead_percent,
+              config.max_obs_overhead_percent,
+              obs::kObsCompiled ? "compiled in" : "compiled out");
 
   JsonWriter json = JsonWriter::Pretty();
   json.BeginObject();
@@ -261,6 +340,26 @@ int Run(const BenchConfig& config) {
   WriteLatencyObject(json, "create_latency_ms", all_create);
   WriteLatencyObject(json, "step_latency_ms", all_step);
   WriteLatencyObject(json, "answer_latency_ms", all_answer);
+  json.Key("obs_compiled");
+  json.Bool(obs::kObsCompiled);
+  json.Key("obs_counter_add_ns");
+  json.Number(obs_overhead.counter_add_ns);
+  json.Key("obs_histogram_record_ns");
+  json.Number(obs_overhead.histogram_record_ns);
+  json.Key("obs_projected_overhead_percent");
+  json.Number(obs_overhead_percent);
+  json.Key("obs_overhead_gate_percent");
+  json.Number(config.max_obs_overhead_percent);
+  json.Key("server_histograms");
+  json.BeginObject();
+  WriteServerHistogramMs(json, "step_ms", server_snapshot, "serve.step_ns");
+  WriteServerHistogramMs(json, "answer_ms", server_snapshot,
+                         "serve.answer_ns");
+  WriteServerHistogramMs(json, "queue_wait_ms", server_snapshot,
+                         "serve.queue_wait_ns");
+  WriteServerHistogramMs(json, "dispatch_wait_ms", server_snapshot,
+                         "net.dispatch_wait_ns");
+  json.EndObject();
   json.Key("server_stats");
   json.BeginObject();
   json.Key("sessions_created");
@@ -280,10 +379,17 @@ int Run(const BenchConfig& config) {
   out << json.TakeString() << "\n";
   std::printf("wrote BENCH_serve_wire.json\n");
 
+  // The full registry dump, pretty-printed — CI archives this as an
+  // artifact so a run's server-side metrics survive the workspace.
+  std::ofstream dump("metrics_dump.json");
+  dump << obs::ExportMetricsJson(server_snapshot, /*pretty=*/true) << "\n";
+  std::printf("wrote metrics_dump.json\n");
+
   bool ok = failed_requests.load() == 0 &&
             stats.sessions_created == config.users &&
             stats.steps == expected_rounds && stats.answers == expected_rounds &&
-            rounds_per_second >= config.min_rounds_per_second;
+            rounds_per_second >= config.min_rounds_per_second &&
+            obs_overhead_percent <= config.max_obs_overhead_percent;
   if (!ok) {
     std::printf("GATE FAILED\n");
     return 1;

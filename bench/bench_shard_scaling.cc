@@ -171,6 +171,9 @@ struct TierResult {
   double rounds_per_second = 0.0;
   uint64_t failed_requests = 0;
   shard::RouterStats router_stats;
+  /// Fleet-merged metrics (the router's kMetrics answer): router.* plus
+  /// every shard's serve.* / net.* registries, one scrape.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Drives every session of `specs` to completion through `fleet`, each
@@ -225,6 +228,16 @@ TierResult DriveFleet(Fleet& fleet, const std::vector<SessionSpec>& specs,
       static_cast<double>(specs.size() * budget) / result.wall_seconds;
   result.failed_requests = failed.load();
   result.router_stats = fleet.router->router_stats();
+  // The latency percentiles come from the servers themselves, scraped over
+  // the same wire the drivers used — the router merges its own registry
+  // with every shard's snapshot.
+  {
+    Client scraper;
+    if (scraper.Connect(fleet.port()).ok()) {
+      Result<obs::MetricsSnapshot> scraped = scraper.Metrics();
+      if (scraped.ok()) result.metrics = std::move(scraped).value();
+    }
+  }
   return result;
 }
 
@@ -353,7 +366,21 @@ void WriteTier(JsonWriter& json, const char* key, const TierResult& tier) {
   json.Int(static_cast<int64_t>(tier.router_stats.forwards));
   json.Key("failovers");
   json.Int(static_cast<int64_t>(tier.router_stats.failovers));
+  json.Key("server_histograms");
+  json.BeginObject();
+  WriteServerHistogramMs(json, "step_ms", tier.metrics, "serve.step_ns");
+  WriteServerHistogramMs(json, "answer_ms", tier.metrics, "serve.answer_ns");
+  WriteServerHistogramMs(json, "forward_ms", tier.metrics,
+                         "router.forward_ns");
   json.EndObject();
+  json.EndObject();
+}
+
+void PrintTierHistograms(const TierResult& tier) {
+  if (!obs::kObsCompiled) return;
+  PrintServerHistogramMs("  step    ", tier.metrics, "serve.step_ns");
+  PrintServerHistogramMs("  answer  ", tier.metrics, "serve.answer_ns");
+  PrintServerHistogramMs("  forward ", tier.metrics, "router.forward_ns");
 }
 
 }  // namespace
@@ -369,11 +396,13 @@ int Run(const BenchConfig& config) {
   TierResult one = RunTier(config, 1, &d1, &d2, &d3);
   std::printf("  %.2fs wall, %.2f rounds/s\n", one.wall_seconds,
               one.rounds_per_second);
+  PrintTierHistograms(one);
 
   std::printf("tier 4: same workload through 4 shards...\n");
   TierResult four = RunTier(config, 4, &d1, &d2, &d3);
   std::printf("  %.2fs wall, %.2f rounds/s\n", four.wall_seconds,
               four.rounds_per_second);
+  PrintTierHistograms(four);
 
   const double scaling = one.rounds_per_second > 0
                              ? four.rounds_per_second / one.rounds_per_second
@@ -419,6 +448,8 @@ int Run(const BenchConfig& config) {
   json.Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
   json.Key("full_gate_applied");
   json.Bool(full_gate);
+  json.Key("obs_compiled");
+  json.Bool(obs::kObsCompiled);
   json.Key("scaling_4_vs_1");
   json.Number(scaling);
   json.Key("scaling_gate");

@@ -9,11 +9,13 @@
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "core/paper_options.h"
 #include "core/session.h"
 #include "datagen/books.h"
 #include "datagen/nba.h"
 #include "datagen/publications.h"
+#include "obs/metrics.h"
 #include "vql/parser.h"
 
 namespace visclean {
@@ -148,6 +150,49 @@ inline void PrintSeries(const char* name, const std::vector<double>& values,
   std::printf("%-10s", name);
   for (double v : values) std::printf(fmt, v);
   std::printf("\n");
+}
+
+/// The named server-side latency histogram from a metrics snapshot (empty
+/// when the name is absent or the build compiled instrumentation out).
+inline obs::HistogramSnapshot ServerHistogram(
+    const obs::MetricsSnapshot& snapshot, const char* name) {
+  auto it = snapshot.histograms.find(name);
+  return it != snapshot.histograms.end() ? it->second
+                                         : obs::HistogramSnapshot{};
+}
+
+/// Writes {count, p50, p95, p99, max} in milliseconds for a nanosecond
+/// server-side histogram — the serving benches report these next to the
+/// client-measured latencies so queueing and wire overhead are separable.
+inline void WriteServerHistogramMs(JsonWriter& json, const char* key,
+                                   const obs::MetricsSnapshot& snapshot,
+                                   const char* name) {
+  obs::HistogramSnapshot h = ServerHistogram(snapshot, name);
+  json.Key(key);
+  json.BeginObject();
+  json.Key("count");
+  json.Int(static_cast<int64_t>(h.count));
+  json.Key("p50");
+  json.Number(static_cast<double>(h.Percentile(50.0)) / 1e6);
+  json.Key("p95");
+  json.Number(static_cast<double>(h.Percentile(95.0)) / 1e6);
+  json.Key("p99");
+  json.Number(static_cast<double>(h.Percentile(99.0)) / 1e6);
+  json.Key("max");
+  json.Number(static_cast<double>(h.max) / 1e6);
+  json.EndObject();
+}
+
+/// Prints one "label p50=... p95=... p99=... ms (server-side)" line.
+inline void PrintServerHistogramMs(const char* label,
+                                   const obs::MetricsSnapshot& snapshot,
+                                   const char* name) {
+  obs::HistogramSnapshot h = ServerHistogram(snapshot, name);
+  std::printf("%s p50=%.2f p95=%.2f p99=%.2f ms (server-side, n=%llu)\n",
+              label, static_cast<double>(h.Percentile(50.0)) / 1e6,
+              static_cast<double>(h.Percentile(95.0)) / 1e6,
+              static_cast<double>(h.Percentile(99.0)) / 1e6,
+              (unsigned long long)h.count);
 }
 
 }  // namespace bench

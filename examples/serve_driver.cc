@@ -14,7 +14,14 @@
 // which the router re-homes from the on-disk checkpoint and keeps serving
 // without the client noticing.
 //
+// The third act watches the fleet run: the tracer's slow threshold drops to
+// zero so every request is captured whole, a mixed workload crosses the
+// router, METRICS is scraped over the text dialect, and the slowest
+// captured request is printed as its indented span tree — wire decode →
+// route → shard execute, one trace id across both tiers.
+//
 //   $ ./build/examples/serve_driver
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -26,6 +33,8 @@
 #include "datagen/publications.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/session_manager.h"
 #include "serve/wire.h"
 #include "shard/router.h"
@@ -235,6 +244,59 @@ int main() {
                 row.draining ? " draining" : "",
                 (unsigned long long)row.sessions);
   }
+
+  // ---- Act three: observing the fleet. ----
+  std::printf("\n== observability: capture every request ==\n");
+  // Threshold 0 turns slow capture into full capture; cleared first so the
+  // traces below are exactly the workload we are about to run.
+  obs::Tracer::Default().SetSlowThresholdNs(0);
+  obs::Tracer::Default().Clear();
+
+  Client erin;
+  Check(erin.Connect(front.port()), "connect erin");
+  Check(erin.Create("erin", nba.name, kNbaQuery, options).status(),
+        "Create erin");
+  Check(erin.Step("erin").status(), "Step erin");
+  Check(erin.Answer("erin").status(), "Answer erin");
+  Check(dave.Step("dave").status(), "Step dave");
+  Check(dave.Answer("dave").status(), "Answer dave");
+  Check(erin.GetStatus("erin").status(), "GetStatus erin");
+
+  // One METRICS over the text dialect: the router merges its own registry
+  // with every live shard's snapshot, so router.* and serve.* arrive in a
+  // single scrape. (The binary dialect's kMetrics carries the same data as
+  // a decodable snapshot — that is what the benches consume.)
+  LineClient scraper;
+  Check(scraper.Connect(front.port()), "connect scraper");
+  Result<std::string> metrics_line = scraper.Exchange("METRICS");
+  Check(metrics_line.status(), "METRICS");
+  std::printf("  > METRICS\n  < %.100s...\n", metrics_line.value().c_str());
+
+  Result<obs::MetricsSnapshot> fleet_metrics = erin.Metrics();
+  Check(fleet_metrics.status(), "Metrics");
+  for (const char* name : {"router.forwards", "serve.steps", "serve.answers",
+                           "net.requests"}) {
+    auto it = fleet_metrics.value().counters.find(name);
+    std::printf("  %-16s %llu\n", name,
+                it == fleet_metrics.value().counters.end()
+                    ? 0ull
+                    : (unsigned long long)it->second);
+  }
+
+  std::vector<obs::CapturedTrace> captured = obs::Tracer::Default().Captured();
+  if (!captured.empty()) {
+    const obs::CapturedTrace& slowest = *std::max_element(
+        captured.begin(), captured.end(),
+        [](const obs::CapturedTrace& a, const obs::CapturedTrace& b) {
+          return a.duration_ns < b.duration_ns;
+        });
+    std::printf("\n== slowest of %zu captured requests (%.2f ms) ==\n",
+                captured.size(),
+                static_cast<double>(slowest.duration_ns) / 1e6);
+    std::printf("%s", obs::FormatTraceTree(slowest).c_str());
+  }
+  obs::Tracer::Default().SetSlowThresholdNs(
+      obs::TracerOptions().slow_threshold_ns);
 
   front.Stop();
   router.Stop();

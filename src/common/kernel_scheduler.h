@@ -22,6 +22,7 @@
 #include <functional>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace visclean {
 
@@ -36,6 +37,28 @@ enum class KernelKind {
 };
 
 inline constexpr size_t kNumKernelKinds = 3;
+
+/// Stable metric-name component per kernel kind ("kernel.<name>.*").
+inline const char* KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kEmInference:
+      return "em_infer";
+    case KernelKind::kPairFeatures:
+      return "pair_features";
+    case KernelKind::kKnnQuery:
+      return "knn";
+  }
+  return "unknown";
+}
+
+/// \brief Pre-resolved telemetry handles for one kernel kind at a call
+/// site — resolved once from an obs::Registry (EngineContext does this when
+/// the serving layer attaches one), so RunKernel's accounting is two relaxed
+/// atomic adds, no name lookups.
+struct KernelSiteMetrics {
+  obs::Counter* calls = nullptr;
+  obs::Counter* rows = nullptr;
+};
 
 /// \brief Pluggable executor for chunkable kernels.
 ///
@@ -59,6 +82,9 @@ struct KernelEnv {
   ThreadPool* pool = nullptr;
   KernelScheduler* scheduler = nullptr;
   Arena* arena = nullptr;
+  /// Per-kind telemetry handles (array of kNumKernelKinds) or null when the
+  /// call site has no registry attached.
+  const KernelSiteMetrics* metrics = nullptr;
 };
 
 /// Executes fn over [0, total): via the scheduler when present, else the
@@ -69,6 +95,13 @@ inline void RunKernel(KernelKind kind, const KernelEnv& env, size_t total,
                       size_t min_parallel,
                       const std::function<void(size_t, size_t)>& fn) {
   if (total == 0) return;
+#ifndef VISCLEAN_OBS_OFF
+  if (env.metrics != nullptr) {
+    const KernelSiteMetrics& m = env.metrics[static_cast<size_t>(kind)];
+    if (m.calls != nullptr) m.calls->Add(1);
+    if (m.rows != nullptr) m.rows->Add(total);
+  }
+#endif
   if (env.scheduler != nullptr) {
     env.scheduler->Run(kind, total, fn);
     return;

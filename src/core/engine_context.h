@@ -172,9 +172,19 @@ struct EngineContext {
   /// so spans live exactly one plan phase (see common/arena.h). Holds the
   /// EM gather matrices, ERG traversal marks, and detector corpus tables.
   Arena arena;
+  /// Telemetry sink (serving layer's per-manager registry; null standalone).
+  /// Timings and counts flow out through it, nothing flows back in — an
+  /// instrumented run is bit-identical to an uninstrumented one.
+  obs::Registry* registry = nullptr;
+  /// Per-kind kernel telemetry handles, resolved once when `registry` is
+  /// attached (see VisCleanSession::SetExternalRegistry).
+  KernelSiteMetrics kernel_metrics[kNumKernelKinds];
 
   /// The kernel execution environment stages hand to the batchable loops.
-  KernelEnv kernel_env() { return KernelEnv{pool, kernels, &arena}; }
+  KernelEnv kernel_env() {
+    return KernelEnv{pool, kernels, &arena,
+                     registry != nullptr ? kernel_metrics : nullptr};
+  }
   /// Cross-iteration cache behind incremental benefit estimation: baseline
   /// Q(D) + tuple->group provenance, refreshed per iteration from the
   /// table's mutation journal (used only when benefit_mode == kAuto).

@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "dist/emd.h"
+#include "obs/trace.h"
 #include "vql/executor.h"
 
 namespace visclean {
@@ -27,10 +28,17 @@ class Stopwatch {
 
 // Times one stage and charges its wall time to the declared bucket.
 Status RunStageTimed(PipelineStage& stage, EngineContext& ctx) {
+  obs::ScopedSpan span(stage.name());
   Stopwatch watch;
   VC_RETURN_IF_ERROR(stage.Run(ctx));
   double seconds = watch.Seconds();
   ctx.trace.stage_times.push_back({stage.name(), seconds});
+#ifndef VISCLEAN_OBS_OFF
+  if (ctx.registry != nullptr) {
+    ctx.registry->GetHistogram(std::string("stage.") + stage.name() + ".ns")
+        ->Record(static_cast<uint64_t>(seconds * 1e9));
+  }
+#endif
   switch (stage.bucket()) {
     case StageBucket::kDetect:
       ctx.trace.machine.detect += seconds;
@@ -86,6 +94,11 @@ void VisCleanSession::SetExternalScheduler(KernelScheduler* scheduler) {
   external_scheduler_ = scheduler;
 }
 
+void VisCleanSession::SetExternalRegistry(obs::Registry* registry) {
+  VC_CHECK(!initialized_, "SetExternalRegistry must precede Initialize()");
+  external_registry_ = registry;
+}
+
 Status VisCleanSession::Initialize() {
   if (initialized_) return Status::Ok();
   Result<std::unique_ptr<CqgSelector>> selector =
@@ -99,6 +112,16 @@ Status VisCleanSession::Initialize() {
     ctx_.pool = pool_.get();
   }
   ctx_.kernels = external_scheduler_;
+  ctx_.registry = external_registry_;
+  if (external_registry_ != nullptr) {
+    for (size_t k = 0; k < kNumKernelKinds; ++k) {
+      const char* kind = KernelKindName(static_cast<KernelKind>(k));
+      ctx_.kernel_metrics[k].calls = external_registry_->GetCounter(
+          std::string("kernel.") + kind + ".calls");
+      ctx_.kernel_metrics[k].rows = external_registry_->GetCounter(
+          std::string("kernel.") + kind + ".rows");
+    }
+  }
   // Validate the query against the table once up front.
   Result<VisData> vis = ExecuteVql(ctx_.query, ctx_.table);
   if (!vis.ok()) return vis.status();

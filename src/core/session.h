@@ -121,6 +121,13 @@ class VisCleanSession {
   /// through it instead of the pool — results stay bit-identical.
   void SetExternalScheduler(KernelScheduler* scheduler);
 
+  /// Lends a telemetry registry (the serving layer's per-manager
+  /// obs::Registry) to this session. Must be called before Initialize();
+  /// the registry must outlive the session. Stage timings and kernel call
+  /// counts then flow out through it — nothing flows back in, so an
+  /// instrumented run stays bit-identical to an uninstrumented one.
+  void SetExternalRegistry(obs::Registry* registry);
+
   /// The session's durable state (see SessionSnapshotState), capturable
   /// while idle or while a question is pending. Requires Initialize().
   Result<SessionSnapshotState> CaptureState() const;
@@ -141,6 +148,7 @@ class VisCleanSession {
   std::unique_ptr<ThreadPool> pool_;   ///< lives behind ctx_.pool
   ThreadPool* external_pool_ = nullptr;
   KernelScheduler* external_scheduler_ = nullptr;
+  obs::Registry* external_registry_ = nullptr;
 
   size_t iteration_ = 0;
   bool initialized_ = false;

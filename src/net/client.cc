@@ -348,6 +348,30 @@ Result<ServeStats> Client::Stats() {
   return resp.value().stats;
 }
 
+Result<obs::MetricsSnapshot> Client::Metrics() {
+  WireRequest req;
+  req.type = WireRequestType::kMetrics;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kMetrics) {
+    return WrongType("METRICS");
+  }
+  return obs::DecodeMetricsSnapshot(resp.value().metrics);
+}
+
+Result<std::string> Client::Traces() {
+  WireRequest req;
+  req.type = WireRequestType::kTraces;
+  Result<WireResponse> resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  VC_RETURN_IF_ERROR(StatusOf(resp.value()));
+  if (resp.value().type != WireResponseType::kTraces) {
+    return WrongType("TRACES");
+  }
+  return std::move(resp).value().metrics;
+}
+
 Result<std::string> Client::ExportState(const std::string& id, bool remove) {
   WireRequest req;
   req.type = WireRequestType::kExportState;

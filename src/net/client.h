@@ -25,6 +25,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "serve/session_manager.h"
 #include "serve/wire.h"
 
@@ -78,6 +79,11 @@ class Client {
   Result<SessionInfo> Restore(const std::string& id, const std::string& path);
   Status CloseSession(const std::string& id);
   Result<ServeStats> Stats();
+  /// Decoded metrics snapshot (a shard's registry; through a router, the
+  /// merged fleet view). Wire v3 only.
+  Result<obs::MetricsSnapshot> Metrics();
+  /// Captured slow-request traces as a JSON document. Wire v3 only.
+  Result<std::string> Traces();
 
   // Sharding surface (wire v3).
   Result<std::string> ExportState(const std::string& id, bool remove);

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace visclean {
 
@@ -189,6 +191,10 @@ class CommandParser {
       VC_RETURN_IF_ERROR(TakeU32(&req.port, "shard port"));
     } else if (verb == "TOPOLOGY") {
       req.type = WireRequestType::kTopology;
+    } else if (verb == "METRICS") {
+      req.type = WireRequestType::kMetrics;
+    } else if (verb == "TRACES") {
+      req.type = WireRequestType::kTraces;
     } else {
       return ErrAt(head.col, StrFormat("unknown command '%s'",
                                        head.text.c_str()));
@@ -534,6 +540,10 @@ std::string PrintCommand(const WireRequest& request) {
              FormatU64(request.port);
     case WireRequestType::kTopology:
       return "TOPOLOGY";
+    case WireRequestType::kMetrics:
+      return "METRICS";
+    case WireRequestType::kTraces:
+      return "TRACES";
     case WireRequestType::kImportState:
     case WireRequestType::kForwarded:
     case WireRequestType::kSetRole:
@@ -656,6 +666,19 @@ std::string PrintResponseLine(const WireResponse& response) {
       }
       return out;
     }
+    case WireResponseType::kMetrics: {
+      // The binary payload re-rendered as one quoted compact-JSON string,
+      // so a line-oriented client still gets one parseable line.
+      Result<obs::MetricsSnapshot> snapshot =
+          obs::DecodeMetricsSnapshot(response.metrics);
+      if (!snapshot.ok()) {
+        return "ERR INTERNAL \"undecodable metrics payload\"";
+      }
+      return "OK METRICS " + Quote(obs::ExportMetricsJson(snapshot.value()));
+    }
+    case WireResponseType::kTraces:
+      // Already JSON — quote it onto the line.
+      return "OK TRACES " + Quote(response.metrics);
   }
   return "ERR INTERNAL \"unprintable response\"";
 }

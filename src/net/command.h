@@ -7,13 +7,14 @@
 // DESIGN.md §4):
 //
 //   command  = create | step | answer | status | snapshot | restore
-//            | close | stats ;
+//            | close | stats | metrics | traces ;
 //   create   = "CREATE" word "ON" word "QUERY" string [ "WITH" opts ] ;
 //   step     = "STEP" word ;          answer  = "ANSWER" word ;
 //   status   = "STATUS" word ;        close   = "CLOSE" word ;
 //   snapshot = "SNAPSHOT" word "TO" string ;
 //   restore  = "RESTORE" word "FROM" string ;
 //   stats    = "STATS" ;
+//   metrics  = "METRICS" ;            traces  = "TRACES" ;
 //   opts     = opt { opt } ;          opt     = word "=" value ;
 //   value    = word | string ;
 //
@@ -45,7 +46,8 @@ Result<WireRequest> ParseCommand(const std::string& line);
 std::string PrintCommand(const WireRequest& request);
 
 /// Renders a response as one line: "OK INFO k=v ...", "OK PENDING ...",
-/// "OK TRACE ...", "OK ACK", "OK STATS ...", or `ERR CODE "message"`.
+/// "OK TRACE ...", "OK ACK", "OK STATS ...", `OK METRICS "<json>"`,
+/// `OK TRACES "<json>"`, or `ERR CODE "message"`.
 std::string PrintResponseLine(const WireResponse& response);
 
 /// Wire spelling of a status code, e.g. "RESOURCE_EXHAUSTED".

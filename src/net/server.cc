@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "net/command.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/session_manager.h"
 #include "serve/wire.h"
 
@@ -49,6 +51,12 @@ struct PendingItem {
   bool ready = false;
   WireRequest request;
   std::string response_bytes;
+  // Telemetry timestamps (0 when obs is compiled out): the frame/line
+  // decode interval measured on the IO thread, and when the item joined
+  // the connection queue. They become retro child spans of the request.
+  uint64_t decode_start_ns = 0;
+  uint64_t decode_end_ns = 0;
+  uint64_t enqueue_ns = 0;
 };
 
 struct Connection {
@@ -80,19 +88,53 @@ struct Connection {
 
 using ConnPtr = std::shared_ptr<Connection>;
 
+/// One request handed to the worker pool, with its queue provenance.
+struct DispatchItem {
+  ConnPtr conn;
+  WireRequest request;
+  uint64_t decode_start_ns = 0;
+  uint64_t decode_end_ns = 0;
+  uint64_t enqueue_ns = 0;
+};
+
 }  // namespace
 
 struct VisCleanServer::Impl {
   Impl(SessionManager& manager_in, ServerOptions options_in)
       : owned_handler(std::make_unique<SessionManagerHandler>(manager_in)),
         handler(*owned_handler),
-        options(options_in) {}
+        options(options_in) {
+    InitMetrics();
+  }
   Impl(WireHandler& handler_in, ServerOptions options_in)
-      : handler(handler_in), options(options_in) {}
+      : handler(handler_in), options(options_in) {
+    InitMetrics();
+  }
+
+  void InitMetrics() {
+    registry = options.registry != nullptr ? options.registry
+                                           : &obs::Registry::Default();
+    c_bytes_read = registry->GetCounter("net.bytes_read");
+    c_bytes_written = registry->GetCounter("net.bytes_written");
+    c_requests = registry->GetCounter("net.requests");
+    g_open_conns = registry->GetGauge("net.open_connections");
+    h_dispatch_wait_ns = registry->GetHistogram("net.dispatch_wait_ns");
+    h_decode_ns = registry->GetHistogram("net.decode_ns");
+    h_handle_ns = registry->GetHistogram("net.handle_ns");
+  }
 
   std::unique_ptr<SessionManagerHandler> owned_handler;
   WireHandler& handler;
   ServerOptions options;
+
+  obs::Registry* registry = nullptr;
+  obs::Counter* c_bytes_read = nullptr;
+  obs::Counter* c_bytes_written = nullptr;
+  obs::Counter* c_requests = nullptr;
+  obs::Gauge* g_open_conns = nullptr;
+  obs::Histogram* h_dispatch_wait_ns = nullptr;  ///< enqueue -> worker pickup
+  obs::Histogram* h_decode_ns = nullptr;         ///< frame/line decode time
+  obs::Histogram* h_handle_ns = nullptr;         ///< WireHandler::Handle time
 
   int listen_fd = -1;
   uint16_t bound_port = 0;
@@ -109,7 +151,7 @@ struct VisCleanServer::Impl {
 
   std::mutex queue_mu;
   std::condition_variable queue_cv;
-  std::deque<std::pair<ConnPtr, WireRequest>> dispatch;
+  std::deque<DispatchItem> dispatch;
   bool workers_stop = false;
 
   void Wake() {
@@ -128,7 +170,7 @@ struct VisCleanServer::Impl {
   /// connection is idle. The per-connection FIFO lives here: at most one
   /// request per connection is ever in the dispatch queue.
   void Advance(const ConnPtr& conn) {
-    WireRequest next;
+    DispatchItem next;
     bool enqueue = false;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
@@ -139,7 +181,11 @@ struct VisCleanServer::Impl {
           conn->queue.pop_front();
           continue;
         }
-        next = std::move(front.request);
+        next.conn = conn;
+        next.request = std::move(front.request);
+        next.decode_start_ns = front.decode_start_ns;
+        next.decode_end_ns = front.decode_end_ns;
+        next.enqueue_ns = front.enqueue_ns;
         conn->queue.pop_front();
         conn->busy = true;
         enqueue = true;
@@ -149,17 +195,24 @@ struct VisCleanServer::Impl {
     if (enqueue) {
       {
         std::lock_guard<std::mutex> lock(queue_mu);
-        dispatch.emplace_back(conn, std::move(next));
+        dispatch.push_back(std::move(next));
       }
       queue_cv.notify_one();
     }
   }
 
-  void EnqueueRequest(const ConnPtr& conn, WireRequest request) {
+  void EnqueueRequest(const ConnPtr& conn, WireRequest request,
+                      uint64_t decode_start_ns = 0,
+                      uint64_t decode_end_ns = 0) {
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       PendingItem item;
       item.request = std::move(request);
+      item.decode_start_ns = decode_start_ns;
+      item.decode_end_ns = decode_end_ns;
+#ifndef VISCLEAN_OBS_OFF
+      item.enqueue_ns = obs::MonotonicNs();
+#endif
       conn->queue.push_back(std::move(item));
     }
     Advance(conn);
@@ -178,7 +231,7 @@ struct VisCleanServer::Impl {
 
   void WorkerLoop() {
     for (;;) {
-      std::pair<ConnPtr, WireRequest> item;
+      DispatchItem item;
       {
         std::unique_lock<std::mutex> lock(queue_mu);
         queue_cv.wait(lock,
@@ -187,8 +240,36 @@ struct VisCleanServer::Impl {
         item = std::move(dispatch.front());
         dispatch.pop_front();
       }
-      const ConnPtr& conn = item.first;
-      WireResponse response = handler.Handle(item.second);
+      const ConnPtr& conn = item.conn;
+      c_requests->Add(1);
+      WireResponse response;
+      {
+#ifndef VISCLEAN_OBS_OFF
+        uint64_t start_ns = obs::MonotonicNs();
+        if (item.enqueue_ns != 0) {
+          h_dispatch_wait_ns->Record(start_ns - item.enqueue_ns);
+        }
+        // Root span of this request — or, for a kForwarded envelope carrying
+        // a router-side trace, a child joined into it (the originator keeps
+        // completion/capture ownership). Decode + queue wait happened before
+        // this scope existed, so they attach as retro children.
+        obs::RequestTrace rt(
+            obs::Tracer::Default(),
+            std::string("net.") + WireRequestTypeName(item.request.type),
+            item.request.trace_id, item.request.parent_span);
+        if (item.decode_end_ns > item.decode_start_ns) {
+          rt.RecordChild("net.decode", item.decode_start_ns,
+                         item.decode_end_ns);
+        }
+        if (item.enqueue_ns != 0) {
+          rt.RecordChild("net.queue", item.enqueue_ns, start_ns);
+        }
+        response = handler.Handle(item.request);
+        h_handle_ns->Record(obs::MonotonicNs() - start_ns);
+#else
+        response = handler.Handle(item.request);
+#endif
+      }
       std::string bytes = Serialize(conn, response);
       {
         std::lock_guard<std::mutex> lock(conn->mu);
@@ -233,13 +314,23 @@ struct VisCleanServer::Impl {
         conn->closing = true;
         break;
       }
+      uint64_t decode_start_ns = 0;
+      uint64_t decode_end_ns = 0;
+#ifndef VISCLEAN_OBS_OFF
+      decode_start_ns = obs::MonotonicNs();
+#endif
       Result<WireRequest> request =
           DecodeRequestPayload(payload, conn->version);
+#ifndef VISCLEAN_OBS_OFF
+      decode_end_ns = obs::MonotonicNs();
+      h_decode_ns->Record(decode_end_ns - decode_start_ns);
+#endif
       if (!request.ok()) {
         EnqueueReady(conn, EncodeResponse(ErrorResponse(0, request.status()),
                                           conn->version));
       } else {
-        EnqueueRequest(conn, std::move(request).value());
+        EnqueueRequest(conn, std::move(request).value(), decode_start_ns,
+                       decode_end_ns);
       }
     }
   }
@@ -264,12 +355,22 @@ struct VisCleanServer::Impl {
         if (c != ' ' && c != '\t') blank = false;
       }
       if (blank) continue;
+      uint64_t decode_start_ns = 0;
+      uint64_t decode_end_ns = 0;
+#ifndef VISCLEAN_OBS_OFF
+      decode_start_ns = obs::MonotonicNs();
+#endif
       Result<WireRequest> request = ParseCommand(line);
+#ifndef VISCLEAN_OBS_OFF
+      decode_end_ns = obs::MonotonicNs();
+      h_decode_ns->Record(decode_end_ns - decode_start_ns);
+#endif
       if (!request.ok()) {
         WireResponse err = ErrorResponse(0, request.status());
         EnqueueReady(conn, PrintResponseLine(err) + "\n");
       } else {
-        EnqueueRequest(conn, std::move(request).value());
+        EnqueueRequest(conn, std::move(request).value(), decode_start_ns,
+                       decode_end_ns);
       }
     }
   }
@@ -302,6 +403,7 @@ struct VisCleanServer::Impl {
       ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
       if (n > 0) {
         conn->in.append(buf, static_cast<size_t>(n));
+        c_bytes_read->Add(static_cast<uint64_t>(n));
         continue;
       }
       if (n == 0) {
@@ -338,6 +440,7 @@ struct VisCleanServer::Impl {
       }
       break;
     }
+    if (sent > 0) c_bytes_written->Add(sent);
     conn->out.erase(0, sent);
   }
 
@@ -356,6 +459,7 @@ struct VisCleanServer::Impl {
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       std::lock_guard<std::mutex> lock(conns_mu);
       conns.push_back(std::make_shared<Connection>(fd));
+      g_open_conns->Add(1);
     }
   }
 
@@ -430,6 +534,7 @@ struct VisCleanServer::Impl {
           }
           if (close_now) {
             close(conn->fd);
+            g_open_conns->Add(-1);
             conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
           } else {
             ++i;

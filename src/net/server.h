@@ -51,6 +51,10 @@ namespace visclean {
 class SessionManager;
 class WireHandler;
 
+namespace obs {
+class Registry;
+}  // namespace obs
+
 /// \brief Server configuration.
 struct ServerOptions {
   /// TCP port to bind on 127.0.0.1; 0 asks the kernel for an ephemeral port
@@ -64,6 +68,10 @@ struct ServerOptions {
   size_t max_pipelined_requests = 64;
   /// accept() backlog.
   int listen_backlog = 128;
+  /// Telemetry registry for the per-connection IO counters (net.*); null
+  /// uses obs::Registry::Default(). A shard host passes its manager's
+  /// registry so one snapshot covers IO and engine metrics together.
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief TCP server over one request handler. Start/Stop are not

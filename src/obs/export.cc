@@ -1,0 +1,260 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "common/json_writer.h"
+
+namespace visclean {
+namespace obs {
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "visclean_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void AppendI64(std::string& out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void HistogramJson(JsonWriter& json, const HistogramSnapshot& hist) {
+  json.BeginObject();
+  json.Key("count");
+  json.Int(static_cast<int64_t>(hist.count));
+  json.Key("sum");
+  json.Int(static_cast<int64_t>(hist.sum));
+  json.Key("max");
+  json.Int(static_cast<int64_t>(hist.max));
+  json.Key("mean");
+  json.Number(hist.Mean());
+  json.Key("p50");
+  json.Int(static_cast<int64_t>(hist.Percentile(50)));
+  json.Key("p95");
+  json.Int(static_cast<int64_t>(hist.Percentile(95)));
+  json.Key("p99");
+  json.Int(static_cast<int64_t>(hist.Percentile(99)));
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " ";
+    AppendU64(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    AppendI64(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cumulative += hist.buckets[i];
+      // le is the bucket's inclusive upper bound (next bucket's lower - 1).
+      uint64_t le = i + 1 < Histogram::kNumBuckets
+                        ? Histogram::BucketLowerBound(i + 1) - 1
+                        : hist.max;
+      out += prom + "_bucket{le=\"";
+      AppendU64(out, le);
+      out += "\"} ";
+      AppendU64(out, cumulative);
+      out += "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} ";
+    AppendU64(out, hist.count);
+    out += "\n";
+    out += prom + "_count ";
+    AppendU64(out, hist.count);
+    out += "\n";
+    out += prom + "_sum ";
+    AppendU64(out, hist.sum);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot, bool pretty) {
+  JsonWriter json = pretty ? JsonWriter::Pretty() : JsonWriter();
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.Key(name);
+    json.Int(static_cast<int64_t>(value));
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.Key(name);
+    json.Int(value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    json.Key(name);
+    HistogramJson(json, hist);
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::vector<TraceTreeNode> AssembleTraceTree(const CapturedTrace& trace) {
+  // Sort spans by start so siblings land in chronological order. A span
+  // whose parent was evicted from the ring surfaces as an extra root rather
+  // than disappearing.
+  std::vector<SpanRecord> spans = trace.spans;
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::map<uint64_t, size_t> index_of;
+  for (size_t i = 0; i < spans.size(); ++i) index_of[spans[i].span_id] = i;
+  std::vector<std::vector<size_t>> kids(spans.size());
+  std::vector<bool> is_child(spans.size(), false);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    uint64_t parent = spans[i].parent_id;
+    if (parent == 0) continue;
+    auto it = index_of.find(parent);
+    if (it == index_of.end() || it->second == i) continue;
+    kids[it->second].push_back(i);
+    is_child[i] = true;
+  }
+  // Span ids come from one monotone counter, so parent links cannot cycle;
+  // recursion depth is bounded by the nesting depth of one request.
+  std::function<TraceTreeNode(size_t)> build = [&](size_t i) {
+    TraceTreeNode node{spans[i], {}};
+    node.children.reserve(kids[i].size());
+    for (size_t child : kids[i]) node.children.push_back(build(child));
+    return node;
+  };
+  std::vector<TraceTreeNode> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (!is_child[i]) roots.push_back(build(i));
+  }
+  return roots;
+}
+
+namespace {
+
+void SpanTreeJson(JsonWriter& json, const TraceTreeNode& node) {
+  json.BeginObject();
+  json.Key("name");
+  json.String(node.span.name);
+  json.Key("span_id");
+  json.Int(static_cast<int64_t>(node.span.span_id));
+  json.Key("parent_id");
+  json.Int(static_cast<int64_t>(node.span.parent_id));
+  json.Key("start_ns");
+  json.Int(static_cast<int64_t>(node.span.start_ns));
+  json.Key("duration_ns");
+  json.Int(static_cast<int64_t>(node.span.end_ns >= node.span.start_ns
+                                    ? node.span.end_ns - node.span.start_ns
+                                    : 0));
+  json.Key("children");
+  json.BeginArray();
+  for (const TraceTreeNode& child : node.children) SpanTreeJson(json, child);
+  json.EndArray();
+  json.EndObject();
+}
+
+void FormatNode(std::string& out, const TraceTreeNode& node, int depth,
+                uint64_t trace_start) {
+  for (int i = 0; i < depth; ++i) out += "  ";
+  uint64_t duration = node.span.end_ns >= node.span.start_ns
+                          ? node.span.end_ns - node.span.start_ns
+                          : 0;
+  // Signed offset: retroactively-attached children (frame decode on the IO
+  // thread, queue wait) legitimately start before the root span opened.
+  int64_t offset_ns = static_cast<int64_t>(node.span.start_ns) -
+                      static_cast<int64_t>(trace_start);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%-*s %+9.3fms %10.3fms\n",
+                40 - 2 * depth > 0 ? 40 - 2 * depth : 1,
+                node.span.name.c_str(), static_cast<double>(offset_ns) / 1e6,
+                static_cast<double>(duration) / 1e6);
+  out += buf;
+  for (const TraceTreeNode& child : node.children) {
+    FormatNode(out, child, depth + 1, trace_start);
+  }
+}
+
+}  // namespace
+
+std::string ExportTracesJson(const std::vector<CapturedTrace>& traces,
+                             bool pretty) {
+  JsonWriter json = pretty ? JsonWriter::Pretty() : JsonWriter();
+  json.BeginArray();
+  for (const CapturedTrace& trace : traces) {
+    json.BeginObject();
+    json.Key("trace_id");
+    json.Int(static_cast<int64_t>(trace.trace_id));
+    json.Key("root");
+    json.String(trace.root_name);
+    json.Key("duration_ns");
+    json.Int(static_cast<int64_t>(trace.duration_ns));
+    json.Key("spans");
+    json.BeginArray();
+    for (const TraceTreeNode& root : AssembleTraceTree(trace)) {
+      SpanTreeJson(json, root);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.TakeString();
+}
+
+std::string FormatTraceTree(const CapturedTrace& trace) {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "trace %llu (%s, %.3fms)\n",
+                static_cast<unsigned long long>(trace.trace_id),
+                trace.root_name.c_str(),
+                static_cast<double>(trace.duration_ns) / 1e6);
+  out += buf;
+  std::vector<TraceTreeNode> roots = AssembleTraceTree(trace);
+  uint64_t trace_start = 0;
+  for (const TraceTreeNode& root : roots) {
+    if (trace_start == 0 || root.span.start_ns < trace_start) {
+      trace_start = root.span.start_ns;
+    }
+  }
+  for (const TraceTreeNode& root : roots) {
+    FormatNode(out, root, 1, trace_start);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace visclean

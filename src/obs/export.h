@@ -1,0 +1,57 @@
+// Rendering the observability state for humans and scrapers: a
+// Prometheus-style text exposition and a JSON document for metrics
+// snapshots, plus JSON and indented-text renderings of captured traces.
+// All pure functions over snapshot values — no registry or tracer access,
+// so the same renderers serve local state and remotely fetched (kMetrics /
+// kTraces) payloads.
+#ifndef VISCLEAN_OBS_EXPORT_H_
+#define VISCLEAN_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace visclean {
+namespace obs {
+
+/// Prometheus-style text exposition: counters and gauges as single samples,
+/// histograms as cumulative `_bucket{le="..."}` series (non-empty buckets
+/// only) plus `_count` / `_sum`. Metric names are prefixed `visclean_` with
+/// dots mapped to underscores.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// JSON document: {"counters": {...}, "gauges": {...}, "histograms":
+/// {name: {count, sum, max, mean, p50, p95, p99}}}. Compact by default
+/// (single line — the text dialect's METRICS response); `pretty` for files.
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot,
+                              bool pretty = false);
+
+/// \brief One node of an assembled span tree.
+struct TraceTreeNode {
+  SpanRecord span;
+  std::vector<TraceTreeNode> children;  ///< ordered by start time
+};
+
+/// Assembles a captured trace's flat span list into its tree(s). Spans
+/// whose parent is missing from the capture (evicted from the ring) surface
+/// as additional roots rather than disappearing. Roots and children are
+/// ordered by start time.
+std::vector<TraceTreeNode> AssembleTraceTree(const CapturedTrace& trace);
+
+/// JSON array of captured traces, each with its nested span tree — the
+/// kTraces / TRACES wire payload.
+std::string ExportTracesJson(const std::vector<CapturedTrace>& traces,
+                             bool pretty = false);
+
+/// Human-readable indented rendering of one captured trace:
+///   request.step                          41.2ms
+///     router.forward                      40.9ms
+///       ...
+std::string FormatTraceTree(const CapturedTrace& trace);
+
+}  // namespace obs
+}  // namespace visclean
+
+#endif  // VISCLEAN_OBS_EXPORT_H_

@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+#include "serve/codec.h"
+
+namespace visclean {
+namespace obs {
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the order statistic at p, 1-based: ceil(p/100 * count), at
+  // least 1 so p=0 reports the minimum bucket.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count));
+  if (static_cast<double>(rank) < p / 100.0 * static_cast<double>(count)) {
+    ++rank;
+  }
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return Histogram::BucketMidpoint(i);
+  }
+  return max;  // unreachable when bucket counts are consistent with count
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].Merge(hist);
+  }
+}
+
+Registry& Registry::Default() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot& out = snap.histograms[name];
+    for (const Histogram::Shard& shard : hist->shards_) {
+      out.count += shard.count.load(std::memory_order_relaxed);
+      out.sum += shard.sum.load(std::memory_order_relaxed);
+      uint64_t m = shard.max.load(std::memory_order_relaxed);
+      if (m > out.max) out.max = m;
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        out.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return snap;
+}
+
+std::string EncodeMetricsSnapshot(const MetricsSnapshot& snapshot) {
+  codec::Writer w;
+  w.U64(snapshot.counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    w.Str(name);
+    w.U64(value);
+  }
+  w.U64(snapshot.gauges.size());
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.Str(name);
+    w.I64(value);
+  }
+  w.U64(snapshot.histograms.size());
+  for (const auto& [name, hist] : snapshot.histograms) {
+    w.Str(name);
+    w.U64(hist.count);
+    w.U64(hist.sum);
+    w.U64(hist.max);
+    uint64_t nonzero = 0;
+    for (uint64_t b : hist.buckets) nonzero += (b != 0) ? 1 : 0;
+    w.U64(nonzero);
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      w.U32(static_cast<uint32_t>(i));
+      w.U64(hist.buckets[i]);
+    }
+  }
+  return w.Take();
+}
+
+Result<MetricsSnapshot> DecodeMetricsSnapshot(const std::string& bytes) {
+  codec::Reader r(bytes);
+  MetricsSnapshot snap;
+  uint64_t num_counters = r.Count(16);  // length-prefixed name + u64 value
+  for (uint64_t i = 0; i < num_counters && !r.failed(); ++i) {
+    std::string name = r.Str();
+    snap.counters[name] = r.U64();
+  }
+  uint64_t num_gauges = r.Count(16);
+  for (uint64_t i = 0; i < num_gauges && !r.failed(); ++i) {
+    std::string name = r.Str();
+    snap.gauges[name] = r.I64();
+  }
+  uint64_t num_hists = r.Count(48);  // name + count/sum/max + bucket count
+  for (uint64_t i = 0; i < num_hists && !r.failed(); ++i) {
+    std::string name = r.Str();
+    HistogramSnapshot& hist = snap.histograms[name];
+    hist.count = r.U64();
+    hist.sum = r.U64();
+    hist.max = r.U64();
+    uint64_t nonzero = r.Count(12);  // u32 index + u64 count
+    for (uint64_t b = 0; b < nonzero && !r.failed(); ++b) {
+      uint32_t index = r.U32();
+      uint64_t value = r.U64();
+      if (index >= Histogram::kNumBuckets) {
+        return Status::ParseError("metrics snapshot: bucket index out of range");
+      }
+      hist.buckets[index] = value;
+    }
+  }
+  if (r.failed() || !r.AtEnd()) {
+    return Status::ParseError("corrupt metrics snapshot");
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace visclean

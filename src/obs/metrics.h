@@ -1,0 +1,237 @@
+// The process metrics registry: named counters, gauges, and log-bucketed
+// histograms with lock-free hot paths and mergeable point-in-time snapshots.
+//
+// Hot-path contract. Counter::Add, Gauge::Set, and Histogram::Record are
+// wait-free: a relaxed atomic add on a shard slot picked per thread, no
+// locks, no allocation. The registry mutex is only taken to *resolve* a
+// metric by name (done once per call site, handles are stable pointers) and
+// to Snapshot(). Relaxed ordering is sound because metrics are monotone
+// accumulators read asynchronously — a snapshot is a consistent-enough sum,
+// never a synchronization point.
+//
+// Snapshots merge associatively and commutatively (counters and histogram
+// buckets add, gauges add, max takes max), which is what lets the router
+// aggregate per-shard snapshots into one fleet view (shard::ShardRouter's
+// kMetrics handling) and lets tests assert merge algebra directly.
+//
+// Kill switch. Compiling with -DVISCLEAN_OBS_OFF turns Histogram::Record
+// into a no-op and compiles out the span tracer (obs/trace.h) and every
+// VC_OBS-gated call site. Counters and gauges stay live: they back
+// ServeStats/RouterStats, which predate this subsystem and must keep
+// working — their cost (one relaxed add) equals the raw atomics they
+// replaced, so the switch removes exactly the instrumentation this
+// subsystem *added*. bench_serve_wire's obs_overhead section measures both
+// op costs and gates the projected per-step overhead at <= 2%.
+#ifndef VISCLEAN_OBS_METRICS_H_
+#define VISCLEAN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace visclean {
+namespace obs {
+
+/// True when instrumentation call sites are compiled in (no
+/// -DVISCLEAN_OBS_OFF). Exposed so benches can report which build they
+/// measured.
+#ifdef VISCLEAN_OBS_OFF
+inline constexpr bool kObsCompiled = false;
+#else
+inline constexpr bool kObsCompiled = true;
+#endif
+
+/// Shard slot index of the calling thread. Threads round-robin over slots
+/// at first use, so concurrent writers of one metric land on different
+/// cache lines.
+size_t ThreadShardIndex();
+
+/// \brief Monotone counter, sharded over cache-line-padded atomics.
+class Counter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Add(uint64_t n = 1) {
+    slots_[ThreadShardIndex() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Slot, kShards> slots_;
+};
+
+/// \brief Last-write-wins instantaneous value (resident sessions, open
+/// connections). Add/Sub for the common up-down use.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Log-bucketed histogram of non-negative integer samples
+/// (latencies in nanoseconds, batch occupancies, byte counts).
+///
+/// Bucket layout is HDR-style linear-log: values below 2^kSubBits are exact
+/// (one bucket per value); above that each power-of-two octave splits into
+/// 2^kSubBits sub-buckets, so the relative bucket width — and therefore the
+/// worst-case percentile error — is bounded by 2^-kSubBits (12.5%). The
+/// whole u64 range maps into kNumBuckets buckets with pure bit math.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;
+  /// 8 exact small-value buckets + 61 octaves x 8 sub-buckets.
+  static constexpr size_t kNumBuckets = 496;
+  static constexpr size_t kShards = 4;
+
+  /// Bucket holding `v`. Branch + bit math only.
+  static size_t BucketIndex(uint64_t v) {
+    if (v < (uint64_t{1} << kSubBits)) return static_cast<size_t>(v);
+    int msb = 63 - CountLeadingZeros(v);
+    size_t exp = static_cast<size_t>(msb - kSubBits);
+    uint64_t sub = v >> exp;  // in [2^kSubBits, 2^(kSubBits+1))
+    return ((exp + 1) << kSubBits) |
+           static_cast<size_t>(sub - (uint64_t{1} << kSubBits));
+  }
+
+  /// Smallest value mapping to bucket `index` (inverse of BucketIndex).
+  static uint64_t BucketLowerBound(size_t index) {
+    if (index < (size_t{1} << kSubBits)) return index;
+    size_t exp = (index >> kSubBits) - 1;
+    uint64_t sub = (index & ((size_t{1} << kSubBits) - 1)) +
+                   (uint64_t{1} << kSubBits);
+    return sub << exp;
+  }
+
+  /// The value a bucket reports for percentile readout: its midpoint (small
+  /// buckets are exact). Error vs the true sample is bounded by half the
+  /// bucket width.
+  static uint64_t BucketMidpoint(size_t index) {
+    uint64_t lo = BucketLowerBound(index);
+    if (index + 1 >= kNumBuckets) return lo;
+    uint64_t hi = BucketLowerBound(index + 1);
+    return lo + (hi - lo - 1) / 2;
+  }
+
+  void Record(uint64_t v) {
+#ifndef VISCLEAN_OBS_OFF
+    Shard& s = shards_[ThreadShardIndex() % kShards];
+    s.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    uint64_t seen = s.max.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !s.max.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class Registry;
+
+  static int CountLeadingZeros(uint64_t v) {
+    // v != 0 at every call site (guarded by the small-value branch).
+    return __builtin_clzll(v);
+  }
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// \brief Point-in-time histogram state: dense bucket counts + count/sum/max.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+  /// Value at percentile `p` in [0, 100]: the midpoint of the bucket holding
+  /// the rank-⌈p/100·count⌉ sample (0 when empty). Within one bucket width
+  /// of the exact order statistic by construction.
+  uint64_t Percentile(double p) const;
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) /
+                                                      static_cast<double>(count); }
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// \brief Mergeable snapshot of a whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Associative + commutative: counters and histograms add, gauges add
+  /// (a fleet gauge is the sum of per-shard gauges), max takes max.
+  void Merge(const MetricsSnapshot& other);
+};
+
+/// \brief Named-metric registry. One per SessionManager / ShardRouter (so
+/// per-shard stats stay separable) plus a process-wide Default() for code
+/// with no natural owner. Thread-safe; returned pointers are stable for the
+/// registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry (standalone tools, default server wiring).
+  static Registry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Binary snapshot codec (serve/codec.h Writer/Reader) — the kMetrics wire
+/// payload. Buckets travel sparse (index, count) so an idle registry
+/// encodes small. Decode rejects truncation, trailing bytes, and
+/// out-of-range bucket indices.
+std::string EncodeMetricsSnapshot(const MetricsSnapshot& snapshot);
+Result<MetricsSnapshot> DecodeMetricsSnapshot(const std::string& bytes);
+
+}  // namespace obs
+}  // namespace visclean
+
+#endif  // VISCLEAN_OBS_METRICS_H_

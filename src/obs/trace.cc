@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace visclean {
+namespace obs {
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceContext& CurrentTrace() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+Tracer::Tracer(Options options)
+    : ring_spans_(options.ring_spans == 0 ? 1 : options.ring_spans),
+      max_captured_(options.max_captured),
+      slow_threshold_ns_(options.slow_threshold_ns) {
+  ring_.reserve(ring_spans_);
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* instance = new Tracer();  // leaked: outlives all users
+  return *instance;
+}
+
+uint64_t Tracer::NewId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::Record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < ring_spans_) {
+    ring_.push_back(span);
+  } else {
+    ring_[ring_next_] = span;
+  }
+  ring_next_ = (ring_next_ + 1) % ring_spans_;
+}
+
+void Tracer::Complete(const SpanRecord& root) {
+  uint64_t duration =
+      root.end_ns >= root.start_ns ? root.end_ns - root.start_ns : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  bool capture =
+      duration >= slow_threshold_ns_.load(std::memory_order_relaxed) &&
+      max_captured_ > 0;
+  if (capture) {
+    CapturedTrace trace;
+    trace.trace_id = root.trace_id;
+    trace.duration_ns = duration;
+    trace.root_name = root.name;
+    for (const SpanRecord& span : ring_) {
+      if (span.trace_id == root.trace_id) trace.spans.push_back(span);
+    }
+    trace.spans.push_back(root);
+    captured_.push_back(std::move(trace));
+    while (captured_.size() > max_captured_) captured_.pop_front();
+  }
+  // The root joins the ring either way so a later, slower ancestor (none
+  // today, but nested request scopes are legal) still sees it.
+  if (ring_.size() < ring_spans_) {
+    ring_.push_back(root);
+  } else {
+    ring_[ring_next_] = root;
+  }
+  ring_next_ = (ring_next_ + 1) % ring_spans_;
+}
+
+std::vector<CapturedTrace> Tracer::Captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<CapturedTrace>(captured_.begin(), captured_.end());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_next_ = 0;
+  captured_.clear();
+}
+
+#ifndef VISCLEAN_OBS_OFF
+
+RequestTrace::RequestTrace(Tracer& tracer, std::string_view name,
+                           uint64_t trace_id, uint64_t parent_span)
+    : tracer_(tracer), owns_(trace_id == 0) {
+  root_.trace_id = trace_id == 0 ? tracer.NewId() : trace_id;
+  root_.span_id = tracer.NewId();
+  root_.parent_id = parent_span;
+  root_.name.assign(name);
+  root_.start_ns = MonotonicNs();
+  TraceContext& ctx = CurrentTrace();
+  saved_ = ctx;
+  ctx.trace_id = root_.trace_id;
+  ctx.span_id = root_.span_id;
+  ctx.tracer = &tracer;
+}
+
+RequestTrace::~RequestTrace() {
+  root_.end_ns = MonotonicNs();
+  CurrentTrace() = saved_;
+  if (owns_) {
+    tracer_.Complete(root_);
+  } else {
+    tracer_.Record(root_);
+  }
+}
+
+void RequestTrace::RecordChild(std::string_view name, uint64_t start_ns,
+                               uint64_t end_ns) {
+  SpanRecord span;
+  span.trace_id = root_.trace_id;
+  span.span_id = tracer_.NewId();
+  span.parent_id = root_.span_id;
+  span.name.assign(name);
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  tracer_.Record(span);
+}
+
+void RecordSpan(std::string_view name, uint64_t start_ns, uint64_t end_ns) {
+  TraceContext& ctx = CurrentTrace();
+  if (ctx.trace_id == 0 || ctx.tracer == nullptr) return;
+  SpanRecord span;
+  span.trace_id = ctx.trace_id;
+  span.span_id = ctx.tracer->NewId();
+  span.parent_id = ctx.span_id;
+  span.name.assign(name);
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  ctx.tracer->Record(span);
+}
+
+#endif  // VISCLEAN_OBS_OFF
+
+}  // namespace obs
+}  // namespace visclean

@@ -4,13 +4,29 @@
 #include <chrono>
 #include <vector>
 
+#include <string>
+
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace visclean {
 
-KernelBatcher::KernelBatcher(ThreadPool* pool, Options options)
-    : pool_(pool), options_(options) {}
+KernelBatcher::KernelBatcher(ThreadPool* pool, Options options,
+                             obs::Registry* registry)
+    : pool_(pool),
+      options_(options),
+      registry_(registry != nullptr ? registry : &obs::Registry::Default()) {
+  for (size_t k = 0; k < kNumKernelKinds; ++k) {
+    std::string base =
+        std::string("kernel.") + KernelKindName(static_cast<KernelKind>(k));
+    metrics_[k].batches = registry_->GetCounter(base + ".batches");
+    metrics_[k].items = registry_->GetCounter(base + ".items");
+    metrics_[k].rows = registry_->GetCounter(base + ".rows");
+    metrics_[k].wait_ns = registry_->GetHistogram(base + ".wait_ns");
+    metrics_[k].batch_items = registry_->GetHistogram(base + ".batch_items");
+  }
+}
 
 void KernelBatcher::SetInflightCounter(const std::atomic<size_t>* counter) {
   inflight_hint_ = counter;
@@ -19,9 +35,9 @@ void KernelBatcher::SetInflightCounter(const std::atomic<size_t>* counter) {
 KernelBatchStats KernelBatcher::stats(KernelKind kind) const {
   size_t k = static_cast<size_t>(kind);
   KernelBatchStats out;
-  out.batches = stat_batches_[k].load(std::memory_order_relaxed);
-  out.items = stat_items_[k].load(std::memory_order_relaxed);
-  out.rows = stat_rows_[k].load(std::memory_order_relaxed);
+  out.batches = metrics_[k].batches->Value();
+  out.items = metrics_[k].items->Value();
+  out.rows = metrics_[k].rows->Value();
   return out;
 }
 
@@ -34,9 +50,18 @@ void KernelBatcher::RunBatch(KernelKind kind, Item* const* batch,
     offset[i + 1] = offset[i] + batch[i]->total;
   }
   size_t grand = offset[count];
-  stat_batches_[k].fetch_add(1, std::memory_order_relaxed);
-  stat_items_[k].fetch_add(count, std::memory_order_relaxed);
-  stat_rows_[k].fetch_add(grand, std::memory_order_relaxed);
+  metrics_[k].batches->Add(1);
+  metrics_[k].items->Add(count);
+  metrics_[k].rows->Add(grand);
+#ifndef VISCLEAN_OBS_OFF
+  metrics_[k].batch_items->Record(count);
+  uint64_t now_ns = obs::MonotonicNs();
+  for (size_t i = 0; i < count; ++i) {
+    if (batch[i]->enqueue_ns != 0 && now_ns > batch[i]->enqueue_ns) {
+      metrics_[k].wait_ns->Record(now_ns - batch[i]->enqueue_ns);
+    }
+  }
+#endif
 
   auto apply = [&](size_t begin, size_t end) {
     // Map the global range onto per-item slices. Each fn sees a partition
@@ -73,6 +98,9 @@ void KernelBatcher::Run(KernelKind kind, size_t total,
   Item item;
   item.total = total;
   item.fn = &fn;
+#ifndef VISCLEAN_OBS_OFF
+  item.enqueue_ns = obs::MonotonicNs();
+#endif
 
   std::unique_lock<std::mutex> lk(mu_);
   q.fifo.push_back(&item);

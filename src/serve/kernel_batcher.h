@@ -65,7 +65,12 @@ class KernelBatcher : public KernelScheduler {
 
   /// `pool` (borrowed, may be null) executes the combined batches; with a
   /// null pool every item runs serially inline (degenerate but correct).
-  explicit KernelBatcher(ThreadPool* pool, Options options = {});
+  /// `registry` (borrowed, may be null -> obs::Registry::Default()) receives
+  /// the per-kind occupancy counters plus wait/occupancy histograms; stats()
+  /// is derived from it, so the exported metrics and the ServeStats fields
+  /// can never disagree.
+  explicit KernelBatcher(ThreadPool* pool, Options options = {},
+                         obs::Registry* registry = nullptr);
 
   /// Optional load hint: the manager's in-flight request counter. When it
   /// reads <= 1 the batch window is skipped — a lone session never pays
@@ -84,6 +89,7 @@ class KernelBatcher : public KernelScheduler {
     size_t total = 0;
     const std::function<void(size_t, size_t)>* fn = nullptr;
     bool done = false;
+    uint64_t enqueue_ns = 0;  ///< for the kernel.<kind>.wait_ns histogram
   };
   struct Queue {
     std::deque<Item*> fifo;
@@ -96,16 +102,24 @@ class KernelBatcher : public KernelScheduler {
   /// without mu_ held; items are owned by blocked Run() frames.
   void RunBatch(KernelKind kind, Item* const* batch, size_t count);
 
+  /// Telemetry handles of one kernel kind, resolved once at construction so
+  /// the hot path is relaxed atomic adds with no name lookups.
+  struct KindMetrics {
+    obs::Counter* batches = nullptr;
+    obs::Counter* items = nullptr;
+    obs::Counter* rows = nullptr;
+    obs::Histogram* wait_ns = nullptr;     ///< per-item enqueue -> dispatch
+    obs::Histogram* batch_items = nullptr; ///< items per combined dispatch
+  };
+
   ThreadPool* pool_;
   Options options_;
+  obs::Registry* registry_;
   const std::atomic<size_t>* inflight_hint_ = nullptr;
+  KindMetrics metrics_[kNumKernelKinds];
 
   std::mutex mu_;
   Queue queues_[kNumKernelKinds];
-
-  std::atomic<uint64_t> stat_batches_[kNumKernelKinds] = {};
-  std::atomic<uint64_t> stat_items_[kNumKernelKinds] = {};
-  std::atomic<uint64_t> stat_rows_[kNumKernelKinds] = {};
 };
 
 }  // namespace visclean

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "serve/kernel_batcher.h"
 #include "serve/snapshot.h"
 #include "vql/parser.h"
@@ -83,6 +84,25 @@ class InflightSlot {
 
 SessionManager::SessionManager(ServeOptions options)
     : options_(std::move(options)) {
+  c_created_ = registry_.GetCounter("serve.sessions_created");
+  c_steps_ = registry_.GetCounter("serve.steps");
+  c_answers_ = registry_.GetCounter("serve.answers");
+  c_snapshots_ = registry_.GetCounter("serve.snapshots");
+  c_evictions_ = registry_.GetCounter("serve.evictions");
+  c_restores_ = registry_.GetCounter("serve.restores_from_disk");
+  c_rejected_capacity_ = registry_.GetCounter("serve.rejected_capacity");
+  c_rejected_inflight_ = registry_.GetCounter("serve.rejected_inflight");
+  c_rejected_queue_ = registry_.GetCounter("serve.rejected_session_queue");
+  c_detect_full_ = registry_.GetCounter("engine.detect_full_scans");
+  c_detect_delta_ = registry_.GetCounter("engine.detect_delta_updates");
+  c_erg_full_ = registry_.GetCounter("engine.erg_full_builds");
+  c_erg_delta_ = registry_.GetCounter("engine.erg_delta_updates");
+  c_join_full_ = registry_.GetCounter("engine.sim_join_full");
+  c_join_fallback_ = registry_.GetCounter("engine.sim_join_fallbacks");
+  c_join_delta_ = registry_.GetCounter("engine.sim_join_delta_syncs");
+  h_step_ns_ = registry_.GetHistogram("serve.step_ns");
+  h_answer_ns_ = registry_.GetHistogram("serve.answer_ns");
+  h_queue_wait_ns_ = registry_.GetHistogram("serve.queue_wait_ns");
   if (options_.pool_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.pool_threads);
   }
@@ -90,7 +110,7 @@ SessionManager::SessionManager(ServeOptions options)
     KernelBatcher::Options batch;
     batch.window_micros = options_.batch_window_micros;
     batch.max_items = options_.batch_max_items;
-    batcher_ = std::make_unique<KernelBatcher>(pool_.get(), batch);
+    batcher_ = std::make_unique<KernelBatcher>(pool_.get(), batch, &registry_);
     batcher_->SetInflightCounter(&inflight_);
   }
 }
@@ -125,6 +145,7 @@ Result<std::unique_ptr<VisCleanSession>> SessionManager::BuildSession(
       oracle, std::move(query).value(), options, user_options, cost_model);
   if (pool_) session->SetExternalPool(pool_.get());
   if (batcher_) session->SetExternalScheduler(batcher_.get());
+  session->SetExternalRegistry(&registry_);
   VC_RETURN_IF_ERROR(session->Initialize());
   return session;
 }
@@ -137,7 +158,7 @@ Result<SessionInfo> SessionManager::Create(const std::string& id,
                                            UserCostModel cost_model) {
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
+    c_rejected_inflight_->Add(1);
     return Status::ResourceExhausted("in-flight request limit reached");
   }
   if (!FilenameSafe(id)) {
@@ -184,7 +205,7 @@ Result<SessionInfo> SessionManager::Create(const std::string& id,
     {
       std::lock_guard<std::mutex> map_lock(map_mu_);
       if (sessions_.size() >= options_.max_sessions) {
-        ++stat_rejected_capacity_;
+        c_rejected_capacity_->Add(1);
         return Status::ResourceExhausted("session capacity reached");
       }
       auto [it, inserted] = sessions_.emplace(id, entry);
@@ -196,7 +217,7 @@ Result<SessionInfo> SessionManager::Create(const std::string& id,
     entry->last_touch.store(clock_.fetch_add(1) + 1);
     info = entry->info;
   }
-  ++stat_created_;
+  c_created_->Add(1);
   MaybeEvict();
   return info;
 }
@@ -216,7 +237,7 @@ Result<SessionManager::LockedEntry> SessionManager::LockSession(
     entry = it->second;
     if (entry->queued.fetch_add(1) >= options_.max_queued_per_session) {
       entry->queued.fetch_sub(1);
-      ++stat_rejected_queue_;
+      c_rejected_queue_->Add(1);
       return Status::ResourceExhausted("session '" + id +
                                        "' request queue is full");
     }
@@ -257,7 +278,7 @@ Status SessionManager::RestoreResident(Entry& entry) {
   entry.session = std::move(session).value();
   entry.info.resident = true;
   resident_.fetch_add(1);
-  ++stat_restores_;
+  c_restores_->Add(1);
   MaybeEvict();  // restoring may push the resident count over the bound
   return Status::Ok();
 }
@@ -291,7 +312,7 @@ void SessionManager::MaybeEvict() {
     victim->session.reset();
     victim->info.resident = false;
     resident_.fetch_sub(1);
-    ++stat_evictions_;
+    c_evictions_->Add(1);
   }
 }
 
@@ -319,13 +340,22 @@ void SessionManager::RecordMoved(const std::string& id) {
 }
 
 Result<PendingInteraction> SessionManager::Step(const std::string& id) {
+  obs::ScopedSpan span("manager.step");
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
+    c_rejected_inflight_->Add(1);
     return Status::ResourceExhausted("in-flight request limit reached");
   }
+#ifndef VISCLEAN_OBS_OFF
+  uint64_t wait_start_ns = obs::MonotonicNs();
+#endif
   Result<LockedEntry> locked = LockSession(id);
   if (!locked.ok()) return locked.status();
+#ifndef VISCLEAN_OBS_OFF
+  uint64_t lock_held_ns = obs::MonotonicNs();
+  h_queue_wait_ns_->Record(lock_held_ns - wait_start_ns);
+  obs::RecordSpan("manager.queue_wait", wait_start_ns, lock_held_ns);
+#endif
   Entry& entry = *locked.value().entry;
   if (entry.session->finished()) {
     return Status::InvalidArgument("session '" + id +
@@ -337,21 +367,33 @@ Result<PendingInteraction> SessionManager::Step(const std::string& id) {
   }
   Result<PendingInteraction> pending = entry.session->PlanIteration();
   if (!pending.ok()) return pending.status();
+#ifndef VISCLEAN_OBS_OFF
+  h_step_ns_->Record(obs::MonotonicNs() - lock_held_ns);
+#endif
   entry.info.iteration = entry.session->iteration();
   entry.info.pending = true;
-  ++stat_steps_;
+  c_steps_->Add(1);
   PersistLocked(entry);
   return pending;
 }
 
 Result<IterationTrace> SessionManager::Answer(const std::string& id) {
+  obs::ScopedSpan span("manager.answer");
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
+    c_rejected_inflight_->Add(1);
     return Status::ResourceExhausted("in-flight request limit reached");
   }
+#ifndef VISCLEAN_OBS_OFF
+  uint64_t wait_start_ns = obs::MonotonicNs();
+#endif
   Result<LockedEntry> locked = LockSession(id);
   if (!locked.ok()) return locked.status();
+#ifndef VISCLEAN_OBS_OFF
+  uint64_t lock_held_ns = obs::MonotonicNs();
+  h_queue_wait_ns_->Record(lock_held_ns - wait_start_ns);
+  obs::RecordSpan("manager.queue_wait", wait_start_ns, lock_held_ns);
+#endif
   Entry& entry = *locked.value().entry;
   if (!entry.session->pending()) {
     return Status::InvalidArgument("session '" + id +
@@ -359,19 +401,22 @@ Result<IterationTrace> SessionManager::Answer(const std::string& id) {
   }
   Result<IterationTrace> trace = entry.session->ResolveIteration();
   if (!trace.ok()) return trace.status();
+#ifndef VISCLEAN_OBS_OFF
+  h_answer_ns_->Record(obs::MonotonicNs() - lock_held_ns);
+#endif
   entry.info.pending = false;
   entry.info.iteration = entry.session->iteration();
   entry.info.emd = trace.value().emd;
   entry.info.finished = entry.session->finished();
-  ++stat_answers_;
+  c_answers_->Add(1);
   const IncrementalityCounters& inc = trace.value().incremental;
-  stat_detect_full_ += inc.detect_full_scans;
-  stat_detect_delta_ += inc.detect_delta_updates;
-  stat_erg_full_ += inc.erg_full_builds;
-  stat_erg_delta_ += inc.erg_delta_updates;
-  stat_join_full_ += inc.sim_join_full;
-  stat_join_fallback_ += inc.sim_join_fallbacks;
-  stat_join_delta_ += inc.sim_join_delta_syncs;
+  c_detect_full_->Add(inc.detect_full_scans);
+  c_detect_delta_->Add(inc.detect_delta_updates);
+  c_erg_full_->Add(inc.erg_full_builds);
+  c_erg_delta_->Add(inc.erg_delta_updates);
+  c_join_full_->Add(inc.sim_join_full);
+  c_join_fallback_->Add(inc.sim_join_fallbacks);
+  c_join_delta_->Add(inc.sim_join_delta_syncs);
   PersistLocked(entry);
   return trace;
 }
@@ -379,7 +424,7 @@ Result<IterationTrace> SessionManager::Answer(const std::string& id) {
 Result<SessionInfo> SessionManager::GetStatus(const std::string& id) {
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
+    c_rejected_inflight_->Add(1);
     return Status::ResourceExhausted("in-flight request limit reached");
   }
   std::shared_ptr<Entry> entry;
@@ -402,7 +447,7 @@ Status SessionManager::Snapshot(const std::string& id,
                                 const std::string& path) {
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
+    c_rejected_inflight_->Add(1);
     return Status::ResourceExhausted("in-flight request limit reached");
   }
   Result<LockedEntry> locked = LockSession(id);
@@ -411,7 +456,7 @@ Status SessionManager::Snapshot(const std::string& id,
   Result<SessionSnapshotState> state = entry.session->CaptureState();
   if (!state.ok()) return state.status();
   VC_RETURN_IF_ERROR(WriteSnapshotFile(path, state.value()));
-  ++stat_snapshots_;
+  c_snapshots_->Add(1);
   return Status::Ok();
 }
 
@@ -460,7 +505,7 @@ Result<SessionInfo> SessionManager::AdmitFromState(
     {
       std::lock_guard<std::mutex> map_lock(map_mu_);
       if (sessions_.size() >= options_.max_sessions) {
-        ++stat_rejected_capacity_;
+        c_rejected_capacity_->Add(1);
         return Status::ResourceExhausted("session capacity reached");
       }
       auto [it, inserted] = sessions_.emplace(id, entry);
@@ -475,7 +520,7 @@ Result<SessionInfo> SessionManager::AdmitFromState(
     entry->last_touch.store(clock_.fetch_add(1) + 1);
     info = entry->info;
   }
-  ++stat_created_;
+  c_created_->Add(1);
   MaybeEvict();
   return info;
 }
@@ -484,7 +529,7 @@ Result<SessionInfo> SessionManager::Restore(const std::string& id,
                                             const std::string& path) {
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
+    c_rejected_inflight_->Add(1);
     return Status::ResourceExhausted("in-flight request limit reached");
   }
   Result<SessionSnapshotState> state = ReadSnapshotFile(path);
@@ -496,7 +541,7 @@ Result<std::string> SessionManager::ExportSession(const std::string& id,
                                                   bool remove) {
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
+    c_rejected_inflight_->Add(1);
     return Status::ResourceExhausted("in-flight request limit reached");
   }
   Result<LockedEntry> locked = LockSession(id);
@@ -505,7 +550,7 @@ Result<std::string> SessionManager::ExportSession(const std::string& id,
   Result<SessionSnapshotState> state = entry.session->CaptureState();
   if (!state.ok()) return state.status();
   std::string bytes = EncodeSnapshot(state.value());
-  ++stat_snapshots_;
+  c_snapshots_->Add(1);
   if (remove) {
     // Retire under the entry lock we already hold: waiters queued on this
     // session observe closed + the tombstone and drain with kUnavailable.
@@ -529,7 +574,7 @@ Result<SessionInfo> SessionManager::ImportSession(const std::string& id,
                                                   const std::string& state) {
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
+    c_rejected_inflight_->Add(1);
     return Status::ResourceExhausted("in-flight request limit reached");
   }
   Result<SessionSnapshotState> decoded = DecodeSnapshot(state);
@@ -554,7 +599,7 @@ std::vector<std::string> SessionManager::live_sessions() const {
 Status SessionManager::Close(const std::string& id) {
   InflightSlot slot(inflight_, options_.max_inflight_requests);
   if (!slot.admitted()) {
-    ++stat_rejected_inflight_;
+    c_rejected_inflight_->Add(1);
     return Status::ResourceExhausted("in-flight request limit reached");
   }
   std::shared_ptr<Entry> entry;
@@ -581,22 +626,22 @@ Status SessionManager::Close(const std::string& id) {
 
 ServeStats SessionManager::stats() const {
   ServeStats s;
-  s.sessions_created = stat_created_.load();
-  s.steps = stat_steps_.load();
-  s.answers = stat_answers_.load();
-  s.snapshots = stat_snapshots_.load();
-  s.evictions = stat_evictions_.load();
-  s.restores_from_disk = stat_restores_.load();
-  s.rejected_capacity = stat_rejected_capacity_.load();
-  s.rejected_inflight = stat_rejected_inflight_.load();
-  s.rejected_session_queue = stat_rejected_queue_.load();
-  s.detect_full_scans = stat_detect_full_.load();
-  s.detect_delta_updates = stat_detect_delta_.load();
-  s.erg_full_builds = stat_erg_full_.load();
-  s.erg_delta_updates = stat_erg_delta_.load();
-  s.sim_join_full = stat_join_full_.load();
-  s.sim_join_fallbacks = stat_join_fallback_.load();
-  s.sim_join_delta_syncs = stat_join_delta_.load();
+  s.sessions_created = c_created_->Value();
+  s.steps = c_steps_->Value();
+  s.answers = c_answers_->Value();
+  s.snapshots = c_snapshots_->Value();
+  s.evictions = c_evictions_->Value();
+  s.restores_from_disk = c_restores_->Value();
+  s.rejected_capacity = c_rejected_capacity_->Value();
+  s.rejected_inflight = c_rejected_inflight_->Value();
+  s.rejected_session_queue = c_rejected_queue_->Value();
+  s.detect_full_scans = c_detect_full_->Value();
+  s.detect_delta_updates = c_detect_delta_->Value();
+  s.erg_full_builds = c_erg_full_->Value();
+  s.erg_delta_updates = c_erg_delta_->Value();
+  s.sim_join_full = c_join_full_->Value();
+  s.sim_join_fallbacks = c_join_fallback_->Value();
+  s.sim_join_delta_syncs = c_join_delta_->Value();
   if (batcher_) {
     KernelBatchStats em = batcher_->stats(KernelKind::kEmInference);
     s.em_infer_batches = em.batches;

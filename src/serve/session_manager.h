@@ -44,6 +44,7 @@
 #include "common/status.h"
 #include "core/session.h"
 #include "datagen/generator.h"
+#include "obs/metrics.h"
 
 namespace visclean {
 
@@ -211,8 +212,17 @@ class SessionManager {
   /// crash recovery.
   std::vector<std::string> live_sessions() const;
 
-  /// Point-in-time counter snapshot.
+  /// Point-in-time counter snapshot. Derived from registry() — the wire
+  /// encoding is unchanged, but the numbers and the exported metrics now
+  /// share one source and can never disagree.
   ServeStats stats() const;
+
+  /// This manager's telemetry registry: every ServeStats counter, the
+  /// request-latency histograms (serve.step_ns, serve.answer_ns,
+  /// serve.queue_wait_ns), per-stage timings and kernel-batcher occupancy
+  /// of the hosted sessions. Per-manager (not process-global) so in-process
+  /// multi-shard fleets keep separable stats.
+  obs::Registry& registry() const { return registry_; }
 
   /// Live sessions currently resident in memory (tests + metrics).
   size_t resident_sessions() const { return resident_.load(); }
@@ -236,6 +246,11 @@ class SessionManager {
       const UserCostModel& cost_model) const;
 
   ServeOptions options_;
+  /// Telemetry registry backing every counter below plus the latency
+  /// histograms; declared first so it outlives the batcher and the hosted
+  /// sessions that hold resolved handles into it. Mutable: handing it to a
+  /// session in const BuildSession does not change manager state.
+  mutable obs::Registry registry_;
   std::unique_ptr<ThreadPool> pool_;  ///< shared across sessions; may be null
   /// Cross-session kernel batcher lent to every hosted session; null when
   /// batching is disabled or there is no pool. Declared after pool_ (it
@@ -255,23 +270,28 @@ class SessionManager {
   std::atomic<size_t> resident_{0};
   std::atomic<uint64_t> clock_{0};  ///< logical time for LRU eviction
 
-  // stats (atomics; stats() folds them into a ServeStats)
-  std::atomic<uint64_t> stat_created_{0};
-  std::atomic<uint64_t> stat_steps_{0};
-  std::atomic<uint64_t> stat_answers_{0};
-  std::atomic<uint64_t> stat_snapshots_{0};
-  std::atomic<uint64_t> stat_evictions_{0};
-  std::atomic<uint64_t> stat_restores_{0};
-  std::atomic<uint64_t> stat_rejected_capacity_{0};
-  std::atomic<uint64_t> stat_rejected_inflight_{0};
-  std::atomic<uint64_t> stat_rejected_queue_{0};
-  std::atomic<uint64_t> stat_detect_full_{0};
-  std::atomic<uint64_t> stat_detect_delta_{0};
-  std::atomic<uint64_t> stat_erg_full_{0};
-  std::atomic<uint64_t> stat_erg_delta_{0};
-  std::atomic<uint64_t> stat_join_full_{0};
-  std::atomic<uint64_t> stat_join_fallback_{0};
-  std::atomic<uint64_t> stat_join_delta_{0};
+  // stats: registry-backed counters, resolved once in the constructor
+  // (stats() reads them back into a ServeStats; the registry snapshot
+  // exports the same cells, so the two views cannot drift).
+  obs::Counter* c_created_;
+  obs::Counter* c_steps_;
+  obs::Counter* c_answers_;
+  obs::Counter* c_snapshots_;
+  obs::Counter* c_evictions_;
+  obs::Counter* c_restores_;
+  obs::Counter* c_rejected_capacity_;
+  obs::Counter* c_rejected_inflight_;
+  obs::Counter* c_rejected_queue_;
+  obs::Counter* c_detect_full_;
+  obs::Counter* c_detect_delta_;
+  obs::Counter* c_erg_full_;
+  obs::Counter* c_erg_delta_;
+  obs::Counter* c_join_full_;
+  obs::Counter* c_join_fallback_;
+  obs::Counter* c_join_delta_;
+  obs::Histogram* h_step_ns_;        ///< PlanIteration execute time
+  obs::Histogram* h_answer_ns_;      ///< ResolveIteration execute time
+  obs::Histogram* h_queue_wait_ns_;  ///< LockSession admission + lock wait
 };
 
 }  // namespace visclean

@@ -3,6 +3,9 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/codec.h"
 
 namespace visclean {
@@ -297,6 +300,8 @@ std::string EncodeRequestPayload(const WireRequest& request) {
       break;
     case WireRequestType::kStats:
     case WireRequestType::kTopology:
+    case WireRequestType::kMetrics:
+    case WireRequestType::kTraces:
       break;
     case WireRequestType::kExportState:
       w.Str(request.session_id);
@@ -310,6 +315,9 @@ std::string EncodeRequestPayload(const WireRequest& request) {
       w.U32(request.shard_id);
       w.U64(request.epoch);
       w.Str(request.inner);
+      // Trace propagation rides the envelope (0 = no active trace).
+      w.U64(request.trace_id);
+      w.U64(request.parent_span);
       break;
     case WireRequestType::kJoinShard:
       w.U32(request.shard_id);
@@ -367,6 +375,10 @@ std::string EncodeResponse(const WireResponse& response, uint8_t version) {
     case WireResponseType::kTopology:
       PutTopology(w, response.topology);
       break;
+    case WireResponseType::kMetrics:
+    case WireResponseType::kTraces:
+      w.Str(response.metrics);
+      break;
   }
   return EncodeFrame(w.Take(), version);
 }
@@ -405,6 +417,8 @@ Result<WireRequest> DecodeRequestPayload(const std::string& payload,
       break;
     case WireRequestType::kStats:
     case WireRequestType::kTopology:
+    case WireRequestType::kMetrics:
+    case WireRequestType::kTraces:
       break;
     case WireRequestType::kExportState:
       req.session_id = r.Str();
@@ -418,6 +432,8 @@ Result<WireRequest> DecodeRequestPayload(const std::string& payload,
       req.shard_id = r.U32();
       req.epoch = r.U64();
       req.inner = r.Str();
+      req.trace_id = r.U64();
+      req.parent_span = r.U64();
       break;
     case WireRequestType::kJoinShard:
       req.shard_id = r.U32();
@@ -483,6 +499,10 @@ Result<WireResponse> DecodeResponsePayload(const std::string& payload,
     case WireResponseType::kTopology:
       resp.topology = GetTopology(r);
       break;
+    case WireResponseType::kMetrics:
+    case WireResponseType::kTraces:
+      resp.metrics = r.Str();
+      break;
   }
   if (r.failed() || bad) {
     return Status::InvalidArgument("wire response is truncated or corrupt");
@@ -491,6 +511,30 @@ Result<WireResponse> DecodeResponsePayload(const std::string& payload,
     return Status::InvalidArgument("wire response has trailing bytes");
   }
   return resp;
+}
+
+const char* WireRequestTypeName(WireRequestType type) {
+  switch (type) {
+    case WireRequestType::kCreate: return "create";
+    case WireRequestType::kStep: return "step";
+    case WireRequestType::kAnswer: return "answer";
+    case WireRequestType::kGetStatus: return "status";
+    case WireRequestType::kSnapshot: return "snapshot";
+    case WireRequestType::kRestore: return "restore";
+    case WireRequestType::kClose: return "close";
+    case WireRequestType::kStats: return "stats";
+    case WireRequestType::kExportState: return "export_state";
+    case WireRequestType::kImportState: return "import_state";
+    case WireRequestType::kForwarded: return "forwarded";
+    case WireRequestType::kJoinShard: return "join_shard";
+    case WireRequestType::kDrainShard: return "drain_shard";
+    case WireRequestType::kMigrateSession: return "migrate_session";
+    case WireRequestType::kTopology: return "topology";
+    case WireRequestType::kSetRole: return "set_role";
+    case WireRequestType::kMetrics: return "metrics";
+    case WireRequestType::kTraces: return "traces";
+  }
+  return "unknown";
 }
 
 WireResponse ErrorResponse(uint64_t request_id, const Status& status) {
@@ -580,6 +624,16 @@ WireResponse ExecuteRequest(SessionManager& manager,
       if (!info.ok()) return ErrorResponse(request.request_id, info.status());
       resp.type = WireResponseType::kSessionInfo;
       resp.info = std::move(info).value();
+      return resp;
+    }
+    case WireRequestType::kMetrics: {
+      resp.type = WireResponseType::kMetrics;
+      resp.metrics = obs::EncodeMetricsSnapshot(manager.registry().Snapshot());
+      return resp;
+    }
+    case WireRequestType::kTraces: {
+      resp.type = WireResponseType::kTraces;
+      resp.metrics = obs::ExportTracesJson(obs::Tracer::Default().Captured());
       return resp;
     }
     case WireRequestType::kForwarded:

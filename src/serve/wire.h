@@ -83,9 +83,11 @@ enum class WireRequestType : uint8_t {
   kMigrateSession = 13, ///< admin: move one session to a named shard
   kTopology = 14,       ///< admin: dump ring membership + placement counts
   kSetRole = 15,        ///< router→shard: pin shard id + topology epoch
+  kMetrics = 16,        ///< telemetry: merged metrics-registry snapshot
+  kTraces = 17,         ///< telemetry: captured slow-request traces (JSON)
 };
 inline constexpr uint8_t kMaxWireRequestType =
-    static_cast<uint8_t>(WireRequestType::kSetRole);
+    static_cast<uint8_t>(WireRequestType::kTraces);
 inline constexpr uint8_t kMaxWireRequestTypeV2 =
     static_cast<uint8_t>(WireRequestType::kStats);
 
@@ -101,9 +103,11 @@ enum class WireResponseType : uint8_t {
   // --- v3 (sharding) ---
   kState = 6,        ///< ExportState: VCSN snapshot bytes
   kTopology = 7,     ///< Topology: ring membership + placement
+  kMetrics = 8,      ///< Metrics: binary obs::MetricsSnapshot bytes
+  kTraces = 9,       ///< Traces: captured span trees as JSON text
 };
 inline constexpr uint8_t kMaxWireResponseType =
-    static_cast<uint8_t>(WireResponseType::kTopology);
+    static_cast<uint8_t>(WireResponseType::kTraces);
 inline constexpr uint8_t kMaxWireResponseTypeV2 =
     static_cast<uint8_t>(WireResponseType::kStats);
 
@@ -132,7 +136,17 @@ struct WireRequest {
   uint32_t port = 0;     ///< kJoinShard: the shard server's TCP port
   std::string inner;     ///< kForwarded: encoded inner request payload
                          ///< (EncodeRequestPayload, never nested)
+  /// kForwarded: the router-side trace the shard's spans should join
+  /// (0 = no active trace). Carried on the envelope, not the inner request,
+  /// so forwarding is what propagates — the inner bytes stay identical to a
+  /// directly-sent request.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
+
+/// Stable lowercase name of a request type ("create", "step", ...; used for
+/// span names and logs).
+const char* WireRequestTypeName(WireRequestType type);
 
 /// \brief The deterministic slice of an IterationTrace that travels on the
 /// wire: wall-clock stage timings are intentionally excluded so a socket
@@ -183,6 +197,9 @@ struct WireResponse {
   std::string state;
   // kTopology (v3):
   WireTopology topology;
+  // kMetrics (binary obs snapshot; see obs::DecodeMetricsSnapshot) and
+  // kTraces (JSON text):
+  std::string metrics;
 };
 
 /// Wraps a payload in a VCWP frame (header + bytes) at `version`. Payloads

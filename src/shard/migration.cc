@@ -1,5 +1,7 @@
 #include "shard/migration.h"
 
+#include "obs/trace.h"
+
 namespace visclean {
 namespace shard {
 
@@ -10,6 +12,11 @@ WireRequest ForwardEnvelope(uint32_t shard_id, uint64_t epoch,
   envelope.shard_id = shard_id;
   envelope.epoch = epoch;
   envelope.inner = EncodeRequestPayload(inner);
+  // Stamp the caller's active trace so the shard-side worker joins it: the
+  // router's span tree then covers the shard's execute spans too.
+  const obs::TraceContext& ctx = obs::CurrentTrace();
+  envelope.trace_id = ctx.trace_id;
+  envelope.parent_span = ctx.span_id;
   return envelope;
 }
 

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/snapshot.h"
 
 namespace visclean {
@@ -59,6 +61,12 @@ WireResponse AckResponse(uint64_t request_id) {
 
 ShardRouter::ShardRouter(RouterOptions options)
     : options_(std::move(options)),
+      c_forwards_(registry_.GetCounter("router.forwards")),
+      c_failovers_(registry_.GetCounter("router.failovers")),
+      c_migrations_(registry_.GetCounter("router.migrations")),
+      c_recovered_(registry_.GetCounter("router.recovered_sessions")),
+      c_lost_(registry_.GetCounter("router.lost_sessions")),
+      h_forward_ns_(registry_.GetHistogram("router.forward_ns")),
       pool_([&] {
         ClientOptions c = options_.client;
         if (c.io_timeout_ms == 0) c.io_timeout_ms = 5000;
@@ -152,6 +160,16 @@ WireResponse ShardRouter::Handle(const WireRequest& request) {
     case WireRequestType::kStats:
       response = AggregateStats(request);
       break;
+    case WireRequestType::kMetrics:
+      response = AggregateMetrics(request);
+      break;
+    case WireRequestType::kTraces:
+      // The tracer is process-global on purpose: in-process fleets run the
+      // router and its shards in one address space, so forwarded trace ids
+      // land in the same ring and the router answers for everyone.
+      response.type = WireResponseType::kTraces;
+      response.metrics = obs::ExportTracesJson(obs::Tracer::Default().Captured());
+      break;
     case WireRequestType::kJoinShard: {
       Status joined = JoinShard(request.shard_id,
                                 static_cast<uint16_t>(request.port));
@@ -188,12 +206,21 @@ WireResponse ShardRouter::Handle(const WireRequest& request) {
 }
 
 WireResponse ShardRouter::RouteAdmission(const WireRequest& request) {
+  obs::ScopedSpan span("router.route");
   Result<MigrationEndpoints> target = ResolveTarget(request.session_id);
   if (!target.ok()) return ErrorResponse(request.request_id, target.status());
-  stat_forwards_.fetch_add(1);
+  c_forwards_->Add(1);
+#ifndef VISCLEAN_OBS_OFF
+  uint64_t forward_start_ns = obs::MonotonicNs();
+#endif
   Result<WireResponse> response =
       ForwardCall(pool_, target.value().target_shard,
                   target.value().target_port, target.value().epoch, request);
+#ifndef VISCLEAN_OBS_OFF
+  uint64_t forward_end_ns = obs::MonotonicNs();
+  h_forward_ns_->Record(forward_end_ns - forward_start_ns);
+  obs::RecordSpan("router.forward", forward_start_ns, forward_end_ns);
+#endif
   if (!response.ok()) {
     return ErrorResponse(request.request_id, response.status());
   }
@@ -202,6 +229,7 @@ WireResponse ShardRouter::RouteAdmission(const WireRequest& request) {
 }
 
 WireResponse ShardRouter::RouteSession(const WireRequest& request) {
+  obs::ScopedSpan span("router.route");
   const std::string& id = request.session_id;
   Status last = Status::Internal("unroutable");
   for (int attempt = 0; attempt < 2; ++attempt) {
@@ -220,11 +248,19 @@ WireResponse ShardRouter::RouteSession(const WireRequest& request) {
       continue;
     }
 
-    stat_forwards_.fetch_add(1);
+    c_forwards_->Add(1);
+#ifndef VISCLEAN_OBS_OFF
+    uint64_t forward_start_ns = obs::MonotonicNs();
+#endif
     Result<WireResponse> response =
         pool_.Call(shard.value(), endpoint.value().first,
                    ForwardEnvelope(shard.value(), endpoint.value().second,
                                    request));
+#ifndef VISCLEAN_OBS_OFF
+    uint64_t forward_end_ns = obs::MonotonicNs();
+    h_forward_ns_->Record(forward_end_ns - forward_start_ns);
+    obs::RecordSpan("router.forward", forward_start_ns, forward_end_ns);
+#endif
     placement_.ReleaseRoute(id);
 
     if (response.ok()) {
@@ -233,7 +269,7 @@ WireResponse ShardRouter::RouteSession(const WireRequest& request) {
           unwrapped.code == StatusCode::kUnavailable && attempt == 0) {
         // Stale placement (the session migrated under a router restart or a
         // stale epoch raced a membership change): re-resolve once.
-        stat_failovers_.fetch_add(1);
+        c_failovers_->Add(1);
         last = Status(unwrapped.code, unwrapped.message);
         continue;
       }
@@ -250,7 +286,7 @@ WireResponse ShardRouter::RouteSession(const WireRequest& request) {
     if (IsTransportFailure(last) && attempt == 0) {
       // Dead shard: declare it, re-home its sessions from disk, and retry —
       // the client sees one slow request instead of an error.
-      stat_failovers_.fetch_add(1);
+      c_failovers_->Add(1);
       (void)RecoverShard(shard.value());
       continue;
     }
@@ -281,6 +317,39 @@ WireResponse ShardRouter::AggregateStats(const WireRequest& request) {
     // and must not fail the whole fleet's answer.
     if (shard_stats.ok()) AddStats(response.stats, shard_stats.value().stats);
   }
+  return response;
+}
+
+WireResponse ShardRouter::AggregateMetrics(const WireRequest& request) {
+  std::vector<std::pair<uint32_t, uint16_t>> targets;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(topo_mu_);
+    epoch = epoch_;
+    for (const auto& [shard_id, state] : shards_) {
+      if (state.alive) targets.emplace_back(shard_id, state.port);
+    }
+  }
+  // The fleet view: the router's own registry merged with every live
+  // shard's. Merge is associative/commutative, so arrival order of the
+  // shard snapshots cannot change the answer.
+  obs::MetricsSnapshot merged = registry_.Snapshot();
+  WireRequest metrics_req;
+  metrics_req.type = WireRequestType::kMetrics;
+  for (const auto& [shard_id, port] : targets) {
+    Result<WireResponse> shard_metrics =
+        ForwardCall(pool_, shard_id, port, epoch, metrics_req);
+    // Same contract as kStats: an unreachable shard contributes nothing
+    // rather than failing the whole scrape.
+    if (!shard_metrics.ok()) continue;
+    Result<obs::MetricsSnapshot> snapshot =
+        obs::DecodeMetricsSnapshot(shard_metrics.value().metrics);
+    if (snapshot.ok()) merged.Merge(snapshot.value());
+  }
+  WireResponse response;
+  response.type = WireResponseType::kMetrics;
+  response.request_id = request.request_id;
+  response.metrics = obs::EncodeMetricsSnapshot(merged);
   return response;
 }
 
@@ -368,7 +437,7 @@ Status ShardRouter::MigrateSession(const std::string& id,
 
   Status moved =
       migrator_.Migrate(id, endpoints, options_.migration_drain_deadline_ms);
-  if (moved.ok()) stat_migrations_.fetch_add(1);
+  if (moved.ok()) c_migrations_->Add(1);
   return moved;
 }
 
@@ -408,12 +477,12 @@ Status ShardRouter::RecoverShard(uint32_t shard_id) {
   for (const std::string& id : placement_.SessionsOn(shard_id)) {
     Status rehomed = RehomeFromDisk(id, snapshot_dir);
     if (rehomed.ok()) {
-      stat_recovered_.fetch_add(1);
+      c_recovered_->Add(1);
     } else {
       // No usable snapshot: forget the placement so clients get an honest
       // kNotFound instead of forwards into a corpse.
       placement_.Remove(id);
-      stat_lost_.fetch_add(1);
+      c_lost_->Add(1);
     }
   }
   return Status::Ok();
@@ -485,14 +554,34 @@ size_t ShardRouter::Rebalance() {
   }
   if (loads.size() < 2) return 0;
 
+  // Activity is polled through the shard's metrics snapshot — the same
+  // serve.steps / serve.answers counters a kMetrics scrape exports — so the
+  // rebalance decision and the exported metrics read one source of truth
+  // and cannot drift. kStats remains as a fallback for a mixed fleet whose
+  // shard predates the kMetrics frame (a v2 peer).
+  WireRequest metrics_req;
+  metrics_req.type = WireRequestType::kMetrics;
   WireRequest stats_req;
   stats_req.type = WireRequestType::kStats;
   for (Load& load : loads) {
-    Result<WireResponse> stats =
-        ForwardCall(pool_, load.shard_id, load.port, epoch, stats_req);
-    if (!stats.ok()) return 0;  // unstable fleet: let recovery settle first
-    uint64_t activity =
-        stats.value().stats.steps + stats.value().stats.answers;
+    uint64_t activity = 0;
+    Result<WireResponse> metrics =
+        ForwardCall(pool_, load.shard_id, load.port, epoch, metrics_req);
+    if (metrics.ok()) {
+      Result<obs::MetricsSnapshot> snapshot =
+          obs::DecodeMetricsSnapshot(metrics.value().metrics);
+      if (!snapshot.ok()) return 0;  // corrupt answer: treat as unstable
+      const auto& counters = snapshot.value().counters;
+      auto steps = counters.find("serve.steps");
+      auto answers = counters.find("serve.answers");
+      if (steps != counters.end()) activity += steps->second;
+      if (answers != counters.end()) activity += answers->second;
+    } else {
+      Result<WireResponse> stats =
+          ForwardCall(pool_, load.shard_id, load.port, epoch, stats_req);
+      if (!stats.ok()) return 0;  // unstable fleet: let recovery settle first
+      activity = stats.value().stats.steps + stats.value().stats.answers;
+    }
     std::lock_guard<std::mutex> lock(topo_mu_);
     auto it = shards_.find(load.shard_id);
     if (it == shards_.end()) return 0;
@@ -541,11 +630,11 @@ uint64_t ShardRouter::epoch() const {
 
 RouterStats ShardRouter::router_stats() const {
   RouterStats stats;
-  stats.forwards = stat_forwards_.load();
-  stats.failovers = stat_failovers_.load();
-  stats.migrations = stat_migrations_.load();
-  stats.recovered_sessions = stat_recovered_.load();
-  stats.lost_sessions = stat_lost_.load();
+  stats.forwards = c_forwards_->Value();
+  stats.failovers = c_failovers_->Value();
+  stats.migrations = c_migrations_->Value();
+  stats.recovered_sessions = c_recovered_->Value();
+  stats.lost_sessions = c_lost_->Value();
   return stats;
 }
 

@@ -22,7 +22,10 @@
 //                   kUnavailable answer (stale placement; re-resolve).
 //   * migration   — MigrationCoordinator moves live sessions between shards
 //                   (admin kMigrateSession, DrainShard, hot-shard
-//                   rebalancing driven by ServeStats activity deltas).
+//                   rebalancing driven by metrics-snapshot activity deltas —
+//                   the same serve.steps/serve.answers counters kMetrics
+//                   exports, so rebalance decisions and scraped metrics
+//                   cannot disagree).
 //   * recovery    — a dead shard's sessions are re-admitted on their ring
 //                   owners from the newest persist_progress snapshots on
 //                   disk (ShardHost and the shards share a filesystem).
@@ -33,7 +36,6 @@
 #ifndef VISCLEAN_SHARD_ROUTER_H_
 #define VISCLEAN_SHARD_ROUTER_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -44,6 +46,7 @@
 
 #include "common/status.h"
 #include "net/client.h"
+#include "obs/metrics.h"
 #include "serve/wire.h"
 #include "shard/client_pool.h"
 #include "shard/migration.h"
@@ -134,6 +137,10 @@ class ShardRouter : public WireHandler {
   RouterStats router_stats() const;
   PlacementTable& placement() { return placement_; }
 
+  /// The router's own metrics registry (router.* counters and histograms).
+  /// kMetrics answers merge this with every live shard's snapshot.
+  obs::Registry& registry() { return registry_; }
+
  private:
   struct ShardState {
     uint16_t port = 0;
@@ -153,11 +160,20 @@ class ShardRouter : public WireHandler {
   WireResponse RouteAdmission(const WireRequest& request);
   WireResponse RouteSession(const WireRequest& request);
   WireResponse AggregateStats(const WireRequest& request);
+  WireResponse AggregateMetrics(const WireRequest& request);
   Status RehomeFromDisk(const std::string& id, const std::string& dir);
   void AnnounceEpoch();
   void RebalanceLoop();
 
   RouterOptions options_;
+  // Declared before everything holding resolved metric handles.
+  obs::Registry registry_;
+  obs::Counter* c_forwards_;
+  obs::Counter* c_failovers_;
+  obs::Counter* c_migrations_;
+  obs::Counter* c_recovered_;
+  obs::Counter* c_lost_;
+  obs::Histogram* h_forward_ns_;
   ShardClientPool pool_;
   PlacementTable placement_;
   MigrationCoordinator migrator_;
@@ -166,12 +182,6 @@ class ShardRouter : public WireHandler {
   HashRing ring_;
   std::map<uint32_t, ShardState> shards_;
   uint64_t epoch_ = 1;
-
-  std::atomic<uint64_t> stat_forwards_{0};
-  std::atomic<uint64_t> stat_failovers_{0};
-  std::atomic<uint64_t> stat_migrations_{0};
-  std::atomic<uint64_t> stat_recovered_{0};
-  std::atomic<uint64_t> stat_lost_{0};
 
   std::mutex rebalance_mu_;
   std::condition_variable rebalance_cv_;

@@ -14,13 +14,22 @@ ServeOptions WithRecoveryDefaults(ShardHostOptions& options) {
   return options.serve;
 }
 
+/// The shard's IO counters land in its manager's registry (unless the
+/// caller wired an explicit one), so one kMetrics answer covers net.* and
+/// engine metrics together — and multi-shard test fleets stay separable.
+ServerOptions WithManagerRegistry(ServerOptions server,
+                                  SessionManager& manager) {
+  if (server.registry == nullptr) server.registry = &manager.registry();
+  return server;
+}
+
 }  // namespace
 
 ShardHost::ShardHost(ShardHostOptions options)
     : options_(std::move(options)),
       manager_(WithRecoveryDefaults(options_)),
       handler_(manager_),
-      server_(handler_, options_.server) {}
+      server_(handler_, WithManagerRegistry(options_.server, manager_)) {}
 
 Status ShardHost::RegisterDataset(const DirtyDataset* oracle) {
   return manager_.RegisterDataset(oracle);

@@ -1,0 +1,441 @@
+// Unit + end-to-end coverage for the observability subsystem (src/obs/):
+// histogram bucket math and percentile accuracy against a sorted-vector
+// reference, snapshot merge algebra (associativity/commutativity, asserted
+// on the wire encoding so codec determinism rides along), concurrent-writer
+// exactness (runs under the TSan CI leg), the binary snapshot codec's
+// corruption rejection, and trace-id propagation through a real
+// router→shard fleet over both wire dialects.
+//
+// The whole file also builds with -DVISCLEAN_OBS_OFF (a dedicated CI leg):
+// counter/gauge/merge/codec tests run unchanged, histogram-recording and
+// tracing tests collapse to the parts the kill switch keeps alive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/publications.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/session_manager.h"
+#include "shard/router.h"
+#include "shard/shard_host.h"
+
+namespace visclean {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math.
+
+TEST(HistogramTest, BucketBoundsInvertBucketIndex) {
+  // Every bucket's lower bound maps back to that bucket, and the value just
+  // below it maps to an earlier bucket — BucketLowerBound is the exact
+  // inverse of BucketIndex on bucket boundaries.
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    uint64_t lo = Histogram::BucketLowerBound(b);
+    EXPECT_EQ(Histogram::BucketIndex(lo), b) << "bucket " << b;
+    if (lo > 0) EXPECT_LT(Histogram::BucketIndex(lo - 1), b) << "bucket " << b;
+    uint64_t mid = Histogram::BucketMidpoint(b);
+    EXPECT_EQ(Histogram::BucketIndex(mid), b) << "bucket " << b;
+  }
+  // Extremes of the domain stay in range.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_LT(Histogram::BucketIndex(~uint64_t{0}), Histogram::kNumBuckets);
+}
+
+TEST(HistogramTest, RelativeBucketWidthIsBounded) {
+  // The linear-log layout promises width/lower_bound <= 2^-kSubBits for
+  // every bucket past the exact small-value range.
+  for (size_t b = (size_t{1} << Histogram::kSubBits);
+       b + 1 < Histogram::kNumBuckets; ++b) {
+    uint64_t lo = Histogram::BucketLowerBound(b);
+    uint64_t hi = Histogram::BucketLowerBound(b + 1);
+    EXPECT_LE(hi - lo, lo >> Histogram::kSubBits << 1)
+        << "bucket " << b << " [" << lo << "," << hi << ")";
+  }
+}
+
+// Fills a HistogramSnapshot the way a live Histogram would, but without
+// Record() — so the percentile-accuracy contract is asserted identically in
+// normal and VISCLEAN_OBS_OFF builds.
+HistogramSnapshot SnapshotOf(const std::vector<uint64_t>& values) {
+  HistogramSnapshot snap;
+  for (uint64_t v : values) {
+    snap.buckets[Histogram::BucketIndex(v)]++;
+    snap.count++;
+    snap.sum += v;
+    snap.max = std::max(snap.max, v);
+  }
+  return snap;
+}
+
+uint64_t ExactPercentile(std::vector<uint64_t> sorted, double p) {
+  // Same rank convention as HistogramSnapshot::Percentile: the
+  // ceil(p/100 * count)-th smallest sample (1-based), clamped to the ends.
+  size_t rank = static_cast<size_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(sorted.size()))));
+  rank = std::min(rank, sorted.size());
+  return sorted[rank - 1];
+}
+
+TEST(HistogramTest, PercentilesTrackSortedVectorReference) {
+  Rng rng(17);
+  // A mix of regimes: exact small values, mid-range latencies, heavy tail.
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 4000; ++i) {
+    values.push_back(static_cast<uint64_t>(rng.UniformInt(0, 7)));
+    values.push_back(static_cast<uint64_t>(rng.UniformInt(1000, 2'000'000)));
+    double tail = rng.UniformReal(0.0, 1.0);
+    values.push_back(static_cast<uint64_t>(1.0e9 * tail * tail * tail));
+  }
+  HistogramSnapshot snap = SnapshotOf(values);
+  std::sort(values.begin(), values.end());
+
+  EXPECT_EQ(snap.count, values.size());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    uint64_t exact = ExactPercentile(values, p);
+    uint64_t approx = snap.Percentile(p);
+    // The bucket midpoint is within half a bucket of the true order
+    // statistic; relative bucket width is 2^-kSubBits = 1/8, so the error
+    // bound is exact/8 (+1 for integer-midpoint rounding in tiny buckets).
+    uint64_t tolerance = exact / 8 + 1;
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(tolerance))
+        << "p" << p;
+  }
+  EXPECT_EQ(snap.Percentile(100.0), snap.Percentile(99.99999));
+  EXPECT_EQ(HistogramSnapshot{}.Percentile(50.0), 0u);
+}
+
+#ifndef VISCLEAN_OBS_OFF
+TEST(HistogramTest, LiveRecordMatchesDirectFill) {
+  // Record() through the sharded hot path lands every sample in the same
+  // bucket the direct fill computes — the snapshot is bucket-for-bucket
+  // identical however many shards the writes spread over.
+  Rng rng(23);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<uint64_t>(rng.UniformInt(0, 50'000'000)));
+  }
+  Registry registry;
+  Histogram* h = registry.GetHistogram("t.ns");
+  for (uint64_t v : values) h->Record(v);
+  MetricsSnapshot snap = registry.Snapshot();
+  HistogramSnapshot expected = SnapshotOf(values);
+  ASSERT_EQ(snap.histograms.count("t.ns"), 1u);
+  const HistogramSnapshot& got = snap.histograms.at("t.ns");
+  EXPECT_EQ(got.count, expected.count);
+  EXPECT_EQ(got.sum, expected.sum);
+  EXPECT_EQ(got.max, expected.max);
+  EXPECT_EQ(got.buckets, expected.buckets);
+}
+#endif  // VISCLEAN_OBS_OFF
+
+// ---------------------------------------------------------------------------
+// Snapshot merge algebra + codec.
+
+MetricsSnapshot RandomSnapshot(uint64_t seed) {
+  Rng rng(seed);
+  MetricsSnapshot snap;
+  const char* names[] = {"a.count", "b.count", "c.count", "d.count"};
+  for (const char* name : names) {
+    if (rng.Bernoulli(0.7)) {
+      snap.counters[name] = static_cast<uint64_t>(rng.UniformInt(0, 1 << 20));
+    }
+    if (rng.Bernoulli(0.5)) {
+      snap.gauges[std::string(name) + ".g"] = rng.UniformInt(-100, 100);
+    }
+  }
+  for (const char* name : {"x.ns", "y.ns"}) {
+    if (!rng.Bernoulli(0.8)) continue;
+    HistogramSnapshot h;
+    for (int i = 0; i < 200; ++i) {
+      uint64_t v = static_cast<uint64_t>(rng.UniformInt(0, 1'000'000));
+      h.buckets[Histogram::BucketIndex(v)]++;
+      h.count++;
+      h.sum += v;
+      h.max = std::max(h.max, v);
+    }
+    snap.histograms[name] = h;
+  }
+  return snap;
+}
+
+TEST(MetricsSnapshotTest, MergeIsAssociativeAndCommutative) {
+  // Asserted on the wire encoding: equal snapshots must encode to equal
+  // bytes (maps are ordered, buckets deterministic), which is also what the
+  // router's fleet aggregation relies on.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    MetricsSnapshot a = RandomSnapshot(seed * 3 + 0);
+    MetricsSnapshot b = RandomSnapshot(seed * 3 + 1);
+    MetricsSnapshot c = RandomSnapshot(seed * 3 + 2);
+
+    MetricsSnapshot ab_c = a;
+    ab_c.Merge(b);
+    ab_c.Merge(c);
+
+    MetricsSnapshot bc = b;
+    bc.Merge(c);
+    MetricsSnapshot a_bc = a;
+    a_bc.Merge(bc);
+
+    MetricsSnapshot ba = b;
+    ba.Merge(a);
+    MetricsSnapshot ab = a;
+    ab.Merge(b);
+
+    EXPECT_EQ(EncodeMetricsSnapshot(ab_c), EncodeMetricsSnapshot(a_bc))
+        << "associativity, seed " << seed;
+    EXPECT_EQ(EncodeMetricsSnapshot(ab), EncodeMetricsSnapshot(ba))
+        << "commutativity, seed " << seed;
+  }
+}
+
+TEST(MetricsSnapshotTest, CodecRoundTripsAndRejectsCorruption) {
+  MetricsSnapshot snap = RandomSnapshot(42);
+  std::string bytes = EncodeMetricsSnapshot(snap);
+  Result<MetricsSnapshot> decoded = DecodeMetricsSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(EncodeMetricsSnapshot(decoded.value()), bytes);
+
+  EXPECT_FALSE(DecodeMetricsSnapshot("").ok());
+  EXPECT_FALSE(DecodeMetricsSnapshot("garbage").ok());
+  for (size_t len : {size_t{1}, size_t{4}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    EXPECT_FALSE(DecodeMetricsSnapshot(bytes.substr(0, len)).ok()) << len;
+  }
+  EXPECT_FALSE(DecodeMetricsSnapshot(bytes + "x").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent writers (TSan leg).
+
+TEST(RegistryTest, ConcurrentWritersAreExact) {
+  Registry registry;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kOpsPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Handles resolved per thread: resolution races resolution and the
+      // hot path races the hot path, exactly like production call sites.
+      Counter* counter = registry.GetCounter("stress.count");
+      Gauge* gauge = registry.GetGauge("stress.gauge");
+      Histogram* hist = registry.GetHistogram("stress.ns");
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        counter->Add(1);
+        gauge->Add(i % 2 == 0 ? 1 : -1);
+        hist->Record((t * kOpsPerThread + i) % 100'000);
+        if (i % 4096 == 0) (void)registry.Snapshot();  // readers race writers
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("stress.count"), kThreads * kOpsPerThread);
+  EXPECT_EQ(snap.gauges.at("stress.gauge"), 0);
+  if (kObsCompiled) {
+    const HistogramSnapshot& h = snap.histograms.at("stress.ns");
+    EXPECT_EQ(h.count, kThreads * kOpsPerThread);
+    uint64_t bucket_total = 0;
+    for (uint64_t b : h.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, h.count);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: trace-id propagation through a router→shard fleet, and the
+// metrics/traces surface over both wire dialects.
+
+DirtyDataset SmallPublications() {
+  PublicationsOptions o;
+  o.num_entities = 50;
+  o.seed = 5;
+  return GeneratePublications(o);
+}
+
+std::string QueryFor() {
+  return "VISUALIZE BAR SELECT Venue, SUM(Citations) FROM D1 "
+         "TRANSFORM GROUP(Venue) SORT Y DESC LIMIT 10";
+}
+
+SessionOptions FastOptions() {
+  SessionOptions o;
+  o.k = 4;
+  o.budget = 2;
+  o.max_t_questions = 30;
+  o.max_m_questions = 30;
+  o.forest.num_trees = 6;
+  o.seed = 5;
+  return o;
+}
+
+struct Fleet {
+  std::vector<std::unique_ptr<shard::ShardHost>> hosts;
+  std::unique_ptr<shard::ShardRouter> router;
+  std::unique_ptr<VisCleanServer> front;
+
+  uint16_t port() const { return front->port(); }
+
+  void StopAll() {
+    if (front) front->Stop();
+    if (router) router->Stop();
+    for (auto& host : hosts) {
+      if (host) host->Stop();
+    }
+  }
+};
+
+Fleet MakeFleet(const DirtyDataset& data, size_t shard_count) {
+  Fleet fleet;
+  shard::RouterOptions router_options;
+  for (size_t i = 0; i < shard_count; ++i) {
+    shard::ShardHostOptions options;
+    options.shard_id = static_cast<uint32_t>(i);
+    auto host = std::make_unique<shard::ShardHost>(options);
+    EXPECT_TRUE(host->RegisterDataset(&data).ok());
+    EXPECT_TRUE(host->Start().ok());
+    router_options.shards.push_back({options.shard_id, host->port(), ""});
+    fleet.hosts.push_back(std::move(host));
+  }
+  fleet.router = std::make_unique<shard::ShardRouter>(router_options);
+  EXPECT_TRUE(fleet.router->Start().ok());
+  fleet.front = std::make_unique<VisCleanServer>(*fleet.router);
+  EXPECT_TRUE(fleet.front->Start().ok());
+  return fleet;
+}
+
+bool HasSpan(const CapturedTrace& trace, const std::string& name) {
+  for (const SpanRecord& span : trace.spans) {
+    if (span.name == name) return true;
+  }
+  return false;
+}
+
+TEST(TracePropagationTest, RouterTraceCoversShardSideWork) {
+  if (!kObsCompiled) {
+    GTEST_SKIP() << "tracing compiled out (VISCLEAN_OBS_OFF)";
+  }
+  DirtyDataset data = SmallPublications();
+  Fleet fleet = MakeFleet(data, 2);
+
+  // Capture everything: the tracer is process-global, so the router's root
+  // span and the shard-side spans land in one ring.
+  Tracer::Default().Clear();
+  Tracer::Default().SetSlowThresholdNs(0);
+
+  Client client;
+  ASSERT_TRUE(client.Connect(fleet.port()).ok());
+  ASSERT_TRUE(
+      client.Create("alice", data.name, QueryFor(), FastOptions()).ok());
+  ASSERT_TRUE(client.Step("alice").ok());
+  ASSERT_TRUE(client.Answer("alice").ok());
+
+  std::vector<CapturedTrace> captured = Tracer::Default().Captured();
+  Tracer::Default().SetSlowThresholdNs(TracerOptions().slow_threshold_ns);
+  ASSERT_FALSE(captured.empty());
+
+  // The kStep request's trace must span both tiers: the router's root and
+  // forward span, the shard's forwarded-request span, and the manager's
+  // execute span — all under ONE trace id, stitched by the kForwarded
+  // envelope's trace_id/parent_span fields.
+  const CapturedTrace* step_trace = nullptr;
+  for (const CapturedTrace& trace : captured) {
+    if (trace.root_name == "net.step") step_trace = &trace;
+  }
+  ASSERT_NE(step_trace, nullptr) << "no captured trace rooted at net.step";
+  EXPECT_NE(step_trace->trace_id, 0u);
+  for (const SpanRecord& span : step_trace->spans) {
+    EXPECT_EQ(span.trace_id, step_trace->trace_id) << span.name;
+  }
+  EXPECT_TRUE(HasSpan(*step_trace, "router.route"));
+  EXPECT_TRUE(HasSpan(*step_trace, "router.forward"));
+  EXPECT_TRUE(HasSpan(*step_trace, "net.forwarded"));
+  EXPECT_TRUE(HasSpan(*step_trace, "manager.step"));
+
+  // The assembled tree keeps every captured span (orphans become roots, so
+  // nothing disappears) and the JSON export mentions both tiers.
+  std::vector<TraceTreeNode> roots = AssembleTraceTree(*step_trace);
+  size_t tree_spans = 0;
+  std::vector<const TraceTreeNode*> stack;
+  for (const TraceTreeNode& r : roots) stack.push_back(&r);
+  while (!stack.empty()) {
+    const TraceTreeNode* node = stack.back();
+    stack.pop_back();
+    ++tree_spans;
+    for (const TraceTreeNode& child : node->children) stack.push_back(&child);
+  }
+  EXPECT_EQ(tree_spans, step_trace->spans.size());
+
+  fleet.StopAll();
+
+  std::string json = ExportTracesJson(captured);
+  EXPECT_NE(json.find("net.step"), std::string::npos);
+  EXPECT_NE(json.find("manager.step"), std::string::npos);
+}
+
+TEST(TracePropagationTest, MetricsAndTracesTravelBothDialects) {
+  DirtyDataset data = SmallPublications();
+  Fleet fleet = MakeFleet(data, 2);
+
+  Tracer::Default().Clear();
+  Tracer::Default().SetSlowThresholdNs(0);
+
+  Client client;
+  ASSERT_TRUE(client.Connect(fleet.port()).ok());
+  ASSERT_TRUE(
+      client.Create("bob", data.name, QueryFor(), FastOptions()).ok());
+  ASSERT_TRUE(client.Step("bob").ok());
+  ASSERT_TRUE(client.Answer("bob").ok());
+
+  // Binary dialect: the router answers kMetrics with the fleet-merged
+  // snapshot — its own router.* counters plus the shards' serve.* ones.
+  Result<MetricsSnapshot> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_GE(metrics.value().counters.at("router.forwards"), 3u);
+  EXPECT_GE(metrics.value().counters.at("serve.steps"), 1u);
+  EXPECT_GE(metrics.value().counters.at("serve.answers"), 1u);
+  EXPECT_GE(metrics.value().counters.at("net.requests"), 3u);
+  if (kObsCompiled) {
+    EXPECT_GE(metrics.value().histograms.at("serve.step_ns").count, 1u);
+    EXPECT_GE(metrics.value().histograms.at("router.forward_ns").count, 3u);
+  }
+
+  Result<std::string> traces = client.Traces();
+  ASSERT_TRUE(traces.ok()) << traces.status().ToString();
+  if (kObsCompiled) {
+    EXPECT_NE(traces.value().find("net.step"), std::string::npos);
+  }
+
+  // Text dialect: one parseable line per scrape.
+  LineClient line;
+  ASSERT_TRUE(line.Connect(fleet.port()).ok());
+  Result<std::string> metrics_line = line.Exchange("METRICS");
+  ASSERT_TRUE(metrics_line.ok()) << metrics_line.status().ToString();
+  EXPECT_EQ(metrics_line.value().rfind("OK METRICS ", 0), 0u)
+      << metrics_line.value();
+  EXPECT_NE(metrics_line.value().find("serve.steps"), std::string::npos);
+  Result<std::string> traces_line = line.Exchange("TRACES");
+  ASSERT_TRUE(traces_line.ok()) << traces_line.status().ToString();
+  EXPECT_EQ(traces_line.value().rfind("OK TRACES ", 0), 0u)
+      << traces_line.value();
+
+  Tracer::Default().SetSlowThresholdNs(TracerOptions().slow_threshold_ns);
+  fleet.StopAll();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace visclean

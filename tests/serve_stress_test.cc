@@ -11,7 +11,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <mutex>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -40,10 +43,31 @@ SessionOptions StressOptions(uint64_t seed) {
   return o;
 }
 
+// Scratch directories register here and are removed when the test binary
+// exits (static destructor — runs after gtest_main returns), so repeated
+// runs cannot accumulate snapshot files in TempDir().
+struct ScratchDirs {
+  std::mutex mu;
+  std::vector<std::string> dirs;
+  void Track(std::string dir) {
+    std::lock_guard<std::mutex> lock(mu);
+    dirs.push_back(std::move(dir));
+  }
+  ~ScratchDirs() {
+    for (const std::string& dir : dirs) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);  // best-effort
+    }
+  }
+};
+
 std::string TempDir(const std::string& tag) {
+  static ScratchDirs cleaner;
   std::string dir = ::testing::TempDir() + "visclean_stress_" + tag;
-  std::string cmd = "mkdir -p '" + dir + "'";
-  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  EXPECT_TRUE(std::filesystem::create_directories(dir, ec) || !ec) << dir;
+  cleaner.Track(dir);
   return dir;
 }
 

@@ -11,8 +11,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "datagen/books.h"
@@ -98,10 +101,31 @@ SessionOptions SweepOptions(const std::string& selector, uint64_t seed) {
   return o;
 }
 
+// Scratch directories register here and are removed when the test binary
+// exits (static destructor — runs after gtest_main returns), so repeated
+// runs cannot accumulate snapshot files in TempDir().
+struct ScratchDirs {
+  std::mutex mu;
+  std::vector<std::string> dirs;
+  void Track(std::string dir) {
+    std::lock_guard<std::mutex> lock(mu);
+    dirs.push_back(std::move(dir));
+  }
+  ~ScratchDirs() {
+    for (const std::string& dir : dirs) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);  // best-effort
+    }
+  }
+};
+
 std::string TempDir(const std::string& tag) {
+  static ScratchDirs cleaner;
   std::string dir = ::testing::TempDir() + "visclean_wire_" + tag;
-  std::string cmd = "mkdir -p '" + dir + "'";
-  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  EXPECT_TRUE(std::filesystem::create_directories(dir, ec) || !ec) << dir;
+  cleaner.Track(dir);
   return dir;
 }
 
